@@ -1,0 +1,433 @@
+//! "BatchView": the IrfanView-like legacy batch image converter.
+//!
+//! BatchView stores images as a single interleaved RGB buffer with no padding
+//! and, like the binary the paper analyses, loads pixel data into the x87
+//! floating-point register stack, computes its stencils in floating point and
+//! rounds the result back to integers with `fistp`. The generated code also
+//! stages integer values through stack slots (`fild dword [ebp-8]`), so the
+//! lifted expressions must follow data flow through memory, partial-register
+//! stores and the FP stack.
+
+use crate::image::InterleavedImage;
+use helium_machine::asm::Asm;
+use helium_machine::isa::{regs, Cond, FpOp, FpSrc, MemRef, Operand, Reg, Width};
+use helium_machine::program::Program;
+use helium_machine::Cpu;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the main executable module.
+const MAIN_BASE: u32 = 0x0050_0000;
+/// Base address of the filter module.
+const FILTER_BASE: u32 = 0x2000_0000;
+/// Base address of the input image.
+const INPUT_BASE: u32 = 0x0800_0000;
+/// Base address of the output image.
+const OUTPUT_BASE: u32 = 0x0900_0000;
+/// Run-filter flag.
+const FLAG_ADDR: u32 = 0x0700_0000;
+/// Base address of the floating-point weight constants.
+const CONST_BASE: u32 = 0x0700_0100;
+/// Scratch used by background code.
+const BG_SCRATCH: u32 = 0x0700_0200;
+
+/// The BatchView filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchFilter {
+    /// Pointwise inversion (255 - v).
+    Invert,
+    /// Pointwise solarize (invert values above 128).
+    Solarize,
+    /// 9-point floating-point blur.
+    Blur,
+    /// 9-point floating-point sharpen.
+    Sharpen,
+}
+
+impl BatchFilter {
+    /// All filters in evaluation order.
+    pub const ALL: [BatchFilter; 4] = [
+        BatchFilter::Invert,
+        BatchFilter::Solarize,
+        BatchFilter::Blur,
+        BatchFilter::Sharpen,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchFilter::Invert => "invert",
+            BatchFilter::Solarize => "solarize",
+            BatchFilter::Blur => "blur",
+            BatchFilter::Sharpen => "sharpen",
+        }
+    }
+
+    /// Center and neighbour weights for the floating-point stencils.
+    pub fn float_weights(self) -> Option<(f64, f64)> {
+        match self {
+            BatchFilter::Blur => Some((0.5, 0.0625)),
+            BatchFilter::Sharpen => Some((2.0, -0.125)),
+            _ => None,
+        }
+    }
+}
+
+/// One BatchView application instance for a single filter.
+#[derive(Debug, Clone)]
+pub struct BatchView {
+    filter: BatchFilter,
+    image: InterleavedImage,
+    program: Program,
+    main_entry: u32,
+    filter_entry: u32,
+}
+
+impl BatchView {
+    /// Build a BatchView instance around an image and filter.
+    pub fn new(filter: BatchFilter, image: InterleavedImage) -> BatchView {
+        let (program, main_entry, filter_entry) = build_program(filter, &image);
+        BatchView { filter, image, program, main_entry, filter_entry }
+    }
+
+    /// The filter this instance applies.
+    pub fn filter(&self) -> BatchFilter {
+        self.filter
+    }
+
+    /// The input image.
+    pub fn image(&self) -> &InterleavedImage {
+        &self.image
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Address of the input buffer.
+    pub fn input_addr(&self) -> u32 {
+        INPUT_BASE
+    }
+
+    /// Address of the output buffer.
+    pub fn output_addr(&self) -> u32 {
+        OUTPUT_BASE
+    }
+
+    /// Filter-function entry, for white-box tests only.
+    pub fn filter_entry_for_reference(&self) -> u32 {
+        self.filter_entry
+    }
+
+    /// Prepare a CPU for one run.
+    pub fn fresh_cpu(&self, with_filter: bool) -> Cpu {
+        let mut cpu = Cpu::new();
+        cpu.pc = self.main_entry;
+        cpu.mem.write_bytes(INPUT_BASE, self.image.bytes());
+        cpu.mem.write_u32(FLAG_ADDR, with_filter as u32);
+        if let Some((wc, wn)) = self.filter.float_weights() {
+            cpu.mem.write_f64(CONST_BASE, wc);
+            cpu.mem.write_f64(CONST_BASE + 8, wn);
+        }
+        cpu
+    }
+
+    /// Known input scanlines (interleaved) for dimension inference.
+    pub fn known_input_rows(&self) -> Vec<Vec<Vec<u8>>> {
+        vec![self.image.rows()]
+    }
+
+    /// Known output scanlines computed by the reference implementation.
+    ///
+    /// Only the interior scanlines are returned for the stencil filters (the
+    /// legacy code leaves the one-pixel border untouched).
+    pub fn known_output_rows(&self) -> Vec<Vec<Vec<u8>>> {
+        let out = self.reference_output();
+        let rows = out.rows();
+        let rows = match self.filter {
+            BatchFilter::Blur | BatchFilter::Sharpen => rows[1..rows.len() - 1].to_vec(),
+            _ => rows,
+        };
+        vec![rows]
+    }
+
+    /// Approximate data size for candidate-instruction selection.
+    pub fn approx_data_size(&self) -> usize {
+        self.image.byte_len()
+    }
+
+    /// Run the legacy binary in the VM and return the output image.
+    ///
+    /// # Panics
+    /// Panics if the interpreter fails.
+    pub fn run_in_vm(&self) -> InterleavedImage {
+        let mut cpu = self.fresh_cpu(true);
+        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("legacy binary runs");
+        self.read_output(&cpu)
+    }
+
+    /// Extract the output image from a finished CPU.
+    pub fn read_output(&self, cpu: &Cpu) -> InterleavedImage {
+        let mut out = InterleavedImage::new(self.image.width, self.image.height);
+        let bytes = cpu.mem.read_bytes(OUTPUT_BASE, self.image.byte_len() as u32);
+        out.bytes_mut().copy_from_slice(&bytes);
+        out
+    }
+
+    /// Native scalar reference implementation, matching the legacy assembly.
+    pub fn reference_output(&self) -> InterleavedImage {
+        reference_filter(self.filter, &self.image)
+    }
+}
+
+/// Native scalar implementation of a BatchView filter (single thread,
+/// identical operation order to the legacy assembly).
+pub fn reference_filter(filter: BatchFilter, image: &InterleavedImage) -> InterleavedImage {
+    let mut out = InterleavedImage::new(image.width, image.height);
+    let stride = image.stride();
+    let src = image.bytes();
+    let dst = out.bytes_mut();
+    match filter {
+        BatchFilter::Invert => {
+            for i in 0..src.len() {
+                dst[i] = 255 - src[i];
+            }
+        }
+        BatchFilter::Solarize => {
+            for i in 0..src.len() {
+                dst[i] = if src[i] > 128 { 255 - src[i] } else { src[i] };
+            }
+        }
+        BatchFilter::Blur | BatchFilter::Sharpen => {
+            let (wc, wn) = filter.float_weights().expect("float stencil");
+            for y in 1..image.height - 1 {
+                for x in 3..stride - 3 {
+                    let i = y * stride + x;
+                    // Operation order matches the x87 code: center product
+                    // first, then each neighbour product added in turn.
+                    let mut acc = src[i] as f64 * wc;
+                    for &off in &[
+                        -(stride as i64) - 3,
+                        -(stride as i64),
+                        -(stride as i64) + 3,
+                        -3i64,
+                        3,
+                        stride as i64 - 3,
+                        stride as i64,
+                        stride as i64 + 3,
+                    ] {
+                        let v = src[(i as i64 + off) as usize] as f64;
+                        acc += v * wn;
+                    }
+                    dst[i] = round_ties_even_to_u8(acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn round_ties_even_to_u8(v: f64) -> u8 {
+    helium_machine::cpu::round_ties_even(v) as i64 as u8
+}
+
+// ---------------------------------------------------------------------------
+// Assembly generation
+// ---------------------------------------------------------------------------
+
+fn mem8_idx(base: Reg, index: Reg, disp: i32) -> MemRef {
+    MemRef::sib(base, index, 1, disp, Width::B1)
+}
+
+/// Pointwise filters: invert and solarize over the whole interleaved buffer.
+fn emit_pointwise_filter(asm: &mut Asm, filter: BatchFilter, total: i64) -> u32 {
+    let entry = asm.here();
+    asm.push(regs::ebp());
+    asm.mov(regs::ebp(), regs::esp());
+    asm.push(regs::esi());
+    asm.mov(regs::esi(), Operand::Imm(0));
+    asm.label("pw_loop");
+    asm.movzx(
+        regs::eax(),
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, INPUT_BASE as i32, Width::B1)),
+    );
+    match filter {
+        BatchFilter::Invert => {
+            asm.mov(regs::ebx(), Operand::Imm(255));
+            asm.sub(regs::ebx(), regs::eax());
+        }
+        BatchFilter::Solarize => {
+            asm.cmp(regs::eax(), Operand::Imm(128));
+            asm.jcc(Cond::A, "pw_invert");
+            asm.mov(regs::ebx(), regs::eax());
+            asm.jmp("pw_store");
+            asm.label("pw_invert");
+            asm.mov(regs::ebx(), Operand::Imm(255));
+            asm.sub(regs::ebx(), regs::eax());
+            asm.label("pw_store");
+            asm.nop();
+        }
+        _ => unreachable!("pointwise filters only"),
+    }
+    asm.mov(
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, OUTPUT_BASE as i32, Width::B1)),
+        regs::bl(),
+    );
+    asm.inc(regs::esi());
+    asm.cmp(regs::esi(), Operand::Imm(total));
+    asm.jcc(Cond::B, "pw_loop");
+    asm.pop(regs::esi());
+    asm.pop(regs::ebp());
+    asm.ret();
+    entry
+}
+
+/// Floating-point 9-point stencil over the interleaved buffer, computed on
+/// the x87 stack and rounded back with `fistp`.
+fn emit_float_stencil(asm: &mut Asm, image: &InterleavedImage) -> u32 {
+    let stride = image.stride() as i32;
+    let height = image.height as i64;
+    let entry = asm.here();
+    asm.push(regs::ebp());
+    asm.mov(regs::ebp(), regs::esp());
+    asm.sub(regs::esp(), Operand::Imm(0x10));
+    asm.push(regs::esi());
+    asm.push(regs::edi());
+    asm.push(regs::ebx());
+    // esi = source row pointer, edi = destination row pointer, ecx = row index.
+    asm.mov(regs::esi(), Operand::Imm((INPUT_BASE as i32 + stride) as i64));
+    asm.mov(regs::edi(), Operand::Imm((OUTPUT_BASE as i32 + stride) as i64));
+    asm.mov(regs::ecx(), Operand::Imm(1));
+    asm.label("fs_row");
+    asm.mov(regs::eax(), Operand::Imm(3));
+    asm.label("fs_pixel");
+    // Center tap: load the byte through a stack slot into the FP stack.
+    asm.movzx(regs::ebx(), Operand::Mem(mem8_idx(Reg::Esi, Reg::Eax, 0)));
+    asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)), regs::ebx());
+    asm.fld(FpSrc::MemI32(MemRef::base_disp(Reg::Ebp, -8, Width::B4)));
+    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)));
+    // Neighbour taps.
+    for off in [-stride - 3, -stride, -stride + 3, -3, 3, stride - 3, stride, stride + 3] {
+        asm.movzx(regs::ebx(), Operand::Mem(mem8_idx(Reg::Esi, Reg::Eax, off)));
+        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)), regs::ebx());
+        asm.fld(FpSrc::MemI32(MemRef::base_disp(Reg::Ebp, -8, Width::B4)));
+        asm.farith(
+            FpOp::Mul,
+            FpSrc::MemF64(MemRef::absolute((CONST_BASE + 8) as i32, Width::B8)),
+        );
+        asm.farith_to(FpOp::Add, 1);
+    }
+    // Round and store.
+    asm.fistp(MemRef::base_disp(Reg::Ebp, -12, Width::B4));
+    asm.mov(regs::ebx(), Operand::Mem(MemRef::base_disp(Reg::Ebp, -12, Width::B4)));
+    asm.mov(Operand::Mem(mem8_idx(Reg::Edi, Reg::Eax, 0)), regs::bl());
+    asm.inc(regs::eax());
+    asm.cmp(regs::eax(), Operand::Imm((stride - 3) as i64));
+    asm.jcc(Cond::B, "fs_pixel");
+    asm.add(regs::esi(), Operand::Imm(stride as i64));
+    asm.add(regs::edi(), Operand::Imm(stride as i64));
+    asm.inc(regs::ecx());
+    asm.cmp(regs::ecx(), Operand::Imm(height - 1));
+    asm.jcc(Cond::B, "fs_row");
+    asm.pop(regs::ebx());
+    asm.pop(regs::edi());
+    asm.pop(regs::esi());
+    asm.mov(regs::esp(), regs::ebp());
+    asm.pop(regs::ebp());
+    asm.ret();
+    entry
+}
+
+fn build_program(filter: BatchFilter, image: &InterleavedImage) -> (Program, u32, u32) {
+    let mut filters = Asm::new(FILTER_BASE);
+    let filter_entry = match filter {
+        BatchFilter::Invert | BatchFilter::Solarize => {
+            emit_pointwise_filter(&mut filters, filter, image.byte_len() as i64)
+        }
+        BatchFilter::Blur | BatchFilter::Sharpen => emit_float_stencil(&mut filters, image),
+    };
+
+    let mut main = Asm::new(MAIN_BASE);
+    let main_entry = main.here();
+    // Background work executed in both runs (a fake header parse).
+    main.mov(regs::ecx(), Operand::Imm(0));
+    main.mov(regs::eax(), Operand::Imm(0));
+    main.label("hdr_loop");
+    main.movzx(
+        regs::edx(),
+        Operand::Mem(MemRef::sib(Reg::Ecx, Reg::Ecx, 0, BG_SCRATCH as i32, Width::B1)),
+    );
+    main.add(regs::eax(), regs::edx());
+    main.inc(regs::ecx());
+    main.cmp(regs::ecx(), Operand::Imm(32));
+    main.jcc(Cond::B, "hdr_loop");
+    main.mov(Operand::Mem(MemRef::absolute((BG_SCRATCH + 64) as i32, Width::B4)), regs::eax());
+    // Conditionally run the filter.
+    main.mov(regs::eax(), Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)));
+    main.test(regs::eax(), regs::eax());
+    main.jcc(Cond::Z, "skip");
+    main.call(filter_entry);
+    main.label("skip");
+    main.halt();
+
+    let mut program = Program::new();
+    program.add_module("batchview.exe", main.finish());
+    program.add_module("bvfilters.dll", filters.finish());
+    program.add_function(main_entry, Some("main"));
+    program.add_function(filter_entry, None);
+    (program, main_entry, filter_entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_image() -> InterleavedImage {
+        InterleavedImage::random(20, 11, 1234)
+    }
+
+    #[test]
+    fn legacy_binary_matches_reference_for_every_filter() {
+        let image = small_image();
+        for filter in BatchFilter::ALL {
+            let app = BatchView::new(filter, image.clone());
+            let vm_out = app.run_in_vm();
+            let reference = app.reference_output();
+            assert_eq!(
+                vm_out.bytes(),
+                reference.bytes(),
+                "{} output differs from the reference",
+                filter.name()
+            );
+        }
+    }
+
+    #[test]
+    fn without_filter_output_is_untouched() {
+        let app = BatchView::new(BatchFilter::Blur, small_image());
+        let mut cpu = app.fresh_cpu(false);
+        cpu.run(app.program(), 100_000_000, |_, _| {}).expect("runs");
+        assert!(app.read_output(&cpu).bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn known_rows_shapes() {
+        let app = BatchView::new(BatchFilter::Sharpen, small_image());
+        let input_rows = &app.known_input_rows()[0];
+        assert_eq!(input_rows.len(), 11);
+        assert_eq!(input_rows[0].len(), 60);
+        let output_rows = &app.known_output_rows()[0];
+        assert_eq!(output_rows.len(), 9, "stencil output rows exclude the border");
+        let pw = BatchView::new(BatchFilter::Invert, small_image());
+        assert_eq!(pw.known_output_rows()[0].len(), 11);
+        assert_eq!(pw.approx_data_size(), 20 * 11 * 3);
+    }
+
+    #[test]
+    fn filter_metadata() {
+        assert_eq!(BatchFilter::Blur.name(), "blur");
+        assert_eq!(BatchFilter::Blur.float_weights(), Some((0.5, 0.0625)));
+        assert_eq!(BatchFilter::Invert.float_weights(), None);
+        assert_eq!(BatchFilter::ALL.len(), 4);
+    }
+}

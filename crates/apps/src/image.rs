@@ -1,0 +1,400 @@
+//! Image and grid containers used by the legacy applications.
+//!
+//! Two pixel layouts matter for the paper's evaluation:
+//!
+//! * **planar** images (Photoshop-style): R, G and B are stored in separate
+//!   planes, each padded by one pixel on every edge and with scanlines rounded
+//!   up to an alignment boundary — exactly the layout the paper describes for
+//!   Photoshop's blur of a 32×32 image (one-pixel edge padding, 48-byte
+//!   scanlines);
+//! * **interleaved** images (IrfanView-style): a single buffer of RGB triples;
+//! * **3-D grids with ghost zones** (miniGMG-style) of `f64` cells.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A single padded, aligned image plane of `u8` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanarPlane {
+    /// Logical image width (without padding).
+    pub width: usize,
+    /// Logical image height (without padding).
+    pub height: usize,
+    /// Padding added to every edge, in pixels.
+    pub pad: usize,
+    /// Scanline alignment in bytes (the padded width is rounded up to this).
+    pub align: usize,
+    data: Vec<u8>,
+}
+
+impl PlanarPlane {
+    /// Create a zeroed plane.
+    ///
+    /// # Panics
+    /// Panics if `align` is zero.
+    pub fn new(width: usize, height: usize, pad: usize, align: usize) -> PlanarPlane {
+        assert!(align > 0, "alignment must be positive");
+        let stride = Self::stride_for(width, pad, align);
+        let rows = height + 2 * pad;
+        PlanarPlane { width, height, pad, align, data: vec![0; stride * rows] }
+    }
+
+    /// Scanline stride in bytes for the given geometry.
+    pub fn stride_for(width: usize, pad: usize, align: usize) -> usize {
+        (width + 2 * pad).div_ceil(align) * align
+    }
+
+    /// Scanline stride of this plane in bytes.
+    pub fn stride(&self) -> usize {
+        Self::stride_for(self.width, self.pad, self.align)
+    }
+
+    /// Number of padded rows.
+    pub fn padded_rows(&self) -> usize {
+        self.height + 2 * self.pad
+    }
+
+    /// Total size of the plane in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw plane bytes (padded layout).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw plane bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Read the sample at logical coordinates (no padding offset applied).
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[(y + self.pad) * self.stride() + x + self.pad]
+    }
+
+    /// Write the sample at logical coordinates.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        let stride = self.stride();
+        self.data[(y + self.pad) * stride + x + self.pad] = v;
+    }
+
+    /// Read the sample at padded coordinates (0 ≤ x < stride, 0 ≤ y < padded rows).
+    pub fn get_padded(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.stride() + x]
+    }
+
+    /// Write the sample at padded coordinates.
+    pub fn set_padded(&mut self, x: usize, y: usize, v: u8) {
+        let stride = self.stride();
+        self.data[y * stride + x] = v;
+    }
+
+    /// Fill the interior with deterministic pseudo-random samples and
+    /// replicate edge pixels into the padding ring (the usual boundary
+    /// handling of image editors).
+    pub fn fill_random(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                self.set(x, y, rng.gen());
+            }
+        }
+        self.replicate_edges();
+    }
+
+    /// Copy edge pixels outward into the padding ring.
+    pub fn replicate_edges(&mut self) {
+        let (w, h, pad) = (self.width, self.height, self.pad);
+        if pad == 0 {
+            return;
+        }
+        for y in 0..self.padded_rows() {
+            for x in 0..self.stride() {
+                let ix = x.saturating_sub(pad).min(w.saturating_sub(1));
+                let iy = y.saturating_sub(pad).min(h.saturating_sub(1));
+                let inside_x = x >= pad && x < pad + w;
+                let inside_y = y >= pad && y < pad + h;
+                if !(inside_x && inside_y) {
+                    let v = self.get(ix, iy);
+                    self.set_padded(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// The interior scanlines (logical rows of `width` bytes), used as the
+    /// "known input/output data" Helium searches the memory dump for.
+    pub fn interior_rows(&self) -> Vec<Vec<u8>> {
+        (0..self.height)
+            .map(|y| (0..self.width).map(|x| self.get(x, y)).collect())
+            .collect()
+    }
+}
+
+/// A planar RGB image: three [`PlanarPlane`]s with identical geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanarImage {
+    /// The red, green and blue planes.
+    pub planes: [PlanarPlane; 3],
+}
+
+impl PlanarImage {
+    /// Create a zeroed image.
+    pub fn new(width: usize, height: usize, pad: usize, align: usize) -> PlanarImage {
+        PlanarImage {
+            planes: [
+                PlanarPlane::new(width, height, pad, align),
+                PlanarPlane::new(width, height, pad, align),
+                PlanarPlane::new(width, height, pad, align),
+            ],
+        }
+    }
+
+    /// Create an image with deterministic pseudo-random content.
+    pub fn random(width: usize, height: usize, pad: usize, align: usize, seed: u64) -> PlanarImage {
+        let mut img = PlanarImage::new(width, height, pad, align);
+        for (i, plane) in img.planes.iter_mut().enumerate() {
+            plane.fill_random(seed.wrapping_add(i as u64 * 7919));
+        }
+        img
+    }
+
+    /// Logical width.
+    pub fn width(&self) -> usize {
+        self.planes[0].width
+    }
+
+    /// Logical height.
+    pub fn height(&self) -> usize {
+        self.planes[0].height
+    }
+
+    /// Scanline stride in bytes.
+    pub fn stride(&self) -> usize {
+        self.planes[0].stride()
+    }
+
+    /// Total bytes across all planes.
+    pub fn byte_len(&self) -> usize {
+        self.planes.iter().map(PlanarPlane::byte_len).sum()
+    }
+}
+
+/// An interleaved RGB image with no padding (IrfanView-style).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterleavedImage {
+    /// Logical width in pixels.
+    pub width: usize,
+    /// Logical height in pixels.
+    pub height: usize,
+    data: Vec<u8>,
+}
+
+impl InterleavedImage {
+    /// Number of channels (always RGB).
+    pub const CHANNELS: usize = 3;
+
+    /// Create a zeroed image.
+    pub fn new(width: usize, height: usize) -> InterleavedImage {
+        InterleavedImage { width, height, data: vec![0; width * height * Self::CHANNELS] }
+    }
+
+    /// Create an image with deterministic pseudo-random content.
+    pub fn random(width: usize, height: usize, seed: u64) -> InterleavedImage {
+        let mut img = InterleavedImage::new(width, height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        rng.fill(img.data.as_mut_slice());
+        img
+    }
+
+    /// Scanline stride in bytes.
+    pub fn stride(&self) -> usize {
+        self.width * Self::CHANNELS
+    }
+
+    /// Total size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Sample accessor.
+    pub fn get(&self, c: usize, x: usize, y: usize) -> u8 {
+        self.data[y * self.stride() + x * Self::CHANNELS + c]
+    }
+
+    /// Sample mutator.
+    pub fn set(&mut self, c: usize, x: usize, y: usize, v: u8) {
+        let stride = self.stride();
+        self.data[y * stride + x * Self::CHANNELS + c] = v;
+    }
+
+    /// Interleaved scanlines, used as known data for dimension inference.
+    pub fn rows(&self) -> Vec<Vec<u8>> {
+        (0..self.height)
+            .map(|y| self.data[y * self.stride()..(y + 1) * self.stride()].to_vec())
+            .collect()
+    }
+}
+
+/// A 3-D grid of `f64` cells with ghost zones (miniGMG-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid3D {
+    /// Interior extent in x.
+    pub nx: usize,
+    /// Interior extent in y.
+    pub ny: usize,
+    /// Interior extent in z.
+    pub nz: usize,
+    /// Ghost-zone width on every face.
+    pub ghost: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3D {
+    /// Create a zeroed grid.
+    pub fn new(nx: usize, ny: usize, nz: usize, ghost: usize) -> Grid3D {
+        let total = (nx + 2 * ghost) * (ny + 2 * ghost) * (nz + 2 * ghost);
+        Grid3D { nx, ny, nz, ghost, data: vec![0.0; total] }
+    }
+
+    /// Create a grid with deterministic pseudo-random interior values.
+    pub fn random(nx: usize, ny: usize, nz: usize, ghost: usize, seed: u64) -> Grid3D {
+        let mut g = Grid3D::new(nx, ny, nz, ghost);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    g.set(x, y, z, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        g
+    }
+
+    /// Padded extent in x (interior plus ghost zones).
+    pub fn px(&self) -> usize {
+        self.nx + 2 * self.ghost
+    }
+    /// Padded extent in y.
+    pub fn py(&self) -> usize {
+        self.ny + 2 * self.ghost
+    }
+    /// Padded extent in z.
+    pub fn pz(&self) -> usize {
+        self.nz + 2 * self.ghost
+    }
+
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z + self.ghost) * self.px() * self.py() + (y + self.ghost) * self.px() + (x + self.ghost)
+    }
+
+    /// Read an interior cell.
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.index(x, y, z)]
+    }
+
+    /// Write an interior cell.
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.index(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// The raw padded cells.
+    pub fn cells(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw padded cells.
+    pub fn cells_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_geometry_matches_paper_example() {
+        // Photoshop blurs a 32x32 image: pad each edge by one pixel, round each
+        // scanline up to 48 bytes for 16-byte alignment.
+        let p = PlanarPlane::new(32, 32, 1, 16);
+        assert_eq!(p.stride(), 48);
+        assert_eq!(p.padded_rows(), 34);
+        assert_eq!(p.byte_len(), 48 * 34);
+    }
+
+    #[test]
+    fn planar_accessors_and_padding() {
+        let mut p = PlanarPlane::new(4, 3, 1, 8);
+        p.set(0, 0, 10);
+        p.set(3, 2, 20);
+        p.replicate_edges();
+        assert_eq!(p.get(0, 0), 10);
+        assert_eq!(p.get_padded(1, 1), 10);
+        assert_eq!(p.get_padded(0, 0), 10, "corner padding replicates the corner pixel");
+        assert_eq!(p.get_padded(4 + 1, 3 + 1), 20, "bottom-right padding replicates");
+        let rows = p.interior_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 4);
+        assert_eq!(rows[0][0], 10);
+    }
+
+    #[test]
+    fn planar_image_random_is_deterministic() {
+        let a = PlanarImage::random(8, 8, 1, 16, 42);
+        let b = PlanarImage::random(8, 8, 1, 16, 42);
+        let c = PlanarImage::random(8, 8, 1, 16, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.width(), 8);
+        assert_eq!(a.stride(), 16);
+        assert_eq!(a.byte_len(), 3 * 16 * 10);
+    }
+
+    #[test]
+    fn interleaved_layout() {
+        let mut img = InterleavedImage::new(5, 4);
+        img.set(2, 3, 1, 99);
+        assert_eq!(img.get(2, 3, 1), 99);
+        assert_eq!(img.stride(), 15);
+        assert_eq!(img.byte_len(), 60);
+        assert_eq!(img.rows().len(), 4);
+        assert_eq!(img.rows()[1][3 * 3 + 2], 99);
+        let r = InterleavedImage::random(5, 4, 1);
+        assert_eq!(r.bytes().len(), 60);
+    }
+
+    #[test]
+    fn grid3d_ghost_zones() {
+        let mut g = Grid3D::new(4, 3, 2, 1);
+        assert_eq!(g.px(), 6);
+        assert_eq!(g.py(), 5);
+        assert_eq!(g.pz(), 4);
+        assert_eq!(g.cells().len(), 6 * 5 * 4);
+        g.set(0, 0, 0, 1.5);
+        assert_eq!(g.get(0, 0, 0), 1.5);
+        // Interior cell (0,0,0) sits at padded index (1,1,1).
+        assert_eq!(g.cells()[1 * 30 + 1 * 6 + 1], 1.5);
+        let r = Grid3D::random(4, 3, 2, 1, 7);
+        assert!(r.cells().iter().any(|&v| v != 0.0));
+    }
+}

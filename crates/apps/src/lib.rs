@@ -1,0 +1,38 @@
+//! # helium-apps
+//!
+//! The "legacy applications" whose stencil kernels the Helium reproduction
+//! lifts. The paper evaluates on Adobe Photoshop, IrfanView and the miniGMG
+//! HPC benchmark — closed binaries (or, for miniGMG, compiled code) running
+//! on real x86. This crate provides faithful stand-ins built on the
+//! [`helium_machine`] ISA:
+//!
+//! * [`photoflow`] — a Photoshop-like editor: planar padded channels, a tiled
+//!   filter driver, unrolled+peeled inner loops, input-dependent conditionals
+//!   (threshold), table lookups (brightness) and histogram reductions
+//!   (equalize);
+//! * [`batchview`] — an IrfanView-like converter: interleaved RGB, x87
+//!   floating-point stencils with `fild`/`fistp` staging through stack slots;
+//! * [`minigmg`] — a miniGMG-like 3-D Jacobi smooth over a double-precision
+//!   grid with ghost zones and no known input/output data (forcing generic
+//!   dimensionality inference).
+//!
+//! Every application offers:
+//! * `program()` — the loaded binary image (main module + filter "DLL"),
+//! * `fresh_cpu(with_filter)` — a primed VM for one run, with and without the
+//!   kernel (for coverage differencing),
+//! * known input/output data (when the paper's scenario has it),
+//! * `reference_output()` — a native scalar port used as correctness oracle
+//!   and as the "legacy native" baseline in the benchmarks,
+//! * `run_in_vm()` — executes the actual legacy binary under the interpreter.
+
+#![warn(missing_docs)]
+
+pub mod batchview;
+pub mod image;
+pub mod minigmg;
+pub mod photoflow;
+
+pub use batchview::{BatchFilter, BatchView};
+pub use image::{Grid3D, InterleavedImage, PlanarImage, PlanarPlane};
+pub use minigmg::MiniGmg;
+pub use photoflow::{PhotoFilter, PhotoFlow};

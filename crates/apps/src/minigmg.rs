@@ -1,0 +1,301 @@
+//! The miniGMG-like high-performance-computing benchmark.
+//!
+//! miniGMG is a geometric multigrid benchmark; the paper lifts its Jacobi
+//! `smooth` stencil. Our substitute applies a weighted 7-point (3-D) stencil
+//! to a double-precision grid with one-cell ghost zones, computed on the x87
+//! floating-point stack. There is no known input or output image for this
+//! workload (the benchmark generates its data at runtime), so the lifter must
+//! fall back to the paper's *generic* dimensionality inference, which relies
+//! on the address gaps the ghost zones leave between rows and planes.
+
+use crate::image::Grid3D;
+use helium_machine::asm::Asm;
+use helium_machine::isa::{regs, Cond, FpOp, FpSrc, MemRef, Operand, Reg, Width};
+use helium_machine::program::Program;
+use helium_machine::Cpu;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the benchmark executable.
+const MAIN_BASE: u32 = 0x0060_0000;
+/// Base address of the smooth kernel module.
+const KERNEL_BASE: u32 = 0x3000_0000;
+/// Base address of the input grid.
+const INPUT_BASE: u32 = 0x0A00_0000;
+/// Base address of the output grid.
+const OUTPUT_BASE: u32 = 0x0B00_0000;
+/// Run-kernel flag (the "command-line option to skip running the stencil").
+const FLAG_ADDR: u32 = 0x0730_0000;
+/// Address of the two stencil weights (center, neighbour), as f64.
+const CONST_BASE: u32 = 0x0730_0100;
+
+/// Weight applied to the centre cell.
+pub const CENTER_WEIGHT: f64 = 0.5;
+/// Weight applied to each of the six neighbours.
+pub const NEIGHBOR_WEIGHT: f64 = 1.0 / 12.0;
+
+/// One miniGMG smooth-stencil instance.
+#[derive(Debug, Clone)]
+pub struct MiniGmg {
+    grid: Grid3D,
+    program: Program,
+    main_entry: u32,
+    kernel_entry: u32,
+}
+
+/// Parameters describing the grid geometry of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridShape {
+    /// Interior extent in x.
+    pub nx: usize,
+    /// Interior extent in y.
+    pub ny: usize,
+    /// Interior extent in z.
+    pub nz: usize,
+}
+
+impl MiniGmg {
+    /// Build an instance around a grid.
+    pub fn new(grid: Grid3D) -> MiniGmg {
+        let (program, main_entry, kernel_entry) = build_program(&grid);
+        MiniGmg { grid, program, main_entry, kernel_entry }
+    }
+
+    /// The input grid.
+    pub fn grid(&self) -> &Grid3D {
+        &self.grid
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Grid geometry.
+    pub fn shape(&self) -> GridShape {
+        GridShape { nx: self.grid.nx, ny: self.grid.ny, nz: self.grid.nz }
+    }
+
+    /// Kernel entry address, for white-box tests only.
+    pub fn kernel_entry_for_reference(&self) -> u32 {
+        self.kernel_entry
+    }
+
+    /// Address of the input grid in VM memory.
+    pub fn input_addr(&self) -> u32 {
+        INPUT_BASE
+    }
+
+    /// Address of the output grid in VM memory.
+    pub fn output_addr(&self) -> u32 {
+        OUTPUT_BASE
+    }
+
+    /// Prepare a CPU for one run.
+    pub fn fresh_cpu(&self, with_kernel: bool) -> Cpu {
+        let mut cpu = Cpu::new();
+        cpu.pc = self.main_entry;
+        for (i, &v) in self.grid.cells().iter().enumerate() {
+            cpu.mem.write_f64(INPUT_BASE + (i * 8) as u32, v);
+        }
+        cpu.mem.write_u32(FLAG_ADDR, with_kernel as u32);
+        cpu.mem.write_f64(CONST_BASE, CENTER_WEIGHT);
+        cpu.mem.write_f64(CONST_BASE + 8, NEIGHBOR_WEIGHT);
+        cpu
+    }
+
+    /// There is no known input/output data for this benchmark; the lifter must
+    /// use generic inference. The estimated data size guides candidate
+    /// instruction selection, as in the paper.
+    pub fn approx_data_size(&self) -> usize {
+        self.grid.byte_len()
+    }
+
+    /// Run the legacy binary in the VM and return the smoothed grid.
+    ///
+    /// # Panics
+    /// Panics if the interpreter fails.
+    pub fn run_in_vm(&self) -> Grid3D {
+        let mut cpu = self.fresh_cpu(true);
+        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("benchmark runs");
+        self.read_output(&cpu)
+    }
+
+    /// Extract the output grid from a finished CPU.
+    pub fn read_output(&self, cpu: &Cpu) -> Grid3D {
+        let mut out = Grid3D::new(self.grid.nx, self.grid.ny, self.grid.nz, self.grid.ghost);
+        let n = out.cells().len();
+        for i in 0..n {
+            let v = cpu.mem.read_f64(OUTPUT_BASE + (i * 8) as u32);
+            out.cells_mut()[i] = v;
+        }
+        out
+    }
+
+    /// Native scalar reference implementation of the smooth stencil.
+    pub fn reference_output(&self) -> Grid3D {
+        reference_smooth(&self.grid)
+    }
+}
+
+/// Native scalar Jacobi smooth, matching the kernel's operation order.
+pub fn reference_smooth(grid: &Grid3D) -> Grid3D {
+    let mut out = Grid3D::new(grid.nx, grid.ny, grid.nz, grid.ghost);
+    let (px, py) = (grid.px(), grid.py());
+    let cells = grid.cells();
+    let idx = |x: usize, y: usize, z: usize| z * px * py + y * px + x;
+    for z in grid.ghost..grid.ghost + grid.nz {
+        for y in grid.ghost..grid.ghost + grid.ny {
+            for x in grid.ghost..grid.ghost + grid.nx {
+                // Neighbour sum in the same order as the x87 code.
+                let nsum = ((((cells[idx(x - 1, y, z)] + cells[idx(x + 1, y, z)])
+                    + cells[idx(x, y - 1, z)])
+                    + cells[idx(x, y + 1, z)])
+                    + cells[idx(x, y, z - 1)])
+                    + cells[idx(x, y, z + 1)];
+                let v = nsum * NEIGHBOR_WEIGHT + cells[idx(x, y, z)] * CENTER_WEIGHT;
+                out.cells_mut()[idx(x, y, z)] = v;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Assembly generation
+// ---------------------------------------------------------------------------
+
+fn emit_smooth_kernel(asm: &mut Asm, grid: &Grid3D) -> u32 {
+    let px = grid.px() as i64;
+    let py = grid.py() as i64;
+    let (nx, ny, nz) = (grid.nx as i64, grid.ny as i64, grid.nz as i64);
+    let ghost = grid.ghost as i64;
+    let row_bytes = px * 8;
+    let plane_bytes = px * py * 8;
+    let interior_off = (ghost * px * py + ghost * px + ghost) * 8;
+
+    let q = |base: Reg, disp: i64| MemRef::base_disp(base, disp as i32, Width::B8);
+
+    let entry = asm.here();
+    asm.push(regs::ebp());
+    asm.mov(regs::ebp(), regs::esp());
+    asm.push(regs::esi());
+    asm.push(regs::edi());
+    asm.push(regs::ebx());
+    // esi = input cell pointer, edi = output cell pointer.
+    asm.mov(regs::esi(), Operand::Imm(INPUT_BASE as i64 + interior_off));
+    asm.mov(regs::edi(), Operand::Imm(OUTPUT_BASE as i64 + interior_off));
+    asm.mov(regs::ecx(), Operand::Imm(0)); // z
+    asm.label("z_loop");
+    asm.mov(regs::ebx(), Operand::Imm(0)); // y
+    asm.label("y_loop");
+    asm.mov(regs::eax(), Operand::Imm(0)); // x
+    asm.label("x_loop");
+    // Neighbour sum on the FP stack.
+    asm.fld(FpSrc::MemF64(q(Reg::Esi, -8)));
+    asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, 8)));
+    asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, -row_bytes)));
+    asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, row_bytes)));
+    asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, -plane_bytes)));
+    asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, plane_bytes)));
+    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute((CONST_BASE + 8) as i32, Width::B8)));
+    asm.fld(FpSrc::MemF64(q(Reg::Esi, 0)));
+    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)));
+    asm.farith_to(FpOp::Add, 1);
+    asm.fstp(FpSrc::MemF64(q(Reg::Edi, 0)));
+    // Advance within the row.
+    asm.add(regs::esi(), Operand::Imm(8));
+    asm.add(regs::edi(), Operand::Imm(8));
+    asm.inc(regs::eax());
+    asm.cmp(regs::eax(), Operand::Imm(nx));
+    asm.jcc(Cond::B, "x_loop");
+    // Skip the ghost cells at the end of this row and the start of the next.
+    asm.add(regs::esi(), Operand::Imm(2 * ghost * 8));
+    asm.add(regs::edi(), Operand::Imm(2 * ghost * 8));
+    asm.inc(regs::ebx());
+    asm.cmp(regs::ebx(), Operand::Imm(ny));
+    asm.jcc(Cond::B, "y_loop");
+    // Skip the ghost rows between planes.
+    asm.add(regs::esi(), Operand::Imm(2 * ghost * row_bytes));
+    asm.add(regs::edi(), Operand::Imm(2 * ghost * row_bytes));
+    asm.inc(regs::ecx());
+    asm.cmp(regs::ecx(), Operand::Imm(nz));
+    asm.jcc(Cond::B, "z_loop");
+    asm.pop(regs::ebx());
+    asm.pop(regs::edi());
+    asm.pop(regs::esi());
+    asm.pop(regs::ebp());
+    asm.ret();
+    entry
+}
+
+fn build_program(grid: &Grid3D) -> (Program, u32, u32) {
+    let mut kernel = Asm::new(KERNEL_BASE);
+    let kernel_entry = emit_smooth_kernel(&mut kernel, grid);
+
+    let mut main = Asm::new(MAIN_BASE);
+    let main_entry = main.here();
+    // Residual-norm-like background computation over a few cells (both runs).
+    main.mov(regs::ecx(), Operand::Imm(0));
+    main.label("bg_loop");
+    main.fld(FpSrc::MemF64(MemRef::base_disp(Reg::Ecx, INPUT_BASE as i32, Width::B8)));
+    main.farith(FpOp::Mul, FpSrc::St(0));
+    main.fstp(FpSrc::MemF64(MemRef::absolute((FLAG_ADDR + 0x10) as i32, Width::B8)));
+    main.add(regs::ecx(), Operand::Imm(8));
+    main.cmp(regs::ecx(), Operand::Imm(64));
+    main.jcc(Cond::B, "bg_loop");
+    main.mov(regs::eax(), Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)));
+    main.test(regs::eax(), regs::eax());
+    main.jcc(Cond::Z, "skip");
+    main.call(kernel_entry);
+    main.label("skip");
+    main.halt();
+
+    let mut program = Program::new();
+    program.add_module("minigmg", main.finish());
+    program.add_module("smooth.o", kernel.finish());
+    program.add_function(main_entry, Some("main"));
+    program.add_function(kernel_entry, None);
+    (program, main_entry, kernel_entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_kernel_matches_reference() {
+        let grid = Grid3D::random(6, 5, 4, 1, 77);
+        let app = MiniGmg::new(grid.clone());
+        let vm_out = app.run_in_vm();
+        let reference = app.reference_output();
+        for z in 0..4 {
+            for y in 0..5 {
+                for x in 0..6 {
+                    let a = vm_out.get(x, y, z);
+                    let b = reference.get(x, y, z);
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "mismatch at ({x},{y},{z}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_kernel_output_is_untouched() {
+        let app = MiniGmg::new(Grid3D::random(4, 4, 4, 1, 1));
+        let mut cpu = app.fresh_cpu(false);
+        cpu.run(app.program(), 100_000_000, |_, _| {}).expect("runs");
+        let out = app.read_output(&cpu);
+        assert!(out.cells().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shape_and_sizes() {
+        let app = MiniGmg::new(Grid3D::new(8, 6, 4, 1));
+        assert_eq!(app.shape(), GridShape { nx: 8, ny: 6, nz: 4 });
+        assert_eq!(app.approx_data_size(), 10 * 8 * 6 * 8);
+        assert!(app.input_addr() < app.output_addr());
+    }
+}

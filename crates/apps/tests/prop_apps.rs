@@ -1,0 +1,375 @@
+//! Property-based tests for the legacy-application substrate: image layouts
+//! (planar padded planes, interleaved RGB, 3-D grids with ghost zones) and the
+//! native reference filters that serve as correctness oracles for lifting.
+
+use helium_apps::batchview::{self, BatchFilter};
+use helium_apps::photoflow::{self, PhotoFilter};
+use helium_apps::{Grid3D, InterleavedImage, PlanarImage, PlanarPlane};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Planar images (PhotoFlow / Photoshop layout)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Scanline strides are align-multiples that cover the padded width, and
+    /// the plane is exactly `stride * padded_rows` bytes.
+    #[test]
+    fn planar_plane_geometry(w in 1usize..64, h in 1usize..48, pad in 0usize..3, align in prop::sample::select(vec![1usize, 4, 8, 16])) {
+        let plane = PlanarPlane::new(w, h, pad, align);
+        let stride = plane.stride();
+        prop_assert!(stride >= w + 2 * pad);
+        prop_assert_eq!(stride % align, 0);
+        prop_assert!(stride < w + 2 * pad + align, "stride must be the smallest aligned value");
+        prop_assert_eq!(plane.padded_rows(), h + 2 * pad);
+        prop_assert_eq!(plane.byte_len(), stride * (h + 2 * pad));
+        prop_assert_eq!(plane.bytes().len(), plane.byte_len());
+    }
+
+    /// Logical get/set round-trips, and logical coordinates address the same
+    /// byte as padded coordinates shifted by the pad.
+    #[test]
+    fn planar_plane_get_set_roundtrip(
+        w in 1usize..32,
+        h in 1usize..24,
+        pad in 0usize..3,
+        points in prop::collection::vec((0usize..32, 0usize..24, any::<u8>()), 1..16),
+    ) {
+        let mut plane = PlanarPlane::new(w, h, pad, 16);
+        for &(x, y, v) in &points {
+            let (x, y) = (x % w, y % h);
+            plane.set(x, y, v);
+            prop_assert_eq!(plane.get(x, y), v);
+            prop_assert_eq!(plane.get_padded(x + pad, y + pad), v);
+        }
+    }
+
+    /// Edge replication fills the whole padding ring with the nearest interior
+    /// pixel and never modifies the interior.
+    #[test]
+    fn replicate_edges_fills_ring_from_interior(w in 1usize..24, h in 1usize..20, pad in 1usize..3, seed in any::<u64>()) {
+        let mut plane = PlanarPlane::new(w, h, pad, 16);
+        plane.fill_random(seed);
+        let interior: Vec<Vec<u8>> = plane.interior_rows();
+        let mut replicated = plane.clone();
+        replicated.replicate_edges();
+        // Interior untouched.
+        prop_assert_eq!(replicated.interior_rows(), interior);
+        // The ring holds the clamped nearest interior pixel.
+        let stride = plane.stride();
+        for y in 0..plane.padded_rows() {
+            for x in 0..stride {
+                let inside = x >= pad && x < pad + w && y >= pad && y < pad + h;
+                if inside {
+                    continue;
+                }
+                let ix = x.saturating_sub(pad).min(w - 1);
+                let iy = y.saturating_sub(pad).min(h - 1);
+                prop_assert_eq!(replicated.get_padded(x, y), plane.get(ix, iy));
+            }
+        }
+    }
+
+    /// `interior_rows` returns exactly `height` rows of `width` bytes and is
+    /// what a user would hand Helium as "known data".
+    #[test]
+    fn interior_rows_have_logical_shape(w in 1usize..40, h in 1usize..30, seed in any::<u64>()) {
+        let img = PlanarImage::random(w, h, 1, 16, seed);
+        prop_assert_eq!(img.width(), w);
+        prop_assert_eq!(img.height(), h);
+        for plane in &img.planes {
+            let rows = plane.interior_rows();
+            prop_assert_eq!(rows.len(), h);
+            prop_assert!(rows.iter().all(|r| r.len() == w));
+        }
+        // Three planes with identical geometry.
+        prop_assert_eq!(img.planes.len(), 3);
+        prop_assert_eq!(img.byte_len(), 3 * img.planes[0].byte_len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved images (BatchView / IrfanView layout) and 3-D grids (miniGMG)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Interleaved storage places channel `c` of pixel (x, y) at
+    /// `y*stride + 3*x + c`, and get/set round-trips through that address.
+    #[test]
+    fn interleaved_image_addressing(w in 2usize..32, h in 2usize..24, x in 0usize..32, y in 0usize..24, c in 0usize..3, v in any::<u8>()) {
+        let (x, y) = (x % w, y % h);
+        let mut img = InterleavedImage::new(w, h);
+        prop_assert_eq!(img.stride(), w * InterleavedImage::CHANNELS);
+        prop_assert_eq!(img.byte_len(), w * h * InterleavedImage::CHANNELS);
+        img.set(c, x, y, v);
+        prop_assert_eq!(img.get(c, x, y), v);
+        prop_assert_eq!(img.bytes()[y * img.stride() + InterleavedImage::CHANNELS * x + c], v);
+        let rows = img.rows();
+        prop_assert_eq!(rows.len(), h);
+        prop_assert!(rows.iter().all(|r| r.len() == img.stride()));
+        prop_assert_eq!(rows[y][InterleavedImage::CHANNELS * x + c], v);
+    }
+
+    /// Grid3D geometry: padded extents include the ghost zone on both sides,
+    /// and get/set round-trips on interior cells.
+    #[test]
+    fn grid3d_addressing(nx in 1usize..10, ny in 1usize..10, nz in 1usize..8, ghost in 1usize..3, v in -1000.0f64..1000.0) {
+        let mut grid = Grid3D::new(nx, ny, nz, ghost);
+        prop_assert_eq!(grid.px(), nx + 2 * ghost);
+        prop_assert_eq!(grid.py(), ny + 2 * ghost);
+        prop_assert_eq!(grid.pz(), nz + 2 * ghost);
+        prop_assert_eq!(grid.cells().len(), grid.px() * grid.py() * grid.pz());
+        prop_assert_eq!(grid.byte_len(), grid.cells().len() * 8);
+        // get/set use logical (interior) coordinates; the ghost offset is applied internally.
+        let (x, y, z) = (nx / 2, ny / 2, nz / 2);
+        grid.set(x, y, z, v);
+        prop_assert_eq!(grid.get(x, y, z), v);
+        let idx = (z + ghost) * grid.px() * grid.py() + (y + ghost) * grid.px() + (x + ghost);
+        prop_assert_eq!(grid.cells()[idx], v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference filters (the correctness oracles)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invert is an involution: applying it twice restores the original image
+    /// (including the padding ring), and each output byte is the bitwise
+    /// complement of its input byte.
+    #[test]
+    fn photoflow_invert_is_an_involution(w in 2usize..24, h in 2usize..20, seed in any::<u64>()) {
+        let img = PlanarImage::random(w, h, 1, 16, seed);
+        let once = photoflow::reference_filter(PhotoFilter::Invert, &img, 128, 10);
+        let twice = photoflow::reference_filter(PhotoFilter::Invert, &once, 128, 10);
+        for p in 0..3 {
+            prop_assert_eq!(twice.planes[p].bytes(), img.planes[p].bytes());
+            for (a, b) in img.planes[p].bytes().iter().zip(once.planes[p].bytes()) {
+                prop_assert_eq!(*b, a ^ 0xff);
+            }
+        }
+    }
+
+    /// Threshold only ever produces pure black or pure white, all three
+    /// output channels agree, and raising the threshold never turns a black
+    /// pixel white (monotonicity).
+    #[test]
+    fn photoflow_threshold_is_binary_and_monotone(w in 2usize..20, h in 2usize..16, seed in any::<u64>(), t in 0u8..255) {
+        let img = PlanarImage::random(w, h, 1, 16, seed);
+        let lo = photoflow::reference_filter(PhotoFilter::Threshold, &img, t, 0);
+        let hi = photoflow::reference_filter(PhotoFilter::Threshold, &img, t.saturating_add(40), 0);
+        for i in 0..lo.planes[0].bytes().len() {
+            let v = lo.planes[0].bytes()[i];
+            prop_assert!(v == 0 || v == 255);
+            prop_assert_eq!(lo.planes[1].bytes()[i], v);
+            prop_assert_eq!(lo.planes[2].bytes()[i], v);
+            // Monotone: pixels white at the higher threshold were white at the lower one.
+            if hi.planes[0].bytes()[i] == 255 {
+                prop_assert_eq!(v, 255);
+            }
+        }
+    }
+
+    /// Brightness with adjustment 0 is the identity; positive adjustments
+    /// never darken a pixel and saturate at 255.
+    #[test]
+    fn photoflow_brightness_is_monotone_and_saturating(w in 2usize..20, h in 2usize..16, seed in any::<u64>(), delta in 1i32..120) {
+        let img = PlanarImage::random(w, h, 1, 16, seed);
+        let id = photoflow::reference_filter(PhotoFilter::Brightness, &img, 128, 0);
+        let brighter = photoflow::reference_filter(PhotoFilter::Brightness, &img, 128, delta);
+        for p in 0..3 {
+            prop_assert_eq!(id.planes[p].bytes(), img.planes[p].bytes());
+            for (a, b) in img.planes[p].bytes().iter().zip(brighter.planes[p].bytes()) {
+                prop_assert!(*b >= *a);
+                prop_assert_eq!(*b as i32, (*a as i32 + delta).min(255));
+            }
+        }
+    }
+
+    /// The weighted blur filters are bounded by the local neighbourhood: every
+    /// output pixel lies within [min, max] of the 3×3 input neighbourhood
+    /// (for the blur family the weights are non-negative and sum to 2^shift).
+    #[test]
+    fn photoflow_blurs_stay_within_neighbourhood_bounds(w in 3usize..20, h in 3usize..16, seed in any::<u64>()) {
+        for filter in [PhotoFilter::Blur, PhotoFilter::BlurMore, PhotoFilter::BoxBlur] {
+            let img = PlanarImage::random(w, h, 1, 16, seed);
+            let out = photoflow::reference_filter(filter, &img, 128, 0);
+            let pad = 1usize;
+            for y in 0..h {
+                for x in 0..w {
+                    let mut lo = u8::MAX;
+                    let mut hi = u8::MIN;
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let sx = (x + pad) as i64 + dx;
+                            let sy = (y + pad) as i64 + dy;
+                            let v = img.planes[0].get_padded(sx as usize, sy as usize);
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                    }
+                    let got = out.planes[0].get(x, y);
+                    prop_assert!(
+                        got >= lo && got <= hi.saturating_add(1),
+                        "{:?}: output {got} outside neighbourhood [{lo}, {hi}] at ({x},{y})",
+                        filter
+                    );
+                }
+            }
+        }
+    }
+
+    /// The reference histogram counts every byte of the red plane exactly once.
+    #[test]
+    fn photoflow_histogram_counts_every_sample(w in 2usize..24, h in 2usize..20, seed in any::<u64>()) {
+        let img = PlanarImage::random(w, h, 1, 16, seed);
+        let app = photoflow::PhotoFlow::new(PhotoFilter::Equalize, img.clone());
+        let hist = app.reference_histogram();
+        prop_assert_eq!(hist.len(), 256);
+        let total: u64 = hist.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(total, img.planes[0].bytes().len() as u64);
+        // Spot-check one bucket against a direct count.
+        let probe = img.planes[0].bytes()[0];
+        let direct = img.planes[0].bytes().iter().filter(|&&b| b == probe).count() as u32;
+        prop_assert_eq!(hist[probe as usize], direct);
+    }
+
+    /// BatchView invert is an involution and solarize is idempotent on the
+    /// already-solarized image's dark half.
+    #[test]
+    fn batchview_pointwise_filters(w in 2usize..24, h in 2usize..18, seed in any::<u64>()) {
+        let img = InterleavedImage::random(w, h, seed);
+        let inv = batchview::reference_filter(BatchFilter::Invert, &img);
+        let back = batchview::reference_filter(BatchFilter::Invert, &inv);
+        prop_assert_eq!(back.bytes(), img.bytes());
+
+        let sol = batchview::reference_filter(BatchFilter::Solarize, &img);
+        for (a, b) in img.bytes().iter().zip(sol.bytes()) {
+            let expect = if *a > 128 { 255 - *a } else { *a };
+            prop_assert_eq!(*b, expect);
+            prop_assert!(*b <= 128 || *a <= 128, "solarized output is never bright unless input was dark");
+        }
+    }
+
+    /// The float blur/sharpen stencils of BatchView stay within widened
+    /// neighbourhood bounds (blur) and reproduce a constant image exactly
+    /// (both): on a constant input the weighted sum collapses to the constant.
+    #[test]
+    fn batchview_float_stencils_preserve_constants(w in 4usize..16, h in 4usize..12, value in 0u8..255) {
+        let mut img = InterleavedImage::new(w, h);
+        img.bytes_mut().fill(value);
+        for filter in [BatchFilter::Blur, BatchFilter::Sharpen] {
+            let out = batchview::reference_filter(filter, &img);
+            // Interior pixels (the legacy kernel skips a 1-pixel border and the
+            // first/last channel triplet of each row).
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    for c in 0..3 {
+                        prop_assert_eq!(
+                            out.get(c, x, y),
+                            value,
+                            "{:?} must preserve constant images at ({},{},{})",
+                            filter,
+                            x,
+                            y,
+                            c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The miniGMG Jacobi smooth preserves constant grids (the weights sum to
+    /// one), never writes the ghost zone, and is linear in the input.
+    #[test]
+    fn minigmg_smooth_properties(nx in 2usize..8, ny in 2usize..8, nz in 2usize..6, c in -10.0f64..10.0) {
+        let ghost = 1;
+        let mut constant = Grid3D::new(nx, ny, nz, ghost);
+        for v in constant.cells_mut() {
+            *v = c;
+        }
+        let smoothed = helium_apps::minigmg::reference_smooth(&constant);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    prop_assert!((smoothed.get(x, y, z) - c).abs() < 1e-9);
+                }
+            }
+        }
+        // Ghost cells of the output stay zero (never written): the very first
+        // padded cell is a corner of the ghost zone.
+        prop_assert_eq!(smoothed.cells()[0], 0.0);
+
+        // Linearity: smooth(2 * g) == 2 * smooth(g) for a random-ish grid.
+        let g = Grid3D::random(nx, ny, nz, ghost, 42);
+        let mut doubled = g.clone();
+        for v in doubled.cells_mut() {
+            *v *= 2.0;
+        }
+        let s1 = helium_apps::minigmg::reference_smooth(&g);
+        let s2 = helium_apps::minigmg::reference_smooth(&doubled);
+        for (a, b) in s1.cells().iter().zip(s2.cells()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy binaries vs reference ports (VM equivalence)
+// ---------------------------------------------------------------------------
+
+/// Every PhotoFlow filter executed inside the VM produces exactly the same
+/// image as its native reference port (paper §6.1: the legacy binary is the
+/// oracle for the lifted code; here we check our "binary" against its spec).
+#[test]
+fn photoflow_vm_matches_reference_for_all_filters() {
+    for filter in PhotoFilter::ALL {
+        let image = PlanarImage::random(20, 13, 1, 16, 0xBEEF + filter as u64);
+        let app = photoflow::PhotoFlow::new(filter, image);
+        let vm = app.run_in_vm();
+        let reference = app.reference_output();
+        for p in 0..3 {
+            assert_eq!(
+                vm.planes[p].bytes(),
+                reference.planes[p].bytes(),
+                "{}: plane {p} differs between VM and reference",
+                filter.name()
+            );
+        }
+        if filter == PhotoFilter::Equalize {
+            let cpu = {
+                let mut cpu = app.fresh_cpu(true);
+                cpu.run(app.program(), 50_000_000, |_, _| {}).expect("vm run");
+                cpu
+            };
+            assert_eq!(photoflow::PhotoFlow::read_histogram(&cpu), app.reference_histogram());
+        }
+    }
+}
+
+/// Every BatchView filter executed inside the VM matches its reference port.
+#[test]
+fn batchview_vm_matches_reference_for_all_filters() {
+    for filter in BatchFilter::ALL {
+        let image = InterleavedImage::random(14, 9, 0xF00D + filter as u64);
+        let app = batchview::BatchView::new(filter, image);
+        let vm = app.run_in_vm();
+        let reference = app.reference_output();
+        assert_eq!(vm.bytes(), reference.bytes(), "{}: VM and reference differ", filter.name());
+    }
+}
+
+/// The miniGMG kernel executed inside the VM matches the reference smooth.
+#[test]
+fn minigmg_vm_matches_reference() {
+    let grid = Grid3D::random(6, 5, 4, 1, 0x517E);
+    let app = helium_apps::MiniGmg::new(grid);
+    let vm = app.run_in_vm();
+    let reference = app.reference_output();
+    for (a, b) in vm.cells().iter().zip(reference.cells()) {
+        assert!((a - b).abs() < 1e-12, "VM {a} vs reference {b}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion micro-benchmarks backing Fig. 7: per-filter comparison of the
+//! legacy native port against the lifted, rescheduled kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helium_apps::photoflow::PhotoFilter;
+use helium_bench::{lift_photoflow, time_lifted, time_legacy_native};
+use helium_halide::Schedule;
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_filters");
+    group.sample_size(10);
+    for filter in [PhotoFilter::Invert, PhotoFilter::Blur, PhotoFilter::Sharpen] {
+        let (app, lifted) = lift_photoflow(filter, 96, 64);
+        group.bench_function(format!("{}_legacy_native", filter.name()), |b| {
+            b.iter(|| time_legacy_native(&app, 1))
+        });
+        group.bench_function(format!("{}_lifted_scheduled", filter.name()), |b| {
+            b.iter(|| time_lifted(&app, &lifted, Schedule::stencil_default(), 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

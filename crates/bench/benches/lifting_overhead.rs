@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark of the lifting pipeline itself (code
+//! localization + expression extraction), an ablation not reported in the
+//! paper but useful for tracking the cost of the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helium_apps::photoflow::PhotoFilter;
+use helium_bench::{photoflow_app, photoflow_request};
+use helium_core::Lifter;
+
+fn bench_lifting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifting_overhead");
+    group.sample_size(10);
+    for filter in [PhotoFilter::Invert, PhotoFilter::Blur] {
+        let app = photoflow_app(filter, 48, 32);
+        let request = photoflow_request(&app);
+        group.bench_function(format!("lift_{}", filter.name()), |b| {
+            b.iter(|| {
+                Lifter::new()
+                    .lift(app.program(), &request, |with| app.fresh_cpu(with))
+                    .expect("lift succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifting);
+criterion_main!(benches);

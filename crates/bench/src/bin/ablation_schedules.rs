@@ -1,0 +1,73 @@
+//! Ablation: how much of the lifted kernels' speedup comes from each schedule
+//! feature (the design choices the paper delegates to the Halide autotuner).
+//!
+//! For each lifted PhotoFlow filter the harness times the same lifted pipeline
+//! under a ladder of schedules: fully naive, tiled only, parallel only,
+//! vectorized only, the default stencil schedule (all three), and a short
+//! autotuning run (the reproduction-scale analogue of the paper's six-hour
+//! OpenTuner search).
+
+use helium_apps::photoflow::PhotoFilter;
+use helium_bench::{
+    buffer_from_layout, lift_photoflow, ms, time_lifted, BENCH_HEIGHT, BENCH_WIDTH,
+};
+use helium_halide::{autotune, RealizeInputs, Schedule, TuneConfig};
+use std::time::Duration;
+
+fn main() {
+    let reps = 3;
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  best-tuned-schedule",
+        "Filter", "naive", "tiled", "parallel", "vector", "default", "tuned"
+    );
+    for filter in [PhotoFilter::Blur, PhotoFilter::BlurMore, PhotoFilter::Sharpen, PhotoFilter::Invert] {
+        let (app, lifted) = lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT);
+
+        let naive = time_lifted(&app, &lifted, Schedule::naive(), reps);
+        let tiled = time_lifted(&app, &lifted, Schedule::naive().with_tile(Some((64, 32))), reps);
+        let parallel = time_lifted(&app, &lifted, Schedule::naive().with_parallel(true), reps);
+        let vector = time_lifted(&app, &lifted, Schedule::naive().with_vector_width(8), reps);
+        let default = time_lifted(&app, &lifted, Schedule::stencil_default(), reps);
+
+        // Autotune on the primary kernel (same inputs the timing helper uses).
+        let kernel = lifted.primary();
+        let out_layout = lifted.buffer(&kernel.output).expect("output layout");
+        let extents: Vec<usize> = out_layout.extents.iter().map(|&e| e as usize).collect();
+        let buffers: Vec<(String, helium_halide::Buffer)> = kernel
+            .pipeline
+            .images
+            .keys()
+            .map(|name| (name.clone(), buffer_from_layout(&app, &lifted, name)))
+            .collect();
+        let mut inputs = RealizeInputs::new();
+        for (name, buf) in &buffers {
+            inputs = inputs.with_image(name, buf);
+        }
+        for (name, value) in &kernel.parameter_values {
+            inputs = inputs.with_param(name, *value);
+        }
+        let config = TuneConfig {
+            max_candidates: 12,
+            budget: Duration::from_secs(8),
+            repetitions: 2,
+            seed: 0x7E57,
+        };
+        let report = autotune(&kernel.pipeline, &extents, &inputs, &config)
+            .expect("autotuning the lifted kernel succeeds");
+        let tuned = time_lifted(&app, &lifted, report.best.clone(), reps);
+
+        println!(
+            "{:<14} {} {} {} {} {} {}  {}",
+            filter.name(),
+            ms(naive),
+            ms(tiled),
+            ms(parallel),
+            ms(vector),
+            ms(default),
+            ms(tuned),
+            report.best
+        );
+    }
+    println!("\n(all times in milliseconds, one output plane, {}x{} image;", BENCH_WIDTH, BENCH_HEIGHT);
+    println!(" `tuned` re-times the autotuner's best schedule with the same repetitions)");
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's Fig. 9: in-situ replacement — the lifted kernels
+//! patched back into the host application and therefore constrained by the
+//! host's tiling decisions.
+//!
+//! The host constraint is modelled by realizing the lifted kernel one host
+//! tile (8 scanlines) at a time instead of over the whole image, which
+//! bounds the parallelism and locality the schedule can exploit, exactly the
+//! effect the paper reports for the patched Photoshop binaries.
+
+use helium_apps::photoflow::{PhotoFilter, TILE_ROWS};
+use helium_bench::{buffer_from_layout, lift_photoflow, ms, time_legacy_native, BENCH_HEIGHT, BENCH_WIDTH};
+use helium_halide::{RealizeInputs, Realizer, Schedule};
+use std::time::{Duration, Instant};
+
+fn main() {
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>9}",
+        "Filter", "native-port", "standalone", "in-situ", "speedup"
+    );
+    for filter in [
+        PhotoFilter::Invert,
+        PhotoFilter::Blur,
+        PhotoFilter::BlurMore,
+        PhotoFilter::Sharpen,
+        PhotoFilter::SharpenMore,
+        PhotoFilter::Threshold,
+        PhotoFilter::BoxBlur,
+    ] {
+        let result =
+            std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT));
+        let (app, lifted) = match result {
+            Ok(v) => v,
+            Err(_) => {
+                println!("{:<14} (not lifted)", filter.name());
+                continue;
+            }
+        };
+        let kernel = lifted.primary();
+        let out_layout = lifted.buffer(&kernel.output).expect("layout");
+        let extents: Vec<usize> = out_layout.extents.iter().map(|&e| e as usize).collect();
+        let input_buffers: Vec<(String, helium_halide::Buffer)> = kernel
+            .pipeline
+            .images
+            .keys()
+            .map(|n| (n.clone(), buffer_from_layout(&app, &lifted, n)))
+            .collect();
+        let mut inputs = RealizeInputs::new();
+        for (n, b) in &input_buffers {
+            inputs = inputs.with_image(n, b);
+        }
+        for (n, v) in &kernel.parameter_values {
+            inputs = inputs.with_param(n, *v);
+        }
+
+        let native = time_legacy_native(&app, 3);
+
+        // Standalone: the full image in one realization, free to parallelize.
+        let realizer = Realizer::new(Schedule::stencil_default());
+        let mut standalone = Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+            standalone = standalone.min(start.elapsed());
+        }
+
+        // In-situ: the host hands the kernel one band of scanlines at a time.
+        let tile_realizer = Realizer::new(Schedule::stencil_default().with_threads(2));
+        let mut in_situ = Duration::MAX;
+        let rows = extents[1];
+        for _ in 0..3 {
+            let start = Instant::now();
+            let mut y = 0;
+            while y < rows {
+                let band = TILE_ROWS as usize;
+                let band_extents = vec![extents[0], band.min(rows - y)];
+                let _ = tile_realizer
+                    .realize(&kernel.pipeline, &band_extents, &inputs)
+                    .expect("tile realize");
+                y += band;
+            }
+            in_situ = in_situ.min(start.elapsed());
+        }
+
+        println!(
+            "{:<14} {} {} {} {:>8.2}x",
+            filter.name(),
+            ms(native),
+            ms(standalone),
+            ms(in_situ),
+            native.as_secs_f64() / in_situ.as_secs_f64().max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures (see EXPERIMENTS.md for the experiment index).
+
+#![warn(missing_docs)]
+
+use helium_apps::photoflow::{PhotoFilter, PhotoFlow};
+use helium_apps::PlanarImage;
+use helium_core::{KnownData, LiftRequest, LiftedStencil, Lifter};
+use helium_halide::{Buffer, RealizeInputs, Realizer, ScalarType, Schedule, Value};
+use std::time::{Duration, Instant};
+
+/// Default benchmark image width.
+pub const BENCH_WIDTH: usize = 192;
+/// Default benchmark image height.
+pub const BENCH_HEIGHT: usize = 128;
+
+/// Build a PhotoFlow instance on a deterministic benchmark image.
+pub fn photoflow_app(filter: PhotoFilter, w: usize, h: usize) -> PhotoFlow {
+    PhotoFlow::new(filter, PlanarImage::random(w, h, 1, 16, 0x05EED))
+}
+
+/// Build the lift request for a PhotoFlow app.
+pub fn photoflow_request(app: &PhotoFlow) -> LiftRequest {
+    LiftRequest {
+        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        approx_data_size: app.approx_data_size(),
+    }
+}
+
+/// Lift a PhotoFlow filter, returning the app and the lifted stencil.
+///
+/// # Panics
+/// Panics if lifting fails (benchmarks require a successful lift).
+pub fn lift_photoflow(filter: PhotoFilter, w: usize, h: usize) -> (PhotoFlow, LiftedStencil) {
+    let app = photoflow_app(filter, w, h);
+    let request = photoflow_request(&app);
+    let lifted = Lifter::new()
+        .lift(app.program(), &request, |with| app.fresh_cpu(with))
+        .unwrap_or_else(|e| panic!("lifting {} failed: {e}", filter.name()));
+    (app, lifted)
+}
+
+/// Materialize the contents of a lifted buffer from the app's memory image
+/// into a realizable [`Buffer`].
+pub fn buffer_from_layout(app: &PhotoFlow, lifted: &LiftedStencil, name: &str) -> Buffer {
+    let layout = lifted.buffer(name).expect("buffer layout exists");
+    let cpu = app.fresh_cpu(true);
+    let bytes = cpu.mem.read_bytes(layout.base, layout.byte_len());
+    let extents: Vec<usize> = layout.extents.iter().map(|&e| e as usize).collect();
+    let mut buf = Buffer::new(ScalarType::UInt8, &extents);
+    if extents.len() == 2 {
+        for y in 0..extents[1] {
+            for x in 0..extents[0] {
+                let off = y * layout.strides[1] as usize + x;
+                if off < bytes.len() {
+                    buf.set(&[x as i64, y as i64], Value::Int(bytes[off] as i64));
+                }
+            }
+        }
+    } else {
+        for (i, b) in bytes.iter().enumerate().take(buf.len()) {
+            buf.set(&[i as i64], Value::Int(*b as i64));
+        }
+    }
+    buf
+}
+
+/// Time the lifted kernel of the first output plane under a schedule.
+///
+/// # Panics
+/// Panics if realization fails.
+pub fn time_lifted(
+    app: &PhotoFlow,
+    lifted: &LiftedStencil,
+    schedule: Schedule,
+    reps: usize,
+) -> Duration {
+    let kernel = lifted.primary();
+    let out_layout = lifted.buffer(&kernel.output).expect("output layout");
+    let extents: Vec<usize> = out_layout.extents.iter().map(|&e| e as usize).collect();
+    let buffers: Vec<(String, Buffer)> = kernel
+        .pipeline
+        .images
+        .keys()
+        .map(|name| (name.clone(), buffer_from_layout(app, lifted, name)))
+        .collect();
+    let mut inputs = RealizeInputs::new();
+    for (name, buf) in &buffers {
+        inputs = inputs.with_image(name, buf);
+    }
+    for (name, value) in &kernel.parameter_values {
+        inputs = inputs.with_param(name, *value);
+    }
+    let realizer = Realizer::new(schedule);
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Time the legacy binary running in the VM (the literal analogue of the
+/// shipped, bit-rotted executable).
+pub fn time_legacy_vm(app: &PhotoFlow, reps: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = app.run_in_vm();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Time the native scalar port of the legacy algorithm (a conservative upper
+/// bound on the original binary's performance).
+pub fn time_legacy_native(app: &PhotoFlow, reps: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = app.reference_output();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Format a duration in milliseconds for the report tables.
+pub fn ms(d: Duration) -> String {
+    format!("{:9.2}", d.as_secs_f64() * 1e3)
+}
+
+// ---------------------------------------------------------------------------
+// Generic helpers (BatchView, miniGMG and ablation harnesses)
+// ---------------------------------------------------------------------------
+
+/// Build a BatchView instance on a deterministic benchmark image and lift its
+/// kernel.
+///
+/// # Panics
+/// Panics if lifting fails (benchmarks require a successful lift).
+pub fn lift_batchview(
+    filter: helium_apps::BatchFilter,
+    w: usize,
+    h: usize,
+) -> (helium_apps::BatchView, LiftedStencil) {
+    let app = helium_apps::BatchView::new(
+        filter,
+        helium_apps::InterleavedImage::random(w, h, 0x05EED),
+    );
+    let request = LiftRequest {
+        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        approx_data_size: app.approx_data_size(),
+    };
+    let lifted = Lifter::new()
+        .lift(app.program(), &request, |with| app.fresh_cpu(with))
+        .unwrap_or_else(|e| panic!("lifting {} failed: {e}", filter.name()));
+    (app, lifted)
+}
+
+/// Lift the miniGMG smooth stencil (generic inference, no known data).
+///
+/// # Panics
+/// Panics if lifting fails (benchmarks require a successful lift).
+pub fn lift_minigmg(nx: usize, ny: usize, nz: usize) -> (helium_apps::MiniGmg, LiftedStencil) {
+    let app = helium_apps::MiniGmg::new(helium_apps::Grid3D::random(nx, ny, nz, 1, 0x6116));
+    let request = LiftRequest {
+        known_inputs: vec![],
+        known_outputs: vec![],
+        approx_data_size: app.approx_data_size(),
+    };
+    let lifted = Lifter::new()
+        .lift(app.program(), &request, |with| app.fresh_cpu(with))
+        .unwrap_or_else(|e| panic!("lifting the miniGMG smooth failed: {e}"));
+    (app, lifted)
+}
+
+/// Materialize a lifted buffer from an arbitrary memory image, honouring the
+/// inferred strides and element type.
+pub fn buffer_from_memory(
+    mem: &helium_machine::Memory,
+    lifted: &LiftedStencil,
+    name: &str,
+    ty: ScalarType,
+) -> Buffer {
+    let layout = lifted.buffer(name).expect("buffer layout exists");
+    let extents: Vec<usize> = layout.extents.iter().map(|&e| e as usize).collect();
+    let mut buf = Buffer::new(ty, &extents);
+    for coord in buf.coords().collect::<Vec<_>>() {
+        let mut addr = layout.base;
+        for (d, &i) in coord.iter().enumerate() {
+            addr += i as u32 * layout.strides[d];
+        }
+        let value = match ty {
+            ScalarType::Float64 => Value::Float(mem.read_f64(addr)),
+            ScalarType::Float32 => Value::Float(mem.read_f32(addr) as f64),
+            _ => Value::Int(mem.read_uint(addr, layout.element_size) as i64),
+        };
+        buf.set(&coord, value);
+    }
+    buf
+}
+
+/// Time the primary lifted kernel against the memory image left by a legacy
+/// run, realized over `extents` (or the inferred output extents).
+///
+/// # Panics
+/// Panics if realization fails.
+pub fn time_lifted_kernel(
+    mem: &helium_machine::Memory,
+    lifted: &LiftedStencil,
+    schedule: Schedule,
+    extents: Option<Vec<usize>>,
+    reps: usize,
+) -> Duration {
+    let kernel = lifted.primary();
+    let out_layout = lifted.buffer(&kernel.output).expect("output layout");
+    let extents = extents
+        .unwrap_or_else(|| out_layout.extents.iter().map(|&e| e as usize).collect::<Vec<_>>());
+    let buffers: Vec<(String, Buffer)> = kernel
+        .pipeline
+        .images
+        .iter()
+        .map(|(name, param)| (name.clone(), buffer_from_memory(mem, lifted, name, param.ty)))
+        .collect();
+    let mut inputs = RealizeInputs::new();
+    for (name, buf) in &buffers {
+        inputs = inputs.with_image(name, buf);
+    }
+    for (name, value) in &kernel.parameter_values {
+        inputs = inputs.with_param(name, *value);
+    }
+    let realizer = Realizer::new(schedule);
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Run a legacy application binary in the VM to completion and return its
+/// final memory image along with the wall-clock time of the run.
+///
+/// # Panics
+/// Panics if the VM run fails.
+pub fn run_legacy(
+    program: &helium_machine::Program,
+    mut cpu: helium_machine::Cpu,
+) -> (helium_machine::Cpu, Duration) {
+    let start = Instant::now();
+    cpu.run(program, 2_000_000_000, |_, _| {}).expect("legacy run completes");
+    (cpu, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_timings() {
+        let (app, lifted) = lift_photoflow(PhotoFilter::Invert, 48, 32);
+        let legacy = time_legacy_native(&app, 1);
+        let lifted_time = time_lifted(&app, &lifted, Schedule::naive(), 1);
+        assert!(legacy.as_nanos() > 0);
+        assert!(lifted_time.as_nanos() > 0);
+        assert!(!ms(legacy).is_empty());
+    }
+}

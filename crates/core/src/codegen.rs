@@ -1,0 +1,564 @@
+//! Halide code generation from symbolic clusters (paper §4.11).
+//!
+//! Each cluster's computational tree becomes a Halide expression; clusters
+//! guarded by predicates are combined with a chain of `select`s; recursive
+//! clusters become reduction (`RDom`) update definitions. The result is both
+//! an executable [`helium_halide::Pipeline`] and Halide C++ source text.
+
+use crate::layout::{BufferLayout, BufferRole};
+use crate::symbolic::SymbolicCluster;
+use crate::trees::{AffineIndex, Leaf, PredicateCmp, Tree, TreeNode, TreeOp};
+use helium_halide::expr::{BinOp, CmpOp, Expr, ExternCall};
+use helium_halide::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
+use helium_halide::types::{ScalarType, Value};
+use std::collections::BTreeMap;
+
+/// Errors raised during code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The symbolic cluster set was empty.
+    Empty,
+    /// A tree node could not be translated.
+    Untranslatable(String),
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::Empty => write!(f, "no symbolic clusters to generate code from"),
+            CodegenError::Untranslatable(s) => write!(f, "cannot translate tree node: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// One generated kernel: the pipeline for a single output buffer, plus the
+/// default values discovered for its scalar parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// Name of the output buffer (and of the pipeline's output func).
+    pub output: String,
+    /// The executable pipeline.
+    pub pipeline: Pipeline,
+    /// Observed values of the scalar parameters referenced by the pipeline.
+    pub parameter_values: BTreeMap<String, Value>,
+}
+
+fn width_to_type(width: u32, float: bool) -> ScalarType {
+    match (width, float) {
+        (_, true) if width >= 8 => ScalarType::Float64,
+        (_, true) => ScalarType::Float32,
+        (1, _) => ScalarType::UInt8,
+        (2, _) => ScalarType::UInt16,
+        (8, _) => ScalarType::UInt64,
+        _ => ScalarType::UInt32,
+    }
+}
+
+fn affine_to_expr(a: &AffineIndex) -> Expr {
+    let mut terms: Vec<Expr> = Vec::new();
+    for (d, &c) in a.coefficients.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let var = Expr::var(&format!("x_{d}"));
+        terms.push(if c == 1 { var } else { Expr::mul(Expr::int(c), var) });
+    }
+    let mut expr = match terms.len() {
+        0 => Expr::int(a.constant),
+        _ => {
+            let mut it = terms.into_iter();
+            let first = it.next().expect("non-empty");
+            let sum = it.fold(first, Expr::add);
+            if a.constant != 0 {
+                Expr::add(sum, Expr::int(a.constant))
+            } else {
+                sum
+            }
+        }
+    };
+    if a.coefficients.iter().all(|&c| c == 0) {
+        expr = Expr::int(a.constant);
+    }
+    expr
+}
+
+/// Translate a symbolic tree into a Halide expression.
+fn tree_to_expr(
+    tree: &Tree,
+    node: usize,
+    buffers: &BTreeMap<String, BufferLayout>,
+    params: &mut BTreeMap<String, Value>,
+    output_name: &str,
+) -> Result<Expr, CodegenError> {
+    match &tree.nodes[node] {
+        TreeNode::Leaf(leaf) => leaf_to_expr(leaf, buffers, params, output_name),
+        TreeNode::Op { op, children, width } => {
+            let mut child_exprs = Vec::with_capacity(children.len());
+            for &c in children {
+                child_exprs.push(tree_to_expr(tree, c, buffers, params, output_name)?);
+            }
+            let ty = width_to_type(*width, op.is_float());
+            let e = match op {
+                TreeOp::Add | TreeOp::FAdd => fold_bin(BinOp::Add, child_exprs),
+                TreeOp::Sub | TreeOp::FSub => fold_bin(BinOp::Sub, child_exprs),
+                TreeOp::Mul | TreeOp::FMul => fold_bin(BinOp::Mul, child_exprs),
+                TreeOp::FDiv => fold_bin(BinOp::Div, child_exprs),
+                TreeOp::And => fold_bin(BinOp::And, child_exprs),
+                TreeOp::Or => fold_bin(BinOp::Or, child_exprs),
+                TreeOp::Xor => fold_bin(BinOp::Xor, child_exprs),
+                TreeOp::Shr => fold_bin(BinOp::Shr, child_exprs),
+                TreeOp::Sar => fold_bin(BinOp::Shr, child_exprs),
+                TreeOp::Shl => fold_bin(BinOp::Shl, child_exprs),
+                TreeOp::Neg => Expr::bin(
+                    BinOp::Sub,
+                    Expr::int(0),
+                    child_exprs.into_iter().next().expect("neg child"),
+                ),
+                TreeOp::Not => Expr::bin(
+                    BinOp::Xor,
+                    child_exprs.into_iter().next().expect("not child"),
+                    Expr::int(-1),
+                ),
+                TreeOp::Move | TreeOp::SignExtend => {
+                    child_exprs.into_iter().next().expect("move child")
+                }
+                TreeOp::Downcast => {
+                    return Ok(Expr::cast(
+                        width_to_type(*width, false),
+                        child_exprs.into_iter().next().expect("downcast child"),
+                    ))
+                }
+                TreeOp::IntToFloat => {
+                    return Ok(Expr::cast(
+                        ScalarType::Float64,
+                        child_exprs.into_iter().next().expect("itof child"),
+                    ))
+                }
+                TreeOp::FloatToIntRound => {
+                    // Round to nearest even, as fistp does: floor(x/2)*2 based
+                    // rounding is approximated with floor(x + 0.5) which
+                    // matches for non-tie values; ties are rare in practice
+                    // and the paper accepts low-order-bit differences here.
+                    return Ok(Expr::cast(
+                        ScalarType::Int32,
+                        Expr::Call(
+                            ExternCall::Floor,
+                            vec![Expr::add(
+                                child_exprs.into_iter().next().expect("round child"),
+                                Expr::float(0.5),
+                            )],
+                        ),
+                    ));
+                }
+                TreeOp::Extern(f) => {
+                    let call = match f {
+                        helium_machine::ExternFn::Sqrt => ExternCall::Sqrt,
+                        helium_machine::ExternFn::Floor => ExternCall::Floor,
+                        helium_machine::ExternFn::Ceil => ExternCall::Ceil,
+                        helium_machine::ExternFn::Fabs => ExternCall::Abs,
+                        helium_machine::ExternFn::Exp => ExternCall::Exp,
+                        helium_machine::ExternFn::Log => ExternCall::Log,
+                        helium_machine::ExternFn::Pow => ExternCall::Pow,
+                    };
+                    return Ok(Expr::Call(call, child_exprs));
+                }
+                TreeOp::IndirectLoad => {
+                    // children = [table leaf, index expression]; the table leaf
+                    // has already been turned into an Image/Func access with a
+                    // placeholder index (possibly wrapped in widening casts) —
+                    // rebuild it around the real index expression.
+                    let mut it = child_exprs.into_iter();
+                    let table = it.next().expect("table child");
+                    let index = Expr::cast(ScalarType::Int32, it.next().expect("index child"));
+                    return Ok(reindex_table_access(table, &index));
+                }
+            };
+            // Keep integer arithmetic at the instruction's width so wrapping
+            // legacy arithmetic is reproduced bit-for-bit.
+            if op.is_float() || matches!(op, TreeOp::Move | TreeOp::SignExtend) {
+                Ok(e)
+            } else {
+                Ok(Expr::cast(ty, e))
+            }
+        }
+    }
+}
+
+/// Replace the index arguments of the innermost `Image`/`FuncRef` of a table
+/// access with `index`, preserving any widening casts wrapped around it.
+fn reindex_table_access(table: Expr, index: &Expr) -> Expr {
+    match table {
+        Expr::Image(name, _) => Expr::Image(name, vec![index.clone()]),
+        Expr::FuncRef(name, _) => Expr::FuncRef(name, vec![index.clone()]),
+        Expr::Cast(ty, inner) => Expr::Cast(ty, Box::new(reindex_table_access(*inner, index))),
+        other => other,
+    }
+}
+
+fn fold_bin(op: BinOp, exprs: Vec<Expr>) -> Expr {
+    let mut it = exprs.into_iter();
+    let first = it.next().expect("at least one operand");
+    it.fold(first, |acc, e| Expr::bin(op, acc, e))
+}
+
+fn leaf_to_expr(
+    leaf: &Leaf,
+    buffers: &BTreeMap<String, BufferLayout>,
+    params: &mut BTreeMap<String, Value>,
+    output_name: &str,
+) -> Result<Expr, CodegenError> {
+    Ok(match leaf {
+        Leaf::SymbolicRef { buffer, index_exprs } => {
+            let args: Vec<Expr> = index_exprs.iter().map(affine_to_expr).collect();
+            let base = Expr::Image(buffer.clone(), args);
+            // Loads widen to 32 bits in the original code (movzx), so cast.
+            match buffers.get(buffer) {
+                Some(b) if b.element_size == 1 => Expr::cast(ScalarType::UInt32, base),
+                _ => base,
+            }
+        }
+        Leaf::BufferRef { buffer, indices } => {
+            let args: Vec<Expr> = indices.iter().map(|&i| Expr::int(i)).collect();
+            Expr::Image(buffer.clone(), args)
+        }
+        Leaf::Const(v) => Expr::uint(*v),
+        Leaf::ConstF(v) => Expr::float(*v),
+        Leaf::Param { name, value, width, is_float } => {
+            let (ty, val) = if *is_float {
+                (ScalarType::Float64, Value::Float(f64::from_bits(*value)))
+            } else {
+                let _ = width;
+                (ScalarType::UInt32, Value::Int(*value as i64))
+            };
+            params.insert(name.clone(), val);
+            Expr::Param(name.clone(), ty)
+        }
+        Leaf::RecursiveRef { buffer } => {
+            // A self-reference: generated as a FuncRef to the output func with
+            // the same indices the update writes (filled in by the caller).
+            Expr::FuncRef(buffer.clone(), Vec::new())
+        }
+        Leaf::Mem { addr, .. } => {
+            return Err(CodegenError::Untranslatable(format!(
+                "unabstracted memory leaf {addr:#x} (buffer inference incomplete)"
+            )));
+        }
+    })
+    .map(|e| rename_output_refs(e, output_name))
+}
+
+fn rename_output_refs(e: Expr, _output_name: &str) -> Expr {
+    e
+}
+
+fn cmp_to_halide(cmp: PredicateCmp) -> CmpOp {
+    match cmp {
+        PredicateCmp::Eq => CmpOp::Eq,
+        PredicateCmp::Ne => CmpOp::Ne,
+        PredicateCmp::Gt => CmpOp::Gt,
+        PredicateCmp::Ge => CmpOp::Ge,
+        PredicateCmp::Lt => CmpOp::Lt,
+        PredicateCmp::Le => CmpOp::Le,
+    }
+}
+
+/// Generate one kernel per output buffer from the symbolic clusters.
+///
+/// # Errors
+/// Returns [`CodegenError`] if the clusters are empty or contain nodes that
+/// cannot be expressed in the DSL.
+pub fn generate_kernels(
+    clusters: &[SymbolicCluster],
+    buffers: &[BufferLayout],
+) -> Result<Vec<GeneratedKernel>, CodegenError> {
+    if clusters.is_empty() {
+        return Err(CodegenError::Empty);
+    }
+    let buffer_map: BTreeMap<String, BufferLayout> =
+        buffers.iter().map(|b| (b.name.clone(), b.clone())).collect();
+
+    // Group clusters by output buffer.
+    let mut by_output: BTreeMap<String, Vec<&SymbolicCluster>> = BTreeMap::new();
+    for c in clusters {
+        by_output.entry(c.output_buffer.clone()).or_default().push(c);
+    }
+
+    let mut kernels = Vec::new();
+    for (output, group) in by_output {
+        let out_layout = buffer_map.get(&output).ok_or(CodegenError::Empty)?;
+        let dims = out_layout.dims();
+        let vars: Vec<String> = (0..dims).map(|d| format!("x_{d}")).collect();
+        let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        let out_type = width_to_type(
+            out_layout.element_size,
+            group.iter().any(|c| c.tree.nodes.iter().any(|n| matches!(n, TreeNode::Op{op,..} if op.is_float()))) && out_layout.element_size == 8,
+        );
+        let mut params = BTreeMap::new();
+
+        // Referenced input buffers become image parameters (computational
+        // trees and predicate trees alike).
+        let mut images: BTreeMap<String, ImageParam> = BTreeMap::new();
+        let mut referenced_trees: Vec<&Tree> = Vec::new();
+        for c in group.iter() {
+            referenced_trees.push(&c.tree);
+            for (_, lhs, rhs) in &c.predicates {
+                referenced_trees.push(lhs);
+                referenced_trees.push(rhs);
+            }
+        }
+        for tree in referenced_trees {
+            for leaf in tree.leaves_in_order() {
+                if let Leaf::SymbolicRef { buffer, index_exprs } = leaf {
+                    if buffer != &output {
+                        let layout = buffer_map.get(buffer);
+                        let ty = layout
+                            .map(|l| width_to_type(l.element_size, l.element_size == 8 && out_type.is_float()))
+                            .unwrap_or(ScalarType::UInt8);
+                        images.entry(buffer.clone()).or_insert_with(|| {
+                            ImageParam::new(buffer, ty, index_exprs.len())
+                        });
+                    }
+                }
+            }
+        }
+
+        let recursive: Vec<&&SymbolicCluster> = group.iter().filter(|c| c.recursive).collect();
+        let pure: Vec<&&SymbolicCluster> = group.iter().filter(|c| !c.recursive).collect();
+
+        let func = if recursive.is_empty() {
+            // Pure clusters: build a select chain over the predicates
+            // (paper Fig. 5), most-specific (predicated) clusters first.
+            let mut expr: Option<Expr> = None;
+            let mut ordered = pure.clone();
+            ordered.sort_by_key(|c| std::cmp::Reverse(c.predicates.len()));
+            for c in ordered.iter().rev() {
+                let value = Expr::cast(
+                    out_type,
+                    tree_to_expr(&c.tree, c.tree.root, &buffer_map, &mut params, &output)?,
+                );
+                expr = Some(match expr {
+                    None => value,
+                    Some(prev) => {
+                        let mut cond: Option<Expr> = None;
+                        for (cmp, lhs, rhs) in &c.predicates {
+                            let l = tree_to_expr(lhs, lhs.root, &buffer_map, &mut params, &output)?;
+                            let r = tree_to_expr(rhs, rhs.root, &buffer_map, &mut params, &output)?;
+                            let this = Expr::cmp(cmp_to_halide(*cmp), l, r);
+                            cond = Some(match cond {
+                                None => this,
+                                Some(c0) => Expr::bin(BinOp::And, c0, this),
+                            });
+                        }
+                        match cond {
+                            Some(c0) => Expr::select(c0, value, prev),
+                            None => value,
+                        }
+                    }
+                });
+            }
+            Func::pure(
+                &output,
+                &var_refs,
+                out_type,
+                expr.ok_or(CodegenError::Empty)?,
+            )
+        } else {
+            // Recursive clusters: pure definition from the non-recursive
+            // cluster (the initialization), update definition from the
+            // recursive one over the inferred reduction domain (paper Fig. 4).
+            let init = match pure.first() {
+                Some(c) => Expr::cast(
+                    out_type,
+                    tree_to_expr(&c.tree, c.tree.root, &buffer_map, &mut params, &output)?,
+                ),
+                None => Expr::int(0),
+            };
+            let mut func = Func::pure(&output, &var_refs, out_type, init);
+            for c in &recursive {
+                let over = c.reduction_over.clone().unwrap_or_else(|| {
+                    images.keys().next().cloned().unwrap_or_else(|| output.clone())
+                });
+                let over_image = images
+                    .get(&over)
+                    .cloned()
+                    .unwrap_or_else(|| ImageParam::new(&over, ScalarType::UInt8, 2));
+                images.entry(over.clone()).or_insert_with(|| over_image.clone());
+                let rdom = RDom::over_image("r_0", &over_image);
+                // The LHS index: the indirect index expression of the root's
+                // own access — the value of the driving buffer at the RDom
+                // point.
+                let rvar_args: Vec<Expr> = (0..over_image.dims)
+                    .map(|d| Expr::RVar(format!("r_0.{}", helium_halide::func::dim_letter(d))))
+                    .collect();
+                let driving = Expr::Image(over.clone(), rvar_args);
+                let lhs_index = Expr::cast(ScalarType::Int32, driving.clone());
+                // The update value: translate the tree, rewriting recursive
+                // references into reads of the func at the same index.
+                let raw =
+                    tree_to_expr(&c.tree, c.tree.root, &buffer_map, &mut params, &output)?;
+                let value = rewrite_recursive(&raw, &output, &lhs_index);
+                func = func.with_update(UpdateDef {
+                    lhs: vec![lhs_index],
+                    value: Expr::cast(out_type, value),
+                    rdom,
+                });
+            }
+            func
+        };
+
+        // Clean up instruction-selection artifacts (cancelled sliding-window
+        // terms, widening-cast chains, multiplications by one) so the emitted
+        // Halide code reads like hand-written source. Simplification is
+        // value-preserving, so the bit-exactness guarantees are unaffected.
+        let pipeline = helium_halide::simplify_pipeline(&Pipeline::new(
+            func,
+            images.into_values().collect(),
+        ));
+        kernels.push(GeneratedKernel { output, pipeline, parameter_values: params });
+    }
+    Ok(kernels)
+}
+
+/// Replace empty-argument references to the output func (recursive refs) and
+/// any image access that drives the reduction with the update's index.
+fn rewrite_recursive(e: &Expr, output: &str, lhs_index: &Expr) -> Expr {
+    match e {
+        // A recursive self-reference always reads the location being updated:
+        // re-index it at the LHS index (paper Fig. 4), discarding whatever
+        // concrete index the abstract template tree carried.
+        Expr::FuncRef(name, _) if name == output => {
+            Expr::FuncRef(name.clone(), vec![lhs_index.clone()])
+        }
+        Expr::FuncRef(name, args) => Expr::FuncRef(
+            name.clone(),
+            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+        ),
+        Expr::Image(name, args) => Expr::Image(
+            name.clone(),
+            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+        ),
+        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rewrite_recursive(inner, output, lhs_index))),
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            rewrite_recursive(a, output, lhs_index),
+            rewrite_recursive(b, output, lhs_index),
+        ),
+        Expr::Cmp(op, a, b) => Expr::cmp(
+            *op,
+            rewrite_recursive(a, output, lhs_index),
+            rewrite_recursive(b, output, lhs_index),
+        ),
+        Expr::Select(c, t, o) => Expr::select(
+            rewrite_recursive(c, output, lhs_index),
+            rewrite_recursive(t, output, lhs_index),
+            rewrite_recursive(o, output, lhs_index),
+        ),
+        Expr::Call(c, args) => Expr::Call(
+            *c,
+            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Map a buffer role to the conventional lifted name prefix.
+pub fn role_prefix(role: BufferRole) -> &'static str {
+    match role {
+        BufferRole::Input => "input",
+        BufferRole::Output => "output",
+        BufferRole::Table => "buffer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::AffineIndex;
+
+    fn simple_layouts() -> Vec<BufferLayout> {
+        vec![
+            BufferLayout {
+                name: "input_1".into(),
+                role: BufferRole::Input,
+                base: 0x1000,
+                end: 0x2000,
+                element_size: 1,
+                strides: vec![1, 64],
+                extents: vec![64, 64],
+            },
+            BufferLayout {
+                name: "output_1".into(),
+                role: BufferRole::Output,
+                base: 0x4000,
+                end: 0x5000,
+                element_size: 1,
+                strides: vec![1, 64],
+                extents: vec![64, 64],
+            },
+        ]
+    }
+
+    fn symbolic_add_cluster() -> SymbolicCluster {
+        // output(x0,x1) = in(x0+1,x1) + in(x0,x1)
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            root: 0,
+            output: Leaf::SymbolicRef {
+                buffer: "output_1".into(),
+                index_exprs: vec![AffineIndex::identity(0, 2, 0), AffineIndex::identity(1, 2, 0)],
+            },
+            output_width: 1,
+        };
+        let a = tree.push(TreeNode::Leaf(Leaf::SymbolicRef {
+            buffer: "input_1".into(),
+            index_exprs: vec![AffineIndex::identity(0, 2, 1), AffineIndex::identity(1, 2, 0)],
+        }));
+        let b = tree.push(TreeNode::Leaf(Leaf::SymbolicRef {
+            buffer: "input_1".into(),
+            index_exprs: vec![AffineIndex::identity(0, 2, 0), AffineIndex::identity(1, 2, 0)],
+        }));
+        let root = tree.push(TreeNode::Op { op: TreeOp::Add, children: vec![a, b], width: 4 });
+        tree.root = root;
+        SymbolicCluster {
+            output_buffer: "output_1".into(),
+            tree,
+            predicates: vec![],
+            recursive: false,
+            reduction_over: None,
+            support: 100,
+        }
+    }
+
+    #[test]
+    fn generates_pipeline_and_source() {
+        let kernels = generate_kernels(&[symbolic_add_cluster()], &simple_layouts()).unwrap();
+        assert_eq!(kernels.len(), 1);
+        let k = &kernels[0];
+        assert_eq!(k.output, "output_1");
+        assert_eq!(k.pipeline.output_func().dims(), 2);
+        let src = helium_halide::generate_halide_source(
+            &k.pipeline,
+            &helium_halide::CodegenOptions::default(),
+        );
+        assert!(src.contains("ImageParam input_1"));
+        assert!(src.contains("output_1(x_0,x_1)"));
+        assert!(src.contains("(x_0 + 1)"));
+    }
+
+    #[test]
+    fn affine_expr_rendering() {
+        let a = AffineIndex { coefficients: vec![1, 0], constant: 2 };
+        assert_eq!(affine_to_expr(&a).to_string(), "(x_0 + 2)");
+        let c = AffineIndex::constant(7, 2);
+        assert_eq!(affine_to_expr(&c).to_string(), "7");
+        let m = AffineIndex { coefficients: vec![3, 1], constant: 0 };
+        assert_eq!(affine_to_expr(&m).to_string(), "((3 * x_0) + x_1)");
+    }
+
+    #[test]
+    fn empty_clusters_are_an_error() {
+        assert_eq!(generate_kernels(&[], &simple_layouts()).unwrap_err(), CodegenError::Empty);
+    }
+}

@@ -1,0 +1,1037 @@
+//! Expression extraction: trace preprocessing, forward analysis for
+//! input-dependent conditionals, and backward analysis that builds concrete
+//! data-dependency trees (paper §4.5–§4.7).
+
+use crate::layout::{BufferLayout, BufferRole};
+use crate::trees::{GuardedTree, Leaf, Predicate, PredicateCmp, Tree, TreeNode, TreeOp};
+use helium_dbi::InstructionTrace;
+use helium_machine::cpu::StepRecord;
+use helium_machine::isa::{AluOp, Cond, FpSrc, Instr, Operand, RegRef, ShiftOp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Shadow address space base for general-purpose registers (paper §4.5 maps
+/// registers into memory so the analysis treats them uniformly).
+const REG_SPACE: u64 = 0x1_0000_0000;
+/// Shadow address space base for x87 physical stack slots.
+const FP_SPACE: u64 = 0x1_0100_0000;
+
+/// A byte range in the unified (memory + shadow register) address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// Start address.
+    pub addr: u64,
+    /// Width in bytes.
+    pub width: u32,
+}
+
+impl Loc {
+    fn mem(addr: u32, width: u32) -> Loc {
+        Loc { addr: addr as u64, width }
+    }
+
+    fn reg(r: RegRef) -> Loc {
+        Loc { addr: REG_SPACE + (r.reg.index() as u64) * 8 + r.lo as u64, width: r.width.bytes() }
+    }
+
+    fn fp(phys_slot: u8) -> Loc {
+        Loc { addr: FP_SPACE + phys_slot as u64 * 8, width: 8 }
+    }
+
+    /// Returns `true` if this location is a real memory address.
+    pub fn is_memory(&self) -> bool {
+        self.addr < REG_SPACE
+    }
+
+    fn bytes(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.width as u64).map(move |i| self.addr + i)
+    }
+
+    fn overlaps(&self, other: &Loc) -> bool {
+        self.addr < other.addr + other.width as u64 && other.addr < self.addr + self.width as u64
+    }
+}
+
+/// An argument of a lowered micro-operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroArg {
+    /// An immediate integer.
+    Imm(i64),
+    /// A location (register shadow, FP slot or memory) with its observed value.
+    Loc {
+        /// The location read.
+        loc: Loc,
+        /// Raw bits observed in the trace (memory reads only; 0 otherwise).
+        value: u64,
+        /// Registers (as shadow locations) that contributed to the address,
+        /// with their scale factors, when the location is an indirect memory
+        /// access (`base + scale*index`). Empty for direct accesses.
+        addr_regs: Vec<(Loc, u32)>,
+        /// Constant displacement of the address expression.
+        addr_disp: i64,
+    },
+}
+
+impl MicroArg {
+    fn simple(loc: Loc) -> MicroArg {
+        MicroArg::Loc { loc, value: 0, addr_regs: Vec::new(), addr_disp: 0 }
+    }
+}
+
+/// One lowered definition event (a value written to a location).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefEvent {
+    /// Destination location.
+    pub dst: Loc,
+    /// Operation producing the value.
+    pub op: TreeOp,
+    /// Arguments.
+    pub args: Vec<MicroArg>,
+}
+
+/// Flag-setting event used to build predicate trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlagEvent {
+    /// Left operand.
+    pub a: MicroArg,
+    /// Right operand.
+    pub b: MicroArg,
+}
+
+/// A preprocessed dynamic instruction.
+#[derive(Debug, Clone, Default)]
+pub struct MicroStep {
+    /// Static instruction address.
+    pub addr: u32,
+    /// Value definitions performed by the instruction.
+    pub defs: Vec<DefEvent>,
+    /// Flag definition, if the instruction sets flags from two operands.
+    pub flags: Option<FlagEvent>,
+    /// For conditional jumps: the condition and whether it was taken.
+    pub branch: Option<(Cond, bool)>,
+}
+
+/// Errors produced during expression extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// An instruction could not be lowered for analysis.
+    Unsupported(String),
+    /// No output buffer writes were found in the trace.
+    NoOutputs,
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::Unsupported(s) => write!(f, "unsupported instruction for analysis: {s}"),
+            ExtractError::NoOutputs => write!(f, "no writes to output buffers found in the trace"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+// ---------------------------------------------------------------------------
+// Trace preprocessing: lowering to micro-ops (paper §4.5)
+// ---------------------------------------------------------------------------
+
+fn operand_loc(op: &Operand, rec: &StepRecord, want_write: bool) -> MicroArg {
+    match op {
+        Operand::Reg(r) => MicroArg::simple(Loc::reg(*r)),
+        Operand::Imm(v) => MicroArg::Imm(*v),
+        Operand::Mem(_) => {
+            // Find the matching access in the record.
+            let acc = rec
+                .mem
+                .iter()
+                .find(|m| m.is_write == want_write)
+                .or_else(|| rec.mem.first())
+                .expect("memory operand must have a recorded access");
+            let mut addr_regs = Vec::new();
+            if let Some(b) = acc.expr.base {
+                addr_regs.push((Loc::reg(RegRef::full(b)), 1));
+            }
+            if let Some(i) = acc.expr.index {
+                // A scale of zero contributes nothing to the address (an
+                // encoding artifact of `[reg + reg*0 + disp]` forms); keeping
+                // it would double-count the register in indirect-access index
+                // expressions (e.g. lookup tables indexed by a pixel value).
+                if acc.expr.scale != 0 {
+                    addr_regs.push((Loc::reg(RegRef::full(i)), acc.expr.scale as u32));
+                }
+            }
+            MicroArg::Loc {
+                loc: Loc::mem(acc.addr, acc.width.bytes()),
+                value: acc.value,
+                addr_regs,
+                addr_disp: acc.expr.disp as i64,
+            }
+        }
+    }
+}
+
+fn fp_arg(src: &FpSrc, rec: &StepRecord, top: u8) -> MicroArg {
+    match src {
+        FpSrc::St(i) => MicroArg::simple(Loc::fp((top + i) % 8)),
+        FpSrc::MemF32(_) | FpSrc::MemF64(_) | FpSrc::MemI32(_) => {
+            let acc = rec.mem.iter().find(|m| !m.is_write).expect("fp memory read recorded");
+            MicroArg::Loc {
+                loc: Loc::mem(acc.addr, acc.width.bytes()),
+                value: acc.value,
+                addr_regs: Vec::new(),
+                addr_disp: acc.expr.disp as i64,
+            }
+        }
+    }
+}
+
+fn alu_tree_op(op: AluOp) -> TreeOp {
+    match op {
+        AluOp::Add | AluOp::Adc => TreeOp::Add,
+        AluOp::Sub | AluOp::Sbb => TreeOp::Sub,
+        AluOp::And => TreeOp::And,
+        AluOp::Or => TreeOp::Or,
+        AluOp::Xor => TreeOp::Xor,
+        AluOp::Imul => TreeOp::Mul,
+    }
+}
+
+/// Lower one dynamic instruction into definition/flag events.
+pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
+    let top = rec.fpu_top_before;
+    let mut step = MicroStep { addr: rec.addr, ..MicroStep::default() };
+    match &rec.instr {
+        Instr::Mov { dst, src } => {
+            let s = operand_loc(src, rec, false);
+            let d = operand_loc(dst, rec, true);
+            if let MicroArg::Loc { loc, .. } = d {
+                step.defs.push(DefEvent { dst: loc, op: TreeOp::Move, args: vec![s] });
+            }
+        }
+        Instr::Movzx { dst, src } => {
+            let s = operand_loc(src, rec, false);
+            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::Move, args: vec![s] });
+        }
+        Instr::Movsx { dst, src } => {
+            let s = operand_loc(src, rec, false);
+            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::SignExtend, args: vec![s] });
+        }
+        Instr::Lea { dst, .. } => {
+            // lea computes an address: model it as an addition of its register
+            // parts and displacement.
+            let mut args = Vec::new();
+            if let Some(acc) = rec.mem.first() {
+                // lea performs no access; nothing recorded. Fall through.
+                let _ = acc;
+            }
+            // Reconstruct from the instruction itself (registers only).
+            if let Instr::Lea { addr, .. } = &rec.instr {
+                if let Some(b) = addr.base {
+                    args.push(MicroArg::simple(Loc::reg(RegRef::full(b))));
+                }
+                if let Some(i) = addr.index {
+                    args.push(MicroArg::simple(Loc::reg(RegRef::full(i))));
+                }
+                args.push(MicroArg::Imm(addr.disp as i64));
+            }
+            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::Add, args });
+        }
+        Instr::Alu { op, dst, src } => {
+            let d_read = operand_loc(dst, rec, false);
+            let s = operand_loc(src, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            step.flags = Some(FlagEvent { a: d_read.clone(), b: s.clone() });
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent { dst: loc, op: alu_tree_op(*op), args: vec![d_read, s] });
+            }
+        }
+        Instr::Shift { op, dst, amount } => {
+            let d_read = operand_loc(dst, rec, false);
+            let amt = operand_loc(amount, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            let tree_op = match op {
+                ShiftOp::Shl => TreeOp::Shl,
+                ShiftOp::Shr => TreeOp::Shr,
+                ShiftOp::Sar => TreeOp::Sar,
+            };
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent { dst: loc, op: tree_op, args: vec![d_read, amt] });
+            }
+        }
+        Instr::Inc { dst } => {
+            let d_read = operand_loc(dst, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            step.flags = Some(FlagEvent { a: d_read.clone(), b: MicroArg::Imm(-1) });
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: TreeOp::Add,
+                    args: vec![d_read, MicroArg::Imm(1)],
+                });
+            }
+        }
+        Instr::Dec { dst } => {
+            let d_read = operand_loc(dst, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            step.flags = Some(FlagEvent { a: d_read.clone(), b: MicroArg::Imm(1) });
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: TreeOp::Sub,
+                    args: vec![d_read, MicroArg::Imm(1)],
+                });
+            }
+        }
+        Instr::Neg { dst } => {
+            let d_read = operand_loc(dst, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent { dst: loc, op: TreeOp::Neg, args: vec![d_read] });
+            }
+        }
+        Instr::Not { dst } => {
+            let d_read = operand_loc(dst, rec, false);
+            let d_write = operand_loc(dst, rec, true);
+            if let MicroArg::Loc { loc, .. } = d_write {
+                step.defs.push(DefEvent { dst: loc, op: TreeOp::Not, args: vec![d_read] });
+            }
+        }
+        Instr::Cmp { a, b } | Instr::Test { a, b } => {
+            step.flags = Some(FlagEvent {
+                a: operand_loc(a, rec, false),
+                b: operand_loc(b, rec, false),
+            });
+        }
+        Instr::Jcc { cond, .. } => {
+            step.branch = Some((*cond, rec.branch_taken.unwrap_or(false)));
+        }
+        Instr::Push { src } => {
+            let s = operand_loc(src, rec, false);
+            if let Some(w) = rec.mem.iter().find(|m| m.is_write) {
+                step.defs.push(DefEvent {
+                    dst: Loc::mem(w.addr, w.width.bytes()),
+                    op: TreeOp::Move,
+                    args: vec![s],
+                });
+            }
+        }
+        Instr::Pop { dst } => {
+            if let Some(r) = rec.mem.iter().find(|m| !m.is_write) {
+                let s = MicroArg::Loc {
+                    loc: Loc::mem(r.addr, r.width.bytes()),
+                    value: r.value,
+                    addr_regs: Vec::new(),
+                    addr_disp: r.expr.disp as i64,
+                };
+                match dst {
+                    Operand::Reg(reg) => step.defs.push(DefEvent {
+                        dst: Loc::reg(*reg),
+                        op: TreeOp::Move,
+                        args: vec![s],
+                    }),
+                    Operand::Mem(_) => {
+                        if let Some(w) = rec.mem.iter().find(|m| m.is_write) {
+                            step.defs.push(DefEvent {
+                                dst: Loc::mem(w.addr, w.width.bytes()),
+                                op: TreeOp::Move,
+                                args: vec![s],
+                            });
+                        }
+                    }
+                    Operand::Imm(_) => {}
+                }
+            }
+        }
+        Instr::Fld { src } => {
+            let arg = fp_arg(src, rec, top);
+            let new_top = (top + 7) % 8;
+            let op = match src {
+                FpSrc::MemI32(_) => TreeOp::IntToFloat,
+                _ => TreeOp::Move,
+            };
+            step.defs.push(DefEvent { dst: Loc::fp(new_top), op, args: vec![arg] });
+        }
+        Instr::Fst { dst, .. } => {
+            let src = MicroArg::simple(Loc::fp(top));
+            match dst {
+                FpSrc::St(i) => step.defs.push(DefEvent {
+                    dst: Loc::fp((top + i) % 8),
+                    op: TreeOp::Move,
+                    args: vec![src],
+                }),
+                _ => {
+                    if let Some(w) = rec.mem.iter().find(|m| m.is_write) {
+                        step.defs.push(DefEvent {
+                            dst: Loc::mem(w.addr, w.width.bytes()),
+                            op: TreeOp::Move,
+                            args: vec![src],
+                        });
+                    }
+                }
+            }
+        }
+        Instr::Fistp { .. } => {
+            let src = MicroArg::simple(Loc::fp(top));
+            if let Some(w) = rec.mem.iter().find(|m| m.is_write) {
+                step.defs.push(DefEvent {
+                    dst: Loc::mem(w.addr, w.width.bytes()),
+                    op: TreeOp::FloatToIntRound,
+                    args: vec![src],
+                });
+            }
+        }
+        Instr::Farith { op, src, reverse_dst, .. } => {
+            let tree_op = match op {
+                helium_machine::FpOp::Add => TreeOp::FAdd,
+                helium_machine::FpOp::Sub => TreeOp::FSub,
+                helium_machine::FpOp::Mul => TreeOp::FMul,
+                helium_machine::FpOp::Div => TreeOp::FDiv,
+            };
+            if *reverse_dst {
+                let slot = match src {
+                    FpSrc::St(i) => (top + i) % 8,
+                    _ => top,
+                };
+                step.defs.push(DefEvent {
+                    dst: Loc::fp(slot),
+                    op: tree_op,
+                    args: vec![MicroArg::simple(Loc::fp(slot)), MicroArg::simple(Loc::fp(top))],
+                });
+            } else {
+                let rhs = fp_arg(src, rec, top);
+                step.defs.push(DefEvent {
+                    dst: Loc::fp(top),
+                    op: tree_op,
+                    args: vec![MicroArg::simple(Loc::fp(top)), rhs],
+                });
+            }
+        }
+        Instr::Fxch { slot } => {
+            let a = Loc::fp(top);
+            let b = Loc::fp((top + slot) % 8);
+            step.defs.push(DefEvent { dst: a, op: TreeOp::Move, args: vec![MicroArg::simple(b)] });
+            step.defs.push(DefEvent { dst: b, op: TreeOp::Move, args: vec![MicroArg::simple(a)] });
+        }
+        Instr::CallExtern { func } => {
+            // Arguments are consumed from the FP stack, result pushed back.
+            let arity = func.arity() as u8;
+            let result_slot = (top + arity - 1) % 8;
+            let args: Vec<MicroArg> =
+                (0..arity).map(|i| MicroArg::simple(Loc::fp((top + i) % 8))).collect();
+            step.defs.push(DefEvent {
+                dst: Loc::fp(result_slot),
+                op: TreeOp::Extern(*func),
+                args,
+            });
+        }
+        Instr::Jmp { .. }
+        | Instr::Call { .. }
+        | Instr::Ret
+        | Instr::Nop
+        | Instr::Halt => {}
+    }
+    Ok(step)
+}
+
+// ---------------------------------------------------------------------------
+// Forward analysis (paper §4.6)
+// ---------------------------------------------------------------------------
+
+/// Result of the forward pass over one trace.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardInfo {
+    /// Static addresses of input-dependent conditional jumps.
+    pub input_dep_jccs: BTreeSet<u32>,
+    /// For each static instruction: the input-dependent conditionals (static
+    /// jcc address) and the branch direction required to reach it, when that
+    /// direction is consistent across the whole trace.
+    pub requirements: BTreeMap<u32, BTreeMap<u32, bool>>,
+    /// Static instructions performing indirect (data-dependent) memory access.
+    pub indirect_access: BTreeSet<u32>,
+    /// For every dynamic index of an input-dependent jcc: the dynamic index of
+    /// the instruction that defined the flags it tested.
+    pub jcc_flag_writer: HashMap<usize, usize>,
+    /// Dynamic indices of input-dependent jccs, per static address, in order.
+    pub jcc_dynamic: BTreeMap<u32, Vec<(usize, bool)>>,
+}
+
+/// Run the forward taint analysis over lowered steps.
+pub fn forward_analysis(
+    steps: &[MicroStep],
+    input_buffers: &[BufferLayout],
+) -> ForwardInfo {
+    let mut info = ForwardInfo::default();
+    let mut tainted: BTreeSet<u64> = BTreeSet::new();
+    let mut flags_tainted = false;
+    let mut last_flag_writer: Option<usize> = None;
+    // Last outcome of each input-dependent jcc (static addr -> (outcome)).
+    let mut last_outcome: BTreeMap<u32, bool> = BTreeMap::new();
+    // Accumulated requirement state: Some(dir) = consistent, None = mixed.
+    let mut req: BTreeMap<u32, BTreeMap<u32, Option<bool>>> = BTreeMap::new();
+
+    let arg_tainted = |tainted: &BTreeSet<u64>, arg: &MicroArg| -> bool {
+        match arg {
+            MicroArg::Imm(_) => false,
+            MicroArg::Loc { loc, .. } => loc.bytes().any(|b| tainted.contains(&b)),
+        }
+    };
+    let loc_in_inputs = |loc: &Loc| -> bool {
+        loc.is_memory() && input_buffers.iter().any(|b| b.contains(loc.addr as u32))
+    };
+
+    for (idx, step) in steps.iter().enumerate() {
+        // Record requirements for this static instruction.
+        let entry = req.entry(step.addr).or_default();
+        for (jcc, outcome) in &last_outcome {
+            entry
+                .entry(*jcc)
+                .and_modify(|e| {
+                    if *e != Some(*outcome) {
+                        *e = None;
+                    }
+                })
+                .or_insert(Some(*outcome));
+        }
+
+        // Taint propagation through defs.
+        for def in &step.defs {
+            let mut t = false;
+            for arg in &def.args {
+                if arg_tainted(&tainted, arg) {
+                    t = true;
+                }
+                if let MicroArg::Loc { loc, addr_regs, .. } = arg {
+                    if loc_in_inputs(loc) {
+                        t = true;
+                    }
+                    // Indirect access: an address register is tainted.
+                    for (r, _) in addr_regs {
+                        if r.bytes().any(|b| tainted.contains(&b)) {
+                            info.indirect_access.insert(step.addr);
+                        }
+                    }
+                }
+            }
+            if t {
+                for b in def.dst.bytes() {
+                    tainted.insert(b);
+                }
+            } else {
+                for b in def.dst.bytes() {
+                    tainted.remove(&b);
+                }
+            }
+        }
+        // Flags.
+        if let Some(flags) = &step.flags {
+            let direct = arg_tainted(&tainted, &flags.a)
+                || arg_tainted(&tainted, &flags.b)
+                || matches!(&flags.a, MicroArg::Loc { loc, .. } if loc_in_inputs(loc))
+                || matches!(&flags.b, MicroArg::Loc { loc, .. } if loc_in_inputs(loc));
+            flags_tainted = direct;
+            last_flag_writer = Some(idx);
+        }
+        // Conditional jumps on tainted flags are input-dependent conditionals.
+        if let Some((_, taken)) = &step.branch {
+            if flags_tainted {
+                info.input_dep_jccs.insert(step.addr);
+                last_outcome.insert(step.addr, *taken);
+                if let Some(fw) = last_flag_writer {
+                    info.jcc_flag_writer.insert(idx, fw);
+                }
+                info.jcc_dynamic.entry(step.addr).or_default().push((idx, *taken));
+            }
+        }
+    }
+    info.requirements = req
+        .into_iter()
+        .map(|(addr, m)| {
+            (
+                addr,
+                m.into_iter().filter_map(|(j, v)| v.map(|d| (j, d))).collect::<BTreeMap<_, _>>(),
+            )
+        })
+        .collect();
+    info
+}
+
+// ---------------------------------------------------------------------------
+// Backward analysis (paper §4.7)
+// ---------------------------------------------------------------------------
+
+/// Preprocessed trace with reaching-definition links.
+#[derive(Debug)]
+pub struct PreparedTrace {
+    /// Lowered steps.
+    pub steps: Vec<MicroStep>,
+    /// For each dynamic step: for each def, for each argument byte range, the
+    /// dynamic index of the step that defined it (if any).
+    reaching: Vec<Vec<Vec<Option<usize>>>>,
+    /// Forward-analysis results.
+    pub forward: ForwardInfo,
+}
+
+/// Lower the whole instruction trace and compute reaching definitions.
+pub fn prepare_trace(
+    trace: &InstructionTrace,
+    input_buffers: &[BufferLayout],
+) -> Result<PreparedTrace, ExtractError> {
+    let mut steps = Vec::with_capacity(trace.records.len());
+    for rec in &trace.records {
+        steps.push(lower_step(rec)?);
+    }
+    let forward = forward_analysis(&steps, input_buffers);
+
+    // Reaching definitions at byte granularity.
+    let mut last_def: HashMap<u64, usize> = HashMap::new();
+    let mut reaching: Vec<Vec<Vec<Option<usize>>>> = Vec::with_capacity(steps.len());
+    for (idx, step) in steps.iter().enumerate() {
+        let mut per_def = Vec::with_capacity(step.defs.len());
+        for def in &step.defs {
+            let mut per_arg = Vec::with_capacity(def.args.len());
+            for arg in &def.args {
+                per_arg.push(match arg {
+                    MicroArg::Imm(_) => None,
+                    MicroArg::Loc { loc, .. } => {
+                        // Use the definition of the lowest byte; kernels write
+                        // whole operands so bytes agree in practice.
+                        loc.bytes().filter_map(|b| last_def.get(&b).copied()).max()
+                    }
+                });
+            }
+            per_def.push(per_arg);
+        }
+        reaching.push(per_def);
+        for def in &step.defs {
+            for b in def.dst.bytes() {
+                last_def.insert(b, idx);
+            }
+        }
+        let _ = idx;
+    }
+    Ok(PreparedTrace { steps, reaching, forward })
+}
+
+/// Context for building concrete trees.
+pub struct TreeBuilder<'a> {
+    prepared: &'a PreparedTrace,
+    buffers: &'a [BufferLayout],
+}
+
+impl<'a> TreeBuilder<'a> {
+    /// Create a builder over a prepared trace and the inferred buffer layouts.
+    pub fn new(prepared: &'a PreparedTrace, buffers: &'a [BufferLayout]) -> Self {
+        TreeBuilder { prepared, buffers }
+    }
+
+    fn buffer_of(&self, addr: u64) -> Option<&BufferLayout> {
+        if addr >= REG_SPACE {
+            return None;
+        }
+        self.buffers.iter().find(|b| b.contains(addr as u32))
+    }
+
+    /// Build the concrete guarded tree for the output write performed by the
+    /// def `def_idx` of dynamic step `idx`.
+    pub fn build_output_tree(&self, idx: usize, def_idx: usize) -> Option<GuardedTree> {
+        let step = &self.prepared.steps[idx];
+        let def = &step.defs[def_idx];
+        let out_buffer = self.buffer_of(def.dst.addr)?;
+        let out_name = out_buffer.name.clone();
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            root: 0,
+            output: Leaf::Mem { addr: def.dst.addr, width: def.dst.width, value: 0 },
+            output_width: def.dst.width,
+        };
+        let mut recursive = false;
+        let mut required: BTreeMap<u32, bool> = BTreeMap::new();
+        let root = self.expand(idx, def_idx, &mut tree, &out_name, &mut recursive, &mut required, 0);
+        tree.root = root;
+        tree.canonicalize();
+
+        // Build predicate trees for the requirements collected along the way.
+        let mut predicates = Vec::new();
+        for (jcc_addr, dir) in required {
+            if let Some(p) = self.build_predicate(idx, jcc_addr, dir, &out_name) {
+                predicates.push(p);
+            }
+        }
+        Some(GuardedTree { tree, predicates, recursive })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        idx: usize,
+        def_idx: usize,
+        tree: &mut Tree,
+        out_buffer: &str,
+        recursive: &mut bool,
+        required: &mut BTreeMap<u32, bool>,
+        depth: usize,
+    ) -> usize {
+        let step = &self.prepared.steps[idx];
+        let def = &step.defs[def_idx];
+        // Record control requirements of this instruction.
+        if let Some(reqs) = self.prepared.forward.requirements.get(&step.addr) {
+            for (jcc, dir) in reqs {
+                required.insert(*jcc, *dir);
+            }
+        }
+        if depth > 512 {
+            return tree.push(TreeNode::Leaf(Leaf::Const(0)));
+        }
+        let indirect = self.prepared.forward.indirect_access.contains(&step.addr);
+        let mut children = Vec::new();
+        for (arg_i, arg) in def.args.iter().enumerate() {
+            let child = self.expand_arg(idx, def_idx, arg_i, arg, tree, out_buffer, recursive, required, depth, indirect);
+            children.push(child);
+        }
+        // Collapse pure moves with a single child to keep trees small, but
+        // keep width-changing moves as explicit downcast nodes.
+        if def.op == TreeOp::Move && children.len() == 1 {
+            let src_width = match &def.args[0] {
+                MicroArg::Loc { loc, .. } => loc.width,
+                MicroArg::Imm(_) => def.dst.width,
+            };
+            if src_width == def.dst.width {
+                return children[0];
+            }
+            let op = if def.dst.width < src_width { TreeOp::Downcast } else { TreeOp::Move };
+            return tree.push(TreeNode::Op { op, children, width: def.dst.width });
+        }
+        tree.push(TreeNode::Op { op: def.op, children, width: def.dst.width })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_arg(
+        &self,
+        idx: usize,
+        def_idx: usize,
+        arg_i: usize,
+        arg: &MicroArg,
+        tree: &mut Tree,
+        out_buffer: &str,
+        recursive: &mut bool,
+        required: &mut BTreeMap<u32, bool>,
+        depth: usize,
+        indirect: bool,
+    ) -> usize {
+        match arg {
+            MicroArg::Imm(v) => tree.push(TreeNode::Leaf(Leaf::Const(*v))),
+            MicroArg::Loc { loc, value, addr_regs, .. } => {
+                // Recursive reference to the output buffer?
+                if let Some(b) = self.buffer_of(loc.addr) {
+                    if b.name == out_buffer && b.role == BufferRole::Output {
+                        *recursive = true;
+                        let rec_leaf =
+                            tree.push(TreeNode::Leaf(Leaf::RecursiveRef { buffer: b.name.clone() }));
+                        // Indirectly addressed recursive outputs (histograms)
+                        // keep the address-calculation expression so the
+                        // reduction domain can be inferred from it (paper §4.9).
+                        if indirect && !addr_regs.is_empty() {
+                            let mut index_children = Vec::new();
+                            for (reg_loc, _scale) in addr_regs {
+                                let child = match self.reaching_def_of_loc(idx, *reg_loc) {
+                                    Some((di, dd)) => self.expand(
+                                        di, dd, tree, out_buffer, recursive, required, depth + 1,
+                                    ),
+                                    None => tree.push(TreeNode::Leaf(Leaf::Mem {
+                                        addr: reg_loc.addr,
+                                        width: reg_loc.width,
+                                        value: 0,
+                                    })),
+                                };
+                                index_children.push(child);
+                            }
+                            let index = if index_children.len() == 1 {
+                                index_children[0]
+                            } else {
+                                tree.push(TreeNode::Op {
+                                    op: TreeOp::Add,
+                                    children: index_children,
+                                    width: 4,
+                                })
+                            };
+                            return tree.push(TreeNode::Op {
+                                op: TreeOp::IndirectLoad,
+                                children: vec![rec_leaf, index],
+                                width: loc.width,
+                            });
+                        }
+                        return rec_leaf;
+                    }
+                }
+                // Indirect (table) access: wrap the leaf in an IndirectLoad
+                // whose child is the index expression built from the address
+                // registers.
+                if indirect && loc.is_memory() && !addr_regs.is_empty() {
+                    let mut index_children = Vec::new();
+                    for (reg_loc, _scale) in addr_regs {
+                        let child = match self.reaching_def_of_loc(idx, *reg_loc) {
+                            Some((di, dd)) => self.expand(di, dd, tree, out_buffer, recursive, required, depth + 1),
+                            None => tree.push(TreeNode::Leaf(Leaf::Mem {
+                                addr: reg_loc.addr,
+                                width: reg_loc.width,
+                                value: 0,
+                            })),
+                        };
+                        index_children.push(child);
+                    }
+                    let index = if index_children.len() == 1 {
+                        index_children[0]
+                    } else {
+                        tree.push(TreeNode::Op {
+                            op: TreeOp::Add,
+                            children: index_children,
+                            width: 4,
+                        })
+                    };
+                    let mem_leaf = tree.push(TreeNode::Leaf(Leaf::Mem {
+                        addr: loc.addr,
+                        width: loc.width,
+                        value: *value,
+                    }));
+                    return tree.push(TreeNode::Op {
+                        op: TreeOp::IndirectLoad,
+                        children: vec![mem_leaf, index],
+                        width: loc.width,
+                    });
+                }
+                // Follow the reaching definition if there is one.
+                let def_link = self.prepared.reaching[idx][def_idx][arg_i];
+                match def_link {
+                    Some(di) => {
+                        // Find which def of that step wrote this location.
+                        let dd = self.prepared.steps[di]
+                            .defs
+                            .iter()
+                            .position(|d| d.dst.overlaps(loc))
+                            .unwrap_or(0);
+                        let child = self.expand(di, dd, tree, out_buffer, recursive, required, depth + 1);
+                        let def_width = self.prepared.steps[di].defs[dd].dst.width;
+                        if loc.width < def_width {
+                            tree.push(TreeNode::Op {
+                                op: TreeOp::Downcast,
+                                children: vec![child],
+                                width: loc.width,
+                            })
+                        } else {
+                            child
+                        }
+                    }
+                    None => tree.push(TreeNode::Leaf(Leaf::Mem {
+                        addr: loc.addr,
+                        width: loc.width,
+                        value: *value,
+                    })),
+                }
+            }
+        }
+    }
+
+    fn reaching_def_of_loc(&self, before_idx: usize, loc: Loc) -> Option<(usize, usize)> {
+        // Walk backwards to find the most recent def overlapping `loc`.
+        for i in (0..before_idx).rev() {
+            for (d, def) in self.prepared.steps[i].defs.iter().enumerate() {
+                if def.dst.overlaps(&loc) {
+                    return Some((i, d));
+                }
+            }
+        }
+        None
+    }
+
+    /// Build the predicate tree for the most recent dynamic occurrence of the
+    /// input-dependent conditional `jcc_addr` before `before_idx`.
+    fn build_predicate(
+        &self,
+        before_idx: usize,
+        jcc_addr: u32,
+        taken: bool,
+        out_buffer: &str,
+    ) -> Option<Predicate> {
+        let dynamics = self.prepared.forward.jcc_dynamic.get(&jcc_addr)?;
+        let (jcc_idx, _) = dynamics
+            .iter()
+            .rev()
+            .find(|(i, _)| *i <= before_idx)
+            .or_else(|| dynamics.first())?;
+        let flag_idx = *self.prepared.forward.jcc_flag_writer.get(jcc_idx)?;
+        let flags = self.prepared.steps[flag_idx].flags.clone()?;
+        let (cond, _) = self.prepared.steps[*jcc_idx].branch?;
+        let cmp = cond_to_cmp(cond);
+        let cmp = if taken { cmp } else { cmp.negate() };
+
+        let mut build_side = |arg: &MicroArg| -> Tree {
+            let mut tree = Tree {
+                nodes: Vec::new(),
+                root: 0,
+                output: Leaf::Const(0),
+                output_width: 4,
+            };
+            let mut rec = false;
+            let mut req = BTreeMap::new();
+            let root = self.expand_arg(
+                flag_idx, 0, usize::MAX, arg, &mut tree, out_buffer, &mut rec, &mut req, 0, false,
+            );
+            tree.root = root;
+            tree.canonicalize();
+            tree
+        };
+        // `expand_arg` indexes `reaching` with (idx, def_idx, arg_i); for flag
+        // operands there is no def entry, so resolve the reaching definition
+        // directly instead.
+        let lhs = self.build_flag_side(flag_idx, &flags.a, out_buffer);
+        let rhs = self.build_flag_side(flag_idx, &flags.b, out_buffer);
+        let _ = &mut build_side;
+        Some(Predicate { cmp, lhs, rhs })
+    }
+
+    fn build_flag_side(&self, flag_idx: usize, arg: &MicroArg, out_buffer: &str) -> Tree {
+        let mut tree =
+            Tree { nodes: Vec::new(), root: 0, output: Leaf::Const(0), output_width: 4 };
+        let mut rec = false;
+        let mut req = BTreeMap::new();
+        let root = match arg {
+            MicroArg::Imm(v) => tree.push(TreeNode::Leaf(Leaf::Const(*v))),
+            MicroArg::Loc { loc, value, .. } => match self.reaching_def_of_loc(flag_idx, *loc) {
+                Some((di, dd)) => {
+                    self.expand(di, dd, &mut tree, out_buffer, &mut rec, &mut req, 0)
+                }
+                None => tree.push(TreeNode::Leaf(Leaf::Mem {
+                    addr: loc.addr,
+                    width: loc.width,
+                    value: *value,
+                })),
+            },
+        };
+        tree.root = root;
+        tree.canonicalize();
+        tree
+    }
+
+    /// Enumerate all output-buffer writes in the trace as `(step, def)` pairs.
+    pub fn output_writes(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, step) in self.prepared.steps.iter().enumerate() {
+            for (d, def) in step.defs.iter().enumerate() {
+                if let Some(b) = self.buffer_of(def.dst.addr) {
+                    if b.role == BufferRole::Output {
+                        out.push((i, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn cond_to_cmp(cond: Cond) -> PredicateCmp {
+    match cond {
+        Cond::Z => PredicateCmp::Eq,
+        Cond::Nz => PredicateCmp::Ne,
+        Cond::B | Cond::L => PredicateCmp::Lt,
+        Cond::Nb | Cond::Ge => PredicateCmp::Ge,
+        Cond::Be | Cond::Le => PredicateCmp::Le,
+        Cond::A | Cond::G => PredicateCmp::Gt,
+        Cond::S => PredicateCmp::Lt,
+        Cond::Ns => PredicateCmp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_machine::isa::regs;
+    use helium_machine::{AddrExpr, MemAccess, Width};
+
+    fn mem_access(addr: u32, width: Width, is_write: bool, value: u64) -> MemAccess {
+        MemAccess {
+            addr,
+            width,
+            is_write,
+            value,
+            expr: AddrExpr {
+                base: None,
+                base_value: 0,
+                index: None,
+                index_value: 0,
+                scale: 1,
+                disp: addr as i32,
+            },
+        }
+    }
+
+    fn record(instr: Instr, mem: Vec<MemAccess>) -> StepRecord {
+        StepRecord {
+            addr: 0x1000,
+            instr,
+            mem,
+            branch_taken: None,
+            call_target: None,
+            is_ret: false,
+            extern_call: None,
+            fpu_top_before: 0,
+            next_pc: 0x1004,
+        }
+    }
+
+    #[test]
+    fn lowering_mov_and_alu() {
+        let rec = record(
+            Instr::Mov { dst: Operand::Reg(regs::eax()), src: Operand::Imm(5) },
+            vec![],
+        );
+        let step = lower_step(&rec).unwrap();
+        assert_eq!(step.defs.len(), 1);
+        assert_eq!(step.defs[0].op, TreeOp::Move);
+
+        let rec = record(
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Operand::Reg(regs::eax()),
+                src: Operand::Mem(helium_machine::MemRef::absolute(0x9000, Width::B4)),
+            },
+            vec![mem_access(0x9000, Width::B4, false, 42)],
+        );
+        let step = lower_step(&rec).unwrap();
+        assert_eq!(step.defs[0].op, TreeOp::Add);
+        assert_eq!(step.defs[0].args.len(), 2);
+        assert!(step.flags.is_some());
+    }
+
+    #[test]
+    fn lowering_fp_uses_physical_slots() {
+        let rec = StepRecord {
+            fpu_top_before: 3,
+            ..record(
+                Instr::Fld {
+                    src: FpSrc::MemF64(helium_machine::MemRef::absolute(0x9100, Width::B8)),
+                },
+                vec![mem_access(0x9100, Width::B8, false, 0)],
+            )
+        };
+        let step = lower_step(&rec).unwrap();
+        // Push decrements the top: physical slot 2.
+        assert_eq!(step.defs[0].dst, Loc::fp(2));
+    }
+
+    #[test]
+    fn loc_helpers() {
+        let r = Loc::reg(regs::ah());
+        assert!(!r.is_memory());
+        assert_eq!(r.width, 1);
+        let m = Loc::mem(0x1000, 4);
+        assert!(m.is_memory());
+        assert!(m.overlaps(&Loc::mem(0x1002, 4)));
+        assert!(!m.overlaps(&Loc::mem(0x1004, 4)));
+    }
+
+    #[test]
+    fn cond_mapping() {
+        assert_eq!(cond_to_cmp(Cond::A), PredicateCmp::Gt);
+        assert_eq!(cond_to_cmp(Cond::Z), PredicateCmp::Eq);
+        assert_eq!(cond_to_cmp(Cond::B), PredicateCmp::Lt);
+    }
+}

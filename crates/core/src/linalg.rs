@@ -1,0 +1,237 @@
+//! Small dense linear-system solver used by symbolic tree generation
+//! (paper §4.10).
+//!
+//! Helium recovers affine index functions by solving, per leaf node and per
+//! dimension, a linear system whose rows are the output-buffer access vectors
+//! of randomly chosen trees in a cluster. The systems are tiny (at most a few
+//! dozen rows and `D + 1` unknowns), so a straightforward Gaussian elimination
+//! with partial pivoting is sufficient. Solutions are checked against every
+//! provided equation and snapped to integers when they are numerically
+//! integral, which index functions of real stencils always are.
+
+/// Outcome of solving an affine-fit system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AffineFit {
+    /// The right-hand side is the same for every row: a constant index.
+    Constant(i64),
+    /// The affine coefficients, one per input dimension, plus the constant term.
+    Affine {
+        /// Coefficient per output dimension.
+        coefficients: Vec<i64>,
+        /// Constant term.
+        constant: i64,
+    },
+    /// No affine function fits the observations (the paper reports an error
+    /// and refuses to lift such kernels).
+    NotAffine,
+    /// The system is rank-deficient: the observations do not pin down a unique
+    /// affine function (too few distinct access vectors).
+    RankDeficient,
+}
+
+/// Solve `A x = b` in a least-structured way: find any exact solution of the
+/// first `n` independent rows and verify it against all rows.
+///
+/// Each row of `rows` is an access vector `(x_1, ..., x_D)`; the unknowns are
+/// the `D` coefficients plus a constant term. Returns [`AffineFit`].
+pub fn fit_affine(rows: &[Vec<i64>], rhs: &[i64]) -> AffineFit {
+    assert_eq!(rows.len(), rhs.len(), "row/rhs length mismatch");
+    if rows.is_empty() {
+        return AffineFit::RankDeficient;
+    }
+    if rhs.iter().all(|&v| v == rhs[0]) {
+        return AffineFit::Constant(rhs[0]);
+    }
+    let dims = rows[0].len();
+    let unknowns = dims + 1;
+    // Build the augmented matrix in f64 (the values involved are small).
+    let mut m: Vec<Vec<f64>> = rows
+        .iter()
+        .zip(rhs)
+        .map(|(r, &b)| {
+            let mut row: Vec<f64> = r.iter().map(|&v| v as f64).collect();
+            row.push(1.0);
+            row.push(b as f64);
+            row
+        })
+        .collect();
+    let nrows = m.len();
+    // Gaussian elimination with partial pivoting.
+    let mut pivot_row = 0usize;
+    let mut pivot_cols = Vec::new();
+    for col in 0..unknowns {
+        // Find the largest pivot in this column.
+        let mut best = pivot_row;
+        for r in pivot_row..nrows {
+            if m[r][col].abs() > m[best][col].abs() {
+                best = r;
+            }
+        }
+        if pivot_row >= nrows || m[best][col].abs() < 1e-9 {
+            continue;
+        }
+        m.swap(pivot_row, best);
+        let p = m[pivot_row][col];
+        for c in col..=unknowns {
+            m[pivot_row][c] /= p;
+        }
+        for r in 0..nrows {
+            if r != pivot_row {
+                let f = m[r][col];
+                if f.abs() > 1e-12 {
+                    for c in col..=unknowns {
+                        m[r][c] -= f * m[pivot_row][c];
+                    }
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+    }
+    let rank = pivot_row;
+    if rank < unknowns {
+        return AffineFit::RankDeficient;
+    }
+    // Inconsistent rows (zero coefficients but non-zero rhs) mean not affine.
+    for r in rank..nrows {
+        if m[r][unknowns].abs() > 1e-6 {
+            return AffineFit::NotAffine;
+        }
+    }
+    // Read the solution off the reduced matrix.
+    let mut solution = vec![0.0; unknowns];
+    for (i, &col) in pivot_cols.iter().enumerate() {
+        solution[col] = m[i][unknowns];
+    }
+    // Verify against every original equation and snap to integers.
+    let mut int_solution = Vec::with_capacity(unknowns);
+    for v in &solution {
+        let snapped = v.round();
+        if (v - snapped).abs() > 1e-6 {
+            return AffineFit::NotAffine;
+        }
+        int_solution.push(snapped as i64);
+    }
+    for (r, &b) in rows.iter().zip(rhs) {
+        let mut acc = int_solution[dims];
+        for (d, &x) in r.iter().enumerate() {
+            acc += int_solution[d] * x;
+        }
+        if acc != b {
+            return AffineFit::NotAffine;
+        }
+    }
+    AffineFit::Affine {
+        coefficients: int_solution[..dims].to_vec(),
+        constant: int_solution[dims],
+    }
+}
+
+/// Rank of the access-vector matrix augmented with a constant column, used for
+/// the paper's well-posedness check (`rank == D + 1`).
+pub fn access_rank(rows: &[Vec<i64>]) -> usize {
+    if rows.is_empty() {
+        return 0;
+    }
+    let dims = rows[0].len();
+    let unknowns = dims + 1;
+    let mut m: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            let mut row: Vec<f64> = r.iter().map(|&v| v as f64).collect();
+            row.push(1.0);
+            row
+        })
+        .collect();
+    let nrows = m.len();
+    let mut rank = 0usize;
+    for col in 0..unknowns {
+        let mut best = rank;
+        for r in rank..nrows {
+            if m[r][col].abs() > m[best][col].abs() {
+                best = r;
+            }
+        }
+        if rank >= nrows || m[best][col].abs() < 1e-9 {
+            continue;
+        }
+        m.swap(rank, best);
+        let p = m[rank][col];
+        for c in col..unknowns {
+            m[rank][c] /= p;
+        }
+        for r in 0..nrows {
+            if r != rank {
+                let f = m[r][col];
+                for c in col..unknowns {
+                    m[r][c] -= f * m[rank][c];
+                }
+            }
+        }
+        rank += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_simple_affine_index() {
+        // leaf_x = out_x + 1, observed at five positions.
+        let rows = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![5, 3], vec![7, 2]];
+        let rhs = vec![1, 2, 3, 6, 8];
+        assert_eq!(
+            fit_affine(&rows, &rhs),
+            AffineFit::Affine { coefficients: vec![1, 0], constant: 1 }
+        );
+    }
+
+    #[test]
+    fn recovers_multi_dimensional_affine() {
+        // leaf = 3*x + 2*y - 4
+        let rows = vec![
+            vec![0, 0],
+            vec![1, 0],
+            vec![0, 1],
+            vec![2, 3],
+            vec![5, 1],
+        ];
+        let rhs: Vec<i64> = rows.iter().map(|r| 3 * r[0] + 2 * r[1] - 4).collect();
+        assert_eq!(
+            fit_affine(&rows, &rhs),
+            AffineFit::Affine { coefficients: vec![3, 2], constant: -4 }
+        );
+    }
+
+    #[test]
+    fn constant_indices_short_circuit() {
+        let rows = vec![vec![0, 0], vec![1, 5], vec![2, 9]];
+        let rhs = vec![7, 7, 7];
+        assert_eq!(fit_affine(&rows, &rhs), AffineFit::Constant(7));
+    }
+
+    #[test]
+    fn detects_non_affine_relationships() {
+        // leaf = x*x is not affine.
+        let rows: Vec<Vec<i64>> = (0..6).map(|x| vec![x, x % 3]).collect();
+        let rhs: Vec<i64> = (0..6).map(|x| x * x).collect();
+        assert_eq!(fit_affine(&rows, &rhs), AffineFit::NotAffine);
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // All observations at the same x: cannot determine the coefficient.
+        let rows = vec![vec![3, 0], vec![3, 0], vec![3, 0]];
+        let rhs = vec![4, 5, 6];
+        assert_eq!(fit_affine(&rows, &rhs), AffineFit::RankDeficient);
+        assert_eq!(access_rank(&rows), 1);
+    }
+
+    #[test]
+    fn rank_of_well_posed_system() {
+        let rows = vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![4, 7]];
+        assert_eq!(access_rank(&rows), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Code localization (paper §3): coverage differencing, candidate-instruction
+//! detection and filter-function selection.
+
+use crate::regions::{reconstruct, Region};
+use helium_dbi::{CoverageReport, ProfileReport};
+use helium_machine::program::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fraction of the estimated data size a region must reach to be considered a
+/// candidate input/output buffer (the paper looks for regions "of size
+/// comparable to or larger than the input and output data sizes").
+pub const CANDIDATE_SIZE_FRACTION: f64 = 0.5;
+
+/// Result of code localization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Localization {
+    /// Basic blocks surviving coverage differencing.
+    pub diff_blocks: BTreeSet<u32>,
+    /// Reconstructed memory regions from the profiling memory trace.
+    pub regions: Vec<Region>,
+    /// Static instructions that touch candidate (data-sized) regions.
+    pub candidate_instructions: BTreeSet<u32>,
+    /// Entry address of the selected filter function.
+    pub filter_function: u32,
+    /// Basic blocks attributed to the filter function.
+    pub filter_blocks: BTreeSet<u32>,
+    /// Static instruction count of the filter function's blocks.
+    pub filter_static_instructions: usize,
+    /// Total static basic blocks executed in the "with kernel" run.
+    pub total_blocks: usize,
+}
+
+/// Statistics echoing the columns of the paper's Fig. 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalizationStats {
+    /// Total static basic blocks executed.
+    pub total_basic_blocks: usize,
+    /// Basic blocks surviving the coverage difference.
+    pub diff_basic_blocks: usize,
+    /// Basic blocks in the selected filter function.
+    pub filter_function_blocks: usize,
+    /// Static instructions in the filter function.
+    pub static_instruction_count: usize,
+}
+
+impl Localization {
+    /// Summarize as Fig. 6-style statistics.
+    pub fn stats(&self) -> LocalizationStats {
+        LocalizationStats {
+            total_basic_blocks: self.total_blocks,
+            diff_basic_blocks: self.diff_blocks.len(),
+            filter_function_blocks: self.filter_blocks.len(),
+            static_instruction_count: self.filter_static_instructions,
+        }
+    }
+}
+
+/// Errors raised during localization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// The coverage difference was empty (the two runs were identical).
+    EmptyDifference,
+    /// No candidate instructions touched data-sized regions.
+    NoCandidates,
+}
+
+impl std::fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizeError::EmptyDifference => {
+                write!(f, "coverage difference is empty; the kernel did not execute")
+            }
+            LocalizeError::NoCandidates => {
+                write!(f, "no instructions touch regions comparable to the data size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
+/// Perform localization from the three instrumented runs' results.
+///
+/// * `with` / `without` — coverage of the run with and without the kernel
+///   (paper §3.1),
+/// * `profile` — detailed profile of the difference blocks (counts,
+///   predecessors, call targets, memory trace),
+/// * `approx_data_size` — estimated size of the image/grid data, used to pick
+///   candidate instructions,
+/// * `program` — the loaded program (used to attribute instructions to blocks).
+///
+/// # Errors
+/// Returns [`LocalizeError`] when the difference is empty or no candidate
+/// instructions exist.
+pub fn localize(
+    program: &Program,
+    with: &CoverageReport,
+    without: &CoverageReport,
+    profile: &ProfileReport,
+    approx_data_size: usize,
+) -> Result<Localization, LocalizeError> {
+    let diff_blocks = with.difference(without);
+    if diff_blocks.is_empty() {
+        return Err(LocalizeError::EmptyDifference);
+    }
+
+    // Buffer structure reconstruction over the profiling memory trace.
+    let regions = reconstruct(&profile.memory_trace);
+
+    // Candidate instructions: those accessing regions comparable to the data.
+    let threshold = ((approx_data_size as f64) * CANDIDATE_SIZE_FRACTION) as u32;
+    let mut candidate_instructions = BTreeSet::new();
+    for region in &regions {
+        if region.len() >= threshold.max(1) {
+            candidate_instructions.extend(region.instructions.iter().copied());
+        }
+    }
+    if candidate_instructions.is_empty() {
+        return Err(LocalizeError::NoCandidates);
+    }
+
+    // Filter function selection: the function containing the most candidate
+    // static instructions (paper §3.3), using the dynamic CFG's block-to-
+    // function attribution.
+    let leaders = program.block_leaders();
+    let mut function_votes: BTreeMap<u32, usize> = BTreeMap::new();
+    for &instr in &candidate_instructions {
+        let block = program.block_leader_of(instr, &leaders);
+        if let Some(func) = profile.block_function.get(&block) {
+            *function_votes.entry(*func).or_insert(0) += 1;
+        }
+    }
+    let filter_function = function_votes
+        .iter()
+        .max_by_key(|(_, votes)| **votes)
+        .map(|(f, _)| *f)
+        .ok_or(LocalizeError::NoCandidates)?;
+
+    // Blocks and instruction count attributed to the filter function (and its
+    // callees observed in the dynamic CFG).
+    let mut filter_functions = BTreeSet::new();
+    filter_functions.insert(filter_function);
+    // Include dynamic callees whose call sites live in the filter function.
+    for (site, targets) in &profile.call_targets {
+        let block = program.block_leader_of(*site, &leaders);
+        if profile.block_function.get(&block) == Some(&filter_function) {
+            filter_functions.extend(targets.iter().copied());
+        }
+    }
+    let filter_blocks: BTreeSet<u32> = profile
+        .block_function
+        .iter()
+        .filter(|(_, f)| filter_functions.contains(f))
+        .map(|(b, _)| *b)
+        .collect();
+    let filter_static_instructions = profile
+        .instr_counts
+        .keys()
+        .filter(|i| {
+            let block = program.block_leader_of(**i, &leaders);
+            filter_blocks.contains(&block)
+        })
+        .count();
+
+    Ok(Localization {
+        diff_blocks,
+        regions,
+        candidate_instructions,
+        filter_function,
+        filter_blocks,
+        filter_static_instructions,
+        total_blocks: with.static_block_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_dbi::Instrumenter;
+    use helium_apps::photoflow::{PhotoFilter, PhotoFlow};
+    use helium_apps::PlanarImage;
+
+    #[test]
+    fn localizes_the_blur_filter_function() {
+        let image = PlanarImage::random(24, 13, 1, 16, 5);
+        let app = PhotoFlow::new(PhotoFilter::Blur, image);
+        let instr = Instrumenter::new();
+        let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
+        let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+        let diff = with.difference(&without);
+        let profile = instr
+            .profile(app.program(), &mut app.fresh_cpu(true), &diff)
+            .unwrap();
+        let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size())
+            .expect("localization succeeds");
+        assert_eq!(
+            loc.filter_function,
+            app.filter_entry_for_reference(),
+            "the stencil function should be selected"
+        );
+        assert!(loc.stats().diff_basic_blocks < loc.stats().total_basic_blocks);
+        assert!(loc.stats().static_instruction_count > 10);
+        assert!(!loc.candidate_instructions.is_empty());
+    }
+
+    #[test]
+    fn empty_difference_is_an_error() {
+        let image = PlanarImage::random(16, 8, 1, 16, 5);
+        let app = PhotoFlow::new(PhotoFilter::Invert, image);
+        let instr = Instrumenter::new();
+        let with = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+        let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+        let profile = instr
+            .profile(app.program(), &mut app.fresh_cpu(false), &BTreeSet::new())
+            .unwrap();
+        let err = localize(app.program(), &with, &without, &profile, app.approx_data_size())
+            .unwrap_err();
+        assert_eq!(err, LocalizeError::EmptyDifference);
+    }
+}

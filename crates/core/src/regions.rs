@@ -1,0 +1,354 @@
+//! Buffer structure reconstruction (paper §3.2 and Fig. 3).
+//!
+//! The memory trace contains raw absolute addresses. Helium reconstructs the
+//! layout of the program's buffers by (1) coalescing the addresses accessed
+//! by each static instruction into contiguous ranges, (2) merging the ranges
+//! of different instructions (so unrolled loops whose individual instructions
+//! each touch only every k-th element still yield one region), and (3)
+//! recursively linking three or more regions separated by a constant stride
+//! into a single larger region. The recursion depth later feeds the generic
+//! dimensionality inference (paper §4.3).
+
+use helium_dbi::MemTraceEntry;
+use helium_machine::Width;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reconstructed memory region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Lowest address of the region.
+    pub start: u32,
+    /// One past the highest address of the region.
+    pub end: u32,
+    /// Static instructions that access the region.
+    pub instructions: BTreeSet<u32>,
+    /// Most common access width observed (the inferred element size).
+    pub element_width: u32,
+    /// Whether the region was read / written.
+    pub read: bool,
+    /// Whether the region was written.
+    pub written: bool,
+    /// Strides discovered at each level of recursive grouping, innermost
+    /// first. An entry `(stride, count)` means `count` sub-regions separated
+    /// by `stride` bytes were linked at that level.
+    pub group_strides: Vec<(u32, u32)>,
+}
+
+impl Region {
+    /// Size of the region in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Returns `true` if `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Number of recursive grouping levels (dimensionality hint for generic
+    /// inference: one level of grouping per dimension beyond the first).
+    pub fn grouping_levels(&self) -> usize {
+        self.group_strides.len()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Range {
+    start: u32,
+    end: u32,
+}
+
+/// Reconstruct regions from a memory trace.
+pub fn reconstruct(trace: &[MemTraceEntry]) -> Vec<Region> {
+    reconstruct_filtered(trace, |_| true)
+}
+
+/// Reconstruct regions considering only trace entries accepted by `keep`.
+pub fn reconstruct_filtered(
+    trace: &[MemTraceEntry],
+    keep: impl Fn(&MemTraceEntry) -> bool,
+) -> Vec<Region> {
+    // Step 1: per-instruction address sets.
+    #[derive(Default)]
+    struct PerInstr {
+        addrs: BTreeSet<u32>,
+        widths: BTreeMap<u32, u64>,
+        read: bool,
+        written: bool,
+    }
+    let mut per_instr: BTreeMap<u32, PerInstr> = BTreeMap::new();
+    for e in trace.iter().filter(|e| keep(e)) {
+        let p = per_instr.entry(e.instr_addr).or_default();
+        for i in 0..width_bytes(e.width) {
+            p.addrs.insert(e.addr + i);
+        }
+        *p.widths.entry(width_bytes(e.width)).or_insert(0) += 1;
+        if e.is_write {
+            p.written = true;
+        } else {
+            p.read = true;
+        }
+    }
+
+    // Step 2: coalesce each instruction's addresses into ranges, then merge the
+    // ranges of all instructions (tracking attribution).
+    let mut ranges: Vec<(Range, u32)> = Vec::new(); // (range, instr)
+    for (instr, p) in &per_instr {
+        let mut start = None;
+        let mut prev = None;
+        for &a in &p.addrs {
+            match (start, prev) {
+                (None, _) => {
+                    start = Some(a);
+                    prev = Some(a);
+                }
+                (Some(_), Some(pv)) if a == pv + 1 => prev = Some(a),
+                (Some(s), Some(pv)) => {
+                    ranges.push((Range { start: s, end: pv + 1 }, *instr));
+                    start = Some(a);
+                    prev = Some(a);
+                }
+                _ => unreachable!(),
+            }
+        }
+        if let (Some(s), Some(pv)) = (start, prev) {
+            ranges.push((Range { start: s, end: pv + 1 }, *instr));
+        }
+    }
+
+    // Merge overlapping/adjacent ranges across instructions.
+    ranges.sort_by_key(|(r, _)| r.start);
+    let mut merged: Vec<(Range, BTreeSet<u32>)> = Vec::new();
+    for (r, instr) in ranges {
+        match merged.last_mut() {
+            Some((last, instrs)) if r.start <= last.end => {
+                last.end = last.end.max(r.end);
+                instrs.insert(instr);
+            }
+            _ => {
+                let mut set = BTreeSet::new();
+                set.insert(instr);
+                merged.push((r, set));
+            }
+        }
+    }
+
+    // Step 3: recursively link >= 3 equally-sized regions separated by a
+    // constant stride into larger regions.
+    #[derive(Debug, Clone)]
+    struct Grouped {
+        start: u32,
+        end: u32,
+        instrs: BTreeSet<u32>,
+        strides: Vec<(u32, u32)>,
+    }
+    let mut groups: Vec<Grouped> = merged
+        .into_iter()
+        .map(|(r, instrs)| Grouped { start: r.start, end: r.end, instrs, strides: Vec::new() })
+        .collect();
+    loop {
+        groups.sort_by_key(|g| g.start);
+        let mut changed = false;
+        let mut out: Vec<Grouped> = Vec::new();
+        let mut i = 0;
+        while i < groups.len() {
+            // Try to extend a run of same-size, same-stride groups starting at i.
+            let size = groups[i].end - groups[i].start;
+            let mut run_end = i;
+            let mut stride = 0u32;
+            if i + 1 < groups.len() {
+                stride = groups[i + 1].start.wrapping_sub(groups[i].start);
+                let mut j = i + 1;
+                while j < groups.len()
+                    && groups[j].end - groups[j].start == size
+                    && groups[j].start.wrapping_sub(groups[j - 1].start) == stride
+                    && stride >= size
+                {
+                    run_end = j;
+                    j += 1;
+                }
+            }
+            let count = run_end - i + 1;
+            if count >= 3 && stride > 0 {
+                let mut instrs = BTreeSet::new();
+                let mut strides = groups[i].strides.clone();
+                for g in &groups[i..=run_end] {
+                    instrs.extend(g.instrs.iter().copied());
+                }
+                strides.push((stride, count as u32));
+                out.push(Grouped {
+                    start: groups[i].start,
+                    end: groups[run_end].end,
+                    instrs,
+                    strides,
+                });
+                changed = true;
+                i = run_end + 1;
+            } else {
+                out.push(groups[i].clone());
+                i += 1;
+            }
+        }
+        groups = out;
+        if !changed {
+            break;
+        }
+        // After linking, adjacent groups may have become mergeable again; the
+        // loop continues until a fixed point.
+    }
+
+    // Assemble the final regions with per-region metadata.
+    groups
+        .into_iter()
+        .map(|g| {
+            let mut width_votes: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut read = false;
+            let mut written = false;
+            for instr in &g.instrs {
+                if let Some(p) = per_instr.get(instr) {
+                    for (w, c) in &p.widths {
+                        *width_votes.entry(*w).or_insert(0) += c;
+                    }
+                    read |= p.read;
+                    written |= p.written;
+                }
+            }
+            let element_width = width_votes
+                .iter()
+                .max_by_key(|(_, c)| **c)
+                .map(|(w, _)| *w)
+                .unwrap_or(1);
+            Region {
+                start: g.start,
+                end: g.end,
+                instructions: g.instrs,
+                element_width,
+                read,
+                written,
+                group_strides: g.strides,
+            }
+        })
+        .collect()
+}
+
+fn width_bytes(w: Width) -> u32 {
+    w.bytes()
+}
+
+/// Find the region containing `addr`, if any.
+pub fn region_containing(regions: &[Region], addr: u32) -> Option<&Region> {
+    regions.iter().find(|r| r.contains(addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(instr: u32, addr: u32, width: Width, is_write: bool) -> MemTraceEntry {
+        MemTraceEntry { instr_addr: instr, addr, width, is_write }
+    }
+
+    #[test]
+    fn coalesces_contiguous_accesses() {
+        let trace: Vec<MemTraceEntry> =
+            (0..16).map(|i| entry(0x100, 0x9000 + i, Width::B1, false)).collect();
+        let regions = reconstruct(&trace);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].start, 0x9000);
+        assert_eq!(regions[0].len(), 16);
+        assert_eq!(regions[0].element_width, 1);
+        assert!(regions[0].read);
+        assert!(!regions[0].written);
+    }
+
+    #[test]
+    fn merges_unrolled_instructions() {
+        // Two instructions each accessing every other byte; together they cover
+        // the buffer contiguously.
+        let mut trace = Vec::new();
+        for i in (0..32).step_by(2) {
+            trace.push(entry(0x100, 0x9000 + i, Width::B1, false));
+            trace.push(entry(0x104, 0x9001 + i, Width::B1, false));
+        }
+        let regions = reconstruct(&trace);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].len(), 32);
+        assert_eq!(regions[0].instructions.len(), 2);
+    }
+
+    #[test]
+    fn links_strided_rows_into_one_region() {
+        // Rows of 8 bytes separated by a 16-byte stride (padding between rows),
+        // as produced by an aligned scanline layout.
+        let mut trace = Vec::new();
+        for row in 0..6u32 {
+            for x in 0..8u32 {
+                trace.push(entry(0x200, 0xA000 + row * 16 + x, Width::B1, true));
+            }
+        }
+        let regions = reconstruct(&trace);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].start, 0xA000);
+        assert_eq!(regions[0].group_strides, vec![(16, 6)]);
+        assert_eq!(regions[0].grouping_levels(), 1);
+        assert!(regions[0].written);
+    }
+
+    #[test]
+    fn two_level_grouping_for_3d_data() {
+        // 4 rows of 4 doubles, row stride 48 (ghost cells), plane stride 240,
+        // 3 planes: two levels of recursive grouping.
+        let mut trace = Vec::new();
+        for plane in 0..3u32 {
+            for row in 0..4u32 {
+                for x in 0..4u32 {
+                    trace.push(entry(
+                        0x300,
+                        0xB000 + plane * 240 + row * 48 + x * 8,
+                        Width::B8,
+                        false,
+                    ));
+                }
+            }
+        }
+        let regions = reconstruct(&trace);
+        assert_eq!(regions.len(), 1);
+        // The contiguous doubles within a row coalesce without a grouping
+        // level; rows and planes each add one level (dimensionality = 2 + 1).
+        assert_eq!(regions[0].grouping_levels(), 2);
+        assert_eq!(regions[0].element_width, 8);
+        assert_eq!(regions[0].group_strides[0], (48, 4));
+        assert_eq!(regions[0].group_strides[1], (240, 3));
+    }
+
+    #[test]
+    fn separate_buffers_stay_separate() {
+        let mut trace = Vec::new();
+        for i in 0..16u32 {
+            trace.push(entry(0x100, 0x9000 + i, Width::B1, false));
+            trace.push(entry(0x104, 0xF000 + i, Width::B1, true));
+        }
+        let regions = reconstruct(&trace);
+        assert_eq!(regions.len(), 2);
+        assert!(region_containing(&regions, 0x9005).is_some());
+        assert!(region_containing(&regions, 0xF00F).is_some());
+        assert!(region_containing(&regions, 0x500).is_none());
+    }
+
+    #[test]
+    fn filtered_reconstruction_ignores_entries() {
+        let trace: Vec<MemTraceEntry> =
+            (0..8).map(|i| entry(0x100 + (i % 2) * 4, 0x9000 + i, Width::B1, false)).collect();
+        let regions = reconstruct_filtered(&trace, |e| e.instr_addr == 0x100);
+        // Only every other byte survives the filter; the four single-byte
+        // ranges are then linked into one strided region.
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].group_strides, vec![(2, 4)]);
+    }
+}

@@ -1,0 +1,476 @@
+//! Tree clustering, buffer inference, reduction-domain inference and symbolic
+//! tree generation (paper §4.8–§4.10).
+
+use crate::layout::{BufferLayout, BufferRole};
+use crate::linalg::{fit_affine, AffineFit};
+use crate::trees::{AffineIndex, GuardedTree, Leaf, Predicate, Tree, TreeNode};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Errors raised while abstracting and symbolizing trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// A leaf index could not be expressed as an affine function of the output
+    /// coordinates.
+    NotAffine {
+        /// Buffer whose index failed to fit.
+        buffer: String,
+    },
+    /// The cluster does not contain enough distinct access vectors.
+    RankDeficient,
+    /// No clusters were produced (no output writes).
+    Empty,
+}
+
+impl std::fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymbolicError::NotAffine { buffer } => {
+                write!(f, "index function for `{buffer}` is not affine")
+            }
+            SymbolicError::RankDeficient => write!(f, "not enough distinct trees to solve the index functions"),
+            SymbolicError::Empty => write!(f, "no computational trees to abstract"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// A cluster of structurally identical abstract trees (paper §4.8).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Cluster key (structure + predicates + output buffer).
+    pub key: String,
+    /// Member trees (abstract: leaves are buffer references / params / consts).
+    pub trees: Vec<GuardedTree>,
+}
+
+impl Cluster {
+    /// Name of the output buffer this cluster writes.
+    pub fn output_buffer(&self) -> Option<String> {
+        self.trees.first().and_then(|t| match &t.tree.output {
+            Leaf::BufferRef { buffer, .. } => Some(buffer.clone()),
+            _ => None,
+        })
+    }
+}
+
+/// Convert concrete leaves (absolute addresses) into buffer references or
+/// parameters using the inferred layouts (buffer inference, paper §4.8).
+pub fn abstract_tree(tree: &Tree, buffers: &[BufferLayout]) -> Tree {
+    let mut out = tree.clone();
+    for node in &mut out.nodes {
+        if let TreeNode::Leaf(leaf) = node {
+            *leaf = abstract_leaf(leaf, buffers);
+        }
+    }
+    out.output = abstract_leaf(&out.output, buffers);
+    out
+}
+
+fn abstract_leaf(leaf: &Leaf, buffers: &[BufferLayout]) -> Leaf {
+    match leaf {
+        Leaf::Mem { addr, width, value } => {
+            if *addr < 0x1_0000_0000 {
+                let a = *addr as u32;
+                if let Some(b) = buffers.iter().find(|b| b.contains(a)) {
+                    if let Some(indices) = b.index_of(a) {
+                        return Leaf::BufferRef { buffer: b.name.clone(), indices };
+                    }
+                }
+            }
+            // Anything outside every buffer is a parameter (paper §4.8).
+            Leaf::Param {
+                name: format!("p_{addr:x}"),
+                value: *value,
+                width: *width,
+                is_float: *width == 8,
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Abstract a guarded tree (computation plus predicates).
+pub fn abstract_guarded(tree: &GuardedTree, buffers: &[BufferLayout]) -> GuardedTree {
+    GuardedTree {
+        tree: abstract_tree(&tree.tree, buffers),
+        predicates: tree
+            .predicates
+            .iter()
+            .map(|p| Predicate {
+                cmp: p.cmp,
+                lhs: abstract_tree(&p.lhs, buffers),
+                rhs: abstract_tree(&p.rhs, buffers),
+            })
+            .collect(),
+        recursive: tree.recursive,
+    }
+}
+
+/// Group abstract trees into clusters by structural key (paper §4.8).
+pub fn cluster_trees(trees: Vec<GuardedTree>) -> Vec<Cluster> {
+    let mut map: BTreeMap<String, Vec<GuardedTree>> = BTreeMap::new();
+    for t in trees {
+        map.entry(t.cluster_key()).or_default().push(t);
+    }
+    map.into_iter().map(|(key, trees)| Cluster { key, trees }).collect()
+}
+
+/// A symbolic cluster: one computational tree whose leaves carry affine index
+/// functions, plus symbolic predicates and an optional reduction domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymbolicCluster {
+    /// Output buffer written by this cluster.
+    pub output_buffer: String,
+    /// The symbolic computational tree.
+    pub tree: Tree,
+    /// Symbolic predicates guarding the tree.
+    pub predicates: Vec<(crate::trees::PredicateCmp, Tree, Tree)>,
+    /// `true` when the cluster represents a recursive (reduction) update.
+    pub recursive: bool,
+    /// Reduction domain: the buffer whose bounds drive the update, if any.
+    pub reduction_over: Option<String>,
+    /// Number of concrete trees that backed this cluster.
+    pub support: usize,
+}
+
+/// Solve a cluster into a symbolic cluster (paper §4.10).
+///
+/// `dims` is the dimensionality of the output buffer; `samples` trees are
+/// chosen at random (the paper uses `2D + 1`).
+pub fn solve_cluster(
+    cluster: &Cluster,
+    buffers: &[BufferLayout],
+    rng: &mut StdRng,
+) -> Result<SymbolicCluster, SymbolicError> {
+    let first = cluster.trees.first().ok_or(SymbolicError::Empty)?;
+    let output_buffer = cluster.output_buffer().ok_or(SymbolicError::Empty)?;
+    let out_layout = buffers
+        .iter()
+        .find(|b| b.name == output_buffer)
+        .ok_or(SymbolicError::Empty)?;
+    let dims = out_layout.dims();
+
+    // Select 2D + 1 random trees (or all of them when the cluster is small).
+    let want = (2 * dims + 1).max(2);
+    let mut selected: Vec<&GuardedTree> = cluster.trees.iter().collect();
+    selected.shuffle(rng);
+    selected.truncate(want.min(cluster.trees.len()));
+
+    // Access vectors: the output coordinates of each selected tree.
+    let access_vectors: Vec<Vec<i64>> = selected
+        .iter()
+        .map(|t| match &t.tree.output {
+            Leaf::BufferRef { indices, .. } => indices.clone(),
+            _ => vec![0; dims],
+        })
+        .collect();
+
+    // Recursive (reduction) clusters are not symbolized against the output
+    // coordinates: their indices range over the reduction domain instead
+    // (paper §4.9). The abstract template tree is kept as-is and the driving
+    // buffer is extracted below.
+    let symbolic_tree = if first.recursive {
+        first.tree.clone()
+    } else {
+        symbolize_tree(
+            &first.tree,
+            &selected.iter().map(|t| &t.tree).collect::<Vec<_>>(),
+            &access_vectors,
+            dims,
+        )?
+    };
+    let mut predicates = Vec::new();
+    if first.recursive {
+        let mut over = None;
+        for l in first.tree.leaves_in_order() {
+            if let Leaf::BufferRef { buffer, .. } = l {
+                if *buffer != output_buffer && over.is_none() {
+                    over = Some(buffer.clone());
+                }
+            }
+        }
+        return Ok(SymbolicCluster {
+            output_buffer,
+            tree: symbolic_tree,
+            predicates,
+            recursive: true,
+            reduction_over: over,
+            support: cluster.trees.len(),
+        });
+    }
+    for (pi, p) in first.predicates.iter().enumerate() {
+        let lhs_trees: Vec<&Tree> = selected.iter().map(|t| &t.predicates[pi].lhs).collect();
+        let rhs_trees: Vec<&Tree> = selected.iter().map(|t| &t.predicates[pi].rhs).collect();
+        let lhs = symbolize_tree(&p.lhs, &lhs_trees, &access_vectors, dims)?;
+        let rhs = symbolize_tree(&p.rhs, &rhs_trees, &access_vectors, dims)?;
+        predicates.push((p.cmp, lhs, rhs));
+    }
+
+    // Reduction domain inference (paper §4.9): if the cluster is recursive and
+    // the root is indirectly addressed through another buffer, the domain is
+    // that buffer's bounds.
+    let reduction_over = if first.recursive {
+        let mut over = None;
+        first.tree.leaves_in_order().iter().for_each(|l| {
+            if let Leaf::BufferRef { buffer, .. } = l {
+                if *buffer != output_buffer && over.is_none() {
+                    over = Some(buffer.clone());
+                }
+            }
+        });
+        over
+    } else {
+        None
+    };
+
+    Ok(SymbolicCluster {
+        output_buffer,
+        tree: symbolic_tree,
+        predicates,
+        recursive: first.recursive,
+        reduction_over,
+        support: cluster.trees.len(),
+    })
+}
+
+/// Replace buffer-reference leaves by symbolic references whose indices are
+/// affine functions of the output coordinates, fitted across `instances`.
+fn symbolize_tree(
+    template: &Tree,
+    instances: &[&Tree],
+    access_vectors: &[Vec<i64>],
+    dims: usize,
+) -> Result<Tree, SymbolicError> {
+    let mut out = template.clone();
+    // Leaves are visited in the same order in every tree of a cluster because
+    // the structures are identical (that is what clustering guarantees).
+    let template_leaves: Vec<usize> = leaf_node_ids(template);
+    let instance_leaves: Vec<Vec<&Leaf>> = instances.iter().map(|t| t.leaves_in_order()).collect();
+    // Table leaves (the buffer operand of an indirect load) are indexed by
+    // data values, not output coordinates; they are kept as-is and the index
+    // expression child carries the real indexing.
+    let table_leaves: std::collections::BTreeSet<usize> = template
+        .nodes
+        .iter()
+        .filter_map(|n| match n {
+            TreeNode::Op { op: crate::trees::TreeOp::IndirectLoad, children, .. } => {
+                children.first().copied()
+            }
+            _ => None,
+        })
+        .collect();
+
+    for (pos, &node_id) in template_leaves.iter().enumerate() {
+        if table_leaves.contains(&node_id) {
+            if let TreeNode::Leaf(Leaf::BufferRef { buffer, indices }) = &template.nodes[node_id] {
+                out.nodes[node_id] = TreeNode::Leaf(Leaf::SymbolicRef {
+                    buffer: buffer.clone(),
+                    index_exprs: indices.iter().map(|_| AffineIndex::constant(0, dims)).collect(),
+                });
+            }
+            continue;
+        }
+        let leaf = match &template.nodes[node_id] {
+            TreeNode::Leaf(l) => l.clone(),
+            _ => continue,
+        };
+        match leaf {
+            Leaf::BufferRef { buffer, indices } => {
+                let leaf_dims = indices.len();
+                let mut index_exprs = Vec::with_capacity(leaf_dims);
+                for d in 0..leaf_dims {
+                    let rhs: Vec<i64> = instance_leaves
+                        .iter()
+                        .map(|leaves| match leaves.get(pos) {
+                            Some(Leaf::BufferRef { indices, .. }) => {
+                                indices.get(d).copied().unwrap_or(0)
+                            }
+                            _ => 0,
+                        })
+                        .collect();
+                    match fit_affine(access_vectors, &rhs) {
+                        AffineFit::Constant(c) => index_exprs.push(AffineIndex::constant(c, dims)),
+                        AffineFit::Affine { coefficients, constant } => {
+                            index_exprs.push(AffineIndex { coefficients, constant })
+                        }
+                        AffineFit::RankDeficient => {
+                            // Fall back to the observed constant when every
+                            // instance agrees; otherwise report the error.
+                            if rhs.iter().all(|&v| v == rhs[0]) {
+                                index_exprs.push(AffineIndex::constant(rhs[0], dims));
+                            } else {
+                                return Err(SymbolicError::RankDeficient);
+                            }
+                        }
+                        AffineFit::NotAffine => {
+                            return Err(SymbolicError::NotAffine {
+                                buffer: format!(
+                                    "{buffer} dim {d}: outputs {access_vectors:?} -> indices {rhs:?}"
+                                ),
+                            })
+                        }
+                    }
+                }
+                out.nodes[node_id] =
+                    TreeNode::Leaf(Leaf::SymbolicRef { buffer: buffer.clone(), index_exprs });
+            }
+            Leaf::Const(c) => {
+                // Verify the constant is stable across the cluster; the paper
+                // also allows affine constants but stable constants cover all
+                // our kernels.
+                let all_same = instance_leaves.iter().all(|leaves| {
+                    matches!(leaves.get(pos), Some(Leaf::Const(v)) if *v == c)
+                });
+                if !all_same {
+                    return Err(SymbolicError::NotAffine { buffer: "<constant>".to_string() });
+                }
+            }
+            _ => {}
+        }
+    }
+    // The output location becomes the identity symbolic reference.
+    if let Leaf::BufferRef { buffer, .. } = &template.output {
+        out.output = Leaf::SymbolicRef {
+            buffer: buffer.clone(),
+            index_exprs: (0..dims).map(|d| AffineIndex::identity(d, dims, 0)).collect(),
+        };
+    }
+    Ok(out)
+}
+
+fn leaf_node_ids(tree: &Tree) -> Vec<usize> {
+    let mut out = Vec::new();
+    collect(tree, tree.root, &mut out);
+    fn collect(tree: &Tree, node: usize, out: &mut Vec<usize>) {
+        match &tree.nodes[node] {
+            TreeNode::Leaf(_) => out.push(node),
+            TreeNode::Op { children, .. } => {
+                for &c in children {
+                    collect(tree, c, out);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Group buffers by role for reporting.
+pub fn buffers_by_role(buffers: &[BufferLayout]) -> BTreeMap<BufferRole, Vec<String>> {
+    let mut map: BTreeMap<BufferRole, Vec<String>> = BTreeMap::new();
+    for b in buffers {
+        map.entry(b.role).or_default().push(b.name.clone());
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::TreeOp;
+
+    fn layouts() -> Vec<BufferLayout> {
+        vec![
+            BufferLayout {
+                name: "input_1".into(),
+                role: BufferRole::Input,
+                base: 0x1000,
+                end: 0x1000 + 48 * 16,
+                element_size: 1,
+                strides: vec![1, 48],
+                extents: vec![48, 16],
+            },
+            BufferLayout {
+                name: "output_1".into(),
+                role: BufferRole::Output,
+                base: 0x4000,
+                end: 0x4000 + 48 * 16,
+                element_size: 1,
+                strides: vec![1, 48],
+                extents: vec![48, 16],
+            },
+        ]
+    }
+
+    /// Build a concrete tree mimicking `out(x,y) = in(x+1,y) + in(x,y)` at a
+    /// given output coordinate.
+    fn concrete_tree(x: i64, y: i64) -> GuardedTree {
+        let in_addr = |dx: i64| (0x1000 + (y * 48) + x + dx) as u64;
+        let out_addr = (0x4000 + y * 48 + x) as u64;
+        let mut t = Tree {
+            nodes: Vec::new(),
+            root: 0,
+            output: Leaf::Mem { addr: out_addr, width: 1, value: 0 },
+            output_width: 1,
+        };
+        let a = t.push(TreeNode::Leaf(Leaf::Mem { addr: in_addr(1), width: 1, value: 0 }));
+        let b = t.push(TreeNode::Leaf(Leaf::Mem { addr: in_addr(0), width: 1, value: 0 }));
+        let root = t.push(TreeNode::Op { op: TreeOp::Add, children: vec![a, b], width: 4 });
+        t.root = root;
+        GuardedTree { tree: t, predicates: vec![], recursive: false }
+    }
+
+    #[test]
+    fn abstraction_maps_addresses_to_indices() {
+        let g = concrete_tree(3, 2);
+        let a = abstract_guarded(&g, &layouts());
+        match &a.tree.output {
+            Leaf::BufferRef { buffer, indices } => {
+                assert_eq!(buffer, "output_1");
+                assert_eq!(indices, &vec![3, 2]);
+            }
+            other => panic!("unexpected output leaf {other:?}"),
+        }
+        let leaves = a.tree.leaves_in_order();
+        assert!(matches!(leaves[0], Leaf::BufferRef { buffer, indices } if buffer == "input_1" && indices == &vec![4, 2]));
+    }
+
+    #[test]
+    fn parameters_for_unmapped_addresses() {
+        let mut g = concrete_tree(1, 1);
+        g.tree.nodes[0] = TreeNode::Leaf(Leaf::Mem { addr: 0xdead_0000, width: 4, value: 7 });
+        let a = abstract_guarded(&g, &layouts());
+        assert!(matches!(a.tree.leaves_in_order()[0], Leaf::Param { value: 7, .. }));
+    }
+
+    #[test]
+    fn clustering_and_solving_recovers_affine_indices() {
+        let buffers = layouts();
+        let trees: Vec<GuardedTree> = (0..20)
+            .map(|i| abstract_guarded(&concrete_tree(1 + (i % 5), 1 + (i / 5)), &buffers))
+            .collect();
+        let clusters = cluster_trees(trees);
+        assert_eq!(clusters.len(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sym = solve_cluster(&clusters[0], &buffers, &mut rng).expect("solved");
+        assert_eq!(sym.output_buffer, "output_1");
+        assert_eq!(sym.support, 20);
+        assert!(!sym.recursive);
+        let rendered = sym.tree.render();
+        assert!(rendered.contains("input_1(x_0+1,x_1)"), "rendered: {rendered}");
+        assert!(rendered.contains("input_1(x_0,x_1)"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn rank_deficiency_reported_for_degenerate_clusters() {
+        let buffers = layouts();
+        // Only one distinct output coordinate: the system cannot be solved,
+        // unless every leaf index is constant (here they are, so it succeeds
+        // with constant indices).
+        let trees: Vec<GuardedTree> =
+            (0..3).map(|_| abstract_guarded(&concrete_tree(2, 2), &buffers)).collect();
+        let clusters = cluster_trees(trees);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sym = solve_cluster(&clusters[0], &buffers, &mut rng).expect("constant fit");
+        assert!(sym.tree.render().contains("input_1(3,2)"));
+    }
+
+    #[test]
+    fn buffers_by_role_groups() {
+        let map = buffers_by_role(&layouts());
+        assert_eq!(map[&BufferRole::Input], vec!["input_1"]);
+        assert_eq!(map[&BufferRole::Output], vec!["output_1"]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Basic-block code coverage collection (paper §3.1).
+//!
+//! Helium's first screening step records which static basic blocks execute in
+//! a run *with* the target kernel and a run *without* it; the difference is a
+//! small superset of the kernel code.
+
+use helium_machine::program::Program;
+use helium_machine::Cpu;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::InstrumentError;
+
+/// Result of a coverage run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Leaders of all basic blocks that executed at least once.
+    pub blocks: BTreeSet<u32>,
+    /// Number of dynamic basic-block entries observed (not deduplicated).
+    pub dynamic_block_entries: u64,
+    /// Number of dynamic instructions executed.
+    pub dynamic_instructions: u64,
+}
+
+impl CoverageReport {
+    /// Number of distinct static basic blocks executed.
+    pub fn static_block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks executed in `self` but not in `other`: the coverage difference
+    /// that screens out code unrelated to the kernel.
+    pub fn difference(&self, other: &CoverageReport) -> BTreeSet<u32> {
+        self.blocks.difference(&other.blocks).copied().collect()
+    }
+}
+
+/// Run the program to completion on `cpu`, collecting block coverage.
+///
+/// # Errors
+/// Propagates interpreter errors and the step limit.
+pub fn collect_coverage(
+    program: &Program,
+    cpu: &mut Cpu,
+    max_steps: u64,
+) -> Result<CoverageReport, InstrumentError> {
+    let leaders = program.block_leaders();
+    let mut report = CoverageReport::default();
+    cpu.run(program, max_steps, |_, rec| {
+        report.dynamic_instructions += 1;
+        if leaders.contains(&rec.addr) {
+            report.dynamic_block_entries += 1;
+            report.blocks.insert(rec.addr);
+        }
+    })?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_machine::asm::Asm;
+    use helium_machine::isa::{regs, Cond, Operand};
+
+    fn branching_program() -> Program {
+        let mut asm = Asm::new(0x1000);
+        asm.cmp(regs::eax(), Operand::Imm(0));
+        asm.jcc(Cond::Nz, "kernel");
+        asm.mov(regs::ebx(), Operand::Imm(1));
+        asm.halt();
+        asm.label("kernel");
+        asm.mov(regs::ebx(), Operand::Imm(2));
+        asm.halt();
+        let mut p = Program::new();
+        p.add_module("m", asm.finish());
+        p
+    }
+
+    #[test]
+    fn coverage_difference_isolates_kernel_blocks() {
+        let p = branching_program();
+        let mut cpu_without = Cpu::new();
+        cpu_without.pc = 0x1000;
+        cpu_without.set_reg(helium_machine::Reg::Eax, 0);
+        let without = collect_coverage(&p, &mut cpu_without, 10_000).unwrap();
+
+        let mut cpu_with = Cpu::new();
+        cpu_with.pc = 0x1000;
+        cpu_with.set_reg(helium_machine::Reg::Eax, 1);
+        let with = collect_coverage(&p, &mut cpu_with, 10_000).unwrap();
+
+        let diff = with.difference(&without);
+        // Only the "kernel" block differs.
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&0x1010));
+        assert!(with.static_block_count() >= 2);
+        assert!(with.dynamic_instructions >= 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! # helium-dbi
+//!
+//! Dynamic binary instrumentation substrate for the Helium reproduction.
+//!
+//! The original Helium builds its dynamic analyses on DynamoRIO; this crate
+//! plays that role for programs running on the [`helium_machine`] interpreter.
+//! It produces exactly the data products the paper's pipeline consumes:
+//!
+//! * [`coverage`] — basic-block code coverage for coverage differencing
+//!   (paper §3.1),
+//! * [`profile`] — block execution counts, predecessors, call targets and a
+//!   memory trace of the screened blocks (paper §3.1–§3.3),
+//! * [`trace`] — full dynamic instruction traces of the filter function and
+//!   page-granularity memory dumps (paper §4.1).
+//!
+//! The [`Instrumenter`] type bundles the three collectors behind a common
+//! step budget so application drivers can run each of the five instrumented
+//! executions the paper requires with one object.
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod profile;
+pub mod trace;
+
+pub use coverage::{collect_coverage, CoverageReport};
+pub use profile::{collect_profile, MemTraceEntry, ProfileReport};
+pub use trace::{capture_function_trace, InstructionTrace, MemoryDump};
+
+use helium_machine::program::Program;
+use helium_machine::{Cpu, CpuError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced by the instrumentation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// The underlying interpreter failed.
+    Cpu(CpuError),
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::Cpu(e) => write!(f, "instrumented execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstrumentError::Cpu(e) => Some(e),
+        }
+    }
+}
+
+impl From<CpuError> for InstrumentError {
+    fn from(e: CpuError) -> Self {
+        InstrumentError::Cpu(e)
+    }
+}
+
+/// Convenience façade over the three collectors with a shared step budget.
+///
+/// ```
+/// use helium_dbi::Instrumenter;
+/// let instr = Instrumenter::new().with_max_steps(1_000_000);
+/// assert_eq!(instr.max_steps(), 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instrumenter {
+    max_steps: u64,
+}
+
+impl Default for Instrumenter {
+    fn default() -> Self {
+        Instrumenter::new()
+    }
+}
+
+impl Instrumenter {
+    /// Default step budget for one instrumented execution.
+    pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
+
+    /// Create an instrumenter with the default step budget.
+    pub fn new() -> Instrumenter {
+        Instrumenter { max_steps: Self::DEFAULT_MAX_STEPS }
+    }
+
+    /// Set the per-run step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Instrumenter {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The configured per-run step budget.
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// Collect basic-block coverage of a full program run.
+    ///
+    /// # Errors
+    /// Returns [`InstrumentError::Cpu`] if execution fails or exceeds the budget.
+    pub fn coverage(
+        &self,
+        program: &Program,
+        cpu: &mut Cpu,
+    ) -> Result<CoverageReport, InstrumentError> {
+        collect_coverage(program, cpu, self.max_steps)
+    }
+
+    /// Profile the given basic blocks over a full program run.
+    ///
+    /// # Errors
+    /// Returns [`InstrumentError::Cpu`] if execution fails or exceeds the budget.
+    pub fn profile(
+        &self,
+        program: &Program,
+        cpu: &mut Cpu,
+        instrument_blocks: &BTreeSet<u32>,
+    ) -> Result<ProfileReport, InstrumentError> {
+        collect_profile(program, cpu, instrument_blocks, self.max_steps)
+    }
+
+    /// Capture the instruction trace and memory dump of a filter function.
+    ///
+    /// # Errors
+    /// Returns [`InstrumentError::Cpu`] if execution fails or exceeds the budget.
+    pub fn function_trace(
+        &self,
+        program: &Program,
+        cpu: &mut Cpu,
+        function_entry: u32,
+        candidate_instrs: &BTreeSet<u32>,
+    ) -> Result<(InstructionTrace, MemoryDump), InstrumentError> {
+        capture_function_trace(program, cpu, function_entry, candidate_instrs, self.max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumenter_configuration() {
+        let i = Instrumenter::new();
+        assert_eq!(i.max_steps(), Instrumenter::DEFAULT_MAX_STEPS);
+        let i = i.with_max_steps(42);
+        assert_eq!(i.max_steps(), 42);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = InstrumentError::Cpu(CpuError::StepLimit(5));
+        assert!(e.to_string().contains("step limit"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! Instruction trace capture and memory dump of the filter function
+//! (paper §4.1).
+//!
+//! During expression extraction Helium instruments only the filter function
+//! chosen during code localization, recording every dynamic instruction
+//! executed between the function's entry and its exit (including callees),
+//! along with a page-granularity dump of the memory that candidate
+//! instructions access.
+
+use helium_machine::mem::PAGE_SIZE;
+use helium_machine::program::Program;
+use helium_machine::{Cpu, StepRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::InstrumentError;
+
+/// A page-granularity memory dump.
+///
+/// Pages read by candidate instructions are captured when first read (so they
+/// hold pre-kernel data); pages they write are captured at filter-function
+/// exit (so they hold the final output).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemoryDump {
+    /// Pages captured at first read, keyed by page base address.
+    pub read_pages: BTreeMap<u32, Vec<u8>>,
+    /// Pages captured at function exit, keyed by page base address.
+    pub written_pages: BTreeMap<u32, Vec<u8>>,
+}
+
+impl MemoryDump {
+    /// Total size of the dump in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.read_pages.len() + self.written_pages.len()) * PAGE_SIZE as usize
+    }
+
+    fn search_in(pages: &BTreeMap<u32, Vec<u8>>, needle: &[u8]) -> Option<u32> {
+        if needle.is_empty() {
+            return None;
+        }
+        // Contiguous runs of pages are searched together so data spanning a
+        // page boundary is still found.
+        let mut run_start: Option<u32> = None;
+        let mut run: Vec<u8> = Vec::new();
+        let mut result = None;
+        let flush = |start: Option<u32>, data: &mut Vec<u8>, result: &mut Option<u32>| {
+            if let Some(base) = start {
+                if result.is_none() {
+                    if let Some(off) = find_subsequence(data, needle) {
+                        *result = Some(base + off as u32);
+                    }
+                }
+            }
+            data.clear();
+        };
+        let mut expected_next = None;
+        for (base, data) in pages {
+            if Some(*base) != expected_next {
+                flush(run_start, &mut run, &mut result);
+                run_start = Some(*base);
+            } else if run_start.is_none() {
+                run_start = Some(*base);
+            }
+            run.extend_from_slice(data);
+            expected_next = Some(base + PAGE_SIZE);
+        }
+        flush(run_start, &mut run, &mut result);
+        result
+    }
+
+    /// Search the read pages for a byte pattern (used to locate known input
+    /// data), returning the absolute address of the first match.
+    pub fn find_in_read_pages(&self, needle: &[u8]) -> Option<u32> {
+        Self::search_in(&self.read_pages, needle)
+    }
+
+    /// Search the written pages for a byte pattern (used to locate known
+    /// output data), returning the absolute address of the first match.
+    pub fn find_in_written_pages(&self, needle: &[u8]) -> Option<u32> {
+        Self::search_in(&self.written_pages, needle)
+    }
+
+    /// Read a byte from the dump, preferring the written snapshot.
+    pub fn read_u8(&self, addr: u32) -> Option<u8> {
+        let page = addr / PAGE_SIZE * PAGE_SIZE;
+        let off = (addr - page) as usize;
+        self.written_pages
+            .get(&page)
+            .or_else(|| self.read_pages.get(&page))
+            .map(|p| p[off])
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// The dynamic instruction trace of all executions of the filter function.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstructionTrace {
+    /// Every dynamic instruction executed inside the filter function
+    /// (including callees), over all invocations, in execution order.
+    pub records: Vec<StepRecord>,
+    /// `(start, end)` index ranges into `records`, one per invocation.
+    pub invocations: Vec<(usize, usize)>,
+}
+
+impl InstructionTrace {
+    /// Number of dynamic instructions captured.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct static instructions observed in the trace.
+    pub fn static_instructions(&self) -> BTreeSet<u32> {
+        self.records.iter().map(|r| r.addr).collect()
+    }
+}
+
+/// Capture the instruction trace of the function entered at `function_entry`
+/// and a page-granularity dump of memory accessed by `candidate_instrs`
+/// (static instruction addresses chosen during code localization).
+///
+/// The program is run to completion; every invocation of the function
+/// contributes to the trace and the dump, as in the paper.
+///
+/// # Errors
+/// Propagates interpreter errors and the step limit.
+pub fn capture_function_trace(
+    program: &Program,
+    cpu: &mut Cpu,
+    function_entry: u32,
+    candidate_instrs: &BTreeSet<u32>,
+    max_steps: u64,
+) -> Result<(InstructionTrace, MemoryDump), InstrumentError> {
+    let mut trace = InstructionTrace::default();
+    let mut dump = MemoryDump::default();
+    // Depth of nested calls inside the filter function; `None` = not inside.
+    let mut depth: Option<i64> = None;
+    let mut invocation_start = 0usize;
+    let mut written_pages: BTreeSet<u32> = BTreeSet::new();
+
+    cpu.run(program, max_steps, |cpu_ref, rec| {
+        let entering = depth.is_none() && rec.addr == function_entry;
+        if entering {
+            depth = Some(0);
+            invocation_start = trace.records.len();
+        }
+        if let Some(d) = depth.as_mut() {
+            // Record the dynamic instruction.
+            trace.records.push(rec.clone());
+            // Memory dump handling for candidate instructions.
+            if candidate_instrs.contains(&rec.addr) {
+                for m in &rec.mem {
+                    let first_page = m.addr / PAGE_SIZE;
+                    let last_page = (m.addr + m.width.bytes() - 1) / PAGE_SIZE;
+                    for page in first_page..=last_page {
+                        let base = page * PAGE_SIZE;
+                        if m.is_write {
+                            written_pages.insert(base);
+                        } else if !dump.read_pages.contains_key(&base) {
+                            let (b, data) = cpu_ref.mem.dump_page(base);
+                            dump.read_pages.insert(b, data);
+                        }
+                    }
+                }
+            }
+            if rec.call_target.is_some() {
+                *d += 1;
+            }
+            if rec.is_ret {
+                *d -= 1;
+                if *d < 0 {
+                    // The filter function returned: close the invocation and
+                    // dump written pages with their final contents.
+                    depth = None;
+                    trace.invocations.push((invocation_start, trace.records.len()));
+                    for base in &written_pages {
+                        let (b, data) = cpu_ref.mem.dump_page(*base);
+                        dump.written_pages.insert(b, data);
+                    }
+                    written_pages.clear();
+                }
+            }
+        }
+    })?;
+    // If the program halted while still inside the function, close the trace.
+    if depth.is_some() {
+        trace.invocations.push((invocation_start, trace.records.len()));
+        for base in &written_pages {
+            let (b, data) = cpu.mem.dump_page(*base);
+            dump.written_pages.insert(b, data);
+        }
+    }
+    Ok((trace, dump))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_machine::asm::Asm;
+    use helium_machine::isa::{regs, Cond, MemRef, Operand, Width};
+    use helium_machine::Reg;
+
+    /// main calls `copy` twice; `copy` copies 8 bytes from 0x9000 to 0xA000.
+    fn copy_program() -> (Program, u32) {
+        let mut asm = Asm::new(0x1000);
+        asm.call("copy");
+        asm.call("copy");
+        asm.halt();
+        asm.label("copy");
+        asm.mov(regs::esi(), Operand::Imm(0));
+        asm.label("loop");
+        asm.movzx(regs::eax(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, 0x9000, Width::B1)));
+        asm.mov(
+            Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, 0xA000, Width::B1)),
+            regs::al(),
+        );
+        asm.inc(regs::esi());
+        asm.cmp(regs::esi(), Operand::Imm(8));
+        asm.jcc(Cond::B, "loop");
+        asm.ret();
+        let entry = asm.label_addr("copy").unwrap();
+        let mut p = Program::new();
+        p.add_module("m", asm.finish());
+        (p, entry)
+    }
+
+    #[test]
+    fn trace_covers_all_invocations() {
+        let (p, entry) = copy_program();
+        let mut cpu = Cpu::new();
+        cpu.pc = 0x1000;
+        for i in 0..8u8 {
+            cpu.mem.write_u8(0x9000 + i as u32, i + 1);
+        }
+        let candidates: BTreeSet<u32> = p.instrs().map(|(a, _)| a).collect();
+        let (trace, dump) =
+            capture_function_trace(&p, &mut cpu, entry, &candidates, 1_000_000).unwrap();
+        assert_eq!(trace.invocations.len(), 2);
+        assert!(trace.len() > 16);
+        assert!(!trace.is_empty());
+        assert!(trace.static_instructions().contains(&entry));
+        // The input and output pages are in the dump.
+        assert!(dump.read_pages.contains_key(&0x9000));
+        assert!(dump.written_pages.contains_key(&0xA000));
+        assert!(dump.size_bytes() >= 2 * PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn dump_search_finds_known_data() {
+        let (p, entry) = copy_program();
+        let mut cpu = Cpu::new();
+        cpu.pc = 0x1000;
+        let pattern: Vec<u8> = (10..18).collect();
+        cpu.mem.write_bytes(0x9000, &pattern);
+        let candidates: BTreeSet<u32> = p.instrs().map(|(a, _)| a).collect();
+        let (_, dump) =
+            capture_function_trace(&p, &mut cpu, entry, &candidates, 1_000_000).unwrap();
+        assert_eq!(dump.find_in_read_pages(&pattern), Some(0x9000));
+        assert_eq!(dump.find_in_written_pages(&pattern), Some(0xA000));
+        assert_eq!(dump.read_u8(0xA000), Some(10));
+        assert_eq!(dump.find_in_read_pages(&[99, 98, 97]), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! A small random-search schedule autotuner.
+//!
+//! The paper tunes each lifted kernel's Halide schedule with an
+//! OpenTuner-based search for six hours per filter; this module performs the
+//! same role at laptop scale: it samples candidate [`Schedule`]s, times each
+//! on a representative input, and returns the fastest.
+
+use crate::buffer::Buffer;
+use crate::func::Pipeline;
+use crate::realize::{RealizeError, RealizeInputs, Realizer};
+use crate::schedule::Schedule;
+use rand::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Configuration of an autotuning session.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Maximum number of candidate schedules to try.
+    pub max_candidates: usize,
+    /// Wall-clock budget for the whole search.
+    pub budget: Duration,
+    /// Number of timing repetitions per candidate (the minimum is kept).
+    pub repetitions: usize,
+    /// Seed for the pseudo-random schedule sampler.
+    pub seed: u64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            max_candidates: 16,
+            budget: Duration::from_secs(10),
+            repetitions: 2,
+            seed: 0x48454c49, // "HELI"
+        }
+    }
+}
+
+/// Result of an autotuning session.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The best schedule found.
+    pub best: Schedule,
+    /// Time of the best schedule.
+    pub best_time: Duration,
+    /// Time of the naive (sequential, scalar, fully inlined) schedule.
+    pub naive_time: Duration,
+    /// All evaluated `(schedule, time)` pairs.
+    pub trials: Vec<(Schedule, Duration)>,
+}
+
+impl TuneReport {
+    /// Speedup of the best schedule over the naive schedule.
+    pub fn speedup_over_naive(&self) -> f64 {
+        self.naive_time.as_secs_f64() / self.best_time.as_secs_f64().max(1e-12)
+    }
+}
+
+fn sample_schedule(rng: &mut StdRng, pipeline: &Pipeline) -> Schedule {
+    let tiles = [None, Some((32, 32)), Some((64, 64)), Some((128, 128)), Some((256, 64))];
+    let widths = [1usize, 4, 8, 16];
+    let mut s = Schedule::naive()
+        .with_parallel(rng.gen_bool(0.75))
+        .with_tile(*tiles.choose(rng).expect("non-empty"))
+        .with_vector_width(*widths.choose(rng).expect("non-empty"));
+    // Occasionally materialize a producer func instead of fusing it.
+    for name in pipeline.funcs.keys() {
+        if *name != pipeline.output && rng.gen_bool(0.25) {
+            s = s.with_compute_root(name);
+        }
+    }
+    s
+}
+
+fn time_schedule(
+    schedule: &Schedule,
+    pipeline: &Pipeline,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    repetitions: usize,
+) -> Result<Duration, RealizeError> {
+    let realizer = Realizer::new(schedule.clone());
+    let mut best = Duration::MAX;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let _ = realizer.realize(pipeline, extents, inputs)?;
+        best = best.min(start.elapsed());
+    }
+    Ok(best)
+}
+
+/// Search for a fast schedule for `pipeline` realized over `extents` with the
+/// given inputs.
+///
+/// # Errors
+/// Returns an error if the pipeline cannot be realized at all (missing inputs,
+/// undefined funcs, ...).
+pub fn autotune(
+    pipeline: &Pipeline,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    config: &TuneConfig,
+) -> Result<TuneReport, RealizeError> {
+    let started = Instant::now();
+    let naive_time =
+        time_schedule(&Schedule::naive(), pipeline, extents, inputs, config.repetitions)?;
+    let mut trials = vec![(Schedule::naive(), naive_time)];
+
+    // Always try the stencil default before random sampling.
+    let default = Schedule::stencil_default();
+    let default_time = time_schedule(&default, pipeline, extents, inputs, config.repetitions)?;
+    trials.push((default, default_time));
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    while trials.len() < config.max_candidates + 2 && started.elapsed() < config.budget {
+        let s = sample_schedule(&mut rng, pipeline);
+        if trials.iter().any(|(t, _)| *t == s) {
+            continue;
+        }
+        let t = time_schedule(&s, pipeline, extents, inputs, config.repetitions)?;
+        trials.push((s, t));
+    }
+
+    let (best, best_time) = trials
+        .iter()
+        .min_by_key(|(_, t)| *t)
+        .map(|(s, t)| (s.clone(), *t))
+        .expect("at least the naive trial exists");
+    Ok(TuneReport { best, best_time, naive_time, trials })
+}
+
+/// Convenience wrapper returning only the best schedule.
+///
+/// # Errors
+/// See [`autotune`].
+pub fn autotune_best(
+    pipeline: &Pipeline,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    config: &TuneConfig,
+) -> Result<Schedule, RealizeError> {
+    Ok(autotune(pipeline, extents, inputs, config)?.best)
+}
+
+/// Helper used by benches and examples: build [`RealizeInputs`] from one image.
+pub fn single_image_inputs<'a>(name: &str, buffer: &'a Buffer) -> RealizeInputs<'a> {
+    RealizeInputs::new().with_image(name, buffer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::func::{Func, ImageParam};
+    use crate::types::{ScalarType, Value};
+
+    fn simple_pipeline() -> (Pipeline, Buffer) {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Xor,
+                Expr::Image("input_1".into(), vec![x, y]),
+                Expr::int(255),
+            ),
+        );
+        let p = Pipeline::new(
+            Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value),
+            vec![ImageParam::new("input_1", ScalarType::UInt8, 2)],
+        );
+        let mut input = Buffer::new(ScalarType::UInt8, &[64, 64]);
+        for c in input.coords().collect::<Vec<_>>() {
+            input.set(&c, Value::Int((c[0] * 3 + c[1]) % 256));
+        }
+        (p, input)
+    }
+
+    #[test]
+    fn autotune_returns_a_valid_schedule() {
+        let (p, input) = simple_pipeline();
+        let inputs = single_image_inputs("input_1", &input);
+        let config = TuneConfig {
+            max_candidates: 4,
+            budget: Duration::from_secs(5),
+            repetitions: 1,
+            seed: 7,
+        };
+        let report = autotune(&p, &[64, 64], &inputs, &config).unwrap();
+        assert!(report.trials.len() >= 2);
+        assert!(report.best_time <= report.naive_time);
+        assert!(report.speedup_over_naive() >= 1.0);
+        // The best schedule must reproduce the naive result exactly.
+        let naive = Realizer::new(Schedule::naive()).realize(&p, &[64, 64], &inputs).unwrap();
+        let tuned = Realizer::new(report.best.clone()).realize(&p, &[64, 64], &inputs).unwrap();
+        assert_eq!(naive, tuned);
+    }
+
+    #[test]
+    fn autotune_best_is_consistent_with_report() {
+        let (p, input) = simple_pipeline();
+        let inputs = single_image_inputs("input_1", &input);
+        let config = TuneConfig { max_candidates: 2, repetitions: 1, ..TuneConfig::default() };
+        let best = autotune_best(&p, &[32, 32], &inputs, &config).unwrap();
+        // Must be realizable.
+        Realizer::new(best).realize(&p, &[32, 32], &inputs).unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Interval-based bounds inference for affine (and mildly non-affine) index
+//! expressions, used to size intermediate buffers when a producer func is
+//! scheduled `compute_root`.
+
+use crate::expr::{BinOp, Expr};
+use crate::types::Value;
+use std::collections::BTreeMap;
+
+/// A closed integer interval `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub min: i64,
+    /// Inclusive upper bound.
+    pub max: i64,
+}
+
+impl Interval {
+    /// A single-point interval.
+    pub fn point(v: i64) -> Interval {
+        Interval { min: v, max: v }
+    }
+
+    /// Construct an interval, normalizing the bound order.
+    pub fn new(a: i64, b: i64) -> Interval {
+        Interval { min: a.min(b), max: a.max(b) }
+    }
+
+    /// Union of two intervals.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Width of the interval (number of integers it contains).
+    pub fn extent(self) -> i64 {
+        self.max - self.min + 1
+    }
+}
+
+/// Compute the interval of possible values of `expr` given intervals for the
+/// free variables (pure vars and reduction vars) and concrete values for
+/// scalar parameters.
+///
+/// Unknown sub-expressions (image loads, func references) are treated
+/// conservatively as `[0, i32::MAX]`, which is adequate for sizing buffers of
+/// stencil pipelines where index expressions are affine in the loop variables.
+pub fn expr_interval(
+    expr: &Expr,
+    var_bounds: &BTreeMap<String, Interval>,
+    params: &BTreeMap<String, Value>,
+) -> Interval {
+    match expr {
+        Expr::Var(name) | Expr::RVar(name) => var_bounds
+            .get(name)
+            .copied()
+            .unwrap_or(Interval { min: 0, max: i32::MAX as i64 }),
+        Expr::ConstInt(v, _) => Interval::point(*v),
+        Expr::ConstFloat(v, _) => Interval::point(*v as i64),
+        Expr::Param(name, _) => params
+            .get(name)
+            .map(|v| Interval::point(v.as_i64()))
+            .unwrap_or(Interval { min: 0, max: i32::MAX as i64 }),
+        Expr::Cast(_, e) => expr_interval(e, var_bounds, params),
+        Expr::Binary(op, a, b) => {
+            let ia = expr_interval(a, var_bounds, params);
+            let ib = expr_interval(b, var_bounds, params);
+            combine(*op, ia, ib)
+        }
+        Expr::Cmp(..) => Interval { min: 0, max: 1 },
+        Expr::Select(_, t, e) => {
+            expr_interval(t, var_bounds, params).union(expr_interval(e, var_bounds, params))
+        }
+        Expr::Call(..) | Expr::Image(..) | Expr::FuncRef(..) => {
+            Interval { min: 0, max: i32::MAX as i64 }
+        }
+    }
+}
+
+fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
+    let corners = |f: &dyn Fn(i64, i64) -> i64| {
+        let cs = [
+            f(a.min, b.min),
+            f(a.min, b.max),
+            f(a.max, b.min),
+            f(a.max, b.max),
+        ];
+        Interval {
+            min: *cs.iter().min().expect("non-empty"),
+            max: *cs.iter().max().expect("non-empty"),
+        }
+    };
+    match op {
+        BinOp::Add => Interval { min: a.min.saturating_add(b.min), max: a.max.saturating_add(b.max) },
+        BinOp::Sub => Interval { min: a.min.saturating_sub(b.max), max: a.max.saturating_sub(b.min) },
+        BinOp::Mul => corners(&|x, y| x.saturating_mul(y)),
+        BinOp::Div => corners(&|x, y| if y == 0 { 0 } else { x / y }),
+        BinOp::Min => Interval { min: a.min.min(b.min), max: a.max.min(b.max) },
+        BinOp::Max => Interval { min: a.min.max(b.min), max: a.max.max(b.max) },
+        BinOp::Shr => corners(&|x, y| if y < 0 { x } else { x >> (y.min(63)) }),
+        BinOp::Shl => corners(&|x, y| if y < 0 { x } else { x.saturating_shl(y.min(63) as u32) }),
+        // Bitwise/mod results are hard to bound tightly; be conservative but
+        // keep the result non-negative when both inputs are.
+        BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor => {
+            if a.min >= 0 && b.min >= 0 {
+                Interval { min: 0, max: a.max.max(b.max) }
+            } else {
+                Interval { min: i32::MIN as i64, max: i32::MAX as i64 }
+            }
+        }
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, s: u32) -> i64;
+}
+
+impl SaturatingShl for i64 {
+    fn saturating_shl(self, s: u32) -> i64 {
+        self.checked_shl(s).unwrap_or(if self >= 0 { i64::MAX } else { i64::MIN })
+    }
+}
+
+/// For every func referenced by `expr`, union the intervals of each of its
+/// index arguments under the given variable bounds, accumulating into `out`.
+pub fn accumulate_func_bounds(
+    expr: &Expr,
+    var_bounds: &BTreeMap<String, Interval>,
+    params: &BTreeMap<String, Value>,
+    out: &mut BTreeMap<String, Vec<Interval>>,
+) {
+    expr.visit(&mut |e| {
+        if let Expr::FuncRef(name, args) = e {
+            let entry = out
+                .entry(name.clone())
+                .or_insert_with(|| vec![Interval::point(0); args.len()]);
+            for (d, arg) in args.iter().enumerate() {
+                let i = expr_interval(arg, var_bounds, params);
+                if d < entry.len() {
+                    entry[d] = entry[d].union(i);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(pairs: &[(&str, i64, i64)]) -> BTreeMap<String, Interval> {
+        pairs
+            .iter()
+            .map(|(n, a, b)| (n.to_string(), Interval::new(*a, *b)))
+            .collect()
+    }
+
+    #[test]
+    fn affine_interval() {
+        // x + 2 over x in [0, 9] => [2, 11]
+        let e = Expr::add(Expr::var("x"), Expr::int(2));
+        let i = expr_interval(&e, &bounds(&[("x", 0, 9)]), &BTreeMap::new());
+        assert_eq!(i, Interval { min: 2, max: 11 });
+        assert_eq!(i.extent(), 10);
+    }
+
+    #[test]
+    fn multiplication_corners() {
+        // 3*x - 1 over x in [0, 4] => [-1, 11]
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::mul(Expr::int(3), Expr::var("x")),
+            Expr::int(1),
+        );
+        let i = expr_interval(&e, &bounds(&[("x", 0, 4)]), &BTreeMap::new());
+        assert_eq!(i, Interval { min: -1, max: 11 });
+    }
+
+    #[test]
+    fn select_unions_branches() {
+        let e = Expr::select(Expr::cmp(crate::expr::CmpOp::Lt, Expr::var("x"), Expr::int(2)), Expr::int(0), Expr::int(255));
+        let i = expr_interval(&e, &bounds(&[("x", 0, 9)]), &BTreeMap::new());
+        assert_eq!(i, Interval { min: 0, max: 255 });
+    }
+
+    #[test]
+    fn params_are_points() {
+        let e = Expr::add(Expr::Param("w".into(), crate::types::ScalarType::Int32), Expr::int(1));
+        let mut params = BTreeMap::new();
+        params.insert("w".to_string(), Value::Int(100));
+        let i = expr_interval(&e, &BTreeMap::new(), &params);
+        assert_eq!(i, Interval::point(101));
+    }
+
+    #[test]
+    fn func_bounds_accumulate_across_references() {
+        // g(x) + g(x+3) over x in [0, 7] => g needs [0, 10]
+        let e = Expr::add(
+            Expr::FuncRef("g".into(), vec![Expr::var("x")]),
+            Expr::FuncRef("g".into(), vec![Expr::add(Expr::var("x"), Expr::int(3))]),
+        );
+        let mut out = BTreeMap::new();
+        accumulate_func_bounds(&e, &bounds(&[("x", 0, 7)]), &BTreeMap::new(), &mut out);
+        assert_eq!(out["g"], vec![Interval { min: 0, max: 10 }]);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(Interval::new(5, 2), Interval { min: 2, max: 5 });
+        assert_eq!(Interval::point(3).union(Interval::point(7)), Interval { min: 3, max: 7 });
+    }
+}

@@ -1,0 +1,494 @@
+//! Expression AST of the miniature Halide DSL.
+
+use crate::types::{ScalarType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary arithmetic/bitwise operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division for integer operands).
+    Div,
+    /// Remainder.
+    Mod,
+    /// Logical shift right.
+    Shr,
+    /// Shift left.
+    Shl,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Returns `true` if the operator is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+        )
+    }
+}
+
+/// Comparison operators (produce 0/1 integer values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+/// Recognized external calls, mapped to Halide intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExternCall {
+    /// Square root.
+    Sqrt,
+    /// Floor.
+    Floor,
+    /// Ceiling.
+    Ceil,
+    /// Absolute value.
+    Abs,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Power.
+    Pow,
+}
+
+impl ExternCall {
+    /// Halide/C name of the intrinsic.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExternCall::Sqrt => "sqrt",
+            ExternCall::Floor => "floor",
+            ExternCall::Ceil => "ceil",
+            ExternCall::Abs => "abs",
+            ExternCall::Exp => "exp",
+            ExternCall::Log => "log",
+            ExternCall::Pow => "pow",
+        }
+    }
+
+    /// Evaluate on concrete arguments.
+    pub fn eval(self, args: &[Value]) -> Value {
+        let a = args[0].as_f64();
+        Value::Float(match self {
+            ExternCall::Sqrt => a.sqrt(),
+            ExternCall::Floor => a.floor(),
+            ExternCall::Ceil => a.ceil(),
+            ExternCall::Abs => a.abs(),
+            ExternCall::Exp => a.exp(),
+            ExternCall::Log => a.ln(),
+            ExternCall::Pow => a.powf(args[1].as_f64()),
+        })
+    }
+}
+
+/// An expression in the DSL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A pure spatial variable (e.g. `x_0`).
+    Var(String),
+    /// A reduction-domain variable (e.g. `r_0.x`).
+    RVar(String),
+    /// An integer constant with a type.
+    ConstInt(i64, ScalarType),
+    /// A floating-point constant with a type.
+    ConstFloat(f64, ScalarType),
+    /// A named runtime scalar parameter.
+    Param(String, ScalarType),
+    /// A cast to another scalar type.
+    Cast(ScalarType, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A comparison producing 0/1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `select(cond, then, else)`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A call to a recognized external function.
+    Call(ExternCall, Vec<Expr>),
+    /// An access to an input image parameter: `input(args...)`.
+    Image(String, Vec<Expr>),
+    /// An access to another [`Func`](crate::func::Func): `f(args...)`.
+    FuncRef(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// An `Int32` constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::ConstInt(v, ScalarType::Int32)
+    }
+
+    /// An `UInt32` constant.
+    pub fn uint(v: i64) -> Expr {
+        Expr::ConstInt(v, ScalarType::UInt32)
+    }
+
+    /// A `Float64` constant.
+    pub fn float(v: f64) -> Expr {
+        Expr::ConstFloat(v, ScalarType::Float64)
+    }
+
+    /// A pure variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// A binary operation with boxed operands.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Addition helper.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// Multiplication helper.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// Cast helper.
+    pub fn cast(ty: ScalarType, e: Expr) -> Expr {
+        Expr::Cast(ty, Box::new(e))
+    }
+
+    /// `select` helper.
+    pub fn select(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Select(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+
+    /// Comparison helper.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Visit all nodes of the expression tree (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Cast(_, e) => e.visit(f),
+            Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Select(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Expr::Call(_, args) | Expr::Image(_, args) | Expr::FuncRef(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Names of all image parameters referenced by the expression.
+    pub fn referenced_images(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Image(name, _) = e {
+                out.insert(name.clone());
+            }
+        });
+        out
+    }
+
+    /// Names of all funcs referenced by the expression.
+    pub fn referenced_funcs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::FuncRef(name, _) = e {
+                out.insert(name.clone());
+            }
+        });
+        out
+    }
+
+    /// Substitute variables by expressions (used for inlining funcs and
+    /// binding reduction variables).
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Var(name) | Expr::RVar(name) => {
+                subst(name).unwrap_or_else(|| self.clone())
+            }
+            Expr::ConstInt(..) | Expr::ConstFloat(..) | Expr::Param(..) => self.clone(),
+            Expr::Cast(ty, e) => Expr::Cast(*ty, Box::new(e.substitute(subst))),
+            Expr::Binary(op, a, b) => {
+                Expr::bin(*op, a.substitute(subst), b.substitute(subst))
+            }
+            Expr::Cmp(op, a, b) => Expr::cmp(*op, a.substitute(subst), b.substitute(subst)),
+            Expr::Select(c, t, e) => Expr::select(
+                c.substitute(subst),
+                t.substitute(subst),
+                e.substitute(subst),
+            ),
+            Expr::Call(c, args) => {
+                Expr::Call(*c, args.iter().map(|a| a.substitute(subst)).collect())
+            }
+            Expr::Image(n, args) => {
+                Expr::Image(n.clone(), args.iter().map(|a| a.substitute(subst)).collect())
+            }
+            Expr::FuncRef(n, args) => {
+                Expr::FuncRef(n.clone(), args.iter().map(|a| a.substitute(subst)).collect())
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+/// Evaluate a binary operation on concrete values.
+pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+    let float = matches!(a, Value::Float(_)) || matches!(b, Value::Float(_));
+    if float {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        Value::Float(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Mod => x % y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::Shr => return Value::Int((x as i64) >> (y as i64)),
+            BinOp::Shl => return Value::Int((x as i64) << (y as i64)),
+            BinOp::And => return Value::Int((x as i64) & (y as i64)),
+            BinOp::Or => return Value::Int((x as i64) | (y as i64)),
+            BinOp::Xor => return Value::Int((x as i64) ^ (y as i64)),
+        })
+    } else {
+        let (x, y) = (a.as_i64(), b.as_i64());
+        Value::Int(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x / y
+                }
+            }
+            BinOp::Mod => {
+                if y == 0 {
+                    0
+                } else {
+                    x % y
+                }
+            }
+            BinOp::Shr => ((x as u64) >> (y as u64 & 63)) as i64,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        })
+    }
+}
+
+/// Evaluate a comparison on concrete values, producing 0/1.
+pub fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Value {
+    let result = if matches!(a, Value::Float(_)) || matches!(b, Value::Float(_)) {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    } else {
+        let (x, y) = (a.as_i64(), b.as_i64());
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    };
+    Value::Int(result as i64)
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Shr => ">>",
+            BinOp::Shl => "<<",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(n) | Expr::RVar(n) => f.write_str(n),
+            Expr::ConstInt(v, _) => write!(f, "{v}"),
+            Expr::ConstFloat(v, _) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{v:.1}f")
+                } else {
+                    write!(f, "{v}f")
+                }
+            }
+            Expr::Param(n, _) => f.write_str(n),
+            Expr::Cast(ty, e) => write!(f, "cast<{}>({e})", ty.c_name()),
+            Expr::Binary(op @ (BinOp::Min | BinOp::Max), a, b) => write!(f, "{op}({a}, {b})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Select(c, t, e) => write!(f, "select({c}, {t}, {e})"),
+            Expr::Call(c, args) => {
+                write!(f, "{}(", c.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Image(n, args) | Expr::FuncRef(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let e = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(
+                    Expr::mul(Expr::uint(2), Expr::Image("in".into(), vec![Expr::var("x")])),
+                    Expr::uint(2),
+                ),
+                Expr::uint(2),
+            ),
+        );
+        assert_eq!(e.to_string(), "cast<uint8_t>((((2 * in(x)) + 2) >> 2))");
+        assert_eq!(e.node_count(), 9);
+        assert!(e.referenced_images().contains("in"));
+        assert!(e.referenced_funcs().is_empty());
+    }
+
+    #[test]
+    fn binop_eval_int_and_float() {
+        assert_eq!(eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
+        assert_eq!(eval_binop(BinOp::Shr, Value::Int(9), Value::Int(2)), Value::Int(2));
+        assert_eq!(eval_binop(BinOp::Div, Value::Int(7), Value::Int(0)), Value::Int(0));
+        assert_eq!(eval_binop(BinOp::Min, Value::Int(7), Value::Int(3)), Value::Int(3));
+        assert_eq!(eval_binop(BinOp::Mul, Value::Float(1.5), Value::Int(2)), Value::Float(3.0));
+        assert_eq!(eval_binop(BinOp::Max, Value::Float(1.5), Value::Float(2.5)), Value::Float(2.5));
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert_eq!(eval_cmp(CmpOp::Lt, Value::Int(1), Value::Int(2)), Value::Int(1));
+        assert_eq!(eval_cmp(CmpOp::Ge, Value::Int(1), Value::Int(2)), Value::Int(0));
+        assert_eq!(eval_cmp(CmpOp::Eq, Value::Float(1.0), Value::Int(1)), Value::Int(1));
+    }
+
+    #[test]
+    fn substitution_inlines_vars() {
+        let e = Expr::add(Expr::var("x"), Expr::var("y"));
+        let s = e.substitute(&|name| {
+            if name == "x" {
+                Some(Expr::int(10))
+            } else {
+                None
+            }
+        });
+        assert_eq!(s.to_string(), "(10 + y)");
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Mul.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shr.is_commutative());
+    }
+
+    #[test]
+    fn extern_call_eval() {
+        assert_eq!(ExternCall::Sqrt.eval(&[Value::Float(16.0)]), Value::Float(4.0));
+        assert_eq!(ExternCall::Pow.eval(&[Value::Float(2.0), Value::Float(3.0)]), Value::Float(8.0));
+        assert_eq!(ExternCall::Sqrt.name(), "sqrt");
+    }
+}

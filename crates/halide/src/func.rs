@@ -1,0 +1,379 @@
+//! Functions, reduction domains, image parameters and pipelines.
+
+use crate::expr::Expr;
+use crate::types::ScalarType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An input image parameter (`ImageParam` in Halide).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageParam {
+    /// Name of the parameter, e.g. `input_1`.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Number of dimensions.
+    pub dims: usize,
+}
+
+impl ImageParam {
+    /// Create an image parameter.
+    pub fn new(name: &str, ty: ScalarType, dims: usize) -> ImageParam {
+        ImageParam { name: name.to_string(), ty, dims }
+    }
+}
+
+/// A reduction domain (`RDom` in Halide).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RDom {
+    /// Name of the domain, e.g. `r_0`.
+    pub name: String,
+    /// Per-dimension `(variable name, min expression, extent expression)`.
+    ///
+    /// The min/extent may reference image-parameter extents via
+    /// [`Expr::Param`] with names of the form `input_1.extent.0`.
+    pub dims: Vec<(String, Expr, Expr)>,
+}
+
+impl RDom {
+    /// Create a reduction domain with constant bounds.
+    pub fn with_constant_bounds(name: &str, bounds: &[(i64, i64)]) -> RDom {
+        RDom {
+            name: name.to_string(),
+            dims: bounds
+                .iter()
+                .enumerate()
+                .map(|(i, (min, extent))| {
+                    (format!("{name}.{}", dim_letter(i)), Expr::int(*min), Expr::int(*extent))
+                })
+                .collect(),
+        }
+    }
+
+    /// Create a reduction domain spanning the full extent of an image parameter.
+    pub fn over_image(name: &str, image: &ImageParam) -> RDom {
+        RDom {
+            name: name.to_string(),
+            dims: (0..image.dims)
+                .map(|d| {
+                    (
+                        format!("{name}.{}", dim_letter(d)),
+                        Expr::int(0),
+                        Expr::Param(format!("{}.extent.{d}", image.name), ScalarType::Int32),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Conventional Halide letter for reduction dimension `d` (`x`, `y`, `z`, `w`).
+pub fn dim_letter(d: usize) -> char {
+    match d {
+        0 => 'x',
+        1 => 'y',
+        2 => 'z',
+        _ => 'w',
+    }
+}
+
+/// An update definition: `func(lhs_indices...) = value` iterated over `rdom`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateDef {
+    /// Left-hand-side index expressions (may reference RDom variables and the
+    /// values of input images, for indirect/histogram updates).
+    pub lhs: Vec<Expr>,
+    /// Right-hand-side value (may reference the func itself).
+    pub value: Expr,
+    /// The reduction domain driving the update.
+    pub rdom: RDom,
+}
+
+/// A Halide function: a pure definition plus optional update definitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Pure variable names, innermost first.
+    pub vars: Vec<String>,
+    /// Output element type.
+    pub ty: ScalarType,
+    /// The pure definition, if any.
+    pub pure_def: Option<Expr>,
+    /// Update definitions applied after the pure definition.
+    pub updates: Vec<UpdateDef>,
+}
+
+impl Func {
+    /// Create a func with a pure definition.
+    pub fn pure(name: &str, vars: &[&str], ty: ScalarType, value: Expr) -> Func {
+        Func {
+            name: name.to_string(),
+            vars: vars.iter().map(|v| v.to_string()).collect(),
+            ty,
+            pure_def: Some(value),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Add an update definition.
+    pub fn with_update(mut self, update: UpdateDef) -> Func {
+        self.updates.push(update);
+        self
+    }
+
+    /// Number of dimensions of the func.
+    pub fn dims(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+/// A pipeline: a set of funcs, image parameters and a designated output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// All funcs, keyed by name.
+    pub funcs: BTreeMap<String, Func>,
+    /// All image parameters, keyed by name.
+    pub images: BTreeMap<String, ImageParam>,
+    /// Name of the output func.
+    pub output: String,
+}
+
+impl Pipeline {
+    /// Create a pipeline with a single output func.
+    pub fn new(output: Func, images: Vec<ImageParam>) -> Pipeline {
+        let mut funcs = BTreeMap::new();
+        let output_name = output.name.clone();
+        funcs.insert(output.name.clone(), output);
+        Pipeline {
+            funcs,
+            images: images.into_iter().map(|i| (i.name.clone(), i)).collect(),
+            output: output_name,
+        }
+    }
+
+    /// Add an intermediate func.
+    pub fn with_func(mut self, func: Func) -> Pipeline {
+        self.funcs.insert(func.name.clone(), func);
+        self
+    }
+
+    /// The output func.
+    ///
+    /// # Panics
+    /// Panics if the output name does not resolve (construction guarantees it does).
+    pub fn output_func(&self) -> &Func {
+        self.funcs.get(&self.output).expect("output func exists")
+    }
+
+    /// Compose `self` after `first`: the output of `first` feeds the image
+    /// parameter named `input_name` of `self`, producing a fused pipeline.
+    ///
+    /// The funcs of `first` are copied in and every reference in `self` to
+    /// `input_name` is rewritten to reference `first`'s output func. Upstream
+    /// funcs whose names collide with funcs already present in `self` (lifted
+    /// kernels all call their output `output_1`) are renamed with a
+    /// `_stageN` suffix, so pipelines built from independently lifted filters
+    /// always compose cleanly.
+    pub fn compose_after(&self, first: &Pipeline, input_name: &str) -> Pipeline {
+        let mut result = self.clone();
+
+        // Rename colliding upstream funcs (and the references between them).
+        let mut upstream_funcs: BTreeMap<String, Func> = first.funcs.clone();
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        for name in first.funcs.keys() {
+            if result.funcs.contains_key(name) {
+                let mut k = 1usize;
+                let mut fresh = format!("{name}_stage{k}");
+                while result.funcs.contains_key(&fresh) || first.funcs.contains_key(&fresh) {
+                    k += 1;
+                    fresh = format!("{name}_stage{k}");
+                }
+                renames.insert(name.clone(), fresh);
+            }
+        }
+        if !renames.is_empty() {
+            let renamed: BTreeMap<String, Func> = upstream_funcs
+                .into_iter()
+                .map(|(name, mut f)| {
+                    let new_name = renames.get(&name).cloned().unwrap_or(name);
+                    f.name = new_name.clone();
+                    if let Some(e) = &f.pure_def {
+                        f.pure_def = Some(rename_func_refs(e, &renames));
+                    }
+                    for u in &mut f.updates {
+                        u.value = rename_func_refs(&u.value, &renames);
+                        u.lhs = u.lhs.iter().map(|e| rename_func_refs(e, &renames)).collect();
+                    }
+                    (new_name, f)
+                })
+                .collect();
+            upstream_funcs = renamed;
+        }
+        let upstream_output =
+            renames.get(&first.output).cloned().unwrap_or_else(|| first.output.clone());
+
+        // Rewrite the downstream (self) accesses to the consumed image so they
+        // read from the upstream output func instead.
+        for f in result.funcs.values_mut() {
+            if let Some(e) = &f.pure_def {
+                f.pure_def = Some(rewrite_image_to_func(e, input_name, &upstream_output));
+            }
+            for u in &mut f.updates {
+                u.value = rewrite_image_to_func(&u.value, input_name, &upstream_output);
+                u.lhs = u
+                    .lhs
+                    .iter()
+                    .map(|e| rewrite_image_to_func(e, input_name, &upstream_output))
+                    .collect();
+            }
+        }
+        result.images.remove(input_name);
+        // Copy the upstream funcs and image parameters.
+        for (name, f) in upstream_funcs {
+            result.funcs.entry(name).or_insert(f);
+        }
+        for (name, img) in &first.images {
+            result.images.entry(name.clone()).or_insert_with(|| img.clone());
+        }
+        result
+    }
+}
+
+/// Rename `FuncRef`s according to `renames`, recursing through the expression.
+fn rename_func_refs(e: &Expr, renames: &BTreeMap<String, String>) -> Expr {
+    match e {
+        Expr::FuncRef(name, args) => Expr::FuncRef(
+            renames.get(name).cloned().unwrap_or_else(|| name.clone()),
+            args.iter().map(|a| rename_func_refs(a, renames)).collect(),
+        ),
+        Expr::Image(name, args) => Expr::Image(
+            name.clone(),
+            args.iter().map(|a| rename_func_refs(a, renames)).collect(),
+        ),
+        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rename_func_refs(inner, renames))),
+        Expr::Binary(op, a, b) => {
+            Expr::bin(*op, rename_func_refs(a, renames), rename_func_refs(b, renames))
+        }
+        Expr::Cmp(op, a, b) => {
+            Expr::cmp(*op, rename_func_refs(a, renames), rename_func_refs(b, renames))
+        }
+        Expr::Select(c, t, o) => Expr::select(
+            rename_func_refs(c, renames),
+            rename_func_refs(t, renames),
+            rename_func_refs(o, renames),
+        ),
+        Expr::Call(c, args) => {
+            Expr::Call(*c, args.iter().map(|a| rename_func_refs(a, renames)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn rewrite_image_to_func(e: &Expr, image: &str, func: &str) -> Expr {
+    match e {
+        Expr::Image(name, args) if name == image => Expr::FuncRef(
+            func.to_string(),
+            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+        ),
+        Expr::Image(name, args) => Expr::Image(
+            name.clone(),
+            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+        ),
+        Expr::FuncRef(name, args) => Expr::FuncRef(
+            name.clone(),
+            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+        ),
+        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rewrite_image_to_func(inner, image, func))),
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            rewrite_image_to_func(a, image, func),
+            rewrite_image_to_func(b, image, func),
+        ),
+        Expr::Cmp(op, a, b) => Expr::cmp(
+            *op,
+            rewrite_image_to_func(a, image, func),
+            rewrite_image_to_func(b, image, func),
+        ),
+        Expr::Select(c, t, o) => Expr::select(
+            rewrite_image_to_func(c, image, func),
+            rewrite_image_to_func(t, image, func),
+            rewrite_image_to_func(o, image, func),
+        ),
+        Expr::Call(c, args) => Expr::Call(
+            *c,
+            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+        ),
+        _ => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn blur_pipeline() -> Pipeline {
+        let input = ImageParam::new("input_1", ScalarType::UInt8, 2);
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(
+                    Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+                    Expr::Image("input_1".into(), vec![Expr::add(x, Expr::int(1)), y]),
+                ),
+                Expr::uint(1),
+            ),
+        );
+        let f = Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value);
+        Pipeline::new(f, vec![input])
+    }
+
+    #[test]
+    fn pipeline_construction() {
+        let p = blur_pipeline();
+        assert_eq!(p.output_func().name, "output_1");
+        assert_eq!(p.output_func().dims(), 2);
+        assert_eq!(p.images.len(), 1);
+    }
+
+    #[test]
+    fn rdom_over_image_uses_extent_params() {
+        let img = ImageParam::new("input_1", ScalarType::UInt8, 2);
+        let r = RDom::over_image("r_0", &img);
+        assert_eq!(r.dims.len(), 2);
+        assert_eq!(r.dims[0].0, "r_0.x");
+        assert!(matches!(&r.dims[1].2, Expr::Param(name, _) if name == "input_1.extent.1"));
+        let c = RDom::with_constant_bounds("r_1", &[(0, 10)]);
+        assert_eq!(c.dims[0].1, Expr::int(0));
+    }
+
+    #[test]
+    fn composition_rewrites_image_accesses() {
+        let first = blur_pipeline();
+        let mut second = blur_pipeline();
+        // Rename the second stage's output so names do not collide.
+        let mut f = second.funcs.remove("output_1").unwrap();
+        f.name = "output_2".to_string();
+        second.funcs.insert("output_2".to_string(), f);
+        second.output = "output_2".to_string();
+
+        let fused = second.compose_after(&first, "input_1");
+        assert!(fused.funcs.contains_key("output_1"));
+        assert!(fused.funcs.contains_key("output_2"));
+        // input_1 still exists because the *first* stage consumes it.
+        assert!(fused.images.contains_key("input_1"));
+        let refs = fused.funcs["output_2"].pure_def.as_ref().unwrap().referenced_funcs();
+        assert!(refs.contains("output_1"));
+    }
+
+    #[test]
+    fn dim_letters() {
+        assert_eq!(dim_letter(0), 'x');
+        assert_eq!(dim_letter(3), 'w');
+        assert_eq!(dim_letter(9), 'w');
+    }
+}

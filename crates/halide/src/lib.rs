@@ -1,0 +1,84 @@
+//! # helium-halide
+//!
+//! A miniature Halide: the DSL that lifted stencil kernels are expressed in,
+//! plus the runtime needed to re-optimize and execute them.
+//!
+//! The original Helium emits Halide C++ and relies on the Halide compiler and
+//! an OpenTuner-based autotuner. This crate plays both roles at reproduction
+//! scale:
+//!
+//! * [`expr`], [`func`], [`types`] — the DSL: typed expressions, `select`,
+//!   casts, external intrinsics, image parameters, reduction domains, pure and
+//!   update definitions, and multi-stage pipelines with fusion
+//!   ([`func::Pipeline::compose_after`]);
+//! * [`buffer`] — dense n-dimensional buffers used as inputs and outputs;
+//! * [`bounds`] — interval-based bounds inference for sizing producers;
+//! * [`schedule`] and [`realize`] — the execution engine: pure definitions are
+//!   compiled to a compact stack machine and walked tile-by-tile, optionally
+//!   in parallel; update definitions implement reductions such as histograms;
+//! * [`autotune`] — random-search schedule tuning with wall-clock feedback;
+//! * [`codegen`] — emission of genuine Halide C++ source text, the paper's
+//!   published artifact.
+//!
+//! ## Example
+//!
+//! ```
+//! use helium_halide::prelude::*;
+//!
+//! // output(x, y) = cast<u8>(255 - input(x, y))
+//! let x = Expr::var("x_0");
+//! let y = Expr::var("x_1");
+//! let value = Expr::cast(
+//!     ScalarType::UInt8,
+//!     Expr::bin(BinOp::Sub, Expr::int(255), Expr::Image("input_1".into(), vec![x, y])),
+//! );
+//! let func = Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value);
+//! let pipeline = Pipeline::new(func, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)]);
+//!
+//! let mut input = Buffer::new(ScalarType::UInt8, &[8, 8]);
+//! input.set(&[3, 3], Value::Int(10));
+//! let inputs = RealizeInputs::new().with_image("input_1", &input);
+//! let out = Realizer::new(Schedule::stencil_default()).realize(&pipeline, &[8, 8], &inputs)?;
+//! assert_eq!(out.get(&[3, 3]), Value::Int(245));
+//!
+//! // And the Halide C++ artifact:
+//! let src = generate_halide_source(&pipeline, &CodegenOptions::default());
+//! assert!(src.contains("compile_to_file"));
+//! # Ok::<(), helium_halide::realize::RealizeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod bounds;
+pub mod buffer;
+pub mod codegen;
+pub mod expr;
+pub mod func;
+pub mod realize;
+pub mod schedule;
+pub mod simplify;
+pub mod types;
+
+pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
+pub use buffer::Buffer;
+pub use codegen::{generate_halide_source, CodegenOptions};
+pub use expr::{BinOp, CmpOp, Expr, ExternCall};
+pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
+pub use realize::{RealizeError, RealizeInputs, Realizer};
+pub use schedule::Schedule;
+pub use simplify::{simplify, simplify_func, simplify_pipeline};
+pub use types::{ScalarType, Value};
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::autotune::{autotune, TuneConfig};
+    pub use crate::buffer::Buffer;
+    pub use crate::codegen::{generate_halide_source, CodegenOptions};
+    pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
+    pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
+    pub use crate::realize::{RealizeInputs, Realizer};
+    pub use crate::schedule::Schedule;
+    pub use crate::simplify::{simplify, simplify_pipeline};
+    pub use crate::types::{ScalarType, Value};
+}

@@ -1,0 +1,775 @@
+//! The realizer: executes a [`Pipeline`] under a [`Schedule`], producing an
+//! output [`Buffer`].
+//!
+//! Pure definitions are compiled to a small stack-machine program and the
+//! output domain is walked tile by tile, optionally distributing outer rows
+//! across worker threads. Update definitions (reductions such as histograms)
+//! are evaluated sequentially with a direct AST interpreter.
+
+use crate::bounds::{accumulate_func_bounds, expr_interval, Interval};
+use crate::buffer::{write_scalar, Buffer};
+use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
+use crate::func::{Func, Pipeline};
+use crate::schedule::Schedule;
+use crate::types::{ScalarType, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised during realization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RealizeError {
+    /// An image parameter required by the pipeline was not provided.
+    MissingInput(String),
+    /// A scalar parameter required by the pipeline was not provided.
+    MissingParam(String),
+    /// A referenced func has no definition.
+    UndefinedFunc(String),
+    /// The output extents do not match the output func's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the output func.
+        expected: usize,
+        /// Number of extents supplied to `realize`.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RealizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealizeError::MissingInput(n) => write!(f, "missing input image `{n}`"),
+            RealizeError::MissingParam(n) => write!(f, "missing scalar parameter `{n}`"),
+            RealizeError::UndefinedFunc(n) => write!(f, "reference to undefined func `{n}`"),
+            RealizeError::DimensionMismatch { expected, got } => {
+                write!(f, "output extents have {got} dimensions, func has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RealizeError {}
+
+/// Inputs to a realization: image buffers and scalar parameters.
+#[derive(Debug, Clone, Default)]
+pub struct RealizeInputs<'a> {
+    /// Image parameter bindings.
+    pub images: BTreeMap<String, &'a Buffer>,
+    /// Scalar parameter bindings.
+    pub params: BTreeMap<String, Value>,
+}
+
+impl<'a> RealizeInputs<'a> {
+    /// Empty inputs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind an image parameter.
+    pub fn with_image(mut self, name: &str, buffer: &'a Buffer) -> Self {
+        self.images.insert(name.to_string(), buffer);
+        self
+    }
+
+    /// Bind a scalar parameter.
+    pub fn with_param(mut self, name: &str, value: Value) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled stack machine
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    PushInt(i64),
+    PushFloat(f64),
+    LoadVar(usize),
+    LoadSource { source: usize, arity: usize },
+    Bin(BinOp),
+    Cmp(CmpOp),
+    Cast(ScalarType),
+    Call(ExternCall, usize),
+    Select,
+}
+
+/// A pure definition compiled to a postfix program over a value stack.
+#[derive(Debug, Clone)]
+struct Compiled {
+    ops: Vec<Op>,
+    max_stack: usize,
+}
+
+struct CompileCtx<'a> {
+    var_slots: &'a BTreeMap<String, usize>,
+    source_slots: &'a BTreeMap<String, usize>,
+    params: &'a BTreeMap<String, Value>,
+}
+
+fn compile_expr(e: &Expr, ctx: &CompileCtx<'_>, ops: &mut Vec<Op>) -> Result<(), RealizeError> {
+    match e {
+        Expr::Var(name) | Expr::RVar(name) => {
+            let slot = ctx
+                .var_slots
+                .get(name)
+                .copied()
+                .ok_or_else(|| RealizeError::MissingParam(name.clone()))?;
+            ops.push(Op::LoadVar(slot));
+        }
+        Expr::ConstInt(v, ty) => {
+            if ty.is_float() {
+                ops.push(Op::PushFloat(*v as f64));
+            } else {
+                ops.push(Op::PushInt(*v));
+            }
+        }
+        Expr::ConstFloat(v, _) => ops.push(Op::PushFloat(*v)),
+        Expr::Param(name, _) => {
+            let v = ctx
+                .params
+                .get(name)
+                .copied()
+                .ok_or_else(|| RealizeError::MissingParam(name.clone()))?;
+            match v {
+                Value::Int(i) => ops.push(Op::PushInt(i)),
+                Value::Float(f) => ops.push(Op::PushFloat(f)),
+            }
+        }
+        Expr::Cast(ty, inner) => {
+            compile_expr(inner, ctx, ops)?;
+            ops.push(Op::Cast(*ty));
+        }
+        Expr::Binary(op, a, b) => {
+            compile_expr(a, ctx, ops)?;
+            compile_expr(b, ctx, ops)?;
+            ops.push(Op::Bin(*op));
+        }
+        Expr::Cmp(op, a, b) => {
+            compile_expr(a, ctx, ops)?;
+            compile_expr(b, ctx, ops)?;
+            ops.push(Op::Cmp(*op));
+        }
+        Expr::Select(c, t, o) => {
+            compile_expr(c, ctx, ops)?;
+            compile_expr(t, ctx, ops)?;
+            compile_expr(o, ctx, ops)?;
+            ops.push(Op::Select);
+        }
+        Expr::Call(c, args) => {
+            for a in args {
+                compile_expr(a, ctx, ops)?;
+            }
+            ops.push(Op::Call(*c, args.len()));
+        }
+        Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+            let source = ctx
+                .source_slots
+                .get(name)
+                .copied()
+                .ok_or_else(|| RealizeError::MissingInput(name.clone()))?;
+            for a in args {
+                compile_expr(a, ctx, ops)?;
+            }
+            ops.push(Op::LoadSource { source, arity: args.len() });
+        }
+    }
+    Ok(())
+}
+
+fn compile(
+    expr: &Expr,
+    var_slots: &BTreeMap<String, usize>,
+    source_slots: &BTreeMap<String, usize>,
+    params: &BTreeMap<String, Value>,
+) -> Result<Compiled, RealizeError> {
+    let ctx = CompileCtx { var_slots, source_slots, params };
+    let mut ops = Vec::new();
+    compile_expr(expr, &ctx, &mut ops)?;
+    // A conservative stack bound: every op pushes at most one value.
+    let max_stack = ops.len().max(4);
+    Ok(Compiled { ops, max_stack })
+}
+
+fn execute(compiled: &Compiled, vars: &[i64], sources: &[&Buffer], scratch: &mut Vec<Value>) -> Value {
+    scratch.clear();
+    let mut idx_buf: Vec<i64> = Vec::with_capacity(4);
+    for op in &compiled.ops {
+        match op {
+            Op::PushInt(v) => scratch.push(Value::Int(*v)),
+            Op::PushFloat(v) => scratch.push(Value::Float(*v)),
+            Op::LoadVar(slot) => scratch.push(Value::Int(vars[*slot])),
+            Op::LoadSource { source, arity } => {
+                idx_buf.clear();
+                let start = scratch.len() - arity;
+                for v in &scratch[start..] {
+                    idx_buf.push(v.as_i64());
+                }
+                scratch.truncate(start);
+                scratch.push(sources[*source].get(&idx_buf));
+            }
+            Op::Bin(op) => {
+                let b = scratch.pop().expect("stack underflow");
+                let a = scratch.pop().expect("stack underflow");
+                scratch.push(eval_binop(*op, a, b));
+            }
+            Op::Cmp(op) => {
+                let b = scratch.pop().expect("stack underflow");
+                let a = scratch.pop().expect("stack underflow");
+                scratch.push(eval_cmp(*op, a, b));
+            }
+            Op::Cast(ty) => {
+                let a = scratch.pop().expect("stack underflow");
+                scratch.push(a.cast(*ty));
+            }
+            Op::Call(c, arity) => {
+                let start = scratch.len() - arity;
+                let v = c.eval(&scratch[start..]);
+                scratch.truncate(start);
+                scratch.push(v);
+            }
+            Op::Select => {
+                let otherwise = scratch.pop().expect("stack underflow");
+                let then = scratch.pop().expect("stack underflow");
+                let cond = scratch.pop().expect("stack underflow");
+                scratch.push(if cond.is_true() { then } else { otherwise });
+            }
+        }
+    }
+    scratch.pop().expect("expression produced no value")
+}
+
+// ---------------------------------------------------------------------------
+// AST interpreter (used for update definitions)
+// ---------------------------------------------------------------------------
+
+struct InterpCtx<'a> {
+    vars: BTreeMap<String, i64>,
+    params: &'a BTreeMap<String, Value>,
+    images: &'a BTreeMap<String, &'a Buffer>,
+    /// The buffer being updated (reads of the func itself resolve here).
+    self_name: &'a str,
+    self_buffer: &'a Buffer,
+    /// Materialized producer buffers.
+    roots: &'a BTreeMap<String, Buffer>,
+}
+
+fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
+    Ok(match e {
+        Expr::Var(n) | Expr::RVar(n) => Value::Int(
+            *ctx.vars.get(n).ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        ),
+        Expr::ConstInt(v, ty) => {
+            if ty.is_float() {
+                Value::Float(*v as f64)
+            } else {
+                Value::Int(*v)
+            }
+        }
+        Expr::ConstFloat(v, _) => Value::Float(*v),
+        Expr::Param(n, _) => *ctx
+            .params
+            .get(n)
+            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        Expr::Cast(ty, inner) => interp(inner, ctx)?.cast(*ty),
+        Expr::Binary(op, a, b) => eval_binop(*op, interp(a, ctx)?, interp(b, ctx)?),
+        Expr::Cmp(op, a, b) => eval_cmp(*op, interp(a, ctx)?, interp(b, ctx)?),
+        Expr::Select(c, t, o) => {
+            if interp(c, ctx)?.is_true() {
+                interp(t, ctx)?
+            } else {
+                interp(o, ctx)?
+            }
+        }
+        Expr::Call(c, args) => {
+            let vals: Result<Vec<Value>, RealizeError> =
+                args.iter().map(|a| interp(a, ctx)).collect();
+            c.eval(&vals?)
+        }
+        Expr::Image(n, args) => {
+            let idx: Result<Vec<i64>, RealizeError> =
+                args.iter().map(|a| interp(a, ctx).map(|v| v.as_i64())).collect();
+            let buf = ctx
+                .images
+                .get(n)
+                .copied()
+                .ok_or_else(|| RealizeError::MissingInput(n.clone()))?;
+            buf.get(&idx?)
+        }
+        Expr::FuncRef(n, args) => {
+            let idx: Result<Vec<i64>, RealizeError> =
+                args.iter().map(|a| interp(a, ctx).map(|v| v.as_i64())).collect();
+            let idx = idx?;
+            if n == ctx.self_name {
+                ctx.self_buffer.get(&idx)
+            } else if let Some(buf) = ctx.roots.get(n) {
+                buf.get(&idx)
+            } else {
+                return Err(RealizeError::UndefinedFunc(n.clone()));
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Realizer
+// ---------------------------------------------------------------------------
+
+/// Realizes pipelines under a schedule.
+#[derive(Debug, Clone)]
+pub struct Realizer {
+    schedule: Schedule,
+}
+
+impl Default for Realizer {
+    fn default() -> Self {
+        Realizer::new(Schedule::naive())
+    }
+}
+
+impl Realizer {
+    /// Create a realizer with the given schedule.
+    pub fn new(schedule: Schedule) -> Realizer {
+        Realizer { schedule }
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Inline every func reference that is not scheduled `compute_root` into
+    /// `expr`, recursively.
+    fn inline_funcs(&self, pipeline: &Pipeline, expr: &Expr) -> Result<Expr, RealizeError> {
+        let mut result = expr.clone();
+        // Iterate to a fixed point; lifted pipelines are shallow so a few
+        // passes suffice, but guard against accidental cycles.
+        for _ in 0..32 {
+            let refs = result.referenced_funcs();
+            let to_inline: Vec<String> = refs
+                .into_iter()
+                .filter(|n| !self.schedule.compute_root.contains(n) && *n != pipeline.output)
+                .collect();
+            if to_inline.is_empty() {
+                return Ok(result);
+            }
+            for name in to_inline {
+                let func = pipeline
+                    .funcs
+                    .get(&name)
+                    .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
+                if !func.updates.is_empty() || func.pure_def.is_none() {
+                    // Funcs with reductions cannot be inlined; treat as root.
+                    continue;
+                }
+                result = inline_one(&result, func);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Realize the pipeline's output func over `output_extents`.
+    ///
+    /// # Errors
+    /// Returns an error if inputs or parameters are missing, a referenced func
+    /// is undefined, or the extents do not match the output dimensionality.
+    pub fn realize(
+        &self,
+        pipeline: &Pipeline,
+        output_extents: &[usize],
+        inputs: &RealizeInputs<'_>,
+    ) -> Result<Buffer, RealizeError> {
+        let output = pipeline.output_func();
+        if output.dims() != output_extents.len() {
+            return Err(RealizeError::DimensionMismatch {
+                expected: output.dims(),
+                got: output_extents.len(),
+            });
+        }
+        // Extend params with image extents (used by RDoms over images).
+        let mut params = inputs.params.clone();
+        for (name, buf) in &inputs.images {
+            for (d, e) in buf.extents().iter().enumerate() {
+                params.insert(format!("{name}.extent.{d}"), Value::Int(*e as i64));
+            }
+        }
+
+        // Materialize compute_root producers (and every func with updates that
+        // the output references), then realize the output itself.
+        let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
+        let root_names: Vec<String> = pipeline
+            .funcs
+            .keys()
+            .filter(|n| **n != pipeline.output)
+            .filter(|n| {
+                self.schedule.compute_root.contains(*n)
+                    || !pipeline.funcs[*n].updates.is_empty()
+            })
+            .cloned()
+            .collect();
+        if !root_names.is_empty() {
+            // Compute the bounds each root is accessed over, from the output's
+            // (inlined) expression with output vars spanning the output extents.
+            let inlined = match &output.pure_def {
+                Some(e) => self.inline_funcs(pipeline, e)?,
+                None => Expr::int(0),
+            };
+            let mut var_bounds = BTreeMap::new();
+            for (d, v) in output.vars.iter().enumerate() {
+                var_bounds.insert(
+                    v.clone(),
+                    Interval { min: 0, max: output_extents[d] as i64 - 1 },
+                );
+            }
+            let mut required: BTreeMap<String, Vec<Interval>> = BTreeMap::new();
+            accumulate_func_bounds(&inlined, &var_bounds, &params, &mut required);
+            for name in &root_names {
+                let func = &pipeline.funcs[name];
+                let extents: Vec<usize> = match required.get(name) {
+                    Some(ivals) => ivals.iter().map(|i| (i.max + 1).max(1) as usize).collect(),
+                    None => output_extents.to_vec(),
+                };
+                let sub = Realizer::new(
+                    self.schedule.clone(),
+                );
+                let mut sub_pipeline = pipeline.clone();
+                sub_pipeline.output = name.clone();
+                let _ = func;
+                let buf = sub.realize_single(&sub_pipeline, &extents, inputs, &params, &roots)?;
+                roots.insert(name.clone(), buf);
+            }
+        }
+        self.realize_single(pipeline, output_extents, inputs, &params, &roots)
+    }
+
+    /// Realize a single func (the pipeline output) given already-materialized
+    /// producer buffers.
+    fn realize_single(
+        &self,
+        pipeline: &Pipeline,
+        output_extents: &[usize],
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        roots: &BTreeMap<String, Buffer>,
+    ) -> Result<Buffer, RealizeError> {
+        let output = pipeline.output_func();
+        let mut buffer = Buffer::new(output.ty, output_extents);
+
+        if let Some(pure_def) = &output.pure_def {
+            let expr = self.inline_funcs(pipeline, pure_def)?;
+            self.run_pure(&expr, output, &mut buffer, inputs, params, roots)?;
+        }
+        for update in &output.updates {
+            self.run_update(pipeline, output, update, &mut buffer, inputs, params, roots)?;
+        }
+        Ok(buffer)
+    }
+
+    fn run_pure(
+        &self,
+        expr: &Expr,
+        output: &Func,
+        buffer: &mut Buffer,
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        roots: &BTreeMap<String, Buffer>,
+    ) -> Result<(), RealizeError> {
+        // Variable slots: one per output dimension, innermost first.
+        let var_slots: BTreeMap<String, usize> =
+            output.vars.iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+        // Source slots: image params then materialized roots.
+        let mut source_slots = BTreeMap::new();
+        let mut sources: Vec<&Buffer> = Vec::new();
+        for (name, buf) in &inputs.images {
+            source_slots.insert(name.clone(), sources.len());
+            sources.push(buf);
+        }
+        for (name, buf) in roots {
+            source_slots.insert(name.clone(), sources.len());
+            sources.push(buf);
+        }
+        // Validate that every referenced image is bound.
+        for name in expr.referenced_images() {
+            if !source_slots.contains_key(&name) {
+                return Err(RealizeError::MissingInput(name));
+            }
+        }
+        for name in expr.referenced_funcs() {
+            if !source_slots.contains_key(&name) {
+                return Err(RealizeError::UndefinedFunc(name));
+            }
+        }
+        let compiled = compile(expr, &var_slots, &source_slots, params)?;
+        let extents = buffer.extents().to_vec();
+        let ty = buffer.scalar_type();
+        let elem_bytes = ty.bytes();
+        let dims = extents.len();
+        let inner: usize = extents[..dims - 1].iter().product::<usize>().max(1);
+        let outer = extents[dims - 1];
+
+        let threads = self.schedule.effective_threads().min(outer.max(1));
+        let data = buffer.bytes_mut();
+        let row_bytes = inner * elem_bytes;
+
+        let eval_rows = |outer_range: std::ops::Range<usize>, chunk: &mut [u8]| {
+            let mut scratch = Vec::with_capacity(compiled.max_stack);
+            let mut vars = vec![0i64; dims];
+            for (row_i, o) in outer_range.enumerate() {
+                vars[dims - 1] = o as i64;
+                // Walk the inner dimensions in memory order.
+                let mut inner_idx = vec![0usize; dims.saturating_sub(1)];
+                for i in 0..inner {
+                    // Decode the linear inner index into coordinates.
+                    let mut rem = i;
+                    for (d, e) in extents[..dims - 1].iter().enumerate() {
+                        inner_idx[d] = rem % e;
+                        rem /= e;
+                        vars[d] = inner_idx[d] as i64;
+                    }
+                    let v = execute(&compiled, &vars, &sources, &mut scratch);
+                    let off = row_i * row_bytes + i * elem_bytes;
+                    write_scalar(ty, v, &mut chunk[off..off + elem_bytes]);
+                }
+            }
+        };
+
+        if threads <= 1 {
+            eval_rows(0..outer, data);
+        } else {
+            let rows_per_thread = outer.div_ceil(threads);
+            let chunks: Vec<&mut [u8]> = data.chunks_mut(rows_per_thread * row_bytes).collect();
+            crossbeam::scope(|scope| {
+                for (t, chunk) in chunks.into_iter().enumerate() {
+                    let start = t * rows_per_thread;
+                    let end = ((t + 1) * rows_per_thread).min(outer);
+                    let eval_rows = &eval_rows;
+                    scope.spawn(move |_| {
+                        eval_rows(start..end, chunk);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_update(
+        &self,
+        pipeline: &Pipeline,
+        output: &Func,
+        update: &crate::func::UpdateDef,
+        buffer: &mut Buffer,
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        roots: &BTreeMap<String, Buffer>,
+    ) -> Result<(), RealizeError> {
+        let _ = pipeline;
+        // Resolve the reduction domain bounds.
+        let empty = BTreeMap::new();
+        let mut dims = Vec::new();
+        for (var, min_e, extent_e) in &update.rdom.dims {
+            let min = expr_interval(min_e, &empty, params).min;
+            let extent = expr_interval(extent_e, &empty, params).min;
+            dims.push((var.clone(), min, extent));
+        }
+        // Iterate the domain in row-major order (first dim innermost).
+        let total: i64 = dims.iter().map(|(_, _, e)| (*e).max(0)).product();
+        for i in 0..total {
+            let mut rem = i;
+            let mut vars = BTreeMap::new();
+            for (var, min, extent) in &dims {
+                let e = (*extent).max(1);
+                vars.insert(var.clone(), min + rem % e);
+                rem /= e;
+            }
+            let ctx = InterpCtx {
+                vars,
+                params,
+                images: &inputs.images,
+                self_name: &output.name,
+                self_buffer: buffer,
+                roots,
+            };
+            let idx: Result<Vec<i64>, RealizeError> =
+                update.lhs.iter().map(|e| interp(e, &ctx).map(|v| v.as_i64())).collect();
+            let idx = idx?;
+            let value = interp(&update.value, &ctx)?;
+            buffer.set(&idx, value);
+        }
+        Ok(())
+    }
+}
+
+fn inline_one(expr: &Expr, func: &Func) -> Expr {
+    match expr {
+        Expr::FuncRef(name, args) if *name == func.name => {
+            let args: Vec<Expr> = args.iter().map(|a| inline_one(a, func)).collect();
+            let body = func.pure_def.clone().expect("inlinable funcs have a pure definition");
+            body.substitute(&|var| {
+                func.vars.iter().position(|v| v == var).map(|i| args[i].clone())
+            })
+        }
+        Expr::FuncRef(name, args) => Expr::FuncRef(
+            name.clone(),
+            args.iter().map(|a| inline_one(a, func)).collect(),
+        ),
+        Expr::Image(name, args) => Expr::Image(
+            name.clone(),
+            args.iter().map(|a| inline_one(a, func)).collect(),
+        ),
+        Expr::Cast(ty, e) => Expr::Cast(*ty, Box::new(inline_one(e, func))),
+        Expr::Binary(op, a, b) => Expr::bin(*op, inline_one(a, func), inline_one(b, func)),
+        Expr::Cmp(op, a, b) => Expr::cmp(*op, inline_one(a, func), inline_one(b, func)),
+        Expr::Select(c, t, o) => {
+            Expr::select(inline_one(c, func), inline_one(t, func), inline_one(o, func))
+        }
+        Expr::Call(c, args) => {
+            Expr::Call(*c, args.iter().map(|a| inline_one(a, func)).collect())
+        }
+        _ => expr.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{ImageParam, RDom, UpdateDef};
+
+    /// output(x, y) = cast<u8>((in(x, y+1) + in(x+2, y+1)) >> 1)
+    fn blur_pipeline() -> Pipeline {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let at = |dx: i64, dy: i64| {
+            Expr::Image(
+                "input_1".into(),
+                vec![
+                    Expr::add(x.clone(), Expr::int(dx)),
+                    Expr::add(y.clone(), Expr::int(dy)),
+                ],
+            )
+        };
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(BinOp::Shr, Expr::add(at(0, 1), at(2, 1)), Expr::uint(1)),
+        );
+        Pipeline::new(
+            Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value),
+            vec![ImageParam::new("input_1", ScalarType::UInt8, 2)],
+        )
+    }
+
+    fn ramp_image(w: usize, h: usize) -> Buffer {
+        let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+        for y in 0..h {
+            for x in 0..w {
+                b.set(&[x as i64, y as i64], Value::Int(((x + 2 * y) % 256) as i64));
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn pure_stencil_matches_reference() {
+        let p = blur_pipeline();
+        let input = ramp_image(16, 12);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        for schedule in [Schedule::naive(), Schedule::stencil_default()] {
+            let out = Realizer::new(schedule).realize(&p, &[14, 10], &inputs).unwrap();
+            for y in 0..10i64 {
+                for x in 0..14i64 {
+                    let a = input.get(&[x, y + 1]).as_i64();
+                    let b = input.get(&[x + 2, y + 1]).as_i64();
+                    let expect = ((a + b) >> 1) as u8 as i64;
+                    assert_eq!(out.get(&[x, y]).as_i64(), expect, "mismatch at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let p = blur_pipeline();
+        let err = Realizer::default().realize(&p, &[4, 4], &RealizeInputs::new()).unwrap_err();
+        assert_eq!(err, RealizeError::MissingInput("input_1".into()));
+        assert!(err.to_string().contains("input_1"));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let p = blur_pipeline();
+        let input = ramp_image(8, 8);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let err = Realizer::default().realize(&p, &[4], &inputs).unwrap_err();
+        assert!(matches!(err, RealizeError::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn histogram_update_definition() {
+        // hist(x) = 0; hist(input(r.x, r.y)) = hist(input(r.x, r.y)) + 1
+        let img = ImageParam::new("input_1", ScalarType::UInt8, 2);
+        let rdom = RDom::over_image("r_0", &img);
+        let lhs = Expr::Image(
+            "input_1".into(),
+            vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+        );
+        let update = UpdateDef {
+            lhs: vec![lhs.clone()],
+            value: Expr::cast(
+                ScalarType::UInt64,
+                Expr::add(Expr::FuncRef("hist".into(), vec![lhs]), Expr::int(1)),
+            ),
+            rdom,
+        };
+        let hist = Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+        let p = Pipeline::new(hist, vec![img]);
+
+        let mut input = Buffer::new(ScalarType::UInt8, &[4, 4]);
+        for (i, c) in input.coords().collect::<Vec<_>>().into_iter().enumerate() {
+            input.set(&c, Value::Int((i % 3) as i64));
+        }
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let out = Realizer::default().realize(&p, &[256], &inputs).unwrap();
+        assert_eq!(out.get(&[0]).as_i64(), 6);
+        assert_eq!(out.get(&[1]).as_i64(), 5);
+        assert_eq!(out.get(&[2]).as_i64(), 5);
+        assert_eq!(out.get(&[3]).as_i64(), 0);
+    }
+
+    #[test]
+    fn compute_root_and_inline_give_identical_results() {
+        // two-stage: bright(x,y) = in(x,y)+10 ; out(x,y) = bright(x,y) * 2
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let bright = Func::pure(
+            "bright",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::add(
+                    Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+                    Expr::int(10),
+                ),
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::mul(Expr::FuncRef("bright".into(), vec![x, y]), Expr::int(2)),
+            ),
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)])
+            .with_func(bright);
+        let input = ramp_image(8, 8);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let inlined = Realizer::new(Schedule::naive()).realize(&p, &[8, 8], &inputs).unwrap();
+        let rooted = Realizer::new(Schedule::naive().with_compute_root("bright"))
+            .realize(&p, &[8, 8], &inputs)
+            .unwrap();
+        assert_eq!(inlined, rooted);
+        assert_eq!(inlined.get(&[3, 4]).as_i64(), ((input.get(&[3, 4]).as_i64() + 10) * 2) & 0xff);
+    }
+}

@@ -1,0 +1,140 @@
+//! Schedules: the execution-strategy knobs the autotuner searches over.
+//!
+//! The paper re-optimizes lifted kernels by autotuning Halide schedules
+//! (tiling, vectorization, parallelization, inlining). Our miniature runtime
+//! models the same decisions: a [`Schedule`] controls how the realizer walks
+//! the output domain, whether rows are distributed across threads, how many
+//! pixels are evaluated per dispatch ("vectorization") and which producer
+//! funcs are materialized (`compute_root`) versus inlined.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An execution schedule for a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Distribute the outermost dimension across worker threads.
+    pub parallel: bool,
+    /// Number of worker threads to use when `parallel` is set (0 = all cores).
+    pub threads: usize,
+    /// Tile sizes for the two innermost dimensions, if tiling is enabled.
+    pub tile: Option<(usize, usize)>,
+    /// Number of output elements evaluated per inner dispatch (models
+    /// vector width; amortizes per-element dispatch overhead).
+    pub vector_width: usize,
+    /// Funcs materialized into intermediate buffers instead of being inlined.
+    pub compute_root: BTreeSet<String>,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule {
+            parallel: false,
+            threads: 0,
+            tile: None,
+            vector_width: 1,
+            compute_root: BTreeSet::new(),
+        }
+    }
+}
+
+impl Schedule {
+    /// The naive schedule: sequential, untiled, scalar, fully inlined.
+    pub fn naive() -> Schedule {
+        Schedule::default()
+    }
+
+    /// A reasonable default for lifted stencils: parallel over the outer
+    /// dimension with a modest vector width, everything inlined (fused).
+    pub fn stencil_default() -> Schedule {
+        Schedule { parallel: true, threads: 0, tile: Some((64, 64)), vector_width: 8, ..Schedule::default() }
+    }
+
+    /// Enable parallelism.
+    pub fn with_parallel(mut self, parallel: bool) -> Schedule {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Limit the number of worker threads (0 = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Schedule {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the tile sizes.
+    pub fn with_tile(mut self, tile: Option<(usize, usize)>) -> Schedule {
+        self.tile = tile;
+        self
+    }
+
+    /// Set the vector width.
+    pub fn with_vector_width(mut self, width: usize) -> Schedule {
+        self.vector_width = width.max(1);
+        self
+    }
+
+    /// Materialize `func` into its own buffer instead of inlining it.
+    pub fn with_compute_root(mut self, func: &str) -> Schedule {
+        self.compute_root.insert(func.to_string());
+        self
+    }
+
+    /// Effective number of worker threads.
+    pub fn effective_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parallel={} threads={} tile={:?} vector={} roots={:?}",
+            self.parallel, self.threads, self.tile, self.vector_width, self.compute_root
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let s = Schedule::naive()
+            .with_parallel(true)
+            .with_threads(4)
+            .with_tile(Some((32, 16)))
+            .with_vector_width(0)
+            .with_compute_root("blur_x");
+        assert!(s.parallel);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.tile, Some((32, 16)));
+        assert_eq!(s.vector_width, 1, "vector width is clamped to at least 1");
+        assert!(s.compute_root.contains("blur_x"));
+        assert_eq!(s.effective_threads(), 4);
+    }
+
+    #[test]
+    fn sequential_schedules_use_one_thread() {
+        assert_eq!(Schedule::naive().effective_threads(), 1);
+        assert!(Schedule::stencil_default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn display_mentions_knobs() {
+        let s = Schedule::stencil_default();
+        let text = s.to_string();
+        assert!(text.contains("parallel=true"));
+        assert!(text.contains("vector=8"));
+    }
+}

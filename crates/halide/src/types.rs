@@ -1,0 +1,193 @@
+//! Scalar types and runtime values for the miniature Halide DSL.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar element types supported by the DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// 8-bit unsigned integer (image channels).
+    UInt8,
+    /// 16-bit unsigned integer.
+    UInt16,
+    /// 32-bit unsigned integer.
+    UInt32,
+    /// 64-bit unsigned integer (histogram bins).
+    UInt64,
+    /// 32-bit signed integer.
+    Int32,
+    /// 32-bit IEEE float.
+    Float32,
+    /// 64-bit IEEE float.
+    Float64,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ScalarType::UInt8 => 1,
+            ScalarType::UInt16 => 2,
+            ScalarType::UInt32 | ScalarType::Int32 | ScalarType::Float32 => 4,
+            ScalarType::UInt64 | ScalarType::Float64 => 8,
+        }
+    }
+
+    /// Returns `true` for floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::Float32 | ScalarType::Float64)
+    }
+
+    /// Returns `true` for unsigned integer types.
+    pub fn is_unsigned(self) -> bool {
+        matches!(
+            self,
+            ScalarType::UInt8 | ScalarType::UInt16 | ScalarType::UInt32 | ScalarType::UInt64
+        )
+    }
+
+    /// The Halide C++ spelling of the type (`UInt(8)`, `Float(32)`, ...).
+    pub fn halide_ctor(self) -> &'static str {
+        match self {
+            ScalarType::UInt8 => "UInt(8)",
+            ScalarType::UInt16 => "UInt(16)",
+            ScalarType::UInt32 => "UInt(32)",
+            ScalarType::UInt64 => "UInt(64)",
+            ScalarType::Int32 => "Int(32)",
+            ScalarType::Float32 => "Float(32)",
+            ScalarType::Float64 => "Float(64)",
+        }
+    }
+
+    /// The C type used inside `cast<...>()` expressions.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            ScalarType::UInt8 => "uint8_t",
+            ScalarType::UInt16 => "uint16_t",
+            ScalarType::UInt32 => "uint32_t",
+            ScalarType::UInt64 => "uint64_t",
+            ScalarType::Int32 => "int32_t",
+            ScalarType::Float32 => "float",
+            ScalarType::Float64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+/// A runtime scalar value.
+///
+/// Integer values are carried as `i64` (wide enough for every supported
+/// integer type); floating point values as `f64`. Casting to a concrete
+/// [`ScalarType`] truncates/wraps exactly like the corresponding C cast so
+/// lifted integer kernels reproduce the original binaries bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+}
+
+impl Value {
+    /// The value as `f64` (integers are converted).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// The value as `i64` (floats are truncated toward zero, like a C cast).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => v as i64,
+        }
+    }
+
+    /// Returns `true` when the value is non-zero (used for conditions).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+        }
+    }
+
+    /// Cast the value to a concrete scalar type, wrapping/truncating exactly
+    /// like the corresponding C cast.
+    pub fn cast(self, ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::UInt8 => Value::Int((self.as_i64() as u8) as i64),
+            ScalarType::UInt16 => Value::Int((self.as_i64() as u16) as i64),
+            ScalarType::UInt32 => Value::Int((self.as_i64() as u32) as i64),
+            ScalarType::UInt64 => Value::Int(self.as_i64()),
+            ScalarType::Int32 => Value::Int((self.as_i64() as i32) as i64),
+            ScalarType::Float32 => Value::Float(self.as_f64() as f32 as f64),
+            ScalarType::Float64 => Value::Float(self.as_f64()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_properties() {
+        assert_eq!(ScalarType::UInt8.bytes(), 1);
+        assert_eq!(ScalarType::Float64.bytes(), 8);
+        assert!(ScalarType::Float32.is_float());
+        assert!(!ScalarType::Int32.is_float());
+        assert!(ScalarType::UInt32.is_unsigned());
+        assert!(!ScalarType::Int32.is_unsigned());
+        assert_eq!(ScalarType::UInt8.halide_ctor(), "UInt(8)");
+        assert_eq!(ScalarType::UInt8.c_name(), "uint8_t");
+    }
+
+    #[test]
+    fn value_casts_match_c_semantics() {
+        assert_eq!(Value::Int(300).cast(ScalarType::UInt8), Value::Int(44));
+        assert_eq!(Value::Int(-1).cast(ScalarType::UInt8), Value::Int(255));
+        assert_eq!(Value::Int(-1).cast(ScalarType::UInt32), Value::Int(0xffff_ffff));
+        assert_eq!(Value::Float(3.9).cast(ScalarType::Int32), Value::Int(3));
+        assert_eq!(Value::Float(-3.9).cast(ScalarType::Int32), Value::Int(-3));
+        assert_eq!(Value::Int(2).cast(ScalarType::Float64), Value::Float(2.0));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(7).as_f64(), 7.0);
+        assert_eq!(Value::Float(7.9).as_i64(), 7);
+        assert!(Value::Int(1).is_true());
+        assert!(!Value::Int(0).is_true());
+        assert!(Value::Float(0.5).is_true());
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3.5f64), Value::Float(3.5));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests of the expression simplifier: simplification never changes
+//! the values a pipeline computes and never grows the expression.
+
+use helium_halide::prelude::*;
+use helium_halide::simplify::simplify;
+use proptest::prelude::*;
+
+/// A strategy producing random expressions over a 2-D `UInt8` image, the pure
+/// variables `x_0`/`x_1`, and small integer constants. The expression shapes
+/// mirror what the lifter emits: widening casts around image loads, integer
+/// arithmetic, shifts by small constants, and selects over comparisons.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-8i64..9).prop_map(Expr::int),
+        Just(Expr::var("x_0")),
+        Just(Expr::var("x_1")),
+        (-2i64..3, -2i64..3).prop_map(|(dx, dy)| Expr::cast(
+            ScalarType::UInt32,
+            Expr::Image(
+                "input_1".into(),
+                vec![
+                    Expr::add(Expr::var("x_0"), Expr::int(dx + 2)),
+                    Expr::add(Expr::var("x_1"), Expr::int(dy + 2)),
+                ],
+            )
+        )),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), (-4i64..5)).prop_map(|(a, c)| Expr::mul(a, Expr::int(c))),
+            (inner.clone(), (0i64..4)).prop_map(|(a, s)| Expr::bin(BinOp::Shr, a, Expr::int(s))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
+            (inner.clone(), inner.clone(), inner.clone(), (-64i64..65)).prop_map(
+                |(c, t, f, k)| Expr::select(Expr::cmp(CmpOp::Lt, c, Expr::int(k)), t, f)
+            ),
+            inner
+                .clone()
+                .prop_map(|a| Expr::cast(ScalarType::UInt16, Expr::cast(ScalarType::UInt32, a))),
+        ]
+    })
+}
+
+fn pipeline_for(value: Expr) -> Pipeline {
+    Pipeline::new(
+        Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::Int32,
+            Expr::cast(ScalarType::Int32, value),
+        ),
+        vec![ImageParam::new("input_1", ScalarType::UInt8, 2)],
+    )
+}
+
+fn test_image(w: usize, h: usize, seed: u64) -> Buffer {
+    let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+    let mut state = seed | 1;
+    for y in 0..h {
+        for x in 0..w {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.set(&[x as i64, y as i64], Value::Int(((state >> 33) % 256) as i64));
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Simplifying the output expression of a pipeline never changes any value
+    /// it computes, and never increases the node count.
+    #[test]
+    fn simplification_preserves_realized_values(value in expr_strategy(), seed in any::<u64>()) {
+        let original = pipeline_for(value.clone());
+        let simplified = {
+            let mut p = original.clone();
+            let func = p.funcs.get_mut("out").expect("output func");
+            func.pure_def = func.pure_def.as_ref().map(|e| simplify(e));
+            p
+        };
+
+        let before = original.output_func().pure_def.as_ref().expect("def").node_count();
+        let after = simplified.output_func().pure_def.as_ref().expect("def").node_count();
+        prop_assert!(after <= before, "simplification grew the expression ({before} -> {after})");
+
+        let input = test_image(12, 10, seed);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let a = Realizer::new(Schedule::naive()).realize(&original, &[8, 6], &inputs).unwrap();
+        let b = Realizer::new(Schedule::naive()).realize(&simplified, &[8, 6], &inputs).unwrap();
+        prop_assert_eq!(a, b, "simplification changed realized values");
+    }
+
+    /// Simplification is idempotent: a second pass makes no further changes.
+    #[test]
+    fn simplification_is_idempotent(value in expr_strategy()) {
+        let once = simplify(&value);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,412 @@
+//! Programmatic assembler with label resolution.
+//!
+//! Legacy applications author their optimized kernels with this builder: it
+//! emits instructions at consecutive code addresses, resolves forward and
+//! backward label references, and returns the `address -> instruction` map
+//! that [`Program::add_module`](crate::program::Program::add_module) consumes.
+
+use crate::isa::{
+    AluOp, Cond, ExternFn, FpOp, FpSrc, Instr, MemRef, Operand, RegRef, ShiftOp,
+};
+use crate::program::INSTR_SIZE;
+use std::collections::{BTreeMap, HashMap};
+
+/// A pending control-flow target: either an already-known absolute address or
+/// a label to be resolved when [`Asm::finish`] is called.
+#[derive(Debug, Clone)]
+enum Target {
+    Addr(u32),
+    Label(String),
+}
+
+/// Things that can be used as a jump/call target.
+pub trait IntoTarget {
+    /// Convert to an internal target representation.
+    fn into_target(self) -> TargetSpec;
+}
+
+/// Resolved-or-labelled target specification.
+#[derive(Debug, Clone)]
+pub struct TargetSpec(Target);
+
+impl IntoTarget for u32 {
+    fn into_target(self) -> TargetSpec {
+        TargetSpec(Target::Addr(self))
+    }
+}
+
+impl IntoTarget for &str {
+    fn into_target(self) -> TargetSpec {
+        TargetSpec(Target::Label(self.to_string()))
+    }
+}
+
+impl IntoTarget for String {
+    fn into_target(self) -> TargetSpec {
+        TargetSpec(Target::Label(self))
+    }
+}
+
+impl IntoTarget for &String {
+    fn into_target(self) -> TargetSpec {
+        TargetSpec(Target::Label(self.clone()))
+    }
+}
+
+/// Instruction stream builder.
+///
+/// ```
+/// use helium_machine::asm::Asm;
+/// use helium_machine::isa::{regs, Cond, Operand};
+///
+/// let mut asm = Asm::new(0x1000);
+/// asm.mov(regs::eax(), Operand::Imm(0));
+/// asm.label("top");
+/// asm.inc(regs::eax());
+/// asm.cmp(regs::eax(), Operand::Imm(4));
+/// asm.jcc(Cond::B, "top");
+/// asm.ret();
+/// let code = asm.finish();
+/// assert_eq!(code.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    base: u32,
+    instrs: Vec<Instr>,
+    // Index in `instrs` of instructions whose target needs patching.
+    fixups: Vec<(usize, Target)>,
+    labels: HashMap<String, u32>,
+}
+
+impl Asm {
+    /// Start assembling at `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm { base, instrs: Vec::new(), fixups: Vec::new(), labels: HashMap::new() }
+    }
+
+    /// Code address of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.base + (self.instrs.len() as u32) * INSTR_SIZE
+    }
+
+    /// Define a label at the current position.
+    ///
+    /// # Panics
+    /// Panics if the label is already defined.
+    pub fn label(&mut self, name: &str) -> u32 {
+        let addr = self.here();
+        let prev = self.labels.insert(name.to_string(), addr);
+        assert!(prev.is_none(), "label {name} defined twice");
+        addr
+    }
+
+    /// Emit an arbitrary instruction and return its address.
+    pub fn emit(&mut self, instr: Instr) -> u32 {
+        let addr = self.here();
+        self.instrs.push(instr);
+        addr
+    }
+
+    fn emit_with_target(&mut self, instr: Instr, spec: TargetSpec) -> u32 {
+        let addr = self.here();
+        let idx = self.instrs.len();
+        self.instrs.push(instr);
+        self.fixups.push((idx, spec.0));
+        addr
+    }
+
+    // --- data movement -----------------------------------------------------
+
+    /// `mov dst, src`.
+    pub fn mov(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Mov { dst: dst.into(), src: src.into() })
+    }
+
+    /// `movzx dst, src`.
+    pub fn movzx(&mut self, dst: RegRef, src: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Movzx { dst, src: src.into() })
+    }
+
+    /// `movsx dst, src`.
+    pub fn movsx(&mut self, dst: RegRef, src: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Movsx { dst, src: src.into() })
+    }
+
+    /// `lea dst, [addr]`.
+    pub fn lea(&mut self, dst: RegRef, addr: MemRef) -> u32 {
+        self.emit(Instr::Lea { dst, addr })
+    }
+
+    /// `push src`.
+    pub fn push(&mut self, src: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Push { src: src.into() })
+    }
+
+    /// `pop dst`.
+    pub fn pop(&mut self, dst: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Pop { dst: dst.into() })
+    }
+
+    // --- integer ALU --------------------------------------------------------
+
+    /// Generic two-operand ALU instruction.
+    pub fn alu(&mut self, op: AluOp, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Alu { op, dst: dst.into(), src: src.into() })
+    }
+
+    /// `add dst, src`.
+    pub fn add(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Add, dst, src)
+    }
+
+    /// `adc dst, src`.
+    pub fn adc(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Adc, dst, src)
+    }
+
+    /// `sub dst, src`.
+    pub fn sub(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Sub, dst, src)
+    }
+
+    /// `sbb dst, src`.
+    pub fn sbb(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Sbb, dst, src)
+    }
+
+    /// `and dst, src`.
+    pub fn and(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::And, dst, src)
+    }
+
+    /// `or dst, src`.
+    pub fn or(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Or, dst, src)
+    }
+
+    /// `xor dst, src`.
+    pub fn xor(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Xor, dst, src)
+    }
+
+    /// `imul dst, src` (two-operand form).
+    pub fn imul(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
+        self.alu(AluOp::Imul, dst, src)
+    }
+
+    /// `shl dst, amount`.
+    pub fn shl(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Shift { op: ShiftOp::Shl, dst: dst.into(), amount: amount.into() })
+    }
+
+    /// `shr dst, amount`.
+    pub fn shr(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Shift { op: ShiftOp::Shr, dst: dst.into(), amount: amount.into() })
+    }
+
+    /// `sar dst, amount`.
+    pub fn sar(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Shift { op: ShiftOp::Sar, dst: dst.into(), amount: amount.into() })
+    }
+
+    /// `inc dst`.
+    pub fn inc(&mut self, dst: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Inc { dst: dst.into() })
+    }
+
+    /// `dec dst`.
+    pub fn dec(&mut self, dst: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Dec { dst: dst.into() })
+    }
+
+    /// `neg dst`.
+    pub fn neg(&mut self, dst: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Neg { dst: dst.into() })
+    }
+
+    /// `not dst`.
+    pub fn not(&mut self, dst: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Not { dst: dst.into() })
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Cmp { a: a.into(), b: b.into() })
+    }
+
+    /// `test a, b`.
+    pub fn test(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> u32 {
+        self.emit(Instr::Test { a: a.into(), b: b.into() })
+    }
+
+    // --- control flow -------------------------------------------------------
+
+    /// `jmp target`.
+    pub fn jmp(&mut self, target: impl IntoTarget) -> u32 {
+        self.emit_with_target(Instr::Jmp { target: 0 }, target.into_target())
+    }
+
+    /// `jcc target` (conditional jump).
+    pub fn jcc(&mut self, cond: Cond, target: impl IntoTarget) -> u32 {
+        self.emit_with_target(Instr::Jcc { cond, target: 0 }, target.into_target())
+    }
+
+    /// `call target`.
+    pub fn call(&mut self, target: impl IntoTarget) -> u32 {
+        self.emit_with_target(Instr::Call { target: 0 }, target.into_target())
+    }
+
+    /// Call to a known external library function.
+    pub fn call_extern(&mut self, func: ExternFn) -> u32 {
+        self.emit(Instr::CallExtern { func })
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> u32 {
+        self.emit(Instr::Ret)
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> u32 {
+        self.emit(Instr::Nop)
+    }
+
+    /// `hlt` (terminate the whole program).
+    pub fn halt(&mut self) -> u32 {
+        self.emit(Instr::Halt)
+    }
+
+    // --- x87 floating point ---------------------------------------------------
+
+    /// `fld src` (push onto the FP stack).
+    pub fn fld(&mut self, src: FpSrc) -> u32 {
+        self.emit(Instr::Fld { src })
+    }
+
+    /// `fst dst` (store st(0) without popping).
+    pub fn fst(&mut self, dst: FpSrc) -> u32 {
+        self.emit(Instr::Fst { dst, pop: false })
+    }
+
+    /// `fstp dst` (store st(0) and pop).
+    pub fn fstp(&mut self, dst: FpSrc) -> u32 {
+        self.emit(Instr::Fst { dst, pop: true })
+    }
+
+    /// `fistp dst` (store st(0) rounded to a 32-bit integer and pop).
+    pub fn fistp(&mut self, dst: MemRef) -> u32 {
+        self.emit(Instr::Fistp { dst })
+    }
+
+    /// `fadd src`, `fsub src`, `fmul src`, `fdiv src` with st(0) as destination.
+    pub fn farith(&mut self, op: FpOp, src: FpSrc) -> u32 {
+        self.emit(Instr::Farith { op, src, pop: false, reverse_dst: false })
+    }
+
+    /// `faddp st(i), st(0)` family: `st(i) = st(i) op st(0)`, then pop.
+    pub fn farith_to(&mut self, op: FpOp, slot: u8) -> u32 {
+        self.emit(Instr::Farith { op, src: FpSrc::St(slot), pop: true, reverse_dst: true })
+    }
+
+    /// `fxch st(i)`.
+    pub fn fxch(&mut self, slot: u8) -> u32 {
+        self.emit(Instr::Fxch { slot })
+    }
+
+    // --- finalization ---------------------------------------------------------
+
+    /// Resolve label fixups and return the address → instruction map.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never defined.
+    pub fn finish(mut self) -> BTreeMap<u32, Instr> {
+        for (idx, target) in std::mem::take(&mut self.fixups) {
+            let addr = match target {
+                Target::Addr(a) => a,
+                Target::Label(name) => *self
+                    .labels
+                    .get(&name)
+                    .unwrap_or_else(|| panic!("undefined label {name}")),
+            };
+            match &mut self.instrs[idx] {
+                Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                    *target = addr;
+                }
+                other => panic!("fixup on non-control-flow instruction {other}"),
+            }
+        }
+        self.instrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, instr)| (self.base + (i as u32) * INSTR_SIZE, instr))
+            .collect()
+    }
+
+    /// Address of a defined label.
+    pub fn label_addr(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new(0x4000);
+        asm.jmp("fwd");
+        asm.label("back");
+        asm.inc(regs::eax());
+        asm.label("fwd");
+        asm.cmp(regs::eax(), Operand::Imm(3));
+        asm.jcc(Cond::B, "back");
+        asm.ret();
+        let code = asm.finish();
+        match &code[&0x4000] {
+            Instr::Jmp { target } => assert_eq!(*target, 0x4008),
+            other => panic!("unexpected {other}"),
+        }
+        match &code[&0x400c] {
+            Instr::Jcc { target, .. } => assert_eq!(*target, 0x4004),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut asm = Asm::new(0);
+        asm.jmp("nowhere");
+        asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut asm = Asm::new(0);
+        asm.label("x");
+        asm.nop();
+        asm.label("x");
+    }
+
+    #[test]
+    fn addresses_are_consecutive() {
+        let mut asm = Asm::new(0x100);
+        let a0 = asm.nop();
+        let a1 = asm.nop();
+        let a2 = asm.ret();
+        assert_eq!((a0, a1, a2), (0x100, 0x104, 0x108));
+        assert_eq!(asm.here(), 0x10c);
+    }
+
+    #[test]
+    fn call_to_absolute_address() {
+        let mut asm = Asm::new(0);
+        asm.call(0x9000u32);
+        asm.halt();
+        let code = asm.finish();
+        assert_eq!(code[&0], Instr::Call { target: 0x9000 });
+    }
+}

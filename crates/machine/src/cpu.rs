@@ -1,0 +1,917 @@
+//! The interpreter: executes a [`Program`] and reports, for every dynamic
+//! instruction, exactly the information a dynamic binary instrumentation
+//! framework would surface (resolved memory addresses and address expressions,
+//! access widths, branch directions, call/return events and the floating-point
+//! stack top).
+
+use crate::isa::{
+    AluOp, Cond, ExternFn, Instr, MemRef, Operand, Reg, RegRef, ShiftOp, Width, FpOp, FpSrc,
+};
+use crate::mem::Memory;
+use crate::program::{Program, INSTR_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CPU status flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+/// The x87-style floating point register stack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FpStack {
+    slots: [f64; 8],
+    /// Physical index of `st(0)`.
+    top: u8,
+    /// Number of live entries (0..=8).
+    depth: u8,
+}
+
+impl Default for FpStack {
+    fn default() -> Self {
+        FpStack { slots: [0.0; 8], top: 0, depth: 0 }
+    }
+}
+
+impl FpStack {
+    /// Physical slot index of `st(i)`.
+    pub fn phys(&self, i: u8) -> u8 {
+        (self.top + i) % 8
+    }
+
+    /// Current physical index of the top of the stack.
+    pub fn top(&self) -> u8 {
+        self.top
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Push a value onto the stack.
+    pub fn push(&mut self, v: f64) {
+        self.top = (self.top + 7) % 8;
+        self.slots[self.top as usize] = v;
+        self.depth = (self.depth + 1).min(8);
+    }
+
+    /// Pop the top of the stack.
+    pub fn pop(&mut self) -> f64 {
+        let v = self.slots[self.top as usize];
+        self.top = (self.top + 1) % 8;
+        self.depth = self.depth.saturating_sub(1);
+        v
+    }
+
+    /// Read `st(i)`.
+    pub fn get(&self, i: u8) -> f64 {
+        self.slots[self.phys(i) as usize]
+    }
+
+    /// Write `st(i)`.
+    pub fn set(&mut self, i: u8, v: f64) {
+        let p = self.phys(i) as usize;
+        self.slots[p] = v;
+    }
+}
+
+/// How a memory address was computed (`base + scale*index + disp`), with the
+/// concrete register values observed at execution time. This mirrors the
+/// "address expression" the paper records for indirect memory operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrExpr {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Observed value of the base register.
+    pub base_value: u32,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Observed value of the index register.
+    pub index_value: u32,
+    /// Scale applied to the index register.
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i32,
+}
+
+/// One resolved memory access performed by a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Absolute address accessed.
+    pub addr: u32,
+    /// Access width.
+    pub width: Width,
+    /// `true` for writes, `false` for reads.
+    pub is_write: bool,
+    /// Raw little-endian bits transferred (zero-extended).
+    pub value: u64,
+    /// The address expression used to form `addr`.
+    pub expr: AddrExpr,
+}
+
+/// The record produced for every executed (dynamic) instruction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Address of the executed instruction.
+    pub addr: u32,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Memory accesses (in program order: reads before writes).
+    pub mem: Vec<MemAccess>,
+    /// For conditional jumps: whether the branch was taken.
+    pub branch_taken: Option<bool>,
+    /// For calls: the dynamic call target.
+    pub call_target: Option<u32>,
+    /// `true` if the instruction was a `ret`.
+    pub is_ret: bool,
+    /// For known external library calls: the function.
+    pub extern_call: Option<ExternFn>,
+    /// Physical index of the FP stack top *before* executing the instruction;
+    /// used by trace preprocessing to rename `st(i)` references.
+    pub fpu_top_before: u8,
+    /// Address of the next instruction that will execute.
+    pub next_pc: u32,
+}
+
+/// Errors raised by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CpuError {
+    /// The program counter does not map to an instruction.
+    InvalidPc(u32),
+    /// An instruction was malformed (e.g. `mov` between mismatched widths).
+    Malformed { addr: u32, reason: String },
+    /// The step budget given to [`Cpu::run`] was exhausted.
+    StepLimit(u64),
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::InvalidPc(pc) => write!(f, "invalid program counter {pc:#x}"),
+            CpuError::Malformed { addr, reason } => {
+                write!(f, "malformed instruction at {addr:#x}: {reason}")
+            }
+            CpuError::StepLimit(n) => write!(f, "step limit of {n} instructions exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// The virtual CPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cpu {
+    /// General purpose registers, indexed by [`Reg::index`].
+    pub regs: [u32; 8],
+    /// Status flags.
+    pub flags: Flags,
+    /// x87-style floating point stack.
+    pub fpu: FpStack,
+    /// Data memory.
+    pub mem: Memory,
+    /// Program counter.
+    pub pc: u32,
+    /// `false` once a `hlt` has executed.
+    pub running: bool,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+/// Default stack top used by [`Cpu::new`].
+pub const DEFAULT_STACK_TOP: u32 = 0x00F0_0000;
+
+impl Cpu {
+    /// Create a CPU with zeroed registers and an empty memory; `esp` points at
+    /// [`DEFAULT_STACK_TOP`].
+    pub fn new() -> Cpu {
+        let mut cpu = Cpu {
+            regs: [0; 8],
+            flags: Flags::default(),
+            fpu: FpStack::default(),
+            mem: Memory::new(),
+            pc: 0,
+            running: true,
+        };
+        cpu.set_reg(Reg::Esp, DEFAULT_STACK_TOP);
+        cpu
+    }
+
+    /// Read a full 32-bit register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Write a full 32-bit register.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Read a (possibly partial) register view, zero-extended.
+    pub fn reg_view(&self, r: RegRef) -> u64 {
+        let full = self.reg(r.reg) as u64;
+        (full >> (8 * r.lo as u64)) & r.width.mask()
+    }
+
+    /// Write a (possibly partial) register view.
+    pub fn set_reg_view(&mut self, r: RegRef, v: u64) {
+        let mask = r.width.mask() << (8 * r.lo as u64);
+        let old = self.reg(r.reg) as u64;
+        let new = (old & !mask) | ((v << (8 * r.lo as u64)) & mask);
+        self.set_reg(r.reg, new as u32);
+    }
+
+    /// Resolve a memory reference to an absolute address and address expression.
+    pub fn resolve(&self, m: &MemRef) -> (u32, AddrExpr) {
+        let base_value = m.base.map(|b| self.reg(b)).unwrap_or(0);
+        let index_value = m.index.map(|i| self.reg(i)).unwrap_or(0);
+        let addr = base_value
+            .wrapping_add(index_value.wrapping_mul(m.scale as u32))
+            .wrapping_add(m.disp as u32);
+        (
+            addr,
+            AddrExpr {
+                base: m.base,
+                base_value,
+                index: m.index,
+                index_value,
+                scale: m.scale,
+                disp: m.disp,
+            },
+        )
+    }
+
+    fn read_mem_logged(&self, m: &MemRef, log: &mut Vec<MemAccess>) -> u64 {
+        let (addr, expr) = self.resolve(m);
+        let v = self.mem.read_uint(addr, m.width.bytes());
+        log.push(MemAccess { addr, width: m.width, is_write: false, value: v, expr });
+        v
+    }
+
+    fn write_mem_logged(&mut self, m: &MemRef, value: u64, log: &mut Vec<MemAccess>) {
+        let (addr, expr) = self.resolve(m);
+        self.mem.write_uint(addr, value & m.width.mask(), m.width.bytes());
+        log.push(MemAccess {
+            addr,
+            width: m.width,
+            is_write: true,
+            value: value & m.width.mask(),
+            expr,
+        });
+    }
+
+    fn read_operand(&self, op: &Operand, log: &mut Vec<MemAccess>) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg_view(*r),
+            Operand::Mem(m) => self.read_mem_logged(m, log),
+            Operand::Imm(i) => *i as u64,
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, value: u64, log: &mut Vec<MemAccess>) {
+        match op {
+            Operand::Reg(r) => self.set_reg_view(*r, value),
+            Operand::Mem(m) => self.write_mem_logged(m, value, log),
+            Operand::Imm(_) => panic!("cannot write to an immediate operand"),
+        }
+    }
+
+    fn set_logic_flags(&mut self, result: u64, width: Width) {
+        let r = result & width.mask();
+        self.flags.zf = r == 0;
+        self.flags.sf = (r >> (width.bits() - 1)) & 1 == 1;
+        self.flags.cf = false;
+        self.flags.of = false;
+    }
+
+    fn set_add_flags(&mut self, a: u64, b: u64, carry_in: u64, width: Width) -> u64 {
+        let mask = width.mask();
+        let full = (a & mask) + (b & mask) + carry_in;
+        let r = full & mask;
+        let sign = width.bits() - 1;
+        self.flags.zf = r == 0;
+        self.flags.sf = (r >> sign) & 1 == 1;
+        self.flags.cf = full > mask;
+        let sa = (a >> sign) & 1;
+        let sb = (b >> sign) & 1;
+        let sr = (r >> sign) & 1;
+        self.flags.of = sa == sb && sa != sr;
+        r
+    }
+
+    fn set_sub_flags(&mut self, a: u64, b: u64, borrow_in: u64, width: Width) -> u64 {
+        let mask = width.mask();
+        let a = a & mask;
+        let b = b & mask;
+        let r = a.wrapping_sub(b).wrapping_sub(borrow_in) & mask;
+        let sign = width.bits() - 1;
+        self.flags.zf = r == 0;
+        self.flags.sf = (r >> sign) & 1 == 1;
+        self.flags.cf = a < b + borrow_in;
+        let sa = (a >> sign) & 1;
+        let sb = (b >> sign) & 1;
+        let sr = (r >> sign) & 1;
+        self.flags.of = sa != sb && sb == sr;
+        r
+    }
+
+    fn cond_holds(&self, c: Cond) -> bool {
+        let f = self.flags;
+        match c {
+            Cond::Z => f.zf,
+            Cond::Nz => !f.zf,
+            Cond::B => f.cf,
+            Cond::Nb => !f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+        }
+    }
+
+    fn read_fp_src(&self, src: &FpSrc, log: &mut Vec<MemAccess>) -> f64 {
+        match src {
+            FpSrc::St(i) => self.fpu.get(*i),
+            FpSrc::MemF32(m) => {
+                let bits = self.read_mem_logged(m, log) as u32;
+                f32::from_bits(bits) as f64
+            }
+            FpSrc::MemF64(m) => {
+                let bits = self.read_mem_logged(m, log);
+                f64::from_bits(bits)
+            }
+            FpSrc::MemI32(m) => {
+                let bits = self.read_mem_logged(m, log) as u32;
+                bits as i32 as f64
+            }
+        }
+    }
+
+    /// Execute one instruction and return its dynamic record.
+    ///
+    /// # Errors
+    /// Returns [`CpuError::InvalidPc`] if the program counter does not map to
+    /// an instruction, and [`CpuError::Malformed`] for ill-formed instructions.
+    pub fn step(&mut self, program: &Program) -> Result<StepRecord, CpuError> {
+        let addr = self.pc;
+        let instr = program.instr_at(addr).ok_or(CpuError::InvalidPc(addr))?.clone();
+        let mut log = Vec::new();
+        let mut branch_taken = None;
+        let mut call_target = None;
+        let mut is_ret = false;
+        let mut extern_call = None;
+        let fpu_top_before = self.fpu.top();
+        let mut next_pc = addr + INSTR_SIZE;
+
+        match &instr {
+            Instr::Mov { dst, src } => {
+                let v = self.read_operand(src, &mut log);
+                self.write_operand(dst, v & dst.width().mask(), &mut log);
+            }
+            Instr::Movzx { dst, src } => {
+                let v = self.read_operand(src, &mut log) & src.width().mask();
+                self.set_reg_view(*dst, v);
+            }
+            Instr::Movsx { dst, src } => {
+                let v = self.read_operand(src, &mut log) & src.width().mask();
+                let bits = src.width().bits();
+                let sign_extended = (((v as i64) << (64 - bits)) >> (64 - bits)) as u64;
+                self.set_reg_view(*dst, sign_extended & dst.width.mask());
+            }
+            Instr::Lea { dst, addr: m } => {
+                let (a, _) = self.resolve(m);
+                self.set_reg_view(*dst, a as u64);
+            }
+            Instr::Alu { op, dst, src } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log);
+                let b = self.read_operand(src, &mut log);
+                let result = match op {
+                    AluOp::Add => self.set_add_flags(a, b, 0, width),
+                    AluOp::Adc => {
+                        let c = self.flags.cf as u64;
+                        self.set_add_flags(a, b, c, width)
+                    }
+                    AluOp::Sub => self.set_sub_flags(a, b, 0, width),
+                    AluOp::Sbb => {
+                        let c = self.flags.cf as u64;
+                        self.set_sub_flags(a, b, c, width)
+                    }
+                    AluOp::And => {
+                        let r = a & b;
+                        self.set_logic_flags(r, width);
+                        r
+                    }
+                    AluOp::Or => {
+                        let r = a | b;
+                        self.set_logic_flags(r, width);
+                        r
+                    }
+                    AluOp::Xor => {
+                        let r = a ^ b;
+                        self.set_logic_flags(r, width);
+                        r
+                    }
+                    AluOp::Imul => {
+                        let bits = width.bits();
+                        let sa = ((a as i64) << (64 - bits)) >> (64 - bits);
+                        let sb = ((b as i64) << (64 - bits)) >> (64 - bits);
+                        let r = sa.wrapping_mul(sb) as u64 & width.mask();
+                        self.flags.cf = false;
+                        self.flags.of = false;
+                        self.flags.zf = r == 0;
+                        self.flags.sf = (r >> (bits - 1)) & 1 == 1;
+                        r
+                    }
+                };
+                self.write_operand(dst, result & width.mask(), &mut log);
+            }
+            Instr::Shift { op, dst, amount } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log) & width.mask();
+                let amt = (self.read_operand(amount, &mut log) & 0x1f) as u32;
+                let bits = width.bits();
+                let r = if amt == 0 {
+                    a
+                } else {
+                    match op {
+                        ShiftOp::Shl => {
+                            self.flags.cf = amt <= bits && (a >> (bits - amt)) & 1 == 1;
+                            (a << amt) & width.mask()
+                        }
+                        ShiftOp::Shr => {
+                            self.flags.cf = (a >> (amt - 1)) & 1 == 1;
+                            a >> amt
+                        }
+                        ShiftOp::Sar => {
+                            self.flags.cf = (a >> (amt - 1)) & 1 == 1;
+                            let sa = ((a as i64) << (64 - bits)) >> (64 - bits);
+                            ((sa >> amt) as u64) & width.mask()
+                        }
+                    }
+                };
+                self.flags.zf = r == 0;
+                self.flags.sf = (r >> (bits - 1)) & 1 == 1;
+                self.write_operand(dst, r, &mut log);
+            }
+            Instr::Inc { dst } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log);
+                let cf = self.flags.cf;
+                let r = self.set_add_flags(a, 1, 0, width);
+                self.flags.cf = cf; // inc does not modify CF
+                self.write_operand(dst, r, &mut log);
+            }
+            Instr::Dec { dst } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log);
+                let cf = self.flags.cf;
+                let r = self.set_sub_flags(a, 1, 0, width);
+                self.flags.cf = cf; // dec does not modify CF
+                self.write_operand(dst, r, &mut log);
+            }
+            Instr::Neg { dst } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log);
+                let r = self.set_sub_flags(0, a, 0, width);
+                self.write_operand(dst, r, &mut log);
+            }
+            Instr::Not { dst } => {
+                let width = dst.width();
+                let a = self.read_operand(dst, &mut log);
+                self.write_operand(dst, !a & width.mask(), &mut log);
+            }
+            Instr::Cmp { a, b } => {
+                let width = a.width();
+                let av = self.read_operand(a, &mut log);
+                let bv = self.read_operand(b, &mut log);
+                self.set_sub_flags(av, bv, 0, width);
+            }
+            Instr::Test { a, b } => {
+                let width = a.width();
+                let av = self.read_operand(a, &mut log);
+                let bv = self.read_operand(b, &mut log);
+                self.set_logic_flags(av & bv, width);
+            }
+            Instr::Jmp { target } => {
+                next_pc = *target;
+            }
+            Instr::Jcc { cond, target } => {
+                let taken = self.cond_holds(*cond);
+                branch_taken = Some(taken);
+                if taken {
+                    next_pc = *target;
+                }
+            }
+            Instr::Call { target } => {
+                let ret_addr = addr + INSTR_SIZE;
+                let esp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.set_reg(Reg::Esp, esp);
+                let m = MemRef::base_only(Reg::Esp, Width::B4);
+                self.write_mem_logged(&m, ret_addr as u64, &mut log);
+                call_target = Some(*target);
+                next_pc = *target;
+            }
+            Instr::CallExtern { func } => {
+                let mut args = Vec::with_capacity(func.arity());
+                for _ in 0..func.arity() {
+                    args.push(self.fpu.pop());
+                }
+                let result = func.eval(&args);
+                self.fpu.push(result);
+                extern_call = Some(*func);
+            }
+            Instr::Ret => {
+                let m = MemRef::base_only(Reg::Esp, Width::B4);
+                let ret = self.read_mem_logged(&m, &mut log) as u32;
+                let esp = self.reg(Reg::Esp).wrapping_add(4);
+                self.set_reg(Reg::Esp, esp);
+                is_ret = true;
+                next_pc = ret;
+            }
+            Instr::Push { src } => {
+                let v = self.read_operand(src, &mut log);
+                let esp = self.reg(Reg::Esp).wrapping_sub(4);
+                self.set_reg(Reg::Esp, esp);
+                let m = MemRef::base_only(Reg::Esp, Width::B4);
+                self.write_mem_logged(&m, v & Width::B4.mask(), &mut log);
+            }
+            Instr::Pop { dst } => {
+                let m = MemRef::base_only(Reg::Esp, Width::B4);
+                let v = self.read_mem_logged(&m, &mut log);
+                let esp = self.reg(Reg::Esp).wrapping_add(4);
+                self.set_reg(Reg::Esp, esp);
+                self.write_operand(dst, v, &mut log);
+            }
+            Instr::Fld { src } => {
+                let v = self.read_fp_src(src, &mut log);
+                self.fpu.push(v);
+            }
+            Instr::Fst { dst, pop } => {
+                let v = self.fpu.get(0);
+                match dst {
+                    FpSrc::St(i) => self.fpu.set(*i, v),
+                    FpSrc::MemF32(m) => {
+                        self.write_mem_logged(m, (v as f32).to_bits() as u64, &mut log)
+                    }
+                    FpSrc::MemF64(m) => self.write_mem_logged(m, v.to_bits(), &mut log),
+                    FpSrc::MemI32(m) => {
+                        self.write_mem_logged(m, (v as i32) as u32 as u64, &mut log)
+                    }
+                }
+                if *pop {
+                    self.fpu.pop();
+                }
+            }
+            Instr::Fistp { dst } => {
+                let v = self.fpu.pop();
+                // x87 default rounding: round to nearest, ties to even.
+                let rounded = round_ties_even(v) as i64 as u32;
+                self.write_mem_logged(dst, rounded as u64, &mut log);
+            }
+            Instr::Farith { op, src, pop, reverse_dst } => {
+                let rhs = self.read_fp_src(src, &mut log);
+                if *reverse_dst {
+                    let slot = match src {
+                        FpSrc::St(i) => *i,
+                        _ => {
+                            return Err(CpuError::Malformed {
+                                addr,
+                                reason: "reverse FP arithmetic requires an st(i) operand".into(),
+                            })
+                        }
+                    };
+                    let lhs = self.fpu.get(slot);
+                    let st0 = self.fpu.get(0);
+                    let r = apply_fp(*op, lhs, st0);
+                    self.fpu.set(slot, r);
+                } else {
+                    let lhs = self.fpu.get(0);
+                    let r = apply_fp(*op, lhs, rhs);
+                    self.fpu.set(0, r);
+                }
+                if *pop {
+                    self.fpu.pop();
+                }
+            }
+            Instr::Fxch { slot } => {
+                let a = self.fpu.get(0);
+                let b = self.fpu.get(*slot);
+                self.fpu.set(0, b);
+                self.fpu.set(*slot, a);
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.running = false;
+                next_pc = addr;
+            }
+        }
+
+        self.pc = next_pc;
+        Ok(StepRecord {
+            addr,
+            instr,
+            mem: log,
+            branch_taken,
+            call_target,
+            is_ret,
+            extern_call,
+            fpu_top_before,
+            next_pc,
+        })
+    }
+
+    /// Run until `hlt`, an error, or `max_steps` instructions, invoking
+    /// `hook` after every step.
+    ///
+    /// # Errors
+    /// Propagates [`CpuError`]s from [`Cpu::step`] and returns
+    /// [`CpuError::StepLimit`] if the budget is exhausted.
+    pub fn run<F>(
+        &mut self,
+        program: &Program,
+        max_steps: u64,
+        mut hook: F,
+    ) -> Result<u64, CpuError>
+    where
+        F: FnMut(&Cpu, &StepRecord),
+    {
+        let mut executed = 0;
+        while self.running {
+            if executed >= max_steps {
+                return Err(CpuError::StepLimit(max_steps));
+            }
+            let record = self.step(program)?;
+            executed += 1;
+            hook(self, &record);
+        }
+        Ok(executed)
+    }
+}
+
+fn apply_fp(op: FpOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpOp::Add => a + b,
+        FpOp::Sub => a - b,
+        FpOp::Mul => a * b,
+        FpOp::Div => a / b,
+    }
+}
+
+/// Round to nearest integer with ties going to the even value, matching the
+/// default x87 rounding mode used by `fistp`.
+pub fn round_ties_even(v: f64) -> f64 {
+    let r = v.round();
+    if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - (v.signum())
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::regs;
+
+    fn run_to_halt(asm: Asm) -> Cpu {
+        let mut p = Program::new();
+        let code = asm.finish();
+        let entry = *code.keys().next().expect("code");
+        p.add_module("test", code);
+        let mut cpu = Cpu::new();
+        cpu.pc = entry;
+        cpu.run(&p, 1_000_000, |_, _| {}).expect("execution");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // Sum 1..=10 into eax.
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.mov(regs::ecx(), Operand::Imm(1));
+        asm.label("top");
+        asm.add(regs::eax(), regs::ecx());
+        asm.inc(regs::ecx());
+        asm.cmp(regs::ecx(), Operand::Imm(11));
+        asm.jcc(Cond::B, "top");
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 55);
+    }
+
+    #[test]
+    fn partial_register_views() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::Eax, 0x1122_3344);
+        assert_eq!(cpu.reg_view(regs::al()), 0x44);
+        assert_eq!(cpu.reg_view(regs::ah()), 0x33);
+        assert_eq!(cpu.reg_view(regs::ax()), 0x3344);
+        cpu.set_reg_view(regs::ah(), 0xff);
+        assert_eq!(cpu.reg(Reg::Eax), 0x1122_ff44);
+        cpu.set_reg_view(regs::ax(), 0xabcd);
+        assert_eq!(cpu.reg(Reg::Eax), 0x1122_abcd);
+    }
+
+    #[test]
+    fn memory_store_load_and_addressing() {
+        let mut asm = Asm::new(0x2000);
+        // ebx = 0x8000; [ebx+4] = 0x1234; eax = [ebx + 1*4]
+        asm.mov(regs::ebx(), Operand::Imm(0x8000));
+        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 4, Width::B4)), Operand::Imm(0x1234));
+        asm.mov(regs::ecx(), Operand::Imm(1));
+        asm.mov(
+            regs::eax(),
+            Operand::Mem(MemRef::sib(Reg::Ebx, Reg::Ecx, 4, 0, Width::B4)),
+        );
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 0x1234);
+    }
+
+    #[test]
+    fn movzx_movsx_semantics() {
+        let mut asm = Asm::new(0x3000);
+        asm.mov(regs::ebx(), Operand::Imm(0x9000));
+        asm.mov(Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)), Operand::Imm(0xf0));
+        asm.movzx(regs::eax(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
+        asm.movsx(regs::ecx(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 0xf0);
+        assert_eq!(cpu.reg(Reg::Ecx), 0xffff_fff0);
+    }
+
+    #[test]
+    fn call_ret_uses_stack() {
+        let mut asm = Asm::new(0x4000);
+        asm.call("callee");
+        asm.halt();
+        asm.label("callee");
+        asm.mov(regs::eax(), Operand::Imm(99));
+        asm.ret();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 99);
+        assert_eq!(cpu.reg(Reg::Esp), DEFAULT_STACK_TOP);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut asm = Asm::new(0x5000);
+        asm.mov(regs::eax(), Operand::Imm(0xdead));
+        asm.push(regs::eax());
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.pop(regs::ebx());
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Ebx), 0xdead);
+    }
+
+    #[test]
+    fn shift_and_flag_conditions() {
+        let mut asm = Asm::new(0x6000);
+        asm.mov(regs::eax(), Operand::Imm(0x11));
+        asm.shr(regs::eax(), Operand::Imm(3));
+        asm.mov(regs::ebx(), Operand::Imm(5));
+        asm.shl(regs::ebx(), Operand::Imm(2));
+        asm.mov(regs::ecx(), Operand::Imm(-8));
+        asm.sar(regs::ecx(), Operand::Imm(1));
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 0x2);
+        assert_eq!(cpu.reg(Reg::Ebx), 20);
+        assert_eq!(cpu.reg(Reg::Ecx) as i32, -4);
+    }
+
+    #[test]
+    fn signed_and_unsigned_branches() {
+        // Signed comparison: -1 < 1 signed, but 0xffffffff > 1 unsigned.
+        let mut asm = Asm::new(0x7000);
+        asm.mov(regs::eax(), Operand::Imm(-1));
+        asm.cmp(regs::eax(), Operand::Imm(1));
+        asm.mov(regs::ebx(), Operand::Imm(0));
+        asm.mov(regs::ecx(), Operand::Imm(0));
+        asm.jcc(Cond::L, "signed_less");
+        asm.jmp("after1");
+        asm.label("signed_less");
+        asm.mov(regs::ebx(), Operand::Imm(1));
+        asm.label("after1");
+        asm.cmp(regs::eax(), Operand::Imm(1));
+        asm.jcc(Cond::A, "unsigned_above");
+        asm.jmp("end");
+        asm.label("unsigned_above");
+        asm.mov(regs::ecx(), Operand::Imm(1));
+        asm.label("end");
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Ebx), 1, "signed less-than should hold");
+        assert_eq!(cpu.reg(Reg::Ecx), 1, "unsigned above should hold");
+    }
+
+    #[test]
+    fn fp_stack_operations() {
+        let mut cpu = Cpu::new();
+        cpu.mem.write_f64(0x9000, 2.5);
+        cpu.mem.write_f32(0x9008, 4.0);
+        let mut asm = Asm::new(0x8000);
+        asm.fld(FpSrc::MemF64(MemRef::absolute(0x9000, Width::B8)));
+        asm.fld(FpSrc::MemF32(MemRef::absolute(0x9008, Width::B4)));
+        asm.farith(FpOp::Mul, FpSrc::St(1)); // st0 = 4.0 * 2.5 = 10.0
+        asm.call_extern(ExternFn::Sqrt); // st0 = sqrt(10)
+        asm.fstp(FpSrc::MemF64(MemRef::absolute(0x9010, Width::B8)));
+        asm.halt();
+        let mut p = Program::new();
+        p.add_module("fp", asm.finish());
+        cpu.pc = 0x8000;
+        cpu.run(&p, 1000, |_, _| {}).expect("run");
+        assert!((cpu.mem.read_f64(0x9010) - 10.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fistp_rounds_ties_to_even() {
+        assert_eq!(round_ties_even(2.5), 2.0);
+        assert_eq!(round_ties_even(3.5), 4.0);
+        assert_eq!(round_ties_even(-2.5), -2.0);
+        assert_eq!(round_ties_even(2.3), 2.0);
+        assert_eq!(round_ties_even(2.7), 3.0);
+    }
+
+    #[test]
+    fn step_record_reports_memory_accesses() {
+        let mut asm = Asm::new(0xa000);
+        asm.mov(regs::ebx(), Operand::Imm(0x9100));
+        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 8, Width::B4)), Operand::Imm(7));
+        asm.halt();
+        let mut p = Program::new();
+        p.add_module("t", asm.finish());
+        let mut cpu = Cpu::new();
+        cpu.pc = 0xa000;
+        let mut writes = Vec::new();
+        cpu.run(&p, 100, |_, rec| {
+            for m in &rec.mem {
+                if m.is_write {
+                    writes.push(*m);
+                }
+            }
+        })
+        .expect("run");
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].addr, 0x9108);
+        assert_eq!(writes[0].value, 7);
+        assert_eq!(writes[0].expr.base, Some(Reg::Ebx));
+        assert_eq!(writes[0].expr.disp, 8);
+    }
+
+    #[test]
+    fn invalid_pc_is_an_error() {
+        let p = Program::new();
+        let mut cpu = Cpu::new();
+        cpu.pc = 0x1234;
+        assert_eq!(cpu.step(&p).unwrap_err(), CpuError::InvalidPc(0x1234));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut asm = Asm::new(0);
+        asm.label("spin");
+        asm.jmp("spin");
+        let mut p = Program::new();
+        p.add_module("spin", asm.finish());
+        let mut cpu = Cpu::new();
+        let err = cpu.run(&p, 10, |_, _| {}).unwrap_err();
+        assert_eq!(err, CpuError::StepLimit(10));
+    }
+
+    #[test]
+    fn adc_sbb_carry_chain() {
+        let mut asm = Asm::new(0xb000);
+        // 64-bit add: (0xffffffff, 1) + (1, 0) = (0, 2)
+        asm.mov(regs::eax(), Operand::Imm(0xffff_ffff));
+        asm.mov(regs::edx(), Operand::Imm(1));
+        asm.add(regs::eax(), Operand::Imm(1));
+        asm.adc(regs::edx(), Operand::Imm(0));
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        assert_eq!(cpu.reg(Reg::Eax), 0);
+        assert_eq!(cpu.reg(Reg::Edx), 2);
+    }
+}

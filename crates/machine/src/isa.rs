@@ -1,0 +1,874 @@
+//! Instruction-set definitions for the x86-like virtual machine.
+//!
+//! The ISA deliberately mirrors the subset of 32-bit x86 that the Helium paper
+//! has to deal with in optimized image-processing kernels: general-purpose
+//! registers with partial (8/16-bit) views, `base + scale*index + disp`
+//! addressing, integer ALU operations that set flags, conditional jumps, calls
+//! through a stack, and an x87-style floating-point register *stack* whose
+//! locations are only meaningful relative to a dynamic top-of-stack pointer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-bit general purpose register.
+///
+/// The names follow the x86 convention so the assembly listings produced by
+/// the legacy applications read like the listings in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // the register names are self-describing
+pub enum Reg {
+    Eax,
+    Ebx,
+    Ecx,
+    Edx,
+    Esi,
+    Edi,
+    Ebp,
+    Esp,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ebx,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Esi,
+        Reg::Edi,
+        Reg::Ebp,
+        Reg::Esp,
+    ];
+
+    /// Dense index of the register, used to map registers into the analysis
+    /// address space (paper §4.5 maps registers to memory).
+    pub fn index(self) -> usize {
+        match self {
+            Reg::Eax => 0,
+            Reg::Ebx => 1,
+            Reg::Ecx => 2,
+            Reg::Edx => 3,
+            Reg::Esi => 4,
+            Reg::Edi => 5,
+            Reg::Ebp => 6,
+            Reg::Esp => 7,
+        }
+    }
+
+    /// Parse a register name such as `eax`.
+    pub fn from_name(name: &str) -> Option<Reg> {
+        Some(match name {
+            "eax" => Reg::Eax,
+            "ebx" => Reg::Ebx,
+            "ecx" => Reg::Ecx,
+            "edx" => Reg::Edx,
+            "esi" => Reg::Esi,
+            "edi" => Reg::Edi,
+            "ebp" => Reg::Ebp,
+            "esp" => Reg::Esp,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reg::Eax => "eax",
+            Reg::Ebx => "ebx",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ebp => "ebp",
+            Reg::Esp => "esp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Width {
+    /// 1 byte (`byte ptr`, `al`).
+    B1,
+    /// 2 bytes (`word ptr`, `ax`).
+    B2,
+    /// 4 bytes (`dword ptr`, `eax`).
+    B4,
+    /// 8 bytes (`qword ptr`, x87 doubles).
+    B8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Mask selecting the low `bits()` bits of a 64-bit value.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::B1 => 0xff,
+            Width::B2 => 0xffff,
+            Width::B4 => 0xffff_ffff,
+            Width::B8 => u64::MAX,
+        }
+    }
+
+    /// Construct from a byte count.
+    pub fn from_bytes(bytes: u32) -> Option<Width> {
+        Some(match bytes {
+            1 => Width::B1,
+            2 => Width::B2,
+            4 => Width::B4,
+            8 => Width::B8,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Width::B1 => "byte",
+            Width::B2 => "word",
+            Width::B4 => "dword",
+            Width::B8 => "qword",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A (possibly partial) view of a general-purpose register.
+///
+/// `lo` is the byte offset inside the 32-bit register, so `ah` is
+/// `RegRef { reg: Eax, lo: 1, width: B1 }`.  Partial register reads/writes are
+/// one of the complications the paper calls out for IrfanView's code, and the
+/// analysis handles them by mapping registers into a byte-addressed shadow
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegRef {
+    /// Underlying 32-bit register.
+    pub reg: Reg,
+    /// Byte offset of the view within the register (0 or 1).
+    pub lo: u8,
+    /// Width of the view.
+    pub width: Width,
+}
+
+impl RegRef {
+    /// Full 32-bit view of a register.
+    pub fn full(reg: Reg) -> RegRef {
+        RegRef { reg, lo: 0, width: Width::B4 }
+    }
+
+    /// Low 16-bit view (`ax`, `bx`, ...).
+    pub fn word(reg: Reg) -> RegRef {
+        RegRef { reg, lo: 0, width: Width::B2 }
+    }
+
+    /// Low byte view (`al`, `bl`, ...).
+    pub fn low_byte(reg: Reg) -> RegRef {
+        RegRef { reg, lo: 0, width: Width::B1 }
+    }
+
+    /// Second byte view (`ah`, `bh`, ...).
+    pub fn high_byte(reg: Reg) -> RegRef {
+        RegRef { reg, lo: 1, width: Width::B1 }
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = self.reg.to_string();
+        match (self.width, self.lo) {
+            (Width::B4, 0) => write!(f, "{base}"),
+            (Width::B2, 0) => write!(f, "{}", &base[1..]),
+            (Width::B1, 0) => write!(f, "{}l", &base[1..2]),
+            (Width::B1, 1) => write!(f, "{}h", &base[1..2]),
+            _ => write!(f, "{base}[{}..+{}]", self.lo, self.width.bytes()),
+        }
+    }
+}
+
+/// Convenience constructors for common register views.
+pub mod regs {
+    use super::{Reg, RegRef, Width};
+
+    macro_rules! full {
+        ($($name:ident => $reg:ident),* $(,)?) => {
+            $(
+                #[doc = concat!("The `", stringify!($name), "` register view.")]
+                pub fn $name() -> RegRef { RegRef::full(Reg::$reg) }
+            )*
+        };
+    }
+    full! {
+        eax => Eax, ebx => Ebx, ecx => Ecx, edx => Edx,
+        esi => Esi, edi => Edi, ebp => Ebp, esp => Esp,
+    }
+
+    /// The `ax` register view.
+    pub fn ax() -> RegRef {
+        RegRef::word(Reg::Eax)
+    }
+    /// The `al` register view.
+    pub fn al() -> RegRef {
+        RegRef::low_byte(Reg::Eax)
+    }
+    /// The `ah` register view.
+    pub fn ah() -> RegRef {
+        RegRef::high_byte(Reg::Eax)
+    }
+    /// The `bl` register view.
+    pub fn bl() -> RegRef {
+        RegRef::low_byte(Reg::Ebx)
+    }
+    /// The `bh` register view.
+    pub fn bh() -> RegRef {
+        RegRef::high_byte(Reg::Ebx)
+    }
+    /// The `cl` register view.
+    pub fn cl() -> RegRef {
+        RegRef::low_byte(Reg::Ecx)
+    }
+    /// The `ch` register view.
+    pub fn ch() -> RegRef {
+        RegRef::high_byte(Reg::Ecx)
+    }
+    /// The `dl` register view.
+    pub fn dl() -> RegRef {
+        RegRef::low_byte(Reg::Edx)
+    }
+    /// The `dh` register view.
+    pub fn dh() -> RegRef {
+        RegRef::high_byte(Reg::Edx)
+    }
+    /// The `cx` register view.
+    pub fn cx() -> RegRef {
+        RegRef::word(Reg::Ecx)
+    }
+    /// The `dx` register view.
+    pub fn dx() -> RegRef {
+        RegRef::word(Reg::Edx)
+    }
+
+    /// A partial byte view at an arbitrary offset, used in tests.
+    pub fn byte_at(reg: Reg, lo: u8) -> RegRef {
+        RegRef { reg, lo, width: Width::B1 }
+    }
+}
+
+/// An indirect memory reference `width ptr [base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional index register.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i32,
+    /// Access width.
+    pub width: Width,
+}
+
+impl MemRef {
+    /// `width ptr [base + disp]`.
+    pub fn base_disp(base: Reg, disp: i32, width: Width) -> MemRef {
+        MemRef { base: Some(base), index: None, scale: 1, disp, width }
+    }
+
+    /// `width ptr [base]`.
+    pub fn base_only(base: Reg, width: Width) -> MemRef {
+        MemRef::base_disp(base, 0, width)
+    }
+
+    /// `width ptr [base + index*scale + disp]`.
+    pub fn sib(base: Reg, index: Reg, scale: u8, disp: i32, width: Width) -> MemRef {
+        MemRef { base: Some(base), index: Some(index), scale, disp, width }
+    }
+
+    /// `width ptr [disp]` (absolute address).
+    pub fn absolute(disp: i32, width: Width) -> MemRef {
+        MemRef { base: None, index: None, scale: 1, disp, width }
+    }
+
+    /// Same reference with a different access width.
+    pub fn with_width(mut self, width: Width) -> MemRef {
+        self.width = width;
+        self
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ptr [", self.width)?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}")?;
+            if self.scale != 1 {
+                write!(f, "*{}", self.scale)?;
+            }
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if self.disp < 0 {
+                write!(f, "-{:#x}", -(self.disp as i64))?;
+            } else {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A (possibly partial) register.
+    Reg(RegRef),
+    /// An indirect memory reference.
+    Mem(MemRef),
+    /// An immediate constant (sign-extended to 64 bits).
+    Imm(i64),
+}
+
+impl Operand {
+    /// Width of the operand; immediates report the width of their consumer and
+    /// default to 4 bytes.
+    pub fn width(&self) -> Width {
+        match self {
+            Operand::Reg(r) => r.width,
+            Operand::Mem(m) => m.width,
+            Operand::Imm(_) => Width::B4,
+        }
+    }
+
+    /// Returns the memory reference if this operand is indirect.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegRef> for Operand {
+    fn from(r: RegRef) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Self {
+        Operand::Mem(m)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v as i64)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => write!(f, "{:#x}", i),
+        }
+    }
+}
+
+/// Condition codes for conditional jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// ZF = 1 (`jz` / `je`).
+    Z,
+    /// ZF = 0 (`jnz` / `jne`).
+    Nz,
+    /// CF = 1 (`jb`, unsigned less-than).
+    B,
+    /// CF = 0 (`jnb` / `jae`).
+    Nb,
+    /// CF = 1 or ZF = 1 (`jbe`).
+    Be,
+    /// CF = 0 and ZF = 0 (`ja`).
+    A,
+    /// SF != OF (`jl`, signed less-than).
+    L,
+    /// SF = OF (`jge`).
+    Ge,
+    /// ZF = 1 or SF != OF (`jle`).
+    Le,
+    /// ZF = 0 and SF = OF (`jg`).
+    G,
+    /// SF = 1 (`js`).
+    S,
+    /// SF = 0 (`jns`).
+    Ns,
+}
+
+impl Cond {
+    /// The condition with opposite truth value.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Z => Cond::Nz,
+            Cond::Nz => Cond::Z,
+            Cond::B => Cond::Nb,
+            Cond::Nb => Cond::B,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Z => "z",
+            Cond::Nz => "nz",
+            Cond::B => "b",
+            Cond::Nb => "nb",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer ALU operations that share the two-operand `dst op= src` shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition (`add`).
+    Add,
+    /// Addition with carry (`adc`).
+    Adc,
+    /// Subtraction (`sub`).
+    Sub,
+    /// Subtraction with borrow (`sbb`).
+    Sbb,
+    /// Bitwise and (`and`).
+    And,
+    /// Bitwise or (`or`).
+    Or,
+    /// Bitwise exclusive or (`xor`).
+    Xor,
+    /// Two-operand signed multiply (`imul`).
+    Imul,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Adc => "adc",
+            AluOp::Sub => "sub",
+            AluOp::Sbb => "sbb",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Imul => "imul",
+        };
+        f.pad(s)
+    }
+}
+
+/// Shift operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftOp {
+    /// Logical left shift (`shl`).
+    Shl,
+    /// Logical right shift (`shr`).
+    Shr,
+    /// Arithmetic right shift (`sar`).
+    Sar,
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        };
+        f.pad(s)
+    }
+}
+
+/// x87-style floating point binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpOp {
+    /// Floating-point addition (`fadd`).
+    Add,
+    /// Floating-point subtraction (`fsub`).
+    Sub,
+    /// Floating-point multiplication (`fmul`).
+    Mul,
+    /// Floating-point division (`fdiv`).
+    Div,
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Source operand of an x87 operation: either a memory reference or a
+/// register-stack slot `st(i)` relative to the dynamic top of stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpSrc {
+    /// `st(i)`, relative to the current top of the FP stack.
+    St(u8),
+    /// A 32-bit float in memory.
+    MemF32(MemRef),
+    /// A 64-bit double in memory.
+    MemF64(MemRef),
+    /// A 32-bit signed integer in memory (x87 `fi*` forms).
+    MemI32(MemRef),
+}
+
+impl fmt::Display for FpSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpSrc::St(i) => write!(f, "st({i})"),
+            FpSrc::MemF32(m) => write!(f, "{m}"),
+            FpSrc::MemF64(m) => write!(f, "{m}"),
+            FpSrc::MemI32(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// External library functions recognized by their (dynamic-linking) symbol.
+///
+/// The paper handles calls to known library functions such as `sqrt` and
+/// `floor` by emitting the corresponding Halide intrinsic instead of lifting
+/// the library's optimized implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExternFn {
+    /// `sqrt(double) -> double`.
+    Sqrt,
+    /// `floor(double) -> double`.
+    Floor,
+    /// `ceil(double) -> double`.
+    Ceil,
+    /// `fabs(double) -> double`.
+    Fabs,
+    /// `exp(double) -> double`.
+    Exp,
+    /// `log(double) -> double`.
+    Log,
+    /// `pow(double, double) -> double`.
+    Pow,
+}
+
+impl ExternFn {
+    /// The dynamic-linking symbol name of the function.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ExternFn::Sqrt => "sqrt",
+            ExternFn::Floor => "floor",
+            ExternFn::Ceil => "ceil",
+            ExternFn::Fabs => "fabs",
+            ExternFn::Exp => "exp",
+            ExternFn::Log => "log",
+            ExternFn::Pow => "pow",
+        }
+    }
+
+    /// Number of double arguments taken from the FP stack.
+    pub fn arity(self) -> usize {
+        match self {
+            ExternFn::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluate the function on concrete arguments.
+    pub fn eval(self, args: &[f64]) -> f64 {
+        match self {
+            ExternFn::Sqrt => args[0].sqrt(),
+            ExternFn::Floor => args[0].floor(),
+            ExternFn::Ceil => args[0].ceil(),
+            ExternFn::Fabs => args[0].abs(),
+            ExternFn::Exp => args[0].exp(),
+            ExternFn::Log => args[0].ln(),
+            ExternFn::Pow => args[0].powf(args[1]),
+        }
+    }
+}
+
+impl fmt::Display for ExternFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A single machine instruction.
+///
+/// Each instruction occupies [`INSTR_SIZE`](crate::program::INSTR_SIZE) bytes
+/// of code address space; jump/call targets are absolute code addresses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields are documented on each variant
+pub enum Instr {
+    /// `mov dst, src` — copy with matching widths.
+    Mov { dst: Operand, src: Operand },
+    /// `movzx dst, src` — zero-extending load (narrow source, wide dest).
+    Movzx { dst: RegRef, src: Operand },
+    /// `movsx dst, src` — sign-extending load.
+    Movsx { dst: RegRef, src: Operand },
+    /// `lea dst, [mem]` — address computation without memory access.
+    Lea { dst: RegRef, addr: MemRef },
+    /// Two-operand ALU operation `dst = dst op src` (sets flags).
+    Alu { op: AluOp, dst: Operand, src: Operand },
+    /// Shift `dst = dst shift amount` (amount is an immediate or `cl`).
+    Shift { op: ShiftOp, dst: Operand, amount: Operand },
+    /// `inc dst`.
+    Inc { dst: Operand },
+    /// `dec dst`.
+    Dec { dst: Operand },
+    /// `neg dst` (two's complement negation).
+    Neg { dst: Operand },
+    /// `not dst` (bitwise complement).
+    Not { dst: Operand },
+    /// `cmp a, b` — compute flags of `a - b` without writing a result.
+    Cmp { a: Operand, b: Operand },
+    /// `test a, b` — compute flags of `a & b` without writing a result.
+    Test { a: Operand, b: Operand },
+    /// Unconditional jump to an absolute code address.
+    Jmp { target: u32 },
+    /// Conditional jump.
+    Jcc { cond: Cond, target: u32 },
+    /// Call to an absolute code address (pushes the return address).
+    Call { target: u32 },
+    /// Call to a known external library function (arguments on the FP stack).
+    CallExtern { func: ExternFn },
+    /// Return (pops the return address).
+    Ret,
+    /// `push src`.
+    Push { src: Operand },
+    /// `pop dst`.
+    Pop { dst: Operand },
+    /// x87 load: push a value onto the FP stack.
+    Fld { src: FpSrc },
+    /// x87 store the top of stack to memory (optionally popping).
+    Fst { dst: FpSrc, pop: bool },
+    /// x87 store the top of stack to a 32-bit integer with rounding (popping).
+    Fistp { dst: MemRef },
+    /// x87 binary operation `st(0) = st(0) op src` (or `st(i) op= st(0)` when
+    /// `reverse_dst` is set, which also pops for the `faddp` family).
+    Farith { op: FpOp, src: FpSrc, pop: bool, reverse_dst: bool },
+    /// x87 exchange `st(0)` with `st(i)`.
+    Fxch { slot: u8 },
+    /// No operation (used for alignment padding like `lea esp,[esp+0x00]`).
+    Nop,
+    /// Stop execution of the whole program (used by application drivers).
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { dst, src } => write!(f, "mov    {dst}, {src}"),
+            Instr::Movzx { dst, src } => write!(f, "movzx  {dst}, {src}"),
+            Instr::Movsx { dst, src } => write!(f, "movsx  {dst}, {src}"),
+            Instr::Lea { dst, addr } => write!(f, "lea    {dst}, {addr}"),
+            Instr::Alu { op, dst, src } => write!(f, "{op:<6} {dst}, {src}"),
+            Instr::Shift { op, dst, amount } => write!(f, "{op:<6} {dst}, {amount}"),
+            Instr::Inc { dst } => write!(f, "inc    {dst}"),
+            Instr::Dec { dst } => write!(f, "dec    {dst}"),
+            Instr::Neg { dst } => write!(f, "neg    {dst}"),
+            Instr::Not { dst } => write!(f, "not    {dst}"),
+            Instr::Cmp { a, b } => write!(f, "cmp    {a}, {b}"),
+            Instr::Test { a, b } => write!(f, "test   {a}, {b}"),
+            Instr::Jmp { target } => write!(f, "jmp    {target:#x}"),
+            Instr::Jcc { cond, target } => write!(f, "j{cond:<5} {target:#x}"),
+            Instr::Call { target } => write!(f, "call   {target:#x}"),
+            Instr::CallExtern { func } => write!(f, "call   {func}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Push { src } => write!(f, "push   {src}"),
+            Instr::Pop { dst } => write!(f, "pop    {dst}"),
+            Instr::Fld { src } => write!(f, "fld    {src}"),
+            Instr::Fst { dst, pop } => {
+                write!(f, "{}    {dst}", if *pop { "fstp" } else { "fst " })
+            }
+            Instr::Fistp { dst } => write!(f, "fistp  {dst}"),
+            Instr::Farith { op, src, pop, reverse_dst } => {
+                let suffix = if *pop { "p" } else { "" };
+                let dir = if *reverse_dst { " (to st)" } else { "" };
+                write!(f, "{op}{suffix} {src}{dir}")
+            }
+            Instr::Fxch { slot } => write!(f, "fxch   st({slot})"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "hlt"),
+        }
+    }
+}
+
+impl Instr {
+    /// Returns `true` for instructions that terminate a basic block.
+    pub fn is_block_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. }
+                | Instr::Jcc { .. }
+                | Instr::Call { .. }
+                | Instr::Ret
+                | Instr::Halt
+        )
+    }
+
+    /// Returns the static control-flow target, if any.
+    pub fn static_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jmp { target } | Instr::Jcc { target, .. } | Instr::Call { target } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for conditional control flow.
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, Instr::Jcc { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_parse_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_name(&r.to_string()), Some(r));
+        }
+        assert_eq!(Reg::from_name("xyz"), None);
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::B1.mask(), 0xff);
+        assert_eq!(Width::B2.mask(), 0xffff);
+        assert_eq!(Width::B4.mask(), 0xffff_ffff);
+        assert_eq!(Width::B4.bits(), 32);
+        assert_eq!(Width::from_bytes(2), Some(Width::B2));
+        assert_eq!(Width::from_bytes(3), None);
+    }
+
+    #[test]
+    fn regref_display() {
+        assert_eq!(regs::eax().to_string(), "eax");
+        assert_eq!(regs::ax().to_string(), "ax");
+        assert_eq!(regs::al().to_string(), "al");
+        assert_eq!(regs::ah().to_string(), "ah");
+        assert_eq!(regs::dl().to_string(), "dl");
+    }
+
+    #[test]
+    fn memref_display() {
+        let m = MemRef::sib(Reg::Eax, Reg::Ecx, 4, 4, Width::B4);
+        assert_eq!(m.to_string(), "dword ptr [eax+ecx*4+0x4]");
+        let m2 = MemRef::base_disp(Reg::Ebp, -8, Width::B1);
+        assert_eq!(m2.to_string(), "byte ptr [ebp-0x8]");
+        let abs = MemRef::absolute(0x1000, Width::B2);
+        assert_eq!(abs.to_string(), "word ptr [0x1000]");
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [
+            Cond::Z,
+            Cond::Nz,
+            Cond::B,
+            Cond::Nb,
+            Cond::Be,
+            Cond::A,
+            Cond::L,
+            Cond::Ge,
+            Cond::Le,
+            Cond::G,
+            Cond::S,
+            Cond::Ns,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn extern_fn_eval() {
+        assert_eq!(ExternFn::Sqrt.eval(&[9.0]), 3.0);
+        assert_eq!(ExternFn::Floor.eval(&[2.7]), 2.0);
+        assert_eq!(ExternFn::Pow.eval(&[2.0, 10.0]), 1024.0);
+        assert_eq!(ExternFn::Pow.arity(), 2);
+        assert_eq!(ExternFn::Sqrt.symbol(), "sqrt");
+    }
+
+    #[test]
+    fn block_terminators() {
+        assert!(Instr::Ret.is_block_terminator());
+        assert!(Instr::Jmp { target: 4 }.is_block_terminator());
+        assert!(!Instr::Nop.is_block_terminator());
+        assert_eq!(Instr::Jcc { cond: Cond::Z, target: 8 }.static_target(), Some(8));
+        assert!(Instr::Jcc { cond: Cond::Z, target: 8 }.is_conditional());
+    }
+
+    #[test]
+    fn instr_display_smoke() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(regs::eax()),
+            src: Operand::Mem(MemRef::base_disp(Reg::Ebp, 8, Width::B4)),
+        };
+        assert_eq!(i.to_string(), "add    eax, dword ptr [ebp+0x8]");
+    }
+}

@@ -1,0 +1,60 @@
+//! # helium-machine
+//!
+//! An x86-like virtual machine used as the binary substrate for the Helium
+//! reproduction (PLDI 2015, "Lifting High-Performance Stencil Kernels from
+//! Stripped x86 Binaries to Halide DSL Code").
+//!
+//! The crate provides:
+//!
+//! * an [`isa`] with 32-bit general-purpose registers (including 8/16-bit
+//!   partial views), `base + scale*index + disp` addressing, flag-setting ALU
+//!   operations, conditional jumps, a stack, an x87-style floating-point
+//!   register stack and calls to known external library functions;
+//! * a programmatic [`asm`]embler with labels;
+//! * a [`program`] model with modules, stripped/exported function symbols and
+//!   static basic-block discovery;
+//! * a [`cpu`] interpreter that reports resolved memory accesses, address
+//!   expressions, branch directions and FP-stack state for every dynamic
+//!   instruction — exactly the information a dynamic binary instrumentation
+//!   framework exposes;
+//! * sparse, page-granular [`mem`]ory supporting the page-level memory dumps
+//!   the paper's expression-extraction stage consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use helium_machine::asm::Asm;
+//! use helium_machine::cpu::Cpu;
+//! use helium_machine::isa::{regs, Operand, Reg};
+//! use helium_machine::program::Program;
+//!
+//! let mut asm = Asm::new(0x1000);
+//! asm.mov(regs::eax(), Operand::Imm(20));
+//! asm.add(regs::eax(), Operand::Imm(22));
+//! asm.halt();
+//!
+//! let mut program = Program::new();
+//! program.add_module("demo", asm.finish());
+//!
+//! let mut cpu = Cpu::new();
+//! cpu.pc = 0x1000;
+//! cpu.run(&program, 1_000, |_, _| {})?;
+//! assert_eq!(cpu.reg(Reg::Eax), 42);
+//! # Ok::<(), helium_machine::cpu::CpuError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+pub mod mem;
+pub mod program;
+
+pub use asm::Asm;
+pub use cpu::{AddrExpr, Cpu, CpuError, MemAccess, StepRecord};
+pub use isa::{
+    AluOp, Cond, ExternFn, FpOp, FpSrc, Instr, MemRef, Operand, Reg, RegRef, ShiftOp, Width,
+};
+pub use mem::{BumpAllocator, Memory, PAGE_SIZE};
+pub use program::{FunctionSym, Module, Program, INSTR_SIZE};

@@ -1,0 +1,243 @@
+//! Sparse, page-granular memory for the virtual machine.
+//!
+//! The memory is organized in 4 KiB pages so the instrumentation layer can
+//! produce the same page-granularity memory dumps the paper describes
+//! (paper §4.1: "a page-granularity memory dump of all memory accessed by
+//! candidate instructions").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Size of a memory page in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Byte-addressed sparse memory backed by 4 KiB pages.
+///
+/// Reads of unmapped memory return zero (and allocate nothing); writes
+/// allocate the containing page on demand.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Memory {
+    pages: BTreeMap<u32, Vec<u8>>,
+}
+
+impl Memory {
+    /// Create an empty memory image.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_of(addr: u32) -> u32 {
+        addr / PAGE_SIZE
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&Self::page_of(addr)) {
+            Some(page) => page[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write a single byte, allocating the page if needed.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(Self::page_of(addr))
+            .or_insert_with(|| vec![0; PAGE_SIZE as usize]);
+        page[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Read `len` bytes starting at `addr` (little-endian order).
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Write a byte slice starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read an unsigned little-endian value of `bytes` bytes (1, 2, 4 or 8).
+    pub fn read_uint(&self, addr: u32, bytes: u32) -> u64 {
+        let mut v: u64 = 0;
+        for i in 0..bytes {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write an unsigned little-endian value of `bytes` bytes.
+    pub fn write_uint(&mut self, addr: u32, value: u64, bytes: u32) {
+        for i in 0..bytes {
+            self.write_u8(addr.wrapping_add(i), ((value >> (8 * i)) & 0xff) as u8);
+        }
+    }
+
+    /// Read a 32-bit unsigned value.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Write a 32-bit unsigned value.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_uint(addr, value as u64, 4);
+    }
+
+    /// Read a 32-bit IEEE float.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write a 32-bit IEEE float.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Read a 64-bit IEEE double.
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_uint(addr, 8))
+    }
+
+    /// Write a 64-bit IEEE double.
+    pub fn write_f64(&mut self, addr: u32, value: f64) {
+        self.write_uint(addr, value.to_bits(), 8);
+    }
+
+    /// Copy out the full content of the page containing `addr`, together with
+    /// the page's base address. Unmapped pages read as zero.
+    pub fn dump_page(&self, addr: u32) -> (u32, Vec<u8>) {
+        let base = Self::page_of(addr) * PAGE_SIZE;
+        let data = match self.pages.get(&Self::page_of(addr)) {
+            Some(page) => page.clone(),
+            None => vec![0; PAGE_SIZE as usize],
+        };
+        (base, data)
+    }
+
+    /// Number of pages currently allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterate over allocated pages as `(base_address, data)`.
+    pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.pages.iter().map(|(p, data)| (p * PAGE_SIZE, data.as_slice()))
+    }
+}
+
+/// A very simple bump allocator carving buffers out of the VM address space.
+///
+/// Legacy applications use this to place their image buffers at "arbitrary"
+/// heap-like addresses, so that nothing in the analysis can rely on buffers
+/// being conveniently located.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BumpAllocator {
+    next: u32,
+}
+
+impl BumpAllocator {
+    /// Create an allocator handing out addresses starting at `base`.
+    pub fn new(base: u32) -> BumpAllocator {
+        BumpAllocator { next: base }
+    }
+
+    /// Allocate `size` bytes aligned to `align` bytes and return the address.
+    ///
+    /// # Panics
+    /// Panics if `align` is zero or not a power of two.
+    pub fn alloc(&mut self, size: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        self.next = addr + size;
+        addr
+    }
+
+    /// Allocate with an extra guard gap after the allocation, which creates the
+    /// inter-buffer padding the paper's buffer structure reconstruction relies
+    /// on to separate adjacent buffers.
+    pub fn alloc_with_gap(&mut self, size: u32, align: u32, gap: u32) -> u32 {
+        let addr = self.alloc(size, align);
+        self.next += gap;
+        addr
+    }
+
+    /// Address that the next allocation would start searching from.
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0x1234), 0);
+        assert_eq!(mem.read_u32(0xdead_0000), 0);
+        assert_eq!(mem.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_widths() {
+        let mut mem = Memory::new();
+        mem.write_uint(0x1000, 0x1122_3344_5566_7788, 8);
+        assert_eq!(mem.read_uint(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u8(0x1000), 0x88);
+        assert_eq!(mem.read_uint(0x1004, 4), 0x1122_3344);
+        mem.write_u32(0x2000, 0xdead_beef);
+        assert_eq!(mem.read_u32(0x2000), 0xdead_beef);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_f32(0x100, 1.25);
+        mem.write_f64(0x200, -3.75);
+        assert_eq!(mem.read_f32(0x100), 1.25);
+        assert_eq!(mem.read_f64(0x200), -3.75);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = PAGE_SIZE - 2;
+        mem.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(mem.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(mem.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn page_dump_covers_addr() {
+        let mut mem = Memory::new();
+        mem.write_u8(0x1801, 42);
+        let (base, data) = mem.dump_page(0x1801);
+        assert_eq!(base, 0x1000);
+        assert_eq!(data.len(), PAGE_SIZE as usize);
+        assert_eq!(data[0x801], 42);
+        let (base2, data2) = mem.dump_page(0x9999_9999);
+        assert_eq!(base2, 0x9999_9999 / PAGE_SIZE * PAGE_SIZE);
+        assert!(data2.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bump_allocator_aligns_and_gaps() {
+        let mut a = BumpAllocator::new(0x10_0003);
+        let p1 = a.alloc(100, 16);
+        assert_eq!(p1 % 16, 0);
+        let p2 = a.alloc_with_gap(64, 16, 32);
+        assert!(p2 >= p1 + 100);
+        let p3 = a.alloc(8, 4);
+        assert!(p3 >= p2 + 64 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bump_allocator_rejects_bad_alignment() {
+        let mut a = BumpAllocator::new(0);
+        a.alloc(1, 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Program container: code layout, modules, symbols and basic blocks.
+//!
+//! A [`Program`] is the analogue of a loaded process image: one or more
+//! modules (main executable plus "DLLs") whose instructions occupy a flat
+//! code address space. Function symbols exist only where the application
+//! chooses to expose them; stencil kernels inside a stripped module carry no
+//! names, just entry addresses, exactly as in the paper.
+
+use crate::isa::Instr;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Number of code-address-space bytes occupied by one instruction.
+///
+/// Real x86 has variable-length instructions; a fixed size keeps address
+/// arithmetic simple without changing anything the analysis depends on.
+pub const INSTR_SIZE: u32 = 4;
+
+/// A named or anonymous function: an entry address inside a module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionSym {
+    /// Entry address of the function.
+    pub entry: u32,
+    /// Symbol name if the function is exported (dynamic-linking symbols
+    /// survive stripping); `None` for internal, stripped functions.
+    pub name: Option<String>,
+}
+
+/// A module (main binary or dynamically loaded library).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name, e.g. `photoflow.exe` or `filters.dll`.
+    pub name: String,
+    /// Base address of the module's code.
+    pub base: u32,
+    /// One-past-the-end address of the module's code.
+    pub end: u32,
+}
+
+/// A complete loaded program image.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    instrs: BTreeMap<u32, Instr>,
+    modules: Vec<Module>,
+    functions: Vec<FunctionSym>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a code segment produced by the assembler as a module.
+    ///
+    /// # Panics
+    /// Panics if any instruction address overlaps an existing module.
+    pub fn add_module(&mut self, name: &str, code: BTreeMap<u32, Instr>) {
+        if code.is_empty() {
+            return;
+        }
+        let base = *code.keys().next().expect("non-empty");
+        let end = *code.keys().last().expect("non-empty") + INSTR_SIZE;
+        for m in &self.modules {
+            assert!(
+                end <= m.base || base >= m.end,
+                "module {name} overlaps existing module {}",
+                m.name
+            );
+        }
+        for (addr, instr) in code {
+            let prev = self.instrs.insert(addr, instr);
+            assert!(prev.is_none(), "instruction address {addr:#x} defined twice");
+        }
+        self.modules.push(Module { name: name.to_string(), base, end });
+    }
+
+    /// Register a function symbol (exported or internal-but-known entry point).
+    pub fn add_function(&mut self, entry: u32, name: Option<&str>) {
+        self.functions.push(FunctionSym { entry, name: name.map(str::to_string) });
+    }
+
+    /// Look up the instruction at `addr`.
+    pub fn instr_at(&self, addr: u32) -> Option<&Instr> {
+        self.instrs.get(&addr)
+    }
+
+    /// All instructions in address order.
+    pub fn instrs(&self) -> impl Iterator<Item = (u32, &Instr)> {
+        self.instrs.iter().map(|(a, i)| (*a, i))
+    }
+
+    /// Number of static instructions in the program.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Modules in load order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Known function symbols.
+    pub fn functions(&self) -> &[FunctionSym] {
+        &self.functions
+    }
+
+    /// The module containing `addr`, if any.
+    pub fn module_of(&self, addr: u32) -> Option<&Module> {
+        self.modules.iter().find(|m| addr >= m.base && addr < m.end)
+    }
+
+    /// Compute the address of the basic-block leader containing `addr`.
+    ///
+    /// Leaders are module entry points, explicit function entries, targets of
+    /// jumps/calls and instructions following a block terminator. The result
+    /// is the greatest leader less than or equal to `addr`.
+    pub fn block_leader_of(&self, addr: u32, leaders: &BTreeSet<u32>) -> u32 {
+        *leaders.range(..=addr).next_back().unwrap_or(&addr)
+    }
+
+    /// Compute the set of static basic-block leader addresses.
+    pub fn block_leaders(&self) -> BTreeSet<u32> {
+        let mut leaders = BTreeSet::new();
+        for m in &self.modules {
+            leaders.insert(m.base);
+        }
+        for f in &self.functions {
+            leaders.insert(f.entry);
+        }
+        let mut prev_was_terminator = false;
+        let mut prev_addr_plus = None;
+        for (addr, instr) in &self.instrs {
+            if prev_was_terminator {
+                if let Some(expected) = prev_addr_plus {
+                    if *addr == expected {
+                        leaders.insert(*addr);
+                    }
+                }
+            }
+            // Any address that is a target of control flow is a leader; the
+            // instruction after a conditional branch (fall-through) is too.
+            if let Some(t) = instr.static_target() {
+                leaders.insert(t);
+            }
+            if instr.is_conditional() || matches!(instr, Instr::Call { .. }) {
+                leaders.insert(addr + INSTR_SIZE);
+            }
+            prev_was_terminator = instr.is_block_terminator();
+            prev_addr_plus = Some(addr + INSTR_SIZE);
+        }
+        // Only keep leaders that actually have instructions.
+        leaders.retain(|a| self.instrs.contains_key(a));
+        leaders
+    }
+
+    /// Enumerate static basic blocks as `(leader, instruction addresses)`.
+    pub fn basic_blocks(&self) -> Vec<(u32, Vec<u32>)> {
+        let leaders = self.block_leaders();
+        let mut blocks = Vec::new();
+        let mut current: Option<(u32, Vec<u32>)> = None;
+        for (addr, instr) in &self.instrs {
+            let starts_new = leaders.contains(addr)
+                || current
+                    .as_ref()
+                    .map(|(_, is)| is.last().map(|l| l + INSTR_SIZE) != Some(*addr))
+                    .unwrap_or(true);
+            if starts_new {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+                current = Some((*addr, vec![*addr]));
+            } else if let Some((_, is)) = current.as_mut() {
+                is.push(*addr);
+            }
+            if instr.is_block_terminator() {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+            }
+        }
+        if let Some(b) = current.take() {
+            blocks.push(b);
+        }
+        blocks
+    }
+
+    /// Total number of static basic blocks.
+    pub fn basic_block_count(&self) -> usize {
+        self.basic_blocks().len()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.modules {
+            writeln!(f, "; module {} [{:#x}, {:#x})", m.name, m.base, m.end)?;
+            for (addr, instr) in self.instrs.range(m.base..m.end) {
+                if let Some(func) =
+                    self.functions.iter().find(|fun| fun.entry == *addr && fun.name.is_some())
+                {
+                    writeln!(f, "{}:", func.name.as_deref().unwrap_or("?"))?;
+                }
+                writeln!(f, "  {addr:#010x}  {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::{regs, Cond, Operand};
+
+    fn tiny_program() -> Program {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.label("loop");
+        asm.inc(regs::eax());
+        asm.cmp(regs::eax(), Operand::Imm(10));
+        asm.jcc(Cond::B, "loop");
+        asm.ret();
+        let mut p = Program::new();
+        p.add_module("tiny", asm.finish());
+        p.add_function(0x1000, Some("main"));
+        p
+    }
+
+    #[test]
+    fn basic_block_discovery() {
+        let p = tiny_program();
+        assert_eq!(p.len(), 5);
+        let blocks = p.basic_blocks();
+        // Block 1: mov; block 2: inc/cmp/jb; block 3: ret.
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].1.len(), 1);
+        assert_eq!(blocks[1].1.len(), 3);
+        assert_eq!(blocks[2].1.len(), 1);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.module_of(0x1004).map(|m| m.name.as_str()), Some("tiny"));
+        assert_eq!(p.module_of(0x5000), None);
+        assert_eq!(p.functions().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_modules_rejected() {
+        let mut asm1 = Asm::new(0x1000);
+        asm1.ret();
+        let mut asm2 = Asm::new(0x1000);
+        asm2.ret();
+        let mut p = Program::new();
+        p.add_module("a", asm1.finish());
+        p.add_module("b", asm2.finish());
+    }
+
+    #[test]
+    fn display_contains_symbols() {
+        let p = tiny_program();
+        let text = p.to_string();
+        assert!(text.contains("main:"));
+        assert!(text.contains("module tiny"));
+    }
+}

@@ -1,0 +1,458 @@
+//! Property-based tests for the `helium-machine` substrate.
+//!
+//! The interpreter is the ground truth every later analysis stage consumes, so
+//! its arithmetic, flag and addressing semantics are checked here against
+//! independent Rust reference computations over randomly generated operands
+//! and programs.
+
+use helium_machine::asm::Asm;
+use helium_machine::isa::{regs, Cond, MemRef, Operand, Reg, Width};
+use helium_machine::program::Program;
+use helium_machine::{Cpu, Instr};
+use proptest::prelude::*;
+
+/// Assemble `asm`, run it to the final `halt` and return the CPU state.
+fn run_to_halt(asm: Asm) -> Cpu {
+    let code = asm.finish();
+    let entry = *code.keys().next().expect("program has at least one instruction");
+    let mut program = Program::new();
+    program.add_module("prop", code);
+    let mut cpu = Cpu::new();
+    cpu.pc = entry;
+    cpu.run(&program, 100_000, |_, _| {}).expect("program halts cleanly");
+    cpu
+}
+
+/// Build a one-ALU-op program computing `a <op> b` into `eax`.
+fn alu_program(build: impl FnOnce(&mut Asm), a: u32, b: u32) -> Cpu {
+    let mut asm = Asm::new(0x1000);
+    asm.mov(regs::eax(), Operand::Imm(a as i64));
+    asm.mov(regs::ebx(), Operand::Imm(b as i64));
+    build(&mut asm);
+    asm.halt();
+    run_to_halt(asm)
+}
+
+proptest! {
+    /// `add` wraps like `u32::wrapping_add` and sets CF exactly on unsigned
+    /// overflow and ZF exactly when the result is zero.
+    #[test]
+    fn add_matches_wrapping_semantics(a in any::<u32>(), b in any::<u32>()) {
+        let cpu = alu_program(|asm| { asm.add(regs::eax(), regs::ebx()); }, a, b);
+        let expected = a.wrapping_add(b);
+        prop_assert_eq!(cpu.reg(Reg::Eax), expected);
+        prop_assert_eq!(cpu.flags.cf, a.checked_add(b).is_none());
+        prop_assert_eq!(cpu.flags.zf, expected == 0);
+        prop_assert_eq!(cpu.flags.sf, (expected as i32) < 0);
+    }
+
+    /// `sub` wraps like `u32::wrapping_sub`; CF is the unsigned borrow.
+    #[test]
+    fn sub_matches_wrapping_semantics(a in any::<u32>(), b in any::<u32>()) {
+        let cpu = alu_program(|asm| { asm.sub(regs::eax(), regs::ebx()); }, a, b);
+        let expected = a.wrapping_sub(b);
+        prop_assert_eq!(cpu.reg(Reg::Eax), expected);
+        prop_assert_eq!(cpu.flags.cf, a < b);
+        prop_assert_eq!(cpu.flags.zf, expected == 0);
+    }
+
+    /// The bitwise operations match the Rust operators and clear CF.
+    #[test]
+    fn bitwise_ops_match(a in any::<u32>(), b in any::<u32>()) {
+        let and = alu_program(|asm| { asm.and(regs::eax(), regs::ebx()); }, a, b);
+        prop_assert_eq!(and.reg(Reg::Eax), a & b);
+        prop_assert!(!and.flags.cf);
+
+        let or = alu_program(|asm| { asm.or(regs::eax(), regs::ebx()); }, a, b);
+        prop_assert_eq!(or.reg(Reg::Eax), a | b);
+
+        let xor = alu_program(|asm| { asm.xor(regs::eax(), regs::ebx()); }, a, b);
+        prop_assert_eq!(xor.reg(Reg::Eax), a ^ b);
+        prop_assert_eq!(xor.flags.zf, a == b);
+    }
+
+    /// `imul` (two-operand form) keeps the low 32 bits of the signed product.
+    #[test]
+    fn imul_keeps_low_bits(a in any::<i32>(), b in any::<i32>()) {
+        let cpu = alu_program(
+            |asm| { asm.imul(regs::eax(), regs::ebx()); },
+            a as u32,
+            b as u32,
+        );
+        prop_assert_eq!(cpu.reg(Reg::Eax), a.wrapping_mul(b) as u32);
+    }
+
+    /// Shifts by an immediate in `0..32` match the Rust shift operators.
+    #[test]
+    fn shifts_match(a in any::<u32>(), s in 0u32..31) {
+        let shl = alu_program(|asm| { asm.shl(regs::eax(), Operand::Imm(s as i64)); }, a, 0);
+        prop_assert_eq!(shl.reg(Reg::Eax), a.wrapping_shl(s));
+
+        let shr = alu_program(|asm| { asm.shr(regs::eax(), Operand::Imm(s as i64)); }, a, 0);
+        prop_assert_eq!(shr.reg(Reg::Eax), a.wrapping_shr(s));
+
+        let sar = alu_program(|asm| { asm.sar(regs::eax(), Operand::Imm(s as i64)); }, a, 0);
+        prop_assert_eq!(sar.reg(Reg::Eax), ((a as i32) >> s) as u32);
+    }
+
+    /// `inc`/`dec` wrap and do not disturb the carry flag's value from a
+    /// preceding `add` (x86 semantics: INC/DEC preserve CF).
+    #[test]
+    fn inc_dec_wrap_and_preserve_carry(a in any::<u32>()) {
+        let cpu = alu_program(
+            |asm| {
+                // Force CF=1 deterministically, then inc.
+                asm.mov(regs::ecx(), Operand::Imm(u32::MAX as i64));
+                asm.add(regs::ecx(), Operand::Imm(1));
+                asm.inc(regs::eax());
+            },
+            a,
+            0,
+        );
+        prop_assert_eq!(cpu.reg(Reg::Eax), a.wrapping_add(1));
+        prop_assert!(cpu.flags.cf, "inc must preserve the carry produced by add");
+
+        let cpu = alu_program(|asm| { asm.dec(regs::eax()); }, a, 0);
+        prop_assert_eq!(cpu.reg(Reg::Eax), a.wrapping_sub(1));
+    }
+
+    /// `neg` and `not` match two's-complement negation and bitwise complement.
+    #[test]
+    fn neg_not_match(a in any::<u32>()) {
+        let neg = alu_program(|asm| { asm.neg(regs::eax()); }, a, 0);
+        prop_assert_eq!(neg.reg(Reg::Eax), (a as i32).wrapping_neg() as u32);
+
+        let not = alu_program(|asm| { asm.not(regs::eax()); }, a, 0);
+        prop_assert_eq!(not.reg(Reg::Eax), !a);
+    }
+
+    /// The 64-bit `add`/`adc` idiom computes the mathematically correct
+    /// 64-bit sum split across two registers.
+    #[test]
+    fn add_adc_pair_forms_64_bit_addition(a in any::<u64>(), b in any::<u64>()) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm((a & 0xFFFF_FFFF) as i64));
+        asm.mov(regs::edx(), Operand::Imm((a >> 32) as i64));
+        asm.mov(regs::ebx(), Operand::Imm((b & 0xFFFF_FFFF) as i64));
+        asm.mov(regs::ecx(), Operand::Imm((b >> 32) as i64));
+        asm.add(regs::eax(), regs::ebx());
+        asm.adc(regs::edx(), regs::ecx());
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        let got = (cpu.reg(Reg::Edx) as u64) << 32 | cpu.reg(Reg::Eax) as u64;
+        prop_assert_eq!(got, a.wrapping_add(b));
+    }
+
+    /// Partial-register semantics: writing `al`/`ah` only modifies the low /
+    /// second byte, and reading them back returns exactly those bytes.
+    #[test]
+    fn partial_register_views_are_consistent(full in any::<u32>(), low in any::<u8>(), high in any::<u8>()) {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::Eax, full);
+        cpu.set_reg_view(regs::al(), low as u64);
+        prop_assert_eq!(cpu.reg(Reg::Eax), (full & 0xFFFF_FF00) | low as u32);
+        cpu.set_reg_view(regs::ah(), high as u64);
+        prop_assert_eq!(
+            cpu.reg(Reg::Eax),
+            (full & 0xFFFF_0000) | ((high as u32) << 8) | low as u32
+        );
+        prop_assert_eq!(cpu.reg_view(regs::al()), low as u64);
+        prop_assert_eq!(cpu.reg_view(regs::ah()), high as u64);
+        prop_assert_eq!(cpu.reg_view(regs::ax()), ((high as u64) << 8) | low as u64);
+    }
+
+    /// `movzx` zero-extends and `movsx` sign-extends byte loads from memory.
+    #[test]
+    fn movzx_movsx_extend_correctly(v in any::<u8>(), addr in 0x2000u32..0x8000) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::ebx(), Operand::Imm(addr as i64));
+        asm.mov(
+            Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)),
+            Operand::Imm(v as i64),
+        );
+        asm.movzx(regs::eax(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
+        asm.movsx(regs::ecx(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        prop_assert_eq!(cpu.reg(Reg::Eax), v as u32);
+        prop_assert_eq!(cpu.reg(Reg::Ecx), v as i8 as i32 as u32);
+    }
+
+    /// A store followed by a load through `base + scale*index + disp`
+    /// addressing round-trips the value and reports the same absolute address
+    /// in the step records.
+    #[test]
+    fn sib_addressing_roundtrip(
+        base in 0x4000u32..0x6000,
+        index in 0u32..64,
+        scale in prop::sample::select(vec![1u8, 2, 4, 8]),
+        disp in -32i32..32,
+        value in any::<u32>(),
+    ) {
+        let addr = base
+            .wrapping_add(index.wrapping_mul(scale as u32))
+            .wrapping_add(disp as u32);
+        prop_assume!(addr >= 0x2000 && addr < 0x0010_0000);
+
+        let mem = MemRef::sib(Reg::Ebx, Reg::Ecx, scale, disp, Width::B4);
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::ebx(), Operand::Imm(base as i64));
+        asm.mov(regs::ecx(), Operand::Imm(index as i64));
+        asm.mov(regs::eax(), Operand::Imm(value as i64));
+        asm.mov(Operand::Mem(mem.clone()), regs::eax());
+        asm.mov(regs::edx(), Operand::Mem(mem));
+        asm.halt();
+
+        let code = asm.finish();
+        let entry = *code.keys().next().expect("code");
+        let mut program = Program::new();
+        program.add_module("prop", code);
+        let mut cpu = Cpu::new();
+        cpu.pc = entry;
+        let mut observed = Vec::new();
+        cpu.run(&program, 10_000, |_, rec| {
+            for m in &rec.mem {
+                observed.push((m.addr, m.is_write));
+            }
+        })
+        .expect("program halts");
+
+        prop_assert_eq!(cpu.reg(Reg::Edx), value);
+        prop_assert!(observed.contains(&(addr, true)), "store address {addr:#x} not observed");
+        prop_assert!(observed.contains(&(addr, false)), "load address {addr:#x} not observed");
+        prop_assert_eq!(cpu.mem.read_u32(addr), value);
+    }
+
+    /// Unsigned conditional branches agree with the Rust comparison operators.
+    #[test]
+    fn unsigned_branches_agree_with_rust(a in any::<u32>(), b in any::<u32>()) {
+        // eax = 1 if a < b (unsigned) else 0, using cmp + jb.
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.mov(regs::ebx(), Operand::Imm(a as i64));
+        asm.mov(regs::ecx(), Operand::Imm(b as i64));
+        asm.cmp(regs::ebx(), regs::ecx());
+        asm.jcc(Cond::Nb, "done");
+        asm.mov(regs::eax(), Operand::Imm(1));
+        asm.label("done");
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        prop_assert_eq!(cpu.reg(Reg::Eax) == 1, a < b);
+    }
+
+    /// Signed conditional branches agree with the Rust comparison operators.
+    #[test]
+    fn signed_branches_agree_with_rust(a in any::<i32>(), b in any::<i32>()) {
+        // eax = 1 if a < b (signed) else 0, using cmp + jl.
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.mov(regs::ebx(), Operand::Imm(a as u32 as i64));
+        asm.mov(regs::ecx(), Operand::Imm(b as u32 as i64));
+        asm.cmp(regs::ebx(), regs::ecx());
+        asm.jcc(Cond::Ge, "done");
+        asm.mov(regs::eax(), Operand::Imm(1));
+        asm.label("done");
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        prop_assert_eq!(cpu.reg(Reg::Eax) == 1, a < b);
+    }
+
+    /// A counted loop assembled with a backward conditional branch executes
+    /// exactly `n` iterations.
+    #[test]
+    fn counted_loop_runs_n_iterations(n in 1u32..200) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.mov(regs::ecx(), Operand::Imm(n as i64));
+        asm.label("loop");
+        asm.add(regs::eax(), Operand::Imm(3));
+        asm.dec(regs::ecx());
+        asm.jcc(Cond::Nz, "loop");
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        prop_assert_eq!(cpu.reg(Reg::Eax), n * 3);
+    }
+
+    /// `push`/`pop` restore the pushed values in LIFO order and leave `esp`
+    /// where it started.
+    #[test]
+    fn push_pop_is_lifo(values in prop::collection::vec(any::<u32>(), 1..8)) {
+        let mut asm = Asm::new(0x1000);
+        for &v in &values {
+            asm.mov(regs::eax(), Operand::Imm(v as i64));
+            asm.push(regs::eax());
+        }
+        // Pop them back into memory cells so we can inspect each one.
+        for i in 0..values.len() {
+            asm.pop(regs::ebx());
+            asm.mov(
+                Operand::Mem(MemRef::absolute(0x9000 + 4 * i as i32, Width::B4)),
+                regs::ebx(),
+            );
+        }
+        asm.halt();
+        let cpu = run_to_halt(asm);
+        for (i, &v) in values.iter().rev().enumerate() {
+            prop_assert_eq!(cpu.mem.read_u32(0x9000 + 4 * i as u32), v);
+        }
+        prop_assert_eq!(cpu.reg(Reg::Esp), helium_machine::cpu::DEFAULT_STACK_TOP);
+    }
+
+    /// `call`/`ret` return to the instruction after the call and preserve the
+    /// value computed by the callee.
+    #[test]
+    fn call_ret_roundtrip(v in any::<u32>()) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        asm.call("callee");
+        asm.add(regs::eax(), Operand::Imm(1));
+        asm.halt();
+        asm.label("callee");
+        asm.mov(regs::eax(), Operand::Imm(v as i64));
+        asm.ret();
+        let cpu = run_to_halt(asm);
+        prop_assert_eq!(cpu.reg(Reg::Eax), v.wrapping_add(1));
+    }
+
+    /// Memory round-trips arbitrary byte strings at arbitrary (page-crossing)
+    /// addresses.
+    #[test]
+    fn memory_roundtrips_bytes(addr in 0x1000u32..0x00A0_0000, bytes in prop::collection::vec(any::<u8>(), 1..128)) {
+        let mut cpu = Cpu::new();
+        cpu.mem.write_bytes(addr, &bytes);
+        prop_assert_eq!(cpu.mem.read_bytes(addr, bytes.len() as u32), bytes);
+    }
+
+    /// Multi-byte integer writes are little-endian and round-trip through
+    /// byte-level reads.
+    #[test]
+    fn memory_uint_is_little_endian(addr in 0x1000u32..0x0010_0000, v in any::<u32>()) {
+        let mut cpu = Cpu::new();
+        cpu.mem.write_u32(addr, v);
+        prop_assert_eq!(cpu.mem.read_u8(addr), (v & 0xFF) as u8);
+        prop_assert_eq!(cpu.mem.read_u8(addr + 3), (v >> 24) as u8);
+        prop_assert_eq!(cpu.mem.read_u32(addr), v);
+        prop_assert_eq!(cpu.mem.read_uint(addr, 4), v as u64);
+    }
+
+    /// f64 values round-trip through memory exactly.
+    #[test]
+    fn memory_roundtrips_f64(addr in 0x1000u32..0x0010_0000, v in any::<f64>()) {
+        prop_assume!(!v.is_nan());
+        let mut cpu = Cpu::new();
+        cpu.mem.write_f64(addr, v);
+        prop_assert_eq!(cpu.mem.read_f64(addr), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The x87 FP-stack computes a sum of doubles loaded from memory in the
+    /// same order as a Rust fold, and `fistp` rounds ties to even.
+    #[test]
+    fn fp_stack_sum_matches_reference(values in prop::collection::vec(-1000i32..1000, 1..6)) {
+        let base = 0x2000u32;
+        let mut asm = Asm::new(0x1000);
+        // Load the first input, then add the rest from memory.
+        asm.fld(helium_machine::FpSrc::MemF64(MemRef::absolute(base as i32, Width::B8)));
+        for i in 1..values.len() {
+            asm.farith(
+                helium_machine::FpOp::Add,
+                helium_machine::FpSrc::MemF64(MemRef::absolute((base + 8 * i as u32) as i32, Width::B8)),
+            );
+        }
+        asm.fstp(helium_machine::FpSrc::MemF64(MemRef::absolute(0x3000, Width::B8)));
+        asm.halt();
+
+        let code = asm.finish();
+        let entry = *code.keys().next().expect("code");
+        let mut program = Program::new();
+        program.add_module("prop", code);
+        let mut cpu = Cpu::new();
+        for (i, &v) in values.iter().enumerate() {
+            cpu.mem.write_f64(base + 8 * i as u32, v as f64);
+        }
+        cpu.pc = entry;
+        cpu.run(&program, 10_000, |_, _| {}).expect("program halts");
+
+        let expected: f64 = values.iter().map(|&v| v as f64).sum();
+        prop_assert_eq!(cpu.mem.read_f64(0x3000), expected);
+        prop_assert_eq!(cpu.fpu.depth(), 0, "fstp must pop the stack");
+    }
+}
+
+/// `round_ties_even` agrees with the IEEE round-to-nearest-even rule.
+#[test]
+fn round_ties_even_reference_cases() {
+    use helium_machine::cpu::round_ties_even;
+    assert_eq!(round_ties_even(0.5), 0.0);
+    assert_eq!(round_ties_even(1.5), 2.0);
+    assert_eq!(round_ties_even(2.5), 2.0);
+    assert_eq!(round_ties_even(-0.5), 0.0);
+    assert_eq!(round_ties_even(-1.5), -2.0);
+    assert_eq!(round_ties_even(2.4), 2.0);
+    assert_eq!(round_ties_even(2.6), 3.0);
+}
+
+proptest! {
+    /// Basic-block discovery: every instruction belongs to exactly one block,
+    /// and block leaders are instruction addresses.
+    #[test]
+    fn basic_blocks_partition_the_program(n_jumps in 1usize..6) {
+        let mut asm = Asm::new(0x1000);
+        asm.mov(regs::eax(), Operand::Imm(0));
+        for i in 0..n_jumps {
+            let label = format!("l{i}");
+            asm.add(regs::eax(), Operand::Imm(1));
+            asm.cmp(regs::eax(), Operand::Imm(100));
+            asm.jcc(Cond::L, label.as_str());
+            asm.add(regs::eax(), Operand::Imm(7));
+            asm.label(label.as_str());
+            asm.add(regs::eax(), Operand::Imm(3));
+        }
+        asm.halt();
+        let mut program = Program::new();
+        program.add_module("prop", asm.finish());
+
+        let blocks = program.basic_blocks();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut covered = 0usize;
+        for (leader, instrs) in &blocks {
+            prop_assert!(program.instr_at(*leader).is_some(), "leader must be an instruction");
+            for a in instrs {
+                prop_assert!(seen.insert(*a), "instruction {a:#x} appears in two blocks");
+                covered += 1;
+            }
+        }
+        prop_assert_eq!(covered, program.len(), "blocks must cover every instruction");
+    }
+
+    /// The assembler resolves forward and backward label references to the
+    /// address recorded by `label()`.
+    #[test]
+    fn assembler_resolves_labels(pad in 1usize..20) {
+        let mut asm = Asm::new(0x4000);
+        asm.jmp("fwd");
+        for _ in 0..pad {
+            asm.nop();
+        }
+        let fwd_addr = asm.label("fwd");
+        asm.mov(regs::eax(), Operand::Imm(1));
+        asm.jcc(Cond::Nz, "fwd");
+        asm.halt();
+        let code = asm.finish();
+        match code.get(&0x4000) {
+            Some(Instr::Jmp { target }) => prop_assert_eq!(*target, fwd_addr),
+            other => prop_assert!(false, "expected jmp at entry, got {other:?}"),
+        }
+        let jcc = code
+            .values()
+            .find_map(|i| match i {
+                Instr::Jcc { target, .. } => Some(*target),
+                _ => None,
+            })
+            .expect("conditional jump present");
+        prop_assert_eq!(jcc, fwd_addr);
+    }
+}

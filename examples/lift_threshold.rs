@@ -1,0 +1,39 @@
+//! Lift a filter with input-dependent control flow: PhotoFlow's threshold.
+//!
+//! The threshold filter sets a pixel to white or black depending on its
+//! luminance, so the lifted code must recover the predicate (paper §4.6 and
+//! Fig. 5) and generate a `select` in Halide.
+//!
+//! ```bash
+//! cargo run --example lift_threshold --release
+//! ```
+
+use helium::apps::photoflow::{PhotoFilter, PhotoFlow};
+use helium::apps::PlanarImage;
+use helium::core::{KnownData, LiftRequest, Lifter};
+
+fn main() {
+    let image = PlanarImage::random(48, 32, 1, 16, 7);
+    let app = PhotoFlow::with_params(PhotoFilter::Threshold, image, 96, 0);
+    let request = LiftRequest {
+        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        approx_data_size: app.approx_data_size(),
+    };
+    let lifted = Lifter::new()
+        .lift(app.program(), &request, |with| app.fresh_cpu(with))
+        .expect("lifting the threshold kernel succeeds");
+
+    println!("clusters discovered (one per conditional path and output plane):");
+    for c in &lifted.clusters {
+        println!(
+            "  output {:10}  {} trees  {} predicates  tree: {}",
+            c.output_buffer,
+            c.support,
+            c.predicates.len(),
+            c.tree.render()
+        );
+    }
+    println!();
+    println!("{}", lifted.halide_source());
+}

@@ -1,0 +1,77 @@
+//! Shared helpers for the cross-crate integration tests: binding lifted
+//! pipelines to the memory image of the legacy application and realizing them.
+
+use helium::core::{GeneratedKernel, LiftedStencil};
+use helium::halide::{Buffer, RealizeInputs, Realizer, ScalarType, Schedule, Value};
+use helium::machine::Memory;
+
+/// Build a [`Buffer`] for `layout` by reading every element from `mem`,
+/// honouring the inferred strides (so alignment padding and ghost gaps are
+/// reproduced faithfully).
+pub fn buffer_from_memory(
+    mem: &Memory,
+    lifted: &LiftedStencil,
+    name: &str,
+    ty: ScalarType,
+) -> Buffer {
+    let layout = lifted.buffer(name).expect("layout for named buffer");
+    let extents: Vec<usize> = layout.extents.iter().map(|&e| e as usize).collect();
+    let mut buf = Buffer::new(ty, &extents);
+    let dims = extents.len();
+    let mut idx = vec![0usize; dims];
+    loop {
+        let mut addr = layout.base;
+        for d in 0..dims {
+            addr += idx[d] as u32 * layout.strides[d];
+        }
+        let coord: Vec<i64> = idx.iter().map(|&i| i as i64).collect();
+        let value = match ty {
+            ScalarType::Float64 => Value::Float(mem.read_f64(addr)),
+            ScalarType::Float32 => Value::Float(mem.read_f32(addr) as f64),
+            _ => Value::Int(mem.read_uint(addr, layout.element_size) as i64),
+        };
+        buf.set(&coord, value);
+        // Advance the odometer.
+        let mut d = 0;
+        loop {
+            if d == dims {
+                return buf;
+            }
+            idx[d] += 1;
+            if idx[d] < extents[d] {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// Realize one generated kernel against the memory image in `mem`, returning
+/// the output buffer realized over `extents` (defaults to the inferred output
+/// extents when `None`).
+pub fn realize_kernel(
+    mem: &Memory,
+    lifted: &LiftedStencil,
+    kernel: &GeneratedKernel,
+    extents: Option<Vec<usize>>,
+    schedule: Schedule,
+) -> Buffer {
+    let mut buffers = Vec::new();
+    for (name, param) in &kernel.pipeline.images {
+        buffers.push((name.clone(), buffer_from_memory(mem, lifted, name, param.ty)));
+    }
+    let mut inputs = RealizeInputs::new();
+    for (name, buf) in &buffers {
+        inputs = inputs.with_image(name, buf);
+    }
+    for (name, value) in &kernel.parameter_values {
+        inputs = inputs.with_param(name, *value);
+    }
+    let out_layout = lifted.buffer(&kernel.output).expect("output layout");
+    let extents = extents
+        .unwrap_or_else(|| out_layout.extents.iter().map(|&e| e as usize).collect::<Vec<_>>());
+    Realizer::new(schedule)
+        .realize(&kernel.pipeline, &extents, &inputs)
+        .expect("lifted kernel realizes")
+}

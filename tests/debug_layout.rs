@@ -1,0 +1,70 @@
+//! Diagnostic helper (ignored by default): prints the inferred buffer layouts
+//! for a PhotoFlow blur lift. Run with `cargo test --test debug_layout -- --ignored --nocapture`.
+
+use helium::apps::photoflow::{PhotoFilter, PhotoFlow};
+use helium::apps::PlanarImage;
+use helium::core::layout::{infer_from_known_data, BufferRole, KnownData};
+use helium::core::localize::localize;
+use helium::core::regions::reconstruct_filtered;
+use helium::dbi::{Instrumenter, MemTraceEntry};
+
+#[test]
+#[ignore = "diagnostic output only"]
+fn print_blur_layouts() {
+    let image = PlanarImage::random(32, 17, 1, 16, 0xC0FFEE);
+    let app = PhotoFlow::new(PhotoFilter::Blur, image);
+    println!("layout: {:?}", app.layout());
+    let instr = Instrumenter::new();
+    let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
+    let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+    let diff = with.difference(&without);
+    let profile = instr.profile(app.program(), &mut app.fresh_cpu(true), &diff).unwrap();
+    let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size()).unwrap();
+    println!("filter fn {:#x} (expected {:#x})", loc.filter_function, app.filter_entry_for_reference());
+    let (trace, dump) = instr
+        .function_trace(app.program(), &mut app.fresh_cpu(true), loc.filter_function, &loc.candidate_instructions)
+        .unwrap();
+    println!("trace len {} dump {} bytes", trace.len(), dump.size_bytes());
+    let entries: Vec<MemTraceEntry> = trace
+        .records
+        .iter()
+        .flat_map(|r| {
+            r.mem.iter().map(move |m| MemTraceEntry {
+                instr_addr: r.addr,
+                addr: m.addr,
+                width: m.width,
+                is_write: m.is_write,
+            })
+        })
+        .collect();
+    let stack_top = helium::machine::cpu::DEFAULT_STACK_TOP;
+    let regions = reconstruct_filtered(&entries, |e| e.addr < stack_top - 0x10_0000 || e.addr > stack_top);
+    for r in &regions {
+        println!(
+            "region {:#x}..{:#x} len {} elem {} strides {:?} r/w {}/{}",
+            r.start, r.end, r.len(), r.element_width, r.group_strides, r.read, r.written
+        );
+    }
+    for (i, rows) in app.known_input_rows().into_iter().enumerate() {
+        let l = infer_from_known_data(
+            &KnownData::from_rows(rows),
+            &dump,
+            &regions,
+            false,
+            &format!("input_{}", i + 1),
+            BufferRole::Input,
+        );
+        println!("input_{} layout: {:?}", i + 1, l);
+    }
+    for (i, rows) in app.known_output_rows().into_iter().enumerate() {
+        let l = infer_from_known_data(
+            &KnownData::from_rows(rows),
+            &dump,
+            &regions,
+            true,
+            &format!("output_{}", i + 1),
+            BufferRole::Output,
+        );
+        println!("output_{} layout: {:?}", i + 1, l);
+    }
+}

@@ -1,0 +1,116 @@
+//! Diagnostic helper (ignored by default): prints the reconstructed regions,
+//! generically inferred layouts and cluster statistics for a miniGMG smooth
+//! lift. Run with `cargo test --test debug_minigmg -- --ignored --nocapture`.
+
+use helium::apps::{Grid3D, MiniGmg};
+use helium::core::extract::{prepare_trace, TreeBuilder};
+use helium::core::layout::{infer_generic, BufferRole};
+use helium::core::localize::localize;
+use helium::core::regions::reconstruct_filtered;
+use helium::core::symbolic::{abstract_guarded, cluster_trees};
+use helium::dbi::{Instrumenter, MemTraceEntry};
+
+#[test]
+#[ignore = "diagnostic output only"]
+fn print_minigmg_layouts() {
+    let grid = Grid3D::random(12, 10, 8, 1, 3);
+    let app = MiniGmg::new(grid.clone());
+    let instr = Instrumenter::new();
+    let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
+    let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+    let diff = with.difference(&without);
+    let profile = instr.profile(app.program(), &mut app.fresh_cpu(true), &diff).unwrap();
+    let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size()).unwrap();
+    println!(
+        "filter fn {:#x} (expected {:#x})",
+        loc.filter_function,
+        app.kernel_entry_for_reference()
+    );
+    let (trace, dump) = instr
+        .function_trace(
+            app.program(),
+            &mut app.fresh_cpu(true),
+            loc.filter_function,
+            &loc.candidate_instructions,
+        )
+        .unwrap();
+    println!("trace len {} dump {} bytes", trace.len(), dump.size_bytes());
+    println!("grid: px {} py {} pz {} input {:#x} output {:#x}", grid.px(), grid.py(), grid.pz(), app.input_addr(), app.output_addr());
+    let entries: Vec<MemTraceEntry> = trace
+        .records
+        .iter()
+        .flat_map(|r| {
+            r.mem.iter().map(move |m| MemTraceEntry {
+                instr_addr: r.addr,
+                addr: m.addr,
+                width: m.width,
+                is_write: m.is_write,
+            })
+        })
+        .collect();
+    let stack_top = helium::machine::cpu::DEFAULT_STACK_TOP;
+    let regions =
+        reconstruct_filtered(&entries, |e| e.addr < stack_top - 0x10_0000 || e.addr > stack_top);
+    let mut buffers = Vec::new();
+    let mut n_in = 0;
+    let mut n_out = 0;
+    for r in &regions {
+        println!(
+            "region {:#x}..{:#x} len {} elem {} strides {:?} r/w {}/{}",
+            r.start,
+            r.end,
+            r.len(),
+            r.element_width,
+            r.group_strides,
+            r.read,
+            r.written
+        );
+        if r.len() < 128 {
+            continue;
+        }
+        let big = r.len() as f64 >= app.approx_data_size() as f64 * 0.5;
+        if r.written && big {
+            n_out += 1;
+            let l = infer_generic(r, &format!("output_{n_out}"), BufferRole::Output);
+            println!("  -> {:?}", l);
+            buffers.push(l);
+        } else if r.read && !r.written && big {
+            n_in += 1;
+            let l = infer_generic(r, &format!("input_{n_in}"), BufferRole::Input);
+            println!("  -> {:?}", l);
+            buffers.push(l);
+        }
+    }
+    let input_layouts: Vec<_> =
+        buffers.iter().filter(|b| b.role != BufferRole::Output).cloned().collect();
+    let prepared = prepare_trace(&trace, &input_layouts).unwrap();
+    let builder = TreeBuilder::new(&prepared, &buffers);
+    let writes = builder.output_writes();
+    println!("output writes: {}", writes.len());
+    let mut guarded = Vec::new();
+    for (i, d) in writes {
+        if let Some(tree) = builder.build_output_tree(i, d) {
+            guarded.push(abstract_guarded(&tree, &buffers));
+        }
+    }
+    let clusters = cluster_trees(guarded);
+    println!("clusters: {}", clusters.len());
+    for (i, c) in clusters.iter().enumerate() {
+        let mut outputs: Vec<String> = c
+            .trees
+            .iter()
+            .take(8)
+            .map(|t| format!("{:?}", t.tree.output))
+            .collect();
+        outputs.dedup();
+        println!(
+            "cluster {i}: {} trees, output buffer {:?}, sample outputs {:?}",
+            c.trees.len(),
+            c.output_buffer(),
+            outputs
+        );
+        if let Some(t) = c.trees.first() {
+            println!("  first tree: {}", t.tree.render());
+        }
+    }
+}
