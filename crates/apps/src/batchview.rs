@@ -86,7 +86,13 @@ impl BatchView {
     /// Build a BatchView instance around an image and filter.
     pub fn new(filter: BatchFilter, image: InterleavedImage) -> BatchView {
         let (program, main_entry, filter_entry) = build_program(filter, &image);
-        BatchView { filter, image, program, main_entry, filter_entry }
+        BatchView {
+            filter,
+            image,
+            program,
+            main_entry,
+            filter_entry,
+        }
     }
 
     /// The filter this instance applies.
@@ -162,14 +168,17 @@ impl BatchView {
     /// Panics if the interpreter fails.
     pub fn run_in_vm(&self) -> InterleavedImage {
         let mut cpu = self.fresh_cpu(true);
-        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("legacy binary runs");
+        cpu.run(&self.program, 2_000_000_000, |_, _| {})
+            .expect("legacy binary runs");
         self.read_output(&cpu)
     }
 
     /// Extract the output image from a finished CPU.
     pub fn read_output(&self, cpu: &Cpu) -> InterleavedImage {
         let mut out = InterleavedImage::new(self.image.width, self.image.height);
-        let bytes = cpu.mem.read_bytes(OUTPUT_BASE, self.image.byte_len() as u32);
+        let bytes = cpu
+            .mem
+            .read_bytes(OUTPUT_BASE, self.image.byte_len() as u32);
         out.bytes_mut().copy_from_slice(&bytes);
         out
     }
@@ -249,7 +258,13 @@ fn emit_pointwise_filter(asm: &mut Asm, filter: BatchFilter, total: i64) -> u32 
     asm.label("pw_loop");
     asm.movzx(
         regs::eax(),
-        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, INPUT_BASE as i32, Width::B1)),
+        Operand::Mem(MemRef::sib(
+            Reg::Esi,
+            Reg::Esi,
+            0,
+            INPUT_BASE as i32,
+            Width::B1,
+        )),
     );
     match filter {
         BatchFilter::Invert => {
@@ -270,7 +285,13 @@ fn emit_pointwise_filter(asm: &mut Asm, filter: BatchFilter, total: i64) -> u32 
         _ => unreachable!("pointwise filters only"),
     }
     asm.mov(
-        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, OUTPUT_BASE as i32, Width::B1)),
+        Operand::Mem(MemRef::sib(
+            Reg::Esi,
+            Reg::Esi,
+            0,
+            OUTPUT_BASE as i32,
+            Width::B1,
+        )),
         regs::bl(),
     );
     asm.inc(regs::esi());
@@ -295,21 +316,45 @@ fn emit_float_stencil(asm: &mut Asm, image: &InterleavedImage) -> u32 {
     asm.push(regs::edi());
     asm.push(regs::ebx());
     // esi = source row pointer, edi = destination row pointer, ecx = row index.
-    asm.mov(regs::esi(), Operand::Imm((INPUT_BASE as i32 + stride) as i64));
-    asm.mov(regs::edi(), Operand::Imm((OUTPUT_BASE as i32 + stride) as i64));
+    asm.mov(
+        regs::esi(),
+        Operand::Imm((INPUT_BASE as i32 + stride) as i64),
+    );
+    asm.mov(
+        regs::edi(),
+        Operand::Imm((OUTPUT_BASE as i32 + stride) as i64),
+    );
     asm.mov(regs::ecx(), Operand::Imm(1));
     asm.label("fs_row");
     asm.mov(regs::eax(), Operand::Imm(3));
     asm.label("fs_pixel");
     // Center tap: load the byte through a stack slot into the FP stack.
     asm.movzx(regs::ebx(), Operand::Mem(mem8_idx(Reg::Esi, Reg::Eax, 0)));
-    asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)), regs::ebx());
+    asm.mov(
+        Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)),
+        regs::ebx(),
+    );
     asm.fld(FpSrc::MemI32(MemRef::base_disp(Reg::Ebp, -8, Width::B4)));
-    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)));
+    asm.farith(
+        FpOp::Mul,
+        FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)),
+    );
     // Neighbour taps.
-    for off in [-stride - 3, -stride, -stride + 3, -3, 3, stride - 3, stride, stride + 3] {
+    for off in [
+        -stride - 3,
+        -stride,
+        -stride + 3,
+        -3,
+        3,
+        stride - 3,
+        stride,
+        stride + 3,
+    ] {
         asm.movzx(regs::ebx(), Operand::Mem(mem8_idx(Reg::Esi, Reg::Eax, off)));
-        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)), regs::ebx());
+        asm.mov(
+            Operand::Mem(MemRef::base_disp(Reg::Ebp, -8, Width::B4)),
+            regs::ebx(),
+        );
         asm.fld(FpSrc::MemI32(MemRef::base_disp(Reg::Ebp, -8, Width::B4)));
         asm.farith(
             FpOp::Mul,
@@ -319,7 +364,10 @@ fn emit_float_stencil(asm: &mut Asm, image: &InterleavedImage) -> u32 {
     }
     // Round and store.
     asm.fistp(MemRef::base_disp(Reg::Ebp, -12, Width::B4));
-    asm.mov(regs::ebx(), Operand::Mem(MemRef::base_disp(Reg::Ebp, -12, Width::B4)));
+    asm.mov(
+        regs::ebx(),
+        Operand::Mem(MemRef::base_disp(Reg::Ebp, -12, Width::B4)),
+    );
     asm.mov(Operand::Mem(mem8_idx(Reg::Edi, Reg::Eax, 0)), regs::bl());
     asm.inc(regs::eax());
     asm.cmp(regs::eax(), Operand::Imm((stride - 3) as i64));
@@ -355,15 +403,27 @@ fn build_program(filter: BatchFilter, image: &InterleavedImage) -> (Program, u32
     main.label("hdr_loop");
     main.movzx(
         regs::edx(),
-        Operand::Mem(MemRef::sib(Reg::Ecx, Reg::Ecx, 0, BG_SCRATCH as i32, Width::B1)),
+        Operand::Mem(MemRef::sib(
+            Reg::Ecx,
+            Reg::Ecx,
+            0,
+            BG_SCRATCH as i32,
+            Width::B1,
+        )),
     );
     main.add(regs::eax(), regs::edx());
     main.inc(regs::ecx());
     main.cmp(regs::ecx(), Operand::Imm(32));
     main.jcc(Cond::B, "hdr_loop");
-    main.mov(Operand::Mem(MemRef::absolute((BG_SCRATCH + 64) as i32, Width::B4)), regs::eax());
+    main.mov(
+        Operand::Mem(MemRef::absolute((BG_SCRATCH + 64) as i32, Width::B4)),
+        regs::eax(),
+    );
     // Conditionally run the filter.
-    main.mov(regs::eax(), Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)));
+    main.mov(
+        regs::eax(),
+        Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)),
+    );
     main.test(regs::eax(), regs::eax());
     main.jcc(Cond::Z, "skip");
     main.call(filter_entry);
@@ -406,7 +466,8 @@ mod tests {
     fn without_filter_output_is_untouched() {
         let app = BatchView::new(BatchFilter::Blur, small_image());
         let mut cpu = app.fresh_cpu(false);
-        cpu.run(app.program(), 100_000_000, |_, _| {}).expect("runs");
+        cpu.run(app.program(), 100_000_000, |_, _| {})
+            .expect("runs");
         assert!(app.read_output(&cpu).bytes().iter().all(|&b| b == 0));
     }
 
@@ -417,7 +478,11 @@ mod tests {
         assert_eq!(input_rows.len(), 11);
         assert_eq!(input_rows[0].len(), 60);
         let output_rows = &app.known_output_rows()[0];
-        assert_eq!(output_rows.len(), 9, "stencil output rows exclude the border");
+        assert_eq!(
+            output_rows.len(),
+            9,
+            "stencil output rows exclude the border"
+        );
         let pw = BatchView::new(BatchFilter::Invert, small_image());
         assert_eq!(pw.known_output_rows()[0].len(), 11);
         assert_eq!(pw.approx_data_size(), 20 * 11 * 3);

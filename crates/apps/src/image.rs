@@ -37,7 +37,13 @@ impl PlanarPlane {
         assert!(align > 0, "alignment must be positive");
         let stride = Self::stride_for(width, pad, align);
         let rows = height + 2 * pad;
-        PlanarPlane { width, height, pad, align, data: vec![0; stride * rows] }
+        PlanarPlane {
+            width,
+            height,
+            pad,
+            align,
+            data: vec![0; stride * rows],
+        }
     }
 
     /// Scanline stride in bytes for the given geometry.
@@ -199,7 +205,11 @@ impl InterleavedImage {
 
     /// Create a zeroed image.
     pub fn new(width: usize, height: usize) -> InterleavedImage {
-        InterleavedImage { width, height, data: vec![0; width * height * Self::CHANNELS] }
+        InterleavedImage {
+            width,
+            height,
+            data: vec![0; width * height * Self::CHANNELS],
+        }
     }
 
     /// Create an image with deterministic pseudo-random content.
@@ -267,7 +277,13 @@ impl Grid3D {
     /// Create a zeroed grid.
     pub fn new(nx: usize, ny: usize, nz: usize, ghost: usize) -> Grid3D {
         let total = (nx + 2 * ghost) * (ny + 2 * ghost) * (nz + 2 * ghost);
-        Grid3D { nx, ny, nz, ghost, data: vec![0.0; total] }
+        Grid3D {
+            nx,
+            ny,
+            nz,
+            ghost,
+            data: vec![0.0; total],
+        }
     }
 
     /// Create a grid with deterministic pseudo-random interior values.
@@ -350,8 +366,16 @@ mod tests {
         p.replicate_edges();
         assert_eq!(p.get(0, 0), 10);
         assert_eq!(p.get_padded(1, 1), 10);
-        assert_eq!(p.get_padded(0, 0), 10, "corner padding replicates the corner pixel");
-        assert_eq!(p.get_padded(4 + 1, 3 + 1), 20, "bottom-right padding replicates");
+        assert_eq!(
+            p.get_padded(0, 0),
+            10,
+            "corner padding replicates the corner pixel"
+        );
+        assert_eq!(
+            p.get_padded(4 + 1, 3 + 1),
+            20,
+            "bottom-right padding replicates"
+        );
         let rows = p.interior_rows();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].len(), 4);
@@ -393,7 +417,9 @@ mod tests {
         g.set(0, 0, 0, 1.5);
         assert_eq!(g.get(0, 0, 0), 1.5);
         // Interior cell (0,0,0) sits at padded index (1,1,1).
-        assert_eq!(g.cells()[1 * 30 + 1 * 6 + 1], 1.5);
+        #[allow(clippy::identity_op)]
+        let center = 1 * 30 + 1 * 6 + 1;
+        assert_eq!(g.cells()[center], 1.5);
         let r = Grid3D::random(4, 3, 2, 1, 7);
         assert!(r.cells().iter().any(|&v| v != 0.0));
     }

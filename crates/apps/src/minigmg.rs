@@ -57,7 +57,12 @@ impl MiniGmg {
     /// Build an instance around a grid.
     pub fn new(grid: Grid3D) -> MiniGmg {
         let (program, main_entry, kernel_entry) = build_program(&grid);
-        MiniGmg { grid, program, main_entry, kernel_entry }
+        MiniGmg {
+            grid,
+            program,
+            main_entry,
+            kernel_entry,
+        }
     }
 
     /// The input grid.
@@ -72,7 +77,11 @@ impl MiniGmg {
 
     /// Grid geometry.
     pub fn shape(&self) -> GridShape {
-        GridShape { nx: self.grid.nx, ny: self.grid.ny, nz: self.grid.nz }
+        GridShape {
+            nx: self.grid.nx,
+            ny: self.grid.ny,
+            nz: self.grid.nz,
+        }
     }
 
     /// Kernel entry address, for white-box tests only.
@@ -116,7 +125,8 @@ impl MiniGmg {
     /// Panics if the interpreter fails.
     pub fn run_in_vm(&self) -> Grid3D {
         let mut cpu = self.fresh_cpu(true);
-        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("benchmark runs");
+        cpu.run(&self.program, 2_000_000_000, |_, _| {})
+            .expect("benchmark runs");
         self.read_output(&cpu)
     }
 
@@ -197,9 +207,15 @@ fn emit_smooth_kernel(asm: &mut Asm, grid: &Grid3D) -> u32 {
     asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, row_bytes)));
     asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, -plane_bytes)));
     asm.farith(FpOp::Add, FpSrc::MemF64(q(Reg::Esi, plane_bytes)));
-    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute((CONST_BASE + 8) as i32, Width::B8)));
+    asm.farith(
+        FpOp::Mul,
+        FpSrc::MemF64(MemRef::absolute((CONST_BASE + 8) as i32, Width::B8)),
+    );
     asm.fld(FpSrc::MemF64(q(Reg::Esi, 0)));
-    asm.farith(FpOp::Mul, FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)));
+    asm.farith(
+        FpOp::Mul,
+        FpSrc::MemF64(MemRef::absolute(CONST_BASE as i32, Width::B8)),
+    );
     asm.farith_to(FpOp::Add, 1);
     asm.fstp(FpSrc::MemF64(q(Reg::Edi, 0)));
     // Advance within the row.
@@ -237,13 +253,23 @@ fn build_program(grid: &Grid3D) -> (Program, u32, u32) {
     // Residual-norm-like background computation over a few cells (both runs).
     main.mov(regs::ecx(), Operand::Imm(0));
     main.label("bg_loop");
-    main.fld(FpSrc::MemF64(MemRef::base_disp(Reg::Ecx, INPUT_BASE as i32, Width::B8)));
+    main.fld(FpSrc::MemF64(MemRef::base_disp(
+        Reg::Ecx,
+        INPUT_BASE as i32,
+        Width::B8,
+    )));
     main.farith(FpOp::Mul, FpSrc::St(0));
-    main.fstp(FpSrc::MemF64(MemRef::absolute((FLAG_ADDR + 0x10) as i32, Width::B8)));
+    main.fstp(FpSrc::MemF64(MemRef::absolute(
+        (FLAG_ADDR + 0x10) as i32,
+        Width::B8,
+    )));
     main.add(regs::ecx(), Operand::Imm(8));
     main.cmp(regs::ecx(), Operand::Imm(64));
     main.jcc(Cond::B, "bg_loop");
-    main.mov(regs::eax(), Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)));
+    main.mov(
+        regs::eax(),
+        Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)),
+    );
     main.test(regs::eax(), regs::eax());
     main.jcc(Cond::Z, "skip");
     main.call(kernel_entry);
@@ -286,7 +312,8 @@ mod tests {
     fn without_kernel_output_is_untouched() {
         let app = MiniGmg::new(Grid3D::random(4, 4, 4, 1, 1));
         let mut cpu = app.fresh_cpu(false);
-        cpu.run(app.program(), 100_000_000, |_, _| {}).expect("runs");
+        cpu.run(app.program(), 100_000_000, |_, _| {})
+            .expect("runs");
         let out = app.read_output(&cpu);
         assert!(out.cells().iter().all(|&v| v == 0.0));
     }
@@ -294,7 +321,14 @@ mod tests {
     #[test]
     fn shape_and_sizes() {
         let app = MiniGmg::new(Grid3D::new(8, 6, 4, 1));
-        assert_eq!(app.shape(), GridShape { nx: 8, ny: 6, nz: 4 });
+        assert_eq!(
+            app.shape(),
+            GridShape {
+                nx: 8,
+                ny: 6,
+                nz: 4
+            }
+        );
         assert_eq!(app.approx_data_size(), 10 * 8 * 6 * 8);
         assert!(app.input_addr() < app.output_addr());
     }

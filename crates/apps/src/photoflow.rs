@@ -95,6 +95,7 @@ impl PhotoFilter {
 
     /// Stencil taps `(dx, dy, weight)`, bias and shift for the weighted-stencil
     /// filters; `None` for the pointwise/reduction filters.
+    #[allow(clippy::type_complexity)]
     pub fn stencil_spec(self) -> Option<(Vec<(i32, i32, u32)>, u32, u32)> {
         match self {
             PhotoFilter::Blur => Some((
@@ -323,7 +324,8 @@ impl PhotoFlow {
         cpu.pc = self.main_entry;
         // Input planes.
         for (p, plane) in self.image.planes.iter().enumerate() {
-            cpu.mem.write_bytes(self.layout.input_planes[p], plane.bytes());
+            cpu.mem
+                .write_bytes(self.layout.input_planes[p], plane.bytes());
         }
         // Parameters and flags.
         cpu.mem.write_u32(FLAG_ADDR, with_filter as u32);
@@ -342,7 +344,11 @@ impl PhotoFlow {
 
     /// Known input data (interior scanlines per plane) for dimension inference.
     pub fn known_input_rows(&self) -> Vec<Vec<Vec<u8>>> {
-        self.image.planes.iter().map(|p| p.interior_rows()).collect()
+        self.image
+            .planes
+            .iter()
+            .map(|p| p.interior_rows())
+            .collect()
     }
 
     /// Known output data (interior scanlines per plane), computed by the
@@ -367,7 +373,8 @@ impl PhotoFlow {
     /// Panics if the interpreter fails (the binary is trusted to be correct).
     pub fn run_in_vm(&self) -> PlanarImage {
         let mut cpu = self.fresh_cpu(true);
-        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("legacy binary runs");
+        cpu.run(&self.program, 2_000_000_000, |_, _| {})
+            .expect("legacy binary runs");
         self.read_output(&cpu)
     }
 
@@ -377,7 +384,8 @@ impl PhotoFlow {
     /// Panics if the interpreter fails.
     pub fn run_in_vm_counting(&self) -> u64 {
         let mut cpu = self.fresh_cpu(true);
-        cpu.run(&self.program, 2_000_000_000, |_, _| {}).expect("legacy binary runs")
+        cpu.run(&self.program, 2_000_000_000, |_, _| {})
+            .expect("legacy binary runs")
     }
 
     /// Extract the output image from a finished CPU.
@@ -389,8 +397,9 @@ impl PhotoFlow {
             self.image.planes[0].align,
         );
         for (p, plane) in out.planes.iter_mut().enumerate() {
-            let bytes =
-                cpu.mem.read_bytes(self.layout.output_planes[p], self.layout.plane_bytes());
+            let bytes = cpu
+                .mem
+                .read_bytes(self.layout.output_planes[p], self.layout.plane_bytes());
             plane.bytes_mut().copy_from_slice(&bytes);
         }
         out
@@ -398,7 +407,9 @@ impl PhotoFlow {
 
     /// Extract the histogram (for the equalize filter) from a finished CPU.
     pub fn read_histogram(cpu: &Cpu) -> Vec<u32> {
-        (0..256).map(|i| cpu.mem.read_u32(HIST_ADDR + 4 * i)).collect()
+        (0..256)
+            .map(|i| cpu.mem.read_u32(HIST_ADDR + 4 * i))
+            .collect()
     }
 
     /// Address of the brightness lookup table (an input buffer of the lifted
@@ -487,8 +498,7 @@ pub fn reference_filter(
             // The lifted portion is the histogram; the output image is unchanged.
         }
         _ => {
-            let (taps, bias, shift) =
-                filter.stencil_spec().expect("stencil filters have a spec");
+            let (taps, bias, shift) = filter.stencil_spec().expect("stencil filters have a spec");
             for p in 0..3 {
                 let src = image.planes[p].bytes();
                 let dst = out.planes[p].bytes_mut();
@@ -524,7 +534,13 @@ fn mem32(base: Reg, disp: i32) -> MemRef {
 
 /// `width ptr [index*scale + disp]` (no base register), used for table indexing.
 fn mem_index(index: Reg, scale: u8, disp: i32, width: Width) -> MemRef {
-    MemRef { base: None, index: Some(index), scale, disp, width }
+    MemRef {
+        base: None,
+        index: Some(index),
+        scale,
+        disp,
+        width,
+    }
 }
 
 /// Emit the weighted-stencil computation for the pixel at `offset` from the
@@ -652,11 +668,23 @@ fn emit_invert_filter(asm: &mut Asm, layout: &PhotoLayout) -> u32 {
         for k in 0..4i64 {
             asm.movzx(
                 regs::eax(),
-                Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, (src + k) as i32, Width::B1)),
+                Operand::Mem(MemRef::sib(
+                    Reg::Esi,
+                    Reg::Esi,
+                    0,
+                    (src + k) as i32,
+                    Width::B1,
+                )),
             );
             asm.xor(regs::eax(), Operand::Imm(0xff));
             asm.mov(
-                Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, (dst + k) as i32, Width::B1)),
+                Operand::Mem(MemRef::sib(
+                    Reg::Esi,
+                    Reg::Esi,
+                    0,
+                    (dst + k) as i32,
+                    Width::B1,
+                )),
                 regs::al(),
             );
         }
@@ -712,25 +740,46 @@ fn emit_threshold_filter(asm: &mut Asm, layout: &PhotoLayout) -> u32 {
     asm.push(regs::ebx());
     asm.mov(regs::esi(), Operand::Imm(0));
     asm.label("th_loop");
-    asm.movzx(regs::eax(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, r, Width::B1)));
+    asm.movzx(
+        regs::eax(),
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, r, Width::B1)),
+    );
     asm.imul(regs::eax(), Operand::Imm(77));
-    asm.movzx(regs::ebx(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, g, Width::B1)));
+    asm.movzx(
+        regs::ebx(),
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, g, Width::B1)),
+    );
     asm.imul(regs::ebx(), Operand::Imm(151));
     asm.add(regs::eax(), regs::ebx());
-    asm.movzx(regs::ebx(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, b, Width::B1)));
+    asm.movzx(
+        regs::ebx(),
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, b, Width::B1)),
+    );
     asm.imul(regs::ebx(), Operand::Imm(28));
     asm.add(regs::eax(), regs::ebx());
     asm.shr(regs::eax(), Operand::Imm(8));
-    asm.cmp(regs::eax(), Operand::Mem(MemRef::absolute(THRESHOLD_ADDR as i32, Width::B4)));
+    asm.cmp(
+        regs::eax(),
+        Operand::Mem(MemRef::absolute(THRESHOLD_ADDR as i32, Width::B4)),
+    );
     asm.jcc(Cond::A, "th_white");
     asm.mov(regs::ebx(), Operand::Imm(0));
     asm.jmp("th_store");
     asm.label("th_white");
     asm.mov(regs::ebx(), Operand::Imm(255));
     asm.label("th_store");
-    asm.mov(Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, or, Width::B1)), regs::bl());
-    asm.mov(Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, og, Width::B1)), regs::bl());
-    asm.mov(Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, ob, Width::B1)), regs::bl());
+    asm.mov(
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, or, Width::B1)),
+        regs::bl(),
+    );
+    asm.mov(
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, og, Width::B1)),
+        regs::bl(),
+    );
+    asm.mov(
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, ob, Width::B1)),
+        regs::bl(),
+    );
     asm.inc(regs::esi());
     asm.cmp(regs::esi(), Operand::Imm(total));
     asm.jcc(Cond::B, "th_loop");
@@ -756,13 +805,25 @@ fn emit_brightness_filter(asm: &mut Asm, layout: &PhotoLayout) -> u32 {
         let loop_label = format!("br_loop_{p}");
         asm.mov(regs::esi(), Operand::Imm(0));
         asm.label(&loop_label);
-        asm.movzx(regs::eax(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, src, Width::B1)));
+        asm.movzx(
+            regs::eax(),
+            Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, src, Width::B1)),
+        );
         // Indirect (table) access: the address depends on the input value.
         asm.movzx(
             regs::ebx(),
-            Operand::Mem(MemRef::sib(Reg::Eax, Reg::Eax, 0, LUT_ADDR as i32, Width::B1)),
+            Operand::Mem(MemRef::sib(
+                Reg::Eax,
+                Reg::Eax,
+                0,
+                LUT_ADDR as i32,
+                Width::B1,
+            )),
         );
-        asm.mov(Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, dst, Width::B1)), regs::bl());
+        asm.mov(
+            Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, dst, Width::B1)),
+            regs::bl(),
+        );
         asm.inc(regs::esi());
         asm.cmp(regs::esi(), Operand::Imm(total));
         asm.jcc(Cond::B, &loop_label);
@@ -796,7 +857,10 @@ fn emit_equalize_filter(asm: &mut Asm, layout: &PhotoLayout) -> u32 {
     // Accumulate.
     asm.mov(regs::esi(), Operand::Imm(0));
     asm.label("eq_loop");
-    asm.movzx(regs::eax(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, src, Width::B1)));
+    asm.movzx(
+        regs::eax(),
+        Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, src, Width::B1)),
+    );
     asm.add(
         Operand::Mem(mem_index(Reg::Eax, 4, HIST_ADDR as i32, Width::B4)),
         Operand::Imm(1),
@@ -845,8 +909,14 @@ fn emit_stencil_driver(asm: &mut Asm, layout: &PhotoLayout, filter_entry: u32) -
         asm.push(regs::esi());
         asm.call(filter_entry);
         asm.add(regs::esp(), Operand::Imm(24));
-        asm.add(regs::esi(), Operand::Imm((TILE_ROWS * layout.stride) as i64));
-        asm.add(regs::edi(), Operand::Imm((TILE_ROWS * layout.stride) as i64));
+        asm.add(
+            regs::esi(),
+            Operand::Imm((TILE_ROWS * layout.stride) as i64),
+        );
+        asm.add(
+            regs::edi(),
+            Operand::Imm((TILE_ROWS * layout.stride) as i64),
+        );
         asm.add(regs::ebx(), Operand::Imm(TILE_ROWS as i64));
         asm.cmp(regs::ebx(), Operand::Imm(layout.height as i64));
         asm.jcc(Cond::B, &tile_label);
@@ -869,12 +939,24 @@ fn emit_background(asm: &mut Asm) -> (u32, u32) {
     asm.mov(regs::eax(), Operand::Imm(0));
     asm.mov(regs::ecx(), Operand::Imm(0));
     asm.label("bg_sum");
-    asm.movzx(regs::edx(), Operand::Mem(MemRef::sib(Reg::Ecx, Reg::Ecx, 0, BG_SCRATCH as i32, Width::B1)));
+    asm.movzx(
+        regs::edx(),
+        Operand::Mem(MemRef::sib(
+            Reg::Ecx,
+            Reg::Ecx,
+            0,
+            BG_SCRATCH as i32,
+            Width::B1,
+        )),
+    );
     asm.add(regs::eax(), regs::edx());
     asm.inc(regs::ecx());
     asm.cmp(regs::ecx(), Operand::Imm(64));
     asm.jcc(Cond::B, "bg_sum");
-    asm.mov(Operand::Mem(MemRef::absolute((BG_SCRATCH + 64) as i32, Width::B4)), regs::eax());
+    asm.mov(
+        Operand::Mem(MemRef::absolute((BG_SCRATCH + 64) as i32, Width::B4)),
+        regs::eax(),
+    );
     asm.pop(regs::ebp());
     asm.ret();
 
@@ -883,7 +965,10 @@ fn emit_background(asm: &mut Asm) -> (u32, u32) {
     asm.mov(regs::ebp(), regs::esp());
     asm.mov(regs::ecx(), Operand::Imm(0));
     asm.label("bg_ui");
-    asm.mov(Operand::Mem(mem_index(Reg::Ecx, 4, (BG_SCRATCH + 128) as i32, Width::B4)), regs::ecx());
+    asm.mov(
+        Operand::Mem(mem_index(Reg::Ecx, 4, (BG_SCRATCH + 128) as i32, Width::B4)),
+        regs::ecx(),
+    );
     asm.inc(regs::ecx());
     asm.cmp(regs::ecx(), Operand::Imm(16));
     asm.jcc(Cond::B, "bg_ui");
@@ -926,7 +1011,10 @@ fn build_program(filter: PhotoFilter, layout: &PhotoLayout) -> (Program, u32, u3
     let main_entry = main.here();
     main.call("bg_checksum");
     main.call("bg_ui_update");
-    main.mov(regs::eax(), Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)));
+    main.mov(
+        regs::eax(),
+        Operand::Mem(MemRef::absolute(FLAG_ADDR as i32, Width::B4)),
+    );
     main.test(regs::eax(), regs::eax());
     main.jcc(Cond::Z, "skip_filter");
     main.call(dll_entry_for_main);
@@ -952,7 +1040,13 @@ fn build_program(filter: PhotoFilter, layout: &PhotoLayout) -> (Program, u32, u3
         main.label("main_bg_sum");
         main.movzx(
             regs::edx(),
-            Operand::Mem(MemRef::sib(Reg::Ecx, Reg::Ecx, 0, BG_SCRATCH as i32, Width::B1)),
+            Operand::Mem(MemRef::sib(
+                Reg::Ecx,
+                Reg::Ecx,
+                0,
+                BG_SCRATCH as i32,
+                Width::B1,
+            )),
         );
         main.add(regs::eax(), regs::edx());
         main.inc(regs::ecx());
@@ -1000,7 +1094,8 @@ mod tests {
             let app = PhotoFlow::new(filter, image.clone());
             if filter == PhotoFilter::Equalize {
                 let mut cpu = app.fresh_cpu(true);
-                cpu.run(app.program(), 500_000_000, |_, _| {}).expect("runs");
+                cpu.run(app.program(), 500_000_000, |_, _| {})
+                    .expect("runs");
                 let hist = PhotoFlow::read_histogram(&cpu);
                 let expect: Vec<u32> = app.reference_histogram();
                 assert_eq!(hist, expect, "histogram mismatch");
@@ -1027,7 +1122,8 @@ mod tests {
     fn without_filter_output_is_untouched() {
         let app = PhotoFlow::new(PhotoFilter::Blur, small_image());
         let mut cpu = app.fresh_cpu(false);
-        cpu.run(app.program(), 100_000_000, |_, _| {}).expect("runs");
+        cpu.run(app.program(), 100_000_000, |_, _| {})
+            .expect("runs");
         let out = app.read_output(&cpu);
         assert!(out.planes[0].bytes().iter().all(|&b| b == 0));
     }

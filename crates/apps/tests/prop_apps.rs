@@ -342,10 +342,14 @@ fn photoflow_vm_matches_reference_for_all_filters() {
         if filter == PhotoFilter::Equalize {
             let cpu = {
                 let mut cpu = app.fresh_cpu(true);
-                cpu.run(app.program(), 50_000_000, |_, _| {}).expect("vm run");
+                cpu.run(app.program(), 50_000_000, |_, _| {})
+                    .expect("vm run");
                 cpu
             };
-            assert_eq!(photoflow::PhotoFlow::read_histogram(&cpu), app.reference_histogram());
+            assert_eq!(
+                photoflow::PhotoFlow::read_histogram(&cpu),
+                app.reference_histogram()
+            );
         }
     }
 }
@@ -358,7 +362,12 @@ fn batchview_vm_matches_reference_for_all_filters() {
         let app = batchview::BatchView::new(filter, image);
         let vm = app.run_in_vm();
         let reference = app.reference_output();
-        assert_eq!(vm.bytes(), reference.bytes(), "{}: VM and reference differ", filter.name());
+        assert_eq!(
+            vm.bytes(),
+            reference.bytes(),
+            "{}: VM and reference differ",
+            filter.name()
+        );
     }
 }
 

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use helium_apps::photoflow::PhotoFilter;
-use helium_bench::{lift_photoflow, time_lifted, time_legacy_native};
-use helium_halide::Schedule;
+use helium_bench::{lift_photoflow, time_legacy_native, time_lifted_on};
+use helium_halide::{ExecBackend, Schedule};
 
 fn bench_filters(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_filters");
@@ -14,8 +14,28 @@ fn bench_filters(c: &mut Criterion) {
         group.bench_function(format!("{}_legacy_native", filter.name()), |b| {
             b.iter(|| time_legacy_native(&app, 1))
         });
-        group.bench_function(format!("{}_lifted_scheduled", filter.name()), |b| {
-            b.iter(|| time_lifted(&app, &lifted, Schedule::stencil_default(), 1))
+        // Both execution backends, so regressions in either are visible.
+        group.bench_function(format!("{}_lifted_interpret", filter.name()), |b| {
+            b.iter(|| {
+                time_lifted_on(
+                    &app,
+                    &lifted,
+                    Schedule::stencil_default(),
+                    ExecBackend::Interpret,
+                    1,
+                )
+            })
+        });
+        group.bench_function(format!("{}_lifted_lowered", filter.name()), |b| {
+            b.iter(|| {
+                time_lifted_on(
+                    &app,
+                    &lifted,
+                    Schedule::stencil_default(),
+                    ExecBackend::Lowered,
+                    1,
+                )
+            })
         });
     }
     group.finish();

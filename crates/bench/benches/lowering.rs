@@ -1,0 +1,80 @@
+//! Interpret-vs-Lowered comparison on the Fig. 7 filter set.
+//!
+//! Runs the criterion group and additionally writes a machine-readable
+//! summary to `BENCH_lowering.json` in the current directory: per filter, the
+//! best-of-N wall-clock time for each backend under the stencil default
+//! schedule, plus the speedup factor.
+
+use criterion::{criterion_group, Criterion};
+use helium_apps::photoflow::PhotoFilter;
+use helium_bench::{lift_photoflow, time_lifted_on};
+use helium_halide::{ExecBackend, Schedule};
+use std::fmt::Write as _;
+
+const FILTERS: [PhotoFilter; 3] = [PhotoFilter::Invert, PhotoFilter::Blur, PhotoFilter::Sharpen];
+const REPS: usize = 7;
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering");
+    group.sample_size(10);
+    for filter in FILTERS {
+        let (app, lifted) = lift_photoflow(filter, 96, 64);
+        for (backend, label) in [
+            (ExecBackend::Interpret, "interpret"),
+            (ExecBackend::Lowered, "lowered"),
+        ] {
+            group.bench_function(format!("{}_{label}", filter.name()), |b| {
+                b.iter(|| time_lifted_on(&app, &lifted, Schedule::stencil_default(), backend, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn write_report() {
+    let mut entries = String::new();
+    for (i, filter) in FILTERS.iter().enumerate() {
+        let (app, lifted) = lift_photoflow(*filter, 96, 64);
+        let schedule = Schedule::stencil_default();
+        let interpret = time_lifted_on(
+            &app,
+            &lifted,
+            schedule.clone(),
+            ExecBackend::Interpret,
+            REPS,
+        );
+        let lowered = time_lifted_on(&app, &lifted, schedule, ExecBackend::Lowered, REPS);
+        let speedup = interpret.as_secs_f64() / lowered.as_secs_f64().max(1e-12);
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            "    {{\"filter\": \"{}\", \"interpret_ns\": {}, \"lowered_ns\": {}, \"speedup\": {:.3}}}",
+            filter.name(),
+            interpret.as_nanos(),
+            lowered.as_nanos(),
+            speedup
+        );
+        println!(
+            "lowering: {:<10} interpret={interpret:?} lowered={lowered:?} speedup={speedup:.2}x",
+            filter.name()
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [96, 64],\n  \"reps\": {REPS},\n  \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    // Anchor at the workspace root regardless of the bench's working dir.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("lowering: wrote {}", path.display()),
+        Err(e) => eprintln!("lowering: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_lowering);
+
+fn main() {
+    benches();
+    write_report();
+}

@@ -20,11 +20,21 @@ fn main() {
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  best-tuned-schedule",
         "Filter", "naive", "tiled", "parallel", "vector", "default", "tuned"
     );
-    for filter in [PhotoFilter::Blur, PhotoFilter::BlurMore, PhotoFilter::Sharpen, PhotoFilter::Invert] {
+    for filter in [
+        PhotoFilter::Blur,
+        PhotoFilter::BlurMore,
+        PhotoFilter::Sharpen,
+        PhotoFilter::Invert,
+    ] {
         let (app, lifted) = lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT);
 
         let naive = time_lifted(&app, &lifted, Schedule::naive(), reps);
-        let tiled = time_lifted(&app, &lifted, Schedule::naive().with_tile(Some((64, 32))), reps);
+        let tiled = time_lifted(
+            &app,
+            &lifted,
+            Schedule::naive().with_tile(Some((64, 32))),
+            reps,
+        );
         let parallel = time_lifted(&app, &lifted, Schedule::naive().with_parallel(true), reps);
         let vector = time_lifted(&app, &lifted, Schedule::naive().with_vector_width(8), reps);
         let default = time_lifted(&app, &lifted, Schedule::stencil_default(), reps);
@@ -68,6 +78,9 @@ fn main() {
             report.best
         );
     }
-    println!("\n(all times in milliseconds, one output plane, {}x{} image;", BENCH_WIDTH, BENCH_HEIGHT);
+    println!(
+        "\n(all times in milliseconds, one output plane, {}x{} image;",
+        BENCH_WIDTH, BENCH_HEIGHT
+    );
     println!(" `tuned` re-times the autotuner's best schedule with the same repetitions)");
 }

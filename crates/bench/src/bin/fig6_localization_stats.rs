@@ -7,7 +7,14 @@ use helium_bench::{lift_photoflow, BENCH_HEIGHT, BENCH_WIDTH};
 fn main() {
     println!(
         "{:<14} {:>9} {:>9} {:>11} {:>12} {:>10} {:>12} {:>10}",
-        "Filter", "total BB", "diff BB", "filter BB", "static ins", "mem dump", "dyn ins", "tree size"
+        "Filter",
+        "total BB",
+        "diff BB",
+        "filter BB",
+        "static ins",
+        "mem dump",
+        "dyn ins",
+        "tree size"
     );
     let filters = [
         PhotoFilter::Invert,
@@ -21,14 +28,12 @@ fn main() {
         PhotoFilter::Equalize,
     ];
     for filter in filters {
-        let result = std::panic::catch_unwind(|| {
-            lift_photoflow(filter, BENCH_WIDTH / 2, BENCH_HEIGHT / 2)
-        });
+        let result =
+            std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH / 2, BENCH_HEIGHT / 2));
         match result {
             Ok((_, lifted)) => {
                 let s = &lifted.stats;
-                let tree_sizes: Vec<String> =
-                    s.tree_sizes.iter().map(|t| t.to_string()).collect();
+                let tree_sizes: Vec<String> = s.tree_sizes.iter().map(|t| t.to_string()).collect();
                 println!(
                     "{:<14} {:>9} {:>9} {:>11} {:>12} {:>9}K {:>12} {:>10}",
                     filter.name(),

@@ -7,7 +7,9 @@
 //! original's performance).
 
 use helium_apps::photoflow::PhotoFilter;
-use helium_bench::{lift_photoflow, ms, time_legacy_native, time_legacy_vm, time_lifted, BENCH_HEIGHT, BENCH_WIDTH};
+use helium_bench::{
+    lift_photoflow, ms, time_legacy_native, time_legacy_vm, time_lifted, BENCH_HEIGHT, BENCH_WIDTH,
+};
 use helium_halide::Schedule;
 
 fn main() {
@@ -25,8 +27,7 @@ fn main() {
         PhotoFilter::Threshold,
         PhotoFilter::BoxBlur,
     ] {
-        let result =
-            std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT));
+        let result = std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT));
         let (app, lifted) = match result {
             Ok(v) => v,
             Err(_) => {

@@ -16,8 +16,20 @@ fn main() {
 
     let blur_kernel = blur.primary();
     let invert_kernel = invert.primary();
-    let input_name = blur_kernel.pipeline.images.keys().next().cloned().expect("input");
-    let invert_input = invert_kernel.pipeline.images.keys().next().cloned().expect("input");
+    let input_name = blur_kernel
+        .pipeline
+        .images
+        .keys()
+        .next()
+        .cloned()
+        .expect("input");
+    let invert_input = invert_kernel
+        .pipeline
+        .images
+        .keys()
+        .next()
+        .cloned()
+        .expect("input");
     let input = buffer_from_layout(&blur_app, &blur, &input_name);
     let extents: Vec<usize> = blur
         .buffer(&blur_kernel.output)
@@ -50,12 +62,18 @@ fn main() {
         separate_best = separate_best.min(start.elapsed());
     }
 
-    let fused = invert_kernel.pipeline.compose_after(&blur_kernel.pipeline, &invert_input);
+    let fused = invert_kernel
+        .pipeline
+        .compose_after(&blur_kernel.pipeline, &invert_input);
     let mut fused_best = std::time::Duration::MAX;
     for _ in 0..reps {
         let start = Instant::now();
         let _ = realizer
-            .realize(&fused, &extents, &RealizeInputs::new().with_image(&input_name, &input))
+            .realize(
+                &fused,
+                &extents,
+                &RealizeInputs::new().with_image(&input_name, &input),
+            )
             .expect("fused pipeline realizes");
         fused_best = fused_best.min(start.elapsed());
     }

@@ -8,7 +8,9 @@
 //! effect the paper reports for the patched Photoshop binaries.
 
 use helium_apps::photoflow::{PhotoFilter, TILE_ROWS};
-use helium_bench::{buffer_from_layout, lift_photoflow, ms, time_legacy_native, BENCH_HEIGHT, BENCH_WIDTH};
+use helium_bench::{
+    buffer_from_layout, lift_photoflow, ms, time_legacy_native, BENCH_HEIGHT, BENCH_WIDTH,
+};
 use helium_halide::{RealizeInputs, Realizer, Schedule};
 use std::time::{Duration, Instant};
 
@@ -26,8 +28,7 @@ fn main() {
         PhotoFilter::Threshold,
         PhotoFilter::BoxBlur,
     ] {
-        let result =
-            std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT));
+        let result = std::panic::catch_unwind(|| lift_photoflow(filter, BENCH_WIDTH, BENCH_HEIGHT));
         let (app, lifted) = match result {
             Ok(v) => v,
             Err(_) => {
@@ -59,7 +60,9 @@ fn main() {
         let mut standalone = Duration::MAX;
         for _ in 0..3 {
             let start = Instant::now();
-            let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+            let _ = realizer
+                .realize(&kernel.pipeline, &extents, &inputs)
+                .expect("realize");
             standalone = standalone.min(start.elapsed());
         }
 

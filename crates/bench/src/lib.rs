@@ -22,8 +22,16 @@ pub fn photoflow_app(filter: PhotoFilter, w: usize, h: usize) -> PhotoFlow {
 /// Build the lift request for a PhotoFlow app.
 pub fn photoflow_request(app: &PhotoFlow) -> LiftRequest {
     LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     }
 }
@@ -66,14 +74,16 @@ pub fn buffer_from_layout(app: &PhotoFlow, lifted: &LiftedStencil, name: &str) -
     buf
 }
 
-/// Time the lifted kernel of the first output plane under a schedule.
+/// Time the lifted kernel of the first output plane under a schedule on a
+/// specific execution backend.
 ///
 /// # Panics
 /// Panics if realization fails.
-pub fn time_lifted(
+pub fn time_lifted_on(
     app: &PhotoFlow,
     lifted: &LiftedStencil,
     schedule: Schedule,
+    backend: helium_halide::ExecBackend,
     reps: usize,
 ) -> Duration {
     let kernel = lifted.primary();
@@ -92,14 +102,35 @@ pub fn time_lifted(
     for (name, value) in &kernel.parameter_values {
         inputs = inputs.with_param(name, *value);
     }
-    let realizer = Realizer::new(schedule);
+    let realizer = Realizer::new(schedule).with_backend(backend);
     let mut best = Duration::MAX;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+        let _ = realizer
+            .realize(&kernel.pipeline, &extents, &inputs)
+            .expect("realize");
         best = best.min(start.elapsed());
     }
     best
+}
+
+/// Time the lifted kernel of the first output plane under a schedule.
+///
+/// # Panics
+/// Panics if realization fails.
+pub fn time_lifted(
+    app: &PhotoFlow,
+    lifted: &LiftedStencil,
+    schedule: Schedule,
+    reps: usize,
+) -> Duration {
+    time_lifted_on(
+        app,
+        lifted,
+        schedule,
+        helium_halide::ExecBackend::default(),
+        reps,
+    )
 }
 
 /// Time the legacy binary running in the VM (the literal analogue of the
@@ -145,13 +176,19 @@ pub fn lift_batchview(
     w: usize,
     h: usize,
 ) -> (helium_apps::BatchView, LiftedStencil) {
-    let app = helium_apps::BatchView::new(
-        filter,
-        helium_apps::InterleavedImage::random(w, h, 0x05EED),
-    );
+    let app =
+        helium_apps::BatchView::new(filter, helium_apps::InterleavedImage::random(w, h, 0x05EED));
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -217,13 +254,23 @@ pub fn time_lifted_kernel(
 ) -> Duration {
     let kernel = lifted.primary();
     let out_layout = lifted.buffer(&kernel.output).expect("output layout");
-    let extents = extents
-        .unwrap_or_else(|| out_layout.extents.iter().map(|&e| e as usize).collect::<Vec<_>>());
+    let extents = extents.unwrap_or_else(|| {
+        out_layout
+            .extents
+            .iter()
+            .map(|&e| e as usize)
+            .collect::<Vec<_>>()
+    });
     let buffers: Vec<(String, Buffer)> = kernel
         .pipeline
         .images
         .iter()
-        .map(|(name, param)| (name.clone(), buffer_from_memory(mem, lifted, name, param.ty)))
+        .map(|(name, param)| {
+            (
+                name.clone(),
+                buffer_from_memory(mem, lifted, name, param.ty),
+            )
+        })
         .collect();
     let mut inputs = RealizeInputs::new();
     for (name, buf) in &buffers {
@@ -236,7 +283,9 @@ pub fn time_lifted_kernel(
     let mut best = Duration::MAX;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let _ = realizer.realize(&kernel.pipeline, &extents, &inputs).expect("realize");
+        let _ = realizer
+            .realize(&kernel.pipeline, &extents, &inputs)
+            .expect("realize");
         best = best.min(start.elapsed());
     }
     best
@@ -252,7 +301,8 @@ pub fn run_legacy(
     mut cpu: helium_machine::Cpu,
 ) -> (helium_machine::Cpu, Duration) {
     let start = Instant::now();
-    cpu.run(program, 2_000_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(program, 2_000_000_000, |_, _| {})
+        .expect("legacy run completes");
     (cpu, start.elapsed())
 }
 

@@ -45,6 +45,75 @@ pub struct GeneratedKernel {
     pub parameter_values: BTreeMap<String, Value>,
 }
 
+impl GeneratedKernel {
+    /// Realize the kernel over `extents` with the given image bindings, under
+    /// `schedule` on `backend`, automatically binding the scalar parameter
+    /// values observed during lifting.
+    ///
+    /// # Errors
+    /// Propagates realization errors (missing inputs, undefined funcs, ...).
+    pub fn realize_on(
+        &self,
+        extents: &[usize],
+        images: &BTreeMap<String, &helium_halide::Buffer>,
+        schedule: &helium_halide::Schedule,
+        backend: helium_halide::ExecBackend,
+    ) -> Result<helium_halide::Buffer, helium_halide::RealizeError> {
+        let mut inputs = helium_halide::RealizeInputs::new();
+        for (name, buf) in images {
+            inputs = inputs.with_image(name, buf);
+        }
+        for (name, value) in &self.parameter_values {
+            inputs = inputs.with_param(name, *value);
+        }
+        helium_halide::Realizer::new(schedule.clone())
+            .with_backend(backend)
+            .realize(&self.pipeline, extents, &inputs)
+    }
+
+    /// Differential self-check: realize the kernel on both execution backends
+    /// and return the buffer if they agree bit-for-bit.
+    ///
+    /// The lifting pipeline's guarantee is bit-exactness against the legacy
+    /// binary; this check extends the guarantee across the execution engines,
+    /// so a lifted kernel can be shipped on the fast lowered backend with the
+    /// interpreter acting as the oracle.
+    ///
+    /// # Errors
+    /// Propagates realization errors; returns
+    /// [`CodegenError::Untranslatable`] if the backends disagree.
+    pub fn realize_checked(
+        &self,
+        extents: &[usize],
+        images: &BTreeMap<String, &helium_halide::Buffer>,
+        schedule: &helium_halide::Schedule,
+    ) -> Result<helium_halide::Buffer, CodegenError> {
+        let interpreted = self
+            .realize_on(
+                extents,
+                images,
+                schedule,
+                helium_halide::ExecBackend::Interpret,
+            )
+            .map_err(|e| CodegenError::Untranslatable(e.to_string()))?;
+        let lowered = self
+            .realize_on(
+                extents,
+                images,
+                schedule,
+                helium_halide::ExecBackend::Lowered,
+            )
+            .map_err(|e| CodegenError::Untranslatable(e.to_string()))?;
+        if interpreted != lowered {
+            return Err(CodegenError::Untranslatable(format!(
+                "execution backends disagree for kernel `{}` under [{schedule}]",
+                self.output
+            )));
+        }
+        Ok(lowered)
+    }
+}
+
 fn width_to_type(width: u32, float: bool) -> ScalarType {
     match (width, float) {
         (_, true) if width >= 8 => ScalarType::Float64,
@@ -63,7 +132,11 @@ fn affine_to_expr(a: &AffineIndex) -> Expr {
             continue;
         }
         let var = Expr::var(&format!("x_{d}"));
-        terms.push(if c == 1 { var } else { Expr::mul(Expr::int(c), var) });
+        terms.push(if c == 1 {
+            var
+        } else {
+            Expr::mul(Expr::int(c), var)
+        });
     }
     let mut expr = match terms.len() {
         0 => Expr::int(a.constant),
@@ -94,7 +167,11 @@ fn tree_to_expr(
 ) -> Result<Expr, CodegenError> {
     match &tree.nodes[node] {
         TreeNode::Leaf(leaf) => leaf_to_expr(leaf, buffers, params, output_name),
-        TreeNode::Op { op, children, width } => {
+        TreeNode::Op {
+            op,
+            children,
+            width,
+        } => {
             let mut child_exprs = Vec::with_capacity(children.len());
             for &c in children {
                 child_exprs.push(tree_to_expr(tree, c, buffers, params, output_name)?);
@@ -210,7 +287,10 @@ fn leaf_to_expr(
     output_name: &str,
 ) -> Result<Expr, CodegenError> {
     Ok(match leaf {
-        Leaf::SymbolicRef { buffer, index_exprs } => {
+        Leaf::SymbolicRef {
+            buffer,
+            index_exprs,
+        } => {
             let args: Vec<Expr> = index_exprs.iter().map(affine_to_expr).collect();
             let base = Expr::Image(buffer.clone(), args);
             // Loads widen to 32 bits in the original code (movzx), so cast.
@@ -225,7 +305,12 @@ fn leaf_to_expr(
         }
         Leaf::Const(v) => Expr::uint(*v),
         Leaf::ConstF(v) => Expr::float(*v),
-        Leaf::Param { name, value, width, is_float } => {
+        Leaf::Param {
+            name,
+            value,
+            width,
+            is_float,
+        } => {
             let (ty, val) = if *is_float {
                 (ScalarType::Float64, Value::Float(f64::from_bits(*value)))
             } else {
@@ -276,13 +361,18 @@ pub fn generate_kernels(
     if clusters.is_empty() {
         return Err(CodegenError::Empty);
     }
-    let buffer_map: BTreeMap<String, BufferLayout> =
-        buffers.iter().map(|b| (b.name.clone(), b.clone())).collect();
+    let buffer_map: BTreeMap<String, BufferLayout> = buffers
+        .iter()
+        .map(|b| (b.name.clone(), b.clone()))
+        .collect();
 
     // Group clusters by output buffer.
     let mut by_output: BTreeMap<String, Vec<&SymbolicCluster>> = BTreeMap::new();
     for c in clusters {
-        by_output.entry(c.output_buffer.clone()).or_default().push(c);
+        by_output
+            .entry(c.output_buffer.clone())
+            .or_default()
+            .push(c);
     }
 
     let mut kernels = Vec::new();
@@ -293,7 +383,12 @@ pub fn generate_kernels(
         let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
         let out_type = width_to_type(
             out_layout.element_size,
-            group.iter().any(|c| c.tree.nodes.iter().any(|n| matches!(n, TreeNode::Op{op,..} if op.is_float()))) && out_layout.element_size == 8,
+            group.iter().any(|c| {
+                c.tree
+                    .nodes
+                    .iter()
+                    .any(|n| matches!(n, TreeNode::Op{op,..} if op.is_float()))
+            }) && out_layout.element_size == 8,
         );
         let mut params = BTreeMap::new();
 
@@ -310,15 +405,24 @@ pub fn generate_kernels(
         }
         for tree in referenced_trees {
             for leaf in tree.leaves_in_order() {
-                if let Leaf::SymbolicRef { buffer, index_exprs } = leaf {
+                if let Leaf::SymbolicRef {
+                    buffer,
+                    index_exprs,
+                } = leaf
+                {
                     if buffer != &output {
                         let layout = buffer_map.get(buffer);
                         let ty = layout
-                            .map(|l| width_to_type(l.element_size, l.element_size == 8 && out_type.is_float()))
+                            .map(|l| {
+                                width_to_type(
+                                    l.element_size,
+                                    l.element_size == 8 && out_type.is_float(),
+                                )
+                            })
                             .unwrap_or(ScalarType::UInt8);
-                        images.entry(buffer.clone()).or_insert_with(|| {
-                            ImageParam::new(buffer, ty, index_exprs.len())
-                        });
+                        images
+                            .entry(buffer.clone())
+                            .or_insert_with(|| ImageParam::new(buffer, ty, index_exprs.len()));
                     }
                 }
             }
@@ -378,13 +482,19 @@ pub fn generate_kernels(
             let mut func = Func::pure(&output, &var_refs, out_type, init);
             for c in &recursive {
                 let over = c.reduction_over.clone().unwrap_or_else(|| {
-                    images.keys().next().cloned().unwrap_or_else(|| output.clone())
+                    images
+                        .keys()
+                        .next()
+                        .cloned()
+                        .unwrap_or_else(|| output.clone())
                 });
                 let over_image = images
                     .get(&over)
                     .cloned()
                     .unwrap_or_else(|| ImageParam::new(&over, ScalarType::UInt8, 2));
-                images.entry(over.clone()).or_insert_with(|| over_image.clone());
+                images
+                    .entry(over.clone())
+                    .or_insert_with(|| over_image.clone());
                 let rdom = RDom::over_image("r_0", &over_image);
                 // The LHS index: the indirect index expression of the root's
                 // own access — the value of the driving buffer at the RDom
@@ -396,8 +506,7 @@ pub fn generate_kernels(
                 let lhs_index = Expr::cast(ScalarType::Int32, driving.clone());
                 // The update value: translate the tree, rewriting recursive
                 // references into reads of the func at the same index.
-                let raw =
-                    tree_to_expr(&c.tree, c.tree.root, &buffer_map, &mut params, &output)?;
+                let raw = tree_to_expr(&c.tree, c.tree.root, &buffer_map, &mut params, &output)?;
                 let value = rewrite_recursive(&raw, &output, &lhs_index);
                 func = func.with_update(UpdateDef {
                     lhs: vec![lhs_index],
@@ -412,11 +521,13 @@ pub fn generate_kernels(
         // terms, widening-cast chains, multiplications by one) so the emitted
         // Halide code reads like hand-written source. Simplification is
         // value-preserving, so the bit-exactness guarantees are unaffected.
-        let pipeline = helium_halide::simplify_pipeline(&Pipeline::new(
-            func,
-            images.into_values().collect(),
-        ));
-        kernels.push(GeneratedKernel { output, pipeline, parameter_values: params });
+        let pipeline =
+            helium_halide::simplify_pipeline(&Pipeline::new(func, images.into_values().collect()));
+        kernels.push(GeneratedKernel {
+            output,
+            pipeline,
+            parameter_values: params,
+        });
     }
     Ok(kernels)
 }
@@ -433,13 +544,19 @@ fn rewrite_recursive(e: &Expr, output: &str, lhs_index: &Expr) -> Expr {
         }
         Expr::FuncRef(name, args) => Expr::FuncRef(
             name.clone(),
-            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+            args.iter()
+                .map(|a| rewrite_recursive(a, output, lhs_index))
+                .collect(),
         ),
         Expr::Image(name, args) => Expr::Image(
             name.clone(),
-            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+            args.iter()
+                .map(|a| rewrite_recursive(a, output, lhs_index))
+                .collect(),
         ),
-        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rewrite_recursive(inner, output, lhs_index))),
+        Expr::Cast(ty, inner) => {
+            Expr::Cast(*ty, Box::new(rewrite_recursive(inner, output, lhs_index)))
+        }
         Expr::Binary(op, a, b) => Expr::bin(
             *op,
             rewrite_recursive(a, output, lhs_index),
@@ -457,7 +574,9 @@ fn rewrite_recursive(e: &Expr, output: &str, lhs_index: &Expr) -> Expr {
         ),
         Expr::Call(c, args) => Expr::Call(
             *c,
-            args.iter().map(|a| rewrite_recursive(a, output, lhs_index)).collect(),
+            args.iter()
+                .map(|a| rewrite_recursive(a, output, lhs_index))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -507,19 +626,32 @@ mod tests {
             root: 0,
             output: Leaf::SymbolicRef {
                 buffer: "output_1".into(),
-                index_exprs: vec![AffineIndex::identity(0, 2, 0), AffineIndex::identity(1, 2, 0)],
+                index_exprs: vec![
+                    AffineIndex::identity(0, 2, 0),
+                    AffineIndex::identity(1, 2, 0),
+                ],
             },
             output_width: 1,
         };
         let a = tree.push(TreeNode::Leaf(Leaf::SymbolicRef {
             buffer: "input_1".into(),
-            index_exprs: vec![AffineIndex::identity(0, 2, 1), AffineIndex::identity(1, 2, 0)],
+            index_exprs: vec![
+                AffineIndex::identity(0, 2, 1),
+                AffineIndex::identity(1, 2, 0),
+            ],
         }));
         let b = tree.push(TreeNode::Leaf(Leaf::SymbolicRef {
             buffer: "input_1".into(),
-            index_exprs: vec![AffineIndex::identity(0, 2, 0), AffineIndex::identity(1, 2, 0)],
+            index_exprs: vec![
+                AffineIndex::identity(0, 2, 0),
+                AffineIndex::identity(1, 2, 0),
+            ],
         }));
-        let root = tree.push(TreeNode::Op { op: TreeOp::Add, children: vec![a, b], width: 4 });
+        let root = tree.push(TreeNode::Op {
+            op: TreeOp::Add,
+            children: vec![a, b],
+            width: 4,
+        });
         tree.root = root;
         SymbolicCluster {
             output_buffer: "output_1".into(),
@@ -548,17 +680,49 @@ mod tests {
     }
 
     #[test]
+    fn generated_kernels_agree_across_backends() {
+        let kernels = generate_kernels(&[symbolic_add_cluster()], &simple_layouts()).unwrap();
+        let k = &kernels[0];
+        let mut input = helium_halide::Buffer::new(ScalarType::UInt8, &[64, 64]);
+        for c in input.coords().collect::<Vec<_>>() {
+            input.set(&c, Value::Int((c[0] * 5 + c[1] * 11) % 256));
+        }
+        let mut images = BTreeMap::new();
+        images.insert("input_1".to_string(), &input);
+        for schedule in [
+            helium_halide::Schedule::naive(),
+            helium_halide::Schedule::stencil_default(),
+            helium_halide::Schedule::naive().with_compute_at("input", "x_1"),
+        ] {
+            let out = k.realize_checked(&[63, 64], &images, &schedule).unwrap();
+            assert_eq!(out.extents(), &[63, 64]);
+            // Spot-check one interior element: in(x0+1,x1) + in(x0,x1).
+            let expect = (input.get(&[11, 9]).as_i64() + input.get(&[10, 9]).as_i64()) & 0xff;
+            assert_eq!(out.get(&[10, 9]).as_i64(), expect);
+        }
+    }
+
+    #[test]
     fn affine_expr_rendering() {
-        let a = AffineIndex { coefficients: vec![1, 0], constant: 2 };
+        let a = AffineIndex {
+            coefficients: vec![1, 0],
+            constant: 2,
+        };
         assert_eq!(affine_to_expr(&a).to_string(), "(x_0 + 2)");
         let c = AffineIndex::constant(7, 2);
         assert_eq!(affine_to_expr(&c).to_string(), "7");
-        let m = AffineIndex { coefficients: vec![3, 1], constant: 0 };
+        let m = AffineIndex {
+            coefficients: vec![3, 1],
+            constant: 0,
+        };
         assert_eq!(affine_to_expr(&m).to_string(), "((3 * x_0) + x_1)");
     }
 
     #[test]
     fn empty_clusters_are_an_error() {
-        assert_eq!(generate_kernels(&[], &simple_layouts()).unwrap_err(), CodegenError::Empty);
+        assert_eq!(
+            generate_kernels(&[], &simple_layouts()).unwrap_err(),
+            CodegenError::Empty
+        );
     }
 }

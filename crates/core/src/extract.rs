@@ -26,15 +26,24 @@ pub struct Loc {
 
 impl Loc {
     fn mem(addr: u32, width: u32) -> Loc {
-        Loc { addr: addr as u64, width }
+        Loc {
+            addr: addr as u64,
+            width,
+        }
     }
 
     fn reg(r: RegRef) -> Loc {
-        Loc { addr: REG_SPACE + (r.reg.index() as u64) * 8 + r.lo as u64, width: r.width.bytes() }
+        Loc {
+            addr: REG_SPACE + (r.reg.index() as u64) * 8 + r.lo as u64,
+            width: r.width.bytes(),
+        }
     }
 
     fn fp(phys_slot: u8) -> Loc {
-        Loc { addr: FP_SPACE + phys_slot as u64 * 8, width: 8 }
+        Loc {
+            addr: FP_SPACE + phys_slot as u64 * 8,
+            width: 8,
+        }
     }
 
     /// Returns `true` if this location is a real memory address.
@@ -73,7 +82,12 @@ pub enum MicroArg {
 
 impl MicroArg {
     fn simple(loc: Loc) -> MicroArg {
-        MicroArg::Loc { loc, value: 0, addr_regs: Vec::new(), addr_disp: 0 }
+        MicroArg::Loc {
+            loc,
+            value: 0,
+            addr_regs: Vec::new(),
+            addr_disp: 0,
+        }
     }
 }
 
@@ -173,7 +187,11 @@ fn fp_arg(src: &FpSrc, rec: &StepRecord, top: u8) -> MicroArg {
     match src {
         FpSrc::St(i) => MicroArg::simple(Loc::fp((top + i) % 8)),
         FpSrc::MemF32(_) | FpSrc::MemF64(_) | FpSrc::MemI32(_) => {
-            let acc = rec.mem.iter().find(|m| !m.is_write).expect("fp memory read recorded");
+            let acc = rec
+                .mem
+                .iter()
+                .find(|m| !m.is_write)
+                .expect("fp memory read recorded");
             MicroArg::Loc {
                 loc: Loc::mem(acc.addr, acc.width.bytes()),
                 value: acc.value,
@@ -198,22 +216,37 @@ fn alu_tree_op(op: AluOp) -> TreeOp {
 /// Lower one dynamic instruction into definition/flag events.
 pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
     let top = rec.fpu_top_before;
-    let mut step = MicroStep { addr: rec.addr, ..MicroStep::default() };
+    let mut step = MicroStep {
+        addr: rec.addr,
+        ..MicroStep::default()
+    };
     match &rec.instr {
         Instr::Mov { dst, src } => {
             let s = operand_loc(src, rec, false);
             let d = operand_loc(dst, rec, true);
             if let MicroArg::Loc { loc, .. } = d {
-                step.defs.push(DefEvent { dst: loc, op: TreeOp::Move, args: vec![s] });
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: TreeOp::Move,
+                    args: vec![s],
+                });
             }
         }
         Instr::Movzx { dst, src } => {
             let s = operand_loc(src, rec, false);
-            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::Move, args: vec![s] });
+            step.defs.push(DefEvent {
+                dst: Loc::reg(*dst),
+                op: TreeOp::Move,
+                args: vec![s],
+            });
         }
         Instr::Movsx { dst, src } => {
             let s = operand_loc(src, rec, false);
-            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::SignExtend, args: vec![s] });
+            step.defs.push(DefEvent {
+                dst: Loc::reg(*dst),
+                op: TreeOp::SignExtend,
+                args: vec![s],
+            });
         }
         Instr::Lea { dst, .. } => {
             // lea computes an address: model it as an addition of its register
@@ -233,15 +266,26 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
                 }
                 args.push(MicroArg::Imm(addr.disp as i64));
             }
-            step.defs.push(DefEvent { dst: Loc::reg(*dst), op: TreeOp::Add, args });
+            step.defs.push(DefEvent {
+                dst: Loc::reg(*dst),
+                op: TreeOp::Add,
+                args,
+            });
         }
         Instr::Alu { op, dst, src } => {
             let d_read = operand_loc(dst, rec, false);
             let s = operand_loc(src, rec, false);
             let d_write = operand_loc(dst, rec, true);
-            step.flags = Some(FlagEvent { a: d_read.clone(), b: s.clone() });
+            step.flags = Some(FlagEvent {
+                a: d_read.clone(),
+                b: s.clone(),
+            });
             if let MicroArg::Loc { loc, .. } = d_write {
-                step.defs.push(DefEvent { dst: loc, op: alu_tree_op(*op), args: vec![d_read, s] });
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: alu_tree_op(*op),
+                    args: vec![d_read, s],
+                });
             }
         }
         Instr::Shift { op, dst, amount } => {
@@ -254,13 +298,20 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
                 ShiftOp::Sar => TreeOp::Sar,
             };
             if let MicroArg::Loc { loc, .. } = d_write {
-                step.defs.push(DefEvent { dst: loc, op: tree_op, args: vec![d_read, amt] });
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: tree_op,
+                    args: vec![d_read, amt],
+                });
             }
         }
         Instr::Inc { dst } => {
             let d_read = operand_loc(dst, rec, false);
             let d_write = operand_loc(dst, rec, true);
-            step.flags = Some(FlagEvent { a: d_read.clone(), b: MicroArg::Imm(-1) });
+            step.flags = Some(FlagEvent {
+                a: d_read.clone(),
+                b: MicroArg::Imm(-1),
+            });
             if let MicroArg::Loc { loc, .. } = d_write {
                 step.defs.push(DefEvent {
                     dst: loc,
@@ -272,7 +323,10 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
         Instr::Dec { dst } => {
             let d_read = operand_loc(dst, rec, false);
             let d_write = operand_loc(dst, rec, true);
-            step.flags = Some(FlagEvent { a: d_read.clone(), b: MicroArg::Imm(1) });
+            step.flags = Some(FlagEvent {
+                a: d_read.clone(),
+                b: MicroArg::Imm(1),
+            });
             if let MicroArg::Loc { loc, .. } = d_write {
                 step.defs.push(DefEvent {
                     dst: loc,
@@ -285,14 +339,22 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
             let d_read = operand_loc(dst, rec, false);
             let d_write = operand_loc(dst, rec, true);
             if let MicroArg::Loc { loc, .. } = d_write {
-                step.defs.push(DefEvent { dst: loc, op: TreeOp::Neg, args: vec![d_read] });
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: TreeOp::Neg,
+                    args: vec![d_read],
+                });
             }
         }
         Instr::Not { dst } => {
             let d_read = operand_loc(dst, rec, false);
             let d_write = operand_loc(dst, rec, true);
             if let MicroArg::Loc { loc, .. } = d_write {
-                step.defs.push(DefEvent { dst: loc, op: TreeOp::Not, args: vec![d_read] });
+                step.defs.push(DefEvent {
+                    dst: loc,
+                    op: TreeOp::Not,
+                    args: vec![d_read],
+                });
             }
         }
         Instr::Cmp { a, b } | Instr::Test { a, b } => {
@@ -348,7 +410,11 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
                 FpSrc::MemI32(_) => TreeOp::IntToFloat,
                 _ => TreeOp::Move,
             };
-            step.defs.push(DefEvent { dst: Loc::fp(new_top), op, args: vec![arg] });
+            step.defs.push(DefEvent {
+                dst: Loc::fp(new_top),
+                op,
+                args: vec![arg],
+            });
         }
         Instr::Fst { dst, .. } => {
             let src = MicroArg::simple(Loc::fp(top));
@@ -379,7 +445,12 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
                 });
             }
         }
-        Instr::Farith { op, src, reverse_dst, .. } => {
+        Instr::Farith {
+            op,
+            src,
+            reverse_dst,
+            ..
+        } => {
             let tree_op = match op {
                 helium_machine::FpOp::Add => TreeOp::FAdd,
                 helium_machine::FpOp::Sub => TreeOp::FSub,
@@ -394,7 +465,10 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
                 step.defs.push(DefEvent {
                     dst: Loc::fp(slot),
                     op: tree_op,
-                    args: vec![MicroArg::simple(Loc::fp(slot)), MicroArg::simple(Loc::fp(top))],
+                    args: vec![
+                        MicroArg::simple(Loc::fp(slot)),
+                        MicroArg::simple(Loc::fp(top)),
+                    ],
                 });
             } else {
                 let rhs = fp_arg(src, rec, top);
@@ -408,26 +482,31 @@ pub fn lower_step(rec: &StepRecord) -> Result<MicroStep, ExtractError> {
         Instr::Fxch { slot } => {
             let a = Loc::fp(top);
             let b = Loc::fp((top + slot) % 8);
-            step.defs.push(DefEvent { dst: a, op: TreeOp::Move, args: vec![MicroArg::simple(b)] });
-            step.defs.push(DefEvent { dst: b, op: TreeOp::Move, args: vec![MicroArg::simple(a)] });
+            step.defs.push(DefEvent {
+                dst: a,
+                op: TreeOp::Move,
+                args: vec![MicroArg::simple(b)],
+            });
+            step.defs.push(DefEvent {
+                dst: b,
+                op: TreeOp::Move,
+                args: vec![MicroArg::simple(a)],
+            });
         }
         Instr::CallExtern { func } => {
             // Arguments are consumed from the FP stack, result pushed back.
             let arity = func.arity() as u8;
             let result_slot = (top + arity - 1) % 8;
-            let args: Vec<MicroArg> =
-                (0..arity).map(|i| MicroArg::simple(Loc::fp((top + i) % 8))).collect();
+            let args: Vec<MicroArg> = (0..arity)
+                .map(|i| MicroArg::simple(Loc::fp((top + i) % 8)))
+                .collect();
             step.defs.push(DefEvent {
                 dst: Loc::fp(result_slot),
                 op: TreeOp::Extern(*func),
                 args,
             });
         }
-        Instr::Jmp { .. }
-        | Instr::Call { .. }
-        | Instr::Ret
-        | Instr::Nop
-        | Instr::Halt => {}
+        Instr::Jmp { .. } | Instr::Call { .. } | Instr::Ret | Instr::Nop | Instr::Halt => {}
     }
     Ok(step)
 }
@@ -455,10 +534,7 @@ pub struct ForwardInfo {
 }
 
 /// Run the forward taint analysis over lowered steps.
-pub fn forward_analysis(
-    steps: &[MicroStep],
-    input_buffers: &[BufferLayout],
-) -> ForwardInfo {
+pub fn forward_analysis(steps: &[MicroStep], input_buffers: &[BufferLayout]) -> ForwardInfo {
     let mut info = ForwardInfo::default();
     let mut tainted: BTreeSet<u64> = BTreeSet::new();
     let mut flags_tainted = false;
@@ -538,7 +614,10 @@ pub fn forward_analysis(
                 if let Some(fw) = last_flag_writer {
                     info.jcc_flag_writer.insert(idx, fw);
                 }
-                info.jcc_dynamic.entry(step.addr).or_default().push((idx, *taken));
+                info.jcc_dynamic
+                    .entry(step.addr)
+                    .or_default()
+                    .push((idx, *taken));
             }
         }
     }
@@ -547,7 +626,9 @@ pub fn forward_analysis(
         .map(|(addr, m)| {
             (
                 addr,
-                m.into_iter().filter_map(|(j, v)| v.map(|d| (j, d))).collect::<BTreeMap<_, _>>(),
+                m.into_iter()
+                    .filter_map(|(j, v)| v.map(|d| (j, d)))
+                    .collect::<BTreeMap<_, _>>(),
             )
         })
         .collect();
@@ -608,7 +689,11 @@ pub fn prepare_trace(
         }
         let _ = idx;
     }
-    Ok(PreparedTrace { steps, reaching, forward })
+    Ok(PreparedTrace {
+        steps,
+        reaching,
+        forward,
+    })
 }
 
 /// Context for building concrete trees.
@@ -640,12 +725,24 @@ impl<'a> TreeBuilder<'a> {
         let mut tree = Tree {
             nodes: Vec::new(),
             root: 0,
-            output: Leaf::Mem { addr: def.dst.addr, width: def.dst.width, value: 0 },
+            output: Leaf::Mem {
+                addr: def.dst.addr,
+                width: def.dst.width,
+                value: 0,
+            },
             output_width: def.dst.width,
         };
         let mut recursive = false;
         let mut required: BTreeMap<u32, bool> = BTreeMap::new();
-        let root = self.expand(idx, def_idx, &mut tree, &out_name, &mut recursive, &mut required, 0);
+        let root = self.expand(
+            idx,
+            def_idx,
+            &mut tree,
+            &out_name,
+            &mut recursive,
+            &mut required,
+            0,
+        );
         tree.root = root;
         tree.canonicalize();
 
@@ -656,7 +753,11 @@ impl<'a> TreeBuilder<'a> {
                 predicates.push(p);
             }
         }
-        Some(GuardedTree { tree, predicates, recursive })
+        Some(GuardedTree {
+            tree,
+            predicates,
+            recursive,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -684,7 +785,9 @@ impl<'a> TreeBuilder<'a> {
         let indirect = self.prepared.forward.indirect_access.contains(&step.addr);
         let mut children = Vec::new();
         for (arg_i, arg) in def.args.iter().enumerate() {
-            let child = self.expand_arg(idx, def_idx, arg_i, arg, tree, out_buffer, recursive, required, depth, indirect);
+            let child = self.expand_arg(
+                idx, def_idx, arg_i, arg, tree, out_buffer, recursive, required, depth, indirect,
+            );
             children.push(child);
         }
         // Collapse pure moves with a single child to keep trees small, but
@@ -697,10 +800,22 @@ impl<'a> TreeBuilder<'a> {
             if src_width == def.dst.width {
                 return children[0];
             }
-            let op = if def.dst.width < src_width { TreeOp::Downcast } else { TreeOp::Move };
-            return tree.push(TreeNode::Op { op, children, width: def.dst.width });
+            let op = if def.dst.width < src_width {
+                TreeOp::Downcast
+            } else {
+                TreeOp::Move
+            };
+            return tree.push(TreeNode::Op {
+                op,
+                children,
+                width: def.dst.width,
+            });
         }
-        tree.push(TreeNode::Op { op: def.op, children, width: def.dst.width })
+        tree.push(TreeNode::Op {
+            op: def.op,
+            children,
+            width: def.dst.width,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -719,13 +834,19 @@ impl<'a> TreeBuilder<'a> {
     ) -> usize {
         match arg {
             MicroArg::Imm(v) => tree.push(TreeNode::Leaf(Leaf::Const(*v))),
-            MicroArg::Loc { loc, value, addr_regs, .. } => {
+            MicroArg::Loc {
+                loc,
+                value,
+                addr_regs,
+                ..
+            } => {
                 // Recursive reference to the output buffer?
                 if let Some(b) = self.buffer_of(loc.addr) {
                     if b.name == out_buffer && b.role == BufferRole::Output {
                         *recursive = true;
-                        let rec_leaf =
-                            tree.push(TreeNode::Leaf(Leaf::RecursiveRef { buffer: b.name.clone() }));
+                        let rec_leaf = tree.push(TreeNode::Leaf(Leaf::RecursiveRef {
+                            buffer: b.name.clone(),
+                        }));
                         // Indirectly addressed recursive outputs (histograms)
                         // keep the address-calculation expression so the
                         // reduction domain can be inferred from it (paper §4.9).
@@ -734,7 +855,13 @@ impl<'a> TreeBuilder<'a> {
                             for (reg_loc, _scale) in addr_regs {
                                 let child = match self.reaching_def_of_loc(idx, *reg_loc) {
                                     Some((di, dd)) => self.expand(
-                                        di, dd, tree, out_buffer, recursive, required, depth + 1,
+                                        di,
+                                        dd,
+                                        tree,
+                                        out_buffer,
+                                        recursive,
+                                        required,
+                                        depth + 1,
                                     ),
                                     None => tree.push(TreeNode::Leaf(Leaf::Mem {
                                         addr: reg_loc.addr,
@@ -769,7 +896,15 @@ impl<'a> TreeBuilder<'a> {
                     let mut index_children = Vec::new();
                     for (reg_loc, _scale) in addr_regs {
                         let child = match self.reaching_def_of_loc(idx, *reg_loc) {
-                            Some((di, dd)) => self.expand(di, dd, tree, out_buffer, recursive, required, depth + 1),
+                            Some((di, dd)) => self.expand(
+                                di,
+                                dd,
+                                tree,
+                                out_buffer,
+                                recursive,
+                                required,
+                                depth + 1,
+                            ),
                             None => tree.push(TreeNode::Leaf(Leaf::Mem {
                                 addr: reg_loc.addr,
                                 width: reg_loc.width,
@@ -808,7 +943,8 @@ impl<'a> TreeBuilder<'a> {
                             .iter()
                             .position(|d| d.dst.overlaps(loc))
                             .unwrap_or(0);
-                        let child = self.expand(di, dd, tree, out_buffer, recursive, required, depth + 1);
+                        let child =
+                            self.expand(di, dd, tree, out_buffer, recursive, required, depth + 1);
                         let def_width = self.prepared.steps[di].defs[dd].dst.width;
                         if loc.width < def_width {
                             tree.push(TreeNode::Op {
@@ -873,7 +1009,16 @@ impl<'a> TreeBuilder<'a> {
             let mut rec = false;
             let mut req = BTreeMap::new();
             let root = self.expand_arg(
-                flag_idx, 0, usize::MAX, arg, &mut tree, out_buffer, &mut rec, &mut req, 0, false,
+                flag_idx,
+                0,
+                usize::MAX,
+                arg,
+                &mut tree,
+                out_buffer,
+                &mut rec,
+                &mut req,
+                0,
+                false,
             );
             tree.root = root;
             tree.canonicalize();
@@ -889,16 +1034,18 @@ impl<'a> TreeBuilder<'a> {
     }
 
     fn build_flag_side(&self, flag_idx: usize, arg: &MicroArg, out_buffer: &str) -> Tree {
-        let mut tree =
-            Tree { nodes: Vec::new(), root: 0, output: Leaf::Const(0), output_width: 4 };
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            root: 0,
+            output: Leaf::Const(0),
+            output_width: 4,
+        };
         let mut rec = false;
         let mut req = BTreeMap::new();
         let root = match arg {
             MicroArg::Imm(v) => tree.push(TreeNode::Leaf(Leaf::Const(*v))),
             MicroArg::Loc { loc, value, .. } => match self.reaching_def_of_loc(flag_idx, *loc) {
-                Some((di, dd)) => {
-                    self.expand(di, dd, &mut tree, out_buffer, &mut rec, &mut req, 0)
-                }
+                Some((di, dd)) => self.expand(di, dd, &mut tree, out_buffer, &mut rec, &mut req, 0),
                 None => tree.push(TreeNode::Leaf(Leaf::Mem {
                     addr: loc.addr,
                     width: loc.width,
@@ -980,7 +1127,10 @@ mod tests {
     #[test]
     fn lowering_mov_and_alu() {
         let rec = record(
-            Instr::Mov { dst: Operand::Reg(regs::eax()), src: Operand::Imm(5) },
+            Instr::Mov {
+                dst: Operand::Reg(regs::eax()),
+                src: Operand::Imm(5),
+            },
             vec![],
         );
         let step = lower_step(&rec).unwrap();

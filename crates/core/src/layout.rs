@@ -100,7 +100,10 @@ pub struct KnownData {
 impl KnownData {
     /// Known 8-bit image data from its scanlines.
     pub fn from_rows(rows: Vec<Vec<u8>>) -> KnownData {
-        KnownData { rows, element_size: 1 }
+        KnownData {
+            rows,
+            element_size: 1,
+        }
     }
 }
 
@@ -262,7 +265,11 @@ pub fn infer_linear_span(regions: &[&Region], name: &str, role: BufferRole) -> B
     for r in regions {
         *votes.entry(r.element_width.max(1)).or_insert(0) += r.len() as u64;
     }
-    let elem = votes.iter().max_by_key(|(_, c)| **c).map(|(w, _)| *w).unwrap_or(1);
+    let elem = votes
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(w, _)| *w)
+        .unwrap_or(1);
     BufferLayout {
         name: name.to_string(),
         role,
@@ -333,7 +340,10 @@ mod tests {
         assert_eq!(layout.extents[0], 6);
         assert_eq!(layout.extents[1], 4);
         assert_eq!(layout.extents[2], 3);
-        assert_eq!(layout.index_of(0xB000 + 240 + 48 * 2 + 16), Some(vec![2, 2, 1]));
+        assert_eq!(
+            layout.index_of(0xB000 + 240 + 48 * 2 + 16),
+            Some(vec![2, 2, 1])
+        );
     }
 
     #[test]
@@ -351,7 +361,9 @@ mod tests {
         // Build a fake dump: rows of 8 bytes at stride 16 starting at 0x2010,
         // with the containing region starting at 0x2000.
         let mut page = vec![0u8; 4096];
-        let rows: Vec<Vec<u8>> = (0..4u8).map(|r| (0..8u8).map(|x| r * 10 + x + 1).collect()).collect();
+        let rows: Vec<Vec<u8>> = (0..4u8)
+            .map(|r| (0..8u8).map(|x| r * 10 + x + 1).collect())
+            .collect();
         for (r, row) in rows.iter().enumerate() {
             page[0x10 + r * 16..0x10 + r * 16 + 8].copy_from_slice(row);
         }

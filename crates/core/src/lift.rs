@@ -14,7 +14,9 @@ use crate::extract::{ExtractError, PreparedTrace, TreeBuilder};
 use crate::layout::{infer_from_known_data, infer_generic, BufferLayout, BufferRole, KnownData};
 use crate::localize::{localize, Localization, LocalizeError};
 use crate::regions::reconstruct_filtered;
-use crate::symbolic::{abstract_guarded, cluster_trees, solve_cluster, SymbolicCluster, SymbolicError};
+use crate::symbolic::{
+    abstract_guarded, cluster_trees, solve_cluster, SymbolicCluster, SymbolicError,
+};
 use crate::trees::GuardedTree;
 use helium_dbi::{InstrumentError, Instrumenter, MemTraceEntry};
 use helium_halide::{CodegenOptions, Pipeline};
@@ -135,8 +137,14 @@ impl LiftedStencil {
     pub fn halide_source(&self) -> String {
         let mut out = String::new();
         for (i, k) in self.kernels.iter().enumerate() {
-            let options = CodegenOptions { output_name: format!("halide_out_{i}"), emit_main: i == 0 };
-            out.push_str(&helium_halide::generate_halide_source(&k.pipeline, &options));
+            let options = CodegenOptions {
+                output_name: format!("halide_out_{i}"),
+                emit_main: i == 0,
+            };
+            out.push_str(&helium_halide::generate_halide_source(
+                &k.pipeline,
+                &options,
+            ));
             out.push('\n');
         }
         out
@@ -144,7 +152,10 @@ impl LiftedStencil {
 
     /// The executable pipelines, keyed by output buffer name.
     pub fn pipelines(&self) -> BTreeMap<String, &Pipeline> {
-        self.kernels.iter().map(|k| (k.output.clone(), &k.pipeline)).collect()
+        self.kernels
+            .iter()
+            .map(|k| (k.output.clone(), &k.pipeline))
+            .collect()
     }
 
     /// The primary (first) generated kernel.
@@ -152,7 +163,9 @@ impl LiftedStencil {
     /// # Panics
     /// Panics if no kernels were generated (construction guarantees at least one).
     pub fn primary(&self) -> &GeneratedKernel {
-        self.kernels.first().expect("lifting produces at least one kernel")
+        self.kernels
+            .first()
+            .expect("lifting produces at least one kernel")
     }
 
     /// Layout of the buffer with the given lifted name.
@@ -178,7 +191,11 @@ impl Default for Lifter {
 impl Lifter {
     /// Create a lifter with default settings.
     pub fn new() -> Lifter {
-        Lifter { instrumenter: Instrumenter::new(), seed: 0x48_45_4c_49, min_table_bytes: 128 }
+        Lifter {
+            instrumenter: Instrumenter::new(),
+            seed: 0x48_45_4c_49,
+            min_table_bytes: 128,
+        }
     }
 
     /// Use a specific random seed for the §4.10 tree sampling.
@@ -212,9 +229,10 @@ impl Lifter {
         let without = self.instrumenter.coverage(program, &mut make_cpu(false))?;
         let diff = with.difference(&without);
         // Run 3: profiling of the difference blocks.
-        let profile = self.instrumenter.profile(program, &mut make_cpu(true), &diff)?;
-        let localization =
-            localize(program, &with, &without, &profile, request.approx_data_size)?;
+        let profile = self
+            .instrumenter
+            .profile(program, &mut make_cpu(true), &diff)?;
+        let localization = localize(program, &with, &without, &profile, request.approx_data_size)?;
 
         // Run 4: instruction trace + memory dump of the filter function.
         let (trace, dump) = self.instrumenter.function_trace(
@@ -297,24 +315,23 @@ impl Lifter {
                 .collect();
             fragments.sort_by_key(|r| r.start);
             let mut group: Vec<&crate::regions::Region> = Vec::new();
-            let flush =
-                |group: &mut Vec<&crate::regions::Region>,
-                 buffers: &mut Vec<BufferLayout>,
-                 input_count: &mut usize| {
-                    if group.len() >= 2 {
-                        let start = group.first().expect("non-empty").start;
-                        let end = group.last().expect("non-empty").end;
-                        if big(end - start) {
-                            *input_count += 1;
-                            buffers.push(crate::layout::infer_linear_span(
-                                group,
-                                &format!("input_{input_count}"),
-                                BufferRole::Input,
-                            ));
-                        }
+            let flush = |group: &mut Vec<&crate::regions::Region>,
+                         buffers: &mut Vec<BufferLayout>,
+                         input_count: &mut usize| {
+                if group.len() >= 2 {
+                    let start = group.first().expect("non-empty").start;
+                    let end = group.last().expect("non-empty").end;
+                    if big(end - start) {
+                        *input_count += 1;
+                        buffers.push(crate::layout::infer_linear_span(
+                            group,
+                            &format!("input_{input_count}"),
+                            BufferRole::Input,
+                        ));
                     }
-                    group.clear();
-                };
+                }
+                group.clear();
+            };
             for region in &fragments {
                 match group.last() {
                     Some(prev) if region.start.saturating_sub(prev.end) <= SPAN_GAP => {
@@ -338,8 +355,8 @@ impl Lifter {
             const TABLE_GAP: u32 = 64;
             let mut table_group: Vec<&crate::regions::Region> = Vec::new();
             let flush_table = |group: &mut Vec<&crate::regions::Region>,
-                                   buffers: &mut Vec<BufferLayout>,
-                                   table_count: &mut usize| {
+                               buffers: &mut Vec<BufferLayout>,
+                               table_count: &mut usize| {
                 if group.len() >= 2 {
                     let start = group.first().expect("non-empty").start;
                     let end = group.last().expect("non-empty").end;
@@ -462,6 +479,12 @@ impl Lifter {
             tree_sizes,
         };
 
-        Ok(LiftedStencil { kernels, clusters: symbolic, buffers, stats, localization })
+        Ok(LiftedStencil {
+            kernels,
+            clusters: symbolic,
+            buffers,
+            stats,
+            localization,
+        })
     }
 }

@@ -9,6 +9,9 @@
 //! provided equation and snapped to integers when they are numerically
 //! integral, which index functions of real stencils always are.
 
+// Row/column index loops mirror the textbook elimination pseudocode.
+#![allow(clippy::needless_range_loop)]
+
 /// Outcome of solving an affine-fit system.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AffineFit {
@@ -184,24 +187,24 @@ mod tests {
         let rhs = vec![1, 2, 3, 6, 8];
         assert_eq!(
             fit_affine(&rows, &rhs),
-            AffineFit::Affine { coefficients: vec![1, 0], constant: 1 }
+            AffineFit::Affine {
+                coefficients: vec![1, 0],
+                constant: 1
+            }
         );
     }
 
     #[test]
     fn recovers_multi_dimensional_affine() {
         // leaf = 3*x + 2*y - 4
-        let rows = vec![
-            vec![0, 0],
-            vec![1, 0],
-            vec![0, 1],
-            vec![2, 3],
-            vec![5, 1],
-        ];
+        let rows = vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![2, 3], vec![5, 1]];
         let rhs: Vec<i64> = rows.iter().map(|r| 3 * r[0] + 2 * r[1] - 4).collect();
         assert_eq!(
             fit_affine(&rows, &rhs),
-            AffineFit::Affine { coefficients: vec![3, 2], constant: -4 }
+            AffineFit::Affine {
+                coefficients: vec![3, 2],
+                constant: -4
+            }
         );
     }
 

@@ -69,10 +69,16 @@ impl std::fmt::Display for LocalizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LocalizeError::EmptyDifference => {
-                write!(f, "coverage difference is empty; the kernel did not execute")
+                write!(
+                    f,
+                    "coverage difference is empty; the kernel did not execute"
+                )
             }
             LocalizeError::NoCandidates => {
-                write!(f, "no instructions touch regions comparable to the data size")
+                write!(
+                    f,
+                    "no instructions touch regions comparable to the data size"
+                )
             }
         }
     }
@@ -177,23 +183,33 @@ pub fn localize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use helium_dbi::Instrumenter;
     use helium_apps::photoflow::{PhotoFilter, PhotoFlow};
     use helium_apps::PlanarImage;
+    use helium_dbi::Instrumenter;
 
     #[test]
     fn localizes_the_blur_filter_function() {
         let image = PlanarImage::random(24, 13, 1, 16, 5);
         let app = PhotoFlow::new(PhotoFilter::Blur, image);
         let instr = Instrumenter::new();
-        let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
-        let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+        let with = instr
+            .coverage(app.program(), &mut app.fresh_cpu(true))
+            .unwrap();
+        let without = instr
+            .coverage(app.program(), &mut app.fresh_cpu(false))
+            .unwrap();
         let diff = with.difference(&without);
         let profile = instr
             .profile(app.program(), &mut app.fresh_cpu(true), &diff)
             .unwrap();
-        let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size())
-            .expect("localization succeeds");
+        let loc = localize(
+            app.program(),
+            &with,
+            &without,
+            &profile,
+            app.approx_data_size(),
+        )
+        .expect("localization succeeds");
         assert_eq!(
             loc.filter_function,
             app.filter_entry_for_reference(),
@@ -209,13 +225,23 @@ mod tests {
         let image = PlanarImage::random(16, 8, 1, 16, 5);
         let app = PhotoFlow::new(PhotoFilter::Invert, image);
         let instr = Instrumenter::new();
-        let with = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
-        let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+        let with = instr
+            .coverage(app.program(), &mut app.fresh_cpu(false))
+            .unwrap();
+        let without = instr
+            .coverage(app.program(), &mut app.fresh_cpu(false))
+            .unwrap();
         let profile = instr
             .profile(app.program(), &mut app.fresh_cpu(false), &BTreeSet::new())
             .unwrap();
-        let err = localize(app.program(), &with, &without, &profile, app.approx_data_size())
-            .unwrap_err();
+        let err = localize(
+            app.program(),
+            &with,
+            &without,
+            &profile,
+            app.approx_data_size(),
+        )
+        .unwrap_err();
         assert_eq!(err, LocalizeError::EmptyDifference);
     }
 }

@@ -110,7 +110,13 @@ pub fn reconstruct_filtered(
                 }
                 (Some(_), Some(pv)) if a == pv + 1 => prev = Some(a),
                 (Some(s), Some(pv)) => {
-                    ranges.push((Range { start: s, end: pv + 1 }, *instr));
+                    ranges.push((
+                        Range {
+                            start: s,
+                            end: pv + 1,
+                        },
+                        *instr,
+                    ));
                     start = Some(a);
                     prev = Some(a);
                 }
@@ -118,7 +124,13 @@ pub fn reconstruct_filtered(
             }
         }
         if let (Some(s), Some(pv)) = (start, prev) {
-            ranges.push((Range { start: s, end: pv + 1 }, *instr));
+            ranges.push((
+                Range {
+                    start: s,
+                    end: pv + 1,
+                },
+                *instr,
+            ));
         }
     }
 
@@ -150,7 +162,12 @@ pub fn reconstruct_filtered(
     }
     let mut groups: Vec<Grouped> = merged
         .into_iter()
-        .map(|(r, instrs)| Grouped { start: r.start, end: r.end, instrs, strides: Vec::new() })
+        .map(|(r, instrs)| Grouped {
+            start: r.start,
+            end: r.end,
+            instrs,
+            strides: Vec::new(),
+        })
         .collect();
     loop {
         groups.sort_by_key(|g| g.start);
@@ -251,13 +268,19 @@ mod tests {
     use super::*;
 
     fn entry(instr: u32, addr: u32, width: Width, is_write: bool) -> MemTraceEntry {
-        MemTraceEntry { instr_addr: instr, addr, width, is_write }
+        MemTraceEntry {
+            instr_addr: instr,
+            addr,
+            width,
+            is_write,
+        }
     }
 
     #[test]
     fn coalesces_contiguous_accesses() {
-        let trace: Vec<MemTraceEntry> =
-            (0..16).map(|i| entry(0x100, 0x9000 + i, Width::B1, false)).collect();
+        let trace: Vec<MemTraceEntry> = (0..16)
+            .map(|i| entry(0x100, 0x9000 + i, Width::B1, false))
+            .collect();
         let regions = reconstruct(&trace);
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].start, 0x9000);
@@ -343,8 +366,9 @@ mod tests {
 
     #[test]
     fn filtered_reconstruction_ignores_entries() {
-        let trace: Vec<MemTraceEntry> =
-            (0..8).map(|i| entry(0x100 + (i % 2) * 4, 0x9000 + i, Width::B1, false)).collect();
+        let trace: Vec<MemTraceEntry> = (0..8)
+            .map(|i| entry(0x100 + (i % 2) * 4, 0x9000 + i, Width::B1, false))
+            .collect();
         let regions = reconstruct_filtered(&trace, |e| e.instr_addr == 0x100);
         // Only every other byte survives the filter; the four single-byte
         // ranges are then linked into one strided region.

@@ -29,7 +29,9 @@ impl std::fmt::Display for SymbolicError {
             SymbolicError::NotAffine { buffer } => {
                 write!(f, "index function for `{buffer}` is not affine")
             }
-            SymbolicError::RankDeficient => write!(f, "not enough distinct trees to solve the index functions"),
+            SymbolicError::RankDeficient => {
+                write!(f, "not enough distinct trees to solve the index functions")
+            }
             SymbolicError::Empty => write!(f, "no computational trees to abstract"),
         }
     }
@@ -76,7 +78,10 @@ fn abstract_leaf(leaf: &Leaf, buffers: &[BufferLayout]) -> Leaf {
                 let a = *addr as u32;
                 if let Some(b) = buffers.iter().find(|b| b.contains(a)) {
                     if let Some(indices) = b.index_of(a) {
-                        return Leaf::BufferRef { buffer: b.name.clone(), indices };
+                        return Leaf::BufferRef {
+                            buffer: b.name.clone(),
+                            indices,
+                        };
                     }
                 }
             }
@@ -115,7 +120,9 @@ pub fn cluster_trees(trees: Vec<GuardedTree>) -> Vec<Cluster> {
     for t in trees {
         map.entry(t.cluster_key()).or_default().push(t);
     }
-    map.into_iter().map(|(key, trees)| Cluster { key, trees }).collect()
+    map.into_iter()
+        .map(|(key, trees)| Cluster { key, trees })
+        .collect()
 }
 
 /// A symbolic cluster: one computational tree whose leaves carry affine index
@@ -256,9 +263,11 @@ fn symbolize_tree(
         .nodes
         .iter()
         .filter_map(|n| match n {
-            TreeNode::Op { op: crate::trees::TreeOp::IndirectLoad, children, .. } => {
-                children.first().copied()
-            }
+            TreeNode::Op {
+                op: crate::trees::TreeOp::IndirectLoad,
+                children,
+                ..
+            } => children.first().copied(),
             _ => None,
         })
         .collect();
@@ -268,7 +277,10 @@ fn symbolize_tree(
             if let TreeNode::Leaf(Leaf::BufferRef { buffer, indices }) = &template.nodes[node_id] {
                 out.nodes[node_id] = TreeNode::Leaf(Leaf::SymbolicRef {
                     buffer: buffer.clone(),
-                    index_exprs: indices.iter().map(|_| AffineIndex::constant(0, dims)).collect(),
+                    index_exprs: indices
+                        .iter()
+                        .map(|_| AffineIndex::constant(0, dims))
+                        .collect(),
                 });
             }
             continue;
@@ -293,9 +305,13 @@ fn symbolize_tree(
                         .collect();
                     match fit_affine(access_vectors, &rhs) {
                         AffineFit::Constant(c) => index_exprs.push(AffineIndex::constant(c, dims)),
-                        AffineFit::Affine { coefficients, constant } => {
-                            index_exprs.push(AffineIndex { coefficients, constant })
-                        }
+                        AffineFit::Affine {
+                            coefficients,
+                            constant,
+                        } => index_exprs.push(AffineIndex {
+                            coefficients,
+                            constant,
+                        }),
                         AffineFit::RankDeficient => {
                             // Fall back to the observed constant when every
                             // instance agrees; otherwise report the error.
@@ -308,24 +324,28 @@ fn symbolize_tree(
                         AffineFit::NotAffine => {
                             return Err(SymbolicError::NotAffine {
                                 buffer: format!(
-                                    "{buffer} dim {d}: outputs {access_vectors:?} -> indices {rhs:?}"
-                                ),
+                                "{buffer} dim {d}: outputs {access_vectors:?} -> indices {rhs:?}"
+                            ),
                             })
                         }
                     }
                 }
-                out.nodes[node_id] =
-                    TreeNode::Leaf(Leaf::SymbolicRef { buffer: buffer.clone(), index_exprs });
+                out.nodes[node_id] = TreeNode::Leaf(Leaf::SymbolicRef {
+                    buffer: buffer.clone(),
+                    index_exprs,
+                });
             }
             Leaf::Const(c) => {
                 // Verify the constant is stable across the cluster; the paper
                 // also allows affine constants but stable constants cover all
                 // our kernels.
-                let all_same = instance_leaves.iter().all(|leaves| {
-                    matches!(leaves.get(pos), Some(Leaf::Const(v)) if *v == c)
-                });
+                let all_same = instance_leaves
+                    .iter()
+                    .all(|leaves| matches!(leaves.get(pos), Some(Leaf::Const(v)) if *v == c));
                 if !all_same {
-                    return Err(SymbolicError::NotAffine { buffer: "<constant>".to_string() });
+                    return Err(SymbolicError::NotAffine {
+                        buffer: "<constant>".to_string(),
+                    });
                 }
             }
             _ => {}
@@ -335,7 +355,9 @@ fn symbolize_tree(
     if let Leaf::BufferRef { buffer, .. } = &template.output {
         out.output = Leaf::SymbolicRef {
             buffer: buffer.clone(),
-            index_exprs: (0..dims).map(|d| AffineIndex::identity(d, dims, 0)).collect(),
+            index_exprs: (0..dims)
+                .map(|d| AffineIndex::identity(d, dims, 0))
+                .collect(),
         };
     }
     Ok(out)
@@ -402,14 +424,34 @@ mod tests {
         let mut t = Tree {
             nodes: Vec::new(),
             root: 0,
-            output: Leaf::Mem { addr: out_addr, width: 1, value: 0 },
+            output: Leaf::Mem {
+                addr: out_addr,
+                width: 1,
+                value: 0,
+            },
             output_width: 1,
         };
-        let a = t.push(TreeNode::Leaf(Leaf::Mem { addr: in_addr(1), width: 1, value: 0 }));
-        let b = t.push(TreeNode::Leaf(Leaf::Mem { addr: in_addr(0), width: 1, value: 0 }));
-        let root = t.push(TreeNode::Op { op: TreeOp::Add, children: vec![a, b], width: 4 });
+        let a = t.push(TreeNode::Leaf(Leaf::Mem {
+            addr: in_addr(1),
+            width: 1,
+            value: 0,
+        }));
+        let b = t.push(TreeNode::Leaf(Leaf::Mem {
+            addr: in_addr(0),
+            width: 1,
+            value: 0,
+        }));
+        let root = t.push(TreeNode::Op {
+            op: TreeOp::Add,
+            children: vec![a, b],
+            width: 4,
+        });
         t.root = root;
-        GuardedTree { tree: t, predicates: vec![], recursive: false }
+        GuardedTree {
+            tree: t,
+            predicates: vec![],
+            recursive: false,
+        }
     }
 
     #[test]
@@ -424,15 +466,24 @@ mod tests {
             other => panic!("unexpected output leaf {other:?}"),
         }
         let leaves = a.tree.leaves_in_order();
-        assert!(matches!(leaves[0], Leaf::BufferRef { buffer, indices } if buffer == "input_1" && indices == &vec![4, 2]));
+        assert!(
+            matches!(leaves[0], Leaf::BufferRef { buffer, indices } if buffer == "input_1" && indices == &vec![4, 2])
+        );
     }
 
     #[test]
     fn parameters_for_unmapped_addresses() {
         let mut g = concrete_tree(1, 1);
-        g.tree.nodes[0] = TreeNode::Leaf(Leaf::Mem { addr: 0xdead_0000, width: 4, value: 7 });
+        g.tree.nodes[0] = TreeNode::Leaf(Leaf::Mem {
+            addr: 0xdead_0000,
+            width: 4,
+            value: 7,
+        });
         let a = abstract_guarded(&g, &layouts());
-        assert!(matches!(a.tree.leaves_in_order()[0], Leaf::Param { value: 7, .. }));
+        assert!(matches!(
+            a.tree.leaves_in_order()[0],
+            Leaf::Param { value: 7, .. }
+        ));
     }
 
     #[test]
@@ -449,8 +500,14 @@ mod tests {
         assert_eq!(sym.support, 20);
         assert!(!sym.recursive);
         let rendered = sym.tree.render();
-        assert!(rendered.contains("input_1(x_0+1,x_1)"), "rendered: {rendered}");
-        assert!(rendered.contains("input_1(x_0,x_1)"), "rendered: {rendered}");
+        assert!(
+            rendered.contains("input_1(x_0+1,x_1)"),
+            "rendered: {rendered}"
+        );
+        assert!(
+            rendered.contains("input_1(x_0,x_1)"),
+            "rendered: {rendered}"
+        );
     }
 
     #[test]
@@ -459,8 +516,9 @@ mod tests {
         // Only one distinct output coordinate: the system cannot be solved,
         // unless every leaf index is constant (here they are, so it succeeds
         // with constant indices).
-        let trees: Vec<GuardedTree> =
-            (0..3).map(|_| abstract_guarded(&concrete_tree(2, 2), &buffers)).collect();
+        let trees: Vec<GuardedTree> = (0..3)
+            .map(|_| abstract_guarded(&concrete_tree(2, 2), &buffers))
+            .collect();
         let clusters = cluster_trees(trees);
         let mut rng = StdRng::seed_from_u64(1);
         let sym = solve_cluster(&clusters[0], &buffers, &mut rng).expect("constant fit");

@@ -65,7 +65,13 @@ impl TreeOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            TreeOp::Add | TreeOp::Mul | TreeOp::And | TreeOp::Or | TreeOp::Xor | TreeOp::FAdd | TreeOp::FMul
+            TreeOp::Add
+                | TreeOp::Mul
+                | TreeOp::And
+                | TreeOp::Or
+                | TreeOp::Xor
+                | TreeOp::FAdd
+                | TreeOp::FMul
         )
     }
 
@@ -148,14 +154,20 @@ pub struct AffineIndex {
 impl AffineIndex {
     /// A constant index.
     pub fn constant(v: i64, dims: usize) -> AffineIndex {
-        AffineIndex { coefficients: vec![0; dims], constant: v }
+        AffineIndex {
+            coefficients: vec![0; dims],
+            constant: v,
+        }
     }
 
     /// The identity index for dimension `d` offset by `c`.
     pub fn identity(d: usize, dims: usize, c: i64) -> AffineIndex {
         let mut coefficients = vec![0; dims];
         coefficients[d] = 1;
-        AffineIndex { coefficients, constant: c }
+        AffineIndex {
+            coefficients,
+            constant: c,
+        }
     }
 }
 
@@ -219,7 +231,12 @@ pub struct Tree {
 impl Tree {
     /// Create a tree with a single leaf as root (used in tests).
     pub fn leaf_only(leaf: Leaf, output: Leaf) -> Tree {
-        Tree { nodes: vec![TreeNode::Leaf(leaf)], root: 0, output, output_width: 1 }
+        Tree {
+            nodes: vec![TreeNode::Leaf(leaf)],
+            root: 0,
+            output,
+            output_width: 1,
+        }
     }
 
     /// Add a node and return its id.
@@ -329,7 +346,10 @@ impl Tree {
                 Leaf::BufferRef { buffer, indices } => {
                     out.push_str(&format!("{buffer}{indices:?}"))
                 }
-                Leaf::SymbolicRef { buffer, index_exprs } => {
+                Leaf::SymbolicRef {
+                    buffer,
+                    index_exprs,
+                } => {
                     let idx: Vec<String> = index_exprs.iter().map(|e| e.to_string()).collect();
                     out.push_str(&format!("{buffer}({})", idx.join(",")));
                 }
@@ -437,7 +457,11 @@ mod tests {
     use super::*;
 
     fn mem_leaf(addr: u64) -> Leaf {
-        Leaf::Mem { addr, width: 1, value: 0 }
+        Leaf::Mem {
+            addr,
+            width: 1,
+            value: 0,
+        }
     }
 
     fn small_tree(addr_a: u64, addr_b: u64, swap: bool) -> Tree {
@@ -452,11 +476,23 @@ mod tests {
         let b = t.push(TreeNode::Leaf(Leaf::Const(7)));
         let c = t.push(TreeNode::Leaf(mem_leaf(addr_b)));
         let inner = if swap {
-            t.push(TreeNode::Op { op: TreeOp::Add, children: vec![c, b], width: 4 })
+            t.push(TreeNode::Op {
+                op: TreeOp::Add,
+                children: vec![c, b],
+                width: 4,
+            })
         } else {
-            t.push(TreeNode::Op { op: TreeOp::Add, children: vec![b, c], width: 4 })
+            t.push(TreeNode::Op {
+                op: TreeOp::Add,
+                children: vec![b, c],
+                width: 4,
+            })
         };
-        let root = t.push(TreeNode::Op { op: TreeOp::Add, children: vec![a, inner], width: 4 });
+        let root = t.push(TreeNode::Op {
+            op: TreeOp::Add,
+            children: vec![a, inner],
+            width: 4,
+        });
         t.root = root;
         t
     }
@@ -496,13 +532,19 @@ mod tests {
 
     #[test]
     fn affine_index_display() {
-        let a = AffineIndex { coefficients: vec![1, 0], constant: 2 };
+        let a = AffineIndex {
+            coefficients: vec![1, 0],
+            constant: 2,
+        };
         assert_eq!(a.to_string(), "x_0+2");
         let b = AffineIndex::constant(5, 2);
         assert_eq!(b.to_string(), "5");
         let c = AffineIndex::identity(1, 2, 0);
         assert_eq!(c.to_string(), "x_1");
-        let d = AffineIndex { coefficients: vec![3, 1], constant: -4 };
+        let d = AffineIndex {
+            coefficients: vec![3, 1],
+            constant: -4,
+        };
         assert_eq!(d.to_string(), "3*x_0+x_1-4");
     }
 
@@ -516,11 +558,25 @@ mod tests {
     #[test]
     fn cluster_keys_distinguish_output_buffers() {
         let mut t1 = small_tree(0x100, 0x200, false);
-        t1.output = Leaf::BufferRef { buffer: "output_1".into(), indices: vec![0, 0] };
+        t1.output = Leaf::BufferRef {
+            buffer: "output_1".into(),
+            indices: vec![0, 0],
+        };
         let mut t2 = small_tree(0x100, 0x200, false);
-        t2.output = Leaf::BufferRef { buffer: "output_2".into(), indices: vec![0, 0] };
-        let g1 = GuardedTree { tree: t1, predicates: vec![], recursive: false };
-        let g2 = GuardedTree { tree: t2, predicates: vec![], recursive: false };
+        t2.output = Leaf::BufferRef {
+            buffer: "output_2".into(),
+            indices: vec![0, 0],
+        };
+        let g1 = GuardedTree {
+            tree: t1,
+            predicates: vec![],
+            recursive: false,
+        };
+        let g2 = GuardedTree {
+            tree: t2,
+            predicates: vec![],
+            recursive: false,
+        };
         assert_ne!(g1.cluster_key(), g2.cluster_key());
     }
 }

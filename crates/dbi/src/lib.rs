@@ -85,7 +85,9 @@ impl Instrumenter {
 
     /// Create an instrumenter with the default step budget.
     pub fn new() -> Instrumenter {
-        Instrumenter { max_steps: Self::DEFAULT_MAX_STEPS }
+        Instrumenter {
+            max_steps: Self::DEFAULT_MAX_STEPS,
+        }
     }
 
     /// Set the per-run step budget.
@@ -135,7 +137,13 @@ impl Instrumenter {
         function_entry: u32,
         candidate_instrs: &BTreeSet<u32>,
     ) -> Result<(InstructionTrace, MemoryDump), InstrumentError> {
-        capture_function_trace(program, cpu, function_entry, candidate_instrs, self.max_steps)
+        capture_function_trace(
+            program,
+            cpu,
+            function_entry,
+            candidate_instrs,
+            self.max_steps,
+        )
     }
 }
 

@@ -47,7 +47,10 @@ pub struct ProfileReport {
 impl ProfileReport {
     /// The most frequently executed instrumented basic block.
     pub fn hottest_block(&self) -> Option<(u32, u64)> {
-        self.block_counts.iter().map(|(a, c)| (*a, *c)).max_by_key(|(_, c)| *c)
+        self.block_counts
+            .iter()
+            .map(|(a, c)| (*a, *c))
+            .max_by_key(|(_, c)| *c)
     }
 }
 
@@ -79,7 +82,11 @@ pub fn collect_profile(
                 *report.block_counts.entry(rec.addr).or_insert(0) += 1;
                 if let Some(prev) = prev_instrumented_block {
                     if prev != rec.addr {
-                        report.predecessors.entry(rec.addr).or_default().insert(prev);
+                        report
+                            .predecessors
+                            .entry(rec.addr)
+                            .or_default()
+                            .insert(prev);
                     }
                 }
                 report
@@ -88,7 +95,9 @@ pub fn collect_profile(
                     .or_insert_with(|| *call_stack.last().expect("call stack never empty"));
             }
         }
-        let in_scope = current_block.map(|b| instrument_blocks.contains(&b)).unwrap_or(false);
+        let in_scope = current_block
+            .map(|b| instrument_blocks.contains(&b))
+            .unwrap_or(false);
         if in_scope {
             prev_instrumented_block = current_block;
             *report.instr_counts.entry(rec.addr).or_insert(0) += 1;
@@ -107,7 +116,11 @@ pub fn collect_profile(
         }
         if let Some(target) = rec.call_target {
             if in_scope {
-                report.call_targets.entry(rec.addr).or_default().insert(target);
+                report
+                    .call_targets
+                    .entry(rec.addr)
+                    .or_default()
+                    .insert(target);
             }
             call_stack.push(target);
         }
@@ -150,7 +163,13 @@ mod tests {
         asm.label("kernel");
         asm.mov(regs::ebx(), Operand::Imm(0x9000));
         asm.mov(
-            Operand::Mem(MemRef::sib(helium_machine::Reg::Ebx, helium_machine::Reg::Esi, 1, 0, Width::B1)),
+            Operand::Mem(MemRef::sib(
+                helium_machine::Reg::Ebx,
+                helium_machine::Reg::Esi,
+                1,
+                0,
+                Width::B1,
+            )),
             Operand::Imm(7),
         );
         asm.ret();
@@ -179,7 +198,10 @@ mod tests {
         assert_eq!(writes[0].addr, 0x9000);
         assert_eq!(writes[3].addr, 0x9003);
         // The kernel block is attributed to the kernel function entry.
-        assert_eq!(report.block_function.get(&kernel_entry), Some(&kernel_entry));
+        assert_eq!(
+            report.block_function.get(&kernel_entry),
+            Some(&kernel_entry)
+        );
         assert!(report.hottest_block().is_some());
     }
 

@@ -182,7 +182,9 @@ pub fn capture_function_trace(
                     // The filter function returned: close the invocation and
                     // dump written pages with their final contents.
                     depth = None;
-                    trace.invocations.push((invocation_start, trace.records.len()));
+                    trace
+                        .invocations
+                        .push((invocation_start, trace.records.len()));
                     for base in &written_pages {
                         let (b, data) = cpu_ref.mem.dump_page(*base);
                         dump.written_pages.insert(b, data);
@@ -194,7 +196,9 @@ pub fn capture_function_trace(
     })?;
     // If the program halted while still inside the function, close the trace.
     if depth.is_some() {
-        trace.invocations.push((invocation_start, trace.records.len()));
+        trace
+            .invocations
+            .push((invocation_start, trace.records.len()));
         for base in &written_pages {
             let (b, data) = cpu.mem.dump_page(*base);
             dump.written_pages.insert(b, data);
@@ -219,7 +223,10 @@ mod tests {
         asm.label("copy");
         asm.mov(regs::esi(), Operand::Imm(0));
         asm.label("loop");
-        asm.movzx(regs::eax(), Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, 0x9000, Width::B1)));
+        asm.movzx(
+            regs::eax(),
+            Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, 0x9000, Width::B1)),
+        );
         asm.mov(
             Operand::Mem(MemRef::sib(Reg::Esi, Reg::Esi, 0, 0xA000, Width::B1)),
             regs::al(),

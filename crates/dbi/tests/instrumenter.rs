@@ -24,7 +24,10 @@ fn toy_app(n: u32) -> (Program, u32) {
     asm.mov(regs::eax(), Operand::Imm(0));
     asm.add(regs::eax(), Operand::Imm(123));
     // if (flag) call filter;
-    asm.mov(regs::ecx(), Operand::Mem(MemRef::absolute(FLAG_ADDR, Width::B4)));
+    asm.mov(
+        regs::ecx(),
+        Operand::Mem(MemRef::absolute(FLAG_ADDR, Width::B4)),
+    );
     asm.test(regs::ecx(), regs::ecx());
     asm.jcc(Cond::Z, "skip");
     asm.call("filter");
@@ -37,10 +40,16 @@ fn toy_app(n: u32) -> (Program, u32) {
     asm.mov(regs::edi(), Operand::Imm(OUT_BASE as i64));
     asm.mov(regs::ecx(), Operand::Imm(n as i64));
     asm.label("loop");
-    asm.movzx(regs::eax(), Operand::Mem(MemRef::base_only(Reg::Esi, Width::B1)));
+    asm.movzx(
+        regs::eax(),
+        Operand::Mem(MemRef::base_only(Reg::Esi, Width::B1)),
+    );
     asm.mov(regs::ebx(), Operand::Imm(255));
     asm.sub(regs::ebx(), regs::eax());
-    asm.mov(Operand::Mem(MemRef::base_only(Reg::Edi, Width::B1)), regs::bl());
+    asm.mov(
+        Operand::Mem(MemRef::base_only(Reg::Edi, Width::B1)),
+        regs::bl(),
+    );
     asm.inc(regs::esi());
     asm.inc(regs::edi());
     asm.dec(regs::ecx());
@@ -72,7 +81,10 @@ fn coverage_difference_isolates_the_filter_blocks() {
 
     // The filter entry block only executes in the run with the filter.
     let diff = with.difference(&without);
-    assert!(diff.contains(&filter_entry), "difference must contain the filter entry");
+    assert!(
+        diff.contains(&filter_entry),
+        "difference must contain the filter entry"
+    );
     // Background-only blocks never appear in the difference.
     assert!(!diff.contains(&0x40_0000));
     // Difference with itself is empty.
@@ -91,7 +103,9 @@ fn profile_counts_loop_iterations_and_cfg_edges() {
     let without = instr.coverage(&program, &mut fresh_cpu(false, n)).unwrap();
     let diff = with.difference(&without);
 
-    let profile = instr.profile(&program, &mut fresh_cpu(true, n), &diff).unwrap();
+    let profile = instr
+        .profile(&program, &mut fresh_cpu(true, n), &diff)
+        .unwrap();
 
     // The loop body block executes once per byte.
     let (hottest, count) = profile.hottest_block().expect("profile has blocks");
@@ -102,18 +116,27 @@ fn profile_counts_loop_iterations_and_cfg_edges() {
     // from (the filter prologue at the function entry); self edges are not
     // recorded.
     assert!(
-        profile.predecessors.get(&hottest).is_some_and(|p| p.contains(&filter_entry)),
+        profile
+            .predecessors
+            .get(&hottest)
+            .is_some_and(|p| p.contains(&filter_entry)),
         "the loop block must record the filter prologue as a predecessor: {:?}",
         profile.predecessors.get(&hottest)
     );
     assert!(
-        profile.predecessors.get(&hottest).is_none_or(|p| !p.contains(&hottest)),
+        profile
+            .predecessors
+            .get(&hottest)
+            .is_none_or(|p| !p.contains(&hottest)),
         "self edges are not recorded"
     );
 
     // The call site targeting the filter entry was observed.
     assert!(
-        profile.call_targets.values().any(|t| t.contains(&filter_entry)),
+        profile
+            .call_targets
+            .values()
+            .any(|t| t.contains(&filter_entry)),
         "dynamic call target must include the filter entry"
     );
 
@@ -128,9 +151,18 @@ fn profile_counts_loop_iterations_and_cfg_edges() {
     // The memory trace only contains accesses made by instructions inside the
     // instrumented (difference) blocks: the filter's input and output ranges
     // plus its stack traffic, but never the flag probe from background code.
-    assert!(profile.memory_trace.iter().all(|e| e.addr != FLAG_ADDR as u32));
-    assert!(profile.memory_trace.iter().any(|e| e.addr >= DATA_BASE && e.addr < DATA_BASE + n));
-    assert!(profile.memory_trace.iter().any(|e| e.addr >= OUT_BASE && e.addr < OUT_BASE + n));
+    assert!(profile
+        .memory_trace
+        .iter()
+        .all(|e| e.addr != FLAG_ADDR as u32));
+    assert!(profile
+        .memory_trace
+        .iter()
+        .any(|e| e.addr >= DATA_BASE && e.addr < DATA_BASE + n));
+    assert!(profile
+        .memory_trace
+        .iter()
+        .any(|e| e.addr >= OUT_BASE && e.addr < OUT_BASE + n));
 }
 
 #[test]
@@ -147,11 +179,19 @@ fn function_trace_captures_only_the_filter_and_dumps_its_pages() {
         .unwrap();
 
     assert!(!trace.is_empty());
-    assert_eq!(trace.invocations.len(), 1, "the filter is called exactly once");
+    assert_eq!(
+        trace.invocations.len(),
+        1,
+        "the filter is called exactly once"
+    );
     // Every traced instruction lies inside the filter function body (which
     // sits after the entry label in this toy program).
     for rec in &trace.records {
-        assert!(rec.addr >= filter_entry, "instruction {:#x} outside the filter", rec.addr);
+        assert!(
+            rec.addr >= filter_entry,
+            "instruction {:#x} outside the filter",
+            rec.addr
+        );
     }
     // The loop body contributes n iterations; the trace must therefore be at
     // least n instructions long.
@@ -160,8 +200,12 @@ fn function_trace_captures_only_the_filter_and_dumps_its_pages() {
 
     // The dump contains the input page (read) and the output page (written),
     // and its size is a whole number of pages.
-    assert!(dump.read_pages.contains_key(&(DATA_BASE & !(PAGE_SIZE - 1))));
-    assert!(dump.written_pages.contains_key(&(OUT_BASE & !(PAGE_SIZE - 1))));
+    assert!(dump
+        .read_pages
+        .contains_key(&(DATA_BASE & !(PAGE_SIZE - 1))));
+    assert!(dump
+        .written_pages
+        .contains_key(&(OUT_BASE & !(PAGE_SIZE - 1))));
     assert_eq!(dump.size_bytes() % PAGE_SIZE as usize, 0);
 
     // The written page holds the filter's actual output (captured at exit).
@@ -181,8 +225,14 @@ fn memory_dump_finds_known_data_across_page_boundaries() {
     asm.mov(regs::esi(), Operand::Imm(base as i64));
     asm.mov(regs::ecx(), Operand::Imm(n as i64));
     asm.label("loop");
-    asm.movzx(regs::eax(), Operand::Mem(MemRef::base_only(Reg::Esi, Width::B1)));
-    asm.mov(Operand::Mem(MemRef::base_disp(Reg::Esi, 0x1_0000, Width::B1)), regs::al());
+    asm.movzx(
+        regs::eax(),
+        Operand::Mem(MemRef::base_only(Reg::Esi, Width::B1)),
+    );
+    asm.mov(
+        Operand::Mem(MemRef::base_disp(Reg::Esi, 0x1_0000, Width::B1)),
+        regs::al(),
+    );
     asm.inc(regs::esi());
     asm.dec(regs::ecx());
     asm.jcc(Cond::Nz, "loop");
@@ -221,11 +271,16 @@ fn memory_dump_finds_known_data_across_page_boundaries() {
 
     let candidates: BTreeSet<u32> = program2.instrs().map(|(a, _)| a).collect();
     let instr = Instrumenter::new();
-    let (_, dump) = instr.function_trace(&program2, &mut cpu, entry, &candidates).unwrap();
+    let (_, dump) = instr
+        .function_trace(&program2, &mut cpu, entry, &candidates)
+        .unwrap();
 
     assert_eq!(dump.find_in_read_pages(&needle), Some(base));
     assert_eq!(dump.find_in_written_pages(&needle), Some(base + 0x1_0000));
-    assert_eq!(dump.find_in_read_pages(&[0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89]), None);
+    assert_eq!(
+        dump.find_in_read_pages(&[0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89]),
+        None
+    );
 }
 
 proptest! {
@@ -269,6 +324,6 @@ proptest! {
             .unwrap();
         // Fixed prologue + 7 instructions per iteration in both runs.
         let per_iter = (trace_2n.len() - trace_n.len()) as u32 / n;
-        prop_assert!(per_iter >= 6 && per_iter <= 8, "unexpected per-iteration cost {per_iter}");
+        prop_assert!((6..=8).contains(&per_iter), "unexpected per-iteration cost {per_iter}");
     }
 }

@@ -57,16 +57,35 @@ impl TuneReport {
 }
 
 fn sample_schedule(rng: &mut StdRng, pipeline: &Pipeline) -> Schedule {
-    let tiles = [None, Some((32, 32)), Some((64, 64)), Some((128, 128)), Some((256, 64))];
+    let tiles = [
+        None,
+        Some((32, 32)),
+        Some((64, 64)),
+        Some((128, 128)),
+        Some((256, 64)),
+    ];
     let widths = [1usize, 4, 8, 16];
     let mut s = Schedule::naive()
         .with_parallel(rng.gen_bool(0.75))
         .with_tile(*tiles.choose(rng).expect("non-empty"))
         .with_vector_width(*widths.choose(rng).expect("non-empty"));
-    // Occasionally materialize a producer func instead of fusing it.
+    // Per producer: fuse (inline), materialize once (compute_root), or
+    // materialize per consumer-loop iteration (compute_at a random output
+    // loop). Placements the lowering pass cannot honour degrade to
+    // compute_root, so every sample is realizable.
+    let output_vars = pipeline.output_func().vars.clone();
     for name in pipeline.funcs.keys() {
-        if *name != pipeline.output && rng.gen_bool(0.25) {
-            s = s.with_compute_root(name);
+        if *name == pipeline.output {
+            continue;
+        }
+        match rng.gen_range(0..4u32) {
+            0 => s = s.with_compute_root(name),
+            1 => {
+                if let Some(var) = output_vars.choose(rng) {
+                    s = s.with_compute_at(name, var);
+                }
+            }
+            _ => {} // inline
         }
     }
     s
@@ -102,8 +121,13 @@ pub fn autotune(
     config: &TuneConfig,
 ) -> Result<TuneReport, RealizeError> {
     let started = Instant::now();
-    let naive_time =
-        time_schedule(&Schedule::naive(), pipeline, extents, inputs, config.repetitions)?;
+    let naive_time = time_schedule(
+        &Schedule::naive(),
+        pipeline,
+        extents,
+        inputs,
+        config.repetitions,
+    )?;
     let mut trials = vec![(Schedule::naive(), naive_time)];
 
     // Always try the stencil default before random sampling.
@@ -126,7 +150,12 @@ pub fn autotune(
         .min_by_key(|(_, t)| *t)
         .map(|(s, t)| (s.clone(), *t))
         .expect("at least the naive trial exists");
-    Ok(TuneReport { best, best_time, naive_time, trials })
+    Ok(TuneReport {
+        best,
+        best_time,
+        naive_time,
+        trials,
+    })
 }
 
 /// Convenience wrapper returning only the best schedule.
@@ -191,8 +220,81 @@ mod tests {
         assert!(report.best_time <= report.naive_time);
         assert!(report.speedup_over_naive() >= 1.0);
         // The best schedule must reproduce the naive result exactly.
-        let naive = Realizer::new(Schedule::naive()).realize(&p, &[64, 64], &inputs).unwrap();
-        let tuned = Realizer::new(report.best.clone()).realize(&p, &[64, 64], &inputs).unwrap();
+        let naive = Realizer::new(Schedule::naive())
+            .realize(&p, &[64, 64], &inputs)
+            .unwrap();
+        let tuned = Realizer::new(report.best.clone())
+            .realize(&p, &[64, 64], &inputs)
+            .unwrap();
+        assert_eq!(naive, tuned);
+    }
+
+    #[test]
+    fn autotune_searches_compute_at_on_multi_stage_pipelines() {
+        // blur_x(x, y) = in(x, y) + in(x+1, y); out = blur_x(x, y) + blur_x(x, y+1)
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let blur_x = Func::pure(
+            "blur_x",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+                ),
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image(
+                        "input_1".into(),
+                        vec![Expr::add(x.clone(), Expr::int(1)), y.clone()],
+                    ),
+                ),
+            ),
+        );
+        let out = Func::pure(
+            "output_1",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::bin(
+                    BinOp::Shr,
+                    Expr::add(
+                        Expr::FuncRef("blur_x".into(), vec![x.clone(), y.clone()]),
+                        Expr::FuncRef("blur_x".into(), vec![x, Expr::add(y, Expr::int(1))]),
+                    ),
+                    Expr::uint(2),
+                ),
+            ),
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)])
+            .with_func(blur_x);
+        let mut input = Buffer::new(ScalarType::UInt8, &[40, 40]);
+        for c in input.coords().collect::<Vec<_>>() {
+            input.set(&c, Value::Int((c[0] * 7 + c[1] * 3) % 256));
+        }
+        let inputs = single_image_inputs("input_1", &input);
+        let config = TuneConfig {
+            max_candidates: 12,
+            budget: Duration::from_secs(10),
+            repetitions: 1,
+            seed: 11,
+        };
+        let report = autotune(&p, &[38, 38], &inputs, &config).unwrap();
+        // The sampler must have explored at least one compute_at placement.
+        assert!(
+            report.trials.iter().any(|(s, _)| !s.compute_at.is_empty()),
+            "no compute_at candidate sampled in {} trials",
+            report.trials.len()
+        );
+        // And the winning schedule must preserve results exactly.
+        let naive = Realizer::new(Schedule::naive())
+            .realize(&p, &[38, 38], &inputs)
+            .unwrap();
+        let tuned = Realizer::new(report.best.clone())
+            .realize(&p, &[38, 38], &inputs)
+            .unwrap();
         assert_eq!(naive, tuned);
     }
 
@@ -200,7 +302,11 @@ mod tests {
     fn autotune_best_is_consistent_with_report() {
         let (p, input) = simple_pipeline();
         let inputs = single_image_inputs("input_1", &input);
-        let config = TuneConfig { max_candidates: 2, repetitions: 1, ..TuneConfig::default() };
+        let config = TuneConfig {
+            max_candidates: 2,
+            repetitions: 1,
+            ..TuneConfig::default()
+        };
         let best = autotune_best(&p, &[32, 32], &inputs, &config).unwrap();
         // Must be realizable.
         Realizer::new(best).realize(&p, &[32, 32], &inputs).unwrap();

@@ -23,12 +23,18 @@ impl Interval {
 
     /// Construct an interval, normalizing the bound order.
     pub fn new(a: i64, b: i64) -> Interval {
-        Interval { min: a.min(b), max: a.max(b) }
+        Interval {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Union of two intervals.
     pub fn union(self, other: Interval) -> Interval {
-        Interval { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Interval {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Width of the interval (number of integers it contains).
@@ -50,16 +56,19 @@ pub fn expr_interval(
     params: &BTreeMap<String, Value>,
 ) -> Interval {
     match expr {
-        Expr::Var(name) | Expr::RVar(name) => var_bounds
-            .get(name)
-            .copied()
-            .unwrap_or(Interval { min: 0, max: i32::MAX as i64 }),
+        Expr::Var(name) | Expr::RVar(name) => var_bounds.get(name).copied().unwrap_or(Interval {
+            min: 0,
+            max: i32::MAX as i64,
+        }),
         Expr::ConstInt(v, _) => Interval::point(*v),
         Expr::ConstFloat(v, _) => Interval::point(*v as i64),
         Expr::Param(name, _) => params
             .get(name)
             .map(|v| Interval::point(v.as_i64()))
-            .unwrap_or(Interval { min: 0, max: i32::MAX as i64 }),
+            .unwrap_or(Interval {
+                min: 0,
+                max: i32::MAX as i64,
+            }),
         Expr::Cast(_, e) => expr_interval(e, var_bounds, params),
         Expr::Binary(op, a, b) => {
             let ia = expr_interval(a, var_bounds, params);
@@ -70,9 +79,10 @@ pub fn expr_interval(
         Expr::Select(_, t, e) => {
             expr_interval(t, var_bounds, params).union(expr_interval(e, var_bounds, params))
         }
-        Expr::Call(..) | Expr::Image(..) | Expr::FuncRef(..) => {
-            Interval { min: 0, max: i32::MAX as i64 }
-        }
+        Expr::Call(..) | Expr::Image(..) | Expr::FuncRef(..) => Interval {
+            min: 0,
+            max: i32::MAX as i64,
+        },
     }
 }
 
@@ -90,21 +100,45 @@ fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
         }
     };
     match op {
-        BinOp::Add => Interval { min: a.min.saturating_add(b.min), max: a.max.saturating_add(b.max) },
-        BinOp::Sub => Interval { min: a.min.saturating_sub(b.max), max: a.max.saturating_sub(b.min) },
+        BinOp::Add => Interval {
+            min: a.min.saturating_add(b.min),
+            max: a.max.saturating_add(b.max),
+        },
+        BinOp::Sub => Interval {
+            min: a.min.saturating_sub(b.max),
+            max: a.max.saturating_sub(b.min),
+        },
         BinOp::Mul => corners(&|x, y| x.saturating_mul(y)),
         BinOp::Div => corners(&|x, y| if y == 0 { 0 } else { x / y }),
-        BinOp::Min => Interval { min: a.min.min(b.min), max: a.max.min(b.max) },
-        BinOp::Max => Interval { min: a.min.max(b.min), max: a.max.max(b.max) },
+        BinOp::Min => Interval {
+            min: a.min.min(b.min),
+            max: a.max.min(b.max),
+        },
+        BinOp::Max => Interval {
+            min: a.min.max(b.min),
+            max: a.max.max(b.max),
+        },
         BinOp::Shr => corners(&|x, y| if y < 0 { x } else { x >> (y.min(63)) }),
-        BinOp::Shl => corners(&|x, y| if y < 0 { x } else { x.saturating_shl(y.min(63) as u32) }),
+        BinOp::Shl => corners(&|x, y| {
+            if y < 0 {
+                x
+            } else {
+                x.saturating_shl(y.min(63) as u32)
+            }
+        }),
         // Bitwise/mod results are hard to bound tightly; be conservative but
         // keep the result non-negative when both inputs are.
         BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor => {
             if a.min >= 0 && b.min >= 0 {
-                Interval { min: 0, max: a.max.max(b.max) }
+                Interval {
+                    min: 0,
+                    max: a.max.max(b.max),
+                }
             } else {
-                Interval { min: i32::MIN as i64, max: i32::MAX as i64 }
+                Interval {
+                    min: i32::MIN as i64,
+                    max: i32::MAX as i64,
+                }
             }
         }
     }
@@ -116,7 +150,8 @@ trait SaturatingShl {
 
 impl SaturatingShl for i64 {
     fn saturating_shl(self, s: u32) -> i64 {
-        self.checked_shl(s).unwrap_or(if self >= 0 { i64::MAX } else { i64::MIN })
+        self.checked_shl(s)
+            .unwrap_or(if self >= 0 { i64::MAX } else { i64::MIN })
     }
 }
 
@@ -177,14 +212,21 @@ mod tests {
 
     #[test]
     fn select_unions_branches() {
-        let e = Expr::select(Expr::cmp(crate::expr::CmpOp::Lt, Expr::var("x"), Expr::int(2)), Expr::int(0), Expr::int(255));
+        let e = Expr::select(
+            Expr::cmp(crate::expr::CmpOp::Lt, Expr::var("x"), Expr::int(2)),
+            Expr::int(0),
+            Expr::int(255),
+        );
         let i = expr_interval(&e, &bounds(&[("x", 0, 9)]), &BTreeMap::new());
         assert_eq!(i, Interval { min: 0, max: 255 });
     }
 
     #[test]
     fn params_are_points() {
-        let e = Expr::add(Expr::Param("w".into(), crate::types::ScalarType::Int32), Expr::int(1));
+        let e = Expr::add(
+            Expr::Param("w".into(), crate::types::ScalarType::Int32),
+            Expr::int(1),
+        );
         let mut params = BTreeMap::new();
         params.insert("w".to_string(), Value::Int(100));
         let i = expr_interval(&e, &BTreeMap::new(), &params);
@@ -206,6 +248,9 @@ mod tests {
     #[test]
     fn interval_helpers() {
         assert_eq!(Interval::new(5, 2), Interval { min: 2, max: 5 });
-        assert_eq!(Interval::point(3).union(Interval::point(7)), Interval { min: 3, max: 7 });
+        assert_eq!(
+            Interval::point(3).union(Interval::point(7)),
+            Interval { min: 3, max: 7 }
+        );
     }
 }

@@ -66,7 +66,10 @@ impl Buffer {
     /// # Panics
     /// Panics if `extents` is empty.
     pub fn new(ty: ScalarType, extents: &[usize]) -> Buffer {
-        assert!(!extents.is_empty(), "buffers must have at least one dimension");
+        assert!(
+            !extents.is_empty(),
+            "buffers must have at least one dimension"
+        );
         let mut strides = Vec::with_capacity(extents.len());
         let mut stride = 1;
         for &e in extents {
@@ -159,7 +162,11 @@ impl Buffer {
     /// # Panics
     /// Panics if the buffer is not `UInt8` or the length does not match.
     pub fn fill_from_u8(&mut self, src: &[u8]) {
-        assert_eq!(self.ty, ScalarType::UInt8, "fill_from_u8 requires a UInt8 buffer");
+        assert_eq!(
+            self.ty,
+            ScalarType::UInt8,
+            "fill_from_u8 requires a UInt8 buffer"
+        );
         assert_eq!(src.len(), self.len(), "source length mismatch");
         self.data.copy_from_slice(src);
     }
@@ -169,13 +176,21 @@ impl Buffer {
     /// # Panics
     /// Panics if the buffer is not `UInt8`.
     pub fn as_u8_slice(&self) -> &[u8] {
-        assert_eq!(self.ty, ScalarType::UInt8, "as_u8_slice requires a UInt8 buffer");
+        assert_eq!(
+            self.ty,
+            ScalarType::UInt8,
+            "as_u8_slice requires a UInt8 buffer"
+        );
         &self.data
     }
 
     /// Iterate over all coordinate tuples of the buffer in memory order.
     pub fn coords(&self) -> CoordIter {
-        CoordIter { extents: self.extents.clone(), current: vec![0; self.extents.len()], done: self.is_empty() }
+        CoordIter {
+            extents: self.extents.clone(),
+            current: vec![0; self.extents.len()],
+            done: self.is_empty(),
+        }
     }
 }
 
@@ -225,10 +240,21 @@ mod tests {
             let mut b = Buffer::new(ty, &[4, 3]);
             assert_eq!(b.dims(), 2);
             assert_eq!(b.len(), 12);
-            let v = if ty.is_float() { Value::Float(2.5) } else { Value::Int(200) };
+            let v = if ty.is_float() {
+                Value::Float(2.5)
+            } else {
+                Value::Int(200)
+            };
             b.set(&[2, 1], v);
             assert_eq!(b.get(&[2, 1]), v.cast(ty));
-            assert_eq!(b.get(&[0, 0]), if ty.is_float() { Value::Float(0.0) } else { Value::Int(0) });
+            assert_eq!(
+                b.get(&[0, 0]),
+                if ty.is_float() {
+                    Value::Float(0.0)
+                } else {
+                    Value::Int(0)
+                }
+            );
         }
     }
 

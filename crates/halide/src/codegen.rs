@@ -21,7 +21,10 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> Self {
-        CodegenOptions { output_name: "halide_out_0".to_string(), emit_main: true }
+        CodegenOptions {
+            output_name: "halide_out_0".to_string(),
+            emit_main: true,
+        }
     }
 }
 
@@ -88,7 +91,13 @@ pub fn generate_halide_source(pipeline: &Pipeline, options: &CodegenOptions) -> 
 fn emit_func_definitions(out: &mut String, func: &Func) {
     if let Some(pure_def) = &func.pure_def {
         let args = func.vars.join(",");
-        let _ = writeln!(out, "  {}({}) =\n    {};", func.name, args, render(pure_def));
+        let _ = writeln!(
+            out,
+            "  {}({}) =\n    {};",
+            func.name,
+            args,
+            render(pure_def)
+        );
     }
     for update in &func.updates {
         // RDom declaration. If every dimension spans the full extent of one
@@ -112,7 +121,11 @@ fn emit_func_definitions(out: &mut String, func: &Func) {
             }
             let _ = writeln!(out, "  RDom {rdom_var}({spec});");
         }
-        let lhs: Vec<String> = update.lhs.iter().map(|e| render_with_rdom(e, &update.rdom.name, &rdom_var)).collect();
+        let lhs: Vec<String> = update
+            .lhs
+            .iter()
+            .map(|e| render_with_rdom(e, &update.rdom.name, &rdom_var))
+            .collect();
         let _ = writeln!(
             out,
             "  {}({}) =\n    {};",
@@ -157,7 +170,10 @@ mod tests {
                 ScalarType::UInt32,
                 Expr::Image(
                     "input_1".into(),
-                    vec![Expr::add(x.clone(), Expr::int(dx)), Expr::add(y.clone(), Expr::int(1))],
+                    vec![
+                        Expr::add(x.clone(), Expr::int(dx)),
+                        Expr::add(y.clone(), Expr::int(1)),
+                    ],
                 ),
             )
         };
@@ -172,7 +188,11 @@ mod tests {
             ScalarType::UInt8,
             Expr::bin(
                 BinOp::And,
-                Expr::bin(BinOp::Shr, sum, Expr::cast(ScalarType::UInt32, Expr::uint(2))),
+                Expr::bin(
+                    BinOp::Shr,
+                    sum,
+                    Expr::cast(ScalarType::UInt32, Expr::uint(2)),
+                ),
                 Expr::int(255),
             ),
         );
@@ -208,9 +228,16 @@ mod tests {
             ),
             rdom,
         };
-        let f = Func::pure("output", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+        let f =
+            Func::pure("output", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
         let p = Pipeline::new(f, vec![img]);
-        let src = generate_halide_source(&p, &CodegenOptions { output_name: "hist".into(), emit_main: false });
+        let src = generate_halide_source(
+            &p,
+            &CodegenOptions {
+                output_name: "hist".into(),
+                emit_main: false,
+            },
+        );
         assert!(src.contains("RDom r_0(input_1);"));
         assert!(src.contains("output(input_1(r_0.x, r_0.y))"));
         assert!(src.contains("compile_to_file(\"hist\""));

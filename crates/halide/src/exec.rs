@@ -1,0 +1,1563 @@
+//! The compiled executor for lowered loop-nest IR.
+//!
+//! Where the interpreter dispatches per element through [`Value`] enums, this
+//! executor compiles every [`Stmt::Store`] into a *typed* lane program:
+//! expressions are type-inferred once (int lanes are `i64`, float lanes are
+//! `f64`), buffer loads and stores are monomorphized per [`ScalarType`] into
+//! flat-slice inner loops, and the innermost loop runs `width` lanes per
+//! dispatch. [`LoopKind::Parallel`] loops distribute contiguous iteration
+//! chunks across scoped worker threads.
+//!
+//! **Bit-exactness.** Every lane operation replicates the corresponding
+//! [`Value`] semantics exactly: integer arithmetic wraps, division by zero
+//! yields zero, shifts/bitwise ops on float operands round-trip through `i64`,
+//! casts truncate like C casts, and out-of-range loads clamp per
+//! [`Buffer::get`]. Expressions whose type cannot be inferred statically (a
+//! `select` mixing int and float branches) fall back to a per-element
+//! [`Value`] evaluator with identical semantics. The differential property
+//! suite in `tests/prop_halide.rs` enforces equality against the interpreter.
+//!
+//! **Safety.** Worker threads share buffers through raw pointers; no `&mut`
+//! is ever formed over shared data. This is sound because (a) loads only ever
+//! read buffers that nothing writes during the run (inputs, pre-materialized
+//! roots, and the thread's own finished `compute_at` scratch), and (b) the
+//! lowering pass only marks the *outermost* output loop parallel, with every
+//! store under it indexing the output through that loop's variable, so
+//! threads write disjoint byte ranges; `compute_at` buffers are allocated
+//! inside the parallel body and are thread-local by construction.
+
+use crate::buffer::Buffer;
+use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
+use crate::realize::RealizeError;
+use crate::stmt::{LoopKind, Stmt};
+use crate::types::{ScalarType, Value};
+use std::collections::BTreeMap;
+
+/// Maximum number of lanes evaluated per inner dispatch. Schedules may ask
+/// for wider vectors; execution batches them `MAX_LANES` at a time (the
+/// results are identical either way).
+pub const MAX_LANES: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Slots: buffers addressable by compiled programs
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SlotDecl {
+    ty: ScalarType,
+    writable: bool,
+}
+
+/// A bound buffer: raw parts of either a caller-provided [`Buffer`] or a
+/// scoped `Allocate` scratch vector.
+#[derive(Debug, Clone)]
+struct SlotBind {
+    ptr: *mut u8,
+    byte_len: usize,
+    extents: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl SlotBind {
+    /// Read-only view of the backing bytes.
+    ///
+    /// Sound per the module-level aliasing argument: buffers read through
+    /// this are never written during the run.
+    fn data(&self) -> &[u8] {
+        // SAFETY: ptr/byte_len come from a live buffer borrow or a live
+        // Allocate scratch vector; binds never outlive their buffer.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.byte_len) }
+    }
+
+    /// Write `bytes` at `byte_off` without forming a `&mut` over the buffer.
+    #[inline]
+    fn write(&self, byte_off: usize, bytes: &[u8]) {
+        debug_assert!(byte_off + bytes.len() <= self.byte_len);
+        // SAFETY: in-bounds per the debug assert (store indices are in range
+        // by loop construction); concurrent writers target disjoint ranges
+        // per the module-level invariant.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr.add(byte_off), bytes.len());
+        }
+    }
+}
+
+/// Bind table shared across worker threads (cloned per thread; the raw
+/// pointers alias, the metadata does not).
+///
+/// SAFETY: Send is sound per the module-level aliasing argument.
+#[derive(Clone)]
+struct BindTable(Vec<Option<SlotBind>>);
+
+unsafe impl Send for BindTable {}
+
+// ---------------------------------------------------------------------------
+// Typed lane programs
+// ---------------------------------------------------------------------------
+
+/// One operation of a typed lane program. Operand kinds were resolved at
+/// compile time; `promote_*` flags replicate `Value::as_f64` promotions.
+#[derive(Debug, Clone)]
+enum TOp {
+    ConstI(i64),
+    ConstF(f64),
+    /// Push the loop variable at `depth`; stepped per lane when `depth` is
+    /// the store's innermost loop.
+    Var(usize),
+    /// Convert the top int register to float (`as_f64`).
+    I2F,
+    /// Convert the top float register to int (`as_i64`).
+    F2I,
+    /// Integer binary op (both operands int), `eval_binop` int semantics.
+    BinII(BinOp),
+    /// Float arithmetic (Add/Sub/Mul/Div/Mod/Min/Max), float-branch
+    /// semantics; `promote_*` converts an int operand first.
+    BinFF {
+        op: BinOp,
+        promote_a: bool,
+        promote_b: bool,
+    },
+    /// Bitwise/shift with a float operand: `eval_binop` float-branch
+    /// semantics (`(x as i64) op (y as i64)`), yielding int.
+    BinBitFF {
+        op: BinOp,
+        promote_a: bool,
+        promote_b: bool,
+    },
+    CmpII(CmpOp),
+    CmpFF {
+        op: CmpOp,
+        promote_a: bool,
+        promote_b: bool,
+    },
+    /// Cast with an int source.
+    CastI(ScalarType),
+    /// Cast with a float source.
+    CastF(ScalarType),
+    /// `select(cond, t, f)`; branch kinds match by construction.
+    Sel {
+        cond_float: bool,
+        branches_float: bool,
+    },
+    /// Extern call; all arguments already float.
+    Call(ExternCall, usize),
+    /// Clamped load from a buffer slot of element type `ty`.
+    Load {
+        slot: usize,
+        arity: usize,
+        ty: ScalarType,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Program {
+    ops: Vec<TOp>,
+    max_stack: usize,
+    float_result: bool,
+}
+
+/// A store compiled to typed lane programs.
+#[derive(Debug, Clone)]
+struct TypedStore {
+    slot: usize,
+    index_progs: Vec<Program>,
+    value_prog: Program,
+}
+
+/// A store that could not be typed statically; evaluated per element with
+/// exact [`Value`] semantics.
+#[derive(Debug, Clone)]
+struct FallbackStore {
+    slot: usize,
+    indices: Vec<Expr>,
+    value: Expr,
+    var_depths: BTreeMap<String, usize>,
+    slots: BTreeMap<String, usize>,
+}
+
+#[derive(Debug, Clone)]
+enum StoreExec {
+    Typed(TypedStore),
+    Fallback(Box<FallbackStore>),
+}
+
+#[derive(Debug, Clone)]
+struct CompiledStore {
+    exec: StoreExec,
+    /// Depth of the innermost enclosing loop (the lane dimension).
+    lane_depth: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Int,
+    Float,
+}
+
+enum CompileFail {
+    /// Fall back to the per-element evaluator (e.g. dynamically typed select).
+    Soft,
+    /// A real error (missing input/param, undefined func).
+    Hard(RealizeError),
+}
+
+struct Compiler<'a> {
+    var_depths: &'a BTreeMap<String, usize>,
+    slot_ids: &'a BTreeMap<String, usize>,
+    decls: &'a [SlotDecl],
+    params: &'a BTreeMap<String, Value>,
+}
+
+struct Emit {
+    ops: Vec<TOp>,
+    cur: usize,
+    max: usize,
+}
+
+impl Emit {
+    fn new() -> Emit {
+        Emit {
+            ops: Vec::new(),
+            cur: 0,
+            max: 0,
+        }
+    }
+
+    fn push(&mut self, op: TOp, delta: isize) {
+        self.ops.push(op);
+        self.cur = (self.cur as isize + delta) as usize;
+        self.max = self.max.max(self.cur);
+    }
+}
+
+impl Compiler<'_> {
+    fn compile(&self, e: &Expr, out: &mut Emit) -> Result<Kind, CompileFail> {
+        match e {
+            Expr::Var(name) | Expr::RVar(name) => {
+                let depth =
+                    self.var_depths.get(name).copied().ok_or_else(|| {
+                        CompileFail::Hard(RealizeError::MissingParam(name.clone()))
+                    })?;
+                out.push(TOp::Var(depth), 1);
+                Ok(Kind::Int)
+            }
+            Expr::ConstInt(v, ty) => {
+                if ty.is_float() {
+                    out.push(TOp::ConstF(*v as f64), 1);
+                    Ok(Kind::Float)
+                } else {
+                    out.push(TOp::ConstI(*v), 1);
+                    Ok(Kind::Int)
+                }
+            }
+            Expr::ConstFloat(v, _) => {
+                out.push(TOp::ConstF(*v), 1);
+                Ok(Kind::Float)
+            }
+            Expr::Param(name, _) => {
+                let v =
+                    self.params.get(name).copied().ok_or_else(|| {
+                        CompileFail::Hard(RealizeError::MissingParam(name.clone()))
+                    })?;
+                match v {
+                    Value::Int(i) => {
+                        out.push(TOp::ConstI(i), 1);
+                        Ok(Kind::Int)
+                    }
+                    Value::Float(f) => {
+                        out.push(TOp::ConstF(f), 1);
+                        Ok(Kind::Float)
+                    }
+                }
+            }
+            Expr::Cast(ty, inner) => {
+                let k = self.compile(inner, out)?;
+                match k {
+                    Kind::Int => out.push(TOp::CastI(*ty), 0),
+                    Kind::Float => out.push(TOp::CastF(*ty), 0),
+                }
+                Ok(if ty.is_float() {
+                    Kind::Float
+                } else {
+                    Kind::Int
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let ka = self.compile(a, out)?;
+                let kb = self.compile(b, out)?;
+                let bitwise = matches!(
+                    op,
+                    BinOp::Shr | BinOp::Shl | BinOp::And | BinOp::Or | BinOp::Xor
+                );
+                if ka == Kind::Int && kb == Kind::Int {
+                    out.push(TOp::BinII(*op), -1);
+                    Ok(Kind::Int)
+                } else if bitwise {
+                    out.push(
+                        TOp::BinBitFF {
+                            op: *op,
+                            promote_a: ka == Kind::Int,
+                            promote_b: kb == Kind::Int,
+                        },
+                        -1,
+                    );
+                    Ok(Kind::Int)
+                } else {
+                    out.push(
+                        TOp::BinFF {
+                            op: *op,
+                            promote_a: ka == Kind::Int,
+                            promote_b: kb == Kind::Int,
+                        },
+                        -1,
+                    );
+                    Ok(Kind::Float)
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let ka = self.compile(a, out)?;
+                let kb = self.compile(b, out)?;
+                if ka == Kind::Int && kb == Kind::Int {
+                    out.push(TOp::CmpII(*op), -1);
+                } else {
+                    out.push(
+                        TOp::CmpFF {
+                            op: *op,
+                            promote_a: ka == Kind::Int,
+                            promote_b: kb == Kind::Int,
+                        },
+                        -1,
+                    );
+                }
+                Ok(Kind::Int)
+            }
+            Expr::Select(c, t, f) => {
+                let kc = self.compile(c, out)?;
+                let kt = self.compile(t, out)?;
+                let kf = self.compile(f, out)?;
+                if kt != kf {
+                    // Dynamically typed select: the interpreter picks the
+                    // branch value unchanged, so the result type varies per
+                    // element. Use the fallback evaluator.
+                    return Err(CompileFail::Soft);
+                }
+                out.push(
+                    TOp::Sel {
+                        cond_float: kc == Kind::Float,
+                        branches_float: kt == Kind::Float,
+                    },
+                    -2,
+                );
+                Ok(kt)
+            }
+            Expr::Call(call, args) => {
+                for a in args {
+                    let k = self.compile(a, out)?;
+                    if k == Kind::Int {
+                        out.push(TOp::I2F, 0);
+                    }
+                }
+                out.push(TOp::Call(*call, args.len()), 1 - args.len() as isize);
+                Ok(Kind::Float)
+            }
+            Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+                let slot = self.slot_ids.get(name).copied().ok_or_else(|| {
+                    CompileFail::Hard(match e {
+                        Expr::Image(..) => RealizeError::MissingInput(name.clone()),
+                        _ => RealizeError::UndefinedFunc(name.clone()),
+                    })
+                })?;
+                for a in args {
+                    let k = self.compile(a, out)?;
+                    if k == Kind::Float {
+                        out.push(TOp::F2I, 0);
+                    }
+                }
+                let ty = self.decls[slot].ty;
+                out.push(
+                    TOp::Load {
+                        slot,
+                        arity: args.len(),
+                        ty,
+                    },
+                    1 - args.len() as isize,
+                );
+                Ok(if ty.is_float() {
+                    Kind::Float
+                } else {
+                    Kind::Int
+                })
+            }
+        }
+    }
+
+    fn compile_program(&self, e: &Expr, force_int: bool) -> Result<Program, CompileFail> {
+        let mut emit = Emit::new();
+        let kind = self.compile(e, &mut emit)?;
+        let mut float_result = kind == Kind::Float;
+        if force_int && float_result {
+            emit.push(TOp::F2I, 0);
+            float_result = false;
+        }
+        Ok(Program {
+            ops: emit.ops,
+            max_stack: emit.max.max(1),
+            float_result,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Preparation: walk the stmt, assign slots/depths, compile stores
+// ---------------------------------------------------------------------------
+
+struct Prepared {
+    decls: Vec<SlotDecl>,
+    /// Slot id per Allocate node, keyed by buffer name (unique per tree).
+    alloc_slots: BTreeMap<String, usize>,
+    stores: Vec<Option<CompiledStore>>,
+    max_depth: usize,
+    max_stack: usize,
+    max_arity: usize,
+}
+
+struct PrepareCtx<'a> {
+    params: &'a BTreeMap<String, Value>,
+    decls: Vec<SlotDecl>,
+    slot_ids: BTreeMap<String, usize>,
+    alloc_slots: BTreeMap<String, usize>,
+    stores: Vec<Option<CompiledStore>>,
+    var_depths: BTreeMap<String, usize>,
+    depth: usize,
+    max_depth: usize,
+    max_stack: usize,
+    max_arity: usize,
+}
+
+impl PrepareCtx<'_> {
+    fn add_slot(&mut self, name: &str, ty: ScalarType, writable: bool) -> usize {
+        let id = self.decls.len();
+        self.decls.push(SlotDecl { ty, writable });
+        self.slot_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn walk(&mut self, stmt: &Stmt) -> Result<(), RealizeError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.walk(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Produce { body, .. } => self.walk(body),
+            Stmt::Allocate { name, ty, body, .. } => {
+                let prev = self.slot_ids.get(name).copied();
+                let id = self.add_slot(name, *ty, true);
+                self.alloc_slots.insert(name.clone(), id);
+                self.walk(body)?;
+                match prev {
+                    Some(p) => {
+                        self.slot_ids.insert(name.clone(), p);
+                    }
+                    None => {
+                        self.slot_ids.remove(name);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::For { var, body, .. } => {
+                let prev = self.var_depths.insert(var.clone(), self.depth);
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+                self.walk(body)?;
+                self.depth -= 1;
+                match prev {
+                    Some(p) => {
+                        self.var_depths.insert(var.clone(), p);
+                    }
+                    None => {
+                        self.var_depths.remove(var);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Store {
+                id,
+                buffer,
+                indices,
+                value,
+            } => {
+                let slot = self
+                    .slot_ids
+                    .get(buffer)
+                    .copied()
+                    .ok_or_else(|| RealizeError::UndefinedFunc(buffer.clone()))?;
+                debug_assert!(
+                    self.decls[slot].writable,
+                    "store to read-only buffer {buffer}"
+                );
+                let lane_depth = self.depth.saturating_sub(1);
+                let compiler = Compiler {
+                    var_depths: &self.var_depths,
+                    slot_ids: &self.slot_ids,
+                    decls: &self.decls,
+                    params: self.params,
+                };
+                let compiled = (|| -> Result<StoreExec, CompileFail> {
+                    let mut index_progs = Vec::with_capacity(indices.len());
+                    for idx in indices {
+                        index_progs.push(compiler.compile_program(idx, true)?);
+                    }
+                    let value_prog = compiler.compile_program(value, false)?;
+                    Ok(StoreExec::Typed(TypedStore {
+                        slot,
+                        index_progs,
+                        value_prog,
+                    }))
+                })();
+                let exec = match compiled {
+                    Ok(t) => t,
+                    Err(CompileFail::Hard(e)) => return Err(e),
+                    Err(CompileFail::Soft) => StoreExec::Fallback(Box::new(FallbackStore {
+                        slot,
+                        indices: indices.clone(),
+                        value: value.clone(),
+                        var_depths: self.var_depths.clone(),
+                        slots: self.slot_ids.clone(),
+                    })),
+                };
+                if let StoreExec::Typed(t) = &exec {
+                    for p in t.index_progs.iter().chain(std::iter::once(&t.value_prog)) {
+                        self.max_stack = self.max_stack.max(p.max_stack);
+                        for op in &p.ops {
+                            if let TOp::Load { arity, .. } = op {
+                                self.max_arity = self.max_arity.max(*arity);
+                            }
+                        }
+                    }
+                    self.max_arity = self.max_arity.max(t.index_progs.len());
+                }
+                if self.stores.len() <= *id {
+                    self.stores.resize_with(*id + 1, || None);
+                }
+                self.stores[*id] = Some(CompiledStore { exec, lane_depth });
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Per-thread scratch: lane register files, load offset buffers, and
+/// reusable backing storage for `Allocate` nodes (an attach loop re-enters
+/// its allocation once per iteration; reusing the heap buffer keeps the
+/// allocator off the hot path).
+struct Scratch {
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    idx: Vec<i64>,
+    offs: Vec<usize>,
+    allocs: BTreeMap<usize, Vec<u8>>,
+}
+
+impl Scratch {
+    fn new(prepared: &Prepared) -> Scratch {
+        let regs = prepared.max_stack.max(1) * MAX_LANES;
+        Scratch {
+            ints: vec![0; regs],
+            floats: vec![0.0; regs],
+            idx: vec![0; prepared.max_arity.max(1) * MAX_LANES],
+            offs: vec![0; MAX_LANES],
+            allocs: BTreeMap::new(),
+        }
+    }
+}
+
+struct Runner<'a> {
+    prepared: &'a Prepared,
+    params: &'a BTreeMap<String, Value>,
+}
+
+/// Evaluate a loop-bound expression to a scalar with the current environment.
+fn eval_scalar(e: &Expr, env: &[(String, i64)]) -> Result<i64, RealizeError> {
+    Ok(match e {
+        Expr::Var(n) | Expr::RVar(n) => env
+            .iter()
+            .rev()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        Expr::ConstInt(v, _) => *v,
+        Expr::ConstFloat(v, _) => *v as i64,
+        Expr::Binary(op, a, b) => eval_binop(
+            *op,
+            Value::Int(eval_scalar(a, env)?),
+            Value::Int(eval_scalar(b, env)?),
+        )
+        .as_i64(),
+        Expr::Cmp(op, a, b) => eval_cmp(
+            *op,
+            Value::Int(eval_scalar(a, env)?),
+            Value::Int(eval_scalar(b, env)?),
+        )
+        .as_i64(),
+        Expr::Select(c, t, f) => {
+            if eval_scalar(c, env)? != 0 {
+                eval_scalar(t, env)?
+            } else {
+                eval_scalar(f, env)?
+            }
+        }
+        Expr::Cast(ty, inner) => Value::Int(eval_scalar(inner, env)?).cast(*ty).as_i64(),
+        other => {
+            return Err(RealizeError::MissingParam(format!(
+                "unsupported loop bound expression: {other}"
+            )))
+        }
+    })
+}
+
+impl Runner<'_> {
+    fn run(
+        &self,
+        stmt: &Stmt,
+        binds: &mut BindTable,
+        env: &mut Vec<(String, i64)>,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+        in_parallel: bool,
+    ) -> Result<(), RealizeError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.run(s, binds, env, vars, scratch, in_parallel)?;
+                }
+                Ok(())
+            }
+            Stmt::Produce { body, .. } => self.run(body, binds, env, vars, scratch, in_parallel),
+            Stmt::Allocate {
+                name,
+                ty,
+                extents,
+                body,
+            } => {
+                let slot = self.prepared.alloc_slots[name];
+                let total: usize = extents.iter().product();
+                let needed = total * ty.bytes();
+                // Reuse this thread's backing buffer across iterations of the
+                // attach loop. Skipping the re-zero is sound because the
+                // produce nest lowered into `body` stores every element of
+                // the region before anything reads it.
+                let data = scratch.allocs.entry(slot).or_default();
+                if data.len() != needed {
+                    data.clear();
+                    data.resize(needed, 0);
+                }
+                let mut strides = Vec::with_capacity(extents.len());
+                let mut stride = 1usize;
+                for &e in extents {
+                    strides.push(stride);
+                    stride *= e;
+                }
+                binds.0[slot] = Some(SlotBind {
+                    ptr: data.as_mut_ptr(),
+                    byte_len: needed,
+                    extents: extents.clone(),
+                    strides,
+                });
+                let result = self.run(body, binds, env, vars, scratch, in_parallel);
+                binds.0[slot] = None;
+                result
+            }
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
+                let min = eval_scalar(min, env)?;
+                let extent = eval_scalar(extent, env)?.max(0);
+                let depth = env.len();
+                let batch = match kind {
+                    LoopKind::Vectorized { width } => (*width).clamp(1, MAX_LANES),
+                    _ => 1,
+                };
+                match kind {
+                    LoopKind::Parallel { threads } if !in_parallel && extent > 1 => {
+                        let avail = if *threads > 0 {
+                            *threads
+                        } else {
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1)
+                        };
+                        let workers = avail.min(extent as usize);
+                        if workers <= 1 {
+                            return self.run_serial_loop(
+                                var,
+                                min,
+                                extent,
+                                batch,
+                                body,
+                                binds,
+                                env,
+                                vars,
+                                scratch,
+                                in_parallel,
+                            );
+                        }
+                        let chunk = (extent as usize).div_ceil(workers);
+                        let errors = std::sync::Mutex::new(Vec::new());
+                        std::thread::scope(|scope| {
+                            for w in 0..workers {
+                                let start = min + (w * chunk) as i64;
+                                let end = (min + extent).min(start + chunk as i64);
+                                if start >= end {
+                                    continue;
+                                }
+                                let mut binds = binds.clone();
+                                let mut env = env.clone();
+                                let mut vars = vars.to_vec();
+                                let errors = &errors;
+                                let body = &**body;
+                                let var = var.as_str();
+                                scope.spawn(move || {
+                                    let mut scratch = Scratch::new(self.prepared);
+                                    env.push((var.to_string(), 0));
+                                    for i in start..end {
+                                        env[depth].1 = i;
+                                        vars[depth] = i;
+                                        if let Err(e) = self.run(
+                                            body,
+                                            &mut binds,
+                                            &mut env,
+                                            &mut vars,
+                                            &mut scratch,
+                                            true,
+                                        ) {
+                                            errors.lock().expect("error mutex").push(e);
+                                            return;
+                                        }
+                                    }
+                                });
+                            }
+                        });
+                        let mut errs = errors.into_inner().expect("error mutex");
+                        match errs.pop() {
+                            Some(e) => Err(e),
+                            None => Ok(()),
+                        }
+                    }
+                    _ => self.run_serial_loop(
+                        var,
+                        min,
+                        extent,
+                        batch,
+                        body,
+                        binds,
+                        env,
+                        vars,
+                        scratch,
+                        in_parallel,
+                    ),
+                }
+            }
+            Stmt::Store { id, .. } => {
+                // A store not directly owned by a loop (e.g. beside an
+                // Allocate in a Block): execute a single element at the
+                // current environment.
+                self.exec_store(*id, 1, binds, vars, scratch)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_serial_loop(
+        &self,
+        var: &str,
+        min: i64,
+        extent: i64,
+        batch: usize,
+        body: &Stmt,
+        binds: &mut BindTable,
+        env: &mut Vec<(String, i64)>,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+        in_parallel: bool,
+    ) -> Result<(), RealizeError> {
+        let depth = env.len();
+        env.push((var.to_string(), 0));
+        let result = (|| {
+            if let Stmt::Store { id, .. } = body {
+                // Innermost loop over a single store: run in lane batches.
+                let mut i = min;
+                let end = min + extent;
+                while i < end {
+                    let n = batch.min((end - i) as usize);
+                    env[depth].1 = i;
+                    vars[depth] = i;
+                    self.exec_store(*id, n, binds, vars, scratch)?;
+                    i += n as i64;
+                }
+                Ok(())
+            } else {
+                for i in min..min + extent {
+                    env[depth].1 = i;
+                    vars[depth] = i;
+                    self.run(body, binds, env, vars, scratch, in_parallel)?;
+                }
+                Ok(())
+            }
+        })();
+        env.pop();
+        result
+    }
+
+    fn exec_store(
+        &self,
+        id: usize,
+        n: usize,
+        binds: &BindTable,
+        vars: &[i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let store = self.prepared.stores[id].as_ref().expect("store compiled");
+        match &store.exec {
+            StoreExec::Typed(t) => {
+                self.exec_typed(t, store.lane_depth, n, binds, vars, scratch);
+                Ok(())
+            }
+            StoreExec::Fallback(f) => self.exec_fallback(f, store.lane_depth, n, binds, vars),
+        }
+    }
+
+    fn exec_typed(
+        &self,
+        t: &TypedStore,
+        lane_depth: usize,
+        n: usize,
+        binds: &BindTable,
+        vars: &[i64],
+        scratch: &mut Scratch,
+    ) {
+        // Evaluate the index programs, parking each result in scratch.idx.
+        let arity = t.index_progs.len();
+        for (d, prog) in t.index_progs.iter().enumerate() {
+            run_program(prog, lane_depth, n, binds, vars, scratch);
+            for l in 0..n {
+                scratch.idx[d * MAX_LANES + l] = scratch.ints[l];
+            }
+        }
+        run_program(&t.value_prog, lane_depth, n, binds, vars, scratch);
+
+        let bind = binds.0[t.slot].as_ref().expect("store target bound");
+        // Destination offsets (stores are in-range by loop construction).
+        for l in 0..n {
+            let mut off = 0usize;
+            for d in 0..arity {
+                let i = scratch.idx[d * MAX_LANES + l];
+                debug_assert!(
+                    i >= 0 && (i as usize) < bind.extents[d],
+                    "store index {i} out of range 0..{} (dim {d})",
+                    bind.extents[d]
+                );
+                off += (i as usize) * bind.strides[d];
+            }
+            scratch.offs[l] = off;
+        }
+        let ty = self.prepared.decls[t.slot].ty;
+        let offs = &scratch.offs;
+        // Monomorphized store loops: cast exactly like `write_scalar`.
+        if t.value_prog.float_result {
+            let vals = &scratch.floats[..MAX_LANES];
+            match ty {
+                ScalarType::UInt8 => {
+                    for l in 0..n {
+                        bind.write(offs[l], &[(vals[l] as i64) as u8]);
+                    }
+                }
+                ScalarType::UInt16 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 2, &((vals[l] as i64) as u16).to_le_bytes());
+                    }
+                }
+                ScalarType::UInt32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &((vals[l] as i64) as u32).to_le_bytes());
+                    }
+                }
+                ScalarType::UInt64 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 8, &((vals[l] as i64) as u64).to_le_bytes());
+                    }
+                }
+                ScalarType::Int32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &((vals[l] as i64) as i32).to_le_bytes());
+                    }
+                }
+                ScalarType::Float32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &(vals[l] as f32).to_le_bytes());
+                    }
+                }
+                ScalarType::Float64 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 8, &vals[l].to_le_bytes());
+                    }
+                }
+            }
+        } else {
+            let vals = &scratch.ints[..MAX_LANES];
+            match ty {
+                ScalarType::UInt8 => {
+                    for l in 0..n {
+                        bind.write(offs[l], &[vals[l] as u8]);
+                    }
+                }
+                ScalarType::UInt16 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 2, &(vals[l] as u16).to_le_bytes());
+                    }
+                }
+                ScalarType::UInt32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &(vals[l] as u32).to_le_bytes());
+                    }
+                }
+                ScalarType::UInt64 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 8, &(vals[l] as u64).to_le_bytes());
+                    }
+                }
+                ScalarType::Int32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &(vals[l] as i32).to_le_bytes());
+                    }
+                }
+                ScalarType::Float32 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 4, &((vals[l] as f64) as f32).to_le_bytes());
+                    }
+                }
+                ScalarType::Float64 => {
+                    for l in 0..n {
+                        bind.write(offs[l] * 8, &(vals[l] as f64).to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_fallback(
+        &self,
+        f: &FallbackStore,
+        lane_depth: usize,
+        n: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> Result<(), RealizeError> {
+        let base = vars[lane_depth];
+        let mut vars = vars.to_vec();
+        let ctx = FallbackCtx {
+            store: f,
+            binds,
+            prepared: self.prepared,
+            params: self.params,
+        };
+        for l in 0..n {
+            vars[lane_depth] = base + l as i64;
+            let mut idx = Vec::with_capacity(f.indices.len());
+            for e in &f.indices {
+                idx.push(eval_value(e, &vars, &ctx)?.as_i64());
+            }
+            let v = eval_value(&f.value, &vars, &ctx)?;
+            let bind = binds.0[f.slot].as_ref().expect("store target bound");
+            let ty = self.prepared.decls[f.slot].ty;
+            let mut off = 0usize;
+            for (d, &i) in idx.iter().enumerate() {
+                let i = i.clamp(0, bind.extents[d] as i64 - 1) as usize;
+                off += i * bind.strides[d];
+            }
+            let bytes = ty.bytes();
+            let mut tmp = [0u8; 8];
+            crate::buffer::write_scalar(ty, v, &mut tmp[..bytes]);
+            bind.write(off * bytes, &tmp[..bytes]);
+        }
+        Ok(())
+    }
+}
+
+struct FallbackCtx<'a> {
+    store: &'a FallbackStore,
+    binds: &'a BindTable,
+    prepared: &'a Prepared,
+    params: &'a BTreeMap<String, Value>,
+}
+
+/// Per-element expression evaluation with exact [`Value`] semantics (the slow
+/// path for stores whose types cannot be inferred statically).
+fn eval_value(e: &Expr, vars: &[i64], ctx: &FallbackCtx<'_>) -> Result<Value, RealizeError> {
+    Ok(match e {
+        Expr::Var(n) | Expr::RVar(n) => Value::Int(
+            ctx.store
+                .var_depths
+                .get(n)
+                .map(|d| vars[*d])
+                .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        ),
+        Expr::ConstInt(v, ty) => {
+            if ty.is_float() {
+                Value::Float(*v as f64)
+            } else {
+                Value::Int(*v)
+            }
+        }
+        Expr::ConstFloat(v, _) => Value::Float(*v),
+        Expr::Param(n, _) => *ctx
+            .params
+            .get(n)
+            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        Expr::Cast(ty, inner) => eval_value(inner, vars, ctx)?.cast(*ty),
+        Expr::Binary(op, a, b) => {
+            eval_binop(*op, eval_value(a, vars, ctx)?, eval_value(b, vars, ctx)?)
+        }
+        Expr::Cmp(op, a, b) => eval_cmp(*op, eval_value(a, vars, ctx)?, eval_value(b, vars, ctx)?),
+        Expr::Select(c, t, o) => {
+            // Mirror the interpreter's stack machine, which evaluates both
+            // branches before selecting.
+            let cond = eval_value(c, vars, ctx)?;
+            let tv = eval_value(t, vars, ctx)?;
+            let ov = eval_value(o, vars, ctx)?;
+            if cond.is_true() {
+                tv
+            } else {
+                ov
+            }
+        }
+        Expr::Call(c, args) => {
+            let vals: Result<Vec<Value>, RealizeError> =
+                args.iter().map(|a| eval_value(a, vars, ctx)).collect();
+            c.eval(&vals?)
+        }
+        Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+            let slot = ctx.store.slots.get(name).copied().ok_or_else(|| match e {
+                Expr::Image(..) => RealizeError::MissingInput(name.clone()),
+                _ => RealizeError::UndefinedFunc(name.clone()),
+            })?;
+            let bind = ctx.binds.0[slot]
+                .as_ref()
+                .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
+            let mut off = 0usize;
+            for (d, a) in args.iter().enumerate() {
+                let i = eval_value(a, vars, ctx)?.as_i64();
+                let i = i.clamp(0, bind.extents[d] as i64 - 1) as usize;
+                off += i * bind.strides[d];
+            }
+            let ty = ctx.prepared.decls[slot].ty;
+            let bytes = ty.bytes();
+            crate::buffer::read_scalar(ty, &bind.data()[off * bytes..off * bytes + bytes])
+        }
+    })
+}
+
+/// Run one typed program over `n` lanes; the result lands in register 0 of
+/// the matching scratch array.
+fn run_program(
+    prog: &Program,
+    lane_depth: usize,
+    n: usize,
+    binds: &BindTable,
+    vars: &[i64],
+    scratch: &mut Scratch,
+) {
+    let mut sp = 0usize;
+    let ints = &mut scratch.ints;
+    let floats = &mut scratch.floats;
+    let offs = &mut scratch.offs;
+    for op in &prog.ops {
+        match op {
+            TOp::ConstI(v) => {
+                for l in 0..n {
+                    ints[sp * MAX_LANES + l] = *v;
+                }
+                sp += 1;
+            }
+            TOp::ConstF(v) => {
+                for l in 0..n {
+                    floats[sp * MAX_LANES + l] = *v;
+                }
+                sp += 1;
+            }
+            TOp::Var(depth) => {
+                let base = vars[*depth];
+                if *depth == lane_depth {
+                    for l in 0..n {
+                        ints[sp * MAX_LANES + l] = base + l as i64;
+                    }
+                } else {
+                    for l in 0..n {
+                        ints[sp * MAX_LANES + l] = base;
+                    }
+                }
+                sp += 1;
+            }
+            TOp::I2F => {
+                let s = (sp - 1) * MAX_LANES;
+                for l in 0..n {
+                    floats[s + l] = ints[s + l] as f64;
+                }
+            }
+            TOp::F2I => {
+                let s = (sp - 1) * MAX_LANES;
+                for l in 0..n {
+                    ints[s + l] = floats[s + l] as i64;
+                }
+            }
+            TOp::BinII(op) => {
+                let (a, b) = ((sp - 2) * MAX_LANES, (sp - 1) * MAX_LANES);
+                match op {
+                    BinOp::Add => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].wrapping_add(ints[b + l]);
+                        }
+                    }
+                    BinOp::Sub => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].wrapping_sub(ints[b + l]);
+                        }
+                    }
+                    BinOp::Mul => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].wrapping_mul(ints[b + l]);
+                        }
+                    }
+                    BinOp::Div => {
+                        for l in 0..n {
+                            let y = ints[b + l];
+                            ints[a + l] = if y == 0 { 0 } else { ints[a + l] / y };
+                        }
+                    }
+                    BinOp::Mod => {
+                        for l in 0..n {
+                            let y = ints[b + l];
+                            ints[a + l] = if y == 0 { 0 } else { ints[a + l] % y };
+                        }
+                    }
+                    BinOp::Shr => {
+                        for l in 0..n {
+                            ints[a + l] =
+                                ((ints[a + l] as u64) >> (ints[b + l] as u64 & 63)) as i64;
+                        }
+                    }
+                    BinOp::Shl => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].wrapping_shl(ints[b + l] as u32);
+                        }
+                    }
+                    BinOp::And => {
+                        for l in 0..n {
+                            ints[a + l] &= ints[b + l];
+                        }
+                    }
+                    BinOp::Or => {
+                        for l in 0..n {
+                            ints[a + l] |= ints[b + l];
+                        }
+                    }
+                    BinOp::Xor => {
+                        for l in 0..n {
+                            ints[a + l] ^= ints[b + l];
+                        }
+                    }
+                    BinOp::Min => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].min(ints[b + l]);
+                        }
+                    }
+                    BinOp::Max => {
+                        for l in 0..n {
+                            ints[a + l] = ints[a + l].max(ints[b + l]);
+                        }
+                    }
+                }
+                sp -= 1;
+            }
+            TOp::BinFF {
+                op,
+                promote_a,
+                promote_b,
+            } => {
+                let (a, b) = ((sp - 2) * MAX_LANES, (sp - 1) * MAX_LANES);
+                for l in 0..n {
+                    let x = if *promote_a {
+                        ints[a + l] as f64
+                    } else {
+                        floats[a + l]
+                    };
+                    let y = if *promote_b {
+                        ints[b + l] as f64
+                    } else {
+                        floats[b + l]
+                    };
+                    floats[a + l] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Mod => x % y,
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                        _ => unreachable!("bitwise float ops use BinBitFF"),
+                    };
+                }
+                sp -= 1;
+            }
+            TOp::BinBitFF {
+                op,
+                promote_a,
+                promote_b,
+            } => {
+                let (a, b) = ((sp - 2) * MAX_LANES, (sp - 1) * MAX_LANES);
+                for l in 0..n {
+                    let x = if *promote_a {
+                        ints[a + l] as f64
+                    } else {
+                        floats[a + l]
+                    };
+                    let y = if *promote_b {
+                        ints[b + l] as f64
+                    } else {
+                        floats[b + l]
+                    };
+                    // Exact `eval_binop` float-branch semantics.
+                    ints[a + l] = match op {
+                        BinOp::Shr => (x as i64) >> (y as i64),
+                        BinOp::Shl => (x as i64) << (y as i64),
+                        BinOp::And => (x as i64) & (y as i64),
+                        BinOp::Or => (x as i64) | (y as i64),
+                        BinOp::Xor => (x as i64) ^ (y as i64),
+                        _ => unreachable!("arithmetic float ops use BinFF"),
+                    };
+                }
+                sp -= 1;
+            }
+            TOp::CmpII(op) => {
+                let (a, b) = ((sp - 2) * MAX_LANES, (sp - 1) * MAX_LANES);
+                for l in 0..n {
+                    let (x, y) = (ints[a + l], ints[b + l]);
+                    ints[a + l] = match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    } as i64;
+                }
+                sp -= 1;
+            }
+            TOp::CmpFF {
+                op,
+                promote_a,
+                promote_b,
+            } => {
+                let (a, b) = ((sp - 2) * MAX_LANES, (sp - 1) * MAX_LANES);
+                for l in 0..n {
+                    let x = if *promote_a {
+                        ints[a + l] as f64
+                    } else {
+                        floats[a + l]
+                    };
+                    let y = if *promote_b {
+                        ints[b + l] as f64
+                    } else {
+                        floats[b + l]
+                    };
+                    ints[a + l] = match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    } as i64;
+                }
+                sp -= 1;
+            }
+            TOp::CastI(ty) => {
+                let s = (sp - 1) * MAX_LANES;
+                match ty {
+                    ScalarType::UInt8 => {
+                        for l in 0..n {
+                            ints[s + l] = (ints[s + l] as u8) as i64;
+                        }
+                    }
+                    ScalarType::UInt16 => {
+                        for l in 0..n {
+                            ints[s + l] = (ints[s + l] as u16) as i64;
+                        }
+                    }
+                    ScalarType::UInt32 => {
+                        for l in 0..n {
+                            ints[s + l] = (ints[s + l] as u32) as i64;
+                        }
+                    }
+                    ScalarType::UInt64 => {} // Value::cast keeps the i64 bits
+                    ScalarType::Int32 => {
+                        for l in 0..n {
+                            ints[s + l] = (ints[s + l] as i32) as i64;
+                        }
+                    }
+                    ScalarType::Float32 => {
+                        for l in 0..n {
+                            floats[s + l] = (ints[s + l] as f64) as f32 as f64;
+                        }
+                    }
+                    ScalarType::Float64 => {
+                        for l in 0..n {
+                            floats[s + l] = ints[s + l] as f64;
+                        }
+                    }
+                }
+            }
+            TOp::CastF(ty) => {
+                let s = (sp - 1) * MAX_LANES;
+                match ty {
+                    ScalarType::UInt8 => {
+                        for l in 0..n {
+                            ints[s + l] = ((floats[s + l] as i64) as u8) as i64;
+                        }
+                    }
+                    ScalarType::UInt16 => {
+                        for l in 0..n {
+                            ints[s + l] = ((floats[s + l] as i64) as u16) as i64;
+                        }
+                    }
+                    ScalarType::UInt32 => {
+                        for l in 0..n {
+                            ints[s + l] = ((floats[s + l] as i64) as u32) as i64;
+                        }
+                    }
+                    ScalarType::UInt64 => {
+                        for l in 0..n {
+                            ints[s + l] = floats[s + l] as i64;
+                        }
+                    }
+                    ScalarType::Int32 => {
+                        for l in 0..n {
+                            ints[s + l] = ((floats[s + l] as i64) as i32) as i64;
+                        }
+                    }
+                    ScalarType::Float32 => {
+                        for l in 0..n {
+                            floats[s + l] = (floats[s + l] as f32) as f64;
+                        }
+                    }
+                    ScalarType::Float64 => {}
+                }
+            }
+            TOp::Sel {
+                cond_float,
+                branches_float,
+            } => {
+                let (c, t, f) = (
+                    (sp - 3) * MAX_LANES,
+                    (sp - 2) * MAX_LANES,
+                    (sp - 1) * MAX_LANES,
+                );
+                for l in 0..n {
+                    let cond = if *cond_float {
+                        floats[c + l] != 0.0
+                    } else {
+                        ints[c + l] != 0
+                    };
+                    if *branches_float {
+                        floats[c + l] = if cond { floats[t + l] } else { floats[f + l] };
+                    } else {
+                        ints[c + l] = if cond { ints[t + l] } else { ints[f + l] };
+                    }
+                }
+                sp -= 2;
+            }
+            TOp::Call(call, arity) => {
+                let base = (sp - arity) * MAX_LANES;
+                for l in 0..n {
+                    let a0 = floats[base + l];
+                    floats[base + l] = match call {
+                        ExternCall::Sqrt => a0.sqrt(),
+                        ExternCall::Floor => a0.floor(),
+                        ExternCall::Ceil => a0.ceil(),
+                        ExternCall::Abs => a0.abs(),
+                        ExternCall::Exp => a0.exp(),
+                        ExternCall::Log => a0.ln(),
+                        ExternCall::Pow => a0.powf(floats[base + MAX_LANES + l]),
+                    };
+                }
+                sp = sp - arity + 1;
+            }
+            TOp::Load { slot, arity, ty } => {
+                let bind = binds.0[*slot].as_ref().expect("load source bound");
+                let base = sp - arity;
+                for l in 0..n {
+                    let mut off = 0usize;
+                    for d in 0..*arity {
+                        let i = ints[(base + d) * MAX_LANES + l]
+                            .clamp(0, bind.extents[d] as i64 - 1)
+                            as usize;
+                        off += i * bind.strides[d];
+                    }
+                    offs[l] = off;
+                }
+                let data = bind.data();
+                let out = base * MAX_LANES;
+                // Monomorphized load loops, mirroring `read_scalar`.
+                match ty {
+                    ScalarType::UInt8 => {
+                        for l in 0..n {
+                            ints[out + l] = data[offs[l]] as i64;
+                        }
+                    }
+                    ScalarType::UInt16 => {
+                        for l in 0..n {
+                            let o = offs[l] * 2;
+                            ints[out + l] = u16::from_le_bytes([data[o], data[o + 1]]) as i64;
+                        }
+                    }
+                    ScalarType::UInt32 => {
+                        for l in 0..n {
+                            let o = offs[l] * 4;
+                            ints[out + l] =
+                                u32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes"))
+                                    as i64;
+                        }
+                    }
+                    ScalarType::UInt64 => {
+                        for l in 0..n {
+                            let o = offs[l] * 8;
+                            ints[out + l] =
+                                u64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"))
+                                    as i64;
+                        }
+                    }
+                    ScalarType::Int32 => {
+                        for l in 0..n {
+                            let o = offs[l] * 4;
+                            ints[out + l] =
+                                i32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes"))
+                                    as i64;
+                        }
+                    }
+                    ScalarType::Float32 => {
+                        for l in 0..n {
+                            let o = offs[l] * 4;
+                            floats[out + l] =
+                                f32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes"))
+                                    as f64;
+                        }
+                    }
+                    ScalarType::Float64 => {
+                        for l in 0..n {
+                            let o = offs[l] * 8;
+                            floats[out + l] =
+                                f64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"));
+                        }
+                    }
+                }
+                sp = base + 1;
+            }
+        }
+    }
+    debug_assert_eq!(sp, 1, "program must leave exactly one register");
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Execute a lowered statement against the given buffers.
+///
+/// `output` is bound writable under `output_name`; `images` and `roots` are
+/// bound read-only; `Allocate` nodes bind their scratch buffers during
+/// execution.
+///
+/// # Errors
+/// Returns an error if a referenced buffer or parameter is missing.
+pub fn execute(
+    stmt: &Stmt,
+    output_name: &str,
+    output: &mut Buffer,
+    images: &BTreeMap<String, &Buffer>,
+    roots: &BTreeMap<String, Buffer>,
+    params: &BTreeMap<String, Value>,
+) -> Result<(), RealizeError> {
+    let mut ctx = PrepareCtx {
+        params,
+        decls: Vec::new(),
+        slot_ids: BTreeMap::new(),
+        alloc_slots: BTreeMap::new(),
+        stores: Vec::new(),
+        var_depths: BTreeMap::new(),
+        depth: 0,
+        max_depth: 0,
+        max_stack: 1,
+        max_arity: 1,
+    };
+    let mut binds: Vec<Option<SlotBind>> = Vec::new();
+    let bind_of = |b: &Buffer| SlotBind {
+        ptr: b.bytes().as_ptr() as *mut u8,
+        byte_len: b.bytes().len(),
+        extents: b.extents().to_vec(),
+        strides: b.strides().to_vec(),
+    };
+
+    // Slot registration order mirrors the interpreter's source resolution:
+    // images first, then roots (which shadow same-named images), with the
+    // output always addressable under its own name.
+    ctx.add_slot(output_name, output.scalar_type(), true);
+    binds.push(Some(SlotBind {
+        ptr: output.bytes_mut().as_mut_ptr(),
+        byte_len: output.bytes().len(),
+        extents: output.extents().to_vec(),
+        strides: output.strides().to_vec(),
+    }));
+    for (name, buf) in images {
+        ctx.add_slot(name, buf.scalar_type(), false);
+        binds.push(Some(bind_of(buf)));
+    }
+    for (name, buf) in roots {
+        ctx.add_slot(name, buf.scalar_type(), false);
+        binds.push(Some(bind_of(buf)));
+    }
+
+    ctx.walk(stmt)?;
+    // Allocate slots bind at runtime.
+    binds.resize(ctx.decls.len(), None);
+
+    let prepared = Prepared {
+        decls: ctx.decls,
+        alloc_slots: ctx.alloc_slots,
+        stores: ctx.stores,
+        max_depth: ctx.max_depth,
+        max_stack: ctx.max_stack,
+        max_arity: ctx.max_arity,
+    };
+    let runner = Runner {
+        prepared: &prepared,
+        params,
+    };
+    let mut binds = BindTable(binds);
+    let mut env: Vec<(String, i64)> = Vec::new();
+    let mut vars = vec![0i64; prepared.max_depth.max(1)];
+    let mut scratch = Scratch::new(&prepared);
+    runner.run(stmt, &mut binds, &mut env, &mut vars, &mut scratch, false)
+}

@@ -165,11 +165,13 @@ impl Expr {
     }
 
     /// Addition helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Add, a, b)
     }
 
     /// Multiplication helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Mul, a, b)
     }
@@ -238,14 +240,10 @@ impl Expr {
     /// binding reduction variables).
     pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
         match self {
-            Expr::Var(name) | Expr::RVar(name) => {
-                subst(name).unwrap_or_else(|| self.clone())
-            }
+            Expr::Var(name) | Expr::RVar(name) => subst(name).unwrap_or_else(|| self.clone()),
             Expr::ConstInt(..) | Expr::ConstFloat(..) | Expr::Param(..) => self.clone(),
             Expr::Cast(ty, e) => Expr::Cast(*ty, Box::new(e.substitute(subst))),
-            Expr::Binary(op, a, b) => {
-                Expr::bin(*op, a.substitute(subst), b.substitute(subst))
-            }
+            Expr::Binary(op, a, b) => Expr::bin(*op, a.substitute(subst), b.substitute(subst)),
             Expr::Cmp(op, a, b) => Expr::cmp(*op, a.substitute(subst), b.substitute(subst)),
             Expr::Select(c, t, e) => Expr::select(
                 c.substitute(subst),
@@ -255,12 +253,14 @@ impl Expr {
             Expr::Call(c, args) => {
                 Expr::Call(*c, args.iter().map(|a| a.substitute(subst)).collect())
             }
-            Expr::Image(n, args) => {
-                Expr::Image(n.clone(), args.iter().map(|a| a.substitute(subst)).collect())
-            }
-            Expr::FuncRef(n, args) => {
-                Expr::FuncRef(n.clone(), args.iter().map(|a| a.substitute(subst)).collect())
-            }
+            Expr::Image(n, args) => Expr::Image(
+                n.clone(),
+                args.iter().map(|a| a.substitute(subst)).collect(),
+            ),
+            Expr::FuncRef(n, args) => Expr::FuncRef(
+                n.clone(),
+                args.iter().map(|a| a.substitute(subst)).collect(),
+            ),
         }
     }
 
@@ -435,7 +435,10 @@ mod tests {
             Expr::bin(
                 BinOp::Shr,
                 Expr::add(
-                    Expr::mul(Expr::uint(2), Expr::Image("in".into(), vec![Expr::var("x")])),
+                    Expr::mul(
+                        Expr::uint(2),
+                        Expr::Image("in".into(), vec![Expr::var("x")]),
+                    ),
                     Expr::uint(2),
                 ),
                 Expr::uint(2),
@@ -449,19 +452,46 @@ mod tests {
 
     #[test]
     fn binop_eval_int_and_float() {
-        assert_eq!(eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
-        assert_eq!(eval_binop(BinOp::Shr, Value::Int(9), Value::Int(2)), Value::Int(2));
-        assert_eq!(eval_binop(BinOp::Div, Value::Int(7), Value::Int(0)), Value::Int(0));
-        assert_eq!(eval_binop(BinOp::Min, Value::Int(7), Value::Int(3)), Value::Int(3));
-        assert_eq!(eval_binop(BinOp::Mul, Value::Float(1.5), Value::Int(2)), Value::Float(3.0));
-        assert_eq!(eval_binop(BinOp::Max, Value::Float(1.5), Value::Float(2.5)), Value::Float(2.5));
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Shr, Value::Int(9), Value::Int(2)),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Int(7), Value::Int(0)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Min, Value::Int(7), Value::Int(3)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Mul, Value::Float(1.5), Value::Int(2)),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Max, Value::Float(1.5), Value::Float(2.5)),
+            Value::Float(2.5)
+        );
     }
 
     #[test]
     fn cmp_eval() {
-        assert_eq!(eval_cmp(CmpOp::Lt, Value::Int(1), Value::Int(2)), Value::Int(1));
-        assert_eq!(eval_cmp(CmpOp::Ge, Value::Int(1), Value::Int(2)), Value::Int(0));
-        assert_eq!(eval_cmp(CmpOp::Eq, Value::Float(1.0), Value::Int(1)), Value::Int(1));
+        assert_eq!(
+            eval_cmp(CmpOp::Lt, Value::Int(1), Value::Int(2)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_cmp(CmpOp::Ge, Value::Int(1), Value::Int(2)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_cmp(CmpOp::Eq, Value::Float(1.0), Value::Int(1)),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -487,8 +517,14 @@ mod tests {
 
     #[test]
     fn extern_call_eval() {
-        assert_eq!(ExternCall::Sqrt.eval(&[Value::Float(16.0)]), Value::Float(4.0));
-        assert_eq!(ExternCall::Pow.eval(&[Value::Float(2.0), Value::Float(3.0)]), Value::Float(8.0));
+        assert_eq!(
+            ExternCall::Sqrt.eval(&[Value::Float(16.0)]),
+            Value::Float(4.0)
+        );
+        assert_eq!(
+            ExternCall::Pow.eval(&[Value::Float(2.0), Value::Float(3.0)]),
+            Value::Float(8.0)
+        );
         assert_eq!(ExternCall::Sqrt.name(), "sqrt");
     }
 }

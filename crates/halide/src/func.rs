@@ -19,7 +19,11 @@ pub struct ImageParam {
 impl ImageParam {
     /// Create an image parameter.
     pub fn new(name: &str, ty: ScalarType, dims: usize) -> ImageParam {
-        ImageParam { name: name.to_string(), ty, dims }
+        ImageParam {
+            name: name.to_string(),
+            ty,
+            dims,
+        }
     }
 }
 
@@ -44,7 +48,11 @@ impl RDom {
                 .iter()
                 .enumerate()
                 .map(|(i, (min, extent))| {
-                    (format!("{name}.{}", dim_letter(i)), Expr::int(*min), Expr::int(*extent))
+                    (
+                        format!("{name}.{}", dim_letter(i)),
+                        Expr::int(*min),
+                        Expr::int(*extent),
+                    )
                 })
                 .collect(),
         }
@@ -203,15 +211,21 @@ impl Pipeline {
                     }
                     for u in &mut f.updates {
                         u.value = rename_func_refs(&u.value, &renames);
-                        u.lhs = u.lhs.iter().map(|e| rename_func_refs(e, &renames)).collect();
+                        u.lhs = u
+                            .lhs
+                            .iter()
+                            .map(|e| rename_func_refs(e, &renames))
+                            .collect();
                     }
                     (new_name, f)
                 })
                 .collect();
             upstream_funcs = renamed;
         }
-        let upstream_output =
-            renames.get(&first.output).cloned().unwrap_or_else(|| first.output.clone());
+        let upstream_output = renames
+            .get(&first.output)
+            .cloned()
+            .unwrap_or_else(|| first.output.clone());
 
         // Rewrite the downstream (self) accesses to the consumed image so they
         // read from the upstream output func instead.
@@ -234,7 +248,10 @@ impl Pipeline {
             result.funcs.entry(name).or_insert(f);
         }
         for (name, img) in &first.images {
-            result.images.entry(name.clone()).or_insert_with(|| img.clone());
+            result
+                .images
+                .entry(name.clone())
+                .or_insert_with(|| img.clone());
         }
         result
     }
@@ -252,20 +269,25 @@ fn rename_func_refs(e: &Expr, renames: &BTreeMap<String, String>) -> Expr {
             args.iter().map(|a| rename_func_refs(a, renames)).collect(),
         ),
         Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rename_func_refs(inner, renames))),
-        Expr::Binary(op, a, b) => {
-            Expr::bin(*op, rename_func_refs(a, renames), rename_func_refs(b, renames))
-        }
-        Expr::Cmp(op, a, b) => {
-            Expr::cmp(*op, rename_func_refs(a, renames), rename_func_refs(b, renames))
-        }
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            rename_func_refs(a, renames),
+            rename_func_refs(b, renames),
+        ),
+        Expr::Cmp(op, a, b) => Expr::cmp(
+            *op,
+            rename_func_refs(a, renames),
+            rename_func_refs(b, renames),
+        ),
         Expr::Select(c, t, o) => Expr::select(
             rename_func_refs(c, renames),
             rename_func_refs(t, renames),
             rename_func_refs(o, renames),
         ),
-        Expr::Call(c, args) => {
-            Expr::Call(*c, args.iter().map(|a| rename_func_refs(a, renames)).collect())
-        }
+        Expr::Call(c, args) => Expr::Call(
+            *c,
+            args.iter().map(|a| rename_func_refs(a, renames)).collect(),
+        ),
         other => other.clone(),
     }
 }
@@ -274,17 +296,25 @@ fn rewrite_image_to_func(e: &Expr, image: &str, func: &str) -> Expr {
     match e {
         Expr::Image(name, args) if name == image => Expr::FuncRef(
             func.to_string(),
-            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+            args.iter()
+                .map(|a| rewrite_image_to_func(a, image, func))
+                .collect(),
         ),
         Expr::Image(name, args) => Expr::Image(
             name.clone(),
-            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+            args.iter()
+                .map(|a| rewrite_image_to_func(a, image, func))
+                .collect(),
         ),
         Expr::FuncRef(name, args) => Expr::FuncRef(
             name.clone(),
-            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+            args.iter()
+                .map(|a| rewrite_image_to_func(a, image, func))
+                .collect(),
         ),
-        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rewrite_image_to_func(inner, image, func))),
+        Expr::Cast(ty, inner) => {
+            Expr::Cast(*ty, Box::new(rewrite_image_to_func(inner, image, func)))
+        }
         Expr::Binary(op, a, b) => Expr::bin(
             *op,
             rewrite_image_to_func(a, image, func),
@@ -302,7 +332,9 @@ fn rewrite_image_to_func(e: &Expr, image: &str, func: &str) -> Expr {
         ),
         Expr::Call(c, args) => Expr::Call(
             *c,
-            args.iter().map(|a| rewrite_image_to_func(a, image, func)).collect(),
+            args.iter()
+                .map(|a| rewrite_image_to_func(a, image, func))
+                .collect(),
         ),
         _ => e.clone(),
     }
@@ -366,7 +398,11 @@ mod tests {
         assert!(fused.funcs.contains_key("output_2"));
         // input_1 still exists because the *first* stage consumes it.
         assert!(fused.images.contains_key("input_1"));
-        let refs = fused.funcs["output_2"].pure_def.as_ref().unwrap().referenced_funcs();
+        let refs = fused.funcs["output_2"]
+            .pure_def
+            .as_ref()
+            .unwrap()
+            .referenced_funcs();
         assert!(refs.contains("output_1"));
     }
 

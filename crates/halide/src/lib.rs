@@ -13,9 +13,18 @@
 //!   ([`func::Pipeline::compose_after`]);
 //! * [`buffer`] — dense n-dimensional buffers used as inputs and outputs;
 //! * [`bounds`] — interval-based bounds inference for sizing producers;
-//! * [`schedule`] and [`realize`] — the execution engine: pure definitions are
-//!   compiled to a compact stack machine and walked tile-by-tile, optionally
-//!   in parallel; update definitions implement reductions such as histograms;
+//! * [`schedule`] — the schedule knobs (tiling, parallelism, vectorization,
+//!   `compute_root`, `compute_at`) the autotuner searches over;
+//! * [`stmt`], [`lower`], [`exec`] — the compilation pipeline: schedules are
+//!   *lowered* into an explicit loop-nest IR ([`stmt::Stmt`]) with
+//!   bounds-inference-sized intermediate allocations, then executed by a
+//!   compiled engine with type-specialized (per-[`ScalarType`]) flat-slice
+//!   inner loops, lane-batched vectorization and scoped-thread parallelism;
+//! * [`realize`] — the realizer driving either backend
+//!   ([`realize::ExecBackend::Lowered`] by default;
+//!   [`realize::ExecBackend::Interpret`] keeps the original per-element
+//!   interpreter as the differential-testing oracle — both produce
+//!   bit-identical buffers);
 //! * [`autotune`] — random-search schedule tuning with wall-clock feedback;
 //! * [`codegen`] — emission of genuine Halide C++ source text, the paper's
 //!   published artifact.
@@ -53,11 +62,14 @@ pub mod autotune;
 pub mod bounds;
 pub mod buffer;
 pub mod codegen;
+pub mod exec;
 pub mod expr;
 pub mod func;
+pub mod lower;
 pub mod realize;
 pub mod schedule;
 pub mod simplify;
+pub mod stmt;
 pub mod types;
 
 pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
@@ -65,9 +77,10 @@ pub use buffer::Buffer;
 pub use codegen::{generate_halide_source, CodegenOptions};
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
-pub use realize::{RealizeError, RealizeInputs, Realizer};
+pub use realize::{ExecBackend, RealizeError, RealizeInputs, Realizer};
 pub use schedule::Schedule;
 pub use simplify::{simplify, simplify_func, simplify_pipeline};
+pub use stmt::{LoopKind, Stmt};
 pub use types::{ScalarType, Value};
 
 /// Convenient glob-import of the commonly used types.
@@ -77,7 +90,7 @@ pub mod prelude {
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
-    pub use crate::realize::{RealizeInputs, Realizer};
+    pub use crate::realize::{ExecBackend, RealizeInputs, Realizer};
     pub use crate::schedule::Schedule;
     pub use crate::simplify::{simplify, simplify_pipeline};
     pub use crate::types::{ScalarType, Value};

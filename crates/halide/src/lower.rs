@@ -1,0 +1,1173 @@
+//! Lowering: turning a [`Pipeline`] + [`Schedule`] into loop-nest IR.
+//!
+//! This is the compilation step the interpreter never had: schedule decisions
+//! (tiling, parallelism, vectorization, `compute_root`, `compute_at`) are
+//! materialized as restructured [`Stmt`] loops *before* execution, so the
+//! executor runs straight-line loop nests instead of re-deciding strategy per
+//! element.
+//!
+//! The lowering of the output func proceeds in four steps:
+//!
+//! 1. **Inlining** — every producer not scheduled `compute_root`/`compute_at`
+//!    (and without reductions) is substituted into the consumer expression.
+//! 2. **Loop synthesis** — one loop per output dimension, outermost last
+//!    dimension first; tiling splits the two innermost dimensions into
+//!    outer/inner pairs with `min(tile, extent - outer*tile)` tails; the
+//!    outermost loop is tagged parallel and the innermost vectorized per the
+//!    schedule.
+//! 3. **`compute_at` regions** — for each attached producer, bounds inference
+//!    probes the consumer's accesses to derive a per-iteration region that is
+//!    affine in the enclosing loop variables (`min = base + Σ cᵢ·loopᵢ`,
+//!    constant extent). The producer is lowered into an [`Stmt::Allocate`] of
+//!    that extent plus its own produce loops at the attach point, and consumer
+//!    accesses are rebased into the local buffer. Producers whose regions are
+//!    not affine (or absurdly large) *degrade to `compute_root`*, which is
+//!    value-identical.
+//! 4. **Simplification** — all synthesized index/bound expressions are
+//!    constant-folded through [`crate::simplify`].
+//!
+//! Bit-exactness: lowering only reorders the iteration space and rebases
+//! producer storage; every value is computed by the same expression over the
+//! same inputs as the interpreter, so both backends produce identical buffers
+//! (enforced by the differential property suite in `tests/prop_halide.rs`).
+
+use crate::expr::{BinOp, Expr};
+use crate::func::{Func, Pipeline};
+use crate::realize::RealizeError;
+use crate::schedule::Schedule;
+use crate::simplify::simplify;
+use crate::stmt::{LoopKind, Stmt};
+use crate::types::{ScalarType, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cap on the element count of a `compute_at` region; larger inferred regions
+/// (typically from non-affine indexing) degrade the producer to
+/// `compute_root` instead of allocating absurd scratch buffers.
+const MAX_REGION_ELEMS: usize = 1 << 24;
+
+/// One loop of the synthesized nest, outermost first.
+#[derive(Debug, Clone)]
+struct LoopLevel {
+    /// Loop variable name (an output var, or `var.outer` / `var.inner`).
+    name: String,
+    /// Iteration count expression.
+    extent: Expr,
+    /// Execution strategy.
+    kind: LoopKind,
+    /// Original output dimension this loop iterates (innermost-first index).
+    dim: usize,
+    /// Split role of this loop within its dimension.
+    role: LoopRole,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopRole {
+    /// The whole dimension.
+    Whole,
+    /// Outer loop of a split with the given tile factor.
+    Outer(usize),
+    /// Inner loop of a split with the given tile factor.
+    Inner(usize),
+}
+
+/// The inferred storage region of one `compute_at` producer dimension:
+/// `min = max(0, base_min + Σ coeff·loop_var)`, constant `extent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDim {
+    /// Constant part of the region minimum.
+    pub base_min: i64,
+    /// Per-loop-variable multipliers of the region minimum.
+    pub coeffs: Vec<(String, i64)>,
+    /// Constant region extent.
+    pub extent: usize,
+}
+
+impl RegionDim {
+    /// The runtime region minimum as an expression over the enclosing loop
+    /// variables, clamped at zero (matching `compute_root`'s `[0, max]`
+    /// allocations so both placements clamp reads identically).
+    pub fn min_expr(&self) -> Expr {
+        let mut e = Expr::int(self.base_min);
+        for (var, c) in &self.coeffs {
+            e = Expr::add(e, Expr::mul(Expr::int(*c), Expr::var(var)));
+        }
+        simplify(&Expr::bin(BinOp::Max, e, Expr::int(0)))
+    }
+}
+
+/// A planned `compute_at` placement for one producer func.
+#[derive(Debug, Clone)]
+pub struct ComputeAtPlan {
+    /// Producer func name.
+    pub func: String,
+    /// Name of the loop at whose iterations the producer is recomputed.
+    pub attach_loop: String,
+    /// Storage region per producer dimension (innermost first).
+    pub dims: Vec<RegionDim>,
+}
+
+/// Result of planning `compute_at` placements: the plans that hold, and the
+/// producers that degrade to `compute_root`.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeAtOutcome {
+    /// Producers lowered at a consumer loop.
+    pub plans: Vec<ComputeAtPlan>,
+    /// Producers that degrade to `compute_root` (value-identical).
+    pub demoted: BTreeSet<String>,
+}
+
+/// Inline into `expr` every func of `pipeline` that is not named in `keep`
+/// (and has a pure definition without reductions), iterating to a fixed
+/// point.
+pub fn inline_except(
+    pipeline: &Pipeline,
+    expr: &Expr,
+    keep: &BTreeSet<String>,
+) -> Result<Expr, RealizeError> {
+    let mut result = expr.clone();
+    for _ in 0..32 {
+        let refs = result.referenced_funcs();
+        let to_inline: Vec<String> = refs
+            .into_iter()
+            .filter(|n| !keep.contains(n) && *n != pipeline.output)
+            .collect();
+        if to_inline.is_empty() {
+            return Ok(result);
+        }
+        for name in to_inline {
+            let func = pipeline
+                .funcs
+                .get(&name)
+                .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
+            if !func.updates.is_empty() || func.pure_def.is_none() {
+                // Funcs with reductions cannot be inlined; they are
+                // materialized by the realizer and read as sources.
+                continue;
+            }
+            result = crate::realize::inline_one(&result, func);
+        }
+    }
+    Ok(result)
+}
+
+fn split_names(var: &str) -> (String, String) {
+    (format!("{var}.outer"), format!("{var}.inner"))
+}
+
+/// Synthesize the loop structure for `func` over `extents` under `schedule`.
+fn build_levels(func: &Func, extents: &[usize], schedule: &Schedule) -> Vec<LoopLevel> {
+    let dims = func.vars.len();
+    let tiled = match schedule.tile {
+        Some((tx, ty)) if dims >= 2 => Some((tx.max(1), ty.max(1))),
+        _ => None,
+    };
+    let mut levels = Vec::new();
+    // Plain loops over the dimensions above the tiled pair, outermost first.
+    for d in (0..dims).rev() {
+        if tiled.is_some() && d < 2 {
+            continue;
+        }
+        levels.push(LoopLevel {
+            name: func.vars[d].clone(),
+            extent: Expr::int(extents[d] as i64),
+            kind: LoopKind::Serial,
+            dim: d,
+            role: LoopRole::Whole,
+        });
+    }
+    if let Some((tx, ty)) = tiled {
+        let (x, y) = (&func.vars[0], &func.vars[1]);
+        let (xo, xi) = split_names(x);
+        let (yo, yi) = split_names(y);
+        let (w, h) = (extents[0], extents[1]);
+        levels.push(LoopLevel {
+            name: yo,
+            extent: Expr::int(h.div_ceil(ty) as i64),
+            kind: LoopKind::Serial,
+            dim: 1,
+            role: LoopRole::Outer(ty),
+        });
+        levels.push(LoopLevel {
+            name: xo.clone(),
+            extent: Expr::int(w.div_ceil(tx) as i64),
+            kind: LoopKind::Serial,
+            dim: 0,
+            role: LoopRole::Outer(tx),
+        });
+        levels.push(LoopLevel {
+            name: yi,
+            extent: simplify(&Expr::bin(
+                BinOp::Min,
+                Expr::int(ty as i64),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::int(h as i64),
+                    Expr::mul(Expr::var(&split_names(y).0), Expr::int(ty as i64)),
+                ),
+            )),
+            kind: LoopKind::Serial,
+            dim: 1,
+            role: LoopRole::Inner(ty),
+        });
+        levels.push(LoopLevel {
+            name: xi,
+            extent: simplify(&Expr::bin(
+                BinOp::Min,
+                Expr::int(tx as i64),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::int(w as i64),
+                    Expr::mul(Expr::var(&xo), Expr::int(tx as i64)),
+                ),
+            )),
+            kind: LoopKind::Serial,
+            dim: 0,
+            role: LoopRole::Inner(tx),
+        });
+    }
+    if levels.is_empty() {
+        // 1-D untiled func: a single loop over dimension 0.
+        debug_assert!(dims >= 1);
+    }
+    if schedule.parallel {
+        if let Some(first) = levels.first_mut() {
+            first.kind = LoopKind::Parallel {
+                threads: schedule.threads,
+            };
+        }
+    }
+    if schedule.vector_width > 1 {
+        if let Some(last) = levels.last_mut() {
+            if !matches!(last.kind, LoopKind::Parallel { .. }) {
+                last.kind = LoopKind::Vectorized {
+                    width: schedule.vector_width,
+                };
+            }
+        }
+    }
+    levels
+}
+
+/// The expression each original output var takes in terms of the loop vars.
+fn var_substitution(func: &Func, levels: &[LoopLevel]) -> BTreeMap<String, Expr> {
+    let mut subst = BTreeMap::new();
+    for level in levels {
+        let var = &func.vars[level.dim];
+        match level.role {
+            LoopRole::Whole => {
+                subst.insert(var.clone(), Expr::var(&level.name));
+            }
+            LoopRole::Outer(f) => {
+                let (o, i) = split_names(var);
+                subst.insert(
+                    var.clone(),
+                    Expr::add(Expr::mul(Expr::var(&o), Expr::int(f as i64)), Expr::var(&i)),
+                );
+            }
+            LoopRole::Inner(_) => {}
+        }
+    }
+    subst
+}
+
+/// Structurally decompose `e` into an affine form `const + Σ coeff·var` over
+/// the pure output variables, resolving integer params to their values.
+/// Returns `None` for anything non-affine (loads, selects, float math,
+/// narrowing or sign-changing casts — which could wrap and diverge from the
+/// affine model).
+fn affine_decompose(
+    e: &Expr,
+    params: &BTreeMap<String, Value>,
+) -> Option<(BTreeMap<String, i64>, i64)> {
+    match e {
+        Expr::Var(n) => {
+            let mut m = BTreeMap::new();
+            m.insert(n.clone(), 1i64);
+            Some((m, 0))
+        }
+        Expr::ConstInt(v, ty) if !ty.is_float() => Some((BTreeMap::new(), *v)),
+        Expr::Param(n, _) => match params.get(n) {
+            Some(Value::Int(v)) => Some((BTreeMap::new(), *v)),
+            _ => None,
+        },
+        // Int32/UInt64 casts of an i64 index are value-preserving for every
+        // index magnitude a real buffer can have; narrower or unsigned-32
+        // casts can wrap (e.g. `cast<u32>(x - 1)` at x = 0) and are rejected.
+        Expr::Cast(ScalarType::Int32 | ScalarType::UInt64, inner) => {
+            affine_decompose(inner, params)
+        }
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+            let (mut ca, ka) = affine_decompose(a, params)?;
+            let (cb, kb) = affine_decompose(b, params)?;
+            let sign = if *op == BinOp::Add { 1 } else { -1 };
+            for (v, c) in cb {
+                *ca.entry(v).or_insert(0) += sign * c;
+            }
+            Some((ca, ka + sign * kb))
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let (ca, ka) = affine_decompose(a, params)?;
+            let (cb, kb) = affine_decompose(b, params)?;
+            let (mut coeffs, scale, k) = if ca.values().all(|&c| c == 0) {
+                (cb, ka, kb)
+            } else if cb.values().all(|&c| c == 0) {
+                (ca, kb, ka)
+            } else {
+                return None; // var × var: not affine
+            };
+            for c in coeffs.values_mut() {
+                *c *= scale;
+            }
+            Some((coeffs, k * scale))
+        }
+        _ => None,
+    }
+}
+
+/// How one loop of the nest participates in region inference.
+struct LoopAxis {
+    /// Loop variable name.
+    name: String,
+    /// Loops at or outside the attach level stay symbolic in the region
+    /// expression; loops inside it span their full range.
+    symbolic: bool,
+    /// Upper bound on the loop variable (inclusive); tail-clamped inner tile
+    /// loops use the full tile, a sound over-approximation.
+    max_iter: i64,
+}
+
+/// Derive the storage region of `producer` under the consumer expression:
+/// every access's index must be affine in the output variables, and all
+/// accesses must share the same coefficients on the symbolic (attach-level
+/// and outer) loops, so the region is a pure translation per iteration.
+/// Returns `None` (degrade to `compute_root`) otherwise.
+#[allow(clippy::too_many_arguments)]
+fn infer_region(
+    output: &Func,
+    extents: &[usize],
+    levels: &[LoopLevel],
+    attach_idx: usize,
+    consumer_expr: &Expr,
+    producer: &str,
+    producer_dims: usize,
+    params: &BTreeMap<String, Value>,
+) -> Option<Vec<RegionDim>> {
+    // Collect every access to the producer.
+    let mut accesses: Vec<&Vec<Expr>> = Vec::new();
+    let mut arity_ok = true;
+    consumer_expr.visit(&mut |e| {
+        if let Expr::FuncRef(name, args) = e {
+            if name == producer {
+                if args.len() == producer_dims {
+                    accesses.push(args);
+                } else {
+                    arity_ok = false;
+                }
+            }
+        }
+    });
+    if !arity_ok || accesses.is_empty() {
+        return None;
+    }
+
+    // Map each original output var to its loop axes: `x` iterated whole maps
+    // to one axis with coefficient 1; a tiled `x` maps to `x.outer` with
+    // coefficient `tile` and `x.inner` with coefficient 1.
+    let axes: Vec<LoopAxis> = levels
+        .iter()
+        .enumerate()
+        .map(|(idx, level)| LoopAxis {
+            name: level.name.clone(),
+            symbolic: idx <= attach_idx,
+            max_iter: match level.role {
+                LoopRole::Whole => extents[level.dim] as i64 - 1,
+                LoopRole::Outer(t) => extents[level.dim].div_ceil(t) as i64 - 1,
+                LoopRole::Inner(t) => t as i64 - 1,
+            },
+        })
+        .collect();
+    let axis_coeffs = |var: &str, c: i64| -> Vec<(String, i64)> {
+        for level in levels {
+            if output.vars[level.dim] != var {
+                continue;
+            }
+            return match level.role {
+                LoopRole::Whole => vec![(level.name.clone(), c)],
+                LoopRole::Outer(t) => {
+                    let (o, i) = split_names(var);
+                    vec![(o, c * t as i64), (i, c)]
+                }
+                LoopRole::Inner(_) => Vec::new(), // covered by the Outer entry
+            };
+        }
+        Vec::new()
+    };
+
+    let mut dims = Vec::with_capacity(producer_dims);
+    for d in 0..producer_dims {
+        let mut shared_sym: Option<BTreeMap<String, i64>> = None;
+        let mut region_min = i64::MAX;
+        let mut region_max = i64::MIN;
+        for args in &accesses {
+            let (var_coeffs, konst) = affine_decompose(&args[d], params)?;
+            // Translate original-var coefficients to loop-axis coefficients.
+            let mut per_axis: BTreeMap<String, i64> = BTreeMap::new();
+            for (var, c) in &var_coeffs {
+                if *c == 0 {
+                    continue;
+                }
+                let translated = axis_coeffs(var, *c);
+                if translated.is_empty() {
+                    return None; // references a variable with no loop (free var)
+                }
+                for (axis, ac) in translated {
+                    *per_axis.entry(axis).or_insert(0) += ac;
+                }
+            }
+            // Split into the symbolic (translation) part and the inner span.
+            let mut sym: BTreeMap<String, i64> = BTreeMap::new();
+            let (mut lo, mut hi) = (konst, konst);
+            for axis in &axes {
+                let c = per_axis.get(&axis.name).copied().unwrap_or(0);
+                if c == 0 {
+                    continue;
+                }
+                if axis.symbolic {
+                    sym.insert(axis.name.clone(), c);
+                } else if c > 0 {
+                    hi += c * axis.max_iter;
+                } else {
+                    lo += c * axis.max_iter;
+                }
+            }
+            match &shared_sym {
+                None => shared_sym = Some(sym),
+                Some(prev) if *prev == sym => {}
+                // Accesses translate differently per iteration (e.g. P(x)
+                // and P(2x)): the union is not a fixed-extent translation.
+                Some(_) => return None,
+            }
+            region_min = region_min.min(lo);
+            region_max = region_max.max(hi);
+        }
+        let extent = (region_max - region_min + 1).max(1) as usize;
+        dims.push(RegionDim {
+            base_min: region_min,
+            coeffs: shared_sym.unwrap_or_default().into_iter().collect(),
+            extent,
+        });
+    }
+    let total: usize = dims.iter().map(|d| d.extent).product();
+    if total == 0 || total > MAX_REGION_ELEMS {
+        return None;
+    }
+    Some(dims)
+}
+
+/// Plan `compute_at` placements for the output func of `pipeline`.
+///
+/// `roots` are the funcs that will be materialized before the output runs
+/// (`compute_root` plus funcs with reductions); they stay un-inlined during
+/// planning. Any `compute_at` entry that cannot be honoured — unknown func,
+/// reduction, the output itself, already `compute_root`, unknown attach var,
+/// non-affine or oversized region — lands in
+/// [`ComputeAtOutcome::demoted`] and degrades to `compute_root`.
+///
+/// # Errors
+/// Returns an error if a referenced func is undefined.
+pub fn plan_compute_at(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    output_extents: &[usize],
+    params: &BTreeMap<String, Value>,
+    roots: &BTreeSet<String>,
+) -> Result<ComputeAtOutcome, RealizeError> {
+    let output = pipeline.output_func();
+    let mut outcome = ComputeAtOutcome::default();
+    if schedule.compute_at.is_empty() {
+        return Ok(outcome);
+    }
+
+    // Update definitions are interpreted against materialized buffers, so any
+    // func an update expression references (of the output or of a func that
+    // will itself be materialized) must exist as a buffer — such producers
+    // cannot be scoped compute_at allocations.
+    let mut update_refs: BTreeSet<String> = BTreeSet::new();
+    let mut collect_update_refs = |f: &Func| {
+        for u in &f.updates {
+            for e in u.lhs.iter().chain(std::iter::once(&u.value)) {
+                update_refs.extend(e.referenced_funcs());
+            }
+        }
+    };
+    collect_update_refs(output);
+    for name in roots {
+        if let Some(f) = pipeline.funcs.get(name) {
+            collect_update_refs(f);
+        }
+    }
+
+    let mut candidates: Vec<(String, String)> = Vec::new();
+    for (func, var) in &schedule.compute_at {
+        let eligible = pipeline.funcs.get(func).is_some_and(|f| {
+            f.pure_def.is_some() && f.updates.is_empty() && *func != pipeline.output
+        }) && !roots.contains(func)
+            && !update_refs.contains(func)
+            && output.vars.contains(var);
+        if eligible {
+            candidates.push((func.clone(), var.clone()));
+        } else if pipeline.funcs.contains_key(func) && *func != pipeline.output {
+            outcome.demoted.insert(func.clone());
+        }
+    }
+    if candidates.is_empty() {
+        return Ok(outcome);
+    }
+
+    // The consumer expression with roots and all candidates left as FuncRefs.
+    let mut keep: BTreeSet<String> = roots.clone();
+    keep.extend(candidates.iter().map(|(f, _)| f.clone()));
+    let consumer = match &output.pure_def {
+        Some(e) => inline_except(pipeline, e, &keep)?,
+        None => return Ok(outcome),
+    };
+
+    let levels = build_levels(output, output_extents, schedule);
+    for (func, var) in candidates {
+        let attach_idx = levels
+            .iter()
+            .rposition(|l| output.vars[l.dim] == var)
+            .expect("attach var has a loop");
+        let producer_dims = pipeline.funcs[&func].dims();
+        if !consumer.referenced_funcs().contains(&func) {
+            // Not referenced (it may feed only other producers, which inline
+            // it); treat as compute_root so it is still materialized once.
+            outcome.demoted.insert(func);
+            continue;
+        }
+        match infer_region(
+            output,
+            output_extents,
+            &levels,
+            attach_idx,
+            &consumer,
+            &func,
+            producer_dims,
+            params,
+        ) {
+            Some(dims) => outcome.plans.push(ComputeAtPlan {
+                func,
+                attach_loop: levels[attach_idx].name.clone(),
+                dims,
+            }),
+            None => {
+                outcome.demoted.insert(func);
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Rewrite accesses to a `compute_at` producer into its local region buffer:
+/// `P(args...)` becomes `P(args - region_min...)`.
+fn rebase_producer_refs(e: &Expr, plan: &ComputeAtPlan) -> Expr {
+    match e {
+        Expr::FuncRef(name, args) if *name == plan.func => {
+            let rebased: Vec<Expr> = args
+                .iter()
+                .enumerate()
+                .map(|(d, a)| {
+                    let a = rebase_producer_refs(a, plan);
+                    match plan.dims.get(d) {
+                        Some(dim) => simplify(&Expr::bin(BinOp::Sub, a, dim.min_expr())),
+                        None => a,
+                    }
+                })
+                .collect();
+            Expr::FuncRef(name.clone(), rebased)
+        }
+        Expr::FuncRef(name, args) => Expr::FuncRef(
+            name.clone(),
+            args.iter().map(|a| rebase_producer_refs(a, plan)).collect(),
+        ),
+        Expr::Image(name, args) => Expr::Image(
+            name.clone(),
+            args.iter().map(|a| rebase_producer_refs(a, plan)).collect(),
+        ),
+        Expr::Cast(ty, inner) => Expr::Cast(*ty, Box::new(rebase_producer_refs(inner, plan))),
+        Expr::Binary(op, a, b) => Expr::bin(
+            *op,
+            rebase_producer_refs(a, plan),
+            rebase_producer_refs(b, plan),
+        ),
+        Expr::Cmp(op, a, b) => Expr::cmp(
+            *op,
+            rebase_producer_refs(a, plan),
+            rebase_producer_refs(b, plan),
+        ),
+        Expr::Select(c, t, o) => Expr::select(
+            rebase_producer_refs(c, plan),
+            rebase_producer_refs(t, plan),
+            rebase_producer_refs(o, plan),
+        ),
+        Expr::Call(c, args) => Expr::Call(
+            *c,
+            args.iter().map(|a| rebase_producer_refs(a, plan)).collect(),
+        ),
+        _ => e.clone(),
+    }
+}
+
+/// Build the produce loops for a `compute_at` producer at its attach point.
+fn build_producer_nest(
+    pipeline: &Pipeline,
+    plan: &ComputeAtPlan,
+    roots: &BTreeSet<String>,
+    schedule: &Schedule,
+    next_store_id: &mut usize,
+) -> Result<Stmt, RealizeError> {
+    let func = &pipeline.funcs[&plan.func];
+    let def = func
+        .pure_def
+        .as_ref()
+        .expect("compute_at producers are pure");
+    let body_expr = inline_except(pipeline, def, roots)?;
+    // Substitute the producer's vars with local coordinates offset by the
+    // region minimum.
+    let local_name = |d: usize| format!("{}.s{}", plan.func, d);
+    let substituted = body_expr.substitute(&|var| {
+        func.vars
+            .iter()
+            .position(|v| v == var)
+            .map(|d| Expr::add(Expr::var(&local_name(d)), plan.dims[d].min_expr()))
+    });
+    let store = Stmt::Store {
+        id: {
+            let id = *next_store_id;
+            *next_store_id += 1;
+            id
+        },
+        buffer: plan.func.clone(),
+        indices: (0..func.dims())
+            .map(|d| Expr::var(&local_name(d)))
+            .collect(),
+        value: simplify(&substituted),
+    };
+    let mut body = store;
+    for d in 0..func.dims() {
+        let kind = if d == 0 && schedule.vector_width > 1 {
+            LoopKind::Vectorized {
+                width: schedule.vector_width,
+            }
+        } else {
+            LoopKind::Serial
+        };
+        body = Stmt::For {
+            var: local_name(d),
+            min: Expr::int(0),
+            extent: Expr::int(plan.dims[d].extent as i64),
+            kind,
+            body: Box::new(body),
+        };
+    }
+    Ok(Stmt::Produce {
+        func: plan.func.clone(),
+        body: Box::new(body),
+    })
+}
+
+/// Lower the pure definition of the output func of `pipeline` to loop-nest
+/// IR.
+///
+/// `roots` names the funcs materialized as separate buffers before this
+/// statement runs (read as sources); `outcome` carries the planned
+/// `compute_at` placements from [`plan_compute_at`].
+///
+/// # Errors
+/// Returns an error if a referenced func is undefined.
+pub fn lower_pure(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    output_extents: &[usize],
+    roots: &BTreeSet<String>,
+    outcome: &ComputeAtOutcome,
+) -> Result<Stmt, RealizeError> {
+    let output = pipeline.output_func();
+    let def = match &output.pure_def {
+        Some(e) => e,
+        None => return Ok(Stmt::Block(Vec::new())),
+    };
+    let mut keep: BTreeSet<String> = roots.clone();
+    keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
+    let consumer = inline_except(pipeline, def, &keep)?;
+
+    let levels = build_levels(output, output_extents, schedule);
+    let subst = var_substitution(output, &levels);
+
+    // Rewrite the consumer in terms of loop variables, then rebase accesses
+    // to each compute_at producer into its local region buffer.
+    let mut value = consumer.substitute(&|var| subst.get(var).cloned());
+    for plan in &outcome.plans {
+        value = rebase_producer_refs(&value, plan);
+    }
+    let value = simplify(&value);
+    let indices: Vec<Expr> = output
+        .vars
+        .iter()
+        .map(|v| {
+            let e = subst.get(v).cloned().unwrap_or_else(|| Expr::var(v));
+            simplify(&e)
+        })
+        .collect();
+
+    let mut next_store_id = 0usize;
+    let store = Stmt::Store {
+        id: {
+            let id = next_store_id;
+            next_store_id += 1;
+            id
+        },
+        buffer: output.name.clone(),
+        indices,
+        value,
+    };
+
+    // Assemble the nest from innermost to outermost, attaching compute_at
+    // producers just inside their attach loop.
+    let mut body = store;
+    for level in levels.iter().rev() {
+        // Allocations directly inside this loop's body, wrapping the loops
+        // below (which include the consumer store).
+        for plan in outcome.plans.iter().rev() {
+            if plan.attach_loop == level.name {
+                let produce =
+                    build_producer_nest(pipeline, plan, roots, schedule, &mut next_store_id)?;
+                let func = &pipeline.funcs[&plan.func];
+                body = Stmt::Allocate {
+                    name: plan.func.clone(),
+                    ty: func.ty,
+                    extents: plan.dims.iter().map(|d| d.extent).collect(),
+                    body: Box::new(Stmt::block(vec![produce, body])),
+                };
+            }
+        }
+        body = Stmt::For {
+            var: level.name.clone(),
+            min: Expr::int(0),
+            extent: level.extent.clone(),
+            kind: level.kind,
+            body: Box::new(body),
+        };
+    }
+    Ok(Stmt::Produce {
+        func: output.name.clone(),
+        body: Box::new(body),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::func::ImageParam;
+    use crate::realize::{ExecBackend, RealizeInputs, Realizer};
+    use crate::types::ScalarType;
+
+    /// out(x, y) = (bright(x, y) + bright(x+2, y+1)) with bright = in + 17.
+    fn two_stage() -> Pipeline {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let bright = Func::pure(
+            "bright",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+                ),
+                Expr::int(17),
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::add(
+                    Expr::FuncRef("bright".into(), vec![x.clone(), y.clone()]),
+                    Expr::FuncRef(
+                        "bright".into(),
+                        vec![Expr::add(x, Expr::int(2)), Expr::add(y, Expr::int(1))],
+                    ),
+                ),
+            ),
+        );
+        Pipeline::new(out, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)]).with_func(bright)
+    }
+
+    fn image(w: usize, h: usize) -> Buffer {
+        let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+        let mut s = 3u64;
+        for c in b.coords().collect::<Vec<_>>() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.set(&c, crate::types::Value::Int(((s >> 33) % 256) as i64));
+        }
+        b
+    }
+
+    #[test]
+    fn lowered_nest_shape_untiled() {
+        let p = two_stage();
+        let schedule = Schedule::naive().with_parallel(true).with_vector_width(4);
+        let stmt = lower_pure(
+            &p,
+            &schedule,
+            &[8, 6],
+            &BTreeSet::new(),
+            &ComputeAtOutcome::default(),
+        )
+        .unwrap();
+        assert_eq!(stmt.loop_count(), 2);
+        assert_eq!(stmt.store_count(), 1);
+        let text = stmt.to_string();
+        assert!(text.contains("produce out:"), "{text}");
+        assert!(text.contains("for[parallel] x_1"), "{text}");
+        assert!(text.contains("for[vectorized(4)] x_0"), "{text}");
+        // bright is fully inlined: the store reads the input directly.
+        assert!(text.contains("input_1("), "{text}");
+        assert!(!text.contains("bright"), "{text}");
+    }
+
+    #[test]
+    fn lowered_nest_shape_tiled() {
+        let p = two_stage();
+        let schedule = Schedule::naive().with_tile(Some((4, 4)));
+        let stmt = lower_pure(
+            &p,
+            &schedule,
+            &[10, 6],
+            &BTreeSet::new(),
+            &ComputeAtOutcome::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.loop_count(),
+            4,
+            "tiling splits both dimensions:\n{stmt}"
+        );
+        let text = stmt.to_string();
+        assert!(text.contains("x_0.outer"), "{text}");
+        assert!(text.contains("x_1.inner"), "{text}");
+        // Tail handling: the inner extents are min(tile, remaining).
+        assert!(text.contains("min("), "{text}");
+    }
+
+    #[test]
+    fn compute_at_plans_row_region() {
+        let p = two_stage();
+        let schedule = Schedule::naive().with_compute_at("bright", "x_1");
+        let params = BTreeMap::new();
+        let outcome = plan_compute_at(&p, &schedule, &[8, 6], &params, &BTreeSet::new()).unwrap();
+        assert!(outcome.demoted.is_empty(), "{outcome:?}");
+        assert_eq!(outcome.plans.len(), 1);
+        let plan = &outcome.plans[0];
+        assert_eq!(plan.func, "bright");
+        assert_eq!(plan.attach_loop, "x_1");
+        // Per row: x spans [x, x+2] over the full width => extent 8+2+1=11...
+        // accesses are bright(x, y) and bright(x+2, y+1): dim0 covers [0, 9].
+        assert_eq!(plan.dims[0].extent, 10);
+        assert_eq!(plan.dims[0].base_min, 0);
+        assert!(plan.dims[0].coeffs.is_empty());
+        // dim1 covers [y, y+1]: extent 2, min = 0 + 1*x_1.
+        assert_eq!(plan.dims[1].extent, 2);
+        assert_eq!(plan.dims[1].coeffs, vec![("x_1".to_string(), 1)]);
+
+        let stmt = lower_pure(&p, &schedule, &[8, 6], &BTreeSet::new(), &outcome).unwrap();
+        assert_eq!(stmt.allocated_buffers(), vec!["bright".to_string()]);
+        assert_eq!(stmt.store_count(), 2, "{stmt}");
+        let text = stmt.to_string();
+        assert!(
+            text.contains("allocate bright[uint16_t] extents=[10, 2]"),
+            "{text}"
+        );
+        assert!(text.contains("produce bright:"), "{text}");
+    }
+
+    #[test]
+    fn compute_at_matches_other_placements() {
+        let p = two_stage();
+        let input = image(12, 9);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let baseline = Realizer::new(Schedule::naive())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[10, 8], &inputs)
+            .unwrap();
+        for schedule in [
+            Schedule::naive().with_compute_at("bright", "x_1"),
+            Schedule::naive().with_compute_at("bright", "x_0"),
+            Schedule::naive()
+                .with_compute_at("bright", "x_1")
+                .with_tile(Some((4, 4))),
+            Schedule::stencil_default().with_compute_at("bright", "x_1"),
+            Schedule::naive().with_compute_root("bright"),
+        ] {
+            for backend in [ExecBackend::Interpret, ExecBackend::Lowered] {
+                let out = Realizer::new(schedule.clone())
+                    .with_backend(backend)
+                    .realize(&p, &[10, 8], &inputs)
+                    .unwrap();
+                assert_eq!(out, baseline, "{backend:?} under [{schedule}] diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_compute_at_degrades_to_root() {
+        let p = two_stage();
+        // Unknown attach var: degrades to compute_root rather than erroring.
+        let schedule = Schedule::naive().with_compute_at("bright", "nope");
+        let outcome =
+            plan_compute_at(&p, &schedule, &[8, 6], &BTreeMap::new(), &BTreeSet::new()).unwrap();
+        assert!(outcome.plans.is_empty());
+        assert!(outcome.demoted.contains("bright"));
+
+        let input = image(10, 8);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let a = Realizer::new(schedule.clone())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[8, 6], &inputs)
+            .unwrap();
+        let b = Realizer::new(schedule)
+            .realize(&p, &[8, 6], &inputs)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod review_regressions {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::func::ImageParam;
+    use crate::realize::{ExecBackend, RealizeInputs, Realizer};
+    use crate::types::{ScalarType, Value};
+
+    fn image(w: usize, h: usize) -> Buffer {
+        let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+        let mut s = 41u64;
+        for c in b.coords().collect::<Vec<_>>() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.set(&c, Value::Int(((s >> 33) % 256) as i64));
+        }
+        b
+    }
+
+    fn assert_all_match_naive(p: &Pipeline, schedule: Schedule, extents: &[usize], img: &Buffer) {
+        let inputs = RealizeInputs::new().with_image("in", img);
+        let naive = Realizer::new(Schedule::naive())
+            .with_backend(ExecBackend::Interpret)
+            .realize(p, extents, &inputs)
+            .unwrap();
+        for backend in [ExecBackend::Interpret, ExecBackend::Lowered] {
+            let out = Realizer::new(schedule.clone())
+                .with_backend(backend)
+                .realize(p, extents, &inputs)
+                .unwrap();
+            assert_eq!(out, naive, "{backend:?} diverged under [{schedule}]");
+        }
+    }
+
+    /// Non-affine consumer index (`bfun(x*y, y)`): the region is not a pure
+    /// translation in the loop variables, so the placement must degrade to
+    /// compute_root instead of silently mis-placing the region.
+    #[test]
+    fn non_affine_cross_variable_index_degrades() {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let bfun = Func::pure(
+            "bfun",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image("in".into(), vec![x.clone(), y.clone()]),
+                ),
+                Expr::int(1),
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::FuncRef("bfun".into(), vec![Expr::mul(x, y.clone()), y]),
+            ),
+        );
+        let p =
+            Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)]).with_func(bfun);
+        for var in ["x_0", "x_1"] {
+            let schedule = Schedule::naive().with_compute_at("bfun", var);
+            let outcome =
+                plan_compute_at(&p, &schedule, &[8, 8], &BTreeMap::new(), &BTreeSet::new())
+                    .unwrap();
+            assert!(
+                outcome.plans.is_empty() && outcome.demoted.contains("bfun"),
+                "x*y index must demote (attach {var}): {outcome:?}"
+            );
+            assert_all_match_naive(&p, schedule, &[8, 8], &image(64, 8));
+        }
+    }
+
+    /// Accesses with different per-iteration translations (`P(x)` and
+    /// `P(2x)`) are not a fixed-extent sliding region either.
+    #[test]
+    fn mismatched_access_strides_degrade() {
+        let x = Expr::var("x_0");
+        let bfun = Func::pure(
+            "bfun",
+            &["x_0"],
+            ScalarType::UInt16,
+            Expr::cast(
+                ScalarType::UInt16,
+                Expr::Image("in".into(), vec![x.clone(), Expr::int(0)]),
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::add(
+                    Expr::FuncRef("bfun".into(), vec![x.clone()]),
+                    Expr::FuncRef("bfun".into(), vec![Expr::mul(Expr::int(2), x)]),
+                ),
+            ),
+        );
+        let p =
+            Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)]).with_func(bfun);
+        let schedule = Schedule::naive().with_compute_at("bfun", "x_0");
+        let outcome =
+            plan_compute_at(&p, &schedule, &[10], &BTreeMap::new(), &BTreeSet::new()).unwrap();
+        assert!(outcome.demoted.contains("bfun"), "{outcome:?}");
+        assert_all_match_naive(&p, schedule, &[10], &image(32, 4));
+    }
+
+    /// A producer referenced by the output's *update* definition must stay
+    /// materialized (updates are interpreted against buffers), even when the
+    /// schedule asks for compute_at — both backends must realize it and agree.
+    #[test]
+    fn compute_at_producer_read_by_update_is_demoted() {
+        use crate::func::{RDom, UpdateDef};
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let bright = Func::pure(
+            "bright",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image("in".into(), vec![x.clone(), y.clone()]),
+                ),
+                Expr::int(2),
+            ),
+        );
+        let rdom = RDom::with_constant_bounds("r_0", &[(0, 4), (0, 3)]);
+        let update = UpdateDef {
+            lhs: vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+            value: Expr::cast(
+                ScalarType::UInt8,
+                Expr::FuncRef(
+                    "bright".into(),
+                    vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+                ),
+            ),
+            rdom,
+        };
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::FuncRef("bright".into(), vec![x, y]),
+            ),
+        )
+        .with_update(update);
+        let p =
+            Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)]).with_func(bright);
+        let schedule = Schedule::naive().with_compute_at("bright", "x_1");
+        let outcome =
+            plan_compute_at(&p, &schedule, &[8, 6], &BTreeMap::new(), &BTreeSet::new()).unwrap();
+        assert!(
+            outcome.plans.is_empty() && outcome.demoted.contains("bright"),
+            "update-referenced producer must demote: {outcome:?}"
+        );
+        let img = image(10, 8);
+        let inputs = RealizeInputs::new().with_image("in", &img);
+        let a = Realizer::new(schedule.clone())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[8, 6], &inputs)
+            .unwrap();
+        let b = Realizer::new(schedule)
+            .realize(&p, &[8, 6], &inputs)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// A compute_root producer read only *through* a compute_at producer must
+    /// be sized by the compute_at func's accesses (transitive bounds), and
+    /// must be materialized before the func that reads it even though
+    /// "bfun" < "cfun" alphabetically.
+    #[test]
+    fn transitive_sizing_and_dependency_order() {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let cfun = Func::pure(
+            "cfun",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::cast(
+                ScalarType::UInt16,
+                Expr::Image("in".into(), vec![x.clone(), y.clone()]),
+            ),
+        );
+        let bfun = Func::pure(
+            "bfun",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::FuncRef(
+                "cfun".into(),
+                vec![Expr::add(x.clone(), Expr::int(5)), y.clone()],
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(ScalarType::UInt8, Expr::FuncRef("bfun".into(), vec![x, y])),
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)])
+            .with_func(bfun)
+            .with_func(cfun);
+        let img = image(32, 8);
+        for schedule in [
+            Schedule::naive()
+                .with_compute_root("cfun")
+                .with_compute_at("bfun", "x_1"),
+            Schedule::naive()
+                .with_compute_root("cfun")
+                .with_compute_root("bfun"),
+            Schedule::naive()
+                .with_compute_at("cfun", "x_1")
+                .with_compute_at("bfun", "x_1"),
+        ] {
+            assert_all_match_naive(&p, schedule, &[16, 8], &img);
+        }
+    }
+}

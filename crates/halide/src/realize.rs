@@ -10,9 +10,10 @@ use crate::bounds::{accumulate_func_bounds, expr_interval, Interval};
 use crate::buffer::{write_scalar, Buffer};
 use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
 use crate::func::{Func, Pipeline};
+use crate::lower::{inline_except, ComputeAtOutcome};
 use crate::schedule::Schedule;
 use crate::types::{ScalarType, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Errors raised during realization.
@@ -40,7 +41,10 @@ impl fmt::Display for RealizeError {
             RealizeError::MissingParam(n) => write!(f, "missing scalar parameter `{n}`"),
             RealizeError::UndefinedFunc(n) => write!(f, "reference to undefined func `{n}`"),
             RealizeError::DimensionMismatch { expected, got } => {
-                write!(f, "output extents have {got} dimensions, func has {expected}")
+                write!(
+                    f,
+                    "output extents have {got} dimensions, func has {expected}"
+                )
             }
         }
     }
@@ -170,7 +174,10 @@ fn compile_expr(e: &Expr, ctx: &CompileCtx<'_>, ops: &mut Vec<Op>) -> Result<(),
             for a in args {
                 compile_expr(a, ctx, ops)?;
             }
-            ops.push(Op::LoadSource { source, arity: args.len() });
+            ops.push(Op::LoadSource {
+                source,
+                arity: args.len(),
+            });
         }
     }
     Ok(())
@@ -182,7 +189,11 @@ fn compile(
     source_slots: &BTreeMap<String, usize>,
     params: &BTreeMap<String, Value>,
 ) -> Result<Compiled, RealizeError> {
-    let ctx = CompileCtx { var_slots, source_slots, params };
+    let ctx = CompileCtx {
+        var_slots,
+        source_slots,
+        params,
+    };
     let mut ops = Vec::new();
     compile_expr(expr, &ctx, &mut ops)?;
     // A conservative stack bound: every op pushes at most one value.
@@ -190,7 +201,12 @@ fn compile(
     Ok(Compiled { ops, max_stack })
 }
 
-fn execute(compiled: &Compiled, vars: &[i64], sources: &[&Buffer], scratch: &mut Vec<Value>) -> Value {
+fn execute(
+    compiled: &Compiled,
+    vars: &[i64],
+    sources: &[&Buffer],
+    scratch: &mut Vec<Value>,
+) -> Value {
     scratch.clear();
     let mut idx_buf: Vec<i64> = Vec::with_capacity(4);
     for op in &compiled.ops {
@@ -256,7 +272,9 @@ struct InterpCtx<'a> {
 fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
     Ok(match e {
         Expr::Var(n) | Expr::RVar(n) => Value::Int(
-            *ctx.vars.get(n).ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+            *ctx.vars
+                .get(n)
+                .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
         ),
         Expr::ConstInt(v, ty) => {
             if ty.is_float() {
@@ -286,8 +304,10 @@ fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
             c.eval(&vals?)
         }
         Expr::Image(n, args) => {
-            let idx: Result<Vec<i64>, RealizeError> =
-                args.iter().map(|a| interp(a, ctx).map(|v| v.as_i64())).collect();
+            let idx: Result<Vec<i64>, RealizeError> = args
+                .iter()
+                .map(|a| interp(a, ctx).map(|v| v.as_i64()))
+                .collect();
             let buf = ctx
                 .images
                 .get(n)
@@ -296,8 +316,10 @@ fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
             buf.get(&idx?)
         }
         Expr::FuncRef(n, args) => {
-            let idx: Result<Vec<i64>, RealizeError> =
-                args.iter().map(|a| interp(a, ctx).map(|v| v.as_i64())).collect();
+            let idx: Result<Vec<i64>, RealizeError> = args
+                .iter()
+                .map(|a| interp(a, ctx).map(|v| v.as_i64()))
+                .collect();
             let idx = idx?;
             if n == ctx.self_name {
                 ctx.self_buffer.get(&idx)
@@ -314,10 +336,25 @@ fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
 // Realizer
 // ---------------------------------------------------------------------------
 
+/// Which execution engine realizes pure definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The original per-element interpreter (the differential-testing
+    /// oracle): pure definitions run through a [`Value`] stack machine.
+    Interpret,
+    /// The lowering pipeline: the schedule is materialized into loop-nest IR
+    /// ([`crate::lower`]) and executed by the compiled, type-specialized
+    /// engine ([`crate::exec`]). Produces bit-identical buffers to
+    /// [`ExecBackend::Interpret`].
+    #[default]
+    Lowered,
+}
+
 /// Realizes pipelines under a schedule.
 #[derive(Debug, Clone)]
 pub struct Realizer {
     schedule: Schedule,
+    backend: ExecBackend,
 }
 
 impl Default for Realizer {
@@ -327,9 +364,19 @@ impl Default for Realizer {
 }
 
 impl Realizer {
-    /// Create a realizer with the given schedule.
+    /// Create a realizer with the given schedule and the default (lowered)
+    /// backend.
     pub fn new(schedule: Schedule) -> Realizer {
-        Realizer { schedule }
+        Realizer {
+            schedule,
+            backend: ExecBackend::default(),
+        }
+    }
+
+    /// Select the execution backend.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Realizer {
+        self.backend = backend;
+        self
     }
 
     /// The active schedule.
@@ -337,34 +384,37 @@ impl Realizer {
         &self.schedule
     }
 
-    /// Inline every func reference that is not scheduled `compute_root` into
-    /// `expr`, recursively.
-    fn inline_funcs(&self, pipeline: &Pipeline, expr: &Expr) -> Result<Expr, RealizeError> {
-        let mut result = expr.clone();
-        // Iterate to a fixed point; lifted pipelines are shallow so a few
-        // passes suffice, but guard against accidental cycles.
-        for _ in 0..32 {
-            let refs = result.referenced_funcs();
-            let to_inline: Vec<String> = refs
-                .into_iter()
-                .filter(|n| !self.schedule.compute_root.contains(n) && *n != pipeline.output)
-                .collect();
-            if to_inline.is_empty() {
-                return Ok(result);
-            }
-            for name in to_inline {
-                let func = pipeline
-                    .funcs
-                    .get(&name)
-                    .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
-                if !func.updates.is_empty() || func.pure_def.is_none() {
-                    // Funcs with reductions cannot be inlined; treat as root.
-                    continue;
-                }
-                result = inline_one(&result, func);
-            }
-        }
-        Ok(result)
+    /// The active execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// The funcs that must be materialized into buffers regardless of
+    /// backend: `compute_root` plus every func with reductions.
+    fn base_roots(&self, pipeline: &Pipeline) -> BTreeSet<String> {
+        pipeline
+            .funcs
+            .iter()
+            .filter(|(n, f)| {
+                **n != pipeline.output
+                    && (self.schedule.compute_root.contains(*n) || !f.updates.is_empty())
+            })
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// The funcs named by `compute_at` that could be attached (pure,
+    /// existing, not already roots). Used for sizing so both backends
+    /// materialize shared producers over identical extents.
+    fn compute_at_funcs(&self, pipeline: &Pipeline, base: &BTreeSet<String>) -> BTreeSet<String> {
+        self.schedule
+            .compute_at
+            .keys()
+            .filter(|n| {
+                pipeline.funcs.contains_key(*n) && **n != pipeline.output && !base.contains(*n)
+            })
+            .cloned()
+            .collect()
     }
 
     /// Realize the pipeline's output func over `output_extents`.
@@ -393,56 +443,157 @@ impl Realizer {
             }
         }
 
-        // Materialize compute_root producers (and every func with updates that
-        // the output references), then realize the output itself.
+        let base = self.base_roots(pipeline);
+        let at_funcs = self.compute_at_funcs(pipeline, &base);
+
+        // Decide compute_at placements. The interpreter backend realizes
+        // compute_at producers as compute_root (value-identical); the lowered
+        // backend keeps affine placements and degrades the rest.
+        let outcome = match self.backend {
+            ExecBackend::Interpret => ComputeAtOutcome {
+                plans: Vec::new(),
+                demoted: at_funcs.clone(),
+            },
+            ExecBackend::Lowered => crate::lower::plan_compute_at(
+                pipeline,
+                &self.schedule,
+                output_extents,
+                &params,
+                &base,
+            )?,
+        };
+
+        // Funcs materialized into standalone buffers before the output runs.
+        let mut materialize: BTreeSet<String> = base.clone();
+        materialize.extend(outcome.demoted.iter().cloned());
+
+        // Sizing keep-set is backend-independent so shared producers get
+        // identical extents (and therefore identical boundary clamping).
+        let mut sizing_keep = base.clone();
+        sizing_keep.extend(at_funcs.iter().cloned());
+
         let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
-        let root_names: Vec<String> = pipeline
-            .funcs
-            .keys()
-            .filter(|n| **n != pipeline.output)
-            .filter(|n| {
-                self.schedule.compute_root.contains(*n)
-                    || !pipeline.funcs[*n].updates.is_empty()
-            })
-            .cloned()
-            .collect();
-        if !root_names.is_empty() {
-            // Compute the bounds each root is accessed over, from the output's
-            // (inlined) expression with output vars spanning the output extents.
+        if !materialize.is_empty() {
+            // Compute the bounds each kept func is accessed over — from the
+            // output's (inlined) expression, then transitively through every
+            // kept producer's own definition, so producers referenced only by
+            // other producers (e.g. a compute_root feeding a compute_at func)
+            // are sized by what actually reads them. This pass is
+            // backend-independent, so shared producers get identical extents
+            // (and therefore identical boundary clamping).
             let inlined = match &output.pure_def {
-                Some(e) => self.inline_funcs(pipeline, e)?,
+                Some(e) => inline_except(pipeline, e, &sizing_keep)?,
                 None => Expr::int(0),
             };
             let mut var_bounds = BTreeMap::new();
             for (d, v) in output.vars.iter().enumerate() {
                 var_bounds.insert(
                     v.clone(),
-                    Interval { min: 0, max: output_extents[d] as i64 - 1 },
+                    Interval {
+                        min: 0,
+                        max: output_extents[d] as i64 - 1,
+                    },
                 );
             }
             let mut required: BTreeMap<String, Vec<Interval>> = BTreeMap::new();
             accumulate_func_bounds(&inlined, &var_bounds, &params, &mut required);
-            for name in &root_names {
+            // Propagate requirements through kept producers to a fixed point
+            // (bounded: pipelines are acyclic, so one pass per chained
+            // producer suffices).
+            for _ in 0..sizing_keep.len() + 1 {
+                let mut grown = false;
+                for name in &sizing_keep {
+                    let func = match pipeline.funcs.get(name) {
+                        Some(f) => f,
+                        None => continue,
+                    };
+                    let (Some(body), Some(region)) = (&func.pure_def, required.get(name)) else {
+                        continue;
+                    };
+                    let body = inline_except(pipeline, body, &sizing_keep)?;
+                    let mut bounds = BTreeMap::new();
+                    for (d, v) in func.vars.iter().enumerate() {
+                        let max = region.get(d).map(|i| i.max).unwrap_or(0).max(0);
+                        bounds.insert(v.clone(), Interval { min: 0, max });
+                    }
+                    let before = required.clone();
+                    accumulate_func_bounds(&body, &bounds, &params, &mut required);
+                    if required != before {
+                        grown = true;
+                    }
+                }
+                if !grown {
+                    break;
+                }
+            }
+            // Materialize in dependency order: a producer whose realization
+            // reads another materialized func (through its pure or update
+            // definitions) must come after it.
+            let deps_of = |name: &String| -> Result<BTreeSet<String>, RealizeError> {
                 let func = &pipeline.funcs[name];
+                let mut refs = BTreeSet::new();
+                if let Some(body) = &func.pure_def {
+                    refs.extend(inline_except(pipeline, body, &base)?.referenced_funcs());
+                }
+                for u in &func.updates {
+                    for e in u.lhs.iter().chain(std::iter::once(&u.value)) {
+                        refs.extend(inline_except(pipeline, e, &base)?.referenced_funcs());
+                    }
+                }
+                refs.remove(name);
+                refs.retain(|r| materialize.contains(r));
+                Ok(refs)
+            };
+            let mut pending: Vec<String> = materialize.iter().cloned().collect();
+            let mut ordered: Vec<String> = Vec::new();
+            while !pending.is_empty() {
+                let done: BTreeSet<String> = ordered.iter().cloned().collect();
+                let mut picked = None;
+                for (i, n) in pending.iter().enumerate() {
+                    if deps_of(n)?.iter().all(|d| done.contains(d)) {
+                        picked = Some(i);
+                        break;
+                    }
+                }
+                // A cycle (which well-formed pipelines cannot have) falls back
+                // to name order so realization still terminates.
+                let i = picked.unwrap_or(0);
+                ordered.push(pending.remove(i));
+            }
+            for name in &ordered {
                 let extents: Vec<usize> = match required.get(name) {
                     Some(ivals) => ivals.iter().map(|i| (i.max + 1).max(1) as usize).collect(),
                     None => output_extents.to_vec(),
                 };
-                let sub = Realizer::new(
-                    self.schedule.clone(),
-                );
                 let mut sub_pipeline = pipeline.clone();
                 sub_pipeline.output = name.clone();
-                let _ = func;
-                let buf = sub.realize_single(&sub_pipeline, &extents, inputs, &params, &roots)?;
+                let buf = self.realize_single(
+                    &sub_pipeline,
+                    &extents,
+                    inputs,
+                    &params,
+                    &roots,
+                    &base,
+                    &ComputeAtOutcome::default(),
+                )?;
                 roots.insert(name.clone(), buf);
             }
         }
-        self.realize_single(pipeline, output_extents, inputs, &params, &roots)
+        self.realize_single(
+            pipeline,
+            output_extents,
+            inputs,
+            &params,
+            &roots,
+            &materialize,
+            &outcome,
+        )
     }
 
     /// Realize a single func (the pipeline output) given already-materialized
-    /// producer buffers.
+    /// producer buffers. `keep` names the funcs left un-inlined (read as
+    /// sources); `outcome` carries this func's `compute_at` placements.
+    #[allow(clippy::too_many_arguments)]
     fn realize_single(
         &self,
         pipeline: &Pipeline,
@@ -450,18 +601,75 @@ impl Realizer {
         inputs: &RealizeInputs<'_>,
         params: &BTreeMap<String, Value>,
         roots: &BTreeMap<String, Buffer>,
+        keep: &BTreeSet<String>,
+        outcome: &ComputeAtOutcome,
     ) -> Result<Buffer, RealizeError> {
         let output = pipeline.output_func();
         let mut buffer = Buffer::new(output.ty, output_extents);
 
         if let Some(pure_def) = &output.pure_def {
-            let expr = self.inline_funcs(pipeline, pure_def)?;
-            self.run_pure(&expr, output, &mut buffer, inputs, params, roots)?;
+            match self.backend {
+                ExecBackend::Interpret => {
+                    let expr = inline_except(pipeline, pure_def, keep)?;
+                    self.run_pure(&expr, output, &mut buffer, inputs, params, roots)?;
+                }
+                ExecBackend::Lowered => {
+                    self.run_pure_lowered(
+                        pipeline,
+                        output_extents,
+                        &mut buffer,
+                        inputs,
+                        params,
+                        roots,
+                        keep,
+                        outcome,
+                    )?;
+                }
+            }
         }
         for update in &output.updates {
             self.run_update(pipeline, output, update, &mut buffer, inputs, params, roots)?;
         }
         Ok(buffer)
+    }
+
+    /// The lowered pure stage: lower to loop-nest IR and run the compiled
+    /// executor.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pure_lowered(
+        &self,
+        pipeline: &Pipeline,
+        output_extents: &[usize],
+        buffer: &mut Buffer,
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        roots: &BTreeMap<String, Buffer>,
+        keep: &BTreeSet<String>,
+        outcome: &ComputeAtOutcome,
+    ) -> Result<(), RealizeError> {
+        let output = pipeline.output_func();
+        // Mirror the interpreter's up-front validation (and error kinds).
+        let mut sized_keep = keep.clone();
+        sized_keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
+        let expr = inline_except(
+            pipeline,
+            output.pure_def.as_ref().expect("caller checked pure_def"),
+            &sized_keep,
+        )?;
+        for name in expr.referenced_images() {
+            if !inputs.images.contains_key(&name) {
+                return Err(RealizeError::MissingInput(name));
+            }
+        }
+        for name in expr.referenced_funcs() {
+            let is_plan = outcome.plans.iter().any(|p| p.func == name);
+            if !roots.contains_key(&name) && !is_plan {
+                return Err(RealizeError::UndefinedFunc(name));
+            }
+        }
+        let stmt =
+            crate::lower::lower_pure(pipeline, &self.schedule, output_extents, keep, outcome)?;
+        crate::exec::execute(&stmt, &output.name, buffer, &inputs.images, roots, params)
     }
 
     fn run_pure(
@@ -474,8 +682,13 @@ impl Realizer {
         roots: &BTreeMap<String, Buffer>,
     ) -> Result<(), RealizeError> {
         // Variable slots: one per output dimension, innermost first.
-        let var_slots: BTreeMap<String, usize> =
-            output.vars.iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+        let var_slots: BTreeMap<String, usize> = output
+            .vars
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
         // Source slots: image params then materialized roots.
         let mut source_slots = BTreeMap::new();
         let mut sources: Vec<&Buffer> = Vec::new();
@@ -537,17 +750,16 @@ impl Realizer {
         } else {
             let rows_per_thread = outer.div_ceil(threads);
             let chunks: Vec<&mut [u8]> = data.chunks_mut(rows_per_thread * row_bytes).collect();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (t, chunk) in chunks.into_iter().enumerate() {
                     let start = t * rows_per_thread;
                     let end = ((t + 1) * rows_per_thread).min(outer);
                     let eval_rows = &eval_rows;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         eval_rows(start..end, chunk);
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
         }
         Ok(())
     }
@@ -590,8 +802,11 @@ impl Realizer {
                 self_buffer: buffer,
                 roots,
             };
-            let idx: Result<Vec<i64>, RealizeError> =
-                update.lhs.iter().map(|e| interp(e, &ctx).map(|v| v.as_i64())).collect();
+            let idx: Result<Vec<i64>, RealizeError> = update
+                .lhs
+                .iter()
+                .map(|e| interp(e, &ctx).map(|v| v.as_i64()))
+                .collect();
             let idx = idx?;
             let value = interp(&update.value, &ctx)?;
             buffer.set(&idx, value);
@@ -600,14 +815,26 @@ impl Realizer {
     }
 }
 
-fn inline_one(expr: &Expr, func: &Func) -> Expr {
+pub(crate) fn inline_one(expr: &Expr, func: &Func) -> Expr {
     match expr {
         Expr::FuncRef(name, args) if *name == func.name => {
             let args: Vec<Expr> = args.iter().map(|a| inline_one(a, func)).collect();
-            let body = func.pure_def.clone().expect("inlinable funcs have a pure definition");
-            body.substitute(&|var| {
-                func.vars.iter().position(|v| v == var).map(|i| args[i].clone())
-            })
+            let body = func
+                .pure_def
+                .clone()
+                .expect("inlinable funcs have a pure definition");
+            // Wrap the body in the func's declared type, exactly as
+            // materializing it into a buffer would truncate on store — so
+            // inline, compute_root and compute_at placements all observe the
+            // same values (Halide semantics: a Func's type applies at every
+            // call site).
+            let substituted = body.substitute(&|var| {
+                func.vars
+                    .iter()
+                    .position(|v| v == var)
+                    .map(|i| args[i].clone())
+            });
+            crate::simplify::simplify(&Expr::Cast(func.ty, Box::new(substituted)))
         }
         Expr::FuncRef(name, args) => Expr::FuncRef(
             name.clone(),
@@ -620,12 +847,12 @@ fn inline_one(expr: &Expr, func: &Func) -> Expr {
         Expr::Cast(ty, e) => Expr::Cast(*ty, Box::new(inline_one(e, func))),
         Expr::Binary(op, a, b) => Expr::bin(*op, inline_one(a, func), inline_one(b, func)),
         Expr::Cmp(op, a, b) => Expr::cmp(*op, inline_one(a, func), inline_one(b, func)),
-        Expr::Select(c, t, o) => {
-            Expr::select(inline_one(c, func), inline_one(t, func), inline_one(o, func))
-        }
-        Expr::Call(c, args) => {
-            Expr::Call(*c, args.iter().map(|a| inline_one(a, func)).collect())
-        }
+        Expr::Select(c, t, o) => Expr::select(
+            inline_one(c, func),
+            inline_one(t, func),
+            inline_one(o, func),
+        ),
+        Expr::Call(c, args) => Expr::Call(*c, args.iter().map(|a| inline_one(a, func)).collect()),
         _ => expr.clone(),
     }
 }
@@ -662,7 +889,10 @@ mod tests {
         let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
         for y in 0..h {
             for x in 0..w {
-                b.set(&[x as i64, y as i64], Value::Int(((x + 2 * y) % 256) as i64));
+                b.set(
+                    &[x as i64, y as i64],
+                    Value::Int(((x + 2 * y) % 256) as i64),
+                );
             }
         }
         b
@@ -674,7 +904,9 @@ mod tests {
         let input = ramp_image(16, 12);
         let inputs = RealizeInputs::new().with_image("input_1", &input);
         for schedule in [Schedule::naive(), Schedule::stencil_default()] {
-            let out = Realizer::new(schedule).realize(&p, &[14, 10], &inputs).unwrap();
+            let out = Realizer::new(schedule)
+                .realize(&p, &[14, 10], &inputs)
+                .unwrap();
             for y in 0..10i64 {
                 for x in 0..14i64 {
                     let a = input.get(&[x, y + 1]).as_i64();
@@ -689,7 +921,9 @@ mod tests {
     #[test]
     fn missing_input_is_an_error() {
         let p = blur_pipeline();
-        let err = Realizer::default().realize(&p, &[4, 4], &RealizeInputs::new()).unwrap_err();
+        let err = Realizer::default()
+            .realize(&p, &[4, 4], &RealizeInputs::new())
+            .unwrap_err();
         assert_eq!(err, RealizeError::MissingInput("input_1".into()));
         assert!(err.to_string().contains("input_1"));
     }
@@ -700,7 +934,13 @@ mod tests {
         let input = ramp_image(8, 8);
         let inputs = RealizeInputs::new().with_image("input_1", &input);
         let err = Realizer::default().realize(&p, &[4], &inputs).unwrap_err();
-        assert!(matches!(err, RealizeError::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            RealizeError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -720,7 +960,8 @@ mod tests {
             ),
             rdom,
         };
-        let hist = Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+        let hist =
+            Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
         let p = Pipeline::new(hist, vec![img]);
 
         let mut input = Buffer::new(ScalarType::UInt8, &[4, 4]);
@@ -765,11 +1006,16 @@ mod tests {
             .with_func(bright);
         let input = ramp_image(8, 8);
         let inputs = RealizeInputs::new().with_image("input_1", &input);
-        let inlined = Realizer::new(Schedule::naive()).realize(&p, &[8, 8], &inputs).unwrap();
+        let inlined = Realizer::new(Schedule::naive())
+            .realize(&p, &[8, 8], &inputs)
+            .unwrap();
         let rooted = Realizer::new(Schedule::naive().with_compute_root("bright"))
             .realize(&p, &[8, 8], &inputs)
             .unwrap();
         assert_eq!(inlined, rooted);
-        assert_eq!(inlined.get(&[3, 4]).as_i64(), ((input.get(&[3, 4]).as_i64() + 10) * 2) & 0xff);
+        assert_eq!(
+            inlined.get(&[3, 4]).as_i64(),
+            ((input.get(&[3, 4]).as_i64() + 10) * 2) & 0xff
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! funcs are materialized (`compute_root`) versus inlined.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// An execution schedule for a pipeline.
@@ -25,6 +25,18 @@ pub struct Schedule {
     pub vector_width: usize,
     /// Funcs materialized into intermediate buffers instead of being inlined.
     pub compute_root: BTreeSet<String>,
+    /// Funcs computed inside a loop of the output func, keyed by producer
+    /// name, valued by the consumer loop variable to attach at (one of the
+    /// output func's pure variables, e.g. `x_1`).
+    ///
+    /// The lowered backend materializes such a producer into a small,
+    /// bounds-inference-sized buffer that is recomputed at each iteration of
+    /// the attach loop — trading redundant compute for locality, exactly like
+    /// Halide's `compute_at`. Producers that cannot be attached (non-affine
+    /// accesses, reductions, not referenced by the output) degrade to
+    /// `compute_root`, which is value-identical. The interpreter backend
+    /// always treats `compute_at` as `compute_root`.
+    pub compute_at: BTreeMap<String, String>,
 }
 
 impl Default for Schedule {
@@ -35,6 +47,7 @@ impl Default for Schedule {
             tile: None,
             vector_width: 1,
             compute_root: BTreeSet::new(),
+            compute_at: BTreeMap::new(),
         }
     }
 }
@@ -48,7 +61,13 @@ impl Schedule {
     /// A reasonable default for lifted stencils: parallel over the outer
     /// dimension with a modest vector width, everything inlined (fused).
     pub fn stencil_default() -> Schedule {
-        Schedule { parallel: true, threads: 0, tile: Some((64, 64)), vector_width: 8, ..Schedule::default() }
+        Schedule {
+            parallel: true,
+            threads: 0,
+            tile: Some((64, 64)),
+            vector_width: 8,
+            ..Schedule::default()
+        }
     }
 
     /// Enable parallelism.
@@ -81,6 +100,13 @@ impl Schedule {
         self
     }
 
+    /// Compute `func` at each iteration of the output loop over `var`,
+    /// materializing only the region the remaining inner loops consume.
+    pub fn with_compute_at(mut self, func: &str, var: &str) -> Schedule {
+        self.compute_at.insert(func.to_string(), var.to_string());
+        self
+    }
+
     /// Effective number of worker threads.
     pub fn effective_threads(&self) -> usize {
         if !self.parallel {
@@ -89,7 +115,9 @@ impl Schedule {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -98,8 +126,13 @@ impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parallel={} threads={} tile={:?} vector={} roots={:?}",
-            self.parallel, self.threads, self.tile, self.vector_width, self.compute_root
+            "parallel={} threads={} tile={:?} vector={} roots={:?} at={:?}",
+            self.parallel,
+            self.threads,
+            self.tile,
+            self.vector_width,
+            self.compute_root,
+            self.compute_at
         )
     }
 }

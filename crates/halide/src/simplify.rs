@@ -141,7 +141,11 @@ fn simplify_binary(op: BinOp, a: Expr, b: Expr) -> Expr {
     // Constant folding.
     if let (Some(x), Some(y)) = (constant_of(&a), constant_of(&b)) {
         let float = matches!(a, Expr::ConstFloat(..)) || matches!(b, Expr::ConstFloat(..));
-        let ty = if float { ScalarType::Float64 } else { ScalarType::Int32 };
+        let ty = if float {
+            ScalarType::Float64
+        } else {
+            ScalarType::Int32
+        };
         return from_value(eval_binop(op, x, y), ty);
     }
     match op {
@@ -203,8 +207,14 @@ mod tests {
         assert_eq!(simplify(&Expr::add(img(0), Expr::int(0))), img(0));
         assert_eq!(simplify(&Expr::add(Expr::int(0), img(1))), img(1));
         assert_eq!(simplify(&Expr::mul(img(0), Expr::int(1))), img(0));
-        assert_eq!(simplify(&Expr::bin(BinOp::Sub, img(2), Expr::int(0))), img(2));
-        assert_eq!(simplify(&Expr::bin(BinOp::Shr, img(0), Expr::int(0))), img(0));
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Sub, img(2), Expr::int(0))),
+            img(2)
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Shr, img(0), Expr::int(0))),
+            img(0)
+        );
     }
 
     #[test]
@@ -218,9 +228,17 @@ mod tests {
 
     #[test]
     fn constant_selects_choose_a_branch() {
-        let sel = Expr::select(Expr::cmp(CmpOp::Lt, Expr::int(1), Expr::int(2)), img(0), img(1));
+        let sel = Expr::select(
+            Expr::cmp(CmpOp::Lt, Expr::int(1), Expr::int(2)),
+            img(0),
+            img(1),
+        );
         assert_eq!(simplify(&sel), img(0));
-        let sel = Expr::select(Expr::cmp(CmpOp::Gt, Expr::int(1), Expr::int(2)), img(0), img(1));
+        let sel = Expr::select(
+            Expr::cmp(CmpOp::Gt, Expr::int(1), Expr::int(2)),
+            img(0),
+            img(1),
+        );
         assert_eq!(simplify(&sel), img(1));
         // Unknown condition with identical branches also collapses.
         let sel = Expr::select(Expr::cmp(CmpOp::Lt, img(0), Expr::int(128)), img(1), img(1));
@@ -236,10 +254,16 @@ mod tests {
         let e = Expr::cast(ScalarType::UInt8, Expr::cast(ScalarType::UInt8, img(0)));
         assert_eq!(simplify(&e), Expr::cast(ScalarType::UInt8, img(0)));
         // Narrowing inner casts are preserved (they truncate).
-        let e = Expr::cast(ScalarType::UInt32, Expr::cast(ScalarType::UInt8, Expr::var("x_0")));
+        let e = Expr::cast(
+            ScalarType::UInt32,
+            Expr::cast(ScalarType::UInt8, Expr::var("x_0")),
+        );
         assert_eq!(
             simplify(&e),
-            Expr::cast(ScalarType::UInt32, Expr::cast(ScalarType::UInt8, Expr::var("x_0")))
+            Expr::cast(
+                ScalarType::UInt32,
+                Expr::cast(ScalarType::UInt8, Expr::var("x_0"))
+            )
         );
     }
 
@@ -247,7 +271,11 @@ mod tests {
     fn simplify_never_grows_the_expression() {
         let e = Expr::add(
             Expr::mul(Expr::int(1), img(0)),
-            Expr::select(Expr::cmp(CmpOp::Eq, Expr::int(3), Expr::int(3)), img(1), img(2)),
+            Expr::select(
+                Expr::cmp(CmpOp::Eq, Expr::int(3), Expr::int(3)),
+                img(1),
+                img(2),
+            ),
         );
         let s = simplify(&e);
         assert!(s.node_count() <= e.node_count());
@@ -262,7 +290,11 @@ mod tests {
         );
         let p = Pipeline::new(
             Func::pure("out", &["x_0"], ScalarType::UInt8, value),
-            vec![crate::func::ImageParam::new("input_1", ScalarType::UInt8, 1)],
+            vec![crate::func::ImageParam::new(
+                "input_1",
+                ScalarType::UInt8,
+                1,
+            )],
         );
         let s = simplify_pipeline(&p);
         assert_eq!(

@@ -1,0 +1,297 @@
+//! The loop-nest statement IR that pipelines are lowered into.
+//!
+//! The realizer's interpreter walks the output domain element by element; this
+//! IR instead *materializes* schedule decisions as restructured loops, the way
+//! the Halide compiler's lowering pass does. A lowered pipeline is a tree of:
+//!
+//! * [`Stmt::Allocate`] — a scoped intermediate buffer (sized by bounds
+//!   inference) for a producer scheduled `compute_at`;
+//! * [`Stmt::Produce`] — a marker delimiting the computation of one func;
+//! * [`Stmt::For`] — a loop over one dimension, tagged [`LoopKind::Serial`],
+//!   [`LoopKind::Parallel`] (iterations distributed across worker threads) or
+//!   [`LoopKind::Vectorized`] (iterations evaluated in lanes by the compiled
+//!   executor);
+//! * [`Stmt::Store`] — one element store, with index and value expressions
+//!   over the enclosing loop variables.
+//!
+//! Loop bounds are [`Expr`]s so tile tails (`min(tile, W - xo*tile)`) and
+//! `compute_at` region offsets stay symbolic until execution; the lowering
+//! pass constant-folds them where possible via [`crate::simplify`].
+//!
+//! The IR pretty-prints in a Halide-like syntax (see the [`fmt::Display`]
+//! impl), which the tests assert against:
+//!
+//! ```text
+//! produce output_1:
+//!   for[parallel] x_1 in [0, 32):
+//!     for[vectorized(8)] x_0 in [0, 48):
+//!       output_1[x_0, x_1] = cast<uint8_t>(...)
+//! ```
+
+use crate::expr::Expr;
+use crate::types::ScalarType;
+use std::fmt;
+
+/// How the iterations of a [`Stmt::For`] loop are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// One iteration after another on the calling thread.
+    Serial,
+    /// Iterations split into contiguous chunks across worker threads
+    /// (0 = use all available cores).
+    Parallel {
+        /// Worker thread cap (0 = all available cores).
+        threads: usize,
+    },
+    /// Iterations evaluated `width` lanes at a time by the compiled executor.
+    Vectorized {
+        /// Number of lanes per batch.
+        width: usize,
+    },
+}
+
+/// A statement in the lowered loop-nest IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A sequence of statements executed in order.
+    Block(Vec<Stmt>),
+    /// A scoped allocation of an intermediate buffer named `name`. The buffer
+    /// is zero-initialized, lives for the duration of `body`, and is freed
+    /// afterwards.
+    Allocate {
+        /// Buffer name (the producer func's name).
+        name: String,
+        /// Element type.
+        ty: ScalarType,
+        /// Concrete extents (bounds inference has already run).
+        extents: Vec<usize>,
+        /// Statement that may read and write the buffer.
+        body: Box<Stmt>,
+    },
+    /// Marks the region of the tree that computes `func` (structural metadata
+    /// used by the pretty printer and tests; no runtime behaviour).
+    Produce {
+        /// Name of the func being computed.
+        func: String,
+        /// The loops computing it.
+        body: Box<Stmt>,
+    },
+    /// A loop `for var in [min, min+extent)`.
+    For {
+        /// Loop variable name, visible to `body`'s expressions.
+        var: String,
+        /// Inclusive lower bound.
+        min: Expr,
+        /// Iteration count.
+        extent: Expr,
+        /// Execution strategy.
+        kind: LoopKind,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Store `value` into `buffer[indices]`.
+    Store {
+        /// Unique id assigned by the lowering pass; the executor uses it to
+        /// look up the store's compiled program.
+        id: usize,
+        /// Destination buffer (the func being produced).
+        buffer: String,
+        /// Index expressions, innermost dimension first.
+        indices: Vec<Expr>,
+        /// Value expression.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// A `Block`, flattening nested blocks and dropping empty ones.
+    pub fn block(stmts: Vec<Stmt>) -> Stmt {
+        let mut flat = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Block(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            Stmt::Block(flat)
+        }
+    }
+
+    /// Visit every statement in the tree (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.visit(f);
+                }
+            }
+            Stmt::Allocate { body, .. } | Stmt::Produce { body, .. } | Stmt::For { body, .. } => {
+                body.visit(f);
+            }
+            Stmt::Store { .. } => {}
+        }
+    }
+
+    /// Number of `For` loops in the tree.
+    pub fn loop_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if matches!(s, Stmt::For { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of `Store` statements in the tree.
+    pub fn store_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if matches!(s, Stmt::Store { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Names of all buffers allocated by `Allocate` nodes.
+    pub fn allocated_buffers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if let Stmt::Allocate { name, .. } = s {
+                out.push(name.clone());
+            }
+        });
+        out
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.fmt_indented(f, indent)?;
+                }
+                Ok(())
+            }
+            Stmt::Allocate {
+                name,
+                ty,
+                extents,
+                body,
+            } => {
+                writeln!(f, "{pad}allocate {name}[{ty}] extents={extents:?}")?;
+                body.fmt_indented(f, indent + 1)
+            }
+            Stmt::Produce { func, body } => {
+                writeln!(f, "{pad}produce {func}:")?;
+                body.fmt_indented(f, indent + 1)
+            }
+            Stmt::For {
+                var,
+                min,
+                extent,
+                kind,
+                body,
+            } => {
+                let kind_str = match kind {
+                    LoopKind::Serial => String::new(),
+                    LoopKind::Parallel { .. } => "[parallel]".to_string(),
+                    LoopKind::Vectorized { width } => format!("[vectorized({width})]"),
+                };
+                writeln!(f, "{pad}for{kind_str} {var} in [{min}, {min} + {extent}):")?;
+                body.fmt_indented(f, indent + 1)
+            }
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+                ..
+            } => {
+                let idx: Vec<String> = indices.iter().map(|e| e.to_string()).collect();
+                writeln!(f, "{pad}{buffer}[{}] = {value}", idx.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_nest() -> Stmt {
+        Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "y".into(),
+                min: Expr::int(0),
+                extent: Expr::int(4),
+                kind: LoopKind::Parallel { threads: 0 },
+                body: Box::new(Stmt::For {
+                    var: "x".into(),
+                    min: Expr::int(0),
+                    extent: Expr::int(8),
+                    kind: LoopKind::Vectorized { width: 4 },
+                    body: Box::new(Stmt::Store {
+                        id: 0,
+                        buffer: "out".into(),
+                        indices: vec![Expr::var("x"), Expr::var("y")],
+                        value: Expr::add(Expr::var("x"), Expr::var("y")),
+                    }),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn counts_and_visitor() {
+        let s = sample_nest();
+        assert_eq!(s.loop_count(), 2);
+        assert_eq!(s.store_count(), 1);
+        assert!(s.allocated_buffers().is_empty());
+        let alloc = Stmt::Allocate {
+            name: "tmp".into(),
+            ty: ScalarType::UInt16,
+            extents: vec![10],
+            body: Box::new(s),
+        };
+        assert_eq!(alloc.allocated_buffers(), vec!["tmp".to_string()]);
+    }
+
+    #[test]
+    fn block_flattens() {
+        let inner = Stmt::Block(vec![Stmt::Store {
+            id: 0,
+            buffer: "b".into(),
+            indices: vec![Expr::int(0)],
+            value: Expr::int(1),
+        }]);
+        let b = Stmt::block(vec![inner, Stmt::Block(vec![])]);
+        match &b {
+            Stmt::Store { .. } => {}
+            other => panic!("expected flattened single store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let text = sample_nest().to_string();
+        assert!(text.contains("produce out:"), "{text}");
+        assert!(text.contains("for[parallel] y in [0, 0 + 4):"), "{text}");
+        assert!(
+            text.contains("for[vectorized(4)] x in [0, 0 + 8):"),
+            "{text}"
+        );
+        assert!(text.contains("out[x, y] = (x + y)"), "{text}");
+    }
+}

@@ -174,7 +174,10 @@ mod tests {
     fn value_casts_match_c_semantics() {
         assert_eq!(Value::Int(300).cast(ScalarType::UInt8), Value::Int(44));
         assert_eq!(Value::Int(-1).cast(ScalarType::UInt8), Value::Int(255));
-        assert_eq!(Value::Int(-1).cast(ScalarType::UInt32), Value::Int(0xffff_ffff));
+        assert_eq!(
+            Value::Int(-1).cast(ScalarType::UInt32),
+            Value::Int(0xffff_ffff)
+        );
         assert_eq!(Value::Float(3.9).cast(ScalarType::Int32), Value::Int(3));
         assert_eq!(Value::Float(-3.9).cast(ScalarType::Int32), Value::Int(-3));
         assert_eq!(Value::Int(2).cast(ScalarType::Float64), Value::Float(2.0));

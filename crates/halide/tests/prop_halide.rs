@@ -72,8 +72,8 @@ proptest! {
         let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
         let src: Vec<u8> = (0..w * h).map(|i| (i * 7 % 251) as u8).collect();
         b.fill_from_u8(&src);
-        for i in 0..w * h {
-            prop_assert_eq!(b.get_linear(i), Value::Int(src[i] as i64));
+        for (i, &v) in src.iter().enumerate() {
+            prop_assert_eq!(b.get_linear(i), Value::Int(v as i64));
         }
         prop_assert_eq!(b.as_u8_slice(), &src[..]);
     }
@@ -250,7 +250,10 @@ fn blur_pipeline() -> Pipeline {
             ScalarType::UInt32,
             Expr::Image(
                 "input_1".into(),
-                vec![Expr::add(x.clone(), Expr::int(dx)), Expr::add(y.clone(), Expr::int(dy))],
+                vec![
+                    Expr::add(x.clone(), Expr::int(dx)),
+                    Expr::add(y.clone(), Expr::int(dy)),
+                ],
             ),
         )
     };
@@ -260,7 +263,11 @@ fn blur_pipeline() -> Pipeline {
     );
     let value = Expr::cast(
         ScalarType::UInt8,
-        Expr::bin(BinOp::Shr, sum, Expr::cast(ScalarType::UInt32, Expr::int(2))),
+        Expr::bin(
+            BinOp::Shr,
+            sum,
+            Expr::cast(ScalarType::UInt32, Expr::int(2)),
+        ),
     );
     Pipeline::new(
         Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value),
@@ -277,7 +284,10 @@ fn two_stage_pipeline() -> Pipeline {
         &["x_0", "x_1"],
         ScalarType::UInt16,
         Expr::add(
-            Expr::cast(ScalarType::UInt16, Expr::Image("input_1".into(), vec![x.clone(), y.clone()])),
+            Expr::cast(
+                ScalarType::UInt16,
+                Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+            ),
             Expr::int(17),
         ),
     );
@@ -302,8 +312,13 @@ fn pseudo_random_image(w: usize, h: usize, seed: u64) -> Buffer {
     let mut state = seed | 1;
     for y in 0..h {
         for x in 0..w {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            b.set(&[x as i64, y as i64], Value::Int(((state >> 33) % 256) as i64));
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.set(
+                &[x as i64, y as i64],
+                Value::Int(((state >> 33) % 256) as i64),
+            );
         }
     }
     b
@@ -437,7 +452,9 @@ fn autotuned_schedule_preserves_results() {
     let p = blur_pipeline();
     let input = pseudo_random_image(66, 50, 7);
     let inputs = RealizeInputs::new().with_image("input_1", &input);
-    let baseline = Realizer::new(Schedule::naive()).realize(&p, &[64, 48], &inputs).unwrap();
+    let baseline = Realizer::new(Schedule::naive())
+        .realize(&p, &[64, 48], &inputs)
+        .unwrap();
 
     let config = TuneConfig {
         max_candidates: 6,
@@ -469,5 +486,278 @@ proptest! {
             prop_assert!(src.contains("compile_to_file"));
             prop_assert!(src.contains("halide_out_test"));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing: the lowered backend against the interpreter oracle
+// ---------------------------------------------------------------------------
+
+use helium_halide::realize::ExecBackend;
+
+/// Random expressions over a 2-D `UInt8` image and the producer funcs
+/// `stage_a`/`stage_b`, shaped like lifted stencils: widening casts around
+/// loads, integer arithmetic, shifts by small constants, min/max and selects.
+/// `func_off_lo` bounds the producer access offsets: negative offsets
+/// exercise the clamped-boundary paths (where only backend *parity* is
+/// guaranteed, as in Halide without boundary conditions), non-negative
+/// offsets additionally guarantee schedule *invariance*.
+fn stencil_expr_strategy(func_off_lo: i64) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-16i64..17).prop_map(Expr::int),
+        Just(Expr::var("x_0")),
+        Just(Expr::var("x_1")),
+        (-2i64..3, -2i64..3).prop_map(|(dx, dy)| Expr::cast(
+            ScalarType::UInt32,
+            Expr::Image(
+                "input_1".into(),
+                vec![
+                    Expr::add(Expr::var("x_0"), Expr::int(dx)),
+                    Expr::add(Expr::var("x_1"), Expr::int(dy)),
+                ],
+            )
+        )),
+        (func_off_lo..3, func_off_lo..3).prop_map(|(dx, dy)| Expr::FuncRef(
+            "stage_a".into(),
+            vec![
+                Expr::add(Expr::var("x_0"), Expr::int(dx)),
+                Expr::add(Expr::var("x_1"), Expr::int(dy)),
+            ],
+        )),
+        (func_off_lo..3, func_off_lo..3).prop_map(|(dx, dy)| Expr::FuncRef(
+            "stage_b".into(),
+            vec![
+                Expr::add(Expr::var("x_0"), Expr::int(dx)),
+                Expr::add(Expr::var("x_1"), Expr::int(dy)),
+            ],
+        )),
+        // Non-affine producer indexing (x*y) exercises the lowering pass's
+        // degrade-to-compute_root path.
+        Just(Expr::FuncRef(
+            "stage_a".into(),
+            vec![
+                Expr::mul(Expr::var("x_0"), Expr::var("x_1")),
+                Expr::var("x_1")
+            ],
+        )),
+    ];
+    leaf.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), (-4i64..5)).prop_map(|(a, c)| Expr::mul(a, Expr::int(c))),
+            (inner.clone(), (0i64..5)).prop_map(|(a, s)| Expr::bin(BinOp::Shr, a, Expr::int(s))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Xor, a, b)),
+            (inner.clone(), inner.clone(), inner.clone(), (-64i64..65))
+                .prop_map(|(c, t, f, k)| Expr::select(Expr::cmp(CmpOp::Lt, c, Expr::int(k)), t, f)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::cast(ScalarType::UInt16, Expr::cast(ScalarType::UInt32, a))),
+        ]
+    })
+}
+
+/// The producer's own definition: a small stencil over the input image only.
+fn producer_expr_strategy() -> impl Strategy<Value = Expr> {
+    (-2i64..3, -2i64..3, -8i64..9, 0i64..3).prop_map(|(dx, dy, c, s)| {
+        Expr::bin(
+            BinOp::Shr,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt32,
+                    Expr::Image(
+                        "input_1".into(),
+                        vec![
+                            Expr::add(Expr::var("x_0"), Expr::int(dx)),
+                            Expr::add(Expr::var("x_1"), Expr::int(dy)),
+                        ],
+                    ),
+                ),
+                Expr::int(c),
+            ),
+            Expr::int(s),
+        )
+    })
+}
+
+/// Random three-stage pipelines: `stage_a` reads the input, `stage_b` reads
+/// `stage_a` (a producer *chain*, so placements interact), and `output_1`
+/// may read either stage directly.
+fn pipeline_strategy(func_off_lo: i64) -> impl Strategy<Value = Pipeline> {
+    (
+        stencil_expr_strategy(func_off_lo),
+        producer_expr_strategy(),
+        (func_off_lo..3, func_off_lo..3, 0i64..9),
+    )
+        .prop_map(|(out_e, prod_e, (bdx, bdy, bc))| {
+            let stage_a = Func::pure("stage_a", &["x_0", "x_1"], ScalarType::UInt16, prod_e);
+            let stage_b = Func::pure(
+                "stage_b",
+                &["x_0", "x_1"],
+                ScalarType::UInt16,
+                Expr::add(
+                    Expr::FuncRef(
+                        "stage_a".into(),
+                        vec![
+                            Expr::add(Expr::var("x_0"), Expr::int(bdx)),
+                            Expr::add(Expr::var("x_1"), Expr::int(bdy)),
+                        ],
+                    ),
+                    Expr::int(bc),
+                ),
+            );
+            let out = Func::pure(
+                "output_1",
+                &["x_0", "x_1"],
+                ScalarType::UInt8,
+                Expr::cast(ScalarType::UInt8, out_e),
+            );
+            Pipeline::new(out, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)])
+                .with_func(stage_a)
+                .with_func(stage_b)
+        })
+}
+
+/// Random schedules spanning every knob, including the compute_at directive.
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (
+        any::<bool>(),
+        0usize..4,
+        prop::sample::select(vec![
+            None,
+            Some((4usize, 4usize)),
+            Some((8, 8)),
+            Some((16, 4)),
+        ]),
+        prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+        0u8..3,
+        prop::sample::select(vec!["x_0", "x_1"]),
+        0u8..3,
+        prop::sample::select(vec!["x_0", "x_1"]),
+    )
+        .prop_map(
+            |(parallel, threads, tile, vector, place_a, var_a, place_b, var_b)| {
+                let mut s = Schedule::naive()
+                    .with_parallel(parallel)
+                    .with_threads(threads)
+                    .with_tile(tile)
+                    .with_vector_width(vector);
+                match place_a {
+                    1 => s = s.with_compute_root("stage_a"),
+                    2 => s = s.with_compute_at("stage_a", var_a),
+                    _ => {}
+                }
+                match place_b {
+                    1 => s = s.with_compute_root("stage_b"),
+                    2 => s = s.with_compute_at("stage_b", var_b),
+                    _ => {}
+                }
+                s
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance property of the lowering subsystem: for random
+    /// pipelines under random schedules, the lowered backend produces buffers
+    /// bit-identical to the interpreter oracle.
+    #[test]
+    fn lowered_backend_matches_interpreter(
+        p in pipeline_strategy(-2),
+        schedule in schedule_strategy(),
+        w in 5usize..24,
+        h in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let input = pseudo_random_image(w + 4, h + 4, seed);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let interpreted = Realizer::new(schedule.clone())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[w, h], &inputs)
+            .unwrap();
+        let lowered = Realizer::new(schedule.clone())
+            .with_backend(ExecBackend::Lowered)
+            .realize(&p, &[w, h], &inputs)
+            .unwrap();
+        prop_assert_eq!(
+            &interpreted, &lowered,
+            "backends diverged under [{}] over {}x{}", schedule, w, h
+        );
+    }
+
+    /// Beyond backend parity: for pipelines whose producer accesses never go
+    /// below zero (so no read hits a materialized buffer's clamped lower
+    /// boundary, where inline and compute_root placements legitimately differ
+    /// — Halide would require an explicit boundary condition there), *any*
+    /// schedule on *either* backend computes exactly the naive values.
+    #[test]
+    fn schedules_preserve_values(
+        p in pipeline_strategy(0),
+        schedule in schedule_strategy(),
+        w in 5usize..24,
+        h in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let input = pseudo_random_image(w + 4, h + 4, seed);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let naive = Realizer::new(Schedule::naive())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[w, h], &inputs)
+            .unwrap();
+        for backend in [ExecBackend::Interpret, ExecBackend::Lowered] {
+            let out = Realizer::new(schedule.clone())
+                .with_backend(backend)
+                .realize(&p, &[w, h], &inputs)
+                .unwrap();
+            prop_assert_eq!(
+                &out, &naive,
+                "{:?} under [{}] changed values over {}x{}", backend, schedule, w, h
+            );
+        }
+    }
+
+    /// The two backends also agree on reductions (pure init + update), where
+    /// the lowered backend runs the pure stage compiled and the update stage
+    /// through the shared reduction interpreter.
+    #[test]
+    fn lowered_backend_matches_interpreter_on_histograms(
+        w in 3usize..16,
+        h in 3usize..12,
+        seed in any::<u64>(),
+        parallel in any::<bool>(),
+    ) {
+        let img = ImageParam::new("input_1", ScalarType::UInt8, 2);
+        let rdom = RDom::over_image("r_0", &img);
+        let access = Expr::Image(
+            "input_1".into(),
+            vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+        );
+        let update = UpdateDef {
+            lhs: vec![access.clone()],
+            value: Expr::cast(
+                ScalarType::UInt64,
+                Expr::add(Expr::FuncRef("hist".into(), vec![access]), Expr::int(1)),
+            ),
+            rdom,
+        };
+        let hist = Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0))
+            .with_update(update);
+        let p = Pipeline::new(hist, vec![img]);
+        let input = pseudo_random_image(w, h, seed);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let schedule = Schedule::naive().with_parallel(parallel).with_vector_width(8);
+        let a = Realizer::new(schedule.clone())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[256], &inputs)
+            .unwrap();
+        let b = Realizer::new(schedule)
+            .with_backend(ExecBackend::Lowered)
+            .realize(&p, &[256], &inputs)
+            .unwrap();
+        prop_assert_eq!(a, b);
     }
 }

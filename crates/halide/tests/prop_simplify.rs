@@ -33,9 +33,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (inner.clone(), (0i64..4)).prop_map(|(a, s)| Expr::bin(BinOp::Shr, a, Expr::int(s))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
-            (inner.clone(), inner.clone(), inner.clone(), (-64i64..65)).prop_map(
-                |(c, t, f, k)| Expr::select(Expr::cmp(CmpOp::Lt, c, Expr::int(k)), t, f)
-            ),
+            (inner.clone(), inner.clone(), inner.clone(), (-64i64..65))
+                .prop_map(|(c, t, f, k)| Expr::select(Expr::cmp(CmpOp::Lt, c, Expr::int(k)), t, f)),
             inner
                 .clone()
                 .prop_map(|a| Expr::cast(ScalarType::UInt16, Expr::cast(ScalarType::UInt32, a))),
@@ -61,7 +60,10 @@ fn test_image(w: usize, h: usize, seed: u64) -> Buffer {
     for y in 0..h {
         for x in 0..w {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            b.set(&[x as i64, y as i64], Value::Int(((state >> 33) % 256) as i64));
+            b.set(
+                &[x as i64, y as i64],
+                Value::Int(((state >> 33) % 256) as i64),
+            );
         }
     }
     b
@@ -78,7 +80,7 @@ proptest! {
         let simplified = {
             let mut p = original.clone();
             let func = p.funcs.get_mut("out").expect("output func");
-            func.pure_def = func.pure_def.as_ref().map(|e| simplify(e));
+            func.pure_def = func.pure_def.as_ref().map(simplify);
             p
         };
 

@@ -5,9 +5,7 @@
 //! backward label references, and returns the `address -> instruction` map
 //! that [`Program::add_module`](crate::program::Program::add_module) consumes.
 
-use crate::isa::{
-    AluOp, Cond, ExternFn, FpOp, FpSrc, Instr, MemRef, Operand, RegRef, ShiftOp,
-};
+use crate::isa::{AluOp, Cond, ExternFn, FpOp, FpSrc, Instr, MemRef, Operand, RegRef, ShiftOp};
 use crate::program::INSTR_SIZE;
 use std::collections::{BTreeMap, HashMap};
 
@@ -81,7 +79,12 @@ pub struct Asm {
 impl Asm {
     /// Start assembling at `base`.
     pub fn new(base: u32) -> Asm {
-        Asm { base, instrs: Vec::new(), fixups: Vec::new(), labels: HashMap::new() }
+        Asm {
+            base,
+            instrs: Vec::new(),
+            fixups: Vec::new(),
+            labels: HashMap::new(),
+        }
     }
 
     /// Code address of the next instruction to be emitted.
@@ -119,17 +122,26 @@ impl Asm {
 
     /// `mov dst, src`.
     pub fn mov(&mut self, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Mov { dst: dst.into(), src: src.into() })
+        self.emit(Instr::Mov {
+            dst: dst.into(),
+            src: src.into(),
+        })
     }
 
     /// `movzx dst, src`.
     pub fn movzx(&mut self, dst: RegRef, src: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Movzx { dst, src: src.into() })
+        self.emit(Instr::Movzx {
+            dst,
+            src: src.into(),
+        })
     }
 
     /// `movsx dst, src`.
     pub fn movsx(&mut self, dst: RegRef, src: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Movsx { dst, src: src.into() })
+        self.emit(Instr::Movsx {
+            dst,
+            src: src.into(),
+        })
     }
 
     /// `lea dst, [addr]`.
@@ -151,7 +163,11 @@ impl Asm {
 
     /// Generic two-operand ALU instruction.
     pub fn alu(&mut self, op: AluOp, dst: impl Into<Operand>, src: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Alu { op, dst: dst.into(), src: src.into() })
+        self.emit(Instr::Alu {
+            op,
+            dst: dst.into(),
+            src: src.into(),
+        })
     }
 
     /// `add dst, src`.
@@ -196,17 +212,29 @@ impl Asm {
 
     /// `shl dst, amount`.
     pub fn shl(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Shift { op: ShiftOp::Shl, dst: dst.into(), amount: amount.into() })
+        self.emit(Instr::Shift {
+            op: ShiftOp::Shl,
+            dst: dst.into(),
+            amount: amount.into(),
+        })
     }
 
     /// `shr dst, amount`.
     pub fn shr(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Shift { op: ShiftOp::Shr, dst: dst.into(), amount: amount.into() })
+        self.emit(Instr::Shift {
+            op: ShiftOp::Shr,
+            dst: dst.into(),
+            amount: amount.into(),
+        })
     }
 
     /// `sar dst, amount`.
     pub fn sar(&mut self, dst: impl Into<Operand>, amount: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Shift { op: ShiftOp::Sar, dst: dst.into(), amount: amount.into() })
+        self.emit(Instr::Shift {
+            op: ShiftOp::Sar,
+            dst: dst.into(),
+            amount: amount.into(),
+        })
     }
 
     /// `inc dst`.
@@ -231,12 +259,18 @@ impl Asm {
 
     /// `cmp a, b`.
     pub fn cmp(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Cmp { a: a.into(), b: b.into() })
+        self.emit(Instr::Cmp {
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// `test a, b`.
     pub fn test(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> u32 {
-        self.emit(Instr::Test { a: a.into(), b: b.into() })
+        self.emit(Instr::Test {
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     // --- control flow -------------------------------------------------------
@@ -300,12 +334,22 @@ impl Asm {
 
     /// `fadd src`, `fsub src`, `fmul src`, `fdiv src` with st(0) as destination.
     pub fn farith(&mut self, op: FpOp, src: FpSrc) -> u32 {
-        self.emit(Instr::Farith { op, src, pop: false, reverse_dst: false })
+        self.emit(Instr::Farith {
+            op,
+            src,
+            pop: false,
+            reverse_dst: false,
+        })
     }
 
     /// `faddp st(i), st(0)` family: `st(i) = st(i) op st(0)`, then pop.
     pub fn farith_to(&mut self, op: FpOp, slot: u8) -> u32 {
-        self.emit(Instr::Farith { op, src: FpSrc::St(slot), pop: true, reverse_dst: true })
+        self.emit(Instr::Farith {
+            op,
+            src: FpSrc::St(slot),
+            pop: true,
+            reverse_dst: true,
+        })
     }
 
     /// `fxch st(i)`.

@@ -5,7 +5,7 @@
 //! stack top).
 
 use crate::isa::{
-    AluOp, Cond, ExternFn, Instr, MemRef, Operand, Reg, RegRef, ShiftOp, Width, FpOp, FpSrc,
+    AluOp, Cond, ExternFn, FpOp, FpSrc, Instr, MemRef, Operand, Reg, RegRef, ShiftOp, Width,
 };
 use crate::mem::Memory;
 use crate::program::{Program, INSTR_SIZE};
@@ -37,7 +37,11 @@ pub struct FpStack {
 
 impl Default for FpStack {
     fn default() -> Self {
-        FpStack { slots: [0.0; 8], top: 0, depth: 0 }
+        FpStack {
+            slots: [0.0; 8],
+            top: 0,
+            depth: 0,
+        }
     }
 }
 
@@ -257,13 +261,20 @@ impl Cpu {
     fn read_mem_logged(&self, m: &MemRef, log: &mut Vec<MemAccess>) -> u64 {
         let (addr, expr) = self.resolve(m);
         let v = self.mem.read_uint(addr, m.width.bytes());
-        log.push(MemAccess { addr, width: m.width, is_write: false, value: v, expr });
+        log.push(MemAccess {
+            addr,
+            width: m.width,
+            is_write: false,
+            value: v,
+            expr,
+        });
         v
     }
 
     fn write_mem_logged(&mut self, m: &MemRef, value: u64, log: &mut Vec<MemAccess>) {
         let (addr, expr) = self.resolve(m);
-        self.mem.write_uint(addr, value & m.width.mask(), m.width.bytes());
+        self.mem
+            .write_uint(addr, value & m.width.mask(), m.width.bytes());
         log.push(MemAccess {
             addr,
             width: m.width,
@@ -371,7 +382,10 @@ impl Cpu {
     /// an instruction, and [`CpuError::Malformed`] for ill-formed instructions.
     pub fn step(&mut self, program: &Program) -> Result<StepRecord, CpuError> {
         let addr = self.pc;
-        let instr = program.instr_at(addr).ok_or(CpuError::InvalidPc(addr))?.clone();
+        let instr = program
+            .instr_at(addr)
+            .ok_or(CpuError::InvalidPc(addr))?
+            .clone();
         let mut log = Vec::new();
         let mut branch_taken = None;
         let mut call_target = None;
@@ -586,7 +600,12 @@ impl Cpu {
                 let rounded = round_ties_even(v) as i64 as u32;
                 self.write_mem_logged(dst, rounded as u64, &mut log);
             }
-            Instr::Farith { op, src, pop, reverse_dst } => {
+            Instr::Farith {
+                op,
+                src,
+                pop,
+                reverse_dst,
+            } => {
                 let rhs = self.read_fp_src(src, &mut log);
                 if *reverse_dst {
                     let slot = match src {
@@ -737,7 +756,10 @@ mod tests {
         let mut asm = Asm::new(0x2000);
         // ebx = 0x8000; [ebx+4] = 0x1234; eax = [ebx + 1*4]
         asm.mov(regs::ebx(), Operand::Imm(0x8000));
-        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 4, Width::B4)), Operand::Imm(0x1234));
+        asm.mov(
+            Operand::Mem(MemRef::base_disp(Reg::Ebx, 4, Width::B4)),
+            Operand::Imm(0x1234),
+        );
         asm.mov(regs::ecx(), Operand::Imm(1));
         asm.mov(
             regs::eax(),
@@ -752,9 +774,18 @@ mod tests {
     fn movzx_movsx_semantics() {
         let mut asm = Asm::new(0x3000);
         asm.mov(regs::ebx(), Operand::Imm(0x9000));
-        asm.mov(Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)), Operand::Imm(0xf0));
-        asm.movzx(regs::eax(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
-        asm.movsx(regs::ecx(), Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)));
+        asm.mov(
+            Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)),
+            Operand::Imm(0xf0),
+        );
+        asm.movzx(
+            regs::eax(),
+            Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)),
+        );
+        asm.movsx(
+            regs::ecx(),
+            Operand::Mem(MemRef::base_only(Reg::Ebx, Width::B1)),
+        );
         asm.halt();
         let cpu = run_to_halt(asm);
         assert_eq!(cpu.reg(Reg::Eax), 0xf0);
@@ -859,7 +890,10 @@ mod tests {
     fn step_record_reports_memory_accesses() {
         let mut asm = Asm::new(0xa000);
         asm.mov(regs::ebx(), Operand::Imm(0x9100));
-        asm.mov(Operand::Mem(MemRef::base_disp(Reg::Ebx, 8, Width::B4)), Operand::Imm(7));
+        asm.mov(
+            Operand::Mem(MemRef::base_disp(Reg::Ebx, 8, Width::B4)),
+            Operand::Imm(7),
+        );
         asm.halt();
         let mut p = Program::new();
         p.add_module("t", asm.finish());

@@ -170,22 +170,38 @@ pub struct RegRef {
 impl RegRef {
     /// Full 32-bit view of a register.
     pub fn full(reg: Reg) -> RegRef {
-        RegRef { reg, lo: 0, width: Width::B4 }
+        RegRef {
+            reg,
+            lo: 0,
+            width: Width::B4,
+        }
     }
 
     /// Low 16-bit view (`ax`, `bx`, ...).
     pub fn word(reg: Reg) -> RegRef {
-        RegRef { reg, lo: 0, width: Width::B2 }
+        RegRef {
+            reg,
+            lo: 0,
+            width: Width::B2,
+        }
     }
 
     /// Low byte view (`al`, `bl`, ...).
     pub fn low_byte(reg: Reg) -> RegRef {
-        RegRef { reg, lo: 0, width: Width::B1 }
+        RegRef {
+            reg,
+            lo: 0,
+            width: Width::B1,
+        }
     }
 
     /// Second byte view (`ah`, `bh`, ...).
     pub fn high_byte(reg: Reg) -> RegRef {
-        RegRef { reg, lo: 1, width: Width::B1 }
+        RegRef {
+            reg,
+            lo: 1,
+            width: Width::B1,
+        }
     }
 }
 
@@ -266,7 +282,11 @@ pub mod regs {
 
     /// A partial byte view at an arbitrary offset, used in tests.
     pub fn byte_at(reg: Reg, lo: u8) -> RegRef {
-        RegRef { reg, lo, width: Width::B1 }
+        RegRef {
+            reg,
+            lo,
+            width: Width::B1,
+        }
     }
 }
 
@@ -288,7 +308,13 @@ pub struct MemRef {
 impl MemRef {
     /// `width ptr [base + disp]`.
     pub fn base_disp(base: Reg, disp: i32, width: Width) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp, width }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+            width,
+        }
     }
 
     /// `width ptr [base]`.
@@ -298,12 +324,24 @@ impl MemRef {
 
     /// `width ptr [base + index*scale + disp]`.
     pub fn sib(base: Reg, index: Reg, scale: u8, disp: i32, width: Width) -> MemRef {
-        MemRef { base: Some(base), index: Some(index), scale, disp, width }
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            width,
+        }
     }
 
     /// `width ptr [disp]` (absolute address).
     pub fn absolute(disp: i32, width: Width) -> MemRef {
-        MemRef { base: None, index: None, scale: 1, disp, width }
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+            width,
+        }
     }
 
     /// Same reference with a different access width.
@@ -669,9 +707,17 @@ pub enum Instr {
     /// `lea dst, [mem]` — address computation without memory access.
     Lea { dst: RegRef, addr: MemRef },
     /// Two-operand ALU operation `dst = dst op src` (sets flags).
-    Alu { op: AluOp, dst: Operand, src: Operand },
+    Alu {
+        op: AluOp,
+        dst: Operand,
+        src: Operand,
+    },
     /// Shift `dst = dst shift amount` (amount is an immediate or `cl`).
-    Shift { op: ShiftOp, dst: Operand, amount: Operand },
+    Shift {
+        op: ShiftOp,
+        dst: Operand,
+        amount: Operand,
+    },
     /// `inc dst`.
     Inc { dst: Operand },
     /// `dec dst`.
@@ -706,7 +752,12 @@ pub enum Instr {
     Fistp { dst: MemRef },
     /// x87 binary operation `st(0) = st(0) op src` (or `st(i) op= st(0)` when
     /// `reverse_dst` is set, which also pops for the `faddp` family).
-    Farith { op: FpOp, src: FpSrc, pop: bool, reverse_dst: bool },
+    Farith {
+        op: FpOp,
+        src: FpSrc,
+        pop: bool,
+        reverse_dst: bool,
+    },
     /// x87 exchange `st(0)` with `st(i)`.
     Fxch { slot: u8 },
     /// No operation (used for alignment padding like `lea esp,[esp+0x00]`).
@@ -742,7 +793,12 @@ impl fmt::Display for Instr {
                 write!(f, "{}    {dst}", if *pop { "fstp" } else { "fst " })
             }
             Instr::Fistp { dst } => write!(f, "fistp  {dst}"),
-            Instr::Farith { op, src, pop, reverse_dst } => {
+            Instr::Farith {
+                op,
+                src,
+                pop,
+                reverse_dst,
+            } => {
                 let suffix = if *pop { "p" } else { "" };
                 let dir = if *reverse_dst { " (to st)" } else { "" };
                 write!(f, "{op}{suffix} {src}{dir}")
@@ -759,11 +815,7 @@ impl Instr {
     pub fn is_block_terminator(&self) -> bool {
         matches!(
             self,
-            Instr::Jmp { .. }
-                | Instr::Jcc { .. }
-                | Instr::Call { .. }
-                | Instr::Ret
-                | Instr::Halt
+            Instr::Jmp { .. } | Instr::Jcc { .. } | Instr::Call { .. } | Instr::Ret | Instr::Halt
         )
     }
 
@@ -858,8 +910,19 @@ mod tests {
         assert!(Instr::Ret.is_block_terminator());
         assert!(Instr::Jmp { target: 4 }.is_block_terminator());
         assert!(!Instr::Nop.is_block_terminator());
-        assert_eq!(Instr::Jcc { cond: Cond::Z, target: 8 }.static_target(), Some(8));
-        assert!(Instr::Jcc { cond: Cond::Z, target: 8 }.is_conditional());
+        assert_eq!(
+            Instr::Jcc {
+                cond: Cond::Z,
+                target: 8
+            }
+            .static_target(),
+            Some(8)
+        );
+        assert!(Instr::Jcc {
+            cond: Cond::Z,
+            target: 8
+        }
+        .is_conditional());
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl Memory {
 
     /// Read `len` bytes starting at `addr` (little-endian order).
     pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i)))
+            .collect()
     }
 
     /// Write a byte slice starting at `addr`.
@@ -123,7 +125,9 @@ impl Memory {
 
     /// Iterate over allocated pages as `(base_address, data)`.
     pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8])> {
-        self.pages.iter().map(|(p, data)| (p * PAGE_SIZE, data.as_slice()))
+        self.pages
+            .iter()
+            .map(|(p, data)| (p * PAGE_SIZE, data.as_slice()))
     }
 }
 

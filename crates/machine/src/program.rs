@@ -71,14 +71,24 @@ impl Program {
         }
         for (addr, instr) in code {
             let prev = self.instrs.insert(addr, instr);
-            assert!(prev.is_none(), "instruction address {addr:#x} defined twice");
+            assert!(
+                prev.is_none(),
+                "instruction address {addr:#x} defined twice"
+            );
         }
-        self.modules.push(Module { name: name.to_string(), base, end });
+        self.modules.push(Module {
+            name: name.to_string(),
+            base,
+            end,
+        });
     }
 
     /// Register a function symbol (exported or internal-but-known entry point).
     pub fn add_function(&mut self, entry: u32, name: Option<&str>) {
-        self.functions.push(FunctionSym { entry, name: name.map(str::to_string) });
+        self.functions.push(FunctionSym {
+            entry,
+            name: name.map(str::to_string),
+        });
     }
 
     /// Look up the instruction at `addr`.
@@ -202,8 +212,10 @@ impl fmt::Display for Program {
         for m in &self.modules {
             writeln!(f, "; module {} [{:#x}, {:#x})", m.name, m.base, m.end)?;
             for (addr, instr) in self.instrs.range(m.base..m.end) {
-                if let Some(func) =
-                    self.functions.iter().find(|fun| fun.entry == *addr && fun.name.is_some())
+                if let Some(func) = self
+                    .functions
+                    .iter()
+                    .find(|fun| fun.entry == *addr && fun.name.is_some())
                 {
                     writeln!(f, "{}:", func.name.as_deref().unwrap_or("?"))?;
                 }

@@ -14,12 +14,16 @@ use proptest::prelude::*;
 /// Assemble `asm`, run it to the final `halt` and return the CPU state.
 fn run_to_halt(asm: Asm) -> Cpu {
     let code = asm.finish();
-    let entry = *code.keys().next().expect("program has at least one instruction");
+    let entry = *code
+        .keys()
+        .next()
+        .expect("program has at least one instruction");
     let mut program = Program::new();
     program.add_module("prop", code);
     let mut cpu = Cpu::new();
     cpu.pc = entry;
-    cpu.run(&program, 100_000, |_, _| {}).expect("program halts cleanly");
+    cpu.run(&program, 100_000, |_, _| {})
+        .expect("program halts cleanly");
     cpu
 }
 
@@ -192,14 +196,14 @@ proptest! {
         let addr = base
             .wrapping_add(index.wrapping_mul(scale as u32))
             .wrapping_add(disp as u32);
-        prop_assume!(addr >= 0x2000 && addr < 0x0010_0000);
+        prop_assume!((0x2000..0x0010_0000).contains(&addr));
 
         let mem = MemRef::sib(Reg::Ebx, Reg::Ecx, scale, disp, Width::B4);
         let mut asm = Asm::new(0x1000);
         asm.mov(regs::ebx(), Operand::Imm(base as i64));
         asm.mov(regs::ecx(), Operand::Imm(index as i64));
         asm.mov(regs::eax(), Operand::Imm(value as i64));
-        asm.mov(Operand::Mem(mem.clone()), regs::eax());
+        asm.mov(Operand::Mem(mem), regs::eax());
         asm.mov(regs::edx(), Operand::Mem(mem));
         asm.halt();
 

@@ -1,0 +1,147 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the handful of APIs the bench harnesses use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Results are printed as `bench: <group>/<name> ... <median> (min .. max)`.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (after one warm-up).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, mirroring criterion.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Print the final summary (a no-op in the shim; results print eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accept (and ignore) a measurement-time hint.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Finish the group (a no-op in the shim; results print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per invocation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    let mut r = b.results;
+    if r.is_empty() {
+        println!("bench: {id:<48} (no samples)");
+        return;
+    }
+    r.sort_unstable();
+    let median = r[r.len() / 2];
+    println!(
+        "bench: {id:<48} {:>12?} (min {:?} .. max {:?}, n={})",
+        median,
+        r[0],
+        r[r.len() - 1],
+        r.len()
+    );
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Entry point running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specifications accepted by the collection strategies (a fixed size or
+/// a range of sizes).
+pub trait IntoSizeRange {
+    /// Inclusive lower and exclusive upper bound on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`, with a length drawn
+/// from `size`.
+pub fn vec<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy,
+    S::Value: 'static,
+{
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty collection size range");
+    BoxedStrategy::new(move |rng| {
+        let n = lo + (rng.below((hi - lo) as u64) as usize);
+        (0..n).map(|_| element.generate(rng)).collect()
+    })
+}
+
+/// A strategy producing `BTreeSet`s. The set size may come out below the
+/// requested range when the element strategy repeats values; the minimum is
+/// retried a bounded number of times.
+pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<BTreeSet<S::Value>>
+where
+    S: Strategy,
+    S::Value: Ord + 'static,
+{
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty collection size range");
+    BoxedStrategy::new(move |rng| {
+        let n = lo + (rng.below((hi - lo) as u64) as usize);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 20 + 100 {
+            out.insert(element.generate(rng));
+            attempts += 1;
+        }
+        out
+    })
+}

@@ -1,0 +1,30 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/
+//! `boxed`, range/tuple/`Just`/collection/sample strategies, `any::<T>()`,
+//! the `proptest!`, `prop_assert*!`, `prop_assume!` and `prop_oneof!` macros,
+//! and a deterministic test runner. There is no shrinking: a failing case
+//! panics with the generated inputs' debug representation, which at this
+//! repository's input sizes is readable enough to debug directly.
+//!
+//! Determinism: each test derives its generator seed from the test's module
+//! path and name, so failures reproduce across runs and machines.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    /// Alias of the crate root, so `prop::collection::vec(..)` etc. resolve.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,33 @@
+//! `prop::sample` — choosing among explicit alternatives.
+
+use crate::strategy::BoxedStrategy;
+
+/// A strategy that picks a uniformly random element of `options`.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+    assert!(
+        !options.is_empty(),
+        "sample::select needs at least one option"
+    );
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(options.len() as u64) as usize;
+        options[i].clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn select_covers_all_options() {
+        let s = select(vec![1, 2, 3]);
+        let mut rng = TestRng::for_test("select_covers_all_options");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

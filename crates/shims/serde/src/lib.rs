@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and derive macros so the
+//! workspace compiles without crates.io access. No serialization is performed;
+//! the workspace only *annotates* its IR types today. Replacing this shim with
+//! the real serde is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations on the IR types only reserve the capability.
+//! These derives therefore expand to nothing; swapping the real serde back in
+//! is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

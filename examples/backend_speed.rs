@@ -1,0 +1,71 @@
+//! Quick comparison of the two execution backends on the paper's blur shape.
+
+use helium::halide::prelude::*;
+use helium::halide::realize::ExecBackend;
+use std::time::Instant;
+
+fn main() {
+    let x = Expr::var("x_0");
+    let y = Expr::var("x_1");
+    let at = |dx: i64, dy: i64| {
+        Expr::cast(
+            ScalarType::UInt32,
+            Expr::Image(
+                "input_1".into(),
+                vec![
+                    Expr::add(x.clone(), Expr::int(dx)),
+                    Expr::add(y.clone(), Expr::int(dy)),
+                ],
+            ),
+        )
+    };
+    let sum = Expr::add(
+        Expr::add(Expr::uint(2), Expr::mul(Expr::uint(2), at(1, 1))),
+        Expr::add(at(0, 1), at(2, 1)),
+    );
+    let value = Expr::cast(
+        ScalarType::UInt8,
+        Expr::bin(
+            BinOp::Shr,
+            sum,
+            Expr::cast(ScalarType::UInt32, Expr::uint(2)),
+        ),
+    );
+    let p = Pipeline::new(
+        Func::pure("output_1", &["x_0", "x_1"], ScalarType::UInt8, value),
+        vec![ImageParam::new("input_1", ScalarType::UInt8, 2)],
+    );
+    let (w, h) = (1026usize, 770usize);
+    let mut input = Buffer::new(ScalarType::UInt8, &[w, h]);
+    let mut state = 7u64;
+    for yy in 0..h {
+        for xx in 0..w {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            input.set(
+                &[xx as i64, yy as i64],
+                Value::Int(((state >> 33) % 256) as i64),
+            );
+        }
+    }
+    let inputs = RealizeInputs::new().with_image("input_1", &input);
+    let extents = [w - 2, h - 2];
+
+    for schedule in [Schedule::naive(), Schedule::stencil_default()] {
+        let mut outs = Vec::new();
+        for backend in [ExecBackend::Interpret, ExecBackend::Lowered] {
+            let r = Realizer::new(schedule.clone()).with_backend(backend);
+            let _ = r.realize(&p, &extents, &inputs).unwrap(); // warm up
+            let start = Instant::now();
+            let reps = 5;
+            let mut out = None;
+            for _ in 0..reps {
+                out = Some(r.realize(&p, &extents, &inputs).unwrap());
+            }
+            let t = start.elapsed() / reps;
+            println!("{backend:?} under [{schedule}]: {t:?}");
+            outs.push(out.unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "backends diverged");
+        println!("  outputs bit-identical");
+    }
+}

@@ -11,12 +11,24 @@ use helium::apps::InterleavedImage;
 use helium::core::{KnownData, LiftRequest, Lifter};
 
 fn main() {
-    for filter in [BatchFilter::Blur, BatchFilter::Sharpen, BatchFilter::Solarize] {
+    for filter in [
+        BatchFilter::Blur,
+        BatchFilter::Sharpen,
+        BatchFilter::Solarize,
+    ] {
         let image = InterleavedImage::random(48, 32, 0xBA7C);
         let app = BatchView::new(filter, image);
         let request = LiftRequest {
-            known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-            known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+            known_inputs: app
+                .known_input_rows()
+                .into_iter()
+                .map(KnownData::from_rows)
+                .collect(),
+            known_outputs: app
+                .known_output_rows()
+                .into_iter()
+                .map(KnownData::from_rows)
+                .collect(),
             approx_data_size: app.approx_data_size(),
         };
         let lifted = Lifter::new()

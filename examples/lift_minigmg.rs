@@ -47,13 +47,11 @@ fn main() {
     // Execute the lifted kernel and compare it against the legacy binary's
     // native reference port.
     let mut cpu = app.fresh_cpu(true);
-    cpu.run(app.program(), 500_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run completes");
     let kernel = lifted.primary();
     let input_layout = lifted.buffer("input_1").expect("input layout");
-    let mut input = Buffer::new(
-        ScalarType::Float64,
-        &[input_layout.extents[0] as usize],
-    );
+    let mut input = Buffer::new(ScalarType::Float64, &[input_layout.extents[0] as usize]);
     for i in 0..input.len() {
         let addr = input_layout.base + i as u32 * input_layout.element_size;
         input.set(&[i as i64], Value::Float(cpu.mem.read_f64(addr)));

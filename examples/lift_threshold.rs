@@ -16,8 +16,16 @@ fn main() {
     let image = PlanarImage::random(48, 32, 1, 16, 7);
     let app = PhotoFlow::with_params(PhotoFilter::Threshold, image, 96, 0);
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()

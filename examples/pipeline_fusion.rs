@@ -17,8 +17,16 @@ use std::time::Instant;
 fn lift(filter: PhotoFilter, image: &PlanarImage) -> (PhotoFlow, LiftedStencil) {
     let app = PhotoFlow::new(filter, image.clone());
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -53,7 +61,11 @@ fn main() {
     // re-targeted to consume the blur's output.
     let blur_kernel = blur.primary();
     let invert_kernel = invert.primary();
-    let input = plane_buffer(&blur_app, &blur, &blur_kernel.pipeline.images.keys().next().cloned().unwrap());
+    let input = plane_buffer(
+        &blur_app,
+        &blur,
+        &blur_kernel.pipeline.images.keys().next().cloned().unwrap(),
+    );
     let extents: Vec<usize> = blur
         .buffer(&blur_kernel.output)
         .unwrap()
@@ -69,9 +81,19 @@ fn main() {
     let t0 = Instant::now();
     let input_name = blur_kernel.pipeline.images.keys().next().cloned().unwrap();
     let blurred = realizer
-        .realize(&blur_kernel.pipeline, &extents, &RealizeInputs::new().with_image(&input_name, &input))
+        .realize(
+            &blur_kernel.pipeline,
+            &extents,
+            &RealizeInputs::new().with_image(&input_name, &input),
+        )
         .expect("blur realizes");
-    let invert_input_name = invert_kernel.pipeline.images.keys().next().cloned().unwrap();
+    let invert_input_name = invert_kernel
+        .pipeline
+        .images
+        .keys()
+        .next()
+        .cloned()
+        .unwrap();
     let _separate = realizer
         .realize(
             &invert_kernel.pipeline,
@@ -82,10 +104,16 @@ fn main() {
     let separate_time = t0.elapsed();
 
     // Fused execution: compose the pipelines and realize once.
-    let fused = invert_kernel.pipeline.compose_after(&blur_kernel.pipeline, &invert_input_name);
+    let fused = invert_kernel
+        .pipeline
+        .compose_after(&blur_kernel.pipeline, &invert_input_name);
     let t1 = Instant::now();
     let _fused_out = realizer
-        .realize(&fused, &extents, &RealizeInputs::new().with_image(&input_name, &input))
+        .realize(
+            &fused,
+            &extents,
+            &RealizeInputs::new().with_image(&input_name, &input),
+        )
         .expect("fused pipeline realizes");
     let fused_time = t1.elapsed();
 

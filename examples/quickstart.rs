@@ -17,12 +17,22 @@ fn main() {
     // estimate of the data size; Helium does the rest across five
     // instrumented runs of the binary.
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
-        .lift(app.program(), &request, |with_filter| app.fresh_cpu(with_filter))
+        .lift(app.program(), &request, |with_filter| {
+            app.fresh_cpu(with_filter)
+        })
         .expect("lifting the blur kernel succeeds");
 
     println!("=== localization / extraction statistics (paper Fig. 6 row) ===");
@@ -30,9 +40,18 @@ fn main() {
     println!("total basic blocks executed : {}", s.total_basic_blocks);
     println!("coverage-difference blocks  : {}", s.diff_basic_blocks);
     println!("filter-function blocks      : {}", s.filter_function_blocks);
-    println!("static instructions         : {}", s.static_instruction_count);
-    println!("memory dump                 : {} bytes", s.memory_dump_bytes);
-    println!("dynamic instructions        : {}", s.dynamic_instruction_count);
+    println!(
+        "static instructions         : {}",
+        s.static_instruction_count
+    );
+    println!(
+        "memory dump                 : {} bytes",
+        s.memory_dump_bytes
+    );
+    println!(
+        "dynamic instructions        : {}",
+        s.dynamic_instruction_count
+    );
     println!("tree sizes per cluster      : {:?}", s.tree_sizes);
     println!();
     println!("=== generated Halide source (paper Fig. 2(h)) ===");

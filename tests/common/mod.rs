@@ -21,8 +21,8 @@ pub fn buffer_from_memory(
     let mut idx = vec![0usize; dims];
     loop {
         let mut addr = layout.base;
-        for d in 0..dims {
-            addr += idx[d] as u32 * layout.strides[d];
+        for (d, &i) in idx.iter().enumerate() {
+            addr += i as u32 * layout.strides[d];
         }
         let coord: Vec<i64> = idx.iter().map(|&i| i as i64).collect();
         let value = match ty {
@@ -50,6 +50,7 @@ pub fn buffer_from_memory(
 /// Realize one generated kernel against the memory image in `mem`, returning
 /// the output buffer realized over `extents` (defaults to the inferred output
 /// extents when `None`).
+#[allow(dead_code)] // shared across test binaries; not all of them use it
 pub fn realize_kernel(
     mem: &Memory,
     lifted: &LiftedStencil,
@@ -59,7 +60,10 @@ pub fn realize_kernel(
 ) -> Buffer {
     let mut buffers = Vec::new();
     for (name, param) in &kernel.pipeline.images {
-        buffers.push((name.clone(), buffer_from_memory(mem, lifted, name, param.ty)));
+        buffers.push((
+            name.clone(),
+            buffer_from_memory(mem, lifted, name, param.ty),
+        ));
     }
     let mut inputs = RealizeInputs::new();
     for (name, buf) in &buffers {
@@ -69,8 +73,13 @@ pub fn realize_kernel(
         inputs = inputs.with_param(name, *value);
     }
     let out_layout = lifted.buffer(&kernel.output).expect("output layout");
-    let extents = extents
-        .unwrap_or_else(|| out_layout.extents.iter().map(|&e| e as usize).collect::<Vec<_>>());
+    let extents = extents.unwrap_or_else(|| {
+        out_layout
+            .extents
+            .iter()
+            .map(|&e| e as usize)
+            .collect::<Vec<_>>()
+    });
     Realizer::new(schedule)
         .realize(&kernel.pipeline, &extents, &inputs)
         .expect("lifted kernel realizes")

@@ -15,14 +15,36 @@ fn print_blur_layouts() {
     let app = PhotoFlow::new(PhotoFilter::Blur, image);
     println!("layout: {:?}", app.layout());
     let instr = Instrumenter::new();
-    let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
-    let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+    let with = instr
+        .coverage(app.program(), &mut app.fresh_cpu(true))
+        .unwrap();
+    let without = instr
+        .coverage(app.program(), &mut app.fresh_cpu(false))
+        .unwrap();
     let diff = with.difference(&without);
-    let profile = instr.profile(app.program(), &mut app.fresh_cpu(true), &diff).unwrap();
-    let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size()).unwrap();
-    println!("filter fn {:#x} (expected {:#x})", loc.filter_function, app.filter_entry_for_reference());
+    let profile = instr
+        .profile(app.program(), &mut app.fresh_cpu(true), &diff)
+        .unwrap();
+    let loc = localize(
+        app.program(),
+        &with,
+        &without,
+        &profile,
+        app.approx_data_size(),
+    )
+    .unwrap();
+    println!(
+        "filter fn {:#x} (expected {:#x})",
+        loc.filter_function,
+        app.filter_entry_for_reference()
+    );
     let (trace, dump) = instr
-        .function_trace(app.program(), &mut app.fresh_cpu(true), loc.filter_function, &loc.candidate_instructions)
+        .function_trace(
+            app.program(),
+            &mut app.fresh_cpu(true),
+            loc.filter_function,
+            &loc.candidate_instructions,
+        )
         .unwrap();
     println!("trace len {} dump {} bytes", trace.len(), dump.size_bytes());
     let entries: Vec<MemTraceEntry> = trace
@@ -38,11 +60,19 @@ fn print_blur_layouts() {
         })
         .collect();
     let stack_top = helium::machine::cpu::DEFAULT_STACK_TOP;
-    let regions = reconstruct_filtered(&entries, |e| e.addr < stack_top - 0x10_0000 || e.addr > stack_top);
+    let regions = reconstruct_filtered(&entries, |e| {
+        e.addr < stack_top - 0x10_0000 || e.addr > stack_top
+    });
     for r in &regions {
         println!(
             "region {:#x}..{:#x} len {} elem {} strides {:?} r/w {}/{}",
-            r.start, r.end, r.len(), r.element_width, r.group_strides, r.read, r.written
+            r.start,
+            r.end,
+            r.len(),
+            r.element_width,
+            r.group_strides,
+            r.read,
+            r.written
         );
     }
     for (i, rows) in app.known_input_rows().into_iter().enumerate() {

@@ -16,11 +16,24 @@ fn print_minigmg_layouts() {
     let grid = Grid3D::random(12, 10, 8, 1, 3);
     let app = MiniGmg::new(grid.clone());
     let instr = Instrumenter::new();
-    let with = instr.coverage(app.program(), &mut app.fresh_cpu(true)).unwrap();
-    let without = instr.coverage(app.program(), &mut app.fresh_cpu(false)).unwrap();
+    let with = instr
+        .coverage(app.program(), &mut app.fresh_cpu(true))
+        .unwrap();
+    let without = instr
+        .coverage(app.program(), &mut app.fresh_cpu(false))
+        .unwrap();
     let diff = with.difference(&without);
-    let profile = instr.profile(app.program(), &mut app.fresh_cpu(true), &diff).unwrap();
-    let loc = localize(app.program(), &with, &without, &profile, app.approx_data_size()).unwrap();
+    let profile = instr
+        .profile(app.program(), &mut app.fresh_cpu(true), &diff)
+        .unwrap();
+    let loc = localize(
+        app.program(),
+        &with,
+        &without,
+        &profile,
+        app.approx_data_size(),
+    )
+    .unwrap();
     println!(
         "filter fn {:#x} (expected {:#x})",
         loc.filter_function,
@@ -35,7 +48,14 @@ fn print_minigmg_layouts() {
         )
         .unwrap();
     println!("trace len {} dump {} bytes", trace.len(), dump.size_bytes());
-    println!("grid: px {} py {} pz {} input {:#x} output {:#x}", grid.px(), grid.py(), grid.pz(), app.input_addr(), app.output_addr());
+    println!(
+        "grid: px {} py {} pz {} input {:#x} output {:#x}",
+        grid.px(),
+        grid.py(),
+        grid.pz(),
+        app.input_addr(),
+        app.output_addr()
+    );
     let entries: Vec<MemTraceEntry> = trace
         .records
         .iter()
@@ -49,8 +69,9 @@ fn print_minigmg_layouts() {
         })
         .collect();
     let stack_top = helium::machine::cpu::DEFAULT_STACK_TOP;
-    let regions =
-        reconstruct_filtered(&entries, |e| e.addr < stack_top - 0x10_0000 || e.addr > stack_top);
+    let regions = reconstruct_filtered(&entries, |e| {
+        e.addr < stack_top - 0x10_0000 || e.addr > stack_top
+    });
     let mut buffers = Vec::new();
     let mut n_in = 0;
     let mut n_out = 0;
@@ -81,8 +102,11 @@ fn print_minigmg_layouts() {
             buffers.push(l);
         }
     }
-    let input_layouts: Vec<_> =
-        buffers.iter().filter(|b| b.role != BufferRole::Output).cloned().collect();
+    let input_layouts: Vec<_> = buffers
+        .iter()
+        .filter(|b| b.role != BufferRole::Output)
+        .cloned()
+        .collect();
     let prepared = prepare_trace(&trace, &input_layouts).unwrap();
     let builder = TreeBuilder::new(&prepared, &buffers);
     let writes = builder.output_writes();

@@ -12,11 +12,19 @@ use helium::core::{KnownData, LiftRequest, LiftedStencil, Lifter};
 use helium::halide::Schedule;
 
 fn lift_batchview(filter: BatchFilter, w: usize, h: usize) -> (BatchView, LiftedStencil) {
-    let image = InterleavedImage::random(w, h, 0x1Af1 + filter as u64);
+    let image = InterleavedImage::random(w, h, 0x1AF1 + filter as u64);
     let app = BatchView::new(filter, image);
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -31,11 +39,16 @@ fn lift_batchview(filter: BatchFilter, w: usize, h: usize) -> (BatchView, Lifted
 fn check_against_legacy(app: &BatchView, lifted: &LiftedStencil, tolerance: i64) {
     // Run the legacy binary once more and keep its final memory image.
     let mut cpu = app.fresh_cpu(true);
-    cpu.run(app.program(), 500_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run completes");
     let legacy = app.read_output(&cpu);
 
     let (w, h) = (app.image().width, app.image().height);
-    let border = if app.filter().float_weights().is_some() { 1 } else { 0 };
+    let border = if app.filter().float_weights().is_some() {
+        1
+    } else {
+        0
+    };
 
     assert!(!lifted.kernels.is_empty());
     let mut checked = 0usize;
@@ -46,9 +59,10 @@ fn check_against_legacy(app: &BatchView, lifted: &LiftedStencil, tolerance: i64)
         for y in border..h - border {
             for x in border..w - border {
                 for c in 0..3 {
-                    let addr =
-                        app.output_addr() + (y * legacy.stride() + 3 * x + c) as u32;
-                    let Some(coord) = out_layout.index_of(addr) else { continue };
+                    let addr = app.output_addr() + (y * legacy.stride() + 3 * x + c) as u32;
+                    let Some(coord) = out_layout.index_of(addr) else {
+                        continue;
+                    };
                     if coord
                         .iter()
                         .zip(&out_layout.extents)
@@ -86,7 +100,10 @@ fn lifted_batchview_solarize_handles_the_conditional() {
     // Solarize has an input-dependent conditional: the lifted source must
     // contain a select over the pixel value.
     let src = lifted.halide_source();
-    assert!(src.contains("select("), "solarize must lift to a select:\n{src}");
+    assert!(
+        src.contains("select("),
+        "solarize must lift to a select:\n{src}"
+    );
     check_against_legacy(&app, &lifted, 0);
 }
 

@@ -5,15 +5,27 @@
 use helium::apps::photoflow::{PhotoFilter, PhotoFlow};
 use helium::apps::PlanarImage;
 use helium::core::{KnownData, LiftRequest, Lifter};
-use helium::halide::{RealizeInputs, Realizer, Schedule, ScalarType, Value};
+use helium::halide::{RealizeInputs, Realizer, ScalarType, Schedule, Value};
 
 /// Lift a PhotoFlow filter and return the lifted stencil plus the app.
-fn lift_photoflow(filter: PhotoFilter, w: usize, h: usize) -> (PhotoFlow, helium::core::LiftedStencil) {
+fn lift_photoflow(
+    filter: PhotoFilter,
+    w: usize,
+    h: usize,
+) -> (PhotoFlow, helium::core::LiftedStencil) {
     let image = PlanarImage::random(w, h, 1, 16, 0xC0FFEE);
     let app = PhotoFlow::new(filter, image);
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -35,7 +47,9 @@ fn check_planes_match(app: &PhotoFlow, lifted: &helium::core::LiftedStencil) {
         let plane_idx = layout
             .output_planes
             .iter()
-            .position(|&base| out_layout.base >= base && out_layout.base < base + layout.plane_bytes())
+            .position(|&base| {
+                out_layout.base >= base && out_layout.base < base + layout.plane_bytes()
+            })
             .expect("output maps to a plane");
 
         // Bind every referenced input image from the same memory the legacy
@@ -45,7 +59,11 @@ fn check_planes_match(app: &PhotoFlow, lifted: &helium::core::LiftedStencil) {
             let in_layout = lifted.buffer(name).expect("input layout");
             let mut buf = helium::halide::Buffer::new(
                 ScalarType::UInt8,
-                &in_layout.extents.iter().map(|&e| e as usize).collect::<Vec<_>>(),
+                &in_layout
+                    .extents
+                    .iter()
+                    .map(|&e| e as usize)
+                    .collect::<Vec<_>>(),
             );
             // Reconstruct the input contents from the app's memory image.
             let cpu = app.fresh_cpu(true);
@@ -98,7 +116,8 @@ fn check_planes_match(app: &PhotoFlow, lifted: &helium::core::LiftedStencil) {
                 }
                 let lifted_value = realized.get(&[ox, oy]).as_i64() as u8;
                 assert_eq!(
-                    lifted_value, legacy_value,
+                    lifted_value,
+                    legacy_value,
                     "{}: mismatch at plane {plane_idx} ({x},{y})",
                     app.filter().name()
                 );
@@ -133,6 +152,9 @@ fn lifted_threshold_handles_input_dependent_conditionals() {
     let (app, lifted) = lift_photoflow(PhotoFilter::Threshold, 24, 10);
     // Threshold produces predicated clusters: at least one select in the code.
     let src = lifted.halide_source();
-    assert!(src.contains("select("), "threshold must lift to a select: {src}");
+    assert!(
+        src.contains("select("),
+        "threshold must lift to a select: {src}"
+    );
     check_planes_match(&app, &lifted);
 }

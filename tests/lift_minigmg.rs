@@ -32,7 +32,8 @@ fn lifted_smooth_matches_reference_within_float_tolerance() {
     // Re-run the legacy binary to obtain the memory image the lifted kernel
     // reads its input from.
     let mut cpu = app.fresh_cpu(true);
-    cpu.run(app.program(), 500_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run completes");
 
     assert_eq!(lifted.kernels.len(), 1, "one kernel for the smooth stencil");
     let kernel = lifted.primary();
@@ -61,7 +62,10 @@ fn lifted_smooth_matches_reference_within_float_tolerance() {
             }
         }
     }
-    assert!(max_err < 1e-12, "lifted smooth deviates from the reference by {max_err}");
+    assert!(
+        max_err < 1e-12,
+        "lifted smooth deviates from the reference by {max_err}"
+    );
     let _ = out_layout;
 }
 
@@ -80,15 +84,26 @@ fn generic_inference_recovers_the_grid_geometry() {
     assert_eq!(output.dims(), 3, "generic inference finds three dimensions");
     assert_eq!(output.element_size, 8);
     assert_eq!(output.strides[0], 8);
-    assert_eq!(output.strides[1], (grid.px() * 8) as u32, "row stride includes the ghost zone");
-    assert_eq!(output.strides[2], (grid.px() * grid.py() * 8) as u32, "plane stride");
+    assert_eq!(
+        output.strides[1],
+        (grid.px() * 8) as u32,
+        "row stride includes the ghost zone"
+    );
+    assert_eq!(
+        output.strides[2],
+        (grid.px() * grid.py() * 8) as u32,
+        "plane stride"
+    );
     assert_eq!(output.extents[1], grid.ny as u32);
     assert_eq!(output.extents[2], grid.nz as u32);
 
     // The fragmented read set is merged into one linear input buffer spanning
     // (almost) the whole padded grid.
-    let inputs: Vec<_> =
-        lifted.buffers.iter().filter(|b| b.role == BufferRole::Input).collect();
+    let inputs: Vec<_> = lifted
+        .buffers
+        .iter()
+        .filter(|b| b.role == BufferRole::Input)
+        .collect();
     assert_eq!(inputs.len(), 1, "one merged input buffer");
     assert_eq!(inputs[0].dims(), 1, "the fallback layout is linear");
     assert!(
@@ -99,7 +114,10 @@ fn generic_inference_recovers_the_grid_geometry() {
     // Statistics: the generic path still produces a single cluster whose tree
     // has the 7-point structure (6 neighbour loads + centre + 2 weights).
     assert_eq!(lifted.stats.tree_sizes.len(), 1);
-    assert!(lifted.stats.tree_sizes[0] >= 15, "7-point weighted stencil tree");
+    assert!(
+        lifted.stats.tree_sizes[0] >= 15,
+        "7-point weighted stencil tree"
+    );
 }
 
 #[test]
@@ -109,10 +127,19 @@ fn lifted_smooth_source_uses_flattened_affine_indices() {
     // Three pure variables, one flattened input access with both row and
     // plane coefficients present.
     assert!(src.contains("Var x_0;") && src.contains("Var x_1;") && src.contains("Var x_2;"));
-    assert!(src.contains("ImageParam input_1(Float(64),1)"), "linear double input:\n{src}");
+    assert!(
+        src.contains("ImageParam input_1(Float(64),1)"),
+        "linear double input:\n{src}"
+    );
     // Row stride (padded x extent) and plane stride coefficients appear in the
     // flattened index expressions.
-    assert!(src.contains("12 * x_1"), "row coefficient for a 10-wide interior (px=12):\n{src}");
-    assert!(src.contains("120 * x_2"), "plane coefficient (px*py=120):\n{src}");
+    assert!(
+        src.contains("12 * x_1"),
+        "row coefficient for a 10-wide interior (px=12):\n{src}"
+    );
+    assert!(
+        src.contains("120 * x_2"),
+        "plane coefficient (px*py=120):\n{src}"
+    );
     assert!(src.contains("compile_to_file"));
 }

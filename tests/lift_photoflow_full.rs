@@ -15,8 +15,16 @@ fn lift_photoflow(filter: PhotoFilter, w: usize, h: usize) -> (PhotoFlow, Lifted
     let image = PlanarImage::random(w, h, 1, 16, 0xFACE + filter as u64);
     let app = PhotoFlow::new(filter, image);
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -30,11 +38,16 @@ fn lift_photoflow(filter: PhotoFilter, w: usize, h: usize) -> (PhotoFlow, Lifted
 /// levels of difference (0 for the integer filters).
 fn check_interior(app: &PhotoFlow, lifted: &LiftedStencil, tolerance: i64) {
     let mut cpu = app.fresh_cpu(true);
-    cpu.run(app.program(), 500_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run completes");
     let legacy = app.read_output(&cpu);
     let layout = app.layout();
-    let (w, h, pad, stride) =
-        (layout.width as usize, layout.height as usize, layout.pad as usize, layout.stride as usize);
+    let (w, h, pad, stride) = (
+        layout.width as usize,
+        layout.height as usize,
+        layout.pad as usize,
+        layout.stride as usize,
+    );
 
     let mut compared = 0usize;
     for kernel in &lifted.kernels {
@@ -43,16 +56,23 @@ fn check_interior(app: &PhotoFlow, lifted: &LiftedStencil, tolerance: i64) {
         let plane = layout
             .output_planes
             .iter()
-            .position(|&base| out_layout.base >= base && out_layout.base < base + layout.plane_bytes())
+            .position(|&base| {
+                out_layout.base >= base && out_layout.base < base + layout.plane_bytes()
+            })
             .expect("output maps to a plane");
         let realized =
             common::realize_kernel(&cpu.mem, lifted, kernel, None, Schedule::stencil_default());
         for y in 0..h {
             for x in 0..w {
-                let addr =
-                    layout.output_planes[plane] + ((y + pad) * stride + x + pad) as u32;
-                let Some(coord) = out_layout.index_of(addr) else { continue };
-                if coord.iter().zip(&out_layout.extents).any(|(&i, &e)| i < 0 || i >= e as i64) {
+                let addr = layout.output_planes[plane] + ((y + pad) * stride + x + pad) as u32;
+                let Some(coord) = out_layout.index_of(addr) else {
+                    continue;
+                };
+                if coord
+                    .iter()
+                    .zip(&out_layout.extents)
+                    .any(|(&i, &e)| i < 0 || i >= e as i64)
+                {
                     continue;
                 }
                 let got = realized.get(&coord).as_i64();
@@ -124,11 +144,21 @@ fn lifted_equalize_counts_every_sample_once() {
     // Structure: one recursive cluster (the histogram update) whose reduction
     // domain is driven by the input image, plus the zero-initialisation
     // cluster (paper Fig. 4).
-    assert!(lifted.clusters.iter().any(|c| c.recursive), "equalize lifts as a reduction");
-    let recursive = lifted.clusters.iter().find(|c| c.recursive).expect("recursive cluster");
+    assert!(
+        lifted.clusters.iter().any(|c| c.recursive),
+        "equalize lifts as a reduction"
+    );
+    let recursive = lifted
+        .clusters
+        .iter()
+        .find(|c| c.recursive)
+        .expect("recursive cluster");
     assert_eq!(recursive.reduction_over.as_deref(), Some("input_1"));
     let src = lifted.halide_source();
-    assert!(src.contains("RDom"), "equalize must generate a reduction domain:\n{src}");
+    assert!(
+        src.contains("RDom"),
+        "equalize must generate a reduction domain:\n{src}"
+    );
     assert!(
         src.contains("output_1(cast<int32_t>(input_1(r_0.x, r_0.y)))"),
         "the histogram bin is selected by the input value:\n{src}"
@@ -137,12 +167,12 @@ fn lifted_equalize_counts_every_sample_once() {
     // Semantics: realizing the lifted reduction over the inferred input extent
     // counts every element of the bound input buffer exactly once.
     let mut cpu = app.fresh_cpu(true);
-    cpu.run(app.program(), 500_000_000, |_, _| {}).expect("legacy run completes");
+    cpu.run(app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run completes");
     let kernel = lifted.primary();
     let out_layout = lifted.buffer(&kernel.output).expect("histogram layout");
     assert_eq!(out_layout.extents, vec![256]);
-    let realized =
-        common::realize_kernel(&cpu.mem, &lifted, kernel, None, Schedule::naive());
+    let realized = common::realize_kernel(&cpu.mem, &lifted, kernel, None, Schedule::naive());
 
     // Expected: histogram of the very buffer the kernel was handed.
     let input = common::buffer_from_memory(
@@ -192,9 +222,12 @@ fn localization_statistics_have_the_fig6_shape() {
         );
         assert!(s.static_instruction_count > 0);
         assert!(s.memory_dump_bytes > 0 && s.memory_dump_bytes % 4096 == 0);
-        assert!(s.dynamic_instruction_count as usize >= s.static_instruction_count);
+        assert!(s.dynamic_instruction_count >= s.static_instruction_count);
         assert!(!s.tree_sizes.is_empty());
-        tree_size.insert(filter.name(), *s.tree_sizes.iter().max().expect("tree sizes"));
+        tree_size.insert(
+            filter.name(),
+            *s.tree_sizes.iter().max().expect("tree sizes"),
+        );
     }
     // Stencil complexity ordering (paper Fig. 6 tree-size column): a 9-point
     // stencil needs a larger tree than a 5-point stencil, which needs a larger

@@ -13,8 +13,16 @@ use helium::halide::{RealizeInputs, Realizer, Schedule};
 fn lift(filter: PhotoFilter, image: &PlanarImage, seed: u64) -> (PhotoFlow, LiftedStencil) {
     let app = PhotoFlow::new(filter, image.clone());
     let request = LiftRequest {
-        known_inputs: app.known_input_rows().into_iter().map(KnownData::from_rows).collect(),
-        known_outputs: app.known_output_rows().into_iter().map(KnownData::from_rows).collect(),
+        known_inputs: app
+            .known_input_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
+        known_outputs: app
+            .known_output_rows()
+            .into_iter()
+            .map(KnownData::from_rows)
+            .collect(),
         approx_data_size: app.approx_data_size(),
     };
     let lifted = Lifter::new()
@@ -32,13 +40,25 @@ fn fused_lifted_pipeline_matches_separate_execution() {
 
     let blur_kernel = blur.primary();
     let invert_kernel = invert.primary();
-    let blur_input_name = blur_kernel.pipeline.images.keys().next().cloned().expect("input");
-    let invert_input_name =
-        invert_kernel.pipeline.images.keys().next().cloned().expect("input");
+    let blur_input_name = blur_kernel
+        .pipeline
+        .images
+        .keys()
+        .next()
+        .cloned()
+        .expect("input");
+    let invert_input_name = invert_kernel
+        .pipeline
+        .images
+        .keys()
+        .next()
+        .cloned()
+        .expect("input");
 
     // Bind the blur's input plane from the legacy memory image.
     let mut cpu = blur_app.fresh_cpu(true);
-    cpu.run(blur_app.program(), 500_000_000, |_, _| {}).expect("legacy run");
+    cpu.run(blur_app.program(), 500_000_000, |_, _| {})
+        .expect("legacy run");
     let input = common::buffer_from_memory(
         &cpu.mem,
         &blur,
@@ -72,7 +92,9 @@ fn fused_lifted_pipeline_matches_separate_execution() {
         .expect("invert realizes");
 
     // Fused: invert ∘ blur as one pipeline.
-    let fused = invert_kernel.pipeline.compose_after(&blur_kernel.pipeline, &invert_input_name);
+    let fused = invert_kernel
+        .pipeline
+        .compose_after(&blur_kernel.pipeline, &invert_input_name);
     assert!(
         fused.images.contains_key(&blur_input_name),
         "the fused pipeline consumes the original input"
@@ -82,7 +104,11 @@ fn fused_lifted_pipeline_matches_separate_execution() {
         "the intermediate image parameter is eliminated by fusion"
     );
     let fused_out = realizer
-        .realize(&fused, &extents, &RealizeInputs::new().with_image(&blur_input_name, &input))
+        .realize(
+            &fused,
+            &extents,
+            &RealizeInputs::new().with_image(&blur_input_name, &input),
+        )
         .expect("fused pipeline realizes");
 
     assert_eq!(fused_out, separate, "fusion must not change any pixel");
@@ -97,7 +123,15 @@ fn lifting_is_deterministic_and_seed_invariant() {
     let (_, a) = lift(PhotoFilter::Blur, &image, 1);
     let (_, b) = lift(PhotoFilter::Blur, &image, 1);
     let (_, c) = lift(PhotoFilter::Blur, &image, 0xDEADBEEF);
-    assert_eq!(a.halide_source(), b.halide_source(), "same seed, same artifact");
-    assert_eq!(a.halide_source(), c.halide_source(), "different seed, same lifted algorithm");
+    assert_eq!(
+        a.halide_source(),
+        b.halide_source(),
+        "same seed, same artifact"
+    );
+    assert_eq!(
+        a.halide_source(),
+        c.halide_source(),
+        "different seed, same lifted algorithm"
+    );
     assert_eq!(a.stats.tree_sizes, c.stats.tree_sizes);
 }
