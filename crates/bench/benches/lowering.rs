@@ -1,18 +1,28 @@
-//! Interpret-vs-Lowered comparison on the Fig. 7 filter set.
+//! Interpret-vs-Lowered and cached-vs-uncached comparison on the Fig. 7
+//! filter set.
 //!
 //! Runs the criterion group and additionally writes a machine-readable
-//! summary to `BENCH_lowering.json` in the current directory: per filter, the
+//! summary to `BENCH_lowering.json` in the workspace root: per filter, the
 //! best-of-N wall-clock time for each backend under the stencil default
-//! schedule, plus the speedup factor.
+//! schedule, plus — for the compile-once/run-many API — the uncached
+//! (compile + run) and cached (warm `CompiledPipeline::run`) times and the
+//! amortization factor between them.
+//!
+//! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
+//! report from a reduced configuration — CI uses this to exercise the cached
+//! realize path on every PR without burning minutes.
 
 use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
-use helium_bench::{lift_photoflow, time_lifted_on};
+use helium_bench::{lift_photoflow, time_lifted_on, LiftedRealizeSetup};
 use helium_halide::{ExecBackend, Schedule};
 use std::fmt::Write as _;
 
 const FILTERS: [PhotoFilter; 3] = [PhotoFilter::Invert, PhotoFilter::Blur, PhotoFilter::Sharpen];
-const REPS: usize = 7;
+
+fn smoke_mode() -> bool {
+    std::env::var("HELIUM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn bench_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("lowering");
@@ -27,42 +37,75 @@ fn bench_lowering(c: &mut Criterion) {
                 b.iter(|| time_lifted_on(&app, &lifted, Schedule::stencil_default(), backend, 1))
             });
         }
+        // The compile/run split (input materialization hoisted out of the
+        // timed closures): uncached compiles a fresh CompiledPipeline per
+        // iteration; cached times only warm runs of one compiled pipeline.
+        let setup = LiftedRealizeSetup::new(&app, &lifted);
+        let inputs = setup.inputs();
+        group.bench_function(format!("{}_uncached", filter.name()), |b| {
+            b.iter(|| {
+                let compiled = setup.compile(&Schedule::stencil_default(), ExecBackend::Lowered);
+                compiled.run(&inputs, &setup.extents).expect("run")
+            })
+        });
+        let compiled = setup.compile(&Schedule::stencil_default(), ExecBackend::Lowered);
+        let _ = compiled.run(&inputs, &setup.extents).expect("warm-up run");
+        group.bench_function(format!("{}_cached", filter.name()), |b| {
+            b.iter(|| compiled.run(&inputs, &setup.extents).expect("run"))
+        });
     }
     group.finish();
 }
 
-fn write_report() {
+fn write_report(reps: usize, width: usize, height: usize) {
     let mut entries = String::new();
     for (i, filter) in FILTERS.iter().enumerate() {
-        let (app, lifted) = lift_photoflow(*filter, 96, 64);
+        let (app, lifted) = lift_photoflow(*filter, width, height);
         let schedule = Schedule::stencil_default();
         let interpret = time_lifted_on(
             &app,
             &lifted,
             schedule.clone(),
             ExecBackend::Interpret,
-            REPS,
+            reps,
         );
-        let lowered = time_lifted_on(&app, &lifted, schedule, ExecBackend::Lowered, REPS);
+        let lowered = time_lifted_on(&app, &lifted, schedule.clone(), ExecBackend::Lowered, reps);
+        // Cache amortization at request-rate granularity: small realizes over
+        // the same lifted kernel, where per-call execution is cheap enough
+        // that redoing planning/lowering per call would dominate.
+        let setup = LiftedRealizeSetup::new(&app, &lifted);
+        let small: Vec<usize> = setup.extents.iter().map(|&e| (e / 4).max(8)).collect();
+        let uncached =
+            setup.time_compiled(&schedule, ExecBackend::Lowered, reps, true, Some(&small));
+        let cached =
+            setup.time_compiled(&schedule, ExecBackend::Lowered, reps, false, Some(&small));
         let speedup = interpret.as_secs_f64() / lowered.as_secs_f64().max(1e-12);
+        let cache_speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
         if i > 0 {
             entries.push_str(",\n");
         }
         let _ = write!(
             entries,
-            "    {{\"filter\": \"{}\", \"interpret_ns\": {}, \"lowered_ns\": {}, \"speedup\": {:.3}}}",
+            "    {{\"filter\": \"{}\", \"interpret_ns\": {}, \"lowered_ns\": {}, \"speedup\": {:.3}, \
+             \"cache_extents\": [{}, {}], \"uncached_ns\": {}, \"cached_ns\": {}, \"cache_speedup\": {:.3}}}",
             filter.name(),
             interpret.as_nanos(),
             lowered.as_nanos(),
-            speedup
+            speedup,
+            small[0],
+            small.get(1).copied().unwrap_or(1),
+            uncached.as_nanos(),
+            cached.as_nanos(),
+            cache_speedup
         );
         println!(
-            "lowering: {:<10} interpret={interpret:?} lowered={lowered:?} speedup={speedup:.2}x",
+            "lowering: {:<10} interpret={interpret:?} lowered={lowered:?} speedup={speedup:.2}x \
+             uncached={uncached:?} cached={cached:?} cache_speedup={cache_speedup:.2}x",
             filter.name()
         );
     }
     let json = format!(
-        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [96, 64],\n  \"reps\": {REPS},\n  \"results\": [\n{entries}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ]\n}}\n"
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");
@@ -75,6 +118,14 @@ fn write_report() {
 criterion_group!(benches, bench_lowering);
 
 fn main() {
-    benches();
-    write_report();
+    if smoke_mode() {
+        // CI smoke: small image, few reps, no criterion group — still lifts
+        // all three filters and exercises both the cold and the cached
+        // realize paths end to end.
+        println!("lowering: HELIUM_BENCH_SMOKE set, running reduced report only");
+        write_report(2, 48, 32);
+    } else {
+        benches();
+        write_report(7, 96, 64);
+    }
 }

@@ -11,7 +11,9 @@ use crate::trees::{AffineIndex, Leaf, PredicateCmp, Tree, TreeNode, TreeOp};
 use helium_halide::expr::{BinOp, CmpOp, Expr, ExternCall};
 use helium_halide::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
 use helium_halide::types::{ScalarType, Value};
+use helium_halide::{CompileOptions, CompiledPipeline, ExecBackend};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Errors raised during code generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +37,11 @@ impl std::error::Error for CodegenError {}
 
 /// One generated kernel: the pipeline for a single output buffer, plus the
 /// default values discovered for its scalar parameters.
+///
+/// The kernel holds its [`CompiledPipeline`]s (one per schedule × backend,
+/// shared across clones), so repeated [`GeneratedKernel::realize_on`] and
+/// [`GeneratedKernel::realize_checked`] calls run cached programs instead of
+/// re-planning and re-lowering — the lift-once/run-forever contract.
 #[derive(Debug, Clone)]
 pub struct GeneratedKernel {
     /// Name of the output buffer (and of the pipeline's output func).
@@ -43,12 +50,77 @@ pub struct GeneratedKernel {
     pub pipeline: Pipeline,
     /// Observed values of the scalar parameters referenced by the pipeline.
     pub parameter_values: BTreeMap<String, Value>,
+    /// Compiled pipelines memoized per (pipeline fingerprint, schedule
+    /// fingerprint, backend).
+    compiled: CompiledMemo,
 }
 
+/// Memoized compiled pipelines, keyed by (pipeline fingerprint, schedule
+/// fingerprint, backend) and shared across kernel clones. The pipeline
+/// fingerprint is part of the key because `pipeline` is a public field: a
+/// caller that mutates it must not be served programs compiled from the
+/// pre-mutation snapshot.
+type CompiledMemo = Arc<Mutex<BTreeMap<(u64, u64, ExecBackend), Arc<CompiledPipeline>>>>;
+
+/// Bound on the memo: entries are heavy (a pipeline snapshot plus a program
+/// cache), and schedule sweeps (autotuning a long-lived kernel) would
+/// otherwise grow it without limit. When full, the entry with the smallest
+/// key is evicted — deterministic and cheap; sweeps simply recompile.
+const COMPILED_MEMO_CAPACITY: usize = 16;
+
 impl GeneratedKernel {
+    /// Create a kernel; compilation happens lazily on first realize.
+    pub fn new(
+        output: String,
+        pipeline: Pipeline,
+        parameter_values: BTreeMap<String, Value>,
+    ) -> GeneratedKernel {
+        GeneratedKernel {
+            output,
+            pipeline,
+            parameter_values,
+            compiled: Arc::default(),
+        }
+    }
+
+    /// The compiled pipeline for `schedule` on `backend`, compiling and
+    /// memoizing it on first use.
+    ///
+    /// # Errors
+    /// Propagates compilation errors (undefined funcs, ...).
+    pub fn compiled(
+        &self,
+        schedule: &helium_halide::Schedule,
+        backend: ExecBackend,
+    ) -> Result<Arc<CompiledPipeline>, helium_halide::RealizeError> {
+        let key = (
+            helium_halide::cache::fingerprint_pipeline(&self.pipeline),
+            helium_halide::cache::fingerprint_schedule(schedule),
+            backend,
+        );
+        let mut memo = self.compiled.lock().expect("compiled kernel mutex");
+        if let Some(compiled) = memo.get(&key) {
+            return Ok(Arc::clone(compiled));
+        }
+        let options = CompileOptions {
+            backend,
+            ..CompileOptions::default()
+        };
+        let compiled = Arc::new(self.pipeline.compile(schedule, &options)?);
+        if memo.len() >= COMPILED_MEMO_CAPACITY {
+            if let Some(oldest) = memo.keys().next().cloned() {
+                memo.remove(&oldest);
+            }
+        }
+        memo.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
     /// Realize the kernel over `extents` with the given image bindings, under
     /// `schedule` on `backend`, automatically binding the scalar parameter
-    /// values observed during lifting.
+    /// values observed during lifting. Runs the held [`CompiledPipeline`];
+    /// only the first call per (schedule, backend, extents, bindings)
+    /// compiles.
     ///
     /// # Errors
     /// Propagates realization errors (missing inputs, undefined funcs, ...).
@@ -66,9 +138,7 @@ impl GeneratedKernel {
         for (name, value) in &self.parameter_values {
             inputs = inputs.with_param(name, *value);
         }
-        helium_halide::Realizer::new(schedule.clone())
-            .with_backend(backend)
-            .realize(&self.pipeline, extents, &inputs)
+        self.compiled(schedule, backend)?.run(&inputs, extents)
     }
 
     /// Differential self-check: realize the kernel on both execution backends
@@ -523,11 +593,7 @@ pub fn generate_kernels(
         // value-preserving, so the bit-exactness guarantees are unaffected.
         let pipeline =
             helium_halide::simplify_pipeline(&Pipeline::new(func, images.into_values().collect()));
-        kernels.push(GeneratedKernel {
-            output,
-            pipeline,
-            parameter_values: params,
-        });
+        kernels.push(GeneratedKernel::new(output, pipeline, params));
     }
     Ok(kernels)
 }

@@ -1,0 +1,361 @@
+//! The keyed program cache behind compile-once/run-many execution.
+//!
+//! Compilation (validation, `compute_at` planning, lowering, simplification
+//! and lane-program construction) is far more expensive than a single realize
+//! over a small image, and at request rate it dominates. [`ProgramCache`] is a
+//! small LRU map from [`CacheKey`] — pipeline fingerprint × schedule
+//! fingerprint × backend × output extents × input-binding signature — to the
+//! compiled artifact, with hit/miss/eviction counters so callers (and tests)
+//! can verify that warm realizes do no compilation work.
+//!
+//! Parameter *values* are part of the key on purpose: lane programs constant-
+//! fold `Expr::Param` at compilation, and image extents (injected as
+//! `{name}.extent.{d}` parameters) drive bounds inference — so a program is
+//! only reusable under the exact binding signature it was compiled for.
+
+use crate::buffer::Buffer;
+use crate::func::Pipeline;
+use crate::realize::{ExecBackend, RealizeInputs};
+use crate::schedule::Schedule;
+use crate::types::Value;
+
+/// 64-bit FNV-1a over a byte stream; collision-resistant enough for the cache
+/// keys of a single process (keys also carry extents, which disambiguate the
+/// common case).
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of a pipeline (funcs, definitions, image
+/// parameters, output designation).
+pub fn fingerprint_pipeline(pipeline: &Pipeline) -> u64 {
+    let mut h = Fnv::new();
+    // Debug formatting covers every field of every Func/Expr/ImageParam, so
+    // two pipelines fingerprint equal iff they are structurally equal.
+    h.write(format!("{pipeline:?}").as_bytes());
+    h.finish()
+}
+
+/// Fingerprint of a schedule (every knob participates in its `Display`).
+pub fn fingerprint_schedule(schedule: &Schedule) -> u64 {
+    let mut h = Fnv::new();
+    h.write(schedule.to_string().as_bytes());
+    h.finish()
+}
+
+/// Signature of the inputs a program was compiled against: scalar parameter
+/// values plus each bound image's name, element type and extents (extents
+/// both clamp loads and feed bounds inference through the injected
+/// `{name}.extent.{d}` parameters).
+pub fn binding_signature(inputs: &RealizeInputs<'_>) -> u64 {
+    // Every variable-length field is length-prefixed so structurally
+    // different binding sets can never serialize to the same byte stream
+    // (names may contain arbitrary bytes, and values must not be able to
+    // masquerade as name suffixes — a colliding encoding would serve a
+    // program constant-folded for the wrong parameter values).
+    let mut h = Fnv::new();
+    let write_name = |h: &mut Fnv, name: &str| {
+        h.write(&(name.len() as u64).to_le_bytes());
+        h.write(name.as_bytes());
+    };
+    for (name, value) in &inputs.params {
+        write_name(&mut h, name);
+        match value {
+            Value::Int(v) => {
+                h.write(b"i");
+                h.write(&v.to_le_bytes());
+            }
+            Value::Float(v) => {
+                h.write(b"f");
+                h.write(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    for (name, buf) in &inputs.images {
+        h.write(b"|");
+        write_name(&mut h, name);
+        h.write(&[scalar_tag(buf)]);
+        h.write(&(buf.extents().len() as u64).to_le_bytes());
+        for &e in buf.extents() {
+            h.write(&(e as u64).to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+fn scalar_tag(buf: &Buffer) -> u8 {
+    use crate::types::ScalarType::*;
+    match buf.scalar_type() {
+        UInt8 => 0,
+        UInt16 => 1,
+        UInt32 => 2,
+        UInt64 => 3,
+        Int32 => 4,
+        Float32 => 5,
+        Float64 => 6,
+    }
+}
+
+/// The full cache key of one compiled program.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// [`fingerprint_pipeline`] of the pipeline.
+    pub pipeline: u64,
+    /// [`fingerprint_schedule`] of the schedule.
+    pub schedule: u64,
+    /// Execution backend the program targets.
+    pub backend: ExecBackend,
+    /// Output extents the loop bounds were synthesized for.
+    pub extents: Vec<usize>,
+    /// [`binding_signature`] of the inputs.
+    pub bindings: u64,
+}
+
+impl CacheKey {
+    /// Build the key for realizing `pipeline` under `schedule` on `backend`
+    /// over `extents` with `inputs`.
+    pub fn new(
+        pipeline: &Pipeline,
+        schedule: &Schedule,
+        backend: ExecBackend,
+        extents: &[usize],
+        inputs: &RealizeInputs<'_>,
+    ) -> CacheKey {
+        CacheKey {
+            pipeline: fingerprint_pipeline(pipeline),
+            schedule: fingerprint_schedule(schedule),
+            backend,
+            extents: extents.to_vec(),
+            bindings: binding_signature(inputs),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of a [`ProgramCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a compiled program.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller compiles and inserts).
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    key: CacheKey,
+    value: V,
+    last_used: u64,
+}
+
+/// A small least-recently-used cache of compiled programs.
+///
+/// Capacities are expected to be tens of entries (one per pipeline × schedule
+/// × extents in flight), so the store is a flat vector with linear probing —
+/// no hashing infrastructure required, and iteration order is deterministic.
+#[derive(Debug, Clone)]
+pub struct ProgramCache<V> {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<Entry<V>>,
+    stats: CacheStats,
+}
+
+impl<V: Clone> ProgramCache<V> {
+    /// Create a cache holding at most `capacity` programs (minimum 1).
+    pub fn new(capacity: usize) -> ProgramCache<V> {
+        ProgramCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|e| e.key == *key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the program for `key`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.value = value;
+            e.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty when full");
+            self.entries.swap_remove(oldest);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry {
+            key,
+            value,
+            last_used: self.tick,
+        });
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached programs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters accumulated since construction (or the last [`Self::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop every entry and reset the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+impl<V: Clone> Default for ProgramCache<V> {
+    fn default() -> Self {
+        ProgramCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+/// Default capacity used by [`crate::realize::Realizer`] and
+/// [`crate::compile::CompiledPipeline`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            pipeline: n,
+            schedule: 0,
+            backend: ExecBackend::Lowered,
+            extents: vec![8, 8],
+            bindings: 0,
+        }
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c: ProgramCache<u32> = ProgramCache::new(4);
+        assert_eq!(c.get(&key(1)), None);
+        c.insert(key(1), 10);
+        assert_eq!(c.get(&key(1)), Some(10));
+        assert_eq!(c.get(&key(2)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 2, 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c: ProgramCache<u32> = ProgramCache::new(2);
+        c.insert(key(1), 1);
+        c.insert(key(2), 2);
+        // Touch key 1 so key 2 is the LRU.
+        assert_eq!(c.get(&key(1)), Some(1));
+        c.insert(key(3), 3);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.get(&key(2)), None, "LRU entry must be the one evicted");
+        assert_eq!(c.get(&key(1)), Some(1));
+        assert_eq!(c.get(&key(3)), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c: ProgramCache<u32> = ProgramCache::new(1);
+        c.insert(key(1), 1);
+        c.insert(key(1), 9);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(1)), Some(9));
+    }
+
+    #[test]
+    fn schedule_fingerprints_separate_knobs() {
+        let a = fingerprint_schedule(&Schedule::naive());
+        let b = fingerprint_schedule(&Schedule::stencil_default());
+        let c = fingerprint_schedule(&Schedule::naive().with_vector_width(4));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint_schedule(&Schedule::naive()));
+    }
+
+    #[test]
+    fn binding_signature_resists_boundary_shifts() {
+        // Name/value boundaries are length-prefixed: a param whose name
+        // absorbs the next entry's leading bytes must not encode identically.
+        let a = RealizeInputs::new()
+            .with_param("x", Value::Int(0x69))
+            .with_param("z", Value::Int(0));
+        let b = RealizeInputs::new()
+            .with_param("xi", Value::Int(0x69))
+            .with_param("z", Value::Int(0));
+        assert_ne!(binding_signature(&a), binding_signature(&b));
+    }
+
+    #[test]
+    fn binding_signature_depends_on_params_and_image_shape() {
+        use crate::buffer::Buffer;
+        use crate::types::ScalarType;
+        let img_a = Buffer::new(ScalarType::UInt8, &[8, 8]);
+        let img_b = Buffer::new(ScalarType::UInt8, &[9, 8]);
+        let base = RealizeInputs::new().with_image("in", &img_a);
+        let shifted = RealizeInputs::new().with_image("in", &img_b);
+        let with_param = RealizeInputs::new()
+            .with_image("in", &img_a)
+            .with_param("k", Value::Int(3));
+        let sig = binding_signature(&base);
+        assert_ne!(sig, binding_signature(&shifted), "extents are keyed");
+        assert_ne!(sig, binding_signature(&with_param), "params are keyed");
+        assert_eq!(sig, binding_signature(&base.clone()));
+    }
+}

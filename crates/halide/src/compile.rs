@@ -1,0 +1,1124 @@
+//! Compile-once/run-many execution: [`CompiledPipeline`] and the prepared
+//! programs behind it.
+//!
+//! [`Pipeline::compile`] splits realization into two phases:
+//!
+//! * **Compile** (once per pipeline × schedule, then once per output extents ×
+//!   input-binding signature on first use): structural validation,
+//!   `compute_at` planning, producer sizing via bounds inference,
+//!   dependency-ordering of materialized stages, lowering to loop-nest IR,
+//!   simplification and lane-program construction. The result is a
+//!   [`PreparedProgram`] held in the compiled pipeline's keyed
+//!   [`ProgramCache`].
+//! * **Run** (every call): bind buffers, execute the prepared stages, return
+//!   the output buffer. No planning or lowering happens on a warm cache —
+//!   verified by the cache's hit/miss counters.
+//!
+//! The split is what lets lifted kernels serve realizes at request rate: the
+//! paper's pipeline lifts a binary *once* and then runs the recovered Halide
+//! code in production, so the per-call path must not re-do compiler work.
+//! [`crate::realize::Realizer`] remains as a thin compatibility shim routing
+//! through the same machinery.
+//!
+//! Programs are cached per input-binding signature because compilation
+//! constant-folds scalar parameters into lane programs and sizes producer
+//! regions from image extents; see [`crate::cache`] for the key structure.
+
+use crate::bounds::{accumulate_func_bounds, expr_interval, Interval};
+use crate::buffer::{write_scalar, Buffer};
+use crate::cache::{binding_signature, fingerprint_pipeline, fingerprint_schedule};
+use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
+use crate::eval::{eval_expr, validate_bindings, EvalSources};
+use crate::exec::{self, ExecPlan};
+use crate::expr::Expr;
+use crate::func::{Pipeline, UpdateDef};
+use crate::lower::{inline_except, plan_compute_at, ComputeAtOutcome};
+use crate::realize::{ExecBackend, RealizeError, RealizeInputs};
+use crate::schedule::Schedule;
+use crate::types::{ScalarType, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Options of [`Pipeline::compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// The execution backend compiled programs target.
+    pub backend: ExecBackend,
+    /// Capacity of the compiled pipeline's internal [`ProgramCache`]
+    /// (one entry per output-extents × binding-signature combination).
+    pub cache_capacity: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            backend: ExecBackend::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A pipeline compiled against a fixed schedule and backend.
+///
+/// Obtained from [`Pipeline::compile`]; [`CompiledPipeline::run`] executes
+/// with only per-call work once the internal program cache is warm. The
+/// pipeline and schedule are snapshotted at compile time, so later mutation
+/// of the originals cannot desynchronize cached programs.
+#[derive(Debug)]
+pub struct CompiledPipeline {
+    pipeline: Pipeline,
+    schedule: Schedule,
+    backend: ExecBackend,
+    pipeline_fp: u64,
+    schedule_fp: u64,
+    cache: Mutex<ProgramCache<Arc<PreparedProgram>>>,
+}
+
+impl Pipeline {
+    /// Compile this pipeline under `schedule` for repeated realization.
+    ///
+    /// Performs the extents-independent work up front (structural validation
+    /// of every func reachable from the output); the extents- and
+    /// binding-dependent work (planning, sizing, lowering, lane programs)
+    /// happens on the first [`CompiledPipeline::run`] per key and is cached.
+    ///
+    /// # Errors
+    /// Returns [`RealizeError::UndefinedFunc`] if a reachable func reference
+    /// has no definition.
+    pub fn compile(
+        &self,
+        schedule: &Schedule,
+        options: &CompileOptions,
+    ) -> Result<CompiledPipeline, RealizeError> {
+        validate_structure(self)?;
+        Ok(CompiledPipeline {
+            pipeline_fp: fingerprint_pipeline(self),
+            schedule_fp: fingerprint_schedule(schedule),
+            pipeline: self.clone(),
+            schedule: schedule.clone(),
+            backend: options.backend,
+            cache: Mutex::new(ProgramCache::new(options.cache_capacity)),
+        })
+    }
+}
+
+impl CompiledPipeline {
+    /// Realize the compiled pipeline over `output_extents` with `inputs`.
+    ///
+    /// The first call per (extents, binding signature) builds and caches the
+    /// prepared program; warm calls only execute it.
+    ///
+    /// # Errors
+    /// Returns an error if inputs or parameters are missing, a referenced
+    /// func is undefined, or the extents do not match the output
+    /// dimensionality.
+    pub fn run(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        output_extents: &[usize],
+    ) -> Result<Buffer, RealizeError> {
+        let key = CacheKey {
+            pipeline: self.pipeline_fp,
+            schedule: self.schedule_fp,
+            backend: self.backend,
+            extents: output_extents.to_vec(),
+            bindings: binding_signature(inputs),
+        };
+        realize_with_cache(
+            &self.pipeline,
+            &self.schedule,
+            self.backend,
+            output_extents,
+            inputs,
+            key,
+            &self.cache,
+        )
+    }
+
+    /// The schedule the pipeline was compiled under.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The execution backend programs target.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// The compiled pipeline (the snapshot taken at compile time).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Hit/miss/eviction counters of the internal program cache. A warm run
+    /// shows up as a hit — the proof that it did no planning or lowering.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("program cache mutex").stats()
+    }
+
+    /// Number of cached prepared programs.
+    pub fn cached_programs(&self) -> usize {
+        self.cache.lock().expect("program cache mutex").len()
+    }
+}
+
+/// Shared realize path of [`CompiledPipeline::run`] and the
+/// [`crate::realize::Realizer`] shim: look `key` up in `cache`, build the
+/// prepared program on a miss, execute it.
+pub(crate) fn realize_with_cache(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    backend: ExecBackend,
+    output_extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    key: CacheKey,
+    cache: &Mutex<ProgramCache<Arc<PreparedProgram>>>,
+) -> Result<Buffer, RealizeError> {
+    // Dimension mismatches are cheap to detect and must not poison the cache.
+    let output = pipeline.output_func();
+    if output.dims() != output_extents.len() {
+        return Err(RealizeError::DimensionMismatch {
+            expected: output.dims(),
+            got: output_extents.len(),
+        });
+    }
+    let cached = cache.lock().expect("program cache mutex").get(&key);
+    let program = match cached {
+        Some(p) => p,
+        None => {
+            // Build outside the lock: compilation is the expensive part and
+            // must not serialize concurrent realizes of *other* programs.
+            let built = Arc::new(PreparedProgram::build(
+                pipeline,
+                schedule,
+                backend,
+                output_extents,
+                inputs,
+            )?);
+            cache
+                .lock()
+                .expect("program cache mutex")
+                .insert(key, Arc::clone(&built));
+            built
+        }
+    };
+    program.execute(inputs)
+}
+
+/// Extents-independent validation: every func reference reachable from the
+/// output must resolve to a definition.
+fn validate_structure(pipeline: &Pipeline) -> Result<(), RealizeError> {
+    let mut pending = vec![pipeline.output.clone()];
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    while let Some(name) = pending.pop() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        let func = pipeline
+            .funcs
+            .get(&name)
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
+        let mut refs: BTreeSet<String> = BTreeSet::new();
+        if let Some(e) = &func.pure_def {
+            refs.extend(e.referenced_funcs());
+        }
+        for u in &func.updates {
+            for e in u.lhs.iter().chain(std::iter::once(&u.value)) {
+                refs.extend(e.referenced_funcs());
+            }
+        }
+        refs.remove(&name); // self-references are reduction reads
+        pending.extend(refs);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Prepared programs
+// ---------------------------------------------------------------------------
+
+/// A fully compiled realization plan for one (pipeline, schedule, backend,
+/// extents, binding signature) key: the materialized producer stages in
+/// dependency order plus the output stage, each carrying its pre-built
+/// execution artifact. Running a prepared program does no planning, sizing,
+/// lowering or lane-program compilation.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    stages: Vec<Stage>,
+    output: Stage,
+    /// The parameter environment (scalar params + injected image extents)
+    /// captured at build time. Valid for every run served by this program:
+    /// the cache key's binding signature pins all param values and image
+    /// extents, so recomputing the map per warm call would only burn
+    /// allocations on the request-rate path.
+    params: BTreeMap<String, Value>,
+}
+
+/// One materialized func: its buffer geometry plus the compiled pure stage
+/// and the (interpreted) update definitions.
+#[derive(Debug)]
+struct Stage {
+    name: String,
+    ty: ScalarType,
+    extents: Vec<usize>,
+    pure_exec: Option<PureExec>,
+    updates: Vec<UpdateDef>,
+}
+
+/// The compiled artifact of a pure definition.
+#[derive(Debug)]
+enum PureExec {
+    /// Interpreter backend: the fully inlined expression, evaluated per
+    /// element by the shared [`crate::eval`] evaluator.
+    Interpreted {
+        expr: Expr,
+        var_slots: BTreeMap<String, usize>,
+        threads: usize,
+    },
+    /// Lowered backend: loop-nest IR with lane programs compiled per store
+    /// (boxed: plans dwarf the interpreted variant).
+    Lowered(Box<ExecPlan>),
+}
+
+/// The funcs that must be materialized into buffers regardless of backend:
+/// `compute_root` plus every func with reductions.
+fn base_roots(pipeline: &Pipeline, schedule: &Schedule) -> BTreeSet<String> {
+    pipeline
+        .funcs
+        .iter()
+        .filter(|(n, f)| {
+            **n != pipeline.output && (schedule.compute_root.contains(*n) || !f.updates.is_empty())
+        })
+        .map(|(n, _)| n.clone())
+        .collect()
+}
+
+/// The funcs named by `compute_at` that could be attached (pure, existing,
+/// not already roots). Used for sizing so both backends materialize shared
+/// producers over identical extents.
+fn compute_at_funcs(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    base: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    schedule
+        .compute_at
+        .keys()
+        .filter(|n| pipeline.funcs.contains_key(*n) && **n != pipeline.output && !base.contains(*n))
+        .cloned()
+        .collect()
+}
+
+impl PreparedProgram {
+    /// Compile the full realization plan for one cache key.
+    pub(crate) fn build(
+        pipeline: &Pipeline,
+        schedule: &Schedule,
+        backend: ExecBackend,
+        output_extents: &[usize],
+        inputs: &RealizeInputs<'_>,
+    ) -> Result<PreparedProgram, RealizeError> {
+        let output = pipeline.output_func();
+        if output.dims() != output_extents.len() {
+            return Err(RealizeError::DimensionMismatch {
+                expected: output.dims(),
+                got: output_extents.len(),
+            });
+        }
+        let params = inputs.params_with_image_extents();
+
+        let base = base_roots(pipeline, schedule);
+        let at_funcs = compute_at_funcs(pipeline, schedule, &base);
+
+        // Decide compute_at placements. The interpreter backend realizes
+        // compute_at producers as compute_root (value-identical); the lowered
+        // backend keeps affine placements and degrades the rest.
+        let outcome = match backend {
+            ExecBackend::Interpret => ComputeAtOutcome {
+                plans: Vec::new(),
+                demoted: at_funcs.clone(),
+            },
+            ExecBackend::Lowered => {
+                plan_compute_at(pipeline, schedule, output_extents, &params, &base)?
+            }
+        };
+
+        // Funcs materialized into standalone buffers before the output runs.
+        let mut materialize: BTreeSet<String> = base.clone();
+        materialize.extend(outcome.demoted.iter().cloned());
+
+        // Sizing keep-set is backend-independent so shared producers get
+        // identical extents (and therefore identical boundary clamping).
+        let mut sizing_keep = base.clone();
+        sizing_keep.extend(at_funcs.iter().cloned());
+
+        let mut stages = Vec::new();
+        let mut roots_so_far: BTreeSet<String> = BTreeSet::new();
+        if !materialize.is_empty() {
+            // Compute the bounds each kept func is accessed over — from the
+            // output's (inlined) expression, then transitively through every
+            // kept producer's own definition, so producers referenced only by
+            // other producers (e.g. a compute_root feeding a compute_at func)
+            // are sized by what actually reads them.
+            let inlined = match &output.pure_def {
+                Some(e) => inline_except(pipeline, e, &sizing_keep)?,
+                None => Expr::int(0),
+            };
+            let mut var_bounds = BTreeMap::new();
+            for (d, v) in output.vars.iter().enumerate() {
+                var_bounds.insert(
+                    v.clone(),
+                    Interval {
+                        min: 0,
+                        max: output_extents[d] as i64 - 1,
+                    },
+                );
+            }
+            let mut required: BTreeMap<String, Vec<Interval>> = BTreeMap::new();
+            accumulate_func_bounds(&inlined, &var_bounds, &params, &mut required);
+            // Propagate requirements through kept producers to a fixed point
+            // (bounded: pipelines are acyclic, so one pass per chained
+            // producer suffices).
+            for _ in 0..sizing_keep.len() + 1 {
+                let mut grown = false;
+                for name in &sizing_keep {
+                    let func = match pipeline.funcs.get(name) {
+                        Some(f) => f,
+                        None => continue,
+                    };
+                    let (Some(body), Some(region)) = (&func.pure_def, required.get(name)) else {
+                        continue;
+                    };
+                    let body = inline_except(pipeline, body, &sizing_keep)?;
+                    let mut bounds = BTreeMap::new();
+                    for (d, v) in func.vars.iter().enumerate() {
+                        let max = region.get(d).map(|i| i.max).unwrap_or(0).max(0);
+                        bounds.insert(v.clone(), Interval { min: 0, max });
+                    }
+                    let before = required.clone();
+                    accumulate_func_bounds(&body, &bounds, &params, &mut required);
+                    if required != before {
+                        grown = true;
+                    }
+                }
+                if !grown {
+                    break;
+                }
+            }
+            // Materialize in dependency order: a producer whose realization
+            // reads another materialized func (through its pure or update
+            // definitions) must come after it.
+            let deps_of = |name: &String| -> Result<BTreeSet<String>, RealizeError> {
+                let func = &pipeline.funcs[name];
+                let mut refs = BTreeSet::new();
+                if let Some(body) = &func.pure_def {
+                    refs.extend(inline_except(pipeline, body, &base)?.referenced_funcs());
+                }
+                for u in &func.updates {
+                    for e in u.lhs.iter().chain(std::iter::once(&u.value)) {
+                        refs.extend(inline_except(pipeline, e, &base)?.referenced_funcs());
+                    }
+                }
+                refs.remove(name);
+                refs.retain(|r| materialize.contains(r));
+                Ok(refs)
+            };
+            let mut pending: Vec<String> = materialize.iter().cloned().collect();
+            let mut ordered: Vec<String> = Vec::new();
+            while !pending.is_empty() {
+                let done: BTreeSet<String> = ordered.iter().cloned().collect();
+                let mut picked = None;
+                for (i, n) in pending.iter().enumerate() {
+                    if deps_of(n)?.iter().all(|d| done.contains(d)) {
+                        picked = Some(i);
+                        break;
+                    }
+                }
+                // A cycle (which well-formed pipelines cannot have) falls back
+                // to name order so compilation still terminates.
+                let i = picked.unwrap_or(0);
+                ordered.push(pending.remove(i));
+            }
+            for name in &ordered {
+                let extents: Vec<usize> = match required.get(name) {
+                    Some(ivals) => ivals.iter().map(|i| (i.max + 1).max(1) as usize).collect(),
+                    None => output_extents.to_vec(),
+                };
+                let mut sub_pipeline = pipeline.clone();
+                sub_pipeline.output = name.clone();
+                let stage = Stage::build(
+                    &sub_pipeline,
+                    schedule,
+                    backend,
+                    &extents,
+                    inputs,
+                    &params,
+                    &base,
+                    &ComputeAtOutcome::default(),
+                    &roots_so_far,
+                )?;
+                roots_so_far.insert(name.clone());
+                stages.push(stage);
+            }
+        }
+        let output_stage = Stage::build(
+            pipeline,
+            schedule,
+            backend,
+            output_extents,
+            inputs,
+            &params,
+            &materialize,
+            &outcome,
+            &roots_so_far,
+        )?;
+        Ok(PreparedProgram {
+            stages,
+            output: output_stage,
+            params,
+        })
+    }
+
+    /// Execute the prepared program: materialize producer stages in order,
+    /// then the output stage. Only per-call work happens here.
+    pub(crate) fn execute(&self, inputs: &RealizeInputs<'_>) -> Result<Buffer, RealizeError> {
+        let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
+        for stage in &self.stages {
+            let buf = stage.run(inputs, &self.params, &roots)?;
+            roots.insert(stage.name.clone(), buf);
+        }
+        self.output.run(inputs, &self.params, &roots)
+    }
+}
+
+impl Stage {
+    /// Compile one stage: the pipeline's output func realized over `extents`,
+    /// with `keep` naming the funcs left un-inlined (read as sources) and
+    /// `outcome` carrying this stage's `compute_at` placements.
+    /// `roots_available` is the set of producer buffers that will exist when
+    /// this stage runs.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        pipeline: &Pipeline,
+        schedule: &Schedule,
+        backend: ExecBackend,
+        extents: &[usize],
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        keep: &BTreeSet<String>,
+        outcome: &ComputeAtOutcome,
+        roots_available: &BTreeSet<String>,
+    ) -> Result<Stage, RealizeError> {
+        let func = pipeline.output_func();
+        let pure_exec = match &func.pure_def {
+            None => None,
+            Some(def) => Some(match backend {
+                ExecBackend::Interpret => build_interpreted(
+                    pipeline,
+                    schedule,
+                    def,
+                    extents,
+                    inputs,
+                    params,
+                    keep,
+                    roots_available,
+                )?,
+                ExecBackend::Lowered => build_lowered(
+                    pipeline,
+                    schedule,
+                    def,
+                    extents,
+                    inputs,
+                    params,
+                    keep,
+                    outcome,
+                    roots_available,
+                )?,
+            }),
+        };
+        Ok(Stage {
+            name: func.name.clone(),
+            ty: func.ty,
+            extents: extents.to_vec(),
+            pure_exec,
+            updates: func.updates.clone(),
+        })
+    }
+
+    /// Execute the stage: allocate the buffer, run the pure stage, apply the
+    /// update definitions.
+    fn run(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        params: &BTreeMap<String, Value>,
+        roots: &BTreeMap<String, Buffer>,
+    ) -> Result<Buffer, RealizeError> {
+        let mut buffer = Buffer::new(self.ty, &self.extents);
+        match &self.pure_exec {
+            None => {}
+            Some(PureExec::Lowered(plan)) => {
+                exec::run(plan, &mut buffer, &inputs.images, roots, params)?;
+            }
+            Some(PureExec::Interpreted {
+                expr,
+                var_slots,
+                threads,
+            }) => {
+                run_interpreted(
+                    expr,
+                    var_slots,
+                    *threads,
+                    &mut buffer,
+                    inputs,
+                    params,
+                    roots,
+                )?;
+            }
+        }
+        for update in &self.updates {
+            run_update(&self.name, update, &mut buffer, inputs, params, roots)?;
+        }
+        Ok(buffer)
+    }
+}
+
+/// Probe used to pre-validate variable/parameter bindings at compile time, so
+/// unbound names error during compilation rather than at the first element.
+struct BindingProbe<'a> {
+    var_slots: &'a BTreeMap<String, usize>,
+    params: &'a BTreeMap<String, Value>,
+}
+
+impl EvalSources for BindingProbe<'_> {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.var_slots.contains_key(name).then_some(0)
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.get(name).copied()
+    }
+    fn load_image(&self, _name: &str, _indices: &[i64]) -> Result<Value, RealizeError> {
+        Ok(Value::Int(0)) // sources are validated separately
+    }
+    fn load_func(&self, _name: &str, _indices: &[i64]) -> Result<Value, RealizeError> {
+        Ok(Value::Int(0))
+    }
+}
+
+/// Compile the interpreter-backend pure stage: inline everything outside
+/// `keep`, validate all sources and bindings, and record the per-element
+/// evaluation setup.
+#[allow(clippy::too_many_arguments)]
+fn build_interpreted(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    def: &Expr,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    params: &BTreeMap<String, Value>,
+    keep: &BTreeSet<String>,
+    roots_available: &BTreeSet<String>,
+) -> Result<PureExec, RealizeError> {
+    let func = pipeline.output_func();
+    let expr = inline_except(pipeline, def, keep)?;
+    for name in expr.referenced_images() {
+        if !inputs.images.contains_key(&name) && !roots_available.contains(&name) {
+            return Err(RealizeError::MissingInput(name));
+        }
+    }
+    for name in expr.referenced_funcs() {
+        if !roots_available.contains(&name) && !inputs.images.contains_key(&name) {
+            return Err(RealizeError::UndefinedFunc(name));
+        }
+    }
+    let var_slots: BTreeMap<String, usize> = func
+        .vars
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    validate_bindings(
+        &expr,
+        &BindingProbe {
+            var_slots: &var_slots,
+            params,
+        },
+    )?;
+    let outer = extents.last().copied().unwrap_or(1);
+    let threads = schedule.effective_threads().min(outer.max(1));
+    Ok(PureExec::Interpreted {
+        expr,
+        var_slots,
+        threads,
+    })
+}
+
+/// Compile the lowered-backend pure stage: validate, lower to loop-nest IR,
+/// and build the typed lane programs.
+#[allow(clippy::too_many_arguments)]
+fn build_lowered(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    def: &Expr,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    params: &BTreeMap<String, Value>,
+    keep: &BTreeSet<String>,
+    outcome: &ComputeAtOutcome,
+    roots_available: &BTreeSet<String>,
+) -> Result<PureExec, RealizeError> {
+    let func = pipeline.output_func();
+    // Mirror the interpreter's up-front validation (and error kinds).
+    let mut sized_keep = keep.clone();
+    sized_keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
+    let expr = inline_except(pipeline, def, &sized_keep)?;
+    for name in expr.referenced_images() {
+        if !inputs.images.contains_key(&name) {
+            return Err(RealizeError::MissingInput(name));
+        }
+    }
+    for name in expr.referenced_funcs() {
+        let is_plan = outcome.plans.iter().any(|p| p.func == name);
+        if !roots_available.contains(&name) && !is_plan {
+            return Err(RealizeError::UndefinedFunc(name));
+        }
+    }
+    let stmt = crate::lower::lower_pure(pipeline, schedule, extents, keep, outcome)?;
+    let image_decls: Vec<(String, ScalarType)> = inputs
+        .images
+        .iter()
+        .map(|(n, b)| (n.clone(), b.scalar_type()))
+        .collect();
+    let root_decls: Vec<(String, ScalarType)> = roots_available
+        .iter()
+        .map(|n| {
+            pipeline
+                .funcs
+                .get(n)
+                .map(|f| (n.clone(), f.ty))
+                .ok_or_else(|| RealizeError::UndefinedFunc(n.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let plan = exec::prepare(stmt, &func.name, func.ty, &image_decls, &root_decls, params)?;
+    Ok(PureExec::Lowered(Box::new(plan)))
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter-backend execution (per-element shared evaluator)
+// ---------------------------------------------------------------------------
+
+/// Sources of the interpreter backend's pure stage. Materialized roots shadow
+/// same-named images, mirroring the compiled backend's slot table (images
+/// registered first, roots overriding).
+struct PureSources<'a> {
+    var_slots: &'a BTreeMap<String, usize>,
+    vars: Vec<i64>,
+    params: &'a BTreeMap<String, Value>,
+    images: &'a BTreeMap<String, &'a Buffer>,
+    roots: &'a BTreeMap<String, Buffer>,
+}
+
+impl EvalSources for PureSources<'_> {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.var_slots.get(name).map(|slot| self.vars[*slot])
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.get(name).copied()
+    }
+    fn load_image(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        if let Some(buf) = self.roots.get(name) {
+            return Ok(buf.get(indices));
+        }
+        self.images
+            .get(name)
+            .map(|buf| buf.get(indices))
+            .ok_or_else(|| RealizeError::MissingInput(name.to_string()))
+    }
+    fn load_func(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        if let Some(buf) = self.roots.get(name) {
+            return Ok(buf.get(indices));
+        }
+        self.images
+            .get(name)
+            .map(|buf| buf.get(indices))
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.to_string()))
+    }
+}
+
+/// Walk the output domain in memory order, evaluating `expr` per element with
+/// the shared evaluator, optionally distributing outer rows across scoped
+/// worker threads (each writes a disjoint byte chunk).
+fn run_interpreted(
+    expr: &Expr,
+    var_slots: &BTreeMap<String, usize>,
+    threads: usize,
+    buffer: &mut Buffer,
+    inputs: &RealizeInputs<'_>,
+    params: &BTreeMap<String, Value>,
+    roots: &BTreeMap<String, Buffer>,
+) -> Result<(), RealizeError> {
+    let extents = buffer.extents().to_vec();
+    let ty = buffer.scalar_type();
+    let elem_bytes = ty.bytes();
+    let dims = extents.len();
+    let inner: usize = extents[..dims - 1].iter().product::<usize>().max(1);
+    let outer = extents[dims - 1];
+    let threads = threads.min(outer.max(1));
+    let data = buffer.bytes_mut();
+    let row_bytes = inner * elem_bytes;
+
+    let eval_rows =
+        |outer_range: std::ops::Range<usize>, chunk: &mut [u8]| -> Result<(), RealizeError> {
+            let mut src = PureSources {
+                var_slots,
+                vars: vec![0i64; dims],
+                params,
+                images: &inputs.images,
+                roots,
+            };
+            for (row_i, o) in outer_range.enumerate() {
+                src.vars[dims - 1] = o as i64;
+                for i in 0..inner {
+                    // Decode the linear inner index into coordinates.
+                    let mut rem = i;
+                    for (d, e) in extents[..dims - 1].iter().enumerate() {
+                        src.vars[d] = (rem % e) as i64;
+                        rem /= e;
+                    }
+                    let v = eval_expr(expr, &src)?;
+                    let off = row_i * row_bytes + i * elem_bytes;
+                    write_scalar(ty, v, &mut chunk[off..off + elem_bytes]);
+                }
+            }
+            Ok(())
+        };
+
+    if threads <= 1 {
+        eval_rows(0..outer, data)
+    } else {
+        let rows_per_thread = outer.div_ceil(threads);
+        let chunks: Vec<&mut [u8]> = data.chunks_mut(rows_per_thread * row_bytes).collect();
+        let errors = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (t, chunk) in chunks.into_iter().enumerate() {
+                let start = t * rows_per_thread;
+                let end = ((t + 1) * rows_per_thread).min(outer);
+                let eval_rows = &eval_rows;
+                let errors = &errors;
+                scope.spawn(move || {
+                    if let Err(e) = eval_rows(start..end, chunk) {
+                        errors.lock().expect("error mutex").push(e);
+                    }
+                });
+            }
+        });
+        match errors.into_inner().expect("error mutex").pop() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update (reduction) execution — both backends share this path
+// ---------------------------------------------------------------------------
+
+/// Sources of an update definition: reduction variables, input images, the
+/// buffer being updated (reads of the func itself), and materialized roots.
+struct UpdateSources<'a> {
+    vars: BTreeMap<String, i64>,
+    params: &'a BTreeMap<String, Value>,
+    images: &'a BTreeMap<String, &'a Buffer>,
+    self_name: &'a str,
+    self_buffer: &'a Buffer,
+    roots: &'a BTreeMap<String, Buffer>,
+}
+
+impl EvalSources for UpdateSources<'_> {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.vars.get(name).copied()
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.get(name).copied()
+    }
+    fn load_image(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        self.images
+            .get(name)
+            .map(|buf| buf.get(indices))
+            .ok_or_else(|| RealizeError::MissingInput(name.to_string()))
+    }
+    fn load_func(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        if name == self.self_name {
+            return Ok(self.self_buffer.get(indices));
+        }
+        self.roots
+            .get(name)
+            .map(|buf| buf.get(indices))
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.to_string()))
+    }
+}
+
+/// Apply one update definition over its reduction domain, sequentially, with
+/// the shared evaluator (reductions are inherently ordered).
+fn run_update(
+    self_name: &str,
+    update: &UpdateDef,
+    buffer: &mut Buffer,
+    inputs: &RealizeInputs<'_>,
+    params: &BTreeMap<String, Value>,
+    roots: &BTreeMap<String, Buffer>,
+) -> Result<(), RealizeError> {
+    // Resolve the reduction domain bounds.
+    let empty = BTreeMap::new();
+    let mut dims = Vec::new();
+    for (var, min_e, extent_e) in &update.rdom.dims {
+        let min = expr_interval(min_e, &empty, params).min;
+        let extent = expr_interval(extent_e, &empty, params).min;
+        dims.push((var.clone(), min, extent));
+    }
+    // Iterate the domain in row-major order (first dim innermost).
+    let total: i64 = dims.iter().map(|(_, _, e)| (*e).max(0)).product();
+    for i in 0..total {
+        let mut rem = i;
+        let mut vars = BTreeMap::new();
+        for (var, min, extent) in &dims {
+            let e = (*extent).max(1);
+            vars.insert(var.clone(), min + rem % e);
+            rem /= e;
+        }
+        let (idx, value) = {
+            let src = UpdateSources {
+                vars,
+                params,
+                images: &inputs.images,
+                self_name,
+                self_buffer: &*buffer,
+                roots,
+            };
+            let idx: Result<Vec<i64>, RealizeError> = update
+                .lhs
+                .iter()
+                .map(|e| eval_expr(e, &src).map(|v| v.as_i64()))
+                .collect();
+            (idx?, eval_expr(&update.value, &src)?)
+        };
+        buffer.set(&idx, value);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Func, ImageParam};
+    use crate::realize::Realizer;
+
+    /// bright(x,y) = in(x,y) + 17 (u16); out(x,y) = u8(bright(x,y) + bright(x+2,y+1))
+    fn two_stage() -> Pipeline {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let bright = Func::pure(
+            "bright",
+            &["x_0", "x_1"],
+            ScalarType::UInt16,
+            Expr::add(
+                Expr::cast(
+                    ScalarType::UInt16,
+                    Expr::Image("input_1".into(), vec![x.clone(), y.clone()]),
+                ),
+                Expr::int(17),
+            ),
+        );
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::add(
+                    Expr::FuncRef("bright".into(), vec![x.clone(), y.clone()]),
+                    Expr::FuncRef(
+                        "bright".into(),
+                        vec![Expr::add(x, Expr::int(2)), Expr::add(y, Expr::int(1))],
+                    ),
+                ),
+            ),
+        );
+        Pipeline::new(out, vec![ImageParam::new("input_1", ScalarType::UInt8, 2)]).with_func(bright)
+    }
+
+    fn image(w: usize, h: usize) -> Buffer {
+        let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+        let mut s = 11u64;
+        for c in b.coords().collect::<Vec<_>>() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            b.set(&c, Value::Int(((s >> 33) % 256) as i64));
+        }
+        b
+    }
+
+    #[test]
+    fn warm_runs_do_no_planning_or_lowering() {
+        let p = two_stage();
+        let schedule = Schedule::stencil_default().with_compute_at("bright", "x_1");
+        let compiled = p.compile(&schedule, &CompileOptions::default()).unwrap();
+        let input = image(14, 12);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+
+        let first = compiled.run(&inputs, &[10, 8]).unwrap();
+        let second = compiled.run(&inputs, &[10, 8]).unwrap();
+        let third = compiled.run(&inputs, &[10, 8]).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, third);
+
+        let stats = compiled.cache_stats();
+        assert_eq!(stats.misses, 1, "only the first run compiles");
+        assert_eq!(
+            stats.hits, 2,
+            "warm runs reuse the prepared program (no planning/lowering)"
+        );
+        assert_eq!(compiled.cached_programs(), 1);
+    }
+
+    #[test]
+    fn compiled_run_matches_fresh_realizer_on_both_backends() {
+        let p = two_stage();
+        let input = image(16, 12);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        for backend in [ExecBackend::Interpret, ExecBackend::Lowered] {
+            for schedule in [
+                Schedule::naive(),
+                Schedule::stencil_default(),
+                Schedule::naive().with_compute_at("bright", "x_1"),
+                Schedule::naive().with_compute_root("bright"),
+            ] {
+                let compiled = p
+                    .compile(
+                        &schedule,
+                        &CompileOptions {
+                            backend,
+                            ..CompileOptions::default()
+                        },
+                    )
+                    .unwrap();
+                for extents in [[12usize, 10], [8, 6], [12, 10]] {
+                    let fresh = Realizer::new(schedule.clone())
+                        .with_backend(backend)
+                        .realize(&p, &extents, &inputs)
+                        .unwrap();
+                    let ran = compiled.run(&inputs, &extents).unwrap();
+                    assert_eq!(
+                        ran, fresh,
+                        "compiled run diverged from Realizer ({backend:?}, [{schedule}], {extents:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_extents_occupy_distinct_cache_entries() {
+        let p = two_stage();
+        let compiled = p
+            .compile(&Schedule::stencil_default(), &CompileOptions::default())
+            .unwrap();
+        let input = image(20, 16);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        compiled.run(&inputs, &[10, 8]).unwrap();
+        compiled.run(&inputs, &[12, 8]).unwrap();
+        compiled.run(&inputs, &[10, 8]).unwrap();
+        let stats = compiled.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(compiled.cached_programs(), 2);
+    }
+
+    #[test]
+    fn tiny_cache_capacity_evicts_but_stays_correct() {
+        let p = two_stage();
+        let compiled = p
+            .compile(
+                &Schedule::stencil_default(),
+                &CompileOptions {
+                    cache_capacity: 1,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        let input = image(20, 16);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let realizer = Realizer::new(Schedule::stencil_default());
+        for extents in [[10usize, 8], [12, 8], [10, 8], [12, 8]] {
+            let fresh = realizer.realize(&p, &extents, &inputs).unwrap();
+            let ran = compiled.run(&inputs, &extents).unwrap();
+            assert_eq!(ran, fresh, "eviction must not affect values");
+        }
+        let stats = compiled.cache_stats();
+        assert!(stats.evictions >= 2, "capacity-1 cache thrashes: {stats:?}");
+        assert_eq!(compiled.cached_programs(), 1);
+    }
+
+    #[test]
+    fn different_param_values_compile_separate_programs() {
+        // out(x) = in(x) + k — k is constant-folded into the lane program, so
+        // different values of k must not share a cached program.
+        let x = Expr::var("x_0");
+        let out = Func::pure(
+            "out",
+            &["x_0"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::add(
+                    Expr::Image("in".into(), vec![x]),
+                    Expr::Param("k".into(), ScalarType::Int32),
+                ),
+            ),
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 1)]);
+        let compiled = p
+            .compile(&Schedule::naive(), &CompileOptions::default())
+            .unwrap();
+        let mut input = Buffer::new(ScalarType::UInt8, &[8]);
+        for i in 0..8 {
+            input.set(&[i], Value::Int(i * 3));
+        }
+        let a = compiled
+            .run(
+                &RealizeInputs::new()
+                    .with_image("in", &input)
+                    .with_param("k", Value::Int(1)),
+                &[8],
+            )
+            .unwrap();
+        let b = compiled
+            .run(
+                &RealizeInputs::new()
+                    .with_image("in", &input)
+                    .with_param("k", Value::Int(100)),
+                &[8],
+            )
+            .unwrap();
+        assert_eq!(a.get(&[2]).as_i64(), 7);
+        assert_eq!(b.get(&[2]).as_i64(), 106);
+        assert_eq!(compiled.cache_stats().misses, 2, "params are keyed");
+    }
+
+    #[test]
+    fn structural_validation_rejects_dangling_refs() {
+        let out = Func::pure(
+            "out",
+            &["x_0"],
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                Expr::FuncRef("nowhere".into(), vec![Expr::var("x_0")]),
+            ),
+        );
+        let p = Pipeline::new(out, Vec::new());
+        let err = p
+            .compile(&Schedule::naive(), &CompileOptions::default())
+            .unwrap_err();
+        assert_eq!(err, RealizeError::UndefinedFunc("nowhere".into()));
+    }
+}

@@ -1,0 +1,223 @@
+//! The single shared [`Value`] evaluator.
+//!
+//! Expression semantics used to live in three places that had to agree
+//! bit-for-bit: the reduction interpreter in `realize`, the interpreter
+//! backend's stack machine, and the compiled backend's per-element fallback in
+//! `exec`. All three now route through [`eval_expr`], parameterized over a
+//! [`EvalSources`] implementation that resolves variables, scalar parameters
+//! and buffer loads — so a semantics change cannot make the backends drift.
+//!
+//! Semantics (shared by every backend):
+//!
+//! * integer arithmetic wraps, division/remainder by zero yield zero
+//!   ([`eval_binop`]);
+//! * comparisons yield 0/1 integers ([`eval_cmp`]);
+//! * casts truncate like C casts ([`Value::cast`]);
+//! * `select` evaluates **both** branches before choosing (the historical
+//!   stack-machine behavior, also what the lane programs do), so an error in
+//!   either branch surfaces regardless of the condition;
+//! * out-of-range loads are clamped by the [`EvalSources`] implementation
+//!   (buffer-backed sources clamp per `Buffer::get`).
+
+use crate::expr::{eval_binop, eval_cmp, Expr};
+use crate::realize::RealizeError;
+use crate::types::Value;
+
+/// Resolution of the free names of an expression: loop/reduction variables,
+/// scalar parameters, and buffer-backed sources (input images and
+/// materialized funcs).
+pub trait EvalSources {
+    /// The value of a pure or reduction variable, if bound.
+    fn var(&self, name: &str) -> Option<i64>;
+
+    /// The value of a scalar parameter, if bound.
+    fn param(&self, name: &str) -> Option<Value>;
+
+    /// Load from an input image at `indices` (clamped to the image bounds).
+    ///
+    /// # Errors
+    /// Returns [`RealizeError::MissingInput`] if the image is not bound.
+    fn load_image(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError>;
+
+    /// Load from a func's backing buffer at `indices` (clamped).
+    ///
+    /// # Errors
+    /// Returns [`RealizeError::UndefinedFunc`] if no buffer backs the func.
+    fn load_func(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError>;
+}
+
+/// Evaluate `e` against `src` with the shared semantics described in the
+/// module docs.
+///
+/// # Errors
+/// Returns an error when a variable or parameter is unbound
+/// ([`RealizeError::MissingParam`]) or a load cannot be resolved.
+pub fn eval_expr<S: EvalSources + ?Sized>(e: &Expr, src: &S) -> Result<Value, RealizeError> {
+    Ok(match e {
+        Expr::Var(n) | Expr::RVar(n) => Value::Int(
+            src.var(n)
+                .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        ),
+        Expr::ConstInt(v, ty) => {
+            if ty.is_float() {
+                Value::Float(*v as f64)
+            } else {
+                Value::Int(*v)
+            }
+        }
+        Expr::ConstFloat(v, _) => Value::Float(*v),
+        Expr::Param(n, _) => src
+            .param(n)
+            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
+        Expr::Cast(ty, inner) => eval_expr(inner, src)?.cast(*ty),
+        Expr::Binary(op, a, b) => eval_binop(*op, eval_expr(a, src)?, eval_expr(b, src)?),
+        Expr::Cmp(op, a, b) => eval_cmp(*op, eval_expr(a, src)?, eval_expr(b, src)?),
+        Expr::Select(c, t, o) => {
+            // Strict select: both branches evaluate before the choice, exactly
+            // like the lane programs and the historical stack machine.
+            let cond = eval_expr(c, src)?;
+            let then = eval_expr(t, src)?;
+            let otherwise = eval_expr(o, src)?;
+            if cond.is_true() {
+                then
+            } else {
+                otherwise
+            }
+        }
+        Expr::Call(c, args) => {
+            let vals: Result<Vec<Value>, RealizeError> =
+                args.iter().map(|a| eval_expr(a, src)).collect();
+            c.eval(&vals?)
+        }
+        Expr::Image(name, args) => {
+            let idx = eval_indices(args, src)?;
+            src.load_image(name, &idx)?
+        }
+        Expr::FuncRef(name, args) => {
+            let idx = eval_indices(args, src)?;
+            src.load_func(name, &idx)?
+        }
+    })
+}
+
+fn eval_indices<S: EvalSources + ?Sized>(args: &[Expr], src: &S) -> Result<Vec<i64>, RealizeError> {
+    args.iter()
+        .map(|a| eval_expr(a, src).map(|v| v.as_i64()))
+        .collect()
+}
+
+/// Pre-validate that every variable and scalar parameter `e` references can
+/// be resolved, returning the same error kinds evaluation would. Used by the
+/// compile step so unbound names surface at compilation (as the retired stack
+/// machine did) rather than at the first evaluated element.
+///
+/// # Errors
+/// Returns [`RealizeError::MissingParam`] for the first unbound name.
+pub fn validate_bindings<S: EvalSources + ?Sized>(e: &Expr, src: &S) -> Result<(), RealizeError> {
+    let mut err = None;
+    e.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        match node {
+            Expr::Var(n) | Expr::RVar(n) if src.var(n).is_none() => {
+                err = Some(RealizeError::MissingParam(n.clone()));
+            }
+            Expr::Param(n, _) if src.param(n).is_none() => {
+                err = Some(RealizeError::MissingParam(n.clone()));
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::expr::BinOp;
+    use crate::types::ScalarType;
+    use std::collections::BTreeMap;
+
+    struct MapSources<'a> {
+        vars: BTreeMap<String, i64>,
+        params: BTreeMap<String, Value>,
+        images: BTreeMap<String, &'a Buffer>,
+    }
+
+    impl EvalSources for MapSources<'_> {
+        fn var(&self, name: &str) -> Option<i64> {
+            self.vars.get(name).copied()
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params.get(name).copied()
+        }
+        fn load_image(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+            self.images
+                .get(name)
+                .map(|b| b.get(indices))
+                .ok_or_else(|| RealizeError::MissingInput(name.to_string()))
+        }
+        fn load_func(&self, name: &str, _indices: &[i64]) -> Result<Value, RealizeError> {
+            Err(RealizeError::UndefinedFunc(name.to_string()))
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_loads_resolve() {
+        let mut img = Buffer::new(ScalarType::UInt8, &[4]);
+        img.set(&[2], Value::Int(7));
+        let src = MapSources {
+            vars: [("x".to_string(), 2i64)].into_iter().collect(),
+            params: [("k".to_string(), Value::Int(3))].into_iter().collect(),
+            images: [("in".to_string(), &img)].into_iter().collect(),
+        };
+        let e = Expr::add(
+            Expr::Image("in".into(), vec![Expr::var("x")]),
+            Expr::Param("k".into(), ScalarType::Int32),
+        );
+        assert_eq!(eval_expr(&e, &src).unwrap(), Value::Int(10));
+        // Out-of-range loads clamp per Buffer::get.
+        let e = Expr::Image("in".into(), vec![Expr::int(99)]);
+        assert_eq!(eval_expr(&e, &src).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn select_is_strict_in_both_branches() {
+        let src = MapSources {
+            vars: BTreeMap::new(),
+            params: BTreeMap::new(),
+            images: BTreeMap::new(),
+        };
+        // The untaken branch references an unbound parameter: strict select
+        // still surfaces the error (backends must agree on error behavior).
+        let e = Expr::select(
+            Expr::int(1),
+            Expr::int(42),
+            Expr::Param("missing".into(), ScalarType::Int32),
+        );
+        assert_eq!(
+            eval_expr(&e, &src).unwrap_err(),
+            RealizeError::MissingParam("missing".into())
+        );
+    }
+
+    #[test]
+    fn validate_bindings_reports_unbound_names() {
+        let src = MapSources {
+            vars: [("x".to_string(), 0i64)].into_iter().collect(),
+            params: BTreeMap::new(),
+            images: BTreeMap::new(),
+        };
+        assert!(validate_bindings(&Expr::var("x"), &src).is_ok());
+        assert_eq!(
+            validate_bindings(&Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y")), &src)
+                .unwrap_err(),
+            RealizeError::MissingParam("y".into())
+        );
+    }
+}

@@ -13,9 +13,15 @@
 //! yields zero, shifts/bitwise ops on float operands round-trip through `i64`,
 //! casts truncate like C casts, and out-of-range loads clamp per
 //! [`Buffer::get`]. Expressions whose type cannot be inferred statically (a
-//! `select` mixing int and float branches) fall back to a per-element
-//! [`Value`] evaluator with identical semantics. The differential property
-//! suite in `tests/prop_halide.rs` enforces equality against the interpreter.
+//! `select` mixing int and float branches) fall back to the shared
+//! [`crate::eval`] evaluator, the same code the interpreter backend and the
+//! reduction path run — so the fallback cannot drift. The differential
+//! property suite in `tests/prop_halide.rs` enforces equality against the
+//! interpreter.
+//!
+//! Since the compile/run split, store compilation happens once in [`prepare`]
+//! (producing an [`ExecPlan`] that the program cache retains) and [`run`]
+//! only binds buffers and walks the loop nest.
 //!
 //! **Safety.** Worker threads share buffers through raw pointers; no `&mut`
 //! is ever formed over shared data. This is sound because (a) loads only ever
@@ -27,6 +33,7 @@
 //! inside the parallel body and are thread-local by construction.
 
 use crate::buffer::Buffer;
+use crate::eval::{eval_expr, EvalSources};
 use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
 use crate::realize::RealizeError;
 use crate::stmt::{LoopKind, Stmt};
@@ -415,6 +422,7 @@ impl Compiler<'_> {
 // Preparation: walk the stmt, assign slots/depths, compile stores
 // ---------------------------------------------------------------------------
 
+#[derive(Debug)]
 struct Prepared {
     decls: Vec<SlotDecl>,
     /// Slot id per Allocate node, keyed by buffer name (unique per tree).
@@ -968,19 +976,20 @@ impl Runner<'_> {
     ) -> Result<(), RealizeError> {
         let base = vars[lane_depth];
         let mut vars = vars.to_vec();
-        let ctx = FallbackCtx {
-            store: f,
-            binds,
-            prepared: self.prepared,
-            params: self.params,
-        };
         for l in 0..n {
             vars[lane_depth] = base + l as i64;
+            let src = FallbackSources {
+                store: f,
+                binds,
+                prepared: self.prepared,
+                params: self.params,
+                vars: &vars,
+            };
             let mut idx = Vec::with_capacity(f.indices.len());
             for e in &f.indices {
-                idx.push(eval_value(e, &vars, &ctx)?.as_i64());
+                idx.push(eval_expr(e, &src)?.as_i64());
             }
-            let v = eval_value(&f.value, &vars, &ctx)?;
+            let v = eval_expr(&f.value, &src)?;
             let bind = binds.0[f.slot].as_ref().expect("store target bound");
             let ty = self.prepared.decls[f.slot].ty;
             let mut off = 0usize;
@@ -997,77 +1006,63 @@ impl Runner<'_> {
     }
 }
 
-struct FallbackCtx<'a> {
+/// Sources of the fallback store path (stores whose types cannot be inferred
+/// statically): variables resolve through the store's recorded loop depths,
+/// loads go through the slot table with clamping — evaluation itself is the
+/// shared [`crate::eval`] evaluator, so the fallback cannot drift from the
+/// other backends.
+struct FallbackSources<'a> {
     store: &'a FallbackStore,
     binds: &'a BindTable,
     prepared: &'a Prepared,
     params: &'a BTreeMap<String, Value>,
+    vars: &'a [i64],
 }
 
-/// Per-element expression evaluation with exact [`Value`] semantics (the slow
-/// path for stores whose types cannot be inferred statically).
-fn eval_value(e: &Expr, vars: &[i64], ctx: &FallbackCtx<'_>) -> Result<Value, RealizeError> {
-    Ok(match e {
-        Expr::Var(n) | Expr::RVar(n) => Value::Int(
-            ctx.store
-                .var_depths
-                .get(n)
-                .map(|d| vars[*d])
-                .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
-        ),
-        Expr::ConstInt(v, ty) => {
-            if ty.is_float() {
-                Value::Float(*v as f64)
-            } else {
-                Value::Int(*v)
-            }
+impl FallbackSources<'_> {
+    fn load(&self, slot: usize, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        let bind = self.binds.0[slot]
+            .as_ref()
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.to_string()))?;
+        let mut off = 0usize;
+        for (d, &i) in indices.iter().enumerate() {
+            let i = i.clamp(0, bind.extents[d] as i64 - 1) as usize;
+            off += i * bind.strides[d];
         }
-        Expr::ConstFloat(v, _) => Value::Float(*v),
-        Expr::Param(n, _) => *ctx
-            .params
-            .get(n)
-            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
-        Expr::Cast(ty, inner) => eval_value(inner, vars, ctx)?.cast(*ty),
-        Expr::Binary(op, a, b) => {
-            eval_binop(*op, eval_value(a, vars, ctx)?, eval_value(b, vars, ctx)?)
-        }
-        Expr::Cmp(op, a, b) => eval_cmp(*op, eval_value(a, vars, ctx)?, eval_value(b, vars, ctx)?),
-        Expr::Select(c, t, o) => {
-            // Mirror the interpreter's stack machine, which evaluates both
-            // branches before selecting.
-            let cond = eval_value(c, vars, ctx)?;
-            let tv = eval_value(t, vars, ctx)?;
-            let ov = eval_value(o, vars, ctx)?;
-            if cond.is_true() {
-                tv
-            } else {
-                ov
-            }
-        }
-        Expr::Call(c, args) => {
-            let vals: Result<Vec<Value>, RealizeError> =
-                args.iter().map(|a| eval_value(a, vars, ctx)).collect();
-            c.eval(&vals?)
-        }
-        Expr::Image(name, args) | Expr::FuncRef(name, args) => {
-            let slot = ctx.store.slots.get(name).copied().ok_or_else(|| match e {
-                Expr::Image(..) => RealizeError::MissingInput(name.clone()),
-                _ => RealizeError::UndefinedFunc(name.clone()),
-            })?;
-            let bind = ctx.binds.0[slot]
-                .as_ref()
-                .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
-            let mut off = 0usize;
-            for (d, a) in args.iter().enumerate() {
-                let i = eval_value(a, vars, ctx)?.as_i64();
-                let i = i.clamp(0, bind.extents[d] as i64 - 1) as usize;
-                off += i * bind.strides[d];
-            }
-            let ty = ctx.prepared.decls[slot].ty;
-            let bytes = ty.bytes();
-            crate::buffer::read_scalar(ty, &bind.data()[off * bytes..off * bytes + bytes])
-        }
-    })
+        let ty = self.prepared.decls[slot].ty;
+        let bytes = ty.bytes();
+        Ok(crate::buffer::read_scalar(
+            ty,
+            &bind.data()[off * bytes..off * bytes + bytes],
+        ))
+    }
+}
+
+impl EvalSources for FallbackSources<'_> {
+    fn var(&self, name: &str) -> Option<i64> {
+        self.store.var_depths.get(name).map(|d| self.vars[*d])
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.get(name).copied()
+    }
+    fn load_image(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        let slot = self
+            .store
+            .slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| RealizeError::MissingInput(name.to_string()))?;
+        self.load(slot, name, indices)
+    }
+    fn load_func(&self, name: &str, indices: &[i64]) -> Result<Value, RealizeError> {
+        let slot = self
+            .store
+            .slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.to_string()))?;
+        self.load(slot, name, indices)
+    }
 }
 
 /// Run one typed program over `n` lanes; the result lands in register 0 of
@@ -1481,25 +1476,45 @@ fn run_program(
 }
 
 // ---------------------------------------------------------------------------
-// Entry point
+// Entry points: prepare (compile once) / run (execute many)
 // ---------------------------------------------------------------------------
 
-/// Execute a lowered statement against the given buffers.
+/// A lowered statement compiled for repeated execution: every store's typed
+/// lane programs, the slot table (output, images, roots, scoped allocations)
+/// and the loop-nest metadata. Building the plan is the expensive step;
+/// [`run`] only binds buffers and walks the loops.
 ///
-/// `output` is bound writable under `output_name`; `images` and `roots` are
-/// bound read-only; `Allocate` nodes bind their scratch buffers during
-/// execution.
+/// The plan bakes scalar-parameter values and buffer element types into its
+/// programs, so it is only valid for the binding signature it was prepared
+/// against — [`crate::cache::CacheKey`] enforces this for cached plans.
+#[derive(Debug)]
+pub struct ExecPlan {
+    stmt: Stmt,
+    prepared: Prepared,
+    output_ty: ScalarType,
+    image_names: Vec<String>,
+    root_names: Vec<String>,
+}
+
+/// Compile a lowered statement into an [`ExecPlan`].
+///
+/// `images` and `roots` declare the read-only source buffers by name and
+/// element type, in the exact order [`run`] will bind them; `output_name` is
+/// bound writable with element type `output_ty`. Slot registration order
+/// mirrors the interpreter's source resolution: images first, then roots
+/// (which shadow same-named images), with the output always addressable under
+/// its own name.
 ///
 /// # Errors
 /// Returns an error if a referenced buffer or parameter is missing.
-pub fn execute(
-    stmt: &Stmt,
+pub fn prepare(
+    stmt: Stmt,
     output_name: &str,
-    output: &mut Buffer,
-    images: &BTreeMap<String, &Buffer>,
-    roots: &BTreeMap<String, Buffer>,
+    output_ty: ScalarType,
+    images: &[(String, ScalarType)],
+    roots: &[(String, ScalarType)],
     params: &BTreeMap<String, Value>,
-) -> Result<(), RealizeError> {
+) -> Result<ExecPlan, RealizeError> {
     let mut ctx = PrepareCtx {
         params,
         decls: Vec::new(),
@@ -1512,52 +1527,122 @@ pub fn execute(
         max_stack: 1,
         max_arity: 1,
     };
-    let mut binds: Vec<Option<SlotBind>> = Vec::new();
+    ctx.add_slot(output_name, output_ty, true);
+    for (name, ty) in images {
+        ctx.add_slot(name, *ty, false);
+    }
+    for (name, ty) in roots {
+        ctx.add_slot(name, *ty, false);
+    }
+    ctx.walk(&stmt)?;
+    Ok(ExecPlan {
+        stmt,
+        prepared: Prepared {
+            decls: ctx.decls,
+            alloc_slots: ctx.alloc_slots,
+            stores: ctx.stores,
+            max_depth: ctx.max_depth,
+            max_stack: ctx.max_stack,
+            max_arity: ctx.max_arity,
+        },
+        output_ty,
+        image_names: images.iter().map(|(n, _)| n.clone()).collect(),
+        root_names: roots.iter().map(|(n, _)| n.clone()).collect(),
+    })
+}
+
+/// Execute a prepared plan against the given buffers: the per-call half of
+/// the compile/run split. Binds the output writable plus the declared images
+/// and roots read-only (`Allocate` nodes bind their scratch buffers during
+/// execution), then walks the loop nest.
+///
+/// # Errors
+/// Returns an error if a declared image or root buffer is not provided.
+pub fn run(
+    plan: &ExecPlan,
+    output: &mut Buffer,
+    images: &BTreeMap<String, &Buffer>,
+    roots: &BTreeMap<String, Buffer>,
+    params: &BTreeMap<String, Value>,
+) -> Result<(), RealizeError> {
+    debug_assert_eq!(
+        output.scalar_type(),
+        plan.output_ty,
+        "output buffer type must match the prepared plan"
+    );
     let bind_of = |b: &Buffer| SlotBind {
         ptr: b.bytes().as_ptr() as *mut u8,
         byte_len: b.bytes().len(),
         extents: b.extents().to_vec(),
         strides: b.strides().to_vec(),
     };
-
-    // Slot registration order mirrors the interpreter's source resolution:
-    // images first, then roots (which shadow same-named images), with the
-    // output always addressable under its own name.
-    ctx.add_slot(output_name, output.scalar_type(), true);
+    let mut binds: Vec<Option<SlotBind>> = Vec::with_capacity(plan.prepared.decls.len());
     binds.push(Some(SlotBind {
         ptr: output.bytes_mut().as_mut_ptr(),
         byte_len: output.bytes().len(),
         extents: output.extents().to_vec(),
         strides: output.strides().to_vec(),
     }));
-    for (name, buf) in images {
-        ctx.add_slot(name, buf.scalar_type(), false);
+    for name in &plan.image_names {
+        let buf = images
+            .get(name)
+            .ok_or_else(|| RealizeError::MissingInput(name.clone()))?;
         binds.push(Some(bind_of(buf)));
     }
-    for (name, buf) in roots {
-        ctx.add_slot(name, buf.scalar_type(), false);
+    for name in &plan.root_names {
+        let buf = roots
+            .get(name)
+            .ok_or_else(|| RealizeError::UndefinedFunc(name.clone()))?;
         binds.push(Some(bind_of(buf)));
     }
-
-    ctx.walk(stmt)?;
     // Allocate slots bind at runtime.
-    binds.resize(ctx.decls.len(), None);
+    binds.resize(plan.prepared.decls.len(), None);
 
-    let prepared = Prepared {
-        decls: ctx.decls,
-        alloc_slots: ctx.alloc_slots,
-        stores: ctx.stores,
-        max_depth: ctx.max_depth,
-        max_stack: ctx.max_stack,
-        max_arity: ctx.max_arity,
-    };
     let runner = Runner {
-        prepared: &prepared,
+        prepared: &plan.prepared,
         params,
     };
     let mut binds = BindTable(binds);
     let mut env: Vec<(String, i64)> = Vec::new();
-    let mut vars = vec![0i64; prepared.max_depth.max(1)];
-    let mut scratch = Scratch::new(&prepared);
-    runner.run(stmt, &mut binds, &mut env, &mut vars, &mut scratch, false)
+    let mut vars = vec![0i64; plan.prepared.max_depth.max(1)];
+    let mut scratch = Scratch::new(&plan.prepared);
+    runner.run(
+        &plan.stmt,
+        &mut binds,
+        &mut env,
+        &mut vars,
+        &mut scratch,
+        false,
+    )
+}
+
+/// One-shot convenience: [`prepare`] + [`run`] against the given buffers.
+///
+/// # Errors
+/// Returns an error if a referenced buffer or parameter is missing.
+pub fn execute(
+    stmt: &Stmt,
+    output_name: &str,
+    output: &mut Buffer,
+    images: &BTreeMap<String, &Buffer>,
+    roots: &BTreeMap<String, Buffer>,
+    params: &BTreeMap<String, Value>,
+) -> Result<(), RealizeError> {
+    let image_decls: Vec<(String, ScalarType)> = images
+        .iter()
+        .map(|(n, b)| (n.clone(), b.scalar_type()))
+        .collect();
+    let root_decls: Vec<(String, ScalarType)> = roots
+        .iter()
+        .map(|(n, b)| (n.clone(), b.scalar_type()))
+        .collect();
+    let plan = prepare(
+        stmt.clone(),
+        output_name,
+        output.scalar_type(),
+        &image_decls,
+        &root_decls,
+        params,
+    )?;
+    run(&plan, output, images, roots, params)
 }

@@ -20,16 +20,29 @@
 //!   bounds-inference-sized intermediate allocations, then executed by a
 //!   compiled engine with type-specialized (per-[`ScalarType`]) flat-slice
 //!   inner loops, lane-batched vectorization and scoped-thread parallelism;
-//! * [`realize`] — the realizer driving either backend
+//! * [`compile`], [`cache`] — the compile-once/run-many API:
+//!   [`func::Pipeline::compile`] produces a [`CompiledPipeline`] whose `run`
+//!   does only per-call work, backed by a keyed LRU [`ProgramCache`] with
+//!   hit/miss counters;
+//! * [`eval`] — the single shared [`Value`] evaluator all backends route
+//!   expression semantics through (reductions, the interpreter backend, and
+//!   the compiled backend's per-element fallback);
+//! * [`realize`] — the compatibility shim driving either backend
 //!   ([`realize::ExecBackend::Lowered`] by default;
 //!   [`realize::ExecBackend::Interpret`] keeps the original per-element
 //!   interpreter as the differential-testing oracle — both produce
 //!   bit-identical buffers);
-//! * [`autotune`] — random-search schedule tuning with wall-clock feedback;
+//! * [`autotune`] — random-search schedule tuning with wall-clock feedback,
+//!   timing cached (steady-state) runs per candidate;
 //! * [`codegen`] — emission of genuine Halide C++ source text, the paper's
 //!   published artifact.
 //!
-//! ## Example
+//! ## Example: compile once, run many
+//!
+//! The production entry point is [`func::Pipeline::compile`]: compilation
+//! (validation, `compute_at` planning, lowering, lane-program construction)
+//! happens once, and every [`compile::CompiledPipeline::run`] after the first
+//! executes the cached program.
 //!
 //! ```
 //! use helium_halide::prelude::*;
@@ -47,21 +60,46 @@
 //! let mut input = Buffer::new(ScalarType::UInt8, &[8, 8]);
 //! input.set(&[3, 3], Value::Int(10));
 //! let inputs = RealizeInputs::new().with_image("input_1", &input);
-//! let out = Realizer::new(Schedule::stencil_default()).realize(&pipeline, &[8, 8], &inputs)?;
+//!
+//! // Compile once...
+//! let compiled = pipeline.compile(&Schedule::stencil_default(), &CompileOptions::default())?;
+//! // ...run many: the first run per (extents, bindings) builds and caches the
+//! // program; every run after that is a cache hit doing only per-call work.
+//! let out = compiled.run(&inputs, &[8, 8])?;
 //! assert_eq!(out.get(&[3, 3]), Value::Int(245));
+//! let again = compiled.run(&inputs, &[8, 8])?;
+//! assert_eq!(again, out);
+//! assert_eq!(compiled.cache_stats().hits, 1);
 //!
 //! // And the Halide C++ artifact:
 //! let src = generate_halide_source(&pipeline, &CodegenOptions::default());
 //! assert!(src.contains("compile_to_file"));
 //! # Ok::<(), helium_halide::realize::RealizeError>(())
 //! ```
+//!
+//! ## When to use `Realizer` vs `CompiledPipeline`
+//!
+//! [`Realizer`] remains for one-shot and exploratory use: it takes the
+//! pipeline per call, so it fits differential tests and code that realizes
+//! many different pipelines ad hoc. It shares a [`ProgramCache`] across calls
+//! (and clones), so even repeated `realize` calls amortize compilation — but
+//! it must fingerprint the pipeline on every call to find the cached program.
+//! [`CompiledPipeline`] binds the pipeline and schedule once, skips the
+//! per-call fingerprinting, owns its own cache, and makes the compiled
+//! artifact an explicit value you can keep, pass around and introspect
+//! ([`compile::CompiledPipeline::cache_stats`]). Serving realizes at request
+//! rate — the paper's lift-once/run-forever scenario — should use
+//! `CompiledPipeline`.
 
 #![warn(missing_docs)]
 
 pub mod autotune;
 pub mod bounds;
 pub mod buffer;
+pub mod cache;
 pub mod codegen;
+pub mod compile;
+pub mod eval;
 pub mod exec;
 pub mod expr;
 pub mod func;
@@ -74,7 +112,10 @@ pub mod types;
 
 pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
 pub use buffer::Buffer;
+pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use codegen::{generate_halide_source, CodegenOptions};
+pub use compile::{CompileOptions, CompiledPipeline};
+pub use eval::{eval_expr, EvalSources};
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
 pub use realize::{ExecBackend, RealizeError, RealizeInputs, Realizer};
@@ -87,7 +128,9 @@ pub use types::{ScalarType, Value};
 pub mod prelude {
     pub use crate::autotune::{autotune, TuneConfig};
     pub use crate::buffer::Buffer;
+    pub use crate::cache::CacheStats;
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
+    pub use crate::compile::{CompileOptions, CompiledPipeline};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
     pub use crate::realize::{ExecBackend, RealizeInputs, Realizer};

@@ -1,22 +1,29 @@
-//! The realizer: executes a [`Pipeline`] under a [`Schedule`], producing an
-//! output [`Buffer`].
+//! The realizer: the compatibility entry point for executing a [`Pipeline`]
+//! under a [`Schedule`].
 //!
-//! Pure definitions are compiled to a small stack-machine program and the
-//! output domain is walked tile by tile, optionally distributing outer rows
-//! across worker threads. Update definitions (reductions such as histograms)
-//! are evaluated sequentially with a direct AST interpreter.
+//! Since the compile/run split, [`Realizer::realize`] is a thin shim over
+//! [`crate::compile`]: each call builds a [`crate::cache::CacheKey`] from the
+//! pipeline/schedule fingerprints, the output extents and the input-binding
+//! signature, and looks the compiled program up in a shared
+//! [`crate::cache::ProgramCache`] (cloned realizers share one cache). Warm
+//! calls therefore perform no validation, `compute_at` planning, lowering or
+//! lane-program construction — only per-call execution. Callers that want the
+//! compiled artifact as an explicit value (and their own cache) should use
+//! [`crate::func::Pipeline::compile`] and
+//! [`crate::compile::CompiledPipeline::run`] directly.
 
-use crate::bounds::{accumulate_func_bounds, expr_interval, Interval};
-use crate::buffer::{write_scalar, Buffer};
-use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
+use crate::buffer::Buffer;
+use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
+use crate::compile::{realize_with_cache, PreparedProgram};
+use crate::expr::Expr;
 use crate::func::{Func, Pipeline};
-use crate::lower::{inline_except, ComputeAtOutcome};
 use crate::schedule::Schedule;
-use crate::types::{ScalarType, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::types::Value;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-/// Errors raised during realization.
+/// Errors raised during compilation or realization.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RealizeError {
     /// An image parameter required by the pipeline was not provided.
@@ -78,269 +85,29 @@ impl<'a> RealizeInputs<'a> {
         self.params.insert(name.to_string(), value);
         self
     }
-}
 
-// ---------------------------------------------------------------------------
-// Compiled stack machine
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-enum Op {
-    PushInt(i64),
-    PushFloat(f64),
-    LoadVar(usize),
-    LoadSource { source: usize, arity: usize },
-    Bin(BinOp),
-    Cmp(CmpOp),
-    Cast(ScalarType),
-    Call(ExternCall, usize),
-    Select,
-}
-
-/// A pure definition compiled to a postfix program over a value stack.
-#[derive(Debug, Clone)]
-struct Compiled {
-    ops: Vec<Op>,
-    max_stack: usize,
-}
-
-struct CompileCtx<'a> {
-    var_slots: &'a BTreeMap<String, usize>,
-    source_slots: &'a BTreeMap<String, usize>,
-    params: &'a BTreeMap<String, Value>,
-}
-
-fn compile_expr(e: &Expr, ctx: &CompileCtx<'_>, ops: &mut Vec<Op>) -> Result<(), RealizeError> {
-    match e {
-        Expr::Var(name) | Expr::RVar(name) => {
-            let slot = ctx
-                .var_slots
-                .get(name)
-                .copied()
-                .ok_or_else(|| RealizeError::MissingParam(name.clone()))?;
-            ops.push(Op::LoadVar(slot));
-        }
-        Expr::ConstInt(v, ty) => {
-            if ty.is_float() {
-                ops.push(Op::PushFloat(*v as f64));
-            } else {
-                ops.push(Op::PushInt(*v));
+    /// The parameter environment both execution backends run against: the
+    /// bound scalar parameters extended with `{name}.extent.{d}` entries for
+    /// every bound image. Reduction domains over images
+    /// ([`crate::func::RDom::over_image`]) and the bounds inference that sizes
+    /// producers both consume these entries.
+    pub fn params_with_image_extents(&self) -> BTreeMap<String, Value> {
+        let mut params = self.params.clone();
+        for (name, buf) in &self.images {
+            for (d, e) in buf.extents().iter().enumerate() {
+                params.insert(format!("{name}.extent.{d}"), Value::Int(*e as i64));
             }
         }
-        Expr::ConstFloat(v, _) => ops.push(Op::PushFloat(*v)),
-        Expr::Param(name, _) => {
-            let v = ctx
-                .params
-                .get(name)
-                .copied()
-                .ok_or_else(|| RealizeError::MissingParam(name.clone()))?;
-            match v {
-                Value::Int(i) => ops.push(Op::PushInt(i)),
-                Value::Float(f) => ops.push(Op::PushFloat(f)),
-            }
-        }
-        Expr::Cast(ty, inner) => {
-            compile_expr(inner, ctx, ops)?;
-            ops.push(Op::Cast(*ty));
-        }
-        Expr::Binary(op, a, b) => {
-            compile_expr(a, ctx, ops)?;
-            compile_expr(b, ctx, ops)?;
-            ops.push(Op::Bin(*op));
-        }
-        Expr::Cmp(op, a, b) => {
-            compile_expr(a, ctx, ops)?;
-            compile_expr(b, ctx, ops)?;
-            ops.push(Op::Cmp(*op));
-        }
-        Expr::Select(c, t, o) => {
-            compile_expr(c, ctx, ops)?;
-            compile_expr(t, ctx, ops)?;
-            compile_expr(o, ctx, ops)?;
-            ops.push(Op::Select);
-        }
-        Expr::Call(c, args) => {
-            for a in args {
-                compile_expr(a, ctx, ops)?;
-            }
-            ops.push(Op::Call(*c, args.len()));
-        }
-        Expr::Image(name, args) | Expr::FuncRef(name, args) => {
-            let source = ctx
-                .source_slots
-                .get(name)
-                .copied()
-                .ok_or_else(|| RealizeError::MissingInput(name.clone()))?;
-            for a in args {
-                compile_expr(a, ctx, ops)?;
-            }
-            ops.push(Op::LoadSource {
-                source,
-                arity: args.len(),
-            });
-        }
+        params
     }
-    Ok(())
 }
-
-fn compile(
-    expr: &Expr,
-    var_slots: &BTreeMap<String, usize>,
-    source_slots: &BTreeMap<String, usize>,
-    params: &BTreeMap<String, Value>,
-) -> Result<Compiled, RealizeError> {
-    let ctx = CompileCtx {
-        var_slots,
-        source_slots,
-        params,
-    };
-    let mut ops = Vec::new();
-    compile_expr(expr, &ctx, &mut ops)?;
-    // A conservative stack bound: every op pushes at most one value.
-    let max_stack = ops.len().max(4);
-    Ok(Compiled { ops, max_stack })
-}
-
-fn execute(
-    compiled: &Compiled,
-    vars: &[i64],
-    sources: &[&Buffer],
-    scratch: &mut Vec<Value>,
-) -> Value {
-    scratch.clear();
-    let mut idx_buf: Vec<i64> = Vec::with_capacity(4);
-    for op in &compiled.ops {
-        match op {
-            Op::PushInt(v) => scratch.push(Value::Int(*v)),
-            Op::PushFloat(v) => scratch.push(Value::Float(*v)),
-            Op::LoadVar(slot) => scratch.push(Value::Int(vars[*slot])),
-            Op::LoadSource { source, arity } => {
-                idx_buf.clear();
-                let start = scratch.len() - arity;
-                for v in &scratch[start..] {
-                    idx_buf.push(v.as_i64());
-                }
-                scratch.truncate(start);
-                scratch.push(sources[*source].get(&idx_buf));
-            }
-            Op::Bin(op) => {
-                let b = scratch.pop().expect("stack underflow");
-                let a = scratch.pop().expect("stack underflow");
-                scratch.push(eval_binop(*op, a, b));
-            }
-            Op::Cmp(op) => {
-                let b = scratch.pop().expect("stack underflow");
-                let a = scratch.pop().expect("stack underflow");
-                scratch.push(eval_cmp(*op, a, b));
-            }
-            Op::Cast(ty) => {
-                let a = scratch.pop().expect("stack underflow");
-                scratch.push(a.cast(*ty));
-            }
-            Op::Call(c, arity) => {
-                let start = scratch.len() - arity;
-                let v = c.eval(&scratch[start..]);
-                scratch.truncate(start);
-                scratch.push(v);
-            }
-            Op::Select => {
-                let otherwise = scratch.pop().expect("stack underflow");
-                let then = scratch.pop().expect("stack underflow");
-                let cond = scratch.pop().expect("stack underflow");
-                scratch.push(if cond.is_true() { then } else { otherwise });
-            }
-        }
-    }
-    scratch.pop().expect("expression produced no value")
-}
-
-// ---------------------------------------------------------------------------
-// AST interpreter (used for update definitions)
-// ---------------------------------------------------------------------------
-
-struct InterpCtx<'a> {
-    vars: BTreeMap<String, i64>,
-    params: &'a BTreeMap<String, Value>,
-    images: &'a BTreeMap<String, &'a Buffer>,
-    /// The buffer being updated (reads of the func itself resolve here).
-    self_name: &'a str,
-    self_buffer: &'a Buffer,
-    /// Materialized producer buffers.
-    roots: &'a BTreeMap<String, Buffer>,
-}
-
-fn interp(e: &Expr, ctx: &InterpCtx<'_>) -> Result<Value, RealizeError> {
-    Ok(match e {
-        Expr::Var(n) | Expr::RVar(n) => Value::Int(
-            *ctx.vars
-                .get(n)
-                .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
-        ),
-        Expr::ConstInt(v, ty) => {
-            if ty.is_float() {
-                Value::Float(*v as f64)
-            } else {
-                Value::Int(*v)
-            }
-        }
-        Expr::ConstFloat(v, _) => Value::Float(*v),
-        Expr::Param(n, _) => *ctx
-            .params
-            .get(n)
-            .ok_or_else(|| RealizeError::MissingParam(n.clone()))?,
-        Expr::Cast(ty, inner) => interp(inner, ctx)?.cast(*ty),
-        Expr::Binary(op, a, b) => eval_binop(*op, interp(a, ctx)?, interp(b, ctx)?),
-        Expr::Cmp(op, a, b) => eval_cmp(*op, interp(a, ctx)?, interp(b, ctx)?),
-        Expr::Select(c, t, o) => {
-            if interp(c, ctx)?.is_true() {
-                interp(t, ctx)?
-            } else {
-                interp(o, ctx)?
-            }
-        }
-        Expr::Call(c, args) => {
-            let vals: Result<Vec<Value>, RealizeError> =
-                args.iter().map(|a| interp(a, ctx)).collect();
-            c.eval(&vals?)
-        }
-        Expr::Image(n, args) => {
-            let idx: Result<Vec<i64>, RealizeError> = args
-                .iter()
-                .map(|a| interp(a, ctx).map(|v| v.as_i64()))
-                .collect();
-            let buf = ctx
-                .images
-                .get(n)
-                .copied()
-                .ok_or_else(|| RealizeError::MissingInput(n.clone()))?;
-            buf.get(&idx?)
-        }
-        Expr::FuncRef(n, args) => {
-            let idx: Result<Vec<i64>, RealizeError> = args
-                .iter()
-                .map(|a| interp(a, ctx).map(|v| v.as_i64()))
-                .collect();
-            let idx = idx?;
-            if n == ctx.self_name {
-                ctx.self_buffer.get(&idx)
-            } else if let Some(buf) = ctx.roots.get(n) {
-                buf.get(&idx)
-            } else {
-                return Err(RealizeError::UndefinedFunc(n.clone()));
-            }
-        }
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Realizer
-// ---------------------------------------------------------------------------
 
 /// Which execution engine realizes pure definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum ExecBackend {
     /// The original per-element interpreter (the differential-testing
-    /// oracle): pure definitions run through a [`Value`] stack machine.
+    /// oracle): pure definitions are evaluated element by element through the
+    /// shared [`crate::eval`] evaluator.
     Interpret,
     /// The lowering pipeline: the schedule is materialized into loop-nest IR
     /// ([`crate::lower`]) and executed by the compiled, type-specialized
@@ -350,16 +117,28 @@ pub enum ExecBackend {
     Lowered,
 }
 
-/// Realizes pipelines under a schedule.
+/// Realizes pipelines under a schedule, caching compiled programs between
+/// calls.
+///
+/// The realizer owns a [`ProgramCache`] shared by all of its clones, so any
+/// repeated `realize` (same pipeline, extents and binding signature) runs the
+/// cached program without re-planning or re-lowering. For an explicit
+/// compiled artifact, see [`Pipeline::compile`].
 #[derive(Debug, Clone)]
 pub struct Realizer {
     schedule: Schedule,
     backend: ExecBackend,
+    cache: Arc<Mutex<ProgramCache<Arc<PreparedProgram>>>>,
 }
 
 impl Default for Realizer {
+    /// Uses [`Schedule::stencil_default`], matching the configuration the
+    /// crate-level quickstart and README advertise — so `Realizer::default()`
+    /// behaves like the documented examples out of the box. Construct
+    /// `Realizer::new(Schedule::naive())` explicitly when you want the
+    /// sequential, scalar, fully-inlined oracle configuration.
     fn default() -> Self {
-        Realizer::new(Schedule::naive())
+        Realizer::new(Schedule::stencil_default())
     }
 }
 
@@ -370,10 +149,12 @@ impl Realizer {
         Realizer {
             schedule,
             backend: ExecBackend::default(),
+            cache: Arc::new(Mutex::new(ProgramCache::new(DEFAULT_CACHE_CAPACITY))),
         }
     }
 
-    /// Select the execution backend.
+    /// Select the execution backend (the program cache keys on it, so one
+    /// realizer can serve both backends without conflicts).
     pub fn with_backend(mut self, backend: ExecBackend) -> Realizer {
         self.backend = backend;
         self
@@ -389,35 +170,16 @@ impl Realizer {
         self.backend
     }
 
-    /// The funcs that must be materialized into buffers regardless of
-    /// backend: `compute_root` plus every func with reductions.
-    fn base_roots(&self, pipeline: &Pipeline) -> BTreeSet<String> {
-        pipeline
-            .funcs
-            .iter()
-            .filter(|(n, f)| {
-                **n != pipeline.output
-                    && (self.schedule.compute_root.contains(*n) || !f.updates.is_empty())
-            })
-            .map(|(n, _)| n.clone())
-            .collect()
-    }
-
-    /// The funcs named by `compute_at` that could be attached (pure,
-    /// existing, not already roots). Used for sizing so both backends
-    /// materialize shared producers over identical extents.
-    fn compute_at_funcs(&self, pipeline: &Pipeline, base: &BTreeSet<String>) -> BTreeSet<String> {
-        self.schedule
-            .compute_at
-            .keys()
-            .filter(|n| {
-                pipeline.funcs.contains_key(*n) && **n != pipeline.output && !base.contains(*n)
-            })
-            .cloned()
-            .collect()
+    /// Hit/miss/eviction counters of the shared program cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("program cache mutex").stats()
     }
 
     /// Realize the pipeline's output func over `output_extents`.
+    ///
+    /// The first call for a given (pipeline, extents, bindings) combination
+    /// compiles the program — validation, `compute_at` planning, lowering,
+    /// lane-program construction — and caches it; later calls only execute.
     ///
     /// # Errors
     /// Returns an error if inputs or parameters are missing, a referenced func
@@ -428,390 +190,22 @@ impl Realizer {
         output_extents: &[usize],
         inputs: &RealizeInputs<'_>,
     ) -> Result<Buffer, RealizeError> {
-        let output = pipeline.output_func();
-        if output.dims() != output_extents.len() {
-            return Err(RealizeError::DimensionMismatch {
-                expected: output.dims(),
-                got: output_extents.len(),
-            });
-        }
-        // Extend params with image extents (used by RDoms over images).
-        let mut params = inputs.params.clone();
-        for (name, buf) in &inputs.images {
-            for (d, e) in buf.extents().iter().enumerate() {
-                params.insert(format!("{name}.extent.{d}"), Value::Int(*e as i64));
-            }
-        }
-
-        let base = self.base_roots(pipeline);
-        let at_funcs = self.compute_at_funcs(pipeline, &base);
-
-        // Decide compute_at placements. The interpreter backend realizes
-        // compute_at producers as compute_root (value-identical); the lowered
-        // backend keeps affine placements and degrades the rest.
-        let outcome = match self.backend {
-            ExecBackend::Interpret => ComputeAtOutcome {
-                plans: Vec::new(),
-                demoted: at_funcs.clone(),
-            },
-            ExecBackend::Lowered => crate::lower::plan_compute_at(
-                pipeline,
-                &self.schedule,
-                output_extents,
-                &params,
-                &base,
-            )?,
-        };
-
-        // Funcs materialized into standalone buffers before the output runs.
-        let mut materialize: BTreeSet<String> = base.clone();
-        materialize.extend(outcome.demoted.iter().cloned());
-
-        // Sizing keep-set is backend-independent so shared producers get
-        // identical extents (and therefore identical boundary clamping).
-        let mut sizing_keep = base.clone();
-        sizing_keep.extend(at_funcs.iter().cloned());
-
-        let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
-        if !materialize.is_empty() {
-            // Compute the bounds each kept func is accessed over — from the
-            // output's (inlined) expression, then transitively through every
-            // kept producer's own definition, so producers referenced only by
-            // other producers (e.g. a compute_root feeding a compute_at func)
-            // are sized by what actually reads them. This pass is
-            // backend-independent, so shared producers get identical extents
-            // (and therefore identical boundary clamping).
-            let inlined = match &output.pure_def {
-                Some(e) => inline_except(pipeline, e, &sizing_keep)?,
-                None => Expr::int(0),
-            };
-            let mut var_bounds = BTreeMap::new();
-            for (d, v) in output.vars.iter().enumerate() {
-                var_bounds.insert(
-                    v.clone(),
-                    Interval {
-                        min: 0,
-                        max: output_extents[d] as i64 - 1,
-                    },
-                );
-            }
-            let mut required: BTreeMap<String, Vec<Interval>> = BTreeMap::new();
-            accumulate_func_bounds(&inlined, &var_bounds, &params, &mut required);
-            // Propagate requirements through kept producers to a fixed point
-            // (bounded: pipelines are acyclic, so one pass per chained
-            // producer suffices).
-            for _ in 0..sizing_keep.len() + 1 {
-                let mut grown = false;
-                for name in &sizing_keep {
-                    let func = match pipeline.funcs.get(name) {
-                        Some(f) => f,
-                        None => continue,
-                    };
-                    let (Some(body), Some(region)) = (&func.pure_def, required.get(name)) else {
-                        continue;
-                    };
-                    let body = inline_except(pipeline, body, &sizing_keep)?;
-                    let mut bounds = BTreeMap::new();
-                    for (d, v) in func.vars.iter().enumerate() {
-                        let max = region.get(d).map(|i| i.max).unwrap_or(0).max(0);
-                        bounds.insert(v.clone(), Interval { min: 0, max });
-                    }
-                    let before = required.clone();
-                    accumulate_func_bounds(&body, &bounds, &params, &mut required);
-                    if required != before {
-                        grown = true;
-                    }
-                }
-                if !grown {
-                    break;
-                }
-            }
-            // Materialize in dependency order: a producer whose realization
-            // reads another materialized func (through its pure or update
-            // definitions) must come after it.
-            let deps_of = |name: &String| -> Result<BTreeSet<String>, RealizeError> {
-                let func = &pipeline.funcs[name];
-                let mut refs = BTreeSet::new();
-                if let Some(body) = &func.pure_def {
-                    refs.extend(inline_except(pipeline, body, &base)?.referenced_funcs());
-                }
-                for u in &func.updates {
-                    for e in u.lhs.iter().chain(std::iter::once(&u.value)) {
-                        refs.extend(inline_except(pipeline, e, &base)?.referenced_funcs());
-                    }
-                }
-                refs.remove(name);
-                refs.retain(|r| materialize.contains(r));
-                Ok(refs)
-            };
-            let mut pending: Vec<String> = materialize.iter().cloned().collect();
-            let mut ordered: Vec<String> = Vec::new();
-            while !pending.is_empty() {
-                let done: BTreeSet<String> = ordered.iter().cloned().collect();
-                let mut picked = None;
-                for (i, n) in pending.iter().enumerate() {
-                    if deps_of(n)?.iter().all(|d| done.contains(d)) {
-                        picked = Some(i);
-                        break;
-                    }
-                }
-                // A cycle (which well-formed pipelines cannot have) falls back
-                // to name order so realization still terminates.
-                let i = picked.unwrap_or(0);
-                ordered.push(pending.remove(i));
-            }
-            for name in &ordered {
-                let extents: Vec<usize> = match required.get(name) {
-                    Some(ivals) => ivals.iter().map(|i| (i.max + 1).max(1) as usize).collect(),
-                    None => output_extents.to_vec(),
-                };
-                let mut sub_pipeline = pipeline.clone();
-                sub_pipeline.output = name.clone();
-                let buf = self.realize_single(
-                    &sub_pipeline,
-                    &extents,
-                    inputs,
-                    &params,
-                    &roots,
-                    &base,
-                    &ComputeAtOutcome::default(),
-                )?;
-                roots.insert(name.clone(), buf);
-            }
-        }
-        self.realize_single(
+        let key = CacheKey::new(
             pipeline,
+            &self.schedule,
+            self.backend,
             output_extents,
             inputs,
-            &params,
-            &roots,
-            &materialize,
-            &outcome,
-        )
-    }
-
-    /// Realize a single func (the pipeline output) given already-materialized
-    /// producer buffers. `keep` names the funcs left un-inlined (read as
-    /// sources); `outcome` carries this func's `compute_at` placements.
-    #[allow(clippy::too_many_arguments)]
-    fn realize_single(
-        &self,
-        pipeline: &Pipeline,
-        output_extents: &[usize],
-        inputs: &RealizeInputs<'_>,
-        params: &BTreeMap<String, Value>,
-        roots: &BTreeMap<String, Buffer>,
-        keep: &BTreeSet<String>,
-        outcome: &ComputeAtOutcome,
-    ) -> Result<Buffer, RealizeError> {
-        let output = pipeline.output_func();
-        let mut buffer = Buffer::new(output.ty, output_extents);
-
-        if let Some(pure_def) = &output.pure_def {
-            match self.backend {
-                ExecBackend::Interpret => {
-                    let expr = inline_except(pipeline, pure_def, keep)?;
-                    self.run_pure(&expr, output, &mut buffer, inputs, params, roots)?;
-                }
-                ExecBackend::Lowered => {
-                    self.run_pure_lowered(
-                        pipeline,
-                        output_extents,
-                        &mut buffer,
-                        inputs,
-                        params,
-                        roots,
-                        keep,
-                        outcome,
-                    )?;
-                }
-            }
-        }
-        for update in &output.updates {
-            self.run_update(pipeline, output, update, &mut buffer, inputs, params, roots)?;
-        }
-        Ok(buffer)
-    }
-
-    /// The lowered pure stage: lower to loop-nest IR and run the compiled
-    /// executor.
-    #[allow(clippy::too_many_arguments)]
-    fn run_pure_lowered(
-        &self,
-        pipeline: &Pipeline,
-        output_extents: &[usize],
-        buffer: &mut Buffer,
-        inputs: &RealizeInputs<'_>,
-        params: &BTreeMap<String, Value>,
-        roots: &BTreeMap<String, Buffer>,
-        keep: &BTreeSet<String>,
-        outcome: &ComputeAtOutcome,
-    ) -> Result<(), RealizeError> {
-        let output = pipeline.output_func();
-        // Mirror the interpreter's up-front validation (and error kinds).
-        let mut sized_keep = keep.clone();
-        sized_keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
-        let expr = inline_except(
+        );
+        realize_with_cache(
             pipeline,
-            output.pure_def.as_ref().expect("caller checked pure_def"),
-            &sized_keep,
-        )?;
-        for name in expr.referenced_images() {
-            if !inputs.images.contains_key(&name) {
-                return Err(RealizeError::MissingInput(name));
-            }
-        }
-        for name in expr.referenced_funcs() {
-            let is_plan = outcome.plans.iter().any(|p| p.func == name);
-            if !roots.contains_key(&name) && !is_plan {
-                return Err(RealizeError::UndefinedFunc(name));
-            }
-        }
-        let stmt =
-            crate::lower::lower_pure(pipeline, &self.schedule, output_extents, keep, outcome)?;
-        crate::exec::execute(&stmt, &output.name, buffer, &inputs.images, roots, params)
-    }
-
-    fn run_pure(
-        &self,
-        expr: &Expr,
-        output: &Func,
-        buffer: &mut Buffer,
-        inputs: &RealizeInputs<'_>,
-        params: &BTreeMap<String, Value>,
-        roots: &BTreeMap<String, Buffer>,
-    ) -> Result<(), RealizeError> {
-        // Variable slots: one per output dimension, innermost first.
-        let var_slots: BTreeMap<String, usize> = output
-            .vars
-            .iter()
-            .cloned()
-            .enumerate()
-            .map(|(i, v)| (v, i))
-            .collect();
-        // Source slots: image params then materialized roots.
-        let mut source_slots = BTreeMap::new();
-        let mut sources: Vec<&Buffer> = Vec::new();
-        for (name, buf) in &inputs.images {
-            source_slots.insert(name.clone(), sources.len());
-            sources.push(buf);
-        }
-        for (name, buf) in roots {
-            source_slots.insert(name.clone(), sources.len());
-            sources.push(buf);
-        }
-        // Validate that every referenced image is bound.
-        for name in expr.referenced_images() {
-            if !source_slots.contains_key(&name) {
-                return Err(RealizeError::MissingInput(name));
-            }
-        }
-        for name in expr.referenced_funcs() {
-            if !source_slots.contains_key(&name) {
-                return Err(RealizeError::UndefinedFunc(name));
-            }
-        }
-        let compiled = compile(expr, &var_slots, &source_slots, params)?;
-        let extents = buffer.extents().to_vec();
-        let ty = buffer.scalar_type();
-        let elem_bytes = ty.bytes();
-        let dims = extents.len();
-        let inner: usize = extents[..dims - 1].iter().product::<usize>().max(1);
-        let outer = extents[dims - 1];
-
-        let threads = self.schedule.effective_threads().min(outer.max(1));
-        let data = buffer.bytes_mut();
-        let row_bytes = inner * elem_bytes;
-
-        let eval_rows = |outer_range: std::ops::Range<usize>, chunk: &mut [u8]| {
-            let mut scratch = Vec::with_capacity(compiled.max_stack);
-            let mut vars = vec![0i64; dims];
-            for (row_i, o) in outer_range.enumerate() {
-                vars[dims - 1] = o as i64;
-                // Walk the inner dimensions in memory order.
-                let mut inner_idx = vec![0usize; dims.saturating_sub(1)];
-                for i in 0..inner {
-                    // Decode the linear inner index into coordinates.
-                    let mut rem = i;
-                    for (d, e) in extents[..dims - 1].iter().enumerate() {
-                        inner_idx[d] = rem % e;
-                        rem /= e;
-                        vars[d] = inner_idx[d] as i64;
-                    }
-                    let v = execute(&compiled, &vars, &sources, &mut scratch);
-                    let off = row_i * row_bytes + i * elem_bytes;
-                    write_scalar(ty, v, &mut chunk[off..off + elem_bytes]);
-                }
-            }
-        };
-
-        if threads <= 1 {
-            eval_rows(0..outer, data);
-        } else {
-            let rows_per_thread = outer.div_ceil(threads);
-            let chunks: Vec<&mut [u8]> = data.chunks_mut(rows_per_thread * row_bytes).collect();
-            std::thread::scope(|scope| {
-                for (t, chunk) in chunks.into_iter().enumerate() {
-                    let start = t * rows_per_thread;
-                    let end = ((t + 1) * rows_per_thread).min(outer);
-                    let eval_rows = &eval_rows;
-                    scope.spawn(move || {
-                        eval_rows(start..end, chunk);
-                    });
-                }
-            });
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_update(
-        &self,
-        pipeline: &Pipeline,
-        output: &Func,
-        update: &crate::func::UpdateDef,
-        buffer: &mut Buffer,
-        inputs: &RealizeInputs<'_>,
-        params: &BTreeMap<String, Value>,
-        roots: &BTreeMap<String, Buffer>,
-    ) -> Result<(), RealizeError> {
-        let _ = pipeline;
-        // Resolve the reduction domain bounds.
-        let empty = BTreeMap::new();
-        let mut dims = Vec::new();
-        for (var, min_e, extent_e) in &update.rdom.dims {
-            let min = expr_interval(min_e, &empty, params).min;
-            let extent = expr_interval(extent_e, &empty, params).min;
-            dims.push((var.clone(), min, extent));
-        }
-        // Iterate the domain in row-major order (first dim innermost).
-        let total: i64 = dims.iter().map(|(_, _, e)| (*e).max(0)).product();
-        for i in 0..total {
-            let mut rem = i;
-            let mut vars = BTreeMap::new();
-            for (var, min, extent) in &dims {
-                let e = (*extent).max(1);
-                vars.insert(var.clone(), min + rem % e);
-                rem /= e;
-            }
-            let ctx = InterpCtx {
-                vars,
-                params,
-                images: &inputs.images,
-                self_name: &output.name,
-                self_buffer: buffer,
-                roots,
-            };
-            let idx: Result<Vec<i64>, RealizeError> = update
-                .lhs
-                .iter()
-                .map(|e| interp(e, &ctx).map(|v| v.as_i64()))
-                .collect();
-            let idx = idx?;
-            let value = interp(&update.value, &ctx)?;
-            buffer.set(&idx, value);
-        }
-        Ok(())
+            &self.schedule,
+            self.backend,
+            output_extents,
+            inputs,
+            key,
+            &self.cache,
+        )
     }
 }
 
@@ -860,7 +254,9 @@ pub(crate) fn inline_one(expr: &Expr, func: &Func) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::BinOp;
     use crate::func::{ImageParam, RDom, UpdateDef};
+    use crate::types::ScalarType;
 
     /// output(x, y) = cast<u8>((in(x, y+1) + in(x+2, y+1)) >> 1)
     fn blur_pipeline() -> Pipeline {
@@ -941,6 +337,44 @@ mod tests {
                 got: 1
             }
         ));
+    }
+
+    #[test]
+    fn default_realizer_matches_documented_schedule() {
+        // The documented default: the same schedule the quickstart uses.
+        assert_eq!(Realizer::default().schedule(), &Schedule::stencil_default());
+        assert_eq!(Realizer::default().backend(), ExecBackend::Lowered);
+    }
+
+    #[test]
+    fn repeated_realizes_hit_the_program_cache() {
+        let p = blur_pipeline();
+        let input = ramp_image(16, 12);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let realizer = Realizer::new(Schedule::stencil_default());
+        let a = realizer.realize(&p, &[14, 10], &inputs).unwrap();
+        let b = realizer.realize(&p, &[14, 10], &inputs).unwrap();
+        assert_eq!(a, b);
+        let stats = realizer.cache_stats();
+        assert_eq!(stats.misses, 1, "first call compiles");
+        assert_eq!(stats.hits, 1, "second call reuses the program");
+        // Clones share the cache.
+        let clone = realizer.clone();
+        let c = clone.realize(&p, &[14, 10], &inputs).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(realizer.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn params_with_image_extents_injects_extent_params() {
+        let input = ramp_image(5, 7);
+        let inputs = RealizeInputs::new()
+            .with_image("input_1", &input)
+            .with_param("k", Value::Int(3));
+        let params = inputs.params_with_image_extents();
+        assert_eq!(params.get("k"), Some(&Value::Int(3)));
+        assert_eq!(params.get("input_1.extent.0"), Some(&Value::Int(5)));
+        assert_eq!(params.get("input_1.extent.1"), Some(&Value::Int(7)));
     }
 
     #[test]
