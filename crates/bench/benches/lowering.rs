@@ -4,9 +4,12 @@
 //! Runs the criterion group and additionally writes a machine-readable
 //! summary to `BENCH_lowering.json` in the workspace root: per filter, the
 //! best-of-N wall-clock time for each backend under the stencil default
-//! schedule, plus — for the compile-once/run-many API — the uncached
-//! (compile + run) and cached (warm `CompiledPipeline::run`) times and the
-//! amortization factor between them.
+//! schedule; for the compile-once/run-many API the uncached (compile + run)
+//! and cached (warm `CompiledPipeline::run`) times and the amortization
+//! factor between them; and for the execution tiers a `scalar_ns` /
+//! `simd_ns` pair — steady-state runs with fused SIMD kernels disabled and
+//! enabled — plus the winning vector width of an 8/16/32 sweep
+//! (`best_width`), so tier regressions are visible per PR.
 //!
 //! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
 //! report from a reduced configuration — CI uses this to exercise the cached
@@ -15,7 +18,7 @@
 use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
 use helium_bench::{lift_photoflow, time_lifted_on, LiftedRealizeSetup};
-use helium_halide::{ExecBackend, Schedule};
+use helium_halide::{set_simd_mode, ExecBackend, Schedule, SimdMode};
 use std::fmt::Write as _;
 
 const FILTERS: [PhotoFilter; 3] = [PhotoFilter::Invert, PhotoFilter::Blur, PhotoFilter::Sharpen];
@@ -79,15 +82,36 @@ fn write_report(reps: usize, width: usize, height: usize) {
             setup.time_compiled(&schedule, ExecBackend::Lowered, reps, true, Some(&small));
         let cached =
             setup.time_compiled(&schedule, ExecBackend::Lowered, reps, false, Some(&small));
+        // Execution-tier split at full extents, steady state: the per-op
+        // tier (fused kernels disabled) against the fused SIMD tier, with a
+        // vector-width sweep — widths now generate different fused kernels.
+        // Pin each measurement's tier explicitly so an inherited
+        // HELIUM_FORCE_* environment variable cannot silently make both
+        // columns measure the same tier.
+        set_simd_mode(Some(SimdMode::ForceScalar));
+        let scalar = setup.time_compiled(&schedule, ExecBackend::Lowered, reps, false, None);
+        set_simd_mode(Some(SimdMode::Auto));
+        let (mut best_width, mut simd) = (0usize, std::time::Duration::MAX);
+        for width in [8usize, 16, 32] {
+            let s = schedule.clone().with_vector_width(width);
+            let t = setup.time_compiled(&s, ExecBackend::Lowered, reps, false, None);
+            if t < simd {
+                simd = t;
+                best_width = width;
+            }
+        }
+        set_simd_mode(None);
         let speedup = interpret.as_secs_f64() / lowered.as_secs_f64().max(1e-12);
         let cache_speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+        let simd_speedup = scalar.as_secs_f64() / simd.as_secs_f64().max(1e-12);
         if i > 0 {
             entries.push_str(",\n");
         }
         let _ = write!(
             entries,
             "    {{\"filter\": \"{}\", \"interpret_ns\": {}, \"lowered_ns\": {}, \"speedup\": {:.3}, \
-             \"cache_extents\": [{}, {}], \"uncached_ns\": {}, \"cached_ns\": {}, \"cache_speedup\": {:.3}}}",
+             \"cache_extents\": [{}, {}], \"uncached_ns\": {}, \"cached_ns\": {}, \"cache_speedup\": {:.3}, \
+             \"scalar_ns\": {}, \"simd_ns\": {}, \"simd_speedup\": {:.3}, \"best_width\": {}}}",
             filter.name(),
             interpret.as_nanos(),
             lowered.as_nanos(),
@@ -96,11 +120,16 @@ fn write_report(reps: usize, width: usize, height: usize) {
             small.get(1).copied().unwrap_or(1),
             uncached.as_nanos(),
             cached.as_nanos(),
-            cache_speedup
+            cache_speedup,
+            scalar.as_nanos(),
+            simd.as_nanos(),
+            simd_speedup,
+            best_width
         );
         println!(
             "lowering: {:<10} interpret={interpret:?} lowered={lowered:?} speedup={speedup:.2}x \
-             uncached={uncached:?} cached={cached:?} cache_speedup={cache_speedup:.2}x",
+             uncached={uncached:?} cached={cached:?} cache_speedup={cache_speedup:.2}x \
+             scalar={scalar:?} simd={simd:?} simd_speedup={simd_speedup:.2}x best_width={best_width}",
             filter.name()
         );
     }

@@ -65,7 +65,10 @@ fn sample_schedule(rng: &mut StdRng, pipeline: &Pipeline) -> Schedule {
         Some((128, 128)),
         Some((256, 64)),
     ];
-    let widths = [1usize, 4, 8, 16];
+    // 8/16/32 select genuinely different fused SIMD kernel widths in the
+    // compiled executor; 1 and 4 keep the scalar/narrow dispatch points in
+    // the space.
+    let widths = [1usize, 4, 8, 16, 32];
     let mut s = Schedule::naive()
         .with_parallel(rng.gen_bool(0.75))
         .with_tile(*tiles.choose(rng).expect("non-empty"))

@@ -1,9 +1,24 @@
 //! Interval-based bounds inference for affine (and mildly non-affine) index
-//! expressions, used to size intermediate buffers when a producer func is
-//! scheduled `compute_root`.
+//! expressions.
+//!
+//! Two consumers depend on it:
+//!
+//! * buffer sizing — intermediate buffers for `compute_root`/`compute_at`
+//!   producers are allocated over the inferred access intervals;
+//! * kernel specialization — the fused SIMD lane compiler in [`crate::exec`]
+//!   proves casts transparent and narrow (32-bit) arithmetic bit-exact by
+//!   bounding every sub-expression, and derives the in-range interior of
+//!   vectorized loops from the affine decomposition of load indices.
+//!
+//! Every rule in [`combine`] must therefore be *sound* (the true value is
+//! always inside the returned interval) under the exact [`eval_binop`]
+//! semantics — including i64 wrap-around, logical right shift and
+//! division-by-zero-yields-zero.
+//!
+//! [`eval_binop`]: crate::expr::eval_binop
 
 use crate::expr::{BinOp, Expr};
-use crate::types::Value;
+use crate::types::{ScalarType, Value};
 use std::collections::BTreeMap;
 
 /// A closed integer interval `[min, max]`.
@@ -40,6 +55,47 @@ impl Interval {
     /// Width of the interval (number of integers it contains).
     pub fn extent(self) -> i64 {
         self.max - self.min + 1
+    }
+
+    /// The full `i64` range (the "don't know" interval).
+    pub fn everything() -> Interval {
+        Interval {
+            min: i64::MIN,
+            max: i64::MAX,
+        }
+    }
+
+    /// The value range of `i32` — values for which 32-bit signed lanes carry
+    /// the exact value.
+    pub fn i32_range() -> Interval {
+        Interval {
+            min: i32::MIN as i64,
+            max: i32::MAX as i64,
+        }
+    }
+
+    /// The value range of `u32` — values for which 32-bit lanes reinterpreted
+    /// as unsigned carry the exact value.
+    pub fn u32_range() -> Interval {
+        Interval {
+            min: 0,
+            max: u32::MAX as i64,
+        }
+    }
+
+    /// The identity range of an integer [`ScalarType`], if it has one.
+    pub fn of_type(ty: ScalarType) -> Option<Interval> {
+        ty.int_value_range().map(|(min, max)| Interval { min, max })
+    }
+
+    /// Whether every value of this interval lies within `other`.
+    pub fn within(self, other: Interval) -> bool {
+        other.min <= self.min && self.max <= other.max
+    }
+
+    /// Whether `v` lies within the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.min <= v && v <= self.max
     }
 }
 
@@ -86,30 +142,78 @@ pub fn expr_interval(
     }
 }
 
-fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
-    let corners = |f: &dyn Fn(i64, i64) -> i64| {
-        let cs = [
-            f(a.min, b.min),
-            f(a.min, b.max),
-            f(a.max, b.min),
-            f(a.max, b.max),
-        ];
-        Interval {
-            min: *cs.iter().min().expect("non-empty"),
-            max: *cs.iter().max().expect("non-empty"),
-        }
-    };
+/// Combine the intervals of two operands under one binary operator, with the
+/// exact [`crate::expr::eval_binop`] integer semantics (i64 wrap-around,
+/// logical right shift masked to 63, division by zero yields zero).
+///
+/// Soundness — the true result always lies inside the returned interval — is
+/// load-bearing: the fused SIMD lane compiler uses these intervals to prove
+/// 32-bit arithmetic bit-exact, so a rule that under-approximates would
+/// silently corrupt results. Rules fall back to [`Interval::everything`]
+/// rather than guess.
+pub fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
     match op {
-        BinOp::Add => Interval {
-            min: a.min.saturating_add(b.min),
-            max: a.max.saturating_add(b.max),
+        BinOp::Add => {
+            // Saturating bounds are sound only while no i64 wrap can occur.
+            match (a.min.checked_add(b.min), a.max.checked_add(b.max)) {
+                (Some(min), Some(max)) => Interval { min, max },
+                _ => Interval::everything(),
+            }
+        }
+        BinOp::Sub => match (a.min.checked_sub(b.max), a.max.checked_sub(b.min)) {
+            (Some(min), Some(max)) => Interval { min, max },
+            _ => Interval::everything(),
         },
-        BinOp::Sub => Interval {
-            min: a.min.saturating_sub(b.max),
-            max: a.max.saturating_sub(b.min),
-        },
-        BinOp::Mul => corners(&|x, y| x.saturating_mul(y)),
-        BinOp::Div => corners(&|x, y| if y == 0 { 0 } else { x / y }),
+        BinOp::Mul => {
+            let cs = [
+                a.min.checked_mul(b.min),
+                a.min.checked_mul(b.max),
+                a.max.checked_mul(b.min),
+                a.max.checked_mul(b.max),
+            ];
+            if cs.iter().any(|c| c.is_none()) {
+                return Interval::everything();
+            }
+            let cs = cs.map(|c| c.expect("checked above"));
+            Interval {
+                min: cs.into_iter().min().expect("non-empty"),
+                max: cs.into_iter().max().expect("non-empty"),
+            }
+        }
+        BinOp::Div => {
+            // `x / y` is monotonic in `y` on each sign side, with extremes at
+            // the y values of least magnitude; y == 0 contributes 0.
+            let mut ys = vec![b.min, b.max];
+            for y in [-1i64, 1] {
+                if b.contains(y) {
+                    ys.push(y);
+                }
+            }
+            let mut vals = Vec::new();
+            if b.contains(0) {
+                vals.push(0);
+            }
+            for &x in &[a.min, a.max] {
+                for &y in &ys {
+                    if y != 0 {
+                        // i64::MIN / -1 wraps (matching wrapping semantics).
+                        vals.push(x.wrapping_div(y));
+                    }
+                }
+            }
+            Interval {
+                min: vals.iter().copied().min().expect("non-empty"),
+                max: vals.iter().copied().max().expect("non-empty"),
+            }
+        }
+        BinOp::Mod => {
+            // `x % y` keeps the dividend's sign with |result| <= |x|, and
+            // y == 0 yields 0: always within [min(a.min,0), max(a.max,0)].
+            Interval {
+                min: a.min.min(0),
+                max: a.max.max(0),
+            }
+        }
         BinOp::Min => Interval {
             min: a.min.min(b.min),
             max: a.max.min(b.max),
@@ -118,40 +222,116 @@ fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
             min: a.min.max(b.min),
             max: a.max.max(b.max),
         },
-        BinOp::Shr => corners(&|x, y| if y < 0 { x } else { x >> (y.min(63)) }),
-        BinOp::Shl => corners(&|x, y| {
-            if y < 0 {
-                x
+        BinOp::Shr => {
+            // Logical shift: negative operands become huge positives, and a
+            // shift count outside [0, 63] is masked — both escape any tight
+            // bound.
+            if a.min >= 0 && b.min >= 0 && b.max <= 63 {
+                Interval {
+                    min: a.min >> b.max,
+                    max: a.max >> b.min,
+                }
             } else {
-                x.saturating_shl(y.min(63) as u32)
+                Interval::everything()
             }
-        }),
-        // Bitwise/mod results are hard to bound tightly; be conservative but
-        // keep the result non-negative when both inputs are.
-        BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor => {
+        }
+        BinOp::Shl => {
+            // `wrapping_shl(y as u32)` masks the count by 63 and wraps the
+            // value; only the overflow-free, in-range case is boundable
+            // (note `checked_shl` validates the count, not value overflow).
+            if a.min >= 0 && b.min >= 0 && b.max <= 63 && a.max <= (i64::MAX >> b.max) {
+                Interval {
+                    min: a.min << b.min,
+                    max: a.max << b.max,
+                }
+            } else {
+                Interval::everything()
+            }
+        }
+        BinOp::And => {
             if a.min >= 0 && b.min >= 0 {
+                // x & y <= min(x, y) for non-negative operands.
                 Interval {
                     min: 0,
-                    max: a.max.max(b.max),
+                    max: a.max.min(b.max),
                 }
             } else {
-                Interval {
-                    min: i32::MIN as i64,
-                    max: i32::MAX as i64,
-                }
+                Interval::everything()
+            }
+        }
+        BinOp::Or | BinOp::Xor => {
+            if a.min >= 0 && b.min >= 0 {
+                // The result fits in the bit width of the wider operand
+                // (e.g. 4 | 3 = 7 exceeds max(4, 3) but not its mask).
+                let bits = 64 - (a.max.max(b.max)).leading_zeros();
+                let mask = if bits >= 63 {
+                    i64::MAX
+                } else {
+                    (1i64 << bits) - 1
+                };
+                Interval { min: 0, max: mask }
+            } else {
+                Interval::everything()
             }
         }
     }
 }
 
-trait SaturatingShl {
-    fn saturating_shl(self, s: u32) -> i64;
-}
-
-impl SaturatingShl for i64 {
-    fn saturating_shl(self, s: u32) -> i64 {
-        self.checked_shl(s)
-            .unwrap_or(if self >= 0 { i64::MAX } else { i64::MIN })
+/// Structurally decompose `e` into an affine form `const + Σ coeff·var` over
+/// the pure loop/output variables, resolving integer params to their values.
+/// Returns `None` for anything non-affine (loads, selects, float math,
+/// narrowing or sign-changing casts — which could wrap and diverge from the
+/// affine model).
+///
+/// Shared by `compute_at` region inference ([`crate::lower`]) and the fused
+/// SIMD kernel compiler ([`crate::exec`]), which uses it to classify loads as
+/// contiguous or loop-invariant along the vectorized lane dimension.
+pub fn affine_decompose(
+    e: &Expr,
+    params: &BTreeMap<String, Value>,
+) -> Option<(BTreeMap<String, i64>, i64)> {
+    match e {
+        Expr::Var(n) => {
+            let mut m = BTreeMap::new();
+            m.insert(n.clone(), 1i64);
+            Some((m, 0))
+        }
+        Expr::ConstInt(v, ty) if !ty.is_float() => Some((BTreeMap::new(), *v)),
+        Expr::Param(n, _) => match params.get(n) {
+            Some(Value::Int(v)) => Some((BTreeMap::new(), *v)),
+            _ => None,
+        },
+        // Int32/UInt64 casts of an i64 index are value-preserving for every
+        // index magnitude a real buffer can have; narrower or unsigned-32
+        // casts can wrap (e.g. `cast<u32>(x - 1)` at x = 0) and are rejected.
+        Expr::Cast(ScalarType::Int32 | ScalarType::UInt64, inner) => {
+            affine_decompose(inner, params)
+        }
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+            let (mut ca, ka) = affine_decompose(a, params)?;
+            let (cb, kb) = affine_decompose(b, params)?;
+            let sign = if *op == BinOp::Add { 1 } else { -1 };
+            for (v, c) in cb {
+                *ca.entry(v).or_insert(0) += sign * c;
+            }
+            Some((ca, ka + sign * kb))
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let (ca, ka) = affine_decompose(a, params)?;
+            let (cb, kb) = affine_decompose(b, params)?;
+            let (mut coeffs, scale, k) = if ca.values().all(|&c| c == 0) {
+                (cb, ka, kb)
+            } else if cb.values().all(|&c| c == 0) {
+                (ca, kb, ka)
+            } else {
+                return None; // var × var: not affine
+            };
+            for c in coeffs.values_mut() {
+                *c *= scale;
+            }
+            Some((coeffs, k * scale))
+        }
+        _ => None,
     }
 }
 
@@ -252,5 +432,77 @@ mod tests {
             Interval::point(3).union(Interval::point(7)),
             Interval { min: 3, max: 7 }
         );
+        assert!(Interval::new(0, 255).within(Interval::u32_range()));
+        assert!(!Interval::new(-1, 255).within(Interval::u32_range()));
+        assert!(Interval::i32_range().contains(-5));
+        assert_eq!(
+            Interval::of_type(crate::types::ScalarType::UInt8),
+            Some(Interval { min: 0, max: 255 })
+        );
+        assert_eq!(Interval::of_type(crate::types::ScalarType::UInt64), None);
+    }
+
+    /// `combine` must be sound under exact eval_binop semantics; these cases
+    /// were under-approximated before the fused-kernel work relied on them.
+    #[test]
+    fn combine_is_sound_on_bitwise_and_shift_edges() {
+        use crate::expr::eval_binop;
+        let iv = |a, b| Interval::new(a, b);
+        // Or/Xor escape max(a.max, b.max): 4 | 3 = 7.
+        for op in [BinOp::Or, BinOp::Xor] {
+            let r = combine(op, iv(0, 4), iv(0, 3));
+            let actual = eval_binop(op, Value::Int(4), Value::Int(3)).as_i64();
+            assert!(r.contains(actual), "{op:?}: {actual} outside {r:?}");
+        }
+        // And of non-negatives is bounded by the smaller max.
+        assert_eq!(combine(BinOp::And, iv(0, 300), iv(0, 7)).max, 7);
+        // Logical Shr of a negative operand is a huge positive.
+        let r = combine(BinOp::Shr, iv(-1, -1), iv(1, 1));
+        let actual = eval_binop(BinOp::Shr, Value::Int(-1), Value::Int(1)).as_i64();
+        assert!(r.contains(actual));
+        // Shl that wraps i64 must not pretend to saturate.
+        let r = combine(BinOp::Shl, iv(1, i64::MAX / 2), iv(0, 10));
+        let actual = eval_binop(BinOp::Shl, Value::Int(i64::MAX / 2), Value::Int(10)).as_i64();
+        assert!(r.contains(actual));
+        // Division by a range crossing zero includes the y = ±1 extremes.
+        let r = combine(BinOp::Div, iv(0, 100), iv(-2, 3));
+        assert!(r.contains(100) && r.contains(-50) && r.contains(0));
+        // Mod keeps the dividend's sign and magnitude bound.
+        let r = combine(BinOp::Mod, iv(-7, 12), iv(-3, 5));
+        for x in -7..=12i64 {
+            for y in -3..=5i64 {
+                let actual = eval_binop(BinOp::Mod, Value::Int(x), Value::Int(y)).as_i64();
+                assert!(r.contains(actual), "{x} % {y} = {actual} outside {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn affine_decompose_handles_params_and_casts() {
+        use crate::types::ScalarType;
+        let mut params = BTreeMap::new();
+        params.insert("k".to_string(), Value::Int(6));
+        // 2*x + k - 1 under cast<i32>
+        let e = Expr::Cast(
+            ScalarType::Int32,
+            Box::new(Expr::bin(
+                BinOp::Sub,
+                Expr::add(
+                    Expr::mul(Expr::int(2), Expr::var("x")),
+                    Expr::Param("k".into(), ScalarType::Int32),
+                ),
+                Expr::int(1),
+            )),
+        );
+        let (coeffs, k) = affine_decompose(&e, &params).expect("affine");
+        assert_eq!(coeffs.get("x"), Some(&2));
+        assert_eq!(k, 5);
+        // Narrowing casts and var*var products are rejected.
+        assert!(affine_decompose(
+            &Expr::Cast(ScalarType::UInt8, Box::new(Expr::var("x"))),
+            &params
+        )
+        .is_none());
+        assert!(affine_decompose(&Expr::mul(Expr::var("x"), Expr::var("y")), &params).is_none());
     }
 }

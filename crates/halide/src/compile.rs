@@ -47,6 +47,12 @@ pub struct CompileOptions {
     /// Capacity of the compiled pipeline's internal [`ProgramCache`]
     /// (one entry per output-extents × binding-signature combination).
     pub cache_capacity: usize,
+    /// Pin this pipeline's lowered-backend execution tiers
+    /// ([`crate::exec::SimdMode`]): `None` follows the process-wide
+    /// [`crate::exec::simd_mode`] at each run. Every mode produces
+    /// bit-identical buffers — differential tests use this to exercise the
+    /// fused-SIMD and per-op tiers without touching global state.
+    pub simd: Option<exec::SimdMode>,
 }
 
 impl Default for CompileOptions {
@@ -54,6 +60,7 @@ impl Default for CompileOptions {
         CompileOptions {
             backend: ExecBackend::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            simd: None,
         }
     }
 }
@@ -69,6 +76,7 @@ pub struct CompiledPipeline {
     pipeline: Pipeline,
     schedule: Schedule,
     backend: ExecBackend,
+    simd: Option<exec::SimdMode>,
     pipeline_fp: u64,
     schedule_fp: u64,
     cache: Mutex<ProgramCache<Arc<PreparedProgram>>>,
@@ -97,6 +105,7 @@ impl Pipeline {
             pipeline: self.clone(),
             schedule: schedule.clone(),
             backend: options.backend,
+            simd: options.simd,
             cache: Mutex::new(ProgramCache::new(options.cache_capacity)),
         })
     }
@@ -128,6 +137,7 @@ impl CompiledPipeline {
             &self.pipeline,
             &self.schedule,
             self.backend,
+            self.simd,
             output_extents,
             inputs,
             key,
@@ -165,10 +175,12 @@ impl CompiledPipeline {
 /// Shared realize path of [`CompiledPipeline::run`] and the
 /// [`crate::realize::Realizer`] shim: look `key` up in `cache`, build the
 /// prepared program on a miss, execute it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn realize_with_cache(
     pipeline: &Pipeline,
     schedule: &Schedule,
     backend: ExecBackend,
+    simd: Option<exec::SimdMode>,
     output_extents: &[usize],
     inputs: &RealizeInputs<'_>,
     key: CacheKey,
@@ -202,7 +214,7 @@ pub(crate) fn realize_with_cache(
             built
         }
     };
-    program.execute(inputs)
+    program.execute(inputs, simd)
 }
 
 /// Extents-independent validation: every func reference reachable from the
@@ -441,7 +453,10 @@ impl PreparedProgram {
             }
             for name in &ordered {
                 let extents: Vec<usize> = match required.get(name) {
-                    Some(ivals) => ivals.iter().map(|i| (i.max + 1).max(1) as usize).collect(),
+                    Some(ivals) => ivals
+                        .iter()
+                        .map(|i| i.max.saturating_add(1).max(1) as usize)
+                        .collect(),
                     None => output_extents.to_vec(),
                 };
                 let mut sub_pipeline = pipeline.clone();
@@ -481,13 +496,20 @@ impl PreparedProgram {
 
     /// Execute the prepared program: materialize producer stages in order,
     /// then the output stage. Only per-call work happens here.
-    pub(crate) fn execute(&self, inputs: &RealizeInputs<'_>) -> Result<Buffer, RealizeError> {
+    pub(crate) fn execute(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        simd: Option<exec::SimdMode>,
+    ) -> Result<Buffer, RealizeError> {
+        // A pinned mode sticks for the program's lifetime; otherwise each
+        // call follows the process-wide mode (env override or setter).
+        let mode = simd.unwrap_or_else(exec::simd_mode);
         let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
         for stage in &self.stages {
-            let buf = stage.run(inputs, &self.params, &roots)?;
+            let buf = stage.run(inputs, &self.params, &roots, mode)?;
             roots.insert(stage.name.clone(), buf);
         }
-        self.output.run(inputs, &self.params, &roots)
+        self.output.run(inputs, &self.params, &roots, mode)
     }
 }
 
@@ -552,12 +574,13 @@ impl Stage {
         inputs: &RealizeInputs<'_>,
         params: &BTreeMap<String, Value>,
         roots: &BTreeMap<String, Buffer>,
+        mode: exec::SimdMode,
     ) -> Result<Buffer, RealizeError> {
         let mut buffer = Buffer::new(self.ty, &self.extents);
         match &self.pure_exec {
             None => {}
             Some(PureExec::Lowered(plan)) => {
-                exec::run(plan, &mut buffer, &inputs.images, roots, params)?;
+                exec::run_with_mode(plan, &mut buffer, &inputs.images, roots, params, mode)?;
             }
             Some(PureExec::Interpreted {
                 expr,

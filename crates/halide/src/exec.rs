@@ -1,49 +1,175 @@
 //! The compiled executor for lowered loop-nest IR.
 //!
-//! Where the interpreter dispatches per element through [`Value`] enums, this
-//! executor compiles every [`Stmt::Store`] into a *typed* lane program:
-//! expressions are type-inferred once (int lanes are `i64`, float lanes are
-//! `f64`), buffer loads and stores are monomorphized per [`ScalarType`] into
-//! flat-slice inner loops, and the innermost loop runs `width` lanes per
-//! dispatch. [`LoopKind::Parallel`] loops distribute contiguous iteration
-//! chunks across scoped worker threads.
+//! Execution has three tiers, fastest first; every store is compiled to the
+//! best tier its shape admits and the others remain as fallbacks:
 //!
-//! **Bit-exactness.** Every lane operation replicates the corresponding
-//! [`Value`] semantics exactly: integer arithmetic wraps, division by zero
-//! yields zero, shifts/bitwise ops on float operands round-trip through `i64`,
-//! casts truncate like C casts, and out-of-range loads clamp per
-//! [`Buffer::get`]. Expressions whose type cannot be inferred statically (a
-//! `select` mixing int and float branches) fall back to the shared
-//! [`crate::eval`] evaluator, the same code the interpreter backend and the
-//! reduction path run — so the fallback cannot drift. The differential
-//! property suite in `tests/prop_halide.rs` enforces equality against the
-//! interpreter.
+//! 1. **Fused SIMD lane kernels.** At [`prepare`] time each store under a
+//!    vectorized innermost loop is additionally compiled — when its value
+//!    expression is integer-typed, its loads are affine in the loop variables
+//!    and contiguous (or invariant) along the lane dimension, and its output
+//!    is at most 32 bits wide — into a single fused kernel over *32-bit
+//!    wrapping lanes* (`VOp` programs). The kernel evaluates fixed-width
+//!    `[i32; W]` chunks (`W` ∈ {8, 16, 32}, from the schedule's vector
+//!    width) with constant trip counts that LLVM reliably turns into SIMD,
+//!    loading taps as straight slices with *no per-lane clamping* and storing
+//!    whole chunks contiguously. Narrow types stay narrow end-to-end: a
+//!    `UInt8` blur runs as u8 loads → i32 arithmetic → u8 stores, never
+//!    widening to `i64`/`f64`.
+//! 2. **Per-op typed lane dispatch.** Every store compiles to typed stack
+//!    programs (`TOp`) whose int lanes are `i64` and float lanes `f64`,
+//!    with clamped, gather-style loads — the general path, and the one the
+//!    fused tier's boundary peels run on.
+//! 3. **Per-element fallback.** Stores whose types cannot be inferred
+//!    statically (a `select` mixing int and float branches) evaluate through
+//!    the shared [`crate::eval`] evaluator — the same code the interpreter
+//!    backend and the reduction path run, so the fallback cannot drift.
+//!
+//! **Interior/boundary splitting.** A fused store does not run its kernel
+//! blindly: at each entry of the innermost loop the executor derives, from
+//! the affine decomposition of every load index and the bound buffer
+//! extents, the sub-range of the loop where *every* load is provably
+//! in-range (the steady-state interior). The interior runs the fused kernel
+//! in full-width chunks; the border lanes before it, after it, and the
+//! sub-width tail run the clamped per-op tier — so boundary clamping
+//! semantics are preserved exactly while the hot interior pays for none of
+//! it.
+//!
+//! **Bit-exactness.** Every tier replicates [`Value`] semantics exactly:
+//! integer arithmetic wraps, division by zero yields zero, right shifts are
+//! logical on `i64`, casts truncate like C casts, and out-of-range loads
+//! clamp per [`Buffer::get`]. The fused tier's 32-bit lanes are proven
+//! bit-exact per store at compile time: each kernel op maintains the
+//! invariant that its lanes hold the *low 32 bits* of the reference `i64`
+//! value (wrapping add/sub/mul and the bitwise ops are homomorphic in the
+//! low bits — which is also what makes kernels faithful to lifted code that
+//! exploits u32 wrap-around, like PhotoFlow's `4294967295 * x` negative
+//! taps), while value-sensitive ops (shifts, min/max, comparisons, selects)
+//! are only emitted when interval analysis ([`crate::bounds`]) proves the
+//! operands small enough that the 32-bit result is exact. Anything else
+//! falls back a tier. The differential property suites in
+//! `tests/prop_halide.rs` and `tests/prop_simd.rs` enforce equality against
+//! the interpreter across all tiers.
+//!
+//! The [`SimdMode`] knob (the `HELIUM_FORCE_SCALAR` / `HELIUM_FORCE_SIMD`
+//! environment variables, [`set_simd_mode`], or
+//! [`crate::compile::CompileOptions::simd`]) pins execution to a tier for
+//! differential testing and benchmarking.
 //!
 //! Since the compile/run split, store compilation happens once in [`prepare`]
-//! (producing an [`ExecPlan`] that the program cache retains) and [`run`]
-//! only binds buffers and walks the loop nest.
+//! (producing an [`ExecPlan`] that the program cache retains — including the
+//! per-store fused-kernel selection) and [`run`] only binds buffers and
+//! walks the loop nest.
 //!
 //! **Safety.** Worker threads share buffers through raw pointers; no `&mut`
 //! is ever formed over shared data. This is sound because (a) loads only ever
 //! read buffers that nothing writes during the run (inputs, pre-materialized
-//! roots, and the thread's own finished `compute_at` scratch), and (b) the
-//! lowering pass only marks the *outermost* output loop parallel, with every
-//! store under it indexing the output through that loop's variable, so
-//! threads write disjoint byte ranges; `compute_at` buffers are allocated
-//! inside the parallel body and are thread-local by construction.
+//! roots, and the thread's own finished `compute_at` scratch — a fused
+//! kernel additionally rejects stores whose value reads the buffer being
+//! written), and (b) the lowering pass only marks the *outermost* output
+//! loop parallel, with every store under it indexing the output through that
+//! loop's variable, so threads write disjoint byte ranges; `compute_at`
+//! buffers are allocated inside the parallel body and are thread-local by
+//! construction.
 
+use crate::bounds::{combine, expr_interval, Interval};
 use crate::buffer::Buffer;
 use crate::eval::{eval_expr, EvalSources};
 use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
 use crate::realize::RealizeError;
-use crate::stmt::{LoopKind, Stmt};
+use crate::stmt::{access_contiguous_in, access_invariant_in, AffineIndex, LoopKind, Stmt};
 use crate::types::{ScalarType, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
-/// Maximum number of lanes evaluated per inner dispatch. Schedules may ask
-/// for wider vectors; execution batches them `MAX_LANES` at a time (the
-/// results are identical either way).
+/// Number of lanes evaluated per dispatch of the per-op typed tier, and the
+/// sub-batch size wider vectorized widths are split into: a schedule asking
+/// for `vectorize(32)` dispatches 32 lanes per store visit, executed as two
+/// full 16-lane batches (results are identical either way; see
+/// `Runner::exec_store`). Fused SIMD kernels choose their own chunk width
+/// (up to [`MAX_CHUNK`]) from the schedule.
 pub const MAX_LANES: usize = 16;
+
+/// Widest fused-kernel chunk (lanes of `i32` per kernel invocation).
+pub const MAX_CHUNK: usize = 32;
+
+/// Value-stack depth limit of fused kernels; deeper programs (rare — tap
+/// accumulation is peephole-fused) use the per-op tier.
+const V_STACK: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Execution-tier selection
+// ---------------------------------------------------------------------------
+
+/// Which execution tiers the runner may use for stores that have a fused
+/// SIMD kernel. All modes produce bit-identical buffers; the knob exists for
+/// differential testing and benchmarking of the tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdMode {
+    /// Fused kernels run under vectorized loops; everything else uses the
+    /// per-op tier.
+    #[default]
+    Auto,
+    /// Never use fused kernels (the per-op lane tier handles every store).
+    ForceScalar,
+    /// Use fused kernels wherever one was compiled, even under serial
+    /// innermost loops (which then run [`MAX_LANES`]-wide chunks).
+    ForceSimd,
+}
+
+/// Process-wide override set by [`set_simd_mode`]: 0 = unset (follow the
+/// environment), else `SimdMode as u8 + 1`.
+static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Rows (innermost-loop executions) that ran the fused-kernel interior path,
+/// for observability and tests.
+static FUSED_ROWS: AtomicU64 = AtomicU64::new(0);
+
+fn env_simd_mode() -> SimdMode {
+    static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
+    *ENV_MODE.get_or_init(|| {
+        let truthy = |name: &str| std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0");
+        if truthy("HELIUM_FORCE_SCALAR") {
+            SimdMode::ForceScalar
+        } else if truthy("HELIUM_FORCE_SIMD") {
+            SimdMode::ForceSimd
+        } else {
+            SimdMode::Auto
+        }
+    })
+}
+
+/// The active execution-tier mode: the [`set_simd_mode`] override if set,
+/// else `HELIUM_FORCE_SCALAR=1` / `HELIUM_FORCE_SIMD=1` from the
+/// environment, else [`SimdMode::Auto`].
+pub fn simd_mode() -> SimdMode {
+    match SIMD_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimdMode::Auto,
+        2 => SimdMode::ForceScalar,
+        3 => SimdMode::ForceSimd,
+        _ => env_simd_mode(),
+    }
+}
+
+/// Override (or with `None`, un-override) the process-wide [`SimdMode`].
+/// Benchmarks use this to time the scalar and SIMD tiers from one process;
+/// per-pipeline control is available via
+/// [`crate::compile::CompileOptions::simd`].
+pub fn set_simd_mode(mode: Option<SimdMode>) {
+    let v = match mode {
+        None => 0,
+        Some(SimdMode::Auto) => 1,
+        Some(SimdMode::ForceScalar) => 2,
+        Some(SimdMode::ForceSimd) => 3,
+    };
+    SIMD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Number of innermost-loop rows executed through the fused-kernel interior
+/// path since process start (monotonic; for tests and observability).
+pub fn fused_rows_executed() -> u64 {
+    FUSED_ROWS.load(Ordering::Relaxed)
+}
 
 // ---------------------------------------------------------------------------
 // Slots: buffers addressable by compiled programs
@@ -193,6 +319,121 @@ struct CompiledStore {
     exec: StoreExec,
     /// Depth of the innermost enclosing loop (the lane dimension).
     lane_depth: usize,
+    /// The fused SIMD lane kernel, when the store's shape admits one (tier 1;
+    /// `exec` remains as the boundary-peel and fallback tier).
+    fused: Option<FusedKernel>,
+}
+
+// ---------------------------------------------------------------------------
+// Fused SIMD lane kernels (tier 1)
+// ---------------------------------------------------------------------------
+
+/// An affine index over enclosing loop *depths*, with the lane variable's
+/// term factored out: `konst + Σ coeff·vars[depth]` (+ `x` for the
+/// contiguous dimension, added at run time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DepthAffine {
+    konst: i64,
+    terms: Vec<(usize, i64)>,
+}
+
+impl DepthAffine {
+    /// Evaluate against the current loop-variable values.
+    fn eval(&self, vars: &[i64]) -> i64 {
+        let mut v = self.konst;
+        for &(depth, c) in &self.terms {
+            v = v.wrapping_add(c.wrapping_mul(vars[depth]));
+        }
+        v
+    }
+}
+
+/// How a tap's lanes map onto its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TapLane {
+    /// Dimension 0 steps one element per lane; other dimensions are
+    /// lane-invariant. The interior loads `W` consecutive elements.
+    Contiguous,
+    /// Every dimension is lane-invariant: one scalar load, broadcast.
+    Broadcast,
+}
+
+/// One load of a fused kernel: a buffer slot with per-dimension affine bases
+/// (lane variable excluded) and the lane classification.
+#[derive(Debug, Clone, PartialEq)]
+struct TapAccess {
+    slot: usize,
+    ty: ScalarType,
+    dims: Vec<DepthAffine>,
+    lane: TapLane,
+}
+
+/// One op of a fused kernel: a stack machine over `[i32; W]` chunks with
+/// *wrapping* arithmetic. Compilation maintains the invariant that every
+/// value on the stack holds the low 32 bits of the reference `i64` value;
+/// value-sensitive ops are only emitted when interval analysis proved their
+/// 32-bit result exact (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+enum VOp {
+    /// Push a broadcast constant (the low 32 bits of the i64 constant).
+    Const(i32),
+    /// Push the loop variable at `depth` (a lane ramp at the lane depth).
+    Var(usize),
+    /// Push tap `tap`'s lanes (contiguous slice or broadcast scalar).
+    Load(usize),
+    /// Wrapping `a + b`.
+    Add,
+    /// Wrapping `a - b`.
+    Sub,
+    /// Wrapping `a * b`.
+    Mul,
+    /// Wrapping `top + c`.
+    AddC(i32),
+    /// Wrapping `top * c`.
+    MulC(i32),
+    /// Bitwise ops.
+    And,
+    Or,
+    Xor,
+    AndC(i32),
+    OrC(i32),
+    XorC(i32),
+    /// `top & mask` (narrowing casts; also zeroes lanes via `Mask(0)`).
+    Mask(i32),
+    /// Logical shift right of lanes reinterpreted as `u32` (operand proven
+    /// within `[0, 2^32)`, where this equals the i64 logical shift).
+    ShrU(u32),
+    /// Wrapping shift left (count < 32).
+    Shl(u32),
+    /// Signed min/max (operands proven within i32).
+    MinS,
+    MaxS,
+    /// Unsigned min/max (operands proven within `[0, 2^32)`).
+    MinU,
+    MaxU,
+    /// Signed / unsigned comparison, yielding 0/1 lanes.
+    CmpS(CmpOp),
+    CmpU(CmpOp),
+    /// `select(cond, t, f)` on three stack values.
+    Sel,
+    /// Fused multiply-accumulate: `top += coeff * tap` (wrapping).
+    Axpy {
+        tap: usize,
+        coeff: i32,
+    },
+}
+
+/// A store compiled into a fused SIMD lane kernel: the 32-bit lane program,
+/// its taps, and the contiguous output access.
+#[derive(Debug, Clone, PartialEq)]
+struct FusedKernel {
+    ops: Vec<VOp>,
+    taps: Vec<TapAccess>,
+    /// Output slot (dimension 0 is contiguous in the lane variable).
+    out_slot: usize,
+    out_ty: ScalarType,
+    /// Per-dimension output index bases (lane variable excluded).
+    out_dims: Vec<DepthAffine>,
 }
 
 // ---------------------------------------------------------------------------
@@ -419,6 +660,442 @@ impl Compiler<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Fused-kernel compilation
+// ---------------------------------------------------------------------------
+
+/// Evaluate `e` to an integer constant when it is one (constants, bound
+/// integer params, and integer casts thereof).
+fn const_int_of(e: &Expr, params: &BTreeMap<String, Value>) -> Option<i64> {
+    match e {
+        Expr::ConstInt(v, ty) if !ty.is_float() => Some(*v),
+        Expr::Param(name, _) => match params.get(name) {
+            Some(Value::Int(v)) => Some(*v),
+            _ => None,
+        },
+        Expr::Cast(ty, inner) if !ty.is_float() => {
+            const_int_of(inner, params).map(|v| Value::Int(v).cast(*ty).as_i64())
+        }
+        _ => None,
+    }
+}
+
+/// Emission state of one fused kernel.
+struct VEmit {
+    ops: Vec<VOp>,
+    taps: Vec<TapAccess>,
+    cur: usize,
+    max: usize,
+}
+
+impl VEmit {
+    fn new() -> VEmit {
+        VEmit {
+            ops: Vec::new(),
+            taps: Vec::new(),
+            cur: 0,
+            max: 0,
+        }
+    }
+
+    fn push(&mut self, op: VOp, delta: isize) {
+        self.ops.push(op);
+        self.cur = (self.cur as isize + delta) as usize;
+        self.max = self.max.max(self.cur);
+    }
+}
+
+/// Compiles one store into a [`FusedKernel`], failing (with `None`) on any
+/// shape the 32-bit lane invariant cannot cover; the caller keeps the per-op
+/// tier in that case.
+struct FusedBuilder<'a> {
+    var_depths: &'a BTreeMap<String, usize>,
+    var_bounds: &'a BTreeMap<String, Interval>,
+    slot_ids: &'a BTreeMap<String, usize>,
+    decls: &'a [SlotDecl],
+    params: &'a BTreeMap<String, Value>,
+    /// Variable of the innermost enclosing loop (the lane dimension).
+    lane_var: &'a str,
+    out_slot: usize,
+}
+
+impl FusedBuilder<'_> {
+    fn build(&self, indices: &[Expr], value: &Expr) -> Option<FusedKernel> {
+        let out_ty = self.decls[self.out_slot].ty;
+        // 32-bit lanes can only produce outputs of at most 32 bits.
+        if !matches!(
+            out_ty,
+            ScalarType::UInt8 | ScalarType::UInt16 | ScalarType::UInt32 | ScalarType::Int32
+        ) {
+            return None;
+        }
+        // The store must be contiguous along the lane variable.
+        let (out_dims, out_lane) = self.access_dims(indices)?;
+        if out_lane != Some(TapLane::Contiguous) {
+            return None;
+        }
+        let mut emit = VEmit::new();
+        self.fuse(value, &mut emit)?;
+        if emit.max > V_STACK {
+            return None;
+        }
+        // A tap aliasing the output would read lanes the kernel just wrote.
+        if emit.taps.iter().any(|t| t.slot == self.out_slot) {
+            return None;
+        }
+        peephole(&mut emit.ops);
+        Some(FusedKernel {
+            ops: emit.ops,
+            taps: emit.taps,
+            out_slot: self.out_slot,
+            out_ty,
+            out_dims,
+        })
+    }
+
+    /// Decompose an access's index expressions into per-dimension affine
+    /// bases with the lane term removed, and classify the access along the
+    /// lane variable: contiguous (dimension 0 steps by one, the rest
+    /// invariant), broadcast (all invariant), or `None` lane classification
+    /// for strided/transposed patterns.
+    #[allow(clippy::type_complexity)]
+    fn access_dims(&self, args: &[Expr]) -> Option<(Vec<DepthAffine>, Option<TapLane>)> {
+        let affine: Vec<AffineIndex> = args
+            .iter()
+            .map(|arg| AffineIndex::decompose(arg, self.params))
+            .collect::<Option<_>>()?;
+        let mut dims = Vec::with_capacity(affine.len());
+        for a in &affine {
+            let mut terms = Vec::new();
+            for (v, c) in &a.coeffs {
+                if v == self.lane_var {
+                    continue;
+                }
+                terms.push((*self.var_depths.get(v)?, *c));
+            }
+            dims.push(DepthAffine {
+                konst: a.konst,
+                terms,
+            });
+        }
+        let lane = if access_contiguous_in(&affine, self.lane_var) {
+            Some(TapLane::Contiguous)
+        } else if access_invariant_in(&affine, self.lane_var) {
+            Some(TapLane::Broadcast)
+        } else {
+            None
+        };
+        Some((dims, lane))
+    }
+
+    /// Classify and decompose a tap access.
+    fn tap_dims(&self, args: &[Expr]) -> Option<(Vec<DepthAffine>, TapLane)> {
+        let (dims, lane) = self.access_dims(args)?;
+        lane.map(|lane| (dims, lane))
+    }
+
+    /// Compile `e`, pushing ops that leave its lanes on the stack, and return
+    /// a sound interval of the reference `i64` value. `None` aborts fusion.
+    fn fuse(&self, e: &Expr, out: &mut VEmit) -> Option<Interval> {
+        match e {
+            Expr::ConstInt(v, ty) if !ty.is_float() => {
+                out.push(VOp::Const(*v as i32), 1);
+                Some(Interval::point(*v))
+            }
+            Expr::ConstInt(..) | Expr::ConstFloat(..) | Expr::Call(..) => None,
+            Expr::Param(name, _) => match self.params.get(name) {
+                Some(Value::Int(v)) => {
+                    out.push(VOp::Const(*v as i32), 1);
+                    Some(Interval::point(*v))
+                }
+                _ => None,
+            },
+            Expr::Var(name) | Expr::RVar(name) => {
+                let depth = *self.var_depths.get(name)?;
+                let iv = *self.var_bounds.get(name)?;
+                // Lane ramps compute `x + l` in i32.
+                if !iv.within(Interval::i32_range()) {
+                    return None;
+                }
+                out.push(VOp::Var(depth), 1);
+                Some(iv)
+            }
+            Expr::Cast(ty, inner) => {
+                let iv = self.fuse(inner, out)?;
+                match ty {
+                    // Identity on the i64 value.
+                    ScalarType::UInt64 => Some(iv),
+                    // Reinterpretations of the low 32 bits: no lane op, only
+                    // the interval changes.
+                    ScalarType::UInt32 => Some(if iv.within(Interval::u32_range()) {
+                        iv
+                    } else {
+                        Interval::u32_range()
+                    }),
+                    ScalarType::Int32 => Some(if iv.within(Interval::i32_range()) {
+                        iv
+                    } else {
+                        Interval::i32_range()
+                    }),
+                    ScalarType::UInt16 | ScalarType::UInt8 => {
+                        let mask = if *ty == ScalarType::UInt8 {
+                            0xff
+                        } else {
+                            0xffff
+                        };
+                        if iv.within(Interval { min: 0, max: mask }) {
+                            Some(iv)
+                        } else {
+                            out.push(VOp::Mask(mask as i32), 0);
+                            Some(Interval { min: 0, max: mask })
+                        }
+                    }
+                    ScalarType::Float32 | ScalarType::Float64 => None,
+                }
+            }
+            Expr::Binary(op, a, b) => self.fuse_binary(*op, a, b, out),
+            Expr::Cmp(op, a, b) => {
+                let ia = self.fuse(a, out)?;
+                let ib = self.fuse(b, out)?;
+                if ia.within(Interval::i32_range()) && ib.within(Interval::i32_range()) {
+                    out.push(VOp::CmpS(*op), -1);
+                } else if ia.within(Interval::u32_range()) && ib.within(Interval::u32_range()) {
+                    out.push(VOp::CmpU(*op), -1);
+                } else {
+                    return None;
+                }
+                Some(Interval { min: 0, max: 1 })
+            }
+            Expr::Select(c, t, f) => {
+                let ic = self.fuse(c, out)?;
+                // The truth test is on lanes; sound iff zero-faithful, i.e.
+                // the value is within [i32::MIN, u32::MAX] so value == 0
+                // exactly when its low 32 bits are 0.
+                if !ic.within(Interval {
+                    min: i32::MIN as i64,
+                    max: u32::MAX as i64,
+                }) {
+                    return None;
+                }
+                let it = self.fuse(t, out)?;
+                let if_ = self.fuse(f, out)?;
+                out.push(VOp::Sel, -2);
+                Some(it.union(if_))
+            }
+            Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+                let slot = *self.slot_ids.get(name)?;
+                let ty = self.decls[slot].ty;
+                let iv = Interval::of_type(ty)?;
+                let (dims, lane) = self.tap_dims(args)?;
+                let tap = TapAccess {
+                    slot,
+                    ty,
+                    dims,
+                    lane,
+                };
+                let idx = match emitted_tap(&out.taps, &tap) {
+                    Some(i) => i,
+                    None => {
+                        out.taps.push(tap);
+                        out.taps.len() - 1
+                    }
+                };
+                out.push(VOp::Load(idx), 1);
+                Some(iv)
+            }
+        }
+    }
+
+    fn fuse_binary(&self, op: BinOp, a: &Expr, b: &Expr, out: &mut VEmit) -> Option<Interval> {
+        match op {
+            // Quotient/remainder lanes would need exact i64 semantics
+            // (including divide-by-zero and i32::MIN edge cases) — rare in
+            // stencils; keep them on the per-op tier.
+            BinOp::Div | BinOp::Mod => None,
+            BinOp::Shr => {
+                let s_raw = const_int_of(b, self.params)?;
+                let s = (s_raw as u64 & 63) as u32;
+                let ia = self.fuse(a, out)?;
+                // The i64 shift is logical; it agrees with a 32-bit unsigned
+                // shift only for operands within [0, 2^32).
+                if !ia.within(Interval::u32_range()) {
+                    return None;
+                }
+                if s == 0 {
+                    Some(ia)
+                } else if s >= 32 {
+                    out.push(VOp::Mask(0), 0);
+                    Some(Interval::point(0))
+                } else {
+                    out.push(VOp::ShrU(s), 0);
+                    Some(Interval {
+                        min: ia.min >> s,
+                        max: ia.max >> s,
+                    })
+                }
+            }
+            BinOp::Shl => {
+                let s_raw = const_int_of(b, self.params)?;
+                // eval_binop: `wrapping_shl(y as u32)`, which masks by 63.
+                let s = (s_raw as u32) & 63;
+                let ia = self.fuse(a, out)?;
+                let iv = combine(BinOp::Shl, ia, Interval::point(s_raw));
+                if s < 32 {
+                    if s > 0 {
+                        out.push(VOp::Shl(s), 0);
+                    }
+                } else {
+                    // The low 32 bits of `v << s` are zero for s >= 32.
+                    out.push(VOp::Mask(0), 0);
+                }
+                Some(iv)
+            }
+            BinOp::Min | BinOp::Max => {
+                let ia = self.fuse(a, out)?;
+                let ib = self.fuse(b, out)?;
+                let signed = ia.within(Interval::i32_range()) && ib.within(Interval::i32_range());
+                let unsigned = ia.within(Interval::u32_range()) && ib.within(Interval::u32_range());
+                let vop = match (op, signed, unsigned) {
+                    (BinOp::Min, true, _) => VOp::MinS,
+                    (BinOp::Max, true, _) => VOp::MaxS,
+                    (BinOp::Min, false, true) => VOp::MinU,
+                    (BinOp::Max, false, true) => VOp::MaxU,
+                    _ => return None,
+                };
+                out.push(vop, -1);
+                Some(combine(op, ia, ib))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor => {
+                // Wrapping/bitwise ops are homomorphic in the low 32 bits, so
+                // they are emitted unconditionally; the interval (saturating
+                // to "everything" on potential i64 wrap) is what downstream
+                // value-sensitive ops validate against.
+                let ka = const_int_of(a, self.params);
+                let kb = const_int_of(b, self.params);
+                let commutes = matches!(
+                    op,
+                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                );
+                let fold = |k: i64, o: &mut VEmit| match op {
+                    BinOp::Add => o.push(VOp::AddC(k as i32), 0),
+                    BinOp::Sub => o.push(VOp::AddC((k.wrapping_neg()) as i32), 0),
+                    BinOp::Mul => o.push(VOp::MulC(k as i32), 0),
+                    BinOp::And => o.push(VOp::AndC(k as i32), 0),
+                    BinOp::Or => o.push(VOp::OrC(k as i32), 0),
+                    BinOp::Xor => o.push(VOp::XorC(k as i32), 0),
+                    _ => unreachable!("folded ops are wrapping/bitwise"),
+                };
+                if let Some(k) = kb {
+                    let ia = self.fuse(a, out)?;
+                    if !(k == 0 && matches!(op, BinOp::Add | BinOp::Sub)) {
+                        fold(k, out);
+                    }
+                    return Some(combine(op, ia, Interval::point(k)));
+                }
+                if let (Some(k), true) = (ka, commutes) {
+                    let ib = self.fuse(b, out)?;
+                    if !(k == 0 && op == BinOp::Add) {
+                        fold(k, out);
+                    }
+                    return Some(combine(op, Interval::point(k), ib));
+                }
+                let ia = self.fuse(a, out)?;
+                let ib = self.fuse(b, out)?;
+                let vop = match op {
+                    BinOp::Add => VOp::Add,
+                    BinOp::Sub => VOp::Sub,
+                    BinOp::Mul => VOp::Mul,
+                    BinOp::And => VOp::And,
+                    BinOp::Or => VOp::Or,
+                    BinOp::Xor => VOp::Xor,
+                    _ => unreachable!("matched above"),
+                };
+                out.push(vop, -1);
+                Some(combine(op, ia, ib))
+            }
+        }
+    }
+}
+
+fn emitted_tap(taps: &[TapAccess], tap: &TapAccess) -> Option<usize> {
+    taps.iter().position(|t| t == tap)
+}
+
+/// Collapse the dominant stencil pattern — load, scale, accumulate — into
+/// fused multiply-accumulate superops, shrinking both dispatch count and
+/// stack traffic: an `Add`/`Sub` whose right operand was built as
+/// `Load(t) [· c] (± taps ± consts)*` folds into the left operand as a chain
+/// of `Axpy`/`AddC` ops. Sound because wrapping adds commute and associate
+/// modulo 2^32 (`a - (x + y) = a - x - y`).
+fn peephole(ops: &mut Vec<VOp>) {
+    let mut out: Vec<VOp> = Vec::with_capacity(ops.len());
+    for op in ops.drain(..) {
+        match op {
+            VOp::Add | VOp::Sub => {
+                if !try_fold_additive(&mut out, matches!(op, VOp::Sub)) {
+                    out.push(op);
+                }
+            }
+            _ => out.push(op),
+        }
+    }
+    *ops = out;
+}
+
+/// If the top stack operand of `out` is an additive chain rooted at a single
+/// `Load`, fold the pending `Add`/`Sub` into it and return `true`.
+fn try_fold_additive(out: &mut Vec<VOp>, negate: bool) -> bool {
+    // Walk back over top-modifying additive ops to the operand's push.
+    let n = out.len();
+    let mut j = n;
+    while j > 0 {
+        match out[j - 1] {
+            VOp::Axpy { .. } | VOp::AddC(_) | VOp::MulC(_) => j -= 1,
+            VOp::Load(_) => {
+                j -= 1;
+                break;
+            }
+            _ => return false,
+        }
+    }
+    let Some(VOp::Load(tap)) = out.get(j).cloned() else {
+        return false;
+    };
+    // An optional scale directly after the load; any later MulC scales the
+    // accumulated sum and is not additive — reject.
+    let mut coeff = 1i32;
+    let mut k = j + 1;
+    if let Some(VOp::MulC(c)) = out.get(k) {
+        coeff = *c;
+        k += 1;
+    }
+    if !out[k..]
+        .iter()
+        .all(|op| matches!(op, VOp::Axpy { .. } | VOp::AddC(_)))
+    {
+        return false;
+    }
+    // Rewrite: Load [MulC] => Axpy, then sign-adjust the tail.
+    let neg = |c: i32| if negate { c.wrapping_neg() } else { c };
+    let tail: Vec<VOp> = out.drain(k..).collect();
+    out.truncate(j);
+    out.push(VOp::Axpy {
+        tap,
+        coeff: neg(coeff),
+    });
+    for op in tail {
+        out.push(match op {
+            VOp::Axpy { tap, coeff } => VOp::Axpy {
+                tap,
+                coeff: neg(coeff),
+            },
+            VOp::AddC(c) => VOp::AddC(neg(c)),
+            _ => unreachable!("validated additive"),
+        });
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
 // Preparation: walk the stmt, assign slots/depths, compile stores
 // ---------------------------------------------------------------------------
 
@@ -440,6 +1117,9 @@ struct PrepareCtx<'a> {
     alloc_slots: BTreeMap<String, usize>,
     stores: Vec<Option<CompiledStore>>,
     var_depths: BTreeMap<String, usize>,
+    /// Sound interval of each in-scope loop variable (from its bound
+    /// expressions), consumed by the fused-kernel compiler's proofs.
+    var_bounds: BTreeMap<String, Interval>,
     depth: usize,
     max_depth: usize,
     max_stack: usize,
@@ -478,8 +1158,22 @@ impl PrepareCtx<'_> {
                 }
                 Ok(())
             }
-            Stmt::For { var, body, .. } => {
+            Stmt::For {
+                var,
+                min,
+                extent,
+                body,
+                ..
+            } => {
                 let prev = self.var_depths.insert(var.clone(), self.depth);
+                // A sound interval for the loop variable: symbolic bounds
+                // (tile tails) resolve through the enclosing vars' intervals.
+                let imin = expr_interval(min, &self.var_bounds, self.params);
+                let iext = expr_interval(extent, &self.var_bounds, self.params);
+                let hi = imin.max.saturating_add(iext.max.saturating_sub(1).max(0));
+                let prev_bounds = self
+                    .var_bounds
+                    .insert(var.clone(), Interval::new(imin.min, hi));
                 self.depth += 1;
                 self.max_depth = self.max_depth.max(self.depth);
                 self.walk(body)?;
@@ -490,6 +1184,14 @@ impl PrepareCtx<'_> {
                     }
                     None => {
                         self.var_depths.remove(var);
+                    }
+                }
+                match prev_bounds {
+                    Some(p) => {
+                        self.var_bounds.insert(var.clone(), p);
+                    }
+                    None => {
+                        self.var_bounds.remove(var);
                     }
                 }
                 Ok(())
@@ -550,10 +1252,39 @@ impl PrepareCtx<'_> {
                     }
                     self.max_arity = self.max_arity.max(t.index_progs.len());
                 }
+                // Tier-1 compilation: a fused SIMD kernel, when the store is
+                // under a loop and its shape admits one. Best-effort — any
+                // failure keeps the typed/fallback tiers.
+                let fused = match &exec {
+                    StoreExec::Typed(_) if self.depth > 0 => {
+                        let lane_var = self
+                            .var_depths
+                            .iter()
+                            .find(|(_, d)| **d == lane_depth)
+                            .map(|(v, _)| v.clone());
+                        lane_var.and_then(|lane_var| {
+                            FusedBuilder {
+                                var_depths: &self.var_depths,
+                                var_bounds: &self.var_bounds,
+                                slot_ids: &self.slot_ids,
+                                decls: &self.decls,
+                                params: self.params,
+                                lane_var: &lane_var,
+                                out_slot: slot,
+                            }
+                            .build(indices, value)
+                        })
+                    }
+                    _ => None,
+                };
                 if self.stores.len() <= *id {
                     self.stores.resize_with(*id + 1, || None);
                 }
-                self.stores[*id] = Some(CompiledStore { exec, lane_depth });
+                self.stores[*id] = Some(CompiledStore {
+                    exec,
+                    lane_depth,
+                    fused,
+                });
                 Ok(())
             }
         }
@@ -573,6 +1304,8 @@ struct Scratch {
     floats: Vec<f64>,
     idx: Vec<i64>,
     offs: Vec<usize>,
+    /// Per-row tap base offsets of the active fused kernel.
+    tap_bases: Vec<i64>,
     allocs: BTreeMap<usize, Vec<u8>>,
 }
 
@@ -584,6 +1317,7 @@ impl Scratch {
             floats: vec![0.0; regs],
             idx: vec![0; prepared.max_arity.max(1) * MAX_LANES],
             offs: vec![0; MAX_LANES],
+            tap_bases: Vec::new(),
             allocs: BTreeMap::new(),
         }
     }
@@ -592,6 +1326,7 @@ impl Scratch {
 struct Runner<'a> {
     prepared: &'a Prepared,
     params: &'a BTreeMap<String, Value>,
+    mode: SimdMode,
 }
 
 /// Evaluate a loop-bound expression to a scalar with the current environment.
@@ -695,8 +1430,11 @@ impl Runner<'_> {
                 let min = eval_scalar(min, env)?;
                 let extent = eval_scalar(extent, env)?.max(0);
                 let depth = env.len();
+                // The full scheduled width: each store visit dispatches this
+                // many lanes, and `exec_store` batches them `MAX_LANES` at a
+                // time — `vectorize(32)` really runs 32 lanes per dispatch.
                 let batch = match kind {
-                    LoopKind::Vectorized { width } => (*width).clamp(1, MAX_LANES),
+                    LoopKind::Vectorized { width } => (*width).max(1),
                     _ => 1,
                 };
                 match kind {
@@ -806,7 +1544,23 @@ impl Runner<'_> {
         env.push((var.to_string(), 0));
         let result = (|| {
             if let Stmt::Store { id, .. } = body {
-                // Innermost loop over a single store: run in lane batches.
+                // Innermost loop over a single store: tier selection.
+                let store = self.prepared.stores[*id].as_ref().expect("store compiled");
+                let use_fused = match self.mode {
+                    SimdMode::ForceScalar => false,
+                    SimdMode::Auto => batch > 1,
+                    SimdMode::ForceSimd => true,
+                };
+                if use_fused {
+                    if let Some(fused) = &store.fused {
+                        debug_assert_eq!(store.lane_depth, depth, "lane depth mismatch");
+                        let width = if batch > 1 { batch } else { MAX_LANES };
+                        return self.run_fused_loop(
+                            fused, *id, depth, min, extent, width, binds, vars, scratch,
+                        );
+                    }
+                }
+                // Per-op tier: run in lane batches of the scheduled width.
                 let mut i = min;
                 let end = min + extent;
                 while i < end {
@@ -830,22 +1584,173 @@ impl Runner<'_> {
         result
     }
 
+    /// Execute one full innermost loop of a fused store: derive the in-range
+    /// interior from the tap bases and buffer extents, run the fused kernel
+    /// over full-width chunks there, and peel the borders and the tail
+    /// through the clamped per-op tier.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_loop(
+        &self,
+        fused: &FusedKernel,
+        store_id: usize,
+        lane_depth: usize,
+        min: i64,
+        extent: i64,
+        width: usize,
+        binds: &BindTable,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let end = min + extent;
+        if extent <= 0 {
+            return Ok(());
+        }
+        // Per-row bases of every tap, and the interior [lo, hi] (inclusive)
+        // of the loop variable where every tap access is in range.
+        let mut lo = min;
+        let mut hi = end - 1;
+        scratch.tap_bases.clear();
+        for tap in &fused.taps {
+            let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+            let mut base = 0i64;
+            for (d, aff) in tap.dims.iter().enumerate() {
+                let b = aff.eval(vars);
+                let ext = bind.extents[d] as i64;
+                if d == 0 && tap.lane == TapLane::Contiguous {
+                    // 0 <= b + x <= ext - 1, and dimension 0 has stride 1.
+                    lo = lo.max(b.saturating_neg());
+                    hi = hi.min((ext - 1).saturating_sub(b));
+                    base = base.wrapping_add(b);
+                } else {
+                    if b < 0 || b >= ext {
+                        // A lane-invariant index out of range: the reference
+                        // semantics clamp it, so no interior exists.
+                        hi = lo - 1;
+                    }
+                    base = base.wrapping_add(b.wrapping_mul(bind.strides[d] as i64));
+                }
+            }
+            scratch.tap_bases.push(base);
+        }
+        if lo > hi {
+            return self.general_range(store_id, lane_depth, min, end, binds, vars, scratch);
+        }
+        // Output base offset (store indices are in range by construction).
+        let out_bind = binds.0[fused.out_slot]
+            .as_ref()
+            .expect("store target bound");
+        let mut out_base = 0i64;
+        for (d, aff) in fused.out_dims.iter().enumerate() {
+            out_base =
+                out_base.wrapping_add(aff.eval(vars).wrapping_mul(out_bind.strides[d] as i64));
+        }
+
+        let w = if width >= 32 {
+            32
+        } else if width >= 16 {
+            16
+        } else {
+            8
+        };
+        // Pre-peel, full-width interior chunks, then tail + post-peel.
+        self.general_range(store_id, lane_depth, min, lo, binds, vars, scratch)?;
+        let mut x = lo;
+        while x + w as i64 <= hi + 1 {
+            match w {
+                32 => run_fused_chunk::<32>(
+                    fused,
+                    x,
+                    &scratch.tap_bases,
+                    out_base,
+                    lane_depth,
+                    binds,
+                    vars,
+                ),
+                16 => run_fused_chunk::<16>(
+                    fused,
+                    x,
+                    &scratch.tap_bases,
+                    out_base,
+                    lane_depth,
+                    binds,
+                    vars,
+                ),
+                _ => run_fused_chunk::<8>(
+                    fused,
+                    x,
+                    &scratch.tap_bases,
+                    out_base,
+                    lane_depth,
+                    binds,
+                    vars,
+                ),
+            }
+            x += w as i64;
+        }
+        self.general_range(store_id, lane_depth, x, end, binds, vars, scratch)?;
+        if x > lo {
+            FUSED_ROWS.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Run `[from, to)` of an innermost store loop through the per-op tier
+    /// (the peel path of fused stores), in `MAX_LANES` batches.
+    #[allow(clippy::too_many_arguments)]
+    fn general_range(
+        &self,
+        store_id: usize,
+        lane_depth: usize,
+        from: i64,
+        to: i64,
+        binds: &BindTable,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let mut i = from;
+        while i < to {
+            let n = MAX_LANES.min((to - i) as usize);
+            vars[lane_depth] = i;
+            self.exec_store(store_id, n, binds, vars, scratch)?;
+            i += n as i64;
+        }
+        Ok(())
+    }
+
+    /// Dispatch `n` lanes of a store starting at the current lane variable.
+    /// Widths beyond [`MAX_LANES`] are batched `MAX_LANES` at a time (the
+    /// scratch register files are `MAX_LANES` wide), advancing the lane
+    /// variable per batch — results are identical to any other batching.
     fn exec_store(
         &self,
         id: usize,
         n: usize,
         binds: &BindTable,
-        vars: &[i64],
+        vars: &mut [i64],
         scratch: &mut Scratch,
     ) -> Result<(), RealizeError> {
         let store = self.prepared.stores[id].as_ref().expect("store compiled");
-        match &store.exec {
-            StoreExec::Typed(t) => {
-                self.exec_typed(t, store.lane_depth, n, binds, vars, scratch);
-                Ok(())
+        let lane_depth = store.lane_depth;
+        let base = vars[lane_depth];
+        let mut done = 0usize;
+        let result = (|| {
+            while done < n {
+                let m = MAX_LANES.min(n - done);
+                vars[lane_depth] = base + done as i64;
+                match &store.exec {
+                    StoreExec::Typed(t) => {
+                        self.exec_typed(t, lane_depth, m, binds, vars, scratch);
+                    }
+                    StoreExec::Fallback(f) => {
+                        self.exec_fallback(f, lane_depth, m, binds, vars)?;
+                    }
+                }
+                done += m;
             }
-            StoreExec::Fallback(f) => self.exec_fallback(f, store.lane_depth, n, binds, vars),
-        }
+            Ok(())
+        })();
+        vars[lane_depth] = base;
+        result
     }
 
     fn exec_typed(
@@ -1476,6 +2381,302 @@ fn run_program(
 }
 
 // ---------------------------------------------------------------------------
+// Fused-kernel execution
+// ---------------------------------------------------------------------------
+
+/// Load one tap's lanes for the chunk at lane-variable value `x`. In-bounds
+/// by the interior derivation in `run_fused_loop`.
+#[inline]
+fn load_tap<const W: usize>(tap: &TapAccess, base: i64, x: i64, binds: &BindTable) -> [i32; W] {
+    let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+    let data = bind.data();
+    let mut out = [0i32; W];
+    match tap.lane {
+        TapLane::Contiguous => {
+            let off = (base + x) as usize;
+            match tap.ty {
+                ScalarType::UInt8 => {
+                    let src = &data[off..off + W];
+                    for l in 0..W {
+                        out[l] = src[l] as i32;
+                    }
+                }
+                ScalarType::UInt16 => {
+                    let src = &data[off * 2..off * 2 + W * 2];
+                    for l in 0..W {
+                        out[l] = u16::from_le_bytes([src[2 * l], src[2 * l + 1]]) as i32;
+                    }
+                }
+                ScalarType::UInt32 => {
+                    let src = &data[off * 4..off * 4 + W * 4];
+                    for l in 0..W {
+                        out[l] =
+                            u32::from_le_bytes(src[4 * l..4 * l + 4].try_into().expect("4 bytes"))
+                                as i32;
+                    }
+                }
+                ScalarType::Int32 => {
+                    let src = &data[off * 4..off * 4 + W * 4];
+                    for l in 0..W {
+                        out[l] =
+                            i32::from_le_bytes(src[4 * l..4 * l + 4].try_into().expect("4 bytes"));
+                    }
+                }
+                _ => unreachable!("fused taps are 8/16/32-bit integers"),
+            }
+        }
+        TapLane::Broadcast => {
+            let off = base as usize;
+            let v = match tap.ty {
+                ScalarType::UInt8 => data[off] as i32,
+                ScalarType::UInt16 => u16::from_le_bytes([data[off * 2], data[off * 2 + 1]]) as i32,
+                ScalarType::UInt32 => {
+                    u32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes"))
+                        as i32
+                }
+                ScalarType::Int32 => {
+                    i32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes"))
+                }
+                _ => unreachable!("fused taps are 8/16/32-bit integers"),
+            };
+            out = [v; W];
+        }
+    }
+    out
+}
+
+/// Run one fused kernel over the `W` lanes starting at lane-variable value
+/// `x`, storing the truncated result contiguously. Constant trip counts over
+/// `[i32; W]` chunks are what LLVM auto-vectorizes.
+fn run_fused_chunk<const W: usize>(
+    fused: &FusedKernel,
+    x: i64,
+    tap_bases: &[i64],
+    out_base: i64,
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) {
+    let mut st = [[0i32; W]; V_STACK];
+    let mut sp = 0usize;
+    for op in &fused.ops {
+        match op {
+            VOp::Const(v) => {
+                st[sp] = [*v; W];
+                sp += 1;
+            }
+            VOp::Var(depth) => {
+                if *depth == lane_depth {
+                    let base = x as i32;
+                    for (l, lane) in st[sp].iter_mut().enumerate() {
+                        *lane = base + l as i32;
+                    }
+                } else {
+                    st[sp] = [vars[*depth] as i32; W];
+                }
+                sp += 1;
+            }
+            VOp::Load(t) => {
+                st[sp] = load_tap::<W>(&fused.taps[*t], tap_bases[*t], x, binds);
+                sp += 1;
+            }
+            VOp::Axpy { tap, coeff } => {
+                let v = load_tap::<W>(&fused.taps[*tap], tap_bases[*tap], x, binds);
+                let dst = &mut st[sp - 1];
+                for l in 0..W {
+                    dst[l] = dst[l].wrapping_add(coeff.wrapping_mul(v[l]));
+                }
+            }
+            VOp::AddC(c) => {
+                for l in &mut st[sp - 1] {
+                    *l = l.wrapping_add(*c);
+                }
+            }
+            VOp::MulC(c) => {
+                for l in &mut st[sp - 1] {
+                    *l = l.wrapping_mul(*c);
+                }
+            }
+            VOp::AndC(c) => {
+                for l in &mut st[sp - 1] {
+                    *l &= *c;
+                }
+            }
+            VOp::OrC(c) => {
+                for l in &mut st[sp - 1] {
+                    *l |= *c;
+                }
+            }
+            VOp::XorC(c) => {
+                for l in &mut st[sp - 1] {
+                    *l ^= *c;
+                }
+            }
+            VOp::Mask(m) => {
+                for l in &mut st[sp - 1] {
+                    *l &= *m;
+                }
+            }
+            VOp::ShrU(s) => {
+                for l in &mut st[sp - 1] {
+                    *l = ((*l as u32) >> *s) as i32;
+                }
+            }
+            VOp::Shl(s) => {
+                for l in &mut st[sp - 1] {
+                    *l = l.wrapping_shl(*s);
+                }
+            }
+            VOp::Add
+            | VOp::Sub
+            | VOp::Mul
+            | VOp::And
+            | VOp::Or
+            | VOp::Xor
+            | VOp::MinS
+            | VOp::MaxS
+            | VOp::MinU
+            | VOp::MaxU => {
+                let (head, tail) = st.split_at_mut(sp - 1);
+                let a = &mut head[sp - 2];
+                let b = &tail[0];
+                match op {
+                    VOp::Add => {
+                        for l in 0..W {
+                            a[l] = a[l].wrapping_add(b[l]);
+                        }
+                    }
+                    VOp::Sub => {
+                        for l in 0..W {
+                            a[l] = a[l].wrapping_sub(b[l]);
+                        }
+                    }
+                    VOp::Mul => {
+                        for l in 0..W {
+                            a[l] = a[l].wrapping_mul(b[l]);
+                        }
+                    }
+                    VOp::And => {
+                        for l in 0..W {
+                            a[l] &= b[l];
+                        }
+                    }
+                    VOp::Or => {
+                        for l in 0..W {
+                            a[l] |= b[l];
+                        }
+                    }
+                    VOp::Xor => {
+                        for l in 0..W {
+                            a[l] ^= b[l];
+                        }
+                    }
+                    VOp::MinS => {
+                        for l in 0..W {
+                            a[l] = a[l].min(b[l]);
+                        }
+                    }
+                    VOp::MaxS => {
+                        for l in 0..W {
+                            a[l] = a[l].max(b[l]);
+                        }
+                    }
+                    VOp::MinU => {
+                        for l in 0..W {
+                            a[l] = (a[l] as u32).min(b[l] as u32) as i32;
+                        }
+                    }
+                    VOp::MaxU => {
+                        for l in 0..W {
+                            a[l] = (a[l] as u32).max(b[l] as u32) as i32;
+                        }
+                    }
+                    _ => unreachable!("binary group"),
+                }
+                sp -= 1;
+            }
+            VOp::CmpS(cmp) => {
+                let (head, tail) = st.split_at_mut(sp - 1);
+                let a = &mut head[sp - 2];
+                let b = &tail[0];
+                for l in 0..W {
+                    let (x, y) = (a[l], b[l]);
+                    a[l] = cmp_lanes(*cmp, x, y);
+                }
+                sp -= 1;
+            }
+            VOp::CmpU(cmp) => {
+                let (head, tail) = st.split_at_mut(sp - 1);
+                let a = &mut head[sp - 2];
+                let b = &tail[0];
+                for l in 0..W {
+                    let (x, y) = (a[l] as u32, b[l] as u32);
+                    a[l] = cmp_lanes(*cmp, x, y);
+                }
+                sp -= 1;
+            }
+            VOp::Sel => {
+                let (head, tail) = st.split_at_mut(sp - 2);
+                let c = &mut head[sp - 3];
+                let (t, f) = (&tail[0], &tail[1]);
+                for l in 0..W {
+                    c[l] = if c[l] != 0 { t[l] } else { f[l] };
+                }
+                sp -= 2;
+            }
+        }
+    }
+    debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+
+    // Contiguous truncating store of the result lanes.
+    let bind = binds.0[fused.out_slot]
+        .as_ref()
+        .expect("store target bound");
+    let off = (out_base + x) as usize;
+    let vals = &st[0];
+    let mut tmp = [0u8; MAX_CHUNK * 4];
+    match fused.out_ty {
+        ScalarType::UInt8 => {
+            for l in 0..W {
+                tmp[l] = vals[l] as u8;
+            }
+            bind.write(off, &tmp[..W]);
+        }
+        ScalarType::UInt16 => {
+            for l in 0..W {
+                tmp[2 * l..2 * l + 2].copy_from_slice(&(vals[l] as u16).to_le_bytes());
+            }
+            bind.write(off * 2, &tmp[..W * 2]);
+        }
+        ScalarType::UInt32 => {
+            for l in 0..W {
+                tmp[4 * l..4 * l + 4].copy_from_slice(&(vals[l] as u32).to_le_bytes());
+            }
+            bind.write(off * 4, &tmp[..W * 4]);
+        }
+        ScalarType::Int32 => {
+            for l in 0..W {
+                tmp[4 * l..4 * l + 4].copy_from_slice(&vals[l].to_le_bytes());
+            }
+            bind.write(off * 4, &tmp[..W * 4]);
+        }
+        _ => unreachable!("fused outputs are 8/16/32-bit integers"),
+    }
+}
+
+#[inline]
+fn cmp_lanes<T: PartialOrd>(op: CmpOp, x: T, y: T) -> i32 {
+    (match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }) as i32
+}
+
+// ---------------------------------------------------------------------------
 // Entry points: prepare (compile once) / run (execute many)
 // ---------------------------------------------------------------------------
 
@@ -1494,6 +2695,23 @@ pub struct ExecPlan {
     output_ty: ScalarType,
     image_names: Vec<String>,
     root_names: Vec<String>,
+}
+
+impl ExecPlan {
+    /// Number of stores compiled with a fused SIMD lane kernel (tier 1).
+    /// The kernel selection is part of the plan, so cached plans keep it.
+    pub fn fused_store_count(&self) -> usize {
+        self.prepared
+            .stores
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|s| s.fused.is_some()))
+            .count()
+    }
+
+    /// Number of compiled stores in the plan.
+    pub fn store_count(&self) -> usize {
+        self.prepared.stores.iter().filter(|s| s.is_some()).count()
+    }
 }
 
 /// Compile a lowered statement into an [`ExecPlan`].
@@ -1522,6 +2740,7 @@ pub fn prepare(
         alloc_slots: BTreeMap::new(),
         stores: Vec::new(),
         var_depths: BTreeMap::new(),
+        var_bounds: BTreeMap::new(),
         depth: 0,
         max_depth: 0,
         max_stack: 1,
@@ -1551,10 +2770,8 @@ pub fn prepare(
     })
 }
 
-/// Execute a prepared plan against the given buffers: the per-call half of
-/// the compile/run split. Binds the output writable plus the declared images
-/// and roots read-only (`Allocate` nodes bind their scratch buffers during
-/// execution), then walks the loop nest.
+/// Execute a prepared plan against the given buffers with the process-wide
+/// [`simd_mode`]. See [`run_with_mode`].
 ///
 /// # Errors
 /// Returns an error if a declared image or root buffer is not provided.
@@ -1564,6 +2781,25 @@ pub fn run(
     images: &BTreeMap<String, &Buffer>,
     roots: &BTreeMap<String, Buffer>,
     params: &BTreeMap<String, Value>,
+) -> Result<(), RealizeError> {
+    run_with_mode(plan, output, images, roots, params, simd_mode())
+}
+
+/// Execute a prepared plan against the given buffers: the per-call half of
+/// the compile/run split. Binds the output writable plus the declared images
+/// and roots read-only (`Allocate` nodes bind their scratch buffers during
+/// execution), then walks the loop nest. `mode` selects which execution
+/// tiers fused stores may use; every mode produces bit-identical buffers.
+///
+/// # Errors
+/// Returns an error if a declared image or root buffer is not provided.
+pub fn run_with_mode(
+    plan: &ExecPlan,
+    output: &mut Buffer,
+    images: &BTreeMap<String, &Buffer>,
+    roots: &BTreeMap<String, Buffer>,
+    params: &BTreeMap<String, Value>,
+    mode: SimdMode,
 ) -> Result<(), RealizeError> {
     debug_assert_eq!(
         output.scalar_type(),
@@ -1601,6 +2837,7 @@ pub fn run(
     let runner = Runner {
         prepared: &plan.prepared,
         params,
+        mode,
     };
     let mut binds = BindTable(binds);
     let mut env: Vec<(String, i64)> = Vec::new();
@@ -1645,4 +2882,334 @@ pub fn execute(
         params,
     )?;
     run(&plan, output, images, roots, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn u32c(e: Expr) -> Expr {
+        Expr::cast(ScalarType::UInt32, e)
+    }
+
+    fn tap(dx: i64, dy: i64) -> Expr {
+        u32c(Expr::Image(
+            "in".into(),
+            vec![
+                Expr::add(Expr::var("x"), Expr::int(dx)),
+                Expr::add(Expr::var("y"), Expr::int(dy)),
+            ],
+        ))
+    }
+
+    /// `for y: for[vectorized(width)] x: out[x, y] = value`
+    fn nest(w: i64, h: i64, width: usize, value: Expr) -> Stmt {
+        Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "y".into(),
+                min: Expr::int(0),
+                extent: Expr::int(h),
+                kind: LoopKind::Serial,
+                body: Box::new(Stmt::For {
+                    var: "x".into(),
+                    min: Expr::int(0),
+                    extent: Expr::int(w),
+                    kind: LoopKind::Vectorized { width },
+                    body: Box::new(Stmt::Store {
+                        id: 0,
+                        buffer: "out".into(),
+                        indices: vec![Expr::var("x"), Expr::var("y")],
+                        value,
+                    }),
+                }),
+            }),
+        }
+    }
+
+    fn input(w: usize, h: usize, seed: u64) -> Buffer {
+        let mut b = Buffer::new(ScalarType::UInt8, &[w, h]);
+        let mut s = seed | 1;
+        for c in b.coords().collect::<Vec<_>>() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.set(&c, Value::Int(((s >> 33) % 256) as i64));
+        }
+        b
+    }
+
+    fn plan_for(stmt: Stmt, out_ty: ScalarType) -> ExecPlan {
+        prepare(
+            stmt,
+            "out",
+            out_ty,
+            &[("in".to_string(), ScalarType::UInt8)],
+            &[],
+            &BTreeMap::new(),
+        )
+        .expect("prepare")
+    }
+
+    /// Run the plan under both forced modes and assert bit-identical outputs
+    /// (the per-op tier is the established oracle).
+    fn assert_modes_agree(plan: &ExecPlan, extents: &[usize], img: &Buffer) {
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), img)].into_iter().collect();
+        let mut scalar = Buffer::new(plan.output_ty, extents);
+        let mut simd = Buffer::new(plan.output_ty, extents);
+        let params = BTreeMap::new();
+        run_with_mode(
+            plan,
+            &mut scalar,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            SimdMode::ForceScalar,
+        )
+        .expect("scalar run");
+        run_with_mode(
+            plan,
+            &mut simd,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            SimdMode::ForceSimd,
+        )
+        .expect("simd run");
+        assert_eq!(scalar, simd, "tiers diverged");
+    }
+
+    /// The lifted sharpen shape: negative taps encoded as `4294967295 * x`
+    /// relying on u32 wrap-around, then a logical shift of the wrapped sum.
+    #[test]
+    fn fused_kernel_covers_u32_wraparound_shapes() {
+        let neg = |e: Expr| u32c(Expr::mul(Expr::int(4294967295), e));
+        let sum = u32c(Expr::add(
+            u32c(Expr::add(
+                u32c(Expr::add(
+                    Expr::int(2),
+                    u32c(Expr::mul(Expr::int(8), tap(1, 1))),
+                )),
+                neg(tap(0, 1)),
+            )),
+            neg(tap(2, 1)),
+        ));
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            u32c(Expr::bin(BinOp::Shr, sum, Expr::uint(2))),
+        );
+        for (w, h) in [(13i64, 7i64), (31, 5), (8, 8)] {
+            let plan = plan_for(nest(w, h, 8, value.clone()), ScalarType::UInt8);
+            assert_eq!(plan.fused_store_count(), 1, "sharpen shape must fuse");
+            for seed in [1u64, 99] {
+                assert_modes_agree(&plan, &[w as usize, h as usize], &input(17, 11, seed));
+            }
+        }
+    }
+
+    /// The peephole collapses load/scale/accumulate chains into Axpy superops.
+    #[test]
+    fn peephole_fuses_multiply_accumulate_taps() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(
+                    Expr::add(Expr::int(2), Expr::mul(Expr::int(2), tap(1, 1))),
+                    Expr::add(tap(0, 1), tap(2, 1)),
+                ),
+                Expr::uint(2),
+            ),
+        );
+        let plan = plan_for(nest(16, 8, 8, value), ScalarType::UInt8);
+        let fused = plan.prepared.stores[0]
+            .as_ref()
+            .and_then(|s| s.fused.as_ref())
+            .expect("blur shape must fuse");
+        let axpys = fused
+            .ops
+            .iter()
+            .filter(|op| matches!(op, VOp::Axpy { .. }))
+            .count();
+        assert!(axpys >= 2, "expected fused taps, got ops {:?}", fused.ops);
+        assert_eq!(fused.taps.len(), 3, "distinct taps deduplicated");
+    }
+
+    /// Boundary clamping (negative and past-the-end offsets) is preserved by
+    /// the interior/boundary split on odd/prime extents.
+    #[test]
+    fn interior_split_preserves_boundary_clamping() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(tap(-2, -1), Expr::add(tap(0, 0), tap(3, 2))),
+                Expr::uint(1),
+            ),
+        );
+        for width in [8usize, 16, 32] {
+            for (w, h) in [(7i64, 5i64), (13, 11), (37, 3), (4, 4)] {
+                let plan = plan_for(nest(w, h, width, value.clone()), ScalarType::UInt8);
+                assert_eq!(plan.fused_store_count(), 1);
+                assert_modes_agree(
+                    &plan,
+                    &[w as usize, h as usize],
+                    &input(w as usize, h as usize, 7),
+                );
+            }
+        }
+    }
+
+    /// Lane ramps (the loop variable in the value) and broadcast taps
+    /// (lane-invariant loads) both fuse and agree with the per-op tier.
+    #[test]
+    fn ramp_and_broadcast_taps_fuse() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::add(
+                Expr::mul(Expr::var("x"), Expr::int(3)),
+                u32c(Expr::Image("in".into(), vec![Expr::int(0), Expr::var("y")])),
+            ),
+        );
+        let plan = plan_for(nest(19, 5, 16, value), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 1);
+        assert_modes_agree(&plan, &[19, 5], &input(19, 5, 3));
+    }
+
+    /// Scheduled widths beyond MAX_LANES batch rather than truncate: a
+    /// vectorize(32) loop produces the same buffer as vectorize(1), on the
+    /// per-op tier (forced scalar) as well as the fused tier.
+    #[test]
+    fn wide_vector_widths_batch_rather_than_truncate() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::add(Expr::mul(Expr::var("x"), Expr::int(7)), tap(1, 0)),
+        );
+        let baseline_plan = plan_for(nest(45, 3, 1, value.clone()), ScalarType::UInt8);
+        let wide_plan = plan_for(nest(45, 3, 32, value), ScalarType::UInt8);
+        let img = input(45, 3, 11);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let params = BTreeMap::new();
+        let mut baseline = Buffer::new(ScalarType::UInt8, &[45, 3]);
+        run_with_mode(
+            &baseline_plan,
+            &mut baseline,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            SimdMode::ForceScalar,
+        )
+        .expect("baseline");
+        for mode in [SimdMode::ForceScalar, SimdMode::Auto, SimdMode::ForceSimd] {
+            let mut out = Buffer::new(ScalarType::UInt8, &[45, 3]);
+            run_with_mode(
+                &wide_plan,
+                &mut out,
+                &images,
+                &BTreeMap::new(),
+                &params,
+                mode,
+            )
+            .expect("wide");
+            assert_eq!(out, baseline, "vectorize(32) diverged under {mode:?}");
+        }
+    }
+
+    /// Shapes the 32-bit lane invariant cannot cover stay on the per-op tier:
+    /// float outputs, float math, u64-typed loads, strided lane access.
+    #[test]
+    fn unfusable_shapes_keep_per_op_tier() {
+        // Float output type.
+        let plan = plan_for(nest(8, 4, 8, tap(0, 0)), ScalarType::Float32);
+        assert_eq!(plan.fused_store_count(), 0);
+        // Float arithmetic in the value.
+        let fvalue = Expr::cast(
+            ScalarType::UInt8,
+            Expr::mul(tap(0, 0), Expr::ConstFloat(0.5, ScalarType::Float32)),
+        );
+        let plan = plan_for(nest(8, 4, 8, fvalue), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 0);
+        // Strided (non-contiguous, non-broadcast) lane access.
+        let strided = Expr::cast(
+            ScalarType::UInt8,
+            Expr::Image(
+                "in".into(),
+                vec![Expr::mul(Expr::var("x"), Expr::int(2)), Expr::var("y")],
+            ),
+        );
+        let plan = plan_for(nest(8, 4, 8, strided), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 0);
+        // And the per-op tier still executes them correctly (smoke).
+        assert_modes_agree(&plan, &[8, 4], &input(16, 4, 5));
+    }
+
+    /// The fused-rows counter observes tier-1 execution.
+    #[test]
+    fn fused_rows_counter_advances_under_force_simd() {
+        let plan = plan_for(nest(64, 16, 16, tap(0, 0)), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 1);
+        let img = input(64, 16, 23);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let params = BTreeMap::new();
+        let mut out = Buffer::new(ScalarType::UInt8, &[64, 16]);
+        let before = fused_rows_executed();
+        run_with_mode(
+            &plan,
+            &mut out,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            SimdMode::ForceSimd,
+        )
+        .expect("run");
+        assert!(
+            fused_rows_executed() > before,
+            "fused interior must have executed"
+        );
+    }
+
+    /// Min/max and select shapes fuse when intervals prove them exact.
+    #[test]
+    fn min_max_select_shapes_fuse_and_agree() {
+        let clamped = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Min,
+                Expr::bin(
+                    BinOp::Max,
+                    Expr::bin(BinOp::Sub, tap(1, 0), tap(0, 1)),
+                    Expr::int(0),
+                ),
+                Expr::int(200),
+            ),
+        );
+        let plan = plan_for(nest(23, 9, 8, clamped), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 1, "clamp shape must fuse");
+        assert_modes_agree(&plan, &[23, 9], &input(23, 9, 13));
+
+        let select = Expr::cast(
+            ScalarType::UInt8,
+            Expr::select(
+                Expr::cmp(CmpOp::Lt, tap(0, 0), Expr::int(128)),
+                Expr::int(255),
+                tap(1, 1),
+            ),
+        );
+        let plan = plan_for(nest(23, 9, 8, select), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 1, "select shape must fuse");
+        assert_modes_agree(&plan, &[23, 9], &input(23, 9, 17));
+    }
+
+    /// UInt16 outputs (narrow but not byte-wide) stay narrow end-to-end.
+    #[test]
+    fn u16_outputs_fuse() {
+        let value = Expr::cast(
+            ScalarType::UInt16,
+            Expr::add(Expr::mul(tap(0, 0), Expr::int(257)), Expr::int(1)),
+        );
+        let plan = plan_for(nest(29, 6, 16, value), ScalarType::UInt16);
+        assert_eq!(plan.fused_store_count(), 1);
+        assert_modes_agree(&plan, &[29, 6], &input(29, 6, 29));
+    }
 }

@@ -31,13 +31,14 @@
 //! same inputs as the interpreter, so both backends produce identical buffers
 //! (enforced by the differential property suite in `tests/prop_halide.rs`).
 
+use crate::bounds::affine_decompose;
 use crate::expr::{BinOp, Expr};
 use crate::func::{Func, Pipeline};
 use crate::realize::RealizeError;
 use crate::schedule::Schedule;
 use crate::simplify::simplify;
 use crate::stmt::{LoopKind, Stmt};
-use crate::types::{ScalarType, Value};
+use crate::types::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Cap on the element count of a `compute_at` region; larger inferred regions
@@ -268,60 +269,6 @@ fn var_substitution(func: &Func, levels: &[LoopLevel]) -> BTreeMap<String, Expr>
         }
     }
     subst
-}
-
-/// Structurally decompose `e` into an affine form `const + Σ coeff·var` over
-/// the pure output variables, resolving integer params to their values.
-/// Returns `None` for anything non-affine (loads, selects, float math,
-/// narrowing or sign-changing casts — which could wrap and diverge from the
-/// affine model).
-fn affine_decompose(
-    e: &Expr,
-    params: &BTreeMap<String, Value>,
-) -> Option<(BTreeMap<String, i64>, i64)> {
-    match e {
-        Expr::Var(n) => {
-            let mut m = BTreeMap::new();
-            m.insert(n.clone(), 1i64);
-            Some((m, 0))
-        }
-        Expr::ConstInt(v, ty) if !ty.is_float() => Some((BTreeMap::new(), *v)),
-        Expr::Param(n, _) => match params.get(n) {
-            Some(Value::Int(v)) => Some((BTreeMap::new(), *v)),
-            _ => None,
-        },
-        // Int32/UInt64 casts of an i64 index are value-preserving for every
-        // index magnitude a real buffer can have; narrower or unsigned-32
-        // casts can wrap (e.g. `cast<u32>(x - 1)` at x = 0) and are rejected.
-        Expr::Cast(ScalarType::Int32 | ScalarType::UInt64, inner) => {
-            affine_decompose(inner, params)
-        }
-        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
-            let (mut ca, ka) = affine_decompose(a, params)?;
-            let (cb, kb) = affine_decompose(b, params)?;
-            let sign = if *op == BinOp::Add { 1 } else { -1 };
-            for (v, c) in cb {
-                *ca.entry(v).or_insert(0) += sign * c;
-            }
-            Some((ca, ka + sign * kb))
-        }
-        Expr::Binary(BinOp::Mul, a, b) => {
-            let (ca, ka) = affine_decompose(a, params)?;
-            let (cb, kb) = affine_decompose(b, params)?;
-            let (mut coeffs, scale, k) = if ca.values().all(|&c| c == 0) {
-                (cb, ka, kb)
-            } else if cb.values().all(|&c| c == 0) {
-                (ca, kb, ka)
-            } else {
-                return None; // var × var: not affine
-            };
-            for c in coeffs.values_mut() {
-                *c *= scale;
-            }
-            Some((coeffs, k * scale))
-        }
-        _ => None,
-    }
 }
 
 /// How one loop of the nest participates in region inference.

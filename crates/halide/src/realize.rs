@@ -201,6 +201,7 @@ impl Realizer {
             pipeline,
             &self.schedule,
             self.backend,
+            None,
             output_extents,
             inputs,
             key,

@@ -20,8 +20,13 @@ pub struct Schedule {
     pub threads: usize,
     /// Tile sizes for the two innermost dimensions, if tiling is enabled.
     pub tile: Option<(usize, usize)>,
-    /// Number of output elements evaluated per inner dispatch (models
-    /// vector width; amortizes per-element dispatch overhead).
+    /// Number of output elements evaluated per inner dispatch. Beyond
+    /// amortizing dispatch overhead, the width now selects the fused SIMD
+    /// kernel's chunk size in the compiled executor (8/16/32 `i32` lanes;
+    /// see [`crate::exec`]), so 8, 16 and 32 genuinely generate different
+    /// inner kernels — the autotuner samples all three. Widths beyond
+    /// [`crate::exec::MAX_LANES`] are batched on the per-op tier, never
+    /// silently truncated.
     pub vector_width: usize,
     /// Funcs materialized into intermediate buffers instead of being inlined.
     pub compute_root: BTreeSet<String>,

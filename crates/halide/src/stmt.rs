@@ -28,8 +28,10 @@
 //!       output_1[x_0, x_1] = cast<uint8_t>(...)
 //! ```
 
+use crate::bounds::affine_decompose;
 use crate::expr::Expr;
-use crate::types::ScalarType;
+use crate::types::{ScalarType, Value};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// How the iterations of a [`Stmt::For`] loop are executed.
@@ -48,6 +50,119 @@ pub enum LoopKind {
         /// Number of lanes per batch.
         width: usize,
     },
+}
+
+/// The affine decomposition of one index expression over the enclosing loop
+/// variables: `konst + Σ coeff·var`.
+///
+/// This is the bounds/contiguity metadata the compiled executor derives for
+/// every load and store under a vectorized loop: a dimension whose index has
+/// coefficient 1 on the lane variable (and 0 everywhere else in the access)
+/// is *contiguous* — consecutive lanes touch consecutive elements, so the
+/// interior of the loop can use straight slice loads/stores — while an index
+/// with coefficient 0 on the lane variable is *lane-invariant* (a broadcast).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineIndex {
+    /// Constant part of the index.
+    pub konst: i64,
+    /// Per-variable multipliers (zero coefficients omitted).
+    pub coeffs: Vec<(String, i64)>,
+}
+
+impl AffineIndex {
+    /// Decompose `e` into an affine index over loop variables, resolving
+    /// integer params from `params`. Returns `None` for non-affine indices
+    /// (which keep the clamped per-lane execution path).
+    pub fn decompose(e: &Expr, params: &BTreeMap<String, Value>) -> Option<AffineIndex> {
+        let (coeffs, konst) = affine_decompose(e, params)?;
+        Some(AffineIndex {
+            konst,
+            coeffs: coeffs.into_iter().filter(|(_, c)| *c != 0).collect(),
+        })
+    }
+
+    /// The coefficient of `var` (zero when absent).
+    pub fn coeff_of(&self, var: &str) -> i64 {
+        self.coeffs
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Whether the index does not change with `var`.
+    pub fn is_invariant_in(&self, var: &str) -> bool {
+        self.coeff_of(var) == 0
+    }
+
+    /// Whether consecutive values of `var` index consecutive elements.
+    pub fn is_contiguous_in(&self, var: &str) -> bool {
+        self.coeff_of(var) == 1
+    }
+}
+
+/// One load (image or func source) appearing in a store's value expression,
+/// with the affine decomposition of each index dimension (`None` where the
+/// index is not affine in the loop variables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAccess {
+    /// Source buffer name.
+    pub source: String,
+    /// Per-dimension affine indices, innermost dimension first.
+    pub args: Vec<Option<AffineIndex>>,
+}
+
+impl LoadAccess {
+    /// Whether the access is contiguous along `var`: dimension 0 steps by one
+    /// element per iteration and every other dimension is invariant.
+    pub fn is_contiguous_in(&self, var: &str) -> bool {
+        self.args.iter().all(|a| a.is_some())
+            && access_contiguous_in(
+                &self.args.iter().flatten().cloned().collect::<Vec<_>>(),
+                var,
+            )
+    }
+
+    /// Whether the access is invariant in `var` (a per-iteration broadcast).
+    pub fn is_invariant_in(&self, var: &str) -> bool {
+        self.args.iter().all(|a| a.is_some())
+            && access_invariant_in(
+                &self.args.iter().flatten().cloned().collect::<Vec<_>>(),
+                var,
+            )
+    }
+}
+
+/// Whether an access with the given per-dimension affine indices is
+/// contiguous along `var`: dimension 0 steps by one element per iteration of
+/// `var` and every other dimension is invariant. This is the classification
+/// the compiled executor's fused-kernel tier applies to loads and stores.
+pub fn access_contiguous_in(args: &[AffineIndex], var: &str) -> bool {
+    let mut dims = args.iter().enumerate();
+    dims.next().is_some_and(|(_, a)| a.is_contiguous_in(var))
+        && dims.all(|(_, a)| a.is_invariant_in(var))
+}
+
+/// Whether an access is invariant in `var` (a per-iteration broadcast).
+pub fn access_invariant_in(args: &[AffineIndex], var: &str) -> bool {
+    args.iter().all(|a| a.is_invariant_in(var))
+}
+
+/// Collect every image/func load in `value` with its affine access metadata.
+pub fn collect_loads(value: &Expr, params: &BTreeMap<String, Value>) -> Vec<LoadAccess> {
+    let mut out = Vec::new();
+    value.visit(&mut |e| {
+        if let Expr::Image(name, args) | Expr::FuncRef(name, args) = e {
+            out.push(LoadAccess {
+                source: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| AffineIndex::decompose(a, params))
+                    .collect(),
+            });
+        }
+    });
+    out
 }
 
 /// A statement in the lowered loop-nest IR.
@@ -281,6 +396,47 @@ mod tests {
             Stmt::Store { .. } => {}
             other => panic!("expected flattened single store, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn affine_access_metadata_classifies_contiguity() {
+        use crate::types::Value;
+        let params = BTreeMap::new();
+        // in(x + 2, y) is contiguous in x, invariant in nothing.
+        let value = Expr::add(
+            Expr::Image(
+                "in".into(),
+                vec![Expr::add(Expr::var("x"), Expr::int(2)), Expr::var("y")],
+            ),
+            Expr::FuncRef("p".into(), vec![Expr::int(0), Expr::var("y")]),
+        );
+        let loads = collect_loads(&value, &params);
+        assert_eq!(loads.len(), 2);
+        assert!(loads[0].is_contiguous_in("x"));
+        assert!(!loads[0].is_invariant_in("x"));
+        assert!(loads[1].is_invariant_in("x"));
+        assert!(!loads[1].is_contiguous_in("x"));
+        // Strided access is neither.
+        let strided = Expr::Image("in".into(), vec![Expr::mul(Expr::var("x"), Expr::int(2))]);
+        let loads = collect_loads(&strided, &params);
+        assert!(!loads[0].is_contiguous_in("x") && !loads[0].is_invariant_in("x"));
+        // Non-affine indices surface as None per dimension.
+        let nonaffine = Expr::Image("in".into(), vec![Expr::mul(Expr::var("x"), Expr::var("y"))]);
+        assert_eq!(collect_loads(&nonaffine, &params)[0].args[0], None);
+        // AffineIndex resolves params and drops zero coefficients.
+        let mut p = BTreeMap::new();
+        p.insert("k".to_string(), Value::Int(3));
+        let a = AffineIndex::decompose(
+            &Expr::add(
+                Expr::var("x"),
+                Expr::Param("k".into(), crate::types::ScalarType::Int32),
+            ),
+            &p,
+        )
+        .expect("affine");
+        assert_eq!(a.konst, 3);
+        assert_eq!(a.coeff_of("x"), 1);
+        assert_eq!(a.coeff_of("y"), 0);
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl ScalarType {
         }
     }
 
+    /// The inclusive `[min, max]` range of values an integer type can
+    /// represent when carried as an `i64` [`Value`], or `None` for floats and
+    /// `UInt64` (whose upper half does not fit in positive `i64` space —
+    /// `u64` loads surface as negative `i64` bit patterns).
+    ///
+    /// This is the range for which a [`Value::cast`] to the type is the
+    /// identity, which is what interval-based kernel specialization needs to
+    /// prove casts transparent.
+    pub fn int_value_range(self) -> Option<(i64, i64)> {
+        match self {
+            ScalarType::UInt8 => Some((0, u8::MAX as i64)),
+            ScalarType::UInt16 => Some((0, u16::MAX as i64)),
+            ScalarType::UInt32 => Some((0, u32::MAX as i64)),
+            ScalarType::Int32 => Some((i32::MIN as i64, i32::MAX as i64)),
+            ScalarType::UInt64 | ScalarType::Float32 | ScalarType::Float64 => None,
+        }
+    }
+
     /// The C type used inside `cast<...>()` expressions.
     pub fn c_name(self) -> &'static str {
         match self {
