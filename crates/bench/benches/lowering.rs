@@ -11,15 +11,27 @@
 //! enabled — plus the winning vector width of an 8/16/32 sweep
 //! (`best_width`), so tier regressions are visible per PR.
 //!
+//! The report also carries the fused lane families' columns: miniGMG smooth
+//! as a `Float32` pipeline timed per-op vs the `[f32; W]` fused tier
+//! (`f32_simd_speedup`) and a histogram-style 64-bit binning pipeline timed
+//! against the `[i64; W/2]` tier (`i64_simd_speedup`), each verified
+//! bit-identical to the interpreter oracle before timing.
+//!
 //! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
 //! report from a reduced configuration — CI uses this to exercise the cached
 //! realize path on every PR without burning minutes.
 
 use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
-use helium_bench::{lift_photoflow, time_lifted_on, LiftedRealizeSetup};
-use helium_halide::{set_simd_mode, ExecBackend, Schedule, SimdMode};
+use helium_bench::{
+    hist64_pipeline, lift_photoflow, minigmg_smooth_f32, time_lifted_on, LiftedRealizeSetup,
+};
+use helium_halide::{
+    set_simd_mode, Buffer, CompileOptions, ExecBackend, Pipeline, RealizeInputs, Realizer,
+    Schedule, SimdMode,
+};
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 const FILTERS: [PhotoFilter; 3] = [PhotoFilter::Invert, PhotoFilter::Blur, PhotoFilter::Sharpen];
 
@@ -58,6 +70,104 @@ fn bench_lowering(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Compile a pipeline for the lowered backend with its execution tier pinned
+/// per [`CompileOptions::simd`].
+fn compile_pinned(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    mode: SimdMode,
+) -> helium_halide::CompiledPipeline {
+    pipeline
+        .compile(
+            schedule,
+            &CompileOptions {
+                backend: ExecBackend::Lowered,
+                simd: Some(mode),
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile")
+}
+
+/// Steady-state best-of-`reps` timing of warm runs of a compiled pipeline.
+fn time_compiled_runs(
+    compiled: &helium_halide::CompiledPipeline,
+    inputs: &RealizeInputs<'_>,
+    extents: &[usize],
+    reps: usize,
+) -> Duration {
+    let _ = compiled.run(inputs, extents).expect("warm-up run");
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = compiled.run(inputs, extents).expect("run");
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Per-op tier vs fused lane family for one pipeline: verify the fused
+/// output bit-identical to the interpreter oracle, then time the per-op tier
+/// and a width sweep of the fused tier. Returns
+/// `(scalar, simd, best_width, speedup)`.
+fn lane_family_split(
+    name: &str,
+    pipeline: &Pipeline,
+    input_name: &str,
+    input: &Buffer,
+    extents: &[usize],
+    expect_family: &str,
+    reps: usize,
+) -> (Duration, Duration, usize, f64) {
+    let inputs = RealizeInputs::new().with_image(input_name, input);
+    let schedule = Schedule::stencil_default();
+    // Correctness gate before timing: the fused tier must be active on the
+    // expected lane family and bit-identical to the interpreter.
+    let compiled = compile_pinned(pipeline, &schedule, SimdMode::ForceSimd);
+    let fused = compiled.run(&inputs, extents).expect("fused run");
+    let counts = compiled
+        .fused_store_counts(&inputs, extents)
+        .expect("counts");
+    let family_count = match expect_family {
+        "f32" => counts.lanes_f32,
+        "i64" => counts.lanes_i64,
+        _ => counts.lanes_i32,
+    };
+    assert!(
+        family_count > 0,
+        "{name}: expected the {expect_family} fused lane family, got {counts:?}"
+    );
+    let oracle = Realizer::new(schedule.clone())
+        .with_backend(ExecBackend::Interpret)
+        .realize(pipeline, extents, &inputs)
+        .expect("oracle");
+    assert_eq!(fused, oracle, "{name}: fused output diverged from oracle");
+
+    let scalar_compiled = compile_pinned(pipeline, &schedule, SimdMode::ForceScalar);
+    let scalar = time_compiled_runs(&scalar_compiled, &inputs, extents, reps);
+    let (mut best_width, mut simd) = (0usize, Duration::MAX);
+    for width in [8usize, 16, 32] {
+        // Each swept width compiles a different fused kernel (its own cache
+        // key), so every one is pinned to the fused tier and oracle-gated
+        // before its timing counts (on the same compiled pipeline).
+        let s = schedule.clone().with_vector_width(width);
+        let swept = compile_pinned(pipeline, &s, SimdMode::ForceSimd);
+        let out = swept.run(&inputs, extents).expect("swept run");
+        assert_eq!(out, oracle, "{name}: width {width} diverged from oracle");
+        let t = time_compiled_runs(&swept, &inputs, extents, reps);
+        if t < simd {
+            simd = t;
+            best_width = width;
+        }
+    }
+    let speedup = scalar.as_secs_f64() / simd.as_secs_f64().max(1e-12);
+    println!(
+        "lowering: {name:<18} scalar={scalar:?} simd={simd:?} \
+         {expect_family}_simd_speedup={speedup:.2}x best_width={best_width}"
+    );
+    (scalar, simd, best_width, speedup)
 }
 
 fn write_report(reps: usize, width: usize, height: usize) {
@@ -133,8 +243,38 @@ fn write_report(reps: usize, width: usize, height: usize) {
             filter.name()
         );
     }
+    // The fused lane families beyond the 32-bit integer one: miniGMG smooth
+    // as a Float32 pipeline ([f32; W]) and 64-bit histogram binning
+    // ([i64; W/2]), each oracle-verified before timing.
+    let smoke = smoke_mode();
+    let (nx, ny, nz) = if smoke { (32, 32, 6) } else { (64, 64, 12) };
+    let (smooth, grid) = minigmg_smooth_f32(nx, ny, nz, 0x6116);
+    let (s_scalar, s_simd, s_width, f32_speedup) = lane_family_split(
+        "minigmg_smooth_f32",
+        &smooth,
+        "grid",
+        &grid,
+        &[nx, ny, nz],
+        "f32",
+        reps,
+    );
+    let (hw, hh) = if smoke { (96, 64) } else { (192, 128) };
+    let (hist, hist_in) = hist64_pipeline(hw, hh, 0xB16B);
+    let (h_scalar, h_simd, h_width, i64_speedup) =
+        lane_family_split("hist64", &hist, "in", &hist_in, &[hw, hh], "i64", reps);
+    let lane_families = format!(
+        "    {{\"pipeline\": \"minigmg_smooth_f32\", \"family\": \"f32\", \"extents\": [{nx}, {ny}, {nz}], \
+         \"scalar_ns\": {}, \"simd_ns\": {}, \"f32_simd_speedup\": {f32_speedup:.3}, \"best_width\": {s_width}}},\n    \
+         {{\"pipeline\": \"hist64\", \"family\": \"i64\", \"extents\": [{hw}, {hh}], \
+         \"scalar_ns\": {}, \"simd_ns\": {}, \"i64_simd_speedup\": {i64_speedup:.3}, \"best_width\": {h_width}}}",
+        s_scalar.as_nanos(),
+        s_simd.as_nanos(),
+        h_scalar.as_nanos(),
+        h_simd.as_nanos(),
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3}\n}}\n"
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");

@@ -6,7 +6,7 @@
 use helium_apps::photoflow::{PhotoFilter, PhotoFlow};
 use helium_apps::PlanarImage;
 use helium_core::{KnownData, LiftRequest, LiftedStencil, Lifter};
-use helium_halide::{Buffer, RealizeInputs, Realizer, ScalarType, Schedule, Value};
+use helium_halide::{Buffer, Pipeline, RealizeInputs, Realizer, ScalarType, Schedule, Value};
 use std::time::{Duration, Instant};
 
 /// Default benchmark image width.
@@ -322,6 +322,105 @@ pub fn lift_minigmg(nx: usize, ny: usize, nz: usize) -> (helium_apps::MiniGmg, L
     (app, lifted)
 }
 
+/// The miniGMG smooth stencil as a `Float32` pipeline: the weighted 7-point
+/// (3-D) Jacobi smoother over a ghosted grid, with a `cast<float>` after
+/// every arithmetic op — the rounding discipline regenerated single-precision
+/// SSE code has, and exactly the shape the compiled executor's `[f32; W]`
+/// fused lane family covers. Returns the pipeline plus a deterministic
+/// ghosted input grid of extents `(nx+2) × (ny+2) × (nz+2)`; realize the
+/// output over `[nx, ny, nz]`.
+pub fn minigmg_smooth_f32(nx: usize, ny: usize, nz: usize, seed: u64) -> (Pipeline, Buffer) {
+    use helium_halide::{Expr, Func, ImageParam};
+    let f32c = |e: Expr| Expr::cast(ScalarType::Float32, e);
+    // Interior cell (x, y, z) reads ghosted cell (x+1+dx, y+1+dy, z+1+dz).
+    let tap = |dx: i64, dy: i64, dz: i64| {
+        Expr::Image(
+            "grid".into(),
+            vec![
+                Expr::add(Expr::var("x_0"), Expr::int(1 + dx)),
+                Expr::add(Expr::var("x_1"), Expr::int(1 + dy)),
+                Expr::add(Expr::var("x_2"), Expr::int(1 + dz)),
+            ],
+        )
+    };
+    // Neighbour sum in the legacy kernel's operation order, rounding after
+    // every addition.
+    let nsum = f32c(Expr::add(
+        f32c(Expr::add(
+            f32c(Expr::add(
+                f32c(Expr::add(
+                    f32c(Expr::add(tap(-1, 0, 0), tap(1, 0, 0))),
+                    tap(0, -1, 0),
+                )),
+                tap(0, 1, 0),
+            )),
+            tap(0, 0, -1),
+        )),
+        tap(0, 0, 1),
+    ));
+    let wn = Expr::ConstFloat((1.0f32 / 12.0) as f64, ScalarType::Float32);
+    let wc = Expr::ConstFloat(0.5, ScalarType::Float32);
+    let value = f32c(Expr::add(
+        f32c(Expr::mul(nsum, wn)),
+        f32c(Expr::mul(tap(0, 0, 0), wc)),
+    ));
+    let out = Func::pure("smooth", &["x_0", "x_1", "x_2"], ScalarType::Float32, value);
+    let pipeline = Pipeline::new(out, vec![ImageParam::new("grid", ScalarType::Float32, 3)]);
+
+    let mut grid = Buffer::new(ScalarType::Float32, &[nx + 2, ny + 2, nz + 2]);
+    let mut s = seed | 1;
+    for c in grid.coords().collect::<Vec<_>>() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        grid.set(&c, Value::Float(((s >> 33) % 4096) as f64 / 16.0 - 128.0));
+    }
+    (pipeline, grid)
+}
+
+/// A histogram-style 64-bit binning pipeline: weighted accumulation of
+/// narrow taps into `UInt64` bins, where the i32 family's wrap proofs are
+/// vacuous and the `[i64; W/2]` fused lane family applies. Returns the
+/// pipeline plus a deterministic `UInt8` input of extents
+/// `(w+2) × (h+2)`; realize the output over `[w, h]`.
+pub fn hist64_pipeline(w: usize, h: usize, seed: u64) -> (Pipeline, Buffer) {
+    use helium_halide::{BinOp, Expr, Func, ImageParam};
+    let u64c = |e: Expr| Expr::cast(ScalarType::UInt64, e);
+    let tap = |dx: i64, dy: i64| {
+        Expr::cast(
+            ScalarType::UInt32,
+            Expr::Image(
+                "in".into(),
+                vec![
+                    Expr::add(Expr::var("x_0"), Expr::int(dx)),
+                    Expr::add(Expr::var("x_1"), Expr::int(dy)),
+                ],
+            ),
+        )
+    };
+    // Bin id scaled past 32 bits plus a shifted neighbour count.
+    let value = u64c(Expr::add(
+        Expr::mul(tap(0, 0), Expr::int(0x1_0000_0001)),
+        Expr::bin(
+            BinOp::Shl,
+            u64c(Expr::add(tap(1, 0), tap(0, 1))),
+            Expr::int(33),
+        ),
+    ));
+    let out = Func::pure("hist", &["x_0", "x_1"], ScalarType::UInt64, value);
+    let pipeline = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)]);
+
+    let mut input = Buffer::new(ScalarType::UInt8, &[w + 2, h + 2]);
+    let mut s = seed | 1;
+    for c in input.coords().collect::<Vec<_>>() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        input.set(&c, Value::Int(((s >> 33) % 256) as i64));
+    }
+    (pipeline, input)
+}
+
 /// Materialize a lifted buffer from an arbitrary memory image, honouring the
 /// inferred strides and element type.
 pub fn buffer_from_memory(
@@ -419,6 +518,7 @@ pub fn run_legacy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use helium_halide::{CompileOptions, ExecBackend, SimdMode};
 
     #[test]
     fn helpers_produce_consistent_timings() {
@@ -428,5 +528,73 @@ mod tests {
         assert!(legacy.as_nanos() > 0);
         assert!(lifted_time.as_nanos() > 0);
         assert!(!ms(legacy).is_empty());
+    }
+
+    /// The acceptance gate of the float lane family: miniGMG smooth
+    /// (`Float32`) runs on the fused tier and its output is bit-identical to
+    /// the interpreter oracle.
+    #[test]
+    fn minigmg_smooth_f32_runs_fused_and_matches_oracle() {
+        let (nx, ny, nz) = (21, 13, 5);
+        let (pipeline, grid) = minigmg_smooth_f32(nx, ny, nz, 0x6116);
+        let inputs = RealizeInputs::new().with_image("grid", &grid);
+        let extents = [nx, ny, nz];
+        let schedule = Schedule::stencil_default();
+        let compiled = pipeline
+            .compile(
+                &schedule,
+                &CompileOptions {
+                    backend: ExecBackend::Lowered,
+                    simd: Some(SimdMode::ForceSimd),
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compile");
+        let fused = compiled.run(&inputs, &extents).expect("fused run");
+        let counts = compiled
+            .fused_store_counts(&inputs, &extents)
+            .expect("counts");
+        assert!(
+            counts.lanes_f32 > 0,
+            "smooth must run the [f32; W] fused lane family, got {counts:?}"
+        );
+        let oracle = Realizer::new(schedule)
+            .with_backend(ExecBackend::Interpret)
+            .realize(&pipeline, &extents, &inputs)
+            .expect("oracle");
+        assert_eq!(fused, oracle, "smooth fused output diverged from oracle");
+    }
+
+    /// The 64-bit binning pipeline rides the [i64; W/2] family, bit-exact.
+    #[test]
+    fn hist64_runs_fused_and_matches_oracle() {
+        let (w, h) = (37, 11);
+        let (pipeline, input) = hist64_pipeline(w, h, 0xB16B);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let extents = [w, h];
+        let schedule = Schedule::stencil_default();
+        let compiled = pipeline
+            .compile(
+                &schedule,
+                &CompileOptions {
+                    backend: ExecBackend::Lowered,
+                    simd: Some(SimdMode::ForceSimd),
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compile");
+        let fused = compiled.run(&inputs, &extents).expect("fused run");
+        let counts = compiled
+            .fused_store_counts(&inputs, &extents)
+            .expect("counts");
+        assert!(
+            counts.lanes_i64 > 0,
+            "hist64 must run the [i64; W/2] fused lane family, got {counts:?}"
+        );
+        let oracle = Realizer::new(schedule)
+            .with_backend(ExecBackend::Interpret)
+            .realize(&pipeline, &extents, &inputs)
+            .expect("oracle");
+        assert_eq!(fused, oracle, "hist64 fused output diverged from oracle");
     }
 }

@@ -66,7 +66,8 @@ fn sample_schedule(rng: &mut StdRng, pipeline: &Pipeline) -> Schedule {
         Some((256, 64)),
     ];
     // 8/16/32 select genuinely different fused SIMD kernel widths in the
-    // compiled executor; 1 and 4 keep the scalar/narrow dispatch points in
+    // compiled executor — per lane family: 8/16/32 i32 or f32 lanes, 4/8/16
+    // i64 lanes — while 1 and 4 keep the scalar/narrow dispatch points in
     // the space.
     let widths = [1usize, 4, 8, 16, 32];
     let mut s = Schedule::naive()

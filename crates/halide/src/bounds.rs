@@ -88,6 +88,19 @@ impl Interval {
         ty.int_value_range().map(|(min, max)| Interval { min, max })
     }
 
+    /// Integers exactly representable in `f32`: `[-2^24, 2^24]`. An integer
+    /// value inside this range survives `as f64` → `as f32` (the reference
+    /// path's promotion followed by the store/cast rounding) without loss, so
+    /// the `[f32; W]` fused lane family may carry it as an `f32` lane. The
+    /// bound is conservative (larger even multiples are also exact) but every
+    /// value inside it is exact, which is the direction soundness needs.
+    pub fn f32_exact_int_range() -> Interval {
+        Interval {
+            min: -(1 << 24),
+            max: 1 << 24,
+        }
+    }
+
     /// Whether every value of this interval lies within `other`.
     pub fn within(self, other: Interval) -> bool {
         other.min <= self.min && self.max <= other.max
@@ -125,11 +138,46 @@ pub fn expr_interval(
                 min: 0,
                 max: i32::MAX as i64,
             }),
-        Expr::Cast(_, e) => expr_interval(e, var_bounds, params),
+        // Casts apply Value::cast: a narrowing integer cast clamps the
+        // interval to the type's identity range (the inner interval is only
+        // kept when it already fits — `cast<u8>(300)` is 44, not 300), a
+        // UInt64 cast keeps the i64 bits, and float casts round (which can
+        // escape any integer bound near the i64 extremes, so: everything).
+        // A possibly-float *inner* value was interval-analyzed with integer
+        // `combine` semantics, so its interval cannot be trusted — clamp to
+        // the target's full range (sound: Value::cast lands inside it) or
+        // give up for the identity casts.
+        Expr::Cast(ty, e) => {
+            let inner = expr_interval(e, var_bounds, params);
+            let float_inner = expr_may_be_float(e, params);
+            match Interval::of_type(*ty) {
+                Some(range) => {
+                    if !float_inner && inner.within(range) {
+                        inner
+                    } else {
+                        range
+                    }
+                }
+                None if ty.is_float() => Interval::everything(),
+                // UInt64: identity on the carried i64 (truncation for floats).
+                None if float_inner => Interval::everything(),
+                None => inner,
+            }
+        }
         Expr::Binary(op, a, b) => {
-            let ia = expr_interval(a, var_bounds, params);
-            let ib = expr_interval(b, var_bounds, params);
-            combine(*op, ia, ib)
+            // eval_binop takes its float branch when either operand is a
+            // float Value — floating arithmetic, or bitwise ops truncating a
+            // float — which the integer combine rules do not model. A
+            // structurally float operand therefore widens to everything
+            // (`cast<u8>(0.5f / 0.25f)` is 2, not inside the integer-derived
+            // [0, 0]).
+            if expr_may_be_float(a, params) || expr_may_be_float(b, params) {
+                Interval::everything()
+            } else {
+                let ia = expr_interval(a, var_bounds, params);
+                let ib = expr_interval(b, var_bounds, params);
+                combine(*op, ia, ib)
+            }
         }
         Expr::Cmp(..) => Interval { min: 0, max: 1 },
         Expr::Select(_, t, e) => {
@@ -139,6 +187,39 @@ pub fn expr_interval(
             min: 0,
             max: i32::MAX as i64,
         },
+    }
+}
+
+/// Whether `e` may *structurally* evaluate to a `Value::Float` — in which
+/// case any interval derived for it with the integer `combine` rules must
+/// not be trusted (the cast and binary rules widen instead). Extern calls
+/// always yield floats; loads are deliberately *not* flagged: their element
+/// types are unknown here and they already carry the documented
+/// `[0, i32::MAX]` sizing approximation, which flagging them would replace
+/// with `everything()` and blow up bounds-inferred allocations. Bitwise
+/// operators and comparisons produce integers for any operands
+/// ([`crate::expr::eval_binop`]'s float branch returns `Value::Int` for
+/// them), so only their *own* interval is integer — their float operands are
+/// handled by the binary rule's widening.
+fn expr_may_be_float(e: &Expr, params: &BTreeMap<String, Value>) -> bool {
+    match e {
+        Expr::Var(..) | Expr::RVar(..) | Expr::Cmp(..) => false,
+        Expr::ConstInt(_, ty) => ty.is_float(),
+        Expr::ConstFloat(..) => true,
+        Expr::Param(name, ty) => match params.get(name) {
+            Some(Value::Float(_)) => true,
+            Some(Value::Int(_)) => false,
+            None => ty.is_float(),
+        },
+        Expr::Cast(ty, _) => ty.is_float(),
+        Expr::Binary(op, a, b) => match op {
+            // eval_binop's bitwise/shift branch yields Int for any operands.
+            BinOp::Shr | BinOp::Shl | BinOp::And | BinOp::Or | BinOp::Xor => false,
+            _ => expr_may_be_float(a, params) || expr_may_be_float(b, params),
+        },
+        Expr::Select(_, t, f) => expr_may_be_float(t, params) || expr_may_be_float(f, params),
+        Expr::Call(..) => true,
+        Expr::Image(..) | Expr::FuncRef(..) => false,
     }
 }
 
@@ -275,6 +356,22 @@ pub fn combine(op: BinOp, a: Interval, b: Interval) -> Interval {
             }
         }
     }
+}
+
+/// Whether an `f64` value is *bit-exactly* representable in `f32`: narrowing
+/// and re-widening reproduces the original bit pattern.
+///
+/// This is the constant-admission test of the `[f32; W]` fused lane family:
+/// the reference path ([`crate::eval`]) carries floats as `f64` and rounds at
+/// explicit `cast<float>` points, so an `f32` lane kernel is bit-identical
+/// only when every constant it folds in is already exact in `f32`. The
+/// comparison is on bits, not values, so `-0.0` stays distinct from `0.0`,
+/// and NaNs are admitted exactly when their payload survives the roundtrip —
+/// the canonical quiet NaN does (and folding it is sound: the store performs
+/// the identical narrowing), while payloads only `f64` can hold do not.
+pub fn f64_is_f32_exact(v: f64) -> bool {
+    let roundtrip = (v as f32) as f64;
+    roundtrip.to_bits() == v.to_bits()
 }
 
 /// Structurally decompose `e` into an affine form `const + Σ coeff·var` over
@@ -475,6 +572,91 @@ mod tests {
                 assert!(r.contains(actual), "{x} % {y} = {actual} outside {r:?}");
             }
         }
+    }
+
+    #[test]
+    fn casts_of_float_values_clamp_to_the_type_range() {
+        use crate::types::ScalarType;
+        // cast<u8>(0.5f / 0.25f) evaluates to 2 via float division; the
+        // integer combine rules cannot see that, so the cast must widen to
+        // the full u8 range rather than trust the (integer-derived) inner
+        // interval.
+        let e = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Div,
+                Expr::ConstFloat(0.5, ScalarType::Float32),
+                Expr::ConstFloat(0.25, ScalarType::Float32),
+            ),
+        );
+        let iv = expr_interval(&e, &BTreeMap::new(), &BTreeMap::new());
+        assert!(iv.contains(2), "true value 2 must be inside {iv:?}");
+        assert_eq!(iv, Interval { min: 0, max: 255 });
+        // The float value can also re-enter integer land through a bitwise
+        // op (eval_binop's float branch truncates and returns Int):
+        // cast<u8>((0.5f / 0.25f) >> 0) is 2 as well — the binary rule must
+        // widen rather than trust the integer-combined operand intervals.
+        let e = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::bin(
+                    BinOp::Div,
+                    Expr::ConstFloat(0.5, ScalarType::Float32),
+                    Expr::ConstFloat(0.25, ScalarType::Float32),
+                ),
+                Expr::int(0),
+            ),
+        );
+        let iv = expr_interval(&e, &BTreeMap::new(), &BTreeMap::new());
+        assert!(iv.contains(2), "true value 2 must be inside {iv:?}");
+        // Integer inners still keep their tight interval.
+        let e = Expr::cast(ScalarType::UInt8, Expr::add(Expr::var("x"), Expr::int(2)));
+        let iv = expr_interval(&e, &bounds(&[("x", 0, 9)]), &BTreeMap::new());
+        assert_eq!(iv, Interval { min: 2, max: 11 });
+        // A UInt64 cast of a possibly-float value gives up entirely.
+        let e = Expr::cast(
+            ScalarType::UInt64,
+            Expr::mul(Expr::ConstFloat(1e18, ScalarType::Float64), Expr::var("x")),
+        );
+        let iv = expr_interval(&e, &bounds(&[("x", 0, 9)]), &BTreeMap::new());
+        assert_eq!(iv, Interval::everything());
+    }
+
+    #[test]
+    fn f32_exactness_predicates() {
+        // Values representable in f32 roundtrip bit-exactly.
+        for v in [
+            0.0f64,
+            -0.0,
+            0.5,
+            (1.0f32 / 12.0) as f64,
+            3.25,
+            -1e20f32 as f64,
+        ] {
+            assert!(f64_is_f32_exact(v), "{v} should be f32-exact");
+        }
+        // -0.0 and 0.0 are distinct bit patterns; both are exact, but the
+        // check must be bitwise (a value comparison would conflate them).
+        assert!(f64_is_f32_exact(-0.0) && f64_is_f32_exact(0.0));
+        // Values needing f64 precision (or exceeding f32 range) are not.
+        for v in [0.1f64, 1.0 / 12.0, 1e300, (1 << 25) as f64 + 1.0] {
+            assert!(!f64_is_f32_exact(v), "{v} must not pass as f32-exact");
+        }
+        // The canonical quiet NaN roundtrips bit-exactly (its payload
+        // survives widen/narrow), so it passes; a payload only f64 can hold
+        // does not.
+        assert!(f64_is_f32_exact(f64::NAN));
+        assert!(!f64_is_f32_exact(f64::from_bits(0x7ff8_0000_0000_0001)));
+        // Every integer in the f32-exact range converts without loss.
+        let r = Interval::f32_exact_int_range();
+        for v in [r.min, r.max, 0, -1, 12345, 1 << 20] {
+            assert!(r.contains(v));
+            assert_eq!((v as f64) as f32 as f64, v as f64);
+            assert_eq!(((v as f64) as f32 as f64) as i64, v);
+        }
+        // Just outside the range sits the first integer f32 cannot hold.
+        assert_ne!(((r.max + 1) as f64) as f32 as f64, (r.max + 1) as f64);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::buffer::{write_scalar, Buffer};
 use crate::cache::{binding_signature, fingerprint_pipeline, fingerprint_schedule};
 use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
 use crate::eval::{eval_expr, validate_bindings, EvalSources};
-use crate::exec::{self, ExecPlan};
+use crate::exec::{self, ExecPlan, FusedStoreCounts};
 use crate::expr::Expr;
 use crate::func::{Pipeline, UpdateDef};
 use crate::lower::{inline_except, plan_compute_at, ComputeAtOutcome};
@@ -160,6 +160,45 @@ impl CompiledPipeline {
         &self.pipeline
     }
 
+    /// Per-lane-family fused-kernel counts of the prepared program for
+    /// `output_extents` × `inputs` (see [`FusedStoreCounts`]): how many of
+    /// the program's stores *compiled* a tier-1 kernel, and on which lane
+    /// family (`[i32; W]`, `[i64; W/2]` or `[f32; W]`). Builds and caches
+    /// the program if this key has not run yet — the kernel selection is
+    /// part of the cached plan, so a subsequent [`CompiledPipeline::run`]
+    /// executes the same plan. Note the counts reflect compile-time kernel
+    /// *selection*: whether a counted kernel actually executes is gated per
+    /// run by the effective [`crate::exec::SimdMode`] (a
+    /// `ForceScalar`-pinned pipeline reports its kernels but runs the per-op
+    /// tier).
+    ///
+    /// # Errors
+    /// Returns an error if inputs or parameters are missing or the extents
+    /// do not match the output dimensionality.
+    pub fn fused_store_counts(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        output_extents: &[usize],
+    ) -> Result<FusedStoreCounts, RealizeError> {
+        let key = CacheKey {
+            pipeline: self.pipeline_fp,
+            schedule: self.schedule_fp,
+            backend: self.backend,
+            extents: output_extents.to_vec(),
+            bindings: binding_signature(inputs),
+        };
+        let program = program_for(
+            &self.pipeline,
+            &self.schedule,
+            self.backend,
+            output_extents,
+            inputs,
+            key,
+            &self.cache,
+        )?;
+        Ok(program.fused_store_counts())
+    }
+
     /// Hit/miss/eviction counters of the internal program cache. A warm run
     /// shows up as a hit — the proof that it did no planning or lowering.
     pub fn cache_stats(&self) -> CacheStats {
@@ -186,6 +225,30 @@ pub(crate) fn realize_with_cache(
     key: CacheKey,
     cache: &Mutex<ProgramCache<Arc<PreparedProgram>>>,
 ) -> Result<Buffer, RealizeError> {
+    let program = program_for(
+        pipeline,
+        schedule,
+        backend,
+        output_extents,
+        inputs,
+        key,
+        cache,
+    )?;
+    program.execute(inputs, simd)
+}
+
+/// Fetch (or build and cache) the prepared program for one cache key: the
+/// compile half of [`realize_with_cache`], shared with introspection APIs
+/// like [`CompiledPipeline::fused_store_counts`].
+fn program_for(
+    pipeline: &Pipeline,
+    schedule: &Schedule,
+    backend: ExecBackend,
+    output_extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    key: CacheKey,
+    cache: &Mutex<ProgramCache<Arc<PreparedProgram>>>,
+) -> Result<Arc<PreparedProgram>, RealizeError> {
     // Dimension mismatches are cheap to detect and must not poison the cache.
     let output = pipeline.output_func();
     if output.dims() != output_extents.len() {
@@ -195,7 +258,7 @@ pub(crate) fn realize_with_cache(
         });
     }
     let cached = cache.lock().expect("program cache mutex").get(&key);
-    let program = match cached {
+    Ok(match cached {
         Some(p) => p,
         None => {
             // Build outside the lock: compilation is the expensive part and
@@ -213,8 +276,7 @@ pub(crate) fn realize_with_cache(
                 .insert(key, Arc::clone(&built));
             built
         }
-    };
-    program.execute(inputs, simd)
+    })
 }
 
 /// Extents-independent validation: every func reference reachable from the
@@ -492,6 +554,22 @@ impl PreparedProgram {
             output: output_stage,
             params,
         })
+    }
+
+    /// Per-lane-family fused-kernel counts summed over every lowered stage
+    /// (materialized producers plus the output stage). Interpreted stages
+    /// contribute nothing — they have no lane programs.
+    pub(crate) fn fused_store_counts(&self) -> FusedStoreCounts {
+        let mut counts = FusedStoreCounts::default();
+        for stage in self.stages.iter().chain(std::iter::once(&self.output)) {
+            if let Some(PureExec::Lowered(plan)) = &stage.pure_exec {
+                let c = plan.fused_store_counts();
+                counts.lanes_i32 += c.lanes_i32;
+                counts.lanes_i64 += c.lanes_i64;
+                counts.lanes_f32 += c.lanes_f32;
+            }
+        }
+        counts
     }
 
     /// Execute the prepared program: materialize producer stages in order,

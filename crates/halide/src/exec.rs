@@ -4,17 +4,25 @@
 //! best tier its shape admits and the others remain as fallbacks:
 //!
 //! 1. **Fused SIMD lane kernels.** At [`prepare`] time each store under a
-//!    vectorized innermost loop is additionally compiled — when its value
-//!    expression is integer-typed, its loads are affine in the loop variables
-//!    and contiguous (or invariant) along the lane dimension, and its output
-//!    is at most 32 bits wide — into a single fused kernel over *32-bit
-//!    wrapping lanes* (`VOp` programs). The kernel evaluates fixed-width
-//!    `[i32; W]` chunks (`W` ∈ {8, 16, 32}, from the schedule's vector
-//!    width) with constant trip counts that LLVM reliably turns into SIMD,
-//!    loading taps as straight slices with *no per-lane clamping* and storing
-//!    whole chunks contiguously. Narrow types stay narrow end-to-end: a
-//!    `UInt8` blur runs as u8 loads → i32 arithmetic → u8 stores, never
-//!    widening to `i64`/`f64`.
+//!    vectorized innermost loop is additionally compiled — when its loads
+//!    are affine in the loop variables and contiguous (or invariant) along
+//!    the lane dimension — into a single fused kernel over one of three
+//!    *lane families*, each with its own bit-exactness invariant:
+//!
+//!    | family      | lanes per chunk  | outputs            | exactness invariant |
+//!    |-------------|------------------|--------------------|---------------------|
+//!    | `[i32; W]`  | `W` ∈ {8,16,32}  | ≤ 32-bit integers  | lanes hold the low 32 bits of the reference `i64` value; wrapping/bitwise ops are low-bit homomorphic, value-sensitive ops (shifts, min/max, compares, selects) only emitted when interval analysis proves the 32-bit result exact |
+//!    | `[i64; W/2]`| `W/2` ∈ {4,8,16} | any integer (incl. `UInt64`) | lanes *are* the reference `i64` value — every emitted op replicates [`eval_binop`] integer semantics verbatim, so no wrap proofs are needed (they would be vacuous) |
+//!    | `[f32; W]`  | `W` ∈ {8,16,32}  | `Float32`          | lanes hold values bit-exactly representable in `f32`; arithmetic is only emitted at *rounding points* (an enclosing `cast<float>` or the store's own narrowing), where a single `f32` rounding of exact-`f32` operands equals the reference's compute-in-`f64`-then-round (innocuous double rounding: 53 ≥ 2·24 + 2 significant bits, for +, −, ×, ÷ and sqrt) |
+//!
+//!    Integer stores try the `[i32; W]` family first and fall back to
+//!    `[i64; W/2]` when the 32-bit proofs fail, so wide-valued idioms (64-bit
+//!    histogram bins, unprovable shifts) still fuse at half throughput.
+//!    The kernels evaluate fixed-width chunks with constant trip counts that
+//!    LLVM reliably turns into SIMD, loading taps as straight slices with
+//!    *no per-lane clamping* and storing whole chunks contiguously. Narrow
+//!    types stay narrow end-to-end: a `UInt8` blur runs as u8 loads → i32
+//!    arithmetic → u8 stores, never widening to `i64`/`f64`.
 //! 2. **Per-op typed lane dispatch.** Every store compiles to typed stack
 //!    programs (`TOp`) whose int lanes are `i64` and float lanes `f64`,
 //!    with clamped, gather-style loads — the general path, and the one the
@@ -24,31 +32,40 @@
 //!    the shared [`crate::eval`] evaluator — the same code the interpreter
 //!    backend and the reduction path run, so the fallback cannot drift.
 //!
-//! **Interior/boundary splitting.** A fused store does not run its kernel
-//! blindly: at each entry of the innermost loop the executor derives, from
-//! the affine decomposition of every load index and the bound buffer
-//! extents, the sub-range of the loop where *every* load is provably
+//! **Interior/boundary splitting with masked tails.** A fused store does not
+//! run its kernel blindly: at each entry of the innermost loop the executor
+//! derives, from the affine decomposition of every load index and the bound
+//! buffer extents, the sub-range of the loop where *every* load is provably
 //! in-range (the steady-state interior). The interior runs the fused kernel
-//! in full-width chunks; the border lanes before it, after it, and the
-//! sub-width tail run the clamped per-op tier — so boundary clamping
-//! semantics are preserved exactly while the hot interior pays for none of
-//! it.
+//! in full-width chunks; the border lanes before and after it run the
+//! clamped per-op tier — so boundary clamping semantics are preserved
+//! exactly while the hot interior pays for none of it. A sub-width interior
+//! tail no longer peels onto the per-op tier: after at least one full chunk,
+//! the final chunk simply *overlaps* the previous one (re-storing identical
+//! lanes — sound because the kernel is deterministic and reads nothing it
+//! wrote; stores that read their own buffer are refused fusion outright, at
+//! build time, via [`crate::stmt::value_reads_buffer`] and the tap-slot
+//! check); an interior shorter than one chunk instead runs a single *masked*
+//! chunk that loads only the provably in-range lane prefix (zero-filling the
+//! rest) and stores only that prefix. Either way small tiles stay on tier 1
+//! — [`fused_tail_chunks_executed`] counts these tail chunks.
 //!
 //! **Bit-exactness.** Every tier replicates [`Value`] semantics exactly:
 //! integer arithmetic wraps, division by zero yields zero, right shifts are
 //! logical on `i64`, casts truncate like C casts, and out-of-range loads
-//! clamp per [`Buffer::get`]. The fused tier's 32-bit lanes are proven
-//! bit-exact per store at compile time: each kernel op maintains the
-//! invariant that its lanes hold the *low 32 bits* of the reference `i64`
-//! value (wrapping add/sub/mul and the bitwise ops are homomorphic in the
-//! low bits — which is also what makes kernels faithful to lifted code that
-//! exploits u32 wrap-around, like PhotoFlow's `4294967295 * x` negative
-//! taps), while value-sensitive ops (shifts, min/max, comparisons, selects)
-//! are only emitted when interval analysis ([`crate::bounds`]) proves the
-//! operands small enough that the 32-bit result is exact. Anything else
-//! falls back a tier. The differential property suites in
-//! `tests/prop_halide.rs` and `tests/prop_simd.rs` enforce equality against
-//! the interpreter across all tiers.
+//! clamp per [`Buffer::get`]. Floats are carried as `f64` and round at
+//! `cast<float>` points and `Float32` stores. Each fused lane family carries
+//! its own proof obligation (see the table above): the `[i32; W]` family's
+//! interval proofs are what make lifted u32 wrap-around idioms like
+//! PhotoFlow's `4294967295 * x` negative taps fusable; the `[i64; W/2]`
+//! family needs no proofs because its lanes are the reference values; the
+//! `[f32; W]` family's rounding-point discipline makes lifted
+//! single-precision SSE code (every instruction rounds at `f32`) fuse while
+//! expressions that genuinely accumulate in `f64` fall back a tier.
+//! Anything unprovable falls back a tier. The differential property suites
+//! in `tests/prop_halide.rs` and `tests/prop_simd.rs` enforce equality
+//! against the interpreter across all tiers, element types (including NaN,
+//! ±Inf and subnormal float inputs) and extents.
 //!
 //! The [`SimdMode`] knob (the `HELIUM_FORCE_SCALAR` / `HELIUM_FORCE_SIMD`
 //! environment variables, [`set_simd_mode`], or
@@ -71,12 +88,14 @@
 //! buffers are allocated inside the parallel body and are thread-local by
 //! construction.
 
-use crate::bounds::{combine, expr_interval, Interval};
+use crate::bounds::{combine, expr_interval, f64_is_f32_exact, Interval};
 use crate::buffer::Buffer;
 use crate::eval::{eval_expr, EvalSources};
 use crate::expr::{eval_binop, eval_cmp, BinOp, CmpOp, Expr, ExternCall};
 use crate::realize::RealizeError;
-use crate::stmt::{access_contiguous_in, access_invariant_in, AffineIndex, LoopKind, Stmt};
+use crate::stmt::{
+    access_contiguous_in, access_invariant_in, value_reads_buffer, AffineIndex, LoopKind, Stmt,
+};
 use crate::types::{ScalarType, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -125,6 +144,10 @@ static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// for observability and tests.
 static FUSED_ROWS: AtomicU64 = AtomicU64::new(0);
 
+/// Sub-width interior tails executed as fused chunks (overlapping or masked)
+/// instead of peeling onto the per-op tier, for observability and tests.
+static FUSED_TAILS: AtomicU64 = AtomicU64::new(0);
+
 fn env_simd_mode() -> SimdMode {
     static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
     *ENV_MODE.get_or_init(|| {
@@ -169,6 +192,13 @@ pub fn set_simd_mode(mode: Option<SimdMode>) {
 /// path since process start (monotonic; for tests and observability).
 pub fn fused_rows_executed() -> u64 {
     FUSED_ROWS.load(Ordering::Relaxed)
+}
+
+/// Number of sub-width interior tails executed as fused chunks (masked or
+/// overlapping) rather than peeled onto the per-op tier since process start
+/// (monotonic; for tests and observability).
+pub fn fused_tail_chunks_executed() -> u64 {
+    FUSED_TAILS.load(Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------------
@@ -368,15 +398,20 @@ struct TapAccess {
     lane: TapLane,
 }
 
-/// One op of a fused kernel: a stack machine over `[i32; W]` chunks with
-/// *wrapping* arithmetic. Compilation maintains the invariant that every
+/// One op of an integer fused kernel: a stack machine over `[C; W]` chunks
+/// with *wrapping* arithmetic, where `C` is the lane type's constant carrier
+/// (`i32` for the narrow family, `i64` for the wide one).
+///
+/// For `[i32; W]` kernels compilation maintains the invariant that every
 /// value on the stack holds the low 32 bits of the reference `i64` value;
 /// value-sensitive ops are only emitted when interval analysis proved their
-/// 32-bit result exact (see the module docs).
+/// 32-bit result exact (see the module docs). For `[i64; W/2]` kernels the
+/// lanes *are* the reference values and every op is exact by construction.
 #[derive(Debug, Clone, PartialEq)]
-enum VOp {
-    /// Push a broadcast constant (the low 32 bits of the i64 constant).
-    Const(i32),
+enum VOp<C = i32> {
+    /// Push a broadcast constant (for i32 lanes: the low 32 bits of the i64
+    /// constant).
+    Const(C),
     /// Push the loop variable at `depth` (a lane ramp at the lane depth).
     Var(usize),
     /// Push tap `tap`'s lanes (contiguous slice or broadcast scalar).
@@ -388,27 +423,32 @@ enum VOp {
     /// Wrapping `a * b`.
     Mul,
     /// Wrapping `top + c`.
-    AddC(i32),
+    AddC(C),
     /// Wrapping `top * c`.
-    MulC(i32),
+    MulC(C),
     /// Bitwise ops.
     And,
     Or,
     Xor,
-    AndC(i32),
-    OrC(i32),
-    XorC(i32),
+    AndC(C),
+    OrC(C),
+    XorC(C),
     /// `top & mask` (narrowing casts; also zeroes lanes via `Mask(0)`).
-    Mask(i32),
-    /// Logical shift right of lanes reinterpreted as `u32` (operand proven
-    /// within `[0, 2^32)`, where this equals the i64 logical shift).
+    Mask(C),
+    /// Logical shift right of lanes reinterpreted as unsigned (for i32
+    /// lanes: operand proven within `[0, 2^32)`, where this equals the i64
+    /// logical shift; for i64 lanes this *is* the reference shift).
     ShrU(u32),
-    /// Wrapping shift left (count < 32).
+    /// Wrapping shift left (count < lane width).
     Shl(u32),
-    /// Signed min/max (operands proven within i32).
+    /// Sign-extend the low 32 bits (`v as i32 as i64`, the `Int32` cast on
+    /// i64 lanes; the identity on i32 lanes, never emitted there).
+    Sext32,
+    /// Signed min/max (for i32 lanes: operands proven within i32).
     MinS,
     MaxS,
-    /// Unsigned min/max (operands proven within `[0, 2^32)`).
+    /// Unsigned min/max (for i32 lanes: operands proven within `[0, 2^32)`;
+    /// never emitted for i64 lanes — the reference compares signed i64).
     MinU,
     MaxU,
     /// Signed / unsigned comparison, yielding 0/1 lanes.
@@ -419,21 +459,126 @@ enum VOp {
     /// Fused multiply-accumulate: `top += coeff * tap` (wrapping).
     Axpy {
         tap: usize,
-        coeff: i32,
+        coeff: C,
     },
 }
 
-/// A store compiled into a fused SIMD lane kernel: the 32-bit lane program,
-/// its taps, and the contiguous output access.
+/// One op of an `[f32; W]` fused kernel. Compilation maintains the invariant
+/// that every lane holds a value bit-exactly representable in `f32` that
+/// equals the reference `f64` value (rounded at the reference's own rounding
+/// points): arithmetic ops are only emitted where the reference rounds —
+/// under a `cast<float>` or at the `Float32` store — where one `f32`
+/// rounding of exact operands equals compute-in-`f64`-then-round.
+#[derive(Debug, Clone, PartialEq)]
+enum FOp {
+    /// Push a broadcast constant (proven f32-exact at compile time).
+    Const(f32),
+    /// Push the loop variable at `depth` as f32 lanes (a lane ramp at the
+    /// lane depth; the variable's interval is proven f32-exact).
+    Var(usize),
+    /// Push tap `tap`'s lanes (f32 loads, or u8/u16 loads converted —
+    /// exactly — to f32).
+    Load(usize),
+    /// Rounding-point arithmetic: one f32 rounding each.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Exact selection ops, evaluated in f64 per lane to mirror
+    /// [`eval_binop`]'s float branch bit-for-bit (NaN and ±0.0 included).
+    Min,
+    Max,
+    /// Rounding-point square root.
+    Sqrt,
+    /// Comparison, yielding 1.0/0.0 mask lanes (the reference's 0/1 integers
+    /// are f32-exact).
+    Cmp(CmpOp),
+    /// `select(cond, t, f)` on three stack values; the condition tests
+    /// `lane != 0.0`, which matches `Value::is_true` on the exact value.
+    Sel,
+}
+
+/// The lane program of a fused kernel, tagging which lane family it runs on.
+#[derive(Debug, Clone, PartialEq)]
+enum LaneProgram {
+    /// `[i32; W]` wrapping lanes with interval-proven exactness.
+    I32(Vec<VOp<i32>>),
+    /// `[i64; W/2]` lanes carrying exact reference values.
+    I64(Vec<VOp<i64>>),
+    /// `[f32; W]` lanes with rounding-point discipline.
+    F32(Vec<FOp>),
+}
+
+/// The lane family a fused kernel was compiled for. See the module docs for
+/// the per-family exactness invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneFamily {
+    /// `[i32; W]` wrapping lanes (≤ 32-bit integer outputs, interval-proven).
+    I32,
+    /// `[i64; W/2]` exact-value lanes (any integer output, no proofs needed).
+    I64,
+    /// `[f32; W]` lanes (Float32 outputs, rounding-point discipline).
+    F32,
+}
+
+/// Per-lane-family fused-kernel counts of an [`ExecPlan`], for observability,
+/// autotuner reporting and benchmark columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedStoreCounts {
+    /// Stores fused on `[i32; W]` lanes.
+    pub lanes_i32: usize,
+    /// Stores fused on `[i64; W/2]` lanes.
+    pub lanes_i64: usize,
+    /// Stores fused on `[f32; W]` lanes.
+    pub lanes_f32: usize,
+}
+
+impl FusedStoreCounts {
+    /// Total fused stores across all lane families.
+    pub fn total(&self) -> usize {
+        self.lanes_i32 + self.lanes_i64 + self.lanes_f32
+    }
+}
+
+/// A store compiled into a fused SIMD lane kernel: the lane program, its
+/// taps, and the contiguous output access.
 #[derive(Debug, Clone, PartialEq)]
 struct FusedKernel {
-    ops: Vec<VOp>,
+    prog: LaneProgram,
     taps: Vec<TapAccess>,
     /// Output slot (dimension 0 is contiguous in the lane variable).
     out_slot: usize,
     out_ty: ScalarType,
     /// Per-dimension output index bases (lane variable excluded).
     out_dims: Vec<DepthAffine>,
+}
+
+impl FusedKernel {
+    /// The lane family this kernel runs on.
+    fn family(&self) -> LaneFamily {
+        match self.prog {
+            LaneProgram::I32(_) => LaneFamily::I32,
+            LaneProgram::I64(_) => LaneFamily::I64,
+            LaneProgram::F32(_) => LaneFamily::F32,
+        }
+    }
+
+    /// The chunk width used for a scheduled vector width: {8, 16, 32} lanes
+    /// for the i32/f32 families, half that ({4, 8, 16}) for i64 lanes so one
+    /// chunk covers the same number of vector registers.
+    fn chunk_width(&self, width: usize) -> usize {
+        let w = if width >= 32 {
+            32
+        } else if width >= 16 {
+            16
+        } else {
+            8
+        };
+        match self.family() {
+            LaneFamily::I32 | LaneFamily::F32 => w,
+            LaneFamily::I64 => w / 2,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -679,16 +824,16 @@ fn const_int_of(e: &Expr, params: &BTreeMap<String, Value>) -> Option<i64> {
     }
 }
 
-/// Emission state of one fused kernel.
-struct VEmit {
-    ops: Vec<VOp>,
+/// Emission state of one fused kernel, generic over the lane-op type.
+struct VEmit<Op> {
+    ops: Vec<Op>,
     taps: Vec<TapAccess>,
     cur: usize,
     max: usize,
 }
 
-impl VEmit {
-    fn new() -> VEmit {
+impl<Op> VEmit<Op> {
+    fn new() -> VEmit<Op> {
         VEmit {
             ops: Vec::new(),
             taps: Vec::new(),
@@ -697,16 +842,28 @@ impl VEmit {
         }
     }
 
-    fn push(&mut self, op: VOp, delta: isize) {
+    fn push(&mut self, op: Op, delta: isize) {
         self.ops.push(op);
         self.cur = (self.cur as isize + delta) as usize;
         self.max = self.max.max(self.cur);
     }
+
+    /// Register a tap access, deduplicating identical ones.
+    fn tap(&mut self, tap: TapAccess) -> usize {
+        match emitted_tap(&self.taps, &tap) {
+            Some(i) => i,
+            None => {
+                self.taps.push(tap);
+                self.taps.len() - 1
+            }
+        }
+    }
 }
 
-/// Compiles one store into a [`FusedKernel`], failing (with `None`) on any
-/// shape the 32-bit lane invariant cannot cover; the caller keeps the per-op
-/// tier in that case.
+/// Compiles one store into a [`FusedKernel`] on the best lane family its
+/// output type and value shape admit, failing (with `None`) on any shape no
+/// family's exactness invariant can cover; the caller keeps the per-op tier
+/// in that case.
 struct FusedBuilder<'a> {
     var_depths: &'a BTreeMap<String, usize>,
     var_bounds: &'a BTreeMap<String, Interval>,
@@ -719,37 +876,77 @@ struct FusedBuilder<'a> {
 }
 
 impl FusedBuilder<'_> {
-    fn build(&self, indices: &[Expr], value: &Expr) -> Option<FusedKernel> {
-        let out_ty = self.decls[self.out_slot].ty;
-        // 32-bit lanes can only produce outputs of at most 32 bits.
-        if !matches!(
-            out_ty,
-            ScalarType::UInt8 | ScalarType::UInt16 | ScalarType::UInt32 | ScalarType::Int32
-        ) {
+    /// Family selection: narrow integer outputs try the proven `[i32; W]`
+    /// family first (twice the lanes per register) and fall back to the
+    /// proof-free `[i64; W/2]` family; `UInt64` outputs go straight to i64
+    /// lanes; `Float32` outputs use the `[f32; W]` family. `self_alias` is
+    /// the name-level check ([`value_reads_buffer`]) computed by the caller —
+    /// a self-aliasing store must not fuse at all (chunked evaluation would
+    /// read lanes written earlier in the same row).
+    fn build(&self, indices: &[Expr], value: &Expr, self_alias: bool) -> Option<FusedKernel> {
+        if self_alias {
             return None;
         }
+        let out_ty = self.decls[self.out_slot].ty;
         // The store must be contiguous along the lane variable.
         let (out_dims, out_lane) = self.access_dims(indices)?;
         if out_lane != Some(TapLane::Contiguous) {
             return None;
         }
+        let built = match out_ty {
+            ScalarType::UInt8 | ScalarType::UInt16 | ScalarType::UInt32 | ScalarType::Int32 => {
+                self.build_i32(value).or_else(|| self.build_i64(value))
+            }
+            ScalarType::UInt64 => self.build_i64(value),
+            ScalarType::Float32 => self.build_f32(value),
+            // Float64 values are the reference representation itself; a lane
+            // family for them is a follow-on (no invariant shortcut exists).
+            ScalarType::Float64 => None,
+        };
+        let (prog, taps) = built?;
+        // A tap aliasing the output would read lanes the kernel just wrote
+        // (slot-level check; `self_alias` already covered the name level).
+        if taps.iter().any(|t| t.slot == self.out_slot) {
+            return None;
+        }
+        Some(FusedKernel {
+            prog,
+            taps,
+            out_slot: self.out_slot,
+            out_ty,
+            out_dims,
+        })
+    }
+
+    fn build_i32(&self, value: &Expr) -> Option<(LaneProgram, Vec<TapAccess>)> {
         let mut emit = VEmit::new();
         self.fuse(value, &mut emit)?;
         if emit.max > V_STACK {
             return None;
         }
-        // A tap aliasing the output would read lanes the kernel just wrote.
-        if emit.taps.iter().any(|t| t.slot == self.out_slot) {
+        peephole(&mut emit.ops);
+        Some((LaneProgram::I32(emit.ops), emit.taps))
+    }
+
+    fn build_i64(&self, value: &Expr) -> Option<(LaneProgram, Vec<TapAccess>)> {
+        let mut emit = VEmit::new();
+        self.fuse64(value, &mut emit)?;
+        if emit.max > V_STACK {
             return None;
         }
         peephole(&mut emit.ops);
-        Some(FusedKernel {
-            ops: emit.ops,
-            taps: emit.taps,
-            out_slot: self.out_slot,
-            out_ty,
-            out_dims,
-        })
+        Some((LaneProgram::I64(emit.ops), emit.taps))
+    }
+
+    fn build_f32(&self, value: &Expr) -> Option<(LaneProgram, Vec<TapAccess>)> {
+        let mut emit = VEmit::new();
+        // The `Float32` store narrows the value exactly like a `cast<float>`,
+        // so the top level is itself a rounding point.
+        self.fuse_f32_rounding(value, &mut emit)?;
+        if emit.max > V_STACK {
+            return None;
+        }
+        Some((LaneProgram::F32(emit.ops), emit.taps))
     }
 
     /// Decompose an access's index expressions into per-dimension affine
@@ -795,7 +992,7 @@ impl FusedBuilder<'_> {
 
     /// Compile `e`, pushing ops that leave its lanes on the stack, and return
     /// a sound interval of the reference `i64` value. `None` aborts fusion.
-    fn fuse(&self, e: &Expr, out: &mut VEmit) -> Option<Interval> {
+    fn fuse(&self, e: &Expr, out: &mut VEmit<VOp<i32>>) -> Option<Interval> {
         match e {
             Expr::ConstInt(v, ty) if !ty.is_float() => {
                 out.push(VOp::Const(*v as i32), 1);
@@ -892,20 +1089,20 @@ impl FusedBuilder<'_> {
                     dims,
                     lane,
                 };
-                let idx = match emitted_tap(&out.taps, &tap) {
-                    Some(i) => i,
-                    None => {
-                        out.taps.push(tap);
-                        out.taps.len() - 1
-                    }
-                };
+                let idx = out.tap(tap);
                 out.push(VOp::Load(idx), 1);
                 Some(iv)
             }
         }
     }
 
-    fn fuse_binary(&self, op: BinOp, a: &Expr, b: &Expr, out: &mut VEmit) -> Option<Interval> {
+    fn fuse_binary(
+        &self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        out: &mut VEmit<VOp<i32>>,
+    ) -> Option<Interval> {
         match op {
             // Quotient/remainder lanes would need exact i64 semantics
             // (including divide-by-zero and i32::MIN edge cases) — rare in
@@ -975,7 +1172,7 @@ impl FusedBuilder<'_> {
                     op,
                     BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
                 );
-                let fold = |k: i64, o: &mut VEmit| match op {
+                let fold = |k: i64, o: &mut VEmit<VOp<i32>>| match op {
                     BinOp::Add => o.push(VOp::AddC(k as i32), 0),
                     BinOp::Sub => o.push(VOp::AddC((k.wrapping_neg()) as i32), 0),
                     BinOp::Mul => o.push(VOp::MulC(k as i32), 0),
@@ -1014,10 +1211,391 @@ impl FusedBuilder<'_> {
             }
         }
     }
+
+    // -- The `[i64; W/2]` family: lanes are the reference `i64` value -------
+
+    /// Compile `e` onto i64 lanes. Unlike [`Self::fuse`] there is no interval
+    /// bookkeeping: every emitted op replicates the [`eval_binop`] /
+    /// [`eval_cmp`] / [`Value::cast`] integer semantics verbatim on the full
+    /// 64-bit value, so exactness holds by construction and `None` only means
+    /// "shape not expressible" (float operands, non-constant shift counts,
+    /// division), never "unprovable".
+    fn fuse64(&self, e: &Expr, out: &mut VEmit<VOp<i64>>) -> Option<()> {
+        match e {
+            Expr::ConstInt(v, ty) if !ty.is_float() => {
+                out.push(VOp::Const(*v), 1);
+                Some(())
+            }
+            Expr::ConstInt(..) | Expr::ConstFloat(..) | Expr::Call(..) => None,
+            Expr::Param(name, _) => match self.params.get(name) {
+                Some(Value::Int(v)) => {
+                    out.push(VOp::Const(*v), 1);
+                    Some(())
+                }
+                _ => None,
+            },
+            Expr::Var(name) | Expr::RVar(name) => {
+                let depth = *self.var_depths.get(name)?;
+                out.push(VOp::Var(depth), 1);
+                Some(())
+            }
+            Expr::Cast(ty, inner) => {
+                self.fuse64(inner, out)?;
+                match ty {
+                    // Value::cast keeps the i64 bits for UInt64.
+                    ScalarType::UInt64 => {}
+                    ScalarType::UInt8 => out.push(VOp::Mask(0xff), 0),
+                    ScalarType::UInt16 => out.push(VOp::Mask(0xffff), 0),
+                    ScalarType::UInt32 => out.push(VOp::Mask(0xffff_ffff), 0),
+                    ScalarType::Int32 => out.push(VOp::Sext32, 0),
+                    ScalarType::Float32 | ScalarType::Float64 => return None,
+                }
+                Some(())
+            }
+            Expr::Binary(op, a, b) => self.fuse64_binary(*op, a, b, out),
+            Expr::Cmp(op, a, b) => {
+                // eval_cmp's integer branch compares signed i64 regardless of
+                // the operands' nominal unsigned types.
+                self.fuse64(a, out)?;
+                self.fuse64(b, out)?;
+                out.push(VOp::CmpS(*op), -1);
+                Some(())
+            }
+            Expr::Select(c, t, f) => {
+                // Lanes hold the exact value, so `lane != 0` is Value::is_true
+                // with no zero-faithfulness caveat.
+                self.fuse64(c, out)?;
+                self.fuse64(t, out)?;
+                self.fuse64(f, out)?;
+                out.push(VOp::Sel, -2);
+                Some(())
+            }
+            Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+                let slot = *self.slot_ids.get(name)?;
+                let ty = self.decls[slot].ty;
+                if ty.is_float() {
+                    return None;
+                }
+                let (dims, lane) = self.tap_dims(args)?;
+                let idx = out.tap(TapAccess {
+                    slot,
+                    ty,
+                    dims,
+                    lane,
+                });
+                out.push(VOp::Load(idx), 1);
+                Some(())
+            }
+        }
+    }
+
+    fn fuse64_binary(
+        &self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        out: &mut VEmit<VOp<i64>>,
+    ) -> Option<()> {
+        match op {
+            // Quotient/remainder lanes would have to replicate the
+            // divide-by-zero and i64::MIN / -1 edge cases per lane — rare in
+            // stencils; keep them on the per-op tier (as the i32 family does).
+            BinOp::Div | BinOp::Mod => None,
+            BinOp::Shr => {
+                // eval_binop: `(x as u64) >> (y as u64 & 63)` — exactly ShrU.
+                let s = (const_int_of(b, self.params)? as u64 & 63) as u32;
+                self.fuse64(a, out)?;
+                if s > 0 {
+                    out.push(VOp::ShrU(s), 0);
+                }
+                Some(())
+            }
+            BinOp::Shl => {
+                // eval_binop: `wrapping_shl(y as u32)`, which masks by 63.
+                let s = (const_int_of(b, self.params)? as u32) & 63;
+                self.fuse64(a, out)?;
+                if s > 0 {
+                    out.push(VOp::Shl(s), 0);
+                }
+                Some(())
+            }
+            BinOp::Min | BinOp::Max => {
+                // eval_binop's integer branch is signed i64 min/max.
+                self.fuse64(a, out)?;
+                self.fuse64(b, out)?;
+                out.push(
+                    if op == BinOp::Min {
+                        VOp::MinS
+                    } else {
+                        VOp::MaxS
+                    },
+                    -1,
+                );
+                Some(())
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor => {
+                let ka = const_int_of(a, self.params);
+                let kb = const_int_of(b, self.params);
+                let commutes = matches!(
+                    op,
+                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                );
+                let fold = |k: i64, o: &mut VEmit<VOp<i64>>| match op {
+                    BinOp::Add => o.push(VOp::AddC(k), 0),
+                    BinOp::Sub => o.push(VOp::AddC(k.wrapping_neg()), 0),
+                    BinOp::Mul => o.push(VOp::MulC(k), 0),
+                    BinOp::And => o.push(VOp::AndC(k), 0),
+                    BinOp::Or => o.push(VOp::OrC(k), 0),
+                    BinOp::Xor => o.push(VOp::XorC(k), 0),
+                    _ => unreachable!("folded ops are wrapping/bitwise"),
+                };
+                if let Some(k) = kb {
+                    self.fuse64(a, out)?;
+                    if !(k == 0 && matches!(op, BinOp::Add | BinOp::Sub)) {
+                        fold(k, out);
+                    }
+                    return Some(());
+                }
+                if let (Some(k), true) = (ka, commutes) {
+                    self.fuse64(b, out)?;
+                    if !(k == 0 && op == BinOp::Add) {
+                        fold(k, out);
+                    }
+                    return Some(());
+                }
+                self.fuse64(a, out)?;
+                self.fuse64(b, out)?;
+                let vop = match op {
+                    BinOp::Add => VOp::Add,
+                    BinOp::Sub => VOp::Sub,
+                    BinOp::Mul => VOp::Mul,
+                    BinOp::And => VOp::And,
+                    BinOp::Or => VOp::Or,
+                    BinOp::Xor => VOp::Xor,
+                    _ => unreachable!("matched above"),
+                };
+                out.push(vop, -1);
+                Some(())
+            }
+        }
+    }
+
+    // -- The `[f32; W]` family: rounding-point discipline -------------------
+
+    /// Compile `e` onto f32 lanes under the invariant that the reference
+    /// `f64` value of `e` is bit-exactly representable in `f32` for every
+    /// input, and the lanes hold it. Returns the expression's reference kind
+    /// (integer leaves stay `Kind::Int` — carried as exact f32 lanes — which
+    /// [`Self::fuse_f32_rounding`] uses to reject all-integer arithmetic the
+    /// reference would evaluate on i64).
+    fn fuse_f32(&self, e: &Expr, out: &mut VEmit<FOp>) -> Option<Kind> {
+        match e {
+            Expr::ConstFloat(v, _) => {
+                if !f64_is_f32_exact(*v) {
+                    return None;
+                }
+                out.push(FOp::Const(*v as f32), 1);
+                Some(Kind::Float)
+            }
+            Expr::ConstInt(v, ty) if ty.is_float() => {
+                if !f64_is_f32_exact(*v as f64) {
+                    return None;
+                }
+                out.push(FOp::Const(*v as f64 as f32), 1);
+                Some(Kind::Float)
+            }
+            Expr::ConstInt(v, _) => {
+                if !Interval::f32_exact_int_range().contains(*v) {
+                    return None;
+                }
+                out.push(FOp::Const(*v as f32), 1);
+                Some(Kind::Int)
+            }
+            Expr::Param(name, _) => match self.params.get(name)? {
+                Value::Int(v) => {
+                    if !Interval::f32_exact_int_range().contains(*v) {
+                        return None;
+                    }
+                    out.push(FOp::Const(*v as f32), 1);
+                    Some(Kind::Int)
+                }
+                Value::Float(f) => {
+                    if !f64_is_f32_exact(*f) {
+                        return None;
+                    }
+                    out.push(FOp::Const(*f as f32), 1);
+                    Some(Kind::Float)
+                }
+            },
+            Expr::Var(name) | Expr::RVar(name) => {
+                let depth = *self.var_depths.get(name)?;
+                let iv = *self.var_bounds.get(name)?;
+                if !iv.within(Interval::f32_exact_int_range()) {
+                    return None;
+                }
+                out.push(FOp::Var(depth), 1);
+                Some(Kind::Int)
+            }
+            // The explicit rounding point: exactly where lifted
+            // single-precision code rounds after every SSE instruction.
+            Expr::Cast(ScalarType::Float32, inner) => {
+                self.fuse_f32_rounding(inner, out)?;
+                Some(Kind::Float)
+            }
+            // Widening an exact-f32 (or exactly promoted integer) value is
+            // the identity on the carried lanes.
+            Expr::Cast(ScalarType::Float64, inner) => {
+                self.fuse_f32(inner, out)?;
+                Some(Kind::Float)
+            }
+            // Integer casts leave the float-exact domain.
+            Expr::Cast(..) => None,
+            Expr::Binary(op @ (BinOp::Min | BinOp::Max), a, b) => {
+                let ka = self.fuse_f32(a, out)?;
+                let kb = self.fuse_f32(b, out)?;
+                if ka == Kind::Int && kb == Kind::Int {
+                    // The reference would take the i64 min/max; stay safe and
+                    // leave all-integer shapes to the integer families.
+                    return None;
+                }
+                // Selection of one exact operand: exact without a rounding
+                // point (evaluated in f64 per lane to match eval_binop on
+                // NaN and ±0.0).
+                out.push(
+                    if *op == BinOp::Min {
+                        FOp::Min
+                    } else {
+                        FOp::Max
+                    },
+                    -1,
+                );
+                Some(Kind::Float)
+            }
+            // Arithmetic without an enclosing rounding point would make the
+            // lanes diverge from the f64 reference value.
+            Expr::Binary(..) => None,
+            Expr::Cmp(op, a, b) => {
+                // Comparison of exact values is order-preserving across
+                // widths (NaN unordered in both), and the 0/1 result is
+                // f32-exact.
+                self.fuse_f32(a, out)?;
+                self.fuse_f32(b, out)?;
+                out.push(FOp::Cmp(*op), -1);
+                Some(Kind::Int)
+            }
+            Expr::Select(c, t, f) => {
+                self.fuse_f32(c, out)?;
+                let kt = self.fuse_f32(t, out)?;
+                let kf = self.fuse_f32(f, out)?;
+                if kt != kf {
+                    // Mirror the typed tier, which falls back on dynamically
+                    // typed selects.
+                    return None;
+                }
+                out.push(FOp::Sel, -2);
+                Some(kt)
+            }
+            // Extern calls round at f64; only sqrt under a rounding point is
+            // exact (handled by fuse_f32_rounding).
+            Expr::Call(..) => None,
+            Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+                let slot = *self.slot_ids.get(name)?;
+                let ty = self.decls[slot].ty;
+                // Float32 loads are exact by definition; narrow integer loads
+                // (u8/u16) promote to f32 without loss.
+                let kind = match ty {
+                    ScalarType::Float32 => Kind::Float,
+                    _ => {
+                        let iv = Interval::of_type(ty)?;
+                        if !iv.within(Interval::f32_exact_int_range()) {
+                            return None;
+                        }
+                        Kind::Int
+                    }
+                };
+                let (dims, lane) = self.tap_dims(args)?;
+                let idx = out.tap(TapAccess {
+                    slot,
+                    ty,
+                    dims,
+                    lane,
+                });
+                out.push(FOp::Load(idx), 1);
+                Some(kind)
+            }
+        }
+    }
+
+    /// Compile `e` in a *rounding context*: the caller (a `cast<float>` or
+    /// the `Float32` store itself) rounds the reference `f64` value to `f32`.
+    /// Here — and only here — f32 arithmetic may be emitted: one f32 rounding
+    /// of bit-exact operands equals the reference's f64 op followed by the
+    /// cast for +, −, ×, ÷ and sqrt (f64's 53 significant bits ≥ 2·24 + 2,
+    /// so the double rounding is innocuous). Anything already exact passes
+    /// through [`Self::fuse_f32`]; the rounding is then the identity.
+    fn fuse_f32_rounding(&self, e: &Expr, out: &mut VEmit<FOp>) -> Option<Kind> {
+        match e {
+            Expr::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div), a, b) => {
+                let ka = self.fuse_f32(a, out)?;
+                let kb = self.fuse_f32(b, out)?;
+                if ka == Kind::Int && kb == Kind::Int {
+                    // The reference would wrap on i64 and round the integer
+                    // result; leave all-integer arithmetic to the integer
+                    // families.
+                    return None;
+                }
+                out.push(
+                    match op {
+                        BinOp::Add => FOp::Add,
+                        BinOp::Sub => FOp::Sub,
+                        BinOp::Mul => FOp::Mul,
+                        BinOp::Div => FOp::Div,
+                        _ => unreachable!("matched above"),
+                    },
+                    -1,
+                );
+                Some(Kind::Float)
+            }
+            Expr::Call(ExternCall::Sqrt, args) if args.len() == 1 => {
+                self.fuse_f32(&args[0], out)?;
+                out.push(FOp::Sqrt, 0);
+                Some(Kind::Float)
+            }
+            _ => self.fuse_f32(e, out),
+        }
+    }
 }
 
 fn emitted_tap(taps: &[TapAccess], tap: &TapAccess) -> Option<usize> {
     taps.iter().position(|t| t == tap)
+}
+
+/// Constant carrier of an integer lane family: `i32` for the narrow family,
+/// `i64` for the wide one. Gives the generic [`peephole`] the wrapping
+/// negation it needs to sign-adjust folded coefficients.
+trait LaneConst: Copy + PartialEq {
+    /// Wrapping negation (two's complement).
+    fn wneg(self) -> Self;
+    /// The multiplicative identity (the implicit coefficient of a bare tap).
+    fn one() -> Self;
+}
+
+impl LaneConst for i32 {
+    fn wneg(self) -> Self {
+        self.wrapping_neg()
+    }
+    fn one() -> Self {
+        1
+    }
+}
+
+impl LaneConst for i64 {
+    fn wneg(self) -> Self {
+        self.wrapping_neg()
+    }
+    fn one() -> Self {
+        1
+    }
 }
 
 /// Collapse the dominant stencil pattern — load, scale, accumulate — into
@@ -1025,9 +1603,11 @@ fn emitted_tap(taps: &[TapAccess], tap: &TapAccess) -> Option<usize> {
 /// stack traffic: an `Add`/`Sub` whose right operand was built as
 /// `Load(t) [· c] (± taps ± consts)*` folds into the left operand as a chain
 /// of `Axpy`/`AddC` ops. Sound because wrapping adds commute and associate
-/// modulo 2^32 (`a - (x + y) = a - x - y`).
-fn peephole(ops: &mut Vec<VOp>) {
-    let mut out: Vec<VOp> = Vec::with_capacity(ops.len());
+/// modulo the lane width (`a - (x + y) = a - x - y`); applies to both
+/// integer lane families (float lanes never fold — a fused multiply-add
+/// would change rounding).
+fn peephole<C: LaneConst>(ops: &mut Vec<VOp<C>>) {
+    let mut out: Vec<VOp<C>> = Vec::with_capacity(ops.len());
     for op in ops.drain(..) {
         match op {
             VOp::Add | VOp::Sub => {
@@ -1043,7 +1623,7 @@ fn peephole(ops: &mut Vec<VOp>) {
 
 /// If the top stack operand of `out` is an additive chain rooted at a single
 /// `Load`, fold the pending `Add`/`Sub` into it and return `true`.
-fn try_fold_additive(out: &mut Vec<VOp>, negate: bool) -> bool {
+fn try_fold_additive<C: LaneConst>(out: &mut Vec<VOp<C>>, negate: bool) -> bool {
     // Walk back over top-modifying additive ops to the operand's push.
     let n = out.len();
     let mut j = n;
@@ -1062,7 +1642,7 @@ fn try_fold_additive(out: &mut Vec<VOp>, negate: bool) -> bool {
     };
     // An optional scale directly after the load; any later MulC scales the
     // accumulated sum and is not additive — reject.
-    let mut coeff = 1i32;
+    let mut coeff = C::one();
     let mut k = j + 1;
     if let Some(VOp::MulC(c)) = out.get(k) {
         coeff = *c;
@@ -1075,8 +1655,8 @@ fn try_fold_additive(out: &mut Vec<VOp>, negate: bool) -> bool {
         return false;
     }
     // Rewrite: Load [MulC] => Axpy, then sign-adjust the tail.
-    let neg = |c: i32| if negate { c.wrapping_neg() } else { c };
-    let tail: Vec<VOp> = out.drain(k..).collect();
+    let neg = |c: C| if negate { c.wneg() } else { c };
+    let tail: Vec<VOp<C>> = out.drain(k..).collect();
     out.truncate(j);
     out.push(VOp::Axpy {
         tap,
@@ -1252,11 +1832,14 @@ impl PrepareCtx<'_> {
                     }
                     self.max_arity = self.max_arity.max(t.index_progs.len());
                 }
-                // Tier-1 compilation: a fused SIMD kernel, when the store is
-                // under a loop and its shape admits one. Best-effort — any
-                // failure keeps the typed/fallback tiers.
+                // Tier-1 compilation: a fused SIMD kernel on the best lane
+                // family, when the store is under a loop and its shape admits
+                // one. Best-effort — any failure keeps the typed/fallback
+                // tiers. A store that reads its own buffer never fuses
+                // (chunked evaluation would observe its own writes).
                 let fused = match &exec {
                     StoreExec::Typed(_) if self.depth > 0 => {
+                        let self_alias = value_reads_buffer(value, buffer);
                         let lane_var = self
                             .var_depths
                             .iter()
@@ -1272,7 +1855,7 @@ impl PrepareCtx<'_> {
                                 lane_var: &lane_var,
                                 out_slot: slot,
                             }
-                            .build(indices, value)
+                            .build(indices, value, self_alias)
                         })
                     }
                     _ => None,
@@ -1586,8 +2169,9 @@ impl Runner<'_> {
 
     /// Execute one full innermost loop of a fused store: derive the in-range
     /// interior from the tap bases and buffer extents, run the fused kernel
-    /// over full-width chunks there, and peel the borders and the tail
-    /// through the clamped per-op tier.
+    /// over full-width chunks there (finishing with an overlapping or masked
+    /// tail chunk, so sub-width remainders stay on tier 1), and peel the
+    /// clamped borders through the per-op tier.
     #[allow(clippy::too_many_arguments)]
     fn run_fused_loop(
         &self,
@@ -1645,47 +2229,64 @@ impl Runner<'_> {
                 out_base.wrapping_add(aff.eval(vars).wrapping_mul(out_bind.strides[d] as i64));
         }
 
-        let w = if width >= 32 {
-            32
-        } else if width >= 16 {
-            16
-        } else {
-            8
-        };
-        // Pre-peel, full-width interior chunks, then tail + post-peel.
+        let w = fused.chunk_width(width);
+        // Pre-peel (clamped border), full-width interior chunks, the fused
+        // tail chunk, then the post-peel.
         self.general_range(store_id, lane_depth, min, lo, binds, vars, scratch)?;
         let mut x = lo;
         while x + w as i64 <= hi + 1 {
-            match w {
-                32 => run_fused_chunk::<32>(
-                    fused,
-                    x,
-                    &scratch.tap_bases,
-                    out_base,
-                    lane_depth,
-                    binds,
-                    vars,
-                ),
-                16 => run_fused_chunk::<16>(
-                    fused,
-                    x,
-                    &scratch.tap_bases,
-                    out_base,
-                    lane_depth,
-                    binds,
-                    vars,
-                ),
-                _ => run_fused_chunk::<8>(
-                    fused,
-                    x,
-                    &scratch.tap_bases,
-                    out_base,
-                    lane_depth,
-                    binds,
-                    vars,
-                ),
-            }
+            dispatch_fused_chunk(
+                fused,
+                x,
+                w,
+                w,
+                &scratch.tap_bases,
+                out_base,
+                lane_depth,
+                binds,
+                vars,
+            );
             x += w as i64;
+        }
+        let rem = (hi + 1 - x) as usize;
+        if rem > 0 {
+            if x > lo {
+                // Overlapping final chunk: step back so the chunk ends at the
+                // interior's edge, re-storing lanes the previous chunk wrote.
+                // Sound because the kernel is deterministic and reads nothing
+                // the store writes — self-aliasing stores never fuse (the
+                // `value_reads_buffer` / tap-slot checks at build time) — so
+                // the re-stored lanes are bit-identical.
+                dispatch_fused_chunk(
+                    fused,
+                    hi + 1 - w as i64,
+                    w,
+                    w,
+                    &scratch.tap_bases,
+                    out_base,
+                    lane_depth,
+                    binds,
+                    vars,
+                );
+            } else {
+                // Masked final chunk: load and store only the `rem` provably
+                // in-range lanes (the rest are zero-filled and discarded).
+                // This is what keeps interiors shorter than one chunk — small
+                // tiles — on tier 1.
+                dispatch_fused_chunk(
+                    fused,
+                    x,
+                    w,
+                    rem,
+                    &scratch.tap_bases,
+                    out_base,
+                    lane_depth,
+                    binds,
+                    vars,
+                );
+            }
+            x = hi + 1;
+            FUSED_TAILS.fetch_add(1, Ordering::Relaxed);
         }
         self.general_range(store_id, lane_depth, x, end, binds, vars, scratch)?;
         if x > lo {
@@ -2384,284 +2985,607 @@ fn run_program(
 // Fused-kernel execution
 // ---------------------------------------------------------------------------
 
-/// Load one tap's lanes for the chunk at lane-variable value `x`. In-bounds
-/// by the interior derivation in `run_fused_loop`.
+/// Read one element of an integer tap as the lane-typed value the per-op
+/// tier would produce (zero-extension for unsigned types, sign-extension for
+/// `Int32`, bit-reinterpretation for `UInt64`), truncated to the lane width.
+macro_rules! read_int_elem {
+    ($lane:ty, $ty:expr, $data:expr, $off:expr) => {{
+        let (ty, data, off): (ScalarType, &[u8], usize) = ($ty, $data, $off);
+        match ty {
+            ScalarType::UInt8 => data[off] as $lane,
+            ScalarType::UInt16 => u16::from_le_bytes([data[off * 2], data[off * 2 + 1]]) as $lane,
+            ScalarType::UInt32 => {
+                u32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes")) as $lane
+            }
+            ScalarType::Int32 => {
+                i32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes")) as $lane
+            }
+            ScalarType::UInt64 => {
+                u64::from_le_bytes(data[off * 8..off * 8 + 8].try_into().expect("8 bytes")) as $lane
+            }
+            _ => unreachable!("integer fused taps are integer-typed"),
+        }
+    }};
+}
+
+/// Generate the tap loader of one integer lane family. `n` is the number of
+/// in-range lanes: full chunks (`n == W`) use constant-trip slice loops LLVM
+/// turns into vector loads; masked tails (`n < W`) read only the in-range
+/// prefix and zero-fill the rest (the lanes are discarded at the store).
+macro_rules! int_tap_loader {
+    ($name:ident, $lane:ty) => {
+        /// Load one tap's lanes for the chunk at lane-variable value `x`.
+        /// In-bounds (for the first `n` lanes) by the interior derivation in
+        /// `run_fused_loop`.
+        #[inline]
+        fn $name<const W: usize>(
+            tap: &TapAccess,
+            base: i64,
+            x: i64,
+            n: usize,
+            binds: &BindTable,
+        ) -> [$lane; W] {
+            let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+            let data = bind.data();
+            let mut out = [0 as $lane; W];
+            match tap.lane {
+                TapLane::Contiguous => {
+                    let off = (base + x) as usize;
+                    if n >= W {
+                        match tap.ty {
+                            ScalarType::UInt8 => {
+                                let src = &data[off..off + W];
+                                for l in 0..W {
+                                    out[l] = src[l] as $lane;
+                                }
+                            }
+                            ScalarType::UInt16 => {
+                                let src = &data[off * 2..off * 2 + W * 2];
+                                for l in 0..W {
+                                    out[l] =
+                                        u16::from_le_bytes([src[2 * l], src[2 * l + 1]]) as $lane;
+                                }
+                            }
+                            ScalarType::UInt32 => {
+                                let src = &data[off * 4..off * 4 + W * 4];
+                                for l in 0..W {
+                                    out[l] = u32::from_le_bytes(
+                                        src[4 * l..4 * l + 4].try_into().expect("4 bytes"),
+                                    ) as $lane;
+                                }
+                            }
+                            ScalarType::Int32 => {
+                                let src = &data[off * 4..off * 4 + W * 4];
+                                for l in 0..W {
+                                    out[l] = i32::from_le_bytes(
+                                        src[4 * l..4 * l + 4].try_into().expect("4 bytes"),
+                                    ) as $lane;
+                                }
+                            }
+                            ScalarType::UInt64 => {
+                                let src = &data[off * 8..off * 8 + W * 8];
+                                for l in 0..W {
+                                    out[l] = u64::from_le_bytes(
+                                        src[8 * l..8 * l + 8].try_into().expect("8 bytes"),
+                                    ) as $lane;
+                                }
+                            }
+                            _ => unreachable!("integer fused taps are integer-typed"),
+                        }
+                    } else {
+                        for (l, lane) in out.iter_mut().enumerate().take(n) {
+                            *lane = read_int_elem!($lane, tap.ty, data, off + l);
+                        }
+                    }
+                }
+                TapLane::Broadcast => {
+                    let off = base as usize;
+                    out = [read_int_elem!($lane, tap.ty, data, off); W];
+                }
+            }
+            out
+        }
+    };
+}
+
+int_tap_loader!(load_tap_i32, i32);
+int_tap_loader!(load_tap_i64, i64);
+
+/// Load one `[f32; W]` tap's lanes: `Float32` loads are bit-exact, narrow
+/// integer loads (u8/u16, proven f32-exact at compile time) convert without
+/// loss. Masked tails (`n < W`) read only the in-range prefix.
 #[inline]
-fn load_tap<const W: usize>(tap: &TapAccess, base: i64, x: i64, binds: &BindTable) -> [i32; W] {
+fn load_tap_f32<const W: usize>(
+    tap: &TapAccess,
+    base: i64,
+    x: i64,
+    n: usize,
+    binds: &BindTable,
+) -> [f32; W] {
     let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
     let data = bind.data();
-    let mut out = [0i32; W];
+    let read = |off: usize| -> f32 {
+        match tap.ty {
+            ScalarType::Float32 => {
+                f32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes"))
+            }
+            ScalarType::UInt8 => data[off] as f32,
+            ScalarType::UInt16 => u16::from_le_bytes([data[off * 2], data[off * 2 + 1]]) as f32,
+            _ => unreachable!("f32 fused taps are Float32 or narrow integers"),
+        }
+    };
+    let mut out = [0.0f32; W];
     match tap.lane {
         TapLane::Contiguous => {
             let off = (base + x) as usize;
-            match tap.ty {
-                ScalarType::UInt8 => {
-                    let src = &data[off..off + W];
-                    for l in 0..W {
-                        out[l] = src[l] as i32;
+            if n >= W {
+                match tap.ty {
+                    ScalarType::Float32 => {
+                        let src = &data[off * 4..off * 4 + W * 4];
+                        for l in 0..W {
+                            out[l] = f32::from_le_bytes(
+                                src[4 * l..4 * l + 4].try_into().expect("4 bytes"),
+                            );
+                        }
                     }
-                }
-                ScalarType::UInt16 => {
-                    let src = &data[off * 2..off * 2 + W * 2];
-                    for l in 0..W {
-                        out[l] = u16::from_le_bytes([src[2 * l], src[2 * l + 1]]) as i32;
+                    ScalarType::UInt8 => {
+                        let src = &data[off..off + W];
+                        for l in 0..W {
+                            out[l] = src[l] as f32;
+                        }
                     }
-                }
-                ScalarType::UInt32 => {
-                    let src = &data[off * 4..off * 4 + W * 4];
-                    for l in 0..W {
-                        out[l] =
-                            u32::from_le_bytes(src[4 * l..4 * l + 4].try_into().expect("4 bytes"))
-                                as i32;
+                    ScalarType::UInt16 => {
+                        let src = &data[off * 2..off * 2 + W * 2];
+                        for l in 0..W {
+                            out[l] = u16::from_le_bytes([src[2 * l], src[2 * l + 1]]) as f32;
+                        }
                     }
+                    _ => unreachable!("f32 fused taps are Float32 or narrow integers"),
                 }
-                ScalarType::Int32 => {
-                    let src = &data[off * 4..off * 4 + W * 4];
-                    for l in 0..W {
-                        out[l] =
-                            i32::from_le_bytes(src[4 * l..4 * l + 4].try_into().expect("4 bytes"));
-                    }
+            } else {
+                for (l, lane) in out.iter_mut().enumerate().take(n) {
+                    *lane = read(off + l);
                 }
-                _ => unreachable!("fused taps are 8/16/32-bit integers"),
             }
         }
         TapLane::Broadcast => {
-            let off = base as usize;
-            let v = match tap.ty {
-                ScalarType::UInt8 => data[off] as i32,
-                ScalarType::UInt16 => u16::from_le_bytes([data[off * 2], data[off * 2 + 1]]) as i32,
-                ScalarType::UInt32 => {
-                    u32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes"))
-                        as i32
-                }
-                ScalarType::Int32 => {
-                    i32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes"))
-                }
-                _ => unreachable!("fused taps are 8/16/32-bit integers"),
-            };
-            out = [v; W];
+            out = [read(base as usize); W];
         }
     }
     out
 }
 
-/// Run one fused kernel over the `W` lanes starting at lane-variable value
-/// `x`, storing the truncated result contiguously. Constant trip counts over
-/// `[i32; W]` chunks are what LLVM auto-vectorizes.
-fn run_fused_chunk<const W: usize>(
+/// Route one chunk to the monomorphized runner of the kernel's lane family
+/// and chunk width. `w` is the chunk width (`fused.chunk_width`); `n ≤ w` is
+/// the number of lanes to load and store (`n < w` only for masked tails).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_fused_chunk(
     fused: &FusedKernel,
     x: i64,
+    w: usize,
+    n: usize,
     tap_bases: &[i64],
     out_base: i64,
     lane_depth: usize,
     binds: &BindTable,
     vars: &[i64],
 ) {
-    let mut st = [[0i32; W]; V_STACK];
+    match (&fused.prog, w) {
+        (LaneProgram::I32(ops), 32) => run_chunk_i32::<32>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::I32(ops), 16) => run_chunk_i32::<16>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::I32(ops), _) => run_chunk_i32::<8>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::I64(ops), 16) => run_chunk_i64::<16>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::I64(ops), 8) => run_chunk_i64::<8>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::I64(ops), _) => run_chunk_i64::<4>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F32(ops), 32) => run_chunk_f32::<32>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F32(ops), 16) => run_chunk_f32::<16>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F32(ops), _) => run_chunk_f32::<8>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+    }
+}
+
+/// Generate the chunk runner of one integer lane family: a stack machine
+/// over `[$lane; W]` chunks with constant trip counts LLVM auto-vectorizes.
+/// `n` lanes are loaded and stored (`n == W` except for masked tails).
+macro_rules! int_chunk_runner {
+    ($name:ident, $lane:ty, $ulane:ty, $load:ident, $store:ident) => {
+        #[allow(clippy::too_many_arguments)]
+        fn $name<const W: usize>(
+            ops: &[VOp<$lane>],
+            fused: &FusedKernel,
+            x: i64,
+            n: usize,
+            tap_bases: &[i64],
+            out_base: i64,
+            lane_depth: usize,
+            binds: &BindTable,
+            vars: &[i64],
+        ) {
+            let mut st = [[0 as $lane; W]; V_STACK];
+            let mut sp = 0usize;
+            for op in ops {
+                match op {
+                    VOp::Const(v) => {
+                        st[sp] = [*v; W];
+                        sp += 1;
+                    }
+                    VOp::Var(depth) => {
+                        if *depth == lane_depth {
+                            let base = x as $lane;
+                            for (l, lane) in st[sp].iter_mut().enumerate() {
+                                *lane = base + l as $lane;
+                            }
+                        } else {
+                            st[sp] = [vars[*depth] as $lane; W];
+                        }
+                        sp += 1;
+                    }
+                    VOp::Load(t) => {
+                        st[sp] = $load::<W>(&fused.taps[*t], tap_bases[*t], x, n, binds);
+                        sp += 1;
+                    }
+                    VOp::Axpy { tap, coeff } => {
+                        let v = $load::<W>(&fused.taps[*tap], tap_bases[*tap], x, n, binds);
+                        let dst = &mut st[sp - 1];
+                        for l in 0..W {
+                            dst[l] = dst[l].wrapping_add(coeff.wrapping_mul(v[l]));
+                        }
+                    }
+                    VOp::AddC(c) => {
+                        for l in &mut st[sp - 1] {
+                            *l = l.wrapping_add(*c);
+                        }
+                    }
+                    VOp::MulC(c) => {
+                        for l in &mut st[sp - 1] {
+                            *l = l.wrapping_mul(*c);
+                        }
+                    }
+                    VOp::AndC(c) => {
+                        for l in &mut st[sp - 1] {
+                            *l &= *c;
+                        }
+                    }
+                    VOp::OrC(c) => {
+                        for l in &mut st[sp - 1] {
+                            *l |= *c;
+                        }
+                    }
+                    VOp::XorC(c) => {
+                        for l in &mut st[sp - 1] {
+                            *l ^= *c;
+                        }
+                    }
+                    VOp::Mask(m) => {
+                        for l in &mut st[sp - 1] {
+                            *l &= *m;
+                        }
+                    }
+                    VOp::ShrU(s) => {
+                        for l in &mut st[sp - 1] {
+                            *l = ((*l as $ulane) >> *s) as $lane;
+                        }
+                    }
+                    VOp::Shl(s) => {
+                        for l in &mut st[sp - 1] {
+                            *l = l.wrapping_shl(*s);
+                        }
+                    }
+                    VOp::Sext32 => {
+                        // The Int32 cast on i64 lanes; the identity on i32.
+                        for l in &mut st[sp - 1] {
+                            *l = (*l as i32) as $lane;
+                        }
+                    }
+                    VOp::Add
+                    | VOp::Sub
+                    | VOp::Mul
+                    | VOp::And
+                    | VOp::Or
+                    | VOp::Xor
+                    | VOp::MinS
+                    | VOp::MaxS
+                    | VOp::MinU
+                    | VOp::MaxU => {
+                        let (head, tail) = st.split_at_mut(sp - 1);
+                        let a = &mut head[sp - 2];
+                        let b = &tail[0];
+                        match op {
+                            VOp::Add => {
+                                for l in 0..W {
+                                    a[l] = a[l].wrapping_add(b[l]);
+                                }
+                            }
+                            VOp::Sub => {
+                                for l in 0..W {
+                                    a[l] = a[l].wrapping_sub(b[l]);
+                                }
+                            }
+                            VOp::Mul => {
+                                for l in 0..W {
+                                    a[l] = a[l].wrapping_mul(b[l]);
+                                }
+                            }
+                            VOp::And => {
+                                for l in 0..W {
+                                    a[l] &= b[l];
+                                }
+                            }
+                            VOp::Or => {
+                                for l in 0..W {
+                                    a[l] |= b[l];
+                                }
+                            }
+                            VOp::Xor => {
+                                for l in 0..W {
+                                    a[l] ^= b[l];
+                                }
+                            }
+                            VOp::MinS => {
+                                for l in 0..W {
+                                    a[l] = a[l].min(b[l]);
+                                }
+                            }
+                            VOp::MaxS => {
+                                for l in 0..W {
+                                    a[l] = a[l].max(b[l]);
+                                }
+                            }
+                            VOp::MinU => {
+                                for l in 0..W {
+                                    a[l] = (a[l] as $ulane).min(b[l] as $ulane) as $lane;
+                                }
+                            }
+                            VOp::MaxU => {
+                                for l in 0..W {
+                                    a[l] = (a[l] as $ulane).max(b[l] as $ulane) as $lane;
+                                }
+                            }
+                            _ => unreachable!("binary group"),
+                        }
+                        sp -= 1;
+                    }
+                    VOp::CmpS(cmp) => {
+                        let (head, tail) = st.split_at_mut(sp - 1);
+                        let a = &mut head[sp - 2];
+                        let b = &tail[0];
+                        for l in 0..W {
+                            let (x, y) = (a[l], b[l]);
+                            a[l] = cmp_lanes(*cmp, x, y) as $lane;
+                        }
+                        sp -= 1;
+                    }
+                    VOp::CmpU(cmp) => {
+                        let (head, tail) = st.split_at_mut(sp - 1);
+                        let a = &mut head[sp - 2];
+                        let b = &tail[0];
+                        for l in 0..W {
+                            let (x, y) = (a[l] as $ulane, b[l] as $ulane);
+                            a[l] = cmp_lanes(*cmp, x, y) as $lane;
+                        }
+                        sp -= 1;
+                    }
+                    VOp::Sel => {
+                        let (head, tail) = st.split_at_mut(sp - 2);
+                        let c = &mut head[sp - 3];
+                        let (t, f) = (&tail[0], &tail[1]);
+                        for l in 0..W {
+                            c[l] = if c[l] != 0 { t[l] } else { f[l] };
+                        }
+                        sp -= 2;
+                    }
+                }
+            }
+            debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+            $store::<W>(fused, out_base, x, n, &st[0], binds);
+        }
+    };
+}
+
+int_chunk_runner!(run_chunk_i32, i32, u32, load_tap_i32, store_chunk_i32);
+int_chunk_runner!(run_chunk_i64, i64, u64, load_tap_i64, store_chunk_i64);
+
+/// Run one `[f32; W]` fused kernel chunk. Arithmetic ops round once in f32
+/// (emitted only at reference rounding points); min/max evaluate through f64
+/// per lane to replicate [`eval_binop`]'s float branch bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_f32<const W: usize>(
+    ops: &[FOp],
+    fused: &FusedKernel,
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    out_base: i64,
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) {
+    let mut st = [[0.0f32; W]; V_STACK];
     let mut sp = 0usize;
-    for op in &fused.ops {
+    for op in ops {
         match op {
-            VOp::Const(v) => {
+            FOp::Const(v) => {
                 st[sp] = [*v; W];
                 sp += 1;
             }
-            VOp::Var(depth) => {
+            FOp::Var(depth) => {
                 if *depth == lane_depth {
-                    let base = x as i32;
                     for (l, lane) in st[sp].iter_mut().enumerate() {
-                        *lane = base + l as i32;
+                        // Exact: the variable's interval was proven within
+                        // the f32-exact integer range.
+                        *lane = (x + l as i64) as f32;
                     }
                 } else {
-                    st[sp] = [vars[*depth] as i32; W];
+                    st[sp] = [vars[*depth] as f32; W];
                 }
                 sp += 1;
             }
-            VOp::Load(t) => {
-                st[sp] = load_tap::<W>(&fused.taps[*t], tap_bases[*t], x, binds);
+            FOp::Load(t) => {
+                st[sp] = load_tap_f32::<W>(&fused.taps[*t], tap_bases[*t], x, n, binds);
                 sp += 1;
             }
-            VOp::Axpy { tap, coeff } => {
-                let v = load_tap::<W>(&fused.taps[*tap], tap_bases[*tap], x, binds);
-                let dst = &mut st[sp - 1];
-                for l in 0..W {
-                    dst[l] = dst[l].wrapping_add(coeff.wrapping_mul(v[l]));
-                }
-            }
-            VOp::AddC(c) => {
+            FOp::Sqrt => {
                 for l in &mut st[sp - 1] {
-                    *l = l.wrapping_add(*c);
+                    *l = l.sqrt();
                 }
             }
-            VOp::MulC(c) => {
-                for l in &mut st[sp - 1] {
-                    *l = l.wrapping_mul(*c);
-                }
-            }
-            VOp::AndC(c) => {
-                for l in &mut st[sp - 1] {
-                    *l &= *c;
-                }
-            }
-            VOp::OrC(c) => {
-                for l in &mut st[sp - 1] {
-                    *l |= *c;
-                }
-            }
-            VOp::XorC(c) => {
-                for l in &mut st[sp - 1] {
-                    *l ^= *c;
-                }
-            }
-            VOp::Mask(m) => {
-                for l in &mut st[sp - 1] {
-                    *l &= *m;
-                }
-            }
-            VOp::ShrU(s) => {
-                for l in &mut st[sp - 1] {
-                    *l = ((*l as u32) >> *s) as i32;
-                }
-            }
-            VOp::Shl(s) => {
-                for l in &mut st[sp - 1] {
-                    *l = l.wrapping_shl(*s);
-                }
-            }
-            VOp::Add
-            | VOp::Sub
-            | VOp::Mul
-            | VOp::And
-            | VOp::Or
-            | VOp::Xor
-            | VOp::MinS
-            | VOp::MaxS
-            | VOp::MinU
-            | VOp::MaxU => {
+            FOp::Add | FOp::Sub | FOp::Mul | FOp::Div | FOp::Min | FOp::Max | FOp::Cmp(_) => {
                 let (head, tail) = st.split_at_mut(sp - 1);
                 let a = &mut head[sp - 2];
                 let b = &tail[0];
                 match op {
-                    VOp::Add => {
+                    FOp::Add => {
                         for l in 0..W {
-                            a[l] = a[l].wrapping_add(b[l]);
+                            a[l] += b[l];
                         }
                     }
-                    VOp::Sub => {
+                    FOp::Sub => {
                         for l in 0..W {
-                            a[l] = a[l].wrapping_sub(b[l]);
+                            a[l] -= b[l];
                         }
                     }
-                    VOp::Mul => {
+                    FOp::Mul => {
                         for l in 0..W {
-                            a[l] = a[l].wrapping_mul(b[l]);
+                            a[l] *= b[l];
                         }
                     }
-                    VOp::And => {
+                    FOp::Div => {
                         for l in 0..W {
-                            a[l] &= b[l];
+                            a[l] /= b[l];
                         }
                     }
-                    VOp::Or => {
+                    FOp::Min => {
                         for l in 0..W {
-                            a[l] |= b[l];
+                            a[l] = (a[l] as f64).min(b[l] as f64) as f32;
                         }
                     }
-                    VOp::Xor => {
+                    FOp::Max => {
                         for l in 0..W {
-                            a[l] ^= b[l];
+                            a[l] = (a[l] as f64).max(b[l] as f64) as f32;
                         }
                     }
-                    VOp::MinS => {
+                    FOp::Cmp(cmp) => {
                         for l in 0..W {
-                            a[l] = a[l].min(b[l]);
-                        }
-                    }
-                    VOp::MaxS => {
-                        for l in 0..W {
-                            a[l] = a[l].max(b[l]);
-                        }
-                    }
-                    VOp::MinU => {
-                        for l in 0..W {
-                            a[l] = (a[l] as u32).min(b[l] as u32) as i32;
-                        }
-                    }
-                    VOp::MaxU => {
-                        for l in 0..W {
-                            a[l] = (a[l] as u32).max(b[l] as u32) as i32;
+                            let (x, y) = (a[l], b[l]);
+                            a[l] = cmp_lanes(*cmp, x, y) as f32;
                         }
                     }
                     _ => unreachable!("binary group"),
                 }
                 sp -= 1;
             }
-            VOp::CmpS(cmp) => {
-                let (head, tail) = st.split_at_mut(sp - 1);
-                let a = &mut head[sp - 2];
-                let b = &tail[0];
-                for l in 0..W {
-                    let (x, y) = (a[l], b[l]);
-                    a[l] = cmp_lanes(*cmp, x, y);
-                }
-                sp -= 1;
-            }
-            VOp::CmpU(cmp) => {
-                let (head, tail) = st.split_at_mut(sp - 1);
-                let a = &mut head[sp - 2];
-                let b = &tail[0];
-                for l in 0..W {
-                    let (x, y) = (a[l] as u32, b[l] as u32);
-                    a[l] = cmp_lanes(*cmp, x, y);
-                }
-                sp -= 1;
-            }
-            VOp::Sel => {
+            FOp::Sel => {
                 let (head, tail) = st.split_at_mut(sp - 2);
                 let c = &mut head[sp - 3];
                 let (t, f) = (&tail[0], &tail[1]);
                 for l in 0..W {
-                    c[l] = if c[l] != 0 { t[l] } else { f[l] };
+                    c[l] = if c[l] != 0.0 { t[l] } else { f[l] };
                 }
                 sp -= 2;
             }
         }
     }
     debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+    store_chunk_f32::<W>(fused, out_base, x, n, &st[0], binds);
+}
 
-    // Contiguous truncating store of the result lanes.
+/// Generate the contiguous chunk store of one integer lane family: truncate
+/// the lanes to the output type and write the first `n` lanes.
+macro_rules! int_chunk_store {
+    ($name:ident, $lane:ty) => {
+        #[inline]
+        fn $name<const W: usize>(
+            fused: &FusedKernel,
+            out_base: i64,
+            x: i64,
+            n: usize,
+            vals: &[$lane; W],
+            binds: &BindTable,
+        ) {
+            let bind = binds.0[fused.out_slot]
+                .as_ref()
+                .expect("store target bound");
+            let off = (out_base + x) as usize;
+            let n = n.min(W);
+            let mut tmp = [0u8; MAX_CHUNK * 8];
+            match fused.out_ty {
+                ScalarType::UInt8 => {
+                    for l in 0..n {
+                        tmp[l] = vals[l] as u8;
+                    }
+                    bind.write(off, &tmp[..n]);
+                }
+                ScalarType::UInt16 => {
+                    for l in 0..n {
+                        tmp[2 * l..2 * l + 2].copy_from_slice(&(vals[l] as u16).to_le_bytes());
+                    }
+                    bind.write(off * 2, &tmp[..n * 2]);
+                }
+                ScalarType::UInt32 => {
+                    for l in 0..n {
+                        tmp[4 * l..4 * l + 4].copy_from_slice(&(vals[l] as u32).to_le_bytes());
+                    }
+                    bind.write(off * 4, &tmp[..n * 4]);
+                }
+                ScalarType::Int32 => {
+                    for l in 0..n {
+                        tmp[4 * l..4 * l + 4].copy_from_slice(&(vals[l] as i32).to_le_bytes());
+                    }
+                    bind.write(off * 4, &tmp[..n * 4]);
+                }
+                ScalarType::UInt64 => {
+                    for l in 0..n {
+                        tmp[8 * l..8 * l + 8].copy_from_slice(&(vals[l] as u64).to_le_bytes());
+                    }
+                    bind.write(off * 8, &tmp[..n * 8]);
+                }
+                _ => unreachable!("integer fused outputs are integer-typed"),
+            }
+        }
+    };
+}
+
+int_chunk_store!(store_chunk_i32, i32);
+int_chunk_store!(store_chunk_i64, i64);
+
+/// Contiguous `[f32; W]` chunk store: write the first `n` lanes bit-exactly.
+#[inline]
+fn store_chunk_f32<const W: usize>(
+    fused: &FusedKernel,
+    out_base: i64,
+    x: i64,
+    n: usize,
+    vals: &[f32; W],
+    binds: &BindTable,
+) {
+    debug_assert_eq!(fused.out_ty, ScalarType::Float32);
     let bind = binds.0[fused.out_slot]
         .as_ref()
         .expect("store target bound");
     let off = (out_base + x) as usize;
-    let vals = &st[0];
+    let n = n.min(W);
     let mut tmp = [0u8; MAX_CHUNK * 4];
-    match fused.out_ty {
-        ScalarType::UInt8 => {
-            for l in 0..W {
-                tmp[l] = vals[l] as u8;
-            }
-            bind.write(off, &tmp[..W]);
-        }
-        ScalarType::UInt16 => {
-            for l in 0..W {
-                tmp[2 * l..2 * l + 2].copy_from_slice(&(vals[l] as u16).to_le_bytes());
-            }
-            bind.write(off * 2, &tmp[..W * 2]);
-        }
-        ScalarType::UInt32 => {
-            for l in 0..W {
-                tmp[4 * l..4 * l + 4].copy_from_slice(&(vals[l] as u32).to_le_bytes());
-            }
-            bind.write(off * 4, &tmp[..W * 4]);
-        }
-        ScalarType::Int32 => {
-            for l in 0..W {
-                tmp[4 * l..4 * l + 4].copy_from_slice(&vals[l].to_le_bytes());
-            }
-            bind.write(off * 4, &tmp[..W * 4]);
-        }
-        _ => unreachable!("fused outputs are 8/16/32-bit integers"),
+    for l in 0..n {
+        tmp[4 * l..4 * l + 4].copy_from_slice(&vals[l].to_le_bytes());
     }
+    bind.write(off * 4, &tmp[..n * 4]);
 }
 
 #[inline]
@@ -2698,14 +3622,27 @@ pub struct ExecPlan {
 }
 
 impl ExecPlan {
-    /// Number of stores compiled with a fused SIMD lane kernel (tier 1).
-    /// The kernel selection is part of the plan, so cached plans keep it.
+    /// Number of stores compiled with a fused SIMD lane kernel (tier 1),
+    /// across all lane families. The kernel selection is part of the plan,
+    /// so cached plans keep it.
     pub fn fused_store_count(&self) -> usize {
-        self.prepared
-            .stores
-            .iter()
-            .filter(|s| s.as_ref().is_some_and(|s| s.fused.is_some()))
-            .count()
+        self.fused_store_counts().total()
+    }
+
+    /// Per-lane-family fused-kernel counts (see [`FusedStoreCounts`]): which
+    /// of the plan's stores run `[i32; W]`, `[i64; W/2]` or `[f32; W]`
+    /// chunks on tier 1.
+    pub fn fused_store_counts(&self) -> FusedStoreCounts {
+        let mut counts = FusedStoreCounts::default();
+        for store in self.prepared.stores.iter().flatten() {
+            match store.fused.as_ref().map(|f| f.family()) {
+                Some(LaneFamily::I32) => counts.lanes_i32 += 1,
+                Some(LaneFamily::I64) => counts.lanes_i64 += 1,
+                Some(LaneFamily::F32) => counts.lanes_f32 += 1,
+                None => {}
+            }
+        }
+        counts
     }
 
     /// Number of compiled stores in the plan.
@@ -3027,12 +3964,14 @@ mod tests {
             .as_ref()
             .and_then(|s| s.fused.as_ref())
             .expect("blur shape must fuse");
-        let axpys = fused
-            .ops
+        let LaneProgram::I32(ops) = &fused.prog else {
+            panic!("blur shape must fuse on i32 lanes, got {:?}", fused.prog);
+        };
+        let axpys = ops
             .iter()
             .filter(|op| matches!(op, VOp::Axpy { .. }))
             .count();
-        assert!(axpys >= 2, "expected fused taps, got ops {:?}", fused.ops);
+        assert!(axpys >= 2, "expected fused taps, got ops {ops:?}");
         assert_eq!(fused.taps.len(), 3, "distinct taps deduplicated");
     }
 
@@ -3211,5 +4150,291 @@ mod tests {
         let plan = plan_for(nest(29, 6, 16, value), ScalarType::UInt16);
         assert_eq!(plan.fused_store_count(), 1);
         assert_modes_agree(&plan, &[29, 6], &input(29, 6, 29));
+    }
+
+    // -- The `[i64; W/2]` and `[f32; W]` lane families and masked tails -----
+
+    fn plan_with_input(stmt: Stmt, out_ty: ScalarType, in_ty: ScalarType) -> ExecPlan {
+        prepare(
+            stmt,
+            "out",
+            out_ty,
+            &[("in".to_string(), in_ty)],
+            &[],
+            &BTreeMap::new(),
+        )
+        .expect("prepare")
+    }
+
+    /// A Float32 input with NaN, infinities, a subnormal and
+    /// rounding-sensitive values sprinkled among ordinary data.
+    fn finput(w: usize, h: usize, seed: u64) -> Buffer {
+        let mut b = Buffer::new(ScalarType::Float32, &[w, h]);
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e-40, // f32 subnormal after the store's narrowing
+            -0.0,
+            0.1,
+            1.0 / 3.0,
+        ];
+        let mut s = seed | 1;
+        for (i, c) in b.coords().collect::<Vec<_>>().into_iter().enumerate() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = if i % 5 == 3 {
+                specials[(s >> 33) as usize % specials.len()]
+            } else {
+                ((s >> 29) as i64 % 4096) as f64 / 8.0 - 128.0
+            };
+            b.set(&c, Value::Float(v));
+        }
+        b
+    }
+
+    /// A raw Float32 tap (bit-exact load, no widening cast in the AST).
+    fn ftap(dx: i64, dy: i64) -> Expr {
+        Expr::Image(
+            "in".into(),
+            vec![
+                Expr::add(Expr::var("x"), Expr::int(dx)),
+                Expr::add(Expr::var("y"), Expr::int(dy)),
+            ],
+        )
+    }
+
+    fn f32c(e: Expr) -> Expr {
+        Expr::cast(ScalarType::Float32, e)
+    }
+
+    /// The f32 lane family fuses rounding-disciplined float stencils (every
+    /// op under a `cast<float>`, as lifted single-precision SSE code is) and
+    /// matches the per-op tier bit-for-bit — including NaN/Inf/subnormal
+    /// inputs.
+    #[test]
+    fn f32_lane_family_fuses_and_agrees() {
+        // smooth-like: ((a + b) rounded) * w rounded, + center * w2 rounded.
+        let value = f32c(Expr::add(
+            f32c(Expr::mul(
+                f32c(Expr::add(ftap(-1, 0), ftap(1, 0))),
+                Expr::ConstFloat((1.0f32 / 12.0) as f64, ScalarType::Float32),
+            )),
+            f32c(Expr::mul(
+                ftap(0, 0),
+                Expr::ConstFloat(0.5, ScalarType::Float32),
+            )),
+        ));
+        for width in [8usize, 16, 32] {
+            for (w, h) in [(13i64, 7i64), (31, 5), (8, 8), (5, 3)] {
+                let plan = plan_with_input(
+                    nest(w, h, width, value.clone()),
+                    ScalarType::Float32,
+                    ScalarType::Float32,
+                );
+                assert_eq!(plan.fused_store_counts().lanes_f32, 1, "must fuse on f32");
+                for seed in [1u64, 77] {
+                    assert_modes_agree(
+                        &plan,
+                        &[w as usize, h as usize],
+                        &finput(w as usize + 2, h as usize + 2, seed),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Min/max, compares, selects, division and sqrt fuse on f32 lanes under
+    /// rounding discipline and agree bit-for-bit (NaN propagation and ±0.0
+    /// selection included).
+    #[test]
+    fn f32_value_sensitive_shapes_fuse_and_agree() {
+        let value = Expr::select(
+            Expr::cmp(
+                CmpOp::Lt,
+                ftap(0, 0),
+                Expr::ConstFloat(0.0, ScalarType::Float32),
+            ),
+            f32c(Expr::Call(ExternCall::Sqrt, vec![ftap(1, 1)])),
+            Expr::bin(
+                BinOp::Min,
+                f32c(Expr::bin(BinOp::Div, ftap(1, 0), ftap(0, 1))),
+                Expr::bin(
+                    BinOp::Max,
+                    ftap(0, 0),
+                    Expr::ConstFloat(-2.5, ScalarType::Float32),
+                ),
+            ),
+        );
+        let plan = plan_with_input(
+            nest(23, 9, 8, value),
+            ScalarType::Float32,
+            ScalarType::Float32,
+        );
+        assert_eq!(plan.fused_store_counts().lanes_f32, 1);
+        assert_modes_agree(&plan, &[23, 9], &finput(25, 11, 9));
+    }
+
+    /// Float shapes outside the rounding discipline must not fuse: unrounded
+    /// arithmetic (the reference computes it in f64), f64-only constants, and
+    /// Float64 outputs.
+    #[test]
+    fn f32_family_rejects_unrounded_shapes() {
+        // An inner a + b with no cast<float> between it and the enclosing
+        // multiply: the reference keeps the unrounded f64 sum as the multiply
+        // operand, which no f32 lane can carry. (A top-level a + b *does*
+        // fuse — the Float32 store itself is the rounding point.)
+        let unrounded = f32c(Expr::mul(
+            Expr::add(ftap(-1, 0), ftap(1, 0)),
+            Expr::ConstFloat(0.5, ScalarType::Float32),
+        ));
+        let plan = plan_with_input(
+            nest(8, 4, 8, unrounded.clone()),
+            ScalarType::Float32,
+            ScalarType::Float32,
+        );
+        assert_eq!(plan.fused_store_count(), 0, "unrounded add must not fuse");
+        // A constant that needs f64 precision.
+        let f64_const = f32c(Expr::mul(
+            ftap(0, 0),
+            Expr::ConstFloat(0.1, ScalarType::Float64),
+        ));
+        let plan = plan_with_input(
+            nest(8, 4, 8, f64_const),
+            ScalarType::Float32,
+            ScalarType::Float32,
+        );
+        assert_eq!(
+            plan.fused_store_count(),
+            0,
+            "f64-only constant must not fuse"
+        );
+        // Float64 output: the reference representation itself, no shortcut.
+        let plan = plan_with_input(
+            nest(
+                8,
+                4,
+                8,
+                f32c(Expr::mul(
+                    ftap(0, 0),
+                    Expr::ConstFloat(0.5, ScalarType::Float32),
+                )),
+            ),
+            ScalarType::Float64,
+            ScalarType::Float32,
+        );
+        assert_eq!(plan.fused_store_count(), 0, "f64 output must not fuse");
+        // And the per-op tier still executes them correctly (smoke).
+        let plan = plan_with_input(
+            nest(8, 4, 8, unrounded),
+            ScalarType::Float32,
+            ScalarType::Float32,
+        );
+        assert_modes_agree(&plan, &[8, 4], &finput(10, 6, 5));
+    }
+
+    /// UInt64 outputs — where the 32-bit wrap proofs are vacuous — fuse on
+    /// the i64 family, whose lanes are the exact reference values.
+    #[test]
+    fn i64_lane_family_covers_u64_outputs() {
+        let value = Expr::cast(
+            ScalarType::UInt64,
+            Expr::add(
+                Expr::mul(tap(0, 0), Expr::int(0x1_0000_0001)),
+                Expr::bin(
+                    BinOp::Shl,
+                    Expr::cast(ScalarType::UInt64, tap(1, 1)),
+                    Expr::int(33),
+                ),
+            ),
+        );
+        for width in [8usize, 16, 32] {
+            let plan = plan_for(nest(21, 6, width, value.clone()), ScalarType::UInt64);
+            assert_eq!(plan.fused_store_counts().lanes_i64, 1, "must fuse on i64");
+            assert_modes_agree(&plan, &[21, 6], &input(23, 8, 3));
+        }
+    }
+
+    /// A ≤32-bit output whose interval proofs fail falls back from the i32
+    /// family to the i64 family rather than to the per-op tier.
+    #[test]
+    fn i64_family_rescues_unprovable_narrow_outputs() {
+        // min over values far outside u32: the i32 family cannot prove MinS
+        // or MinU exact, the i64 family needs no proof.
+        let value = Expr::cast(
+            ScalarType::UInt32,
+            Expr::bin(
+                BinOp::Min,
+                Expr::mul(tap(0, 0), Expr::int(1 << 40)),
+                Expr::int(1 << 41),
+            ),
+        );
+        let plan = plan_for(nest(19, 5, 8, value), ScalarType::UInt32);
+        let counts = plan.fused_store_counts();
+        assert_eq!(
+            (counts.lanes_i32, counts.lanes_i64),
+            (0, 1),
+            "unprovable narrow output must ride the i64 family"
+        );
+        assert_modes_agree(&plan, &[19, 5], &input(21, 7, 11));
+    }
+
+    /// Sub-width interior tails run as fused chunks (masked below one chunk,
+    /// overlapping above) instead of peeling onto the per-op tier: extents
+    /// below, at and around the chunk width all stay bit-exact and the tail
+    /// counter advances for the non-dividing ones.
+    #[test]
+    fn masked_and_overlapping_tails_keep_small_extents_on_tier1() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(tap(0, 0), Expr::add(tap(1, 0), tap(2, 0))),
+                Expr::uint(1),
+            ),
+        );
+        // Chunk width is 8 (vectorize(8)); input is wide enough that the
+        // interior spans the whole row for every extent.
+        for w in [3i64, 5, 7, 8, 9, 15, 16, 17] {
+            let plan = plan_for(nest(w, 4, 8, value.clone()), ScalarType::UInt8);
+            assert_eq!(plan.fused_store_count(), 1);
+            let rows_before = fused_rows_executed();
+            let tails_before = fused_tail_chunks_executed();
+            assert_modes_agree(&plan, &[w as usize, 4], &input(24, 6, 13));
+            assert!(
+                fused_rows_executed() > rows_before,
+                "extent {w}: fused interior must have executed"
+            );
+            if w % 8 != 0 {
+                assert!(
+                    fused_tail_chunks_executed() > tails_before,
+                    "extent {w}: the sub-width tail must run as a fused chunk"
+                );
+            }
+        }
+    }
+
+    /// A store whose value reads its own buffer must refuse fusion entirely
+    /// (chunked evaluation would observe its own writes) — and therefore
+    /// also the overlapping-chunk tail variant.
+    #[test]
+    fn self_aliasing_store_refuses_fusion() {
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::add(
+                Expr::FuncRef(
+                    "out".into(),
+                    vec![Expr::add(Expr::var("x"), Expr::int(-1)), Expr::var("y")],
+                ),
+                tap(0, 0),
+            ),
+        );
+        let plan = plan_for(nest(16, 4, 8, value), ScalarType::UInt8);
+        assert_eq!(
+            plan.fused_store_count(),
+            0,
+            "self-aliasing store must stay on the per-op tier"
+        );
     }
 }

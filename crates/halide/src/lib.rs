@@ -18,10 +18,12 @@
 //! * [`stmt`], [`lower`], [`exec`] — the compilation pipeline: schedules are
 //!   *lowered* into an explicit loop-nest IR ([`stmt::Stmt`]) with
 //!   bounds-inference-sized intermediate allocations, then executed by a
-//!   three-tier compiled engine (fused SIMD lane kernels over 32-bit
-//!   wrapping lanes with interior/boundary loop splitting, per-op typed
-//!   lane dispatch, and a shared-evaluator per-element fallback) with
-//!   scoped-thread parallelism — see the [`exec`] module docs;
+//!   three-tier compiled engine (fused SIMD lane kernels in three lane
+//!   families — `[i32; W]` wrapping, `[i64; W/2]` exact-value and `[f32; W]`
+//!   rounding-disciplined — with interior/boundary loop splitting and
+//!   masked/overlapping tail chunks, per-op typed lane dispatch, and a
+//!   shared-evaluator per-element fallback) with scoped-thread parallelism —
+//!   see the [`exec`] module docs;
 //! * [`compile`], [`cache`] — the compile-once/run-many API:
 //!   [`func::Pipeline::compile`] produces a [`CompiledPipeline`] whose `run`
 //!   does only per-call work, backed by a keyed LRU [`ProgramCache`] with
@@ -118,7 +120,10 @@ pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use codegen::{generate_halide_source, CodegenOptions};
 pub use compile::{CompileOptions, CompiledPipeline};
 pub use eval::{eval_expr, EvalSources};
-pub use exec::{fused_rows_executed, set_simd_mode, simd_mode, SimdMode};
+pub use exec::{
+    fused_rows_executed, fused_tail_chunks_executed, set_simd_mode, simd_mode, FusedStoreCounts,
+    LaneFamily, SimdMode,
+};
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
 pub use realize::{ExecBackend, RealizeError, RealizeInputs, Realizer};
@@ -134,7 +139,7 @@ pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
     pub use crate::compile::{CompileOptions, CompiledPipeline};
-    pub use crate::exec::SimdMode;
+    pub use crate::exec::{FusedStoreCounts, LaneFamily, SimdMode};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
     pub use crate::realize::{ExecBackend, RealizeInputs, Realizer};

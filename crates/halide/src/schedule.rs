@@ -21,12 +21,14 @@ pub struct Schedule {
     /// Tile sizes for the two innermost dimensions, if tiling is enabled.
     pub tile: Option<(usize, usize)>,
     /// Number of output elements evaluated per inner dispatch. Beyond
-    /// amortizing dispatch overhead, the width now selects the fused SIMD
-    /// kernel's chunk size in the compiled executor (8/16/32 `i32` lanes;
-    /// see [`crate::exec`]), so 8, 16 and 32 genuinely generate different
-    /// inner kernels — the autotuner samples all three. Widths beyond
-    /// [`crate::exec::MAX_LANES`] are batched on the per-op tier, never
-    /// silently truncated.
+    /// amortizing dispatch overhead, the width selects the fused SIMD
+    /// kernel's chunk size in the compiled executor per lane family
+    /// (see [`crate::exec`]): widths 8/16/32 map to 8/16/32 lanes for the
+    /// `[i32; W]` and `[f32; W]` families and to 4/8/16 lanes for the
+    /// `[i64; W/2]` family (same vector-register footprint), so 8, 16 and
+    /// 32 genuinely generate different inner kernels — the autotuner
+    /// samples all three. Widths beyond [`crate::exec::MAX_LANES`] are
+    /// batched on the per-op tier, never silently truncated.
     pub vector_width: usize,
     /// Funcs materialized into intermediate buffers instead of being inlined.
     pub compute_root: BTreeSet<String>,

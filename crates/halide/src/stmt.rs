@@ -148,6 +148,25 @@ pub fn access_invariant_in(args: &[AffineIndex], var: &str) -> bool {
     args.iter().all(|a| a.is_invariant_in(var))
 }
 
+/// Whether `value` loads from the buffer named `buffer` (as an image or a
+/// func source).
+///
+/// This is the *self-alias* check of the compiled executor's store lowering:
+/// a store whose value reads the buffer it writes must refuse both the fused
+/// lane kernels (chunked evaluation would read lanes written earlier in the
+/// same row) and the overlapping-last-chunk tail variant (which re-stores
+/// already-written lanes and would otherwise recompute them from updated
+/// inputs). Such stores keep the per-op tier.
+pub fn value_reads_buffer(value: &Expr, buffer: &str) -> bool {
+    let mut found = false;
+    value.visit(&mut |e| {
+        if let Expr::Image(name, _) | Expr::FuncRef(name, _) = e {
+            found |= name == buffer;
+        }
+    });
+    found
+}
+
 /// Collect every image/func load in `value` with its affine access metadata.
 pub fn collect_loads(value: &Expr, params: &BTreeMap<String, Value>) -> Vec<LoadAccess> {
     let mut out = Vec::new();
@@ -437,6 +456,21 @@ mod tests {
         assert_eq!(a.konst, 3);
         assert_eq!(a.coeff_of("x"), 1);
         assert_eq!(a.coeff_of("y"), 0);
+    }
+
+    #[test]
+    fn self_alias_detection() {
+        // out[x] = out(x - 1) + in(x): reads its own buffer.
+        let aliasing = Expr::add(
+            Expr::FuncRef("out".into(), vec![Expr::add(Expr::var("x"), Expr::int(-1))]),
+            Expr::Image("in".into(), vec![Expr::var("x")]),
+        );
+        assert!(value_reads_buffer(&aliasing, "out"));
+        assert!(value_reads_buffer(&aliasing, "in"));
+        assert!(!value_reads_buffer(&aliasing, "other"));
+        // A pure stencil over a distinct source does not self-alias.
+        let clean = Expr::Image("in".into(), vec![Expr::var("x")]);
+        assert!(!value_reads_buffer(&clean, "out"));
     }
 
     #[test]

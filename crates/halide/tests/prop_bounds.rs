@@ -1,0 +1,232 @@
+//! Fuzz-style soundness suite for the interval analysis the fused SIMD lane
+//! kernels' exactness proofs stand on.
+//!
+//! Two properties, both of the form "random expression tree, evaluated
+//! concretely, must agree with the static analysis":
+//!
+//! * **`combine` / `expr_interval` soundness.** For every random integer
+//!   expression tree and every random assignment of the free variables
+//!   within their declared bounds, the concretely evaluated value must land
+//!   inside the derived interval. An under-approximation here would let the
+//!   `[i32; W]` kernel compiler emit a value-sensitive op (shift, min/max,
+//!   compare, select) whose 32-bit result silently differs from the
+//!   reference — exactly the class of bug the sound `Or`/`Xor`/`Shl`/`Div`/
+//!   `Mod`/`Shr` rules (and the narrowing-cast rule) fixed.
+//! * **`affine_decompose` faithfulness.** When decomposition succeeds, the
+//!   affine form `konst + Σ coeff·var` must reproduce the concrete value of
+//!   the expression at every assignment — the fused tier uses these
+//!   coefficients to classify loads as contiguous/broadcast and to derive
+//!   the in-range interior, so a wrong coefficient mis-addresses whole rows.
+//!
+//! Expressions deliberately include the extreme constants (±2^62, i64
+//! bounds) that drive the wrap-around and saturation corners of every
+//! `combine` rule.
+
+use helium_halide::bounds::{affine_decompose, expr_interval, Interval};
+use helium_halide::expr::{eval_binop, BinOp, Expr};
+use helium_halide::types::{ScalarType, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Variables the trees may reference, with their declared bounds.
+const VARS: [(&str, i64, i64); 3] = [("x", 0, 95), ("y", -7, 63), ("z", -1000, 1000)];
+
+/// Constants that stress every `combine` rule's wrap/saturation corners.
+const EXTREME: [i64; 12] = [
+    i64::MIN,
+    i64::MAX,
+    -(1 << 62),
+    1 << 62,
+    -(1 << 40),
+    (1 << 40) + 7,
+    u32::MAX as i64,
+    -1,
+    0,
+    1,
+    63,
+    255,
+];
+
+fn var_bounds() -> BTreeMap<String, Interval> {
+    VARS.iter()
+        .map(|(n, lo, hi)| (n.to_string(), Interval::new(*lo, *hi)))
+        .collect()
+}
+
+fn params() -> BTreeMap<String, Value> {
+    [("k".to_string(), Value::Int(37))].into_iter().collect()
+}
+
+/// Concretely evaluate an integer expression tree with the exact reference
+/// semantics ([`eval_binop`], [`Value::cast`], strict select). Returns `None`
+/// only for the one case where the reference itself panics (`i64::MIN / -1`
+/// and the matching `%`), which the property skips.
+fn eval(e: &Expr, env: &BTreeMap<String, i64>) -> Option<i64> {
+    Some(match e {
+        Expr::Var(n) | Expr::RVar(n) => env[n.as_str()],
+        Expr::ConstInt(v, _) => *v,
+        Expr::Param(n, _) => match params()[n.as_str()] {
+            Value::Int(v) => v,
+            Value::Float(f) => f as i64,
+        },
+        Expr::Cast(ty, inner) => Value::Int(eval(inner, env)?).cast(*ty).as_i64(),
+        Expr::Binary(op, a, b) => {
+            let (x, y) = (eval(a, env)?, eval(b, env)?);
+            if matches!(op, BinOp::Div | BinOp::Mod) && x == i64::MIN && y == -1 {
+                return None; // the reference panics on this overflow
+            }
+            eval_binop(*op, Value::Int(x), Value::Int(y)).as_i64()
+        }
+        Expr::Cmp(op, a, b) => {
+            helium_halide::expr::eval_cmp(*op, Value::Int(eval(a, env)?), Value::Int(eval(b, env)?))
+                .as_i64()
+        }
+        Expr::Select(c, t, f) => {
+            let (c, t, f) = (eval(c, env)?, eval(t, env)?, eval(f, env)?);
+            if c != 0 {
+                t
+            } else {
+                f
+            }
+        }
+        _ => unreachable!("strategy emits integer leaves and operators only"),
+    })
+}
+
+/// Random integer expression trees over the declared variables, every binary
+/// operator (including the wrap-prone shifts and division), narrowing casts
+/// and comparisons/selects.
+fn int_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop::sample::select(VARS.to_vec()).prop_map(|(n, _, _)| Expr::var(n)),
+        prop::sample::select(EXTREME.to_vec()).prop_map(Expr::int),
+        (-300i64..301).prop_map(Expr::int),
+        Just(Expr::Param("k".into(), ScalarType::Int32)),
+    ];
+    let ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Shr,
+        BinOp::Shl,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+    let casts = [
+        ScalarType::UInt8,
+        ScalarType::UInt16,
+        ScalarType::UInt32,
+        ScalarType::Int32,
+        ScalarType::UInt64,
+    ];
+    leaf.prop_recursive(4, 32, 2, move |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(ops.to_vec()),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (prop::sample::select(casts.to_vec()), inner.clone())
+                .prop_map(|(ty, e)| Expr::cast(ty, e)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::select(
+                Expr::cmp(helium_halide::expr::CmpOp::Lt, c, Expr::int(7)),
+                t,
+                f
+            )),
+        ]
+    })
+}
+
+/// Affine-friendly trees: add/sub/mul-by-const chains over variables, params
+/// and modest constants, under value-preserving casts — the shapes index
+/// expressions actually take. Constants stay small enough that the affine
+/// evaluation cannot overflow (indices in practice are buffer-sized).
+fn affine_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop::sample::select(VARS.to_vec()).prop_map(|(n, _, _)| Expr::var(n)),
+        (-1000i64..1001).prop_map(Expr::int),
+        Just(Expr::Param("k".into(), ScalarType::Int32)),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), -16i64..17).prop_map(|(a, c)| Expr::mul(a, Expr::int(c))),
+            (inner.clone(), -16i64..17).prop_map(|(a, c)| Expr::mul(Expr::int(c), a)),
+            inner.clone().prop_map(|a| Expr::cast(ScalarType::Int32, a)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::cast(ScalarType::UInt64, a)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Soundness: the concrete value always lands inside the derived
+    /// interval, for every assignment of the variables within their bounds.
+    #[test]
+    fn expr_interval_contains_every_concrete_value(
+        e in int_expr_strategy(),
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+        fz in 0.0f64..1.0,
+    ) {
+        let bounds = var_bounds();
+        let iv = expr_interval(&e, &bounds, &params());
+        let mut env = BTreeMap::new();
+        for ((name, lo, hi), f) in VARS.iter().zip([fx, fy, fz]) {
+            let v = lo + ((hi - lo) as f64 * f) as i64;
+            env.insert(name.to_string(), v.clamp(*lo, *hi));
+        }
+        if let Some(v) = eval(&e, &env) {
+            prop_assert!(
+                iv.contains(v),
+                "{e} = {v} at {env:?}, outside derived interval [{}, {}]",
+                iv.min,
+                iv.max
+            );
+        }
+    }
+
+    /// Faithfulness: a successful affine decomposition reproduces the
+    /// concrete value exactly at every assignment.
+    #[test]
+    fn affine_decompose_matches_concrete_evaluation(
+        e in affine_expr_strategy(),
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+        fz in 0.0f64..1.0,
+    ) {
+        if let Some((coeffs, konst)) = affine_decompose(&e, &params()) {
+            let mut env = BTreeMap::new();
+            for ((name, lo, hi), f) in VARS.iter().zip([fx, fy, fz]) {
+                let v = lo + ((hi - lo) as f64 * f) as i64;
+                env.insert(name.to_string(), v.clamp(*lo, *hi));
+            }
+            let affine_value = konst
+                + coeffs
+                    .iter()
+                    .map(|(v, c)| c * env[v.as_str()])
+                    .sum::<i64>();
+            let concrete = eval(&e, &env).expect("affine shapes cannot hit the div corner");
+            prop_assert_eq!(
+                affine_value,
+                concrete,
+                "{} decomposed to {:?} + {} but evaluates to {} at {:?}",
+                e,
+                coeffs,
+                konst,
+                concrete,
+                env
+            );
+        }
+    }
+}

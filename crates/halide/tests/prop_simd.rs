@@ -1,20 +1,28 @@
-//! Differential property suite for the fused SIMD execution tier.
+//! Cross-tier differential matrix for the fused SIMD execution tier.
 //!
-//! The compiled executor has three tiers (fused SIMD lane kernels, per-op
-//! typed lane dispatch, per-element fallback — see `exec`'s module docs).
-//! This suite pins the lowered backend to each tier via
-//! [`CompileOptions::simd`] — no global state, so cases can run in parallel —
-//! and asserts the outputs are bit-identical to the interpreter oracle:
+//! The compiled executor has three tiers (fused SIMD lane kernels in three
+//! lane families — `[i32; W]`, `[i64; W/2]`, `[f32; W]` — per-op typed lane
+//! dispatch, per-element fallback — see `exec`'s module docs). This suite
+//! pins the lowered backend to each tier via [`CompileOptions::simd`] — no
+//! global state, so cases can run in parallel — and asserts the outputs are
+//! bit-identical to the interpreter oracle:
 //!
-//! * across every [`ScalarType`] as both input and output element type;
-//! * on odd/prime extents, so interior chunks always leave tail peels;
+//! * across every [`ScalarType`] as both input and output element type
+//!   (`UInt64` outputs ride the `[i64; W/2]` family, `Float32` outputs the
+//!   `[f32; W]` family);
+//! * on odd/prime extents, so interior chunks always leave sub-width tails
+//!   (executed as masked or overlapping fused chunks) and border peels;
 //! * on border-clamping stencils (negative and past-the-end tap offsets);
 //! * on the u32 wrap-around idioms lifted binaries use (`4294967295 * x`
-//!   negative taps, `255 ^ x` inversion, logical shifts of wrapped sums).
+//!   negative taps, `255 ^ x` inversion, logical shifts of wrapped sums);
+//! * for the float family: on NaN, ±Inf, subnormal and rounding-sensitive
+//!   inputs, with rounding-disciplined expressions (every op under a
+//!   `cast<float>`, the shape lifted single-precision SSE code takes).
 //!
 //! The `HELIUM_FORCE_SCALAR=1` / `HELIUM_FORCE_SIMD=1` environment variables
 //! apply the same pinning process-wide; CI runs the whole test suite under
-//! each as separate matrix legs.
+//! each as separate matrix legs, plus float- and 64-bit-filtered legs that
+//! concentrate on the new lane families.
 
 use helium_halide::prelude::*;
 use proptest::prelude::*;
@@ -35,16 +43,36 @@ const TYPES: [ScalarType; 7] = [
 /// chunks, so every case exercises the pre/post peels and the sub-width tail.
 const EXTENTS: [usize; 6] = [5, 7, 11, 13, 23, 31];
 
+/// Float values that stress the `[f32; W]` family's invariant: NaN
+/// propagation, infinities, a value that becomes subnormal after the f32
+/// narrowing, the signed zero pair, and f32-rounding-sensitive fractions.
+const FLOAT_SPECIALS: [f64; 8] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    1e-40,
+    -0.0,
+    0.1,
+    1.0 / 3.0,
+    16_777_217.0, // 2^24 + 1: rounds under f32
+];
+
 fn image(ty: ScalarType, w: usize, h: usize, seed: u64) -> Buffer {
     let mut b = Buffer::new(ty, &[w, h]);
     let mut s = seed | 1;
-    for c in b.coords().collect::<Vec<_>>() {
+    for (i, c) in b.coords().collect::<Vec<_>>().into_iter().enumerate() {
         s = s
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         let v = (s >> 29) as i64;
         let value = if ty.is_float() {
-            Value::Float((v % 4096) as f64 / 8.0 - 128.0)
+            // Sprinkle NaN/Inf/subnormal/rounding-sensitive values among
+            // ordinary data so every float case exercises them.
+            if i % 7 == 4 {
+                Value::Float(FLOAT_SPECIALS[(s >> 33) as usize % FLOAT_SPECIALS.len()])
+            } else {
+                Value::Float((v % 4096) as f64 / 8.0 - 128.0)
+            }
         } else {
             Value::Int(v)
         };
@@ -107,6 +135,63 @@ fn value_strategy() -> impl Strategy<Value = Expr> {
             inner
                 .clone()
                 .prop_map(|a| Expr::cast(ScalarType::UInt16, a)),
+        ]
+    })
+}
+
+/// A raw tap on `in` (no widening cast), for float-typed inputs whose loads
+/// are bit-exact as-is.
+fn ftap(dx: i64, dy: i64) -> Expr {
+    Expr::Image(
+        "in".into(),
+        vec![
+            Expr::add(Expr::var("x_0"), Expr::int(dx)),
+            Expr::add(Expr::var("x_1"), Expr::int(dy)),
+        ],
+    )
+}
+
+/// Rounding-disciplined float stencils for the `[f32; W]` lane family:
+/// every arithmetic op sits under a `cast<float>` — the shape regenerated
+/// single-precision SSE code has, since each instruction rounds at f32 —
+/// plus the exact-without-rounding ops (min/max, compares, selects) and
+/// f32-exact constants.
+fn f32_value_strategy() -> impl Strategy<Value = Expr> {
+    let f32c = |e: Expr| Expr::cast(ScalarType::Float32, e);
+    let off = -2i64..3;
+    // All exactly representable in f32; includes the weights miniGMG's
+    // smooth uses and the signed-zero/negative cases.
+    let consts = [0.5f64, (1.0f32 / 12.0) as f64, 3.25, -2.5, 1.0, -0.0, 255.0];
+    let leaf = prop_oneof![
+        (off.clone(), off.clone()).prop_map(|(dx, dy)| ftap(dx, dy)),
+        prop::sample::select(consts.to_vec())
+            .prop_map(|v| Expr::ConstFloat(v, ScalarType::Float32)),
+        Just(Expr::var("x_0")),
+    ];
+    leaf.prop_recursive(3, 20, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(move |(a, b)| f32c(Expr::add(a, b))),
+            (inner.clone(), inner.clone()).prop_map(move |(a, b)| f32c(Expr::bin(
+                BinOp::Sub,
+                a,
+                b
+            ))),
+            (inner.clone(), inner.clone()).prop_map(move |(a, b)| f32c(Expr::mul(a, b))),
+            (inner.clone(), inner.clone()).prop_map(move |(a, b)| f32c(Expr::bin(
+                BinOp::Div,
+                a,
+                b
+            ))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
+            inner
+                .clone()
+                .prop_map(move |a| f32c(Expr::Call(ExternCall::Sqrt, vec![a]))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::select(
+                Expr::cmp(CmpOp::Lt, c, Expr::ConstFloat(0.0, ScalarType::Float32)),
+                t,
+                f
+            )),
         ]
     })
 }
@@ -206,6 +291,97 @@ proptest! {
             .with_vector_width(8);
         assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
     }
+
+    /// The `[f32; W]` lane family's acceptance property: random
+    /// rounding-disciplined float stencils over Float32 (and integer-widened)
+    /// inputs seeded with NaN/±Inf/subnormal/rounding-sensitive values are
+    /// bit-identical to the interpreter in both forced modes, on prime
+    /// extents, across widths and under parallelism.
+    #[test]
+    fn f32_family_matches_interpreter(
+        in_ty in prop::sample::select(vec![
+            ScalarType::Float32,
+            ScalarType::UInt8,
+            ScalarType::UInt16,
+        ]),
+        value in f32_value_strategy(),
+        wi in 0usize..EXTENTS.len(),
+        hi in 0usize..EXTENTS.len(),
+        width in prop::sample::select(vec![1usize, 8, 16, 32]),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (w, h) = (EXTENTS[wi], EXTENTS[hi]);
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::Float32,
+            value,
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("in", in_ty, 2)]);
+        let input = image(in_ty, w + 2, h + 2, seed);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let schedule = Schedule::naive()
+            .with_parallel(parallel)
+            .with_vector_width(width);
+        assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
+    }
+
+    /// The `[f32; W]` family under tiling: symbolic tail extents drive the
+    /// masked/overlapping tail chunks, which must stay bit-exact.
+    #[test]
+    fn f32_family_is_exact_under_tiling(
+        value in f32_value_strategy(),
+        tile in prop::sample::select(vec![(4usize, 4usize), (8, 8), (5, 3)]),
+        wi in 0usize..EXTENTS.len(),
+        hi in 0usize..EXTENTS.len(),
+        seed in any::<u64>(),
+    ) {
+        let (w, h) = (EXTENTS[wi], EXTENTS[hi]);
+        let out = Func::pure("out", &["x_0", "x_1"], ScalarType::Float32, value);
+        let p = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::Float32, 2)]);
+        let input = image(ScalarType::Float32, w + 3, h + 3, seed);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let schedule = Schedule::naive()
+            .with_tile(Some(tile))
+            .with_vector_width(8);
+        assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
+    }
+
+    /// The `[i64; W/2]` lane family's acceptance property: the integer
+    /// strategy (wrap-around taps, shifted sums, clamps, selects) with
+    /// 64-bit outputs — where the i32 wrap proofs are vacuous — stays
+    /// bit-identical to the interpreter across widths and extents.
+    #[test]
+    fn i64_family_matches_interpreter(
+        in_ty in prop::sample::select(vec![
+            ScalarType::UInt8,
+            ScalarType::UInt32,
+            ScalarType::UInt64,
+            ScalarType::Int32,
+        ]),
+        value in value_strategy(),
+        wi in 0usize..EXTENTS.len(),
+        hi in 0usize..EXTENTS.len(),
+        width in prop::sample::select(vec![1usize, 8, 16, 32]),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (w, h) = (EXTENTS[wi], EXTENTS[hi]);
+        let out = Func::pure(
+            "out",
+            &["x_0", "x_1"],
+            ScalarType::UInt64,
+            Expr::cast(ScalarType::UInt64, value),
+        );
+        let p = Pipeline::new(out, vec![ImageParam::new("in", in_ty, 2)]);
+        let input = image(in_ty, w + 2, h + 2, seed);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let schedule = Schedule::naive()
+            .with_parallel(parallel)
+            .with_vector_width(width);
+        assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
+    }
 }
 
 /// The exact lifted filter idioms (invert's xor, blur's shifted sum,
@@ -294,4 +470,110 @@ fn lifted_filter_idioms_run_fused_and_agree() {
             .expect("oracle");
         assert_eq!(fused, oracle, "{name}: fused tier diverged from oracle");
     }
+}
+
+/// The miniGMG-smooth idiom — a rounding-disciplined Float32 weighted
+/// stencil — must run on the `[f32; W]` lane family (this is the speedup the
+/// float benchmark column claims) and agree with the oracle bit-for-bit on
+/// inputs including NaN/Inf/subnormals.
+#[test]
+fn f32_smooth_idiom_runs_fused_and_agrees() {
+    let f32c = |e: Expr| Expr::cast(ScalarType::Float32, e);
+    let wn = Expr::ConstFloat((1.0f32 / 12.0) as f64, ScalarType::Float32);
+    let wc = Expr::ConstFloat(0.5, ScalarType::Float32);
+    // nsum rounds after every add, exactly like the regenerated SSE code.
+    let nsum = f32c(Expr::add(
+        f32c(Expr::add(
+            f32c(Expr::add(ftap(-1, 0), ftap(1, 0))),
+            ftap(0, -1),
+        )),
+        ftap(0, 1),
+    ));
+    let value = f32c(Expr::add(
+        f32c(Expr::mul(nsum, wn)),
+        f32c(Expr::mul(ftap(0, 0), wc)),
+    ));
+    let out = Func::pure("out", &["x_0", "x_1"], ScalarType::Float32, value);
+    let p = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::Float32, 2)]);
+    let input = image(ScalarType::Float32, 39, 21, 0x5EED);
+    let inputs = RealizeInputs::new().with_image("in", &input);
+    let schedule = Schedule::stencil_default();
+
+    let compiled = p
+        .compile(
+            &schedule,
+            &CompileOptions {
+                backend: ExecBackend::Lowered,
+                simd: Some(SimdMode::ForceSimd),
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile");
+    let before = helium_halide::fused_rows_executed();
+    let fused = compiled.run(&inputs, &[37, 19]).expect("fused run");
+    assert!(
+        helium_halide::fused_rows_executed() > before,
+        "the f32 fused tier must actually execute"
+    );
+    let counts = compiled
+        .fused_store_counts(&inputs, &[37, 19])
+        .expect("counts");
+    assert_eq!(counts.lanes_f32, 1, "smooth must fuse on f32 lanes");
+    assert!(counts.total() > 0);
+
+    let oracle = Realizer::new(schedule)
+        .with_backend(ExecBackend::Interpret)
+        .realize(&p, &[37, 19], &inputs)
+        .expect("oracle");
+    assert_eq!(fused, oracle, "f32 smooth diverged from oracle");
+}
+
+/// The histogram-binning idiom — 64-bit weighted accumulation over narrow
+/// taps — must run on the `[i64; W/2]` lane family and agree with the
+/// oracle.
+#[test]
+fn i64_histogram_idiom_runs_fused_and_agrees() {
+    let u64c = |e: Expr| Expr::cast(ScalarType::UInt64, e);
+    // Bin-weighted sum exceeding 32 bits: tap * (2^32 + 1) + (tap' << 33).
+    let value = u64c(Expr::add(
+        Expr::mul(tap(0, 0), Expr::int(0x1_0000_0001)),
+        Expr::bin(BinOp::Shl, u64c(tap(1, 1)), Expr::int(33)),
+    ));
+    let out = Func::pure("out", &["x_0", "x_1"], ScalarType::UInt64, value);
+    let p = Pipeline::new(out, vec![ImageParam::new("in", ScalarType::UInt8, 2)]);
+    let input = image(ScalarType::UInt8, 39, 21, 0xB16B);
+    let inputs = RealizeInputs::new().with_image("in", &input);
+    let schedule = Schedule::stencil_default();
+
+    let compiled = p
+        .compile(
+            &schedule,
+            &CompileOptions {
+                backend: ExecBackend::Lowered,
+                simd: Some(SimdMode::ForceSimd),
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile");
+    let before = helium_halide::fused_tail_chunks_executed();
+    let fused = compiled.run(&inputs, &[37, 19]).expect("fused run");
+    // 37 does not divide any chunk width: the sub-width interior tail must
+    // have run as a fused (masked or overlapping) chunk, not a scalar peel.
+    assert!(
+        helium_halide::fused_tail_chunks_executed() > before,
+        "sub-width tails must stay on tier 1"
+    );
+    let counts = compiled
+        .fused_store_counts(&inputs, &[37, 19])
+        .expect("counts");
+    assert_eq!(
+        counts.lanes_i64, 1,
+        "histogram binning must fuse on i64 lanes"
+    );
+
+    let oracle = Realizer::new(schedule)
+        .with_backend(ExecBackend::Interpret)
+        .realize(&p, &[37, 19], &inputs)
+        .expect("oracle");
+    assert_eq!(fused, oracle, "i64 histogram diverged from oracle");
 }
