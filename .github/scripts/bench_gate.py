@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fail CI when a recorded speedup falls below floor.
+
+Parses BENCH_lowering.json (written by `cargo bench -p helium-bench --bench
+lowering`, including under HELIUM_BENCH_SMOKE=1) and walks every object in it
+for `*_speedup` keys with a configured floor. Floors are deliberately below
+steady-state numbers (6-26x locally) so only a genuine regression — a lane
+family silently falling back a tier, a reduction landing back on the
+interpreter — trips the gate, not CI-runner noise.
+
+Usage: bench_gate.py [path-to-BENCH_lowering.json]
+"""
+
+import json
+import sys
+
+# key -> minimum acceptable value. Keys absent from the report fail the gate
+# too (a silently dropped column is itself a regression).
+FLOORS = {
+    "simd_speedup": 3.0,        # [i32; W] fused tier vs per-op, per filter
+    "f32_simd_speedup": 10.0,   # [f32; W] lane family (miniGMG smooth)
+    "i64_simd_speedup": 3.0,    # [i64; W/2] lane family (hist64 binning)
+    "reduction_speedup": 1.5,   # compiled update nests vs run_update
+}
+
+
+def walk(node, path, found, failures):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            here = f"{path}.{key}" if path else key
+            if key in FLOORS and isinstance(value, (int, float)):
+                found.add(key)
+                if value < FLOORS[key]:
+                    failures.append(
+                        f"{here} = {value:.3f} is below the floor {FLOORS[key]:.1f}"
+                    )
+                else:
+                    print(f"ok: {here} = {value:.3f} (floor {FLOORS[key]:.1f})")
+            else:
+                walk(value, here, found, failures)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            walk(value, f"{path}[{i}]", found, failures)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_lowering.json"
+    with open(path) as f:
+        report = json.load(f)
+    found, failures = set(), []
+    walk(report, "", found, failures)
+    for key in sorted(set(FLOORS) - found):
+        failures.append(f"{key} is missing from {path} entirely")
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench gate passed: {len(found)} gated column(s) above their floors")
+
+
+if __name__ == "__main__":
+    main()

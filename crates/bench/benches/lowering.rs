@@ -15,7 +15,12 @@
 //! as a `Float32` pipeline timed per-op vs the `[f32; W]` fused tier
 //! (`f32_simd_speedup`) and a histogram-style 64-bit binning pipeline timed
 //! against the `[i64; W/2]` tier (`i64_simd_speedup`), each verified
-//! bit-identical to the interpreter oracle before timing.
+//! bit-identical to the interpreter oracle before timing — plus a
+//! `reductions` section timing pipelines whose hot path is an *update
+//! definition* (the RDom hist64 and a miniGMG residual-norm reduction)
+//! end-to-end compiled against the interpreter's `run_update` path
+//! (`reduction_speedup`, gated ≥ 1.5× in CI), after asserting the updates
+//! really execute through the compiled engine and match the oracle.
 //!
 //! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
 //! report from a reduced configuration — CI uses this to exercise the cached
@@ -24,7 +29,8 @@
 use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
 use helium_bench::{
-    hist64_pipeline, lift_photoflow, minigmg_smooth_f32, time_lifted_on, LiftedRealizeSetup,
+    hist64_pipeline, hist64_rdom_pipeline, lift_photoflow, minigmg_residual_norm,
+    minigmg_smooth_f32, time_lifted_on, LiftedRealizeSetup,
 };
 use helium_halide::{
     set_simd_mode, Buffer, CompileOptions, ExecBackend, Pipeline, RealizeInputs, Realizer,
@@ -106,6 +112,64 @@ fn time_compiled_runs(
         best = best.min(start.elapsed());
     }
     best
+}
+
+/// Compiled-vs-interpreter split for a pipeline whose hot path is an update
+/// (reduction) definition: assert the lowered backend executes every update
+/// through the compiled engine (no `run_update` on the hot path) and matches
+/// the interpreter oracle bit-for-bit, then time warm runs of both backends.
+/// Returns `(interpret, compiled, speedup)`.
+fn reduction_split(
+    name: &str,
+    pipeline: &Pipeline,
+    input_name: &str,
+    input: &Buffer,
+    extents: &[usize],
+    reps: usize,
+) -> (Duration, Duration, f64) {
+    let inputs = RealizeInputs::new().with_image(input_name, input);
+    let schedule = Schedule::stencil_default();
+    let compiled = pipeline
+        .compile(
+            &schedule,
+            &CompileOptions {
+                backend: ExecBackend::Lowered,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile");
+    let out = compiled.run(&inputs, extents).expect("compiled run");
+    let counts = compiled.update_counts(&inputs, extents).expect("counts");
+    assert_eq!(
+        counts.interpreted, 0,
+        "{name}: updates must execute compiled, got {counts:?}"
+    );
+    assert!(
+        counts.compiled > 0,
+        "{name}: no update definitions compiled"
+    );
+    let interp_compiled = pipeline
+        .compile(
+            &schedule,
+            &CompileOptions {
+                backend: ExecBackend::Interpret,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile interpreter");
+    let oracle = interp_compiled
+        .run(&inputs, extents)
+        .expect("interpreter run");
+    assert_eq!(out, oracle, "{name}: compiled updates diverged from oracle");
+
+    let interpret = time_compiled_runs(&interp_compiled, &inputs, extents, reps);
+    let compiled_t = time_compiled_runs(&compiled, &inputs, extents, reps);
+    let speedup = interpret.as_secs_f64() / compiled_t.as_secs_f64().max(1e-12);
+    println!(
+        "lowering: {name:<22} interpret={interpret:?} compiled={compiled_t:?} \
+         reduction_speedup={speedup:.2}x"
+    );
+    (interpret, compiled_t, speedup)
 }
 
 /// Per-op tier vs fused lane family for one pipeline: verify the fused
@@ -262,6 +326,34 @@ fn write_report(reps: usize, width: usize, height: usize) {
     let (hist, hist_in) = hist64_pipeline(hw, hh, 0xB16B);
     let (h_scalar, h_simd, h_width, i64_speedup) =
         lane_family_split("hist64", &hist, "in", &hist_in, &[hw, hh], "i64", reps);
+
+    // Lowered reductions: pipelines whose hot path is an update definition,
+    // run end-to-end compiled (no `run_update`) against the interpreter.
+    let (rw, rh) = if smoke { (96, 64) } else { (256, 192) };
+    let (hist_rdom, hist_rdom_in) = hist64_rdom_pipeline(rw, rh, 0xB16B);
+    let (hr_interp, hr_compiled, hist_speedup) =
+        reduction_split("hist64_rdom", &hist_rdom, "in", &hist_rdom_in, &[256], reps);
+    let (gx, gy, gz) = if smoke { (32, 32, 8) } else { (64, 64, 32) };
+    let (norm, norm_grid) = minigmg_residual_norm(gx, gy, gz, 0x6116);
+    let (n_interp, n_compiled, norm_speedup) = reduction_split(
+        "minigmg_residual_norm",
+        &norm,
+        "grid",
+        &norm_grid,
+        &[1],
+        reps,
+    );
+    let reduction_speedup = hist_speedup.min(norm_speedup);
+    let reductions = format!(
+        "    {{\"pipeline\": \"hist64_rdom\", \"extents\": [{rw}, {rh}], \"bins\": 256, \
+         \"interpret_ns\": {}, \"compiled_ns\": {}, \"reduction_speedup\": {hist_speedup:.3}}},\n    \
+         {{\"pipeline\": \"minigmg_residual_norm\", \"extents\": [{gx}, {gy}, {gz}], \
+         \"interpret_ns\": {}, \"compiled_ns\": {}, \"reduction_speedup\": {norm_speedup:.3}}}",
+        hr_interp.as_nanos(),
+        hr_compiled.as_nanos(),
+        n_interp.as_nanos(),
+        n_compiled.as_nanos(),
+    );
     let lane_families = format!(
         "    {{\"pipeline\": \"minigmg_smooth_f32\", \"family\": \"f32\", \"extents\": [{nx}, {ny}, {nz}], \
          \"scalar_ns\": {}, \"simd_ns\": {}, \"f32_simd_speedup\": {f32_speedup:.3}, \"best_width\": {s_width}}},\n    \
@@ -274,7 +366,7 @@ fn write_report(reps: usize, width: usize, height: usize) {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3}\n}}\n"
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"reductions\": [\n{reductions}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3},\n  \"reduction_speedup\": {reduction_speedup:.3}\n}}\n"
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");

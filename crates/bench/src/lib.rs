@@ -421,6 +421,95 @@ pub fn hist64_pipeline(w: usize, h: usize, seed: u64) -> (Pipeline, Buffer) {
     (pipeline, input)
 }
 
+/// A 64-bit histogram with a genuine update definition: `hist(x) = 0;
+/// hist[in(r.x, r.y)] = u64(hist[in(r.x, r.y)] + 1)` over the full input —
+/// the paper's equalize shape with `UInt64` bins. The data-dependent LHS
+/// keeps the lowered nest on the sequential per-op tier (no lane kernel can
+/// apply), so this times the guarded-store path against the reduction
+/// interpreter. Returns the pipeline plus a deterministic `UInt8` input of
+/// extents `w × h`; realize the output over `[256]`.
+pub fn hist64_rdom_pipeline(w: usize, h: usize, seed: u64) -> (Pipeline, Buffer) {
+    use helium_halide::{Expr, Func, ImageParam, RDom, UpdateDef};
+    let img = ImageParam::new("in", ScalarType::UInt8, 2);
+    let rdom = RDom::over_image("r_0", &img);
+    let lhs = Expr::Image(
+        "in".into(),
+        vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+    );
+    let update = UpdateDef {
+        lhs: vec![lhs.clone()],
+        value: Expr::cast(
+            ScalarType::UInt64,
+            Expr::add(Expr::FuncRef("hist".into(), vec![lhs]), Expr::int(1)),
+        ),
+        rdom,
+    };
+    let hist = Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+    let pipeline = Pipeline::new(hist, vec![img]);
+
+    let mut input = Buffer::new(ScalarType::UInt8, &[w, h]);
+    let mut s = seed | 1;
+    for c in input.coords().collect::<Vec<_>>() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        input.set(&c, Value::Int(((s >> 33) % 256) as i64));
+    }
+    (pipeline, input)
+}
+
+/// A miniGMG-style residual-norm reduction: `norm(0) = 0; norm(0) = norm(0)
+/// + resid(r)²` over the interior of a ghosted 3-D `Int32` grid, where
+/// `resid(r) = 6·g(c) − Σ neighbours` is the 7-point residual computed
+/// inline in the update value. The LHS is loop-invariant and the added term
+/// is integer, so the lowered nest rides the fused `[i64; W/2]` lane family
+/// with the in-lane tree-reduce epilogue. Returns the pipeline plus a
+/// deterministic ghosted grid of extents `(nx+2) × (ny+2) × (nz+2)`; realize
+/// the output over `[1]`.
+pub fn minigmg_residual_norm(nx: usize, ny: usize, nz: usize, seed: u64) -> (Pipeline, Buffer) {
+    use helium_halide::{BinOp, Expr, Func, ImageParam, RDom, UpdateDef};
+    let i64c = |e: Expr| Expr::cast(ScalarType::UInt64, e);
+    // Reduction point (r.x, r.y, r.z) reads ghosted cell (r.x+1+dx, ...).
+    let tap = |dx: i64, dy: i64, dz: i64| {
+        Expr::Image(
+            "grid".into(),
+            vec![
+                Expr::add(Expr::RVar("r_0.x".into()), Expr::int(1 + dx)),
+                Expr::add(Expr::RVar("r_0.y".into()), Expr::int(1 + dy)),
+                Expr::add(Expr::RVar("r_0.z".into()), Expr::int(1 + dz)),
+            ],
+        )
+    };
+    let nsum = Expr::add(
+        Expr::add(
+            Expr::add(tap(-1, 0, 0), tap(1, 0, 0)),
+            Expr::add(tap(0, -1, 0), tap(0, 1, 0)),
+        ),
+        Expr::add(tap(0, 0, -1), tap(0, 0, 1)),
+    );
+    let resid = Expr::bin(BinOp::Sub, Expr::mul(Expr::int(6), tap(0, 0, 0)), nsum);
+    let update = UpdateDef {
+        lhs: vec![Expr::int(0)],
+        value: i64c(Expr::add(
+            Expr::FuncRef("norm".into(), vec![Expr::int(0)]),
+            Expr::mul(resid.clone(), resid),
+        )),
+        rdom: RDom::with_constant_bounds("r_0", &[(0, nx as i64), (0, ny as i64), (0, nz as i64)]),
+    };
+    let norm = Func::pure("norm", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+    let pipeline = Pipeline::new(norm, vec![ImageParam::new("grid", ScalarType::Int32, 3)]);
+
+    let mut grid = Buffer::new(ScalarType::Int32, &[nx + 2, ny + 2, nz + 2]);
+    let mut s = seed | 1;
+    for c in grid.coords().collect::<Vec<_>>() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        grid.set(&c, Value::Int(((s >> 33) % 4096) as i64 - 2048));
+    }
+    (pipeline, grid)
+}
+
 /// Materialize a lifted buffer from an arbitrary memory image, honouring the
 /// inferred strides and element type.
 pub fn buffer_from_memory(
@@ -563,6 +652,65 @@ mod tests {
             .realize(&pipeline, &extents, &inputs)
             .expect("oracle");
         assert_eq!(fused, oracle, "smooth fused output diverged from oracle");
+    }
+
+    /// The acceptance gate of lowered reductions: the RDom histogram's
+    /// update definition executes through the compiled engine (no
+    /// `run_update` on the hot path), bit-identical to the interpreter.
+    #[test]
+    fn hist64_rdom_updates_run_compiled_and_match_oracle() {
+        let (pipeline, input) = hist64_rdom_pipeline(41, 13, 0xB16B);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let schedule = Schedule::stencil_default();
+        let compiled = pipeline
+            .compile(&schedule, &CompileOptions::default())
+            .expect("compile");
+        let out = compiled.run(&inputs, &[256]).expect("run");
+        let counts = compiled.update_counts(&inputs, &[256]).expect("counts");
+        assert_eq!(
+            counts.interpreted, 0,
+            "hist64 updates must not run through run_update: {counts:?}"
+        );
+        assert_eq!(counts.compiled, 1);
+        let oracle = Realizer::new(schedule)
+            .with_backend(ExecBackend::Interpret)
+            .realize(&pipeline, &[256], &inputs)
+            .expect("oracle");
+        assert_eq!(out, oracle, "hist64 compiled updates diverged from oracle");
+    }
+
+    /// The residual-norm reduction runs its update compiled, on the fused
+    /// tree-reduce, bit-identical to the interpreter.
+    #[test]
+    fn residual_norm_runs_fused_reduce_and_matches_oracle() {
+        let (pipeline, grid) = minigmg_residual_norm(19, 11, 5, 0x6116);
+        let inputs = RealizeInputs::new().with_image("grid", &grid);
+        let schedule = Schedule::stencil_default();
+        let before = helium_halide::reduce_chunks_executed();
+        let compiled = pipeline
+            .compile(
+                &schedule,
+                &CompileOptions {
+                    simd: Some(SimdMode::ForceSimd),
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compile");
+        let out = compiled.run(&inputs, &[1]).expect("run");
+        let counts = compiled.update_counts(&inputs, &[1]).expect("counts");
+        assert_eq!(
+            counts.interpreted, 0,
+            "the norm update must not run through run_update: {counts:?}"
+        );
+        assert!(
+            helium_halide::reduce_chunks_executed() > before,
+            "the norm must ride the fused tree-reduce"
+        );
+        let oracle = Realizer::new(schedule)
+            .with_backend(ExecBackend::Interpret)
+            .realize(&pipeline, &[1], &inputs)
+            .expect("oracle");
+        assert_eq!(out, oracle, "residual norm diverged from oracle");
     }
 
     /// The 64-bit binning pipeline rides the [i64; W/2] family, bit-exact.

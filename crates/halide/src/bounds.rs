@@ -388,7 +388,12 @@ pub fn affine_decompose(
     params: &BTreeMap<String, Value>,
 ) -> Option<(BTreeMap<String, i64>, i64)> {
     match e {
-        Expr::Var(n) => {
+        // Reduction variables are loop variables like any other once an
+        // update definition is lowered: the rdom loops of `crate::lower`'s
+        // update nests bind them, so the fused-kernel compiler's affine
+        // machinery (tap classification, interior derivation) treats them
+        // identically to pure vars.
+        Expr::Var(n) | Expr::RVar(n) => {
             let mut m = BTreeMap::new();
             m.insert(n.clone(), 1i64);
             Some((m, 0))

@@ -24,17 +24,18 @@
 //! constant-folds scalar parameters into lane programs and sizes producer
 //! regions from image extents; see [`crate::cache`] for the key structure.
 
-use crate::bounds::{accumulate_func_bounds, expr_interval, Interval};
+use crate::bounds::{accumulate_func_bounds, Interval};
 use crate::buffer::{write_scalar, Buffer};
 use crate::cache::{binding_signature, fingerprint_pipeline, fingerprint_schedule};
 use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
 use crate::eval::{eval_expr, validate_bindings, EvalSources};
 use crate::exec::{self, ExecPlan, FusedStoreCounts};
 use crate::expr::Expr;
-use crate::func::{Pipeline, UpdateDef};
-use crate::lower::{inline_except, plan_compute_at, ComputeAtOutcome};
+use crate::func::{Func, Pipeline, UpdateDef};
+use crate::lower::{inline_except, lower_update, plan_compute_at, ComputeAtOutcome};
 use crate::realize::{ExecBackend, RealizeError, RealizeInputs};
 use crate::schedule::Schedule;
+use crate::stmt::Stmt;
 use crate::types::{ScalarType, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
@@ -63,6 +64,17 @@ impl Default for CompileOptions {
             simd: None,
         }
     }
+}
+
+/// How a prepared program executes its update (reduction) definitions: how
+/// many run as lowered guarded nests inside the compiled engine versus
+/// through the reduction interpreter (`run_update`, the differential oracle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateCounts {
+    /// Update definitions lowered into the stage's compiled plan.
+    pub compiled: usize,
+    /// Update definitions executed by the reduction interpreter.
+    pub interpreted: usize,
 }
 
 /// A pipeline compiled against a fixed schedule and backend.
@@ -180,6 +192,34 @@ impl CompiledPipeline {
         inputs: &RealizeInputs<'_>,
         output_extents: &[usize],
     ) -> Result<FusedStoreCounts, RealizeError> {
+        Ok(self.program(inputs, output_extents)?.fused_store_counts())
+    }
+
+    /// How the prepared program for `output_extents` × `inputs` executes its
+    /// update definitions (see [`UpdateCounts`]): `interpreted == 0` is the
+    /// proof that no reduction runs through `run_update` on the hot path.
+    /// Builds and caches the program if this key has not run yet. On the
+    /// interpreter backend every update is, by definition, interpreted.
+    ///
+    /// # Errors
+    /// Returns an error if inputs or parameters are missing or the extents
+    /// do not match the output dimensionality.
+    pub fn update_counts(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        output_extents: &[usize],
+    ) -> Result<UpdateCounts, RealizeError> {
+        Ok(self.program(inputs, output_extents)?.update_counts())
+    }
+
+    /// Fetch (or build and cache) the prepared program for one (extents,
+    /// binding signature) key — the single place the introspection accessors
+    /// construct their cache key, so the key shape cannot drift between them.
+    fn program(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        output_extents: &[usize],
+    ) -> Result<Arc<PreparedProgram>, RealizeError> {
         let key = CacheKey {
             pipeline: self.pipeline_fp,
             schedule: self.schedule_fp,
@@ -187,7 +227,7 @@ impl CompiledPipeline {
             extents: output_extents.to_vec(),
             bindings: binding_signature(inputs),
         };
-        let program = program_for(
+        program_for(
             &self.pipeline,
             &self.schedule,
             self.backend,
@@ -195,8 +235,7 @@ impl CompiledPipeline {
             inputs,
             key,
             &self.cache,
-        )?;
-        Ok(program.fused_store_counts())
+        )
     }
 
     /// Hit/miss/eviction counters of the internal program cache. A warm run
@@ -329,14 +368,24 @@ pub struct PreparedProgram {
 }
 
 /// One materialized func: its buffer geometry plus the compiled pure stage
-/// and the (interpreted) update definitions.
+/// and its update definitions. On the lowered backend the update nests are
+/// lowered *into* the stage's [`ExecPlan`] (after the pure init) whenever
+/// their shape admits it, so the whole stage — init and reductions — runs
+/// through the compiled engine; `updates` then only serves as the retained
+/// definition (and the interpreter fallback when lowering declined).
 #[derive(Debug)]
 struct Stage {
     name: String,
+    vars: Vec<String>,
     ty: ScalarType,
     extents: Vec<usize>,
     pure_exec: Option<PureExec>,
     updates: Vec<UpdateDef>,
+    /// Whether `pure_exec`'s lowered plan already contains every update
+    /// definition (guarded stores); when false the updates run through
+    /// [`run_update`], the reduction interpreter that doubles as the
+    /// differential oracle.
+    updates_compiled: bool,
 }
 
 /// The compiled artifact of a pure definition.
@@ -556,6 +605,21 @@ impl PreparedProgram {
         })
     }
 
+    /// How many update definitions across all stages execute through the
+    /// compiled engine (lowered guarded nests inside the stage plan) versus
+    /// the reduction interpreter.
+    pub(crate) fn update_counts(&self) -> UpdateCounts {
+        let mut counts = UpdateCounts::default();
+        for stage in self.stages.iter().chain(std::iter::once(&self.output)) {
+            if stage.updates_compiled {
+                counts.compiled += stage.updates.len();
+            } else {
+                counts.interpreted += stage.updates.len();
+            }
+        }
+        counts
+    }
+
     /// Per-lane-family fused-kernel counts summed over every lowered stage
     /// (materialized producers plus the output stage). Interpreted stages
     /// contribute nothing — they have no lane programs.
@@ -610,38 +674,42 @@ impl Stage {
         roots_available: &BTreeSet<String>,
     ) -> Result<Stage, RealizeError> {
         let func = pipeline.output_func();
-        let pure_exec = match &func.pure_def {
-            None => None,
-            Some(def) => Some(match backend {
-                ExecBackend::Interpret => build_interpreted(
-                    pipeline,
-                    schedule,
-                    def,
-                    extents,
-                    inputs,
-                    params,
-                    keep,
-                    roots_available,
-                )?,
-                ExecBackend::Lowered => build_lowered(
-                    pipeline,
-                    schedule,
-                    def,
-                    extents,
-                    inputs,
-                    params,
-                    keep,
-                    outcome,
-                    roots_available,
-                )?,
-            }),
+        let (pure_exec, updates_compiled) = match backend {
+            ExecBackend::Interpret => {
+                let exec = match &func.pure_def {
+                    None => None,
+                    Some(def) => Some(build_interpreted(
+                        pipeline,
+                        schedule,
+                        def,
+                        extents,
+                        inputs,
+                        params,
+                        keep,
+                        roots_available,
+                    )?),
+                };
+                (exec, false)
+            }
+            ExecBackend::Lowered => build_lowered(
+                pipeline,
+                schedule,
+                extents,
+                inputs,
+                params,
+                keep,
+                outcome,
+                roots_available,
+            )?,
         };
         Ok(Stage {
             name: func.name.clone(),
+            vars: func.vars.clone(),
             ty: func.ty,
             extents: extents.to_vec(),
             pure_exec,
             updates: func.updates.clone(),
+            updates_compiled,
         })
     }
 
@@ -676,8 +744,18 @@ impl Stage {
                 )?;
             }
         }
-        for update in &self.updates {
-            run_update(&self.name, update, &mut buffer, inputs, params, roots)?;
+        if !self.updates_compiled {
+            for update in &self.updates {
+                run_update(
+                    &self.name,
+                    &self.vars,
+                    update,
+                    &mut buffer,
+                    inputs,
+                    params,
+                    roots,
+                )?;
+            }
         }
         Ok(buffer)
     }
@@ -754,37 +832,51 @@ fn build_interpreted(
     })
 }
 
-/// Compile the lowered-backend pure stage: validate, lower to loop-nest IR,
-/// and build the typed lane programs.
+/// Compile the lowered-backend stage: validate, lower the pure definition to
+/// loop-nest IR, lower every update definition into guarded reduction nests
+/// appended to the same plan (when all of them lower — order between updates
+/// must be preserved, so it is all or nothing), and build the typed lane
+/// programs. Returns the plan plus whether the updates are inside it.
 #[allow(clippy::too_many_arguments)]
 fn build_lowered(
     pipeline: &Pipeline,
     schedule: &Schedule,
-    def: &Expr,
     extents: &[usize],
     inputs: &RealizeInputs<'_>,
     params: &BTreeMap<String, Value>,
     keep: &BTreeSet<String>,
     outcome: &ComputeAtOutcome,
     roots_available: &BTreeSet<String>,
-) -> Result<PureExec, RealizeError> {
+) -> Result<(Option<PureExec>, bool), RealizeError> {
     let func = pipeline.output_func();
-    // Mirror the interpreter's up-front validation (and error kinds).
-    let mut sized_keep = keep.clone();
-    sized_keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
-    let expr = inline_except(pipeline, def, &sized_keep)?;
-    for name in expr.referenced_images() {
-        if !inputs.images.contains_key(&name) {
-            return Err(RealizeError::MissingInput(name));
+    if let Some(def) = &func.pure_def {
+        // Mirror the interpreter's up-front validation (and error kinds).
+        let mut sized_keep = keep.clone();
+        sized_keep.extend(outcome.plans.iter().map(|p| p.func.clone()));
+        let expr = inline_except(pipeline, def, &sized_keep)?;
+        for name in expr.referenced_images() {
+            if !inputs.images.contains_key(&name) {
+                return Err(RealizeError::MissingInput(name));
+            }
         }
-    }
-    for name in expr.referenced_funcs() {
-        let is_plan = outcome.plans.iter().any(|p| p.func == name);
-        if !roots_available.contains(&name) && !is_plan {
-            return Err(RealizeError::UndefinedFunc(name));
+        for name in expr.referenced_funcs() {
+            let is_plan = outcome.plans.iter().any(|p| p.func == name);
+            if !roots_available.contains(&name) && !is_plan {
+                return Err(RealizeError::UndefinedFunc(name));
+            }
         }
+    } else if func.updates.is_empty() {
+        return Ok((None, false));
     }
-    let stmt = crate::lower::lower_pure(pipeline, schedule, extents, keep, outcome)?;
+    // Deterministic, so the rare fused-prepare fallback below can re-lower
+    // instead of every compile deep-cloning the pure nest up front.
+    let lower_stmt = || -> Result<Stmt, RealizeError> {
+        match &func.pure_def {
+            None => Ok(Stmt::Block(Vec::new())),
+            Some(_) => crate::lower::lower_pure(pipeline, schedule, extents, keep, outcome),
+        }
+    };
+    let stmt = lower_stmt()?;
     let image_decls: Vec<(String, ScalarType)> = inputs
         .images
         .iter()
@@ -800,8 +892,83 @@ fn build_lowered(
                 .ok_or_else(|| RealizeError::UndefinedFunc(n.clone()))
         })
         .collect::<Result<_, _>>()?;
+
+    // Lower the update definitions into guarded nests appended after the
+    // pure init. Best-effort: any update whose shape or source bindings the
+    // lowered path cannot honour keeps the whole update sequence on the
+    // reduction interpreter (order between updates must be preserved).
+    let stmt = if !func.updates.is_empty() && updates_lowerable(func, inputs, roots_available) {
+        let mut next_id = stmt.store_count();
+        let mut parts = vec![stmt];
+        let mut all = true;
+        for update in &func.updates {
+            match lower_update(func, update, extents, schedule, params, &mut next_id) {
+                Some(nest) => parts.push(nest),
+                None => {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if all {
+            let combined = Stmt::block(parts);
+            // A compile failure inside an update expression (e.g. an unbound
+            // parameter the interpreter would only report at run time) falls
+            // back to the interpreted update path rather than failing the
+            // stage — re-lowering the pure nest, which only happens on this
+            // rare path.
+            match exec::prepare(
+                combined,
+                &func.name,
+                func.ty,
+                &image_decls,
+                &root_decls,
+                params,
+            ) {
+                Ok(plan) => return Ok((Some(PureExec::Lowered(Box::new(plan))), true)),
+                Err(_) => lower_stmt()?,
+            }
+        } else {
+            // Some update declined: recover the pure nest unchanged.
+            parts.into_iter().next().expect("pure nest is parts[0]")
+        }
+    } else {
+        stmt
+    };
     let plan = exec::prepare(stmt, &func.name, func.ty, &image_decls, &root_decls, params)?;
-    Ok(PureExec::Lowered(Box::new(plan)))
+    Ok((Some(PureExec::Lowered(Box::new(plan))), false))
+}
+
+/// Whether the update definitions' sources resolve exactly as the reduction
+/// interpreter would resolve them: image reads bind input images (not
+/// shadowed by a same-named root), func reads bind the func itself or a
+/// materialized root. Anything else keeps the interpreter path, whose source
+/// resolution (and error surface) is the contract.
+fn updates_lowerable(
+    func: &Func,
+    inputs: &RealizeInputs<'_>,
+    roots_available: &BTreeSet<String>,
+) -> bool {
+    for update in &func.updates {
+        for e in update.lhs.iter().chain(std::iter::once(&update.value)) {
+            for name in e.referenced_images() {
+                if !inputs.images.contains_key(&name)
+                    || roots_available.contains(&name)
+                    || name == func.name
+                {
+                    return false;
+                }
+            }
+            for name in e.referenced_funcs() {
+                if name != func.name
+                    && (!roots_available.contains(&name) || inputs.images.contains_key(&name))
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -959,51 +1126,68 @@ impl EvalSources for UpdateSources<'_> {
     }
 }
 
-/// Apply one update definition over its reduction domain, sequentially, with
-/// the shared evaluator (reductions are inherently ordered).
+/// Apply one update definition with the shared evaluator — the reduction
+/// *interpreter*, which serves as the differential oracle for the lowered
+/// update nests.
+///
+/// Iteration order (the contract the lowered nests are pinned against): free
+/// pure variables of the update (those of `self_vars` referenced by the LHS
+/// or value) iterate the full output extent as the *outermost* loops, highest
+/// dimension outermost; the reduction domain iterates inside them in
+/// row-major order (first rdom dimension innermost). Reductions are
+/// inherently ordered, so everything applies sequentially.
 fn run_update(
     self_name: &str,
+    self_vars: &[String],
     update: &UpdateDef,
     buffer: &mut Buffer,
     inputs: &RealizeInputs<'_>,
     params: &BTreeMap<String, Value>,
     roots: &BTreeMap<String, Buffer>,
 ) -> Result<(), RealizeError> {
-    // Resolve the reduction domain bounds.
-    let empty = BTreeMap::new();
-    let mut dims = Vec::new();
-    for (var, min_e, extent_e) in &update.rdom.dims {
-        let min = expr_interval(min_e, &empty, params).min;
-        let extent = expr_interval(extent_e, &empty, params).min;
-        dims.push((var.clone(), min, extent));
-    }
-    // Iterate the domain in row-major order (first dim innermost).
+    // Resolve the reduction domain bounds and the free pure vars through the
+    // lowering pass's own helpers, so both paths iterate identical spaces.
+    let dims = crate::lower::resolve_rdom_dims(&update.rdom, params);
+    let free: Vec<(String, i64)> = crate::lower::free_pure_vars_in(self_vars, update)
+        .into_iter()
+        .map(|(d, v)| (v, buffer.extents()[d] as i64))
+        .collect();
+    let pure_total: i64 = free.iter().map(|(_, e)| (*e).max(0)).product();
     let total: i64 = dims.iter().map(|(_, _, e)| (*e).max(0)).product();
-    for i in 0..total {
-        let mut rem = i;
-        let mut vars = BTreeMap::new();
-        for (var, min, extent) in &dims {
+    for pi in 0..pure_total {
+        let mut rem = pi;
+        let mut pure_vars = BTreeMap::new();
+        for (var, extent) in &free {
             let e = (*extent).max(1);
-            vars.insert(var.clone(), min + rem % e);
+            pure_vars.insert(var.clone(), rem % e);
             rem /= e;
         }
-        let (idx, value) = {
-            let src = UpdateSources {
-                vars,
-                params,
-                images: &inputs.images,
-                self_name,
-                self_buffer: &*buffer,
-                roots,
+        for i in 0..total {
+            let mut rem = i;
+            let mut vars = pure_vars.clone();
+            for (var, min, extent) in &dims {
+                let e = (*extent).max(1);
+                vars.insert(var.clone(), min + rem % e);
+                rem /= e;
+            }
+            let (idx, value) = {
+                let src = UpdateSources {
+                    vars,
+                    params,
+                    images: &inputs.images,
+                    self_name,
+                    self_buffer: &*buffer,
+                    roots,
+                };
+                let idx: Result<Vec<i64>, RealizeError> = update
+                    .lhs
+                    .iter()
+                    .map(|e| eval_expr(e, &src).map(|v| v.as_i64()))
+                    .collect();
+                (idx?, eval_expr(&update.value, &src)?)
             };
-            let idx: Result<Vec<i64>, RealizeError> = update
-                .lhs
-                .iter()
-                .map(|e| eval_expr(e, &src).map(|v| v.as_i64()))
-                .collect();
-            (idx?, eval_expr(&update.value, &src)?)
-        };
-        buffer.set(&idx, value);
+            buffer.set(&idx, value);
+        }
     }
     Ok(())
 }
@@ -1203,6 +1387,195 @@ mod tests {
         assert_eq!(a.get(&[2]).as_i64(), 7);
         assert_eq!(b.get(&[2]).as_i64(), 106);
         assert_eq!(compiled.cache_stats().misses, 2, "params are keyed");
+    }
+
+    /// hist(x) = 0; hist[in(r.x, r.y)] = cast<u64>(hist[in(r.x, r.y)] + 1).
+    fn hist_pipeline() -> Pipeline {
+        use crate::func::{RDom, UpdateDef};
+        let img = ImageParam::new("input_1", ScalarType::UInt8, 2);
+        let rdom = RDom::over_image("r_0", &img);
+        let lhs = Expr::Image(
+            "input_1".into(),
+            vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+        );
+        let update = UpdateDef {
+            lhs: vec![lhs.clone()],
+            value: Expr::cast(
+                ScalarType::UInt64,
+                Expr::add(Expr::FuncRef("hist".into(), vec![lhs]), Expr::int(1)),
+            ),
+            rdom,
+        };
+        let hist =
+            Func::pure("hist", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+        Pipeline::new(hist, vec![img])
+    }
+
+    #[test]
+    fn histogram_updates_execute_compiled_and_match_oracle() {
+        let p = hist_pipeline();
+        let input = image(23, 17);
+        let inputs = RealizeInputs::new().with_image("input_1", &input);
+        let compiled = p
+            .compile(&Schedule::stencil_default(), &CompileOptions::default())
+            .unwrap();
+        let out = compiled.run(&inputs, &[256]).unwrap();
+        let counts = compiled.update_counts(&inputs, &[256]).unwrap();
+        assert_eq!(
+            counts,
+            UpdateCounts {
+                compiled: 1,
+                interpreted: 0
+            },
+            "the histogram update must lower into the compiled plan"
+        );
+        let oracle = Realizer::new(Schedule::stencil_default())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[256], &inputs)
+            .unwrap();
+        assert_eq!(out, oracle, "compiled histogram diverged from run_update");
+        // The interpreter backend reports everything interpreted.
+        let interp = p
+            .compile(
+                &Schedule::stencil_default(),
+                &CompileOptions {
+                    backend: ExecBackend::Interpret,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        let c = interp.update_counts(&inputs, &[256]).unwrap();
+        assert_eq!(c.compiled, 0);
+        assert_eq!(c.interpreted, 1);
+    }
+
+    #[test]
+    fn loop_invariant_accumulator_uses_fused_tree_reduce() {
+        use crate::func::{RDom, UpdateDef};
+        // norm(0) = 0; norm(0) = norm(0) + in(r.x)^2 over a 1-D rdom: the
+        // canonical residual-norm shape the fused accumulation kernel covers.
+        let img = ImageParam::new("in", ScalarType::UInt8, 1);
+        let tap = Expr::cast(
+            ScalarType::UInt64,
+            Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into())]),
+        );
+        let update = UpdateDef {
+            lhs: vec![Expr::int(0)],
+            value: Expr::add(
+                Expr::FuncRef("norm".into(), vec![Expr::int(0)]),
+                Expr::mul(tap.clone(), tap),
+            ),
+            rdom: RDom::over_image("r_0", &img),
+        };
+        let norm =
+            Func::pure("norm", &["x_0"], ScalarType::UInt64, Expr::int(0)).with_update(update);
+        let p = Pipeline::new(norm, vec![img]);
+        let mut input = Buffer::new(ScalarType::UInt8, &[301]);
+        let mut s = 7u64;
+        let mut expect = 0u64;
+        for i in 0..301i64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (s >> 33) % 256;
+            input.set(&[i], Value::Int(v as i64));
+            expect = expect.wrapping_add(v * v);
+        }
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let before = exec::reduce_chunks_executed();
+        // Pin the fused tier so an inherited HELIUM_FORCE_SCALAR cannot
+        // silently skip the kernel this test asserts on.
+        let compiled = p
+            .compile(
+                &Schedule::stencil_default(),
+                &CompileOptions {
+                    simd: Some(exec::SimdMode::ForceSimd),
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        let out = compiled.run(&inputs, &[1]).unwrap();
+        assert_eq!(out.get(&[0]).as_i64() as u64, expect);
+        assert_eq!(
+            compiled.update_counts(&inputs, &[1]).unwrap(),
+            UpdateCounts {
+                compiled: 1,
+                interpreted: 0
+            }
+        );
+        assert!(
+            exec::reduce_chunks_executed() > before,
+            "the accumulator must run the fused tree-reduce epilogue"
+        );
+        // ForceScalar pins the per-op path; results stay bit-identical.
+        let scalar = p
+            .compile(
+                &Schedule::stencil_default(),
+                &CompileOptions {
+                    simd: Some(exec::SimdMode::ForceScalar),
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(scalar.run(&inputs, &[1]).unwrap(), out);
+        let oracle = Realizer::new(Schedule::stencil_default())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[1], &inputs)
+            .unwrap();
+        assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn pure_dim_accumulator_vectorizes_privatized_lanes() {
+        use crate::func::{RDom, UpdateDef};
+        // f(x) = x; f(x) = cast<u32>(f(x) + in(x + r.x)) over r in [0, 5):
+        // privatized — the pure lane loop vectorizes, writes stay disjoint.
+        let img = ImageParam::new("in", ScalarType::UInt8, 1);
+        let update = UpdateDef {
+            lhs: vec![Expr::var("x_0")],
+            value: Expr::cast(
+                ScalarType::UInt32,
+                Expr::add(
+                    Expr::FuncRef("f".into(), vec![Expr::var("x_0")]),
+                    Expr::Image(
+                        "in".into(),
+                        vec![Expr::add(Expr::var("x_0"), Expr::RVar("r_0.x".into()))],
+                    ),
+                ),
+            ),
+            rdom: RDom::with_constant_bounds("r_0", &[(0, 5)]),
+        };
+        let f = Func::pure(
+            "f",
+            &["x_0"],
+            ScalarType::UInt32,
+            Expr::cast(ScalarType::UInt32, Expr::var("x_0")),
+        )
+        .with_update(update);
+        let p = Pipeline::new(f, vec![img]);
+        let input = {
+            let mut b = Buffer::new(ScalarType::UInt8, &[64]);
+            for i in 0..64i64 {
+                b.set(&[i], Value::Int((i * 7 + 3) % 256));
+            }
+            b
+        };
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        for width in [1usize, 8, 32] {
+            let schedule = Schedule::stencil_default().with_vector_width(width);
+            let compiled = p.compile(&schedule, &CompileOptions::default()).unwrap();
+            let out = compiled.run(&inputs, &[47]).unwrap();
+            assert_eq!(
+                compiled.update_counts(&inputs, &[47]).unwrap(),
+                UpdateCounts {
+                    compiled: 1,
+                    interpreted: 0
+                }
+            );
+            let oracle = Realizer::new(schedule)
+                .with_backend(ExecBackend::Interpret)
+                .realize(&p, &[47], &inputs)
+                .unwrap();
+            assert_eq!(out, oracle, "width {width} diverged");
+        }
     }
 
     #[test]

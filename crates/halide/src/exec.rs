@@ -32,6 +32,33 @@
 //!    the shared [`crate::eval`] evaluator — the same code the interpreter
 //!    backend and the reduction path run, so the fallback cannot drift.
 //!
+//! **Lowered reductions.** Update definitions no longer fall off the
+//! compiled cliff: `crate::lower::lower_update` turns each one into rdom/pure
+//! loop nests over a *guarded* store ([`Stmt::ReduceStore`]), which this
+//! executor runs with clamped destination indices (`Buffer::set` semantics —
+//! histogram left-hand sides index by data) through the same typed per-op
+//! programs as pure stores. Two accumulation refinements apply where proven
+//! exact:
+//!
+//! * **Privatized lanes** — when every free pure variable owns its LHS
+//!   dimension and self-reads hit exactly the written point, the lowering
+//!   pass hoists the rdom loops outside and vectorizes the innermost pure
+//!   loop; lanes write disjoint cells, so batching them through the per-op
+//!   tier is bit-exact.
+//! * **Fused tree-reduce** — a loop-invariant integer accumulator
+//!   (`F[c] = casts(F[c] + g(r))` with `g` not reading `F`) compiles `g`
+//!   onto the `[i32; W]`/`[i64; W/2]` lane families and folds whole chunks
+//!   with a wrapping in-lane tree-reduce ([`ReduceKernel`] documents the
+//!   congruence-mod-`2^k` argument that makes reassociation exact; float
+//!   accumulators never take this path because float addition is not
+//!   associative). `Auto` mode always uses a compiled reduce kernel —
+//!   rdom loops are serial, so there is no scheduled width to gate on —
+//!   and `ForceScalar` pins the per-op read-modify-write path.
+//!
+//! Everything else stays on the sequential per-element path, which preserves
+//! the reduction interpreter's iteration order exactly (that interpreter,
+//! `run_update` in `crate::compile`, remains as the differential oracle).
+//!
 //! **Interior/boundary splitting with masked tails.** A fused store does not
 //! run its kernel blindly: at each entry of the innermost loop the executor
 //! derives, from the affine decomposition of every load index and the bound
@@ -86,7 +113,11 @@
 //! loop parallel, with every store under it indexing the output through that
 //! loop's variable, so threads write disjoint byte ranges; `compute_at`
 //! buffers are allocated inside the parallel body and are thread-local by
-//! construction.
+//! construction. Guarded reduction stores are the one place a program reads
+//! the buffer it writes: their nests contain no parallel loops (the lowering
+//! pass never marks rdom or update-pure loops parallel), every read
+//! completes before the corresponding write within a dispatch, and a
+//! vectorized (privatized) lane batch touches pairwise-disjoint cells.
 
 use crate::bounds::{combine, expr_interval, f64_is_f32_exact, Interval};
 use crate::buffer::Buffer;
@@ -148,6 +179,10 @@ static FUSED_ROWS: AtomicU64 = AtomicU64::new(0);
 /// instead of peeling onto the per-op tier, for observability and tests.
 static FUSED_TAILS: AtomicU64 = AtomicU64::new(0);
 
+/// Chunks accumulated by fused reduction kernels (the in-lane tree-reduce
+/// epilogue of lowered update definitions), for observability and tests.
+static REDUCE_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
 fn env_simd_mode() -> SimdMode {
     static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
     *ENV_MODE.get_or_init(|| {
@@ -199,6 +234,13 @@ pub fn fused_rows_executed() -> u64 {
 /// (monotonic; for tests and observability).
 pub fn fused_tail_chunks_executed() -> u64 {
     FUSED_TAILS.load(Ordering::Relaxed)
+}
+
+/// Number of chunks accumulated by fused reduction kernels (the lane
+/// tree-reduce path of lowered update definitions) since process start
+/// (monotonic; for tests and observability).
+pub fn reduce_chunks_executed() -> u64 {
+    REDUCE_CHUNKS.load(Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +394,16 @@ struct CompiledStore {
     /// The fused SIMD lane kernel, when the store's shape admits one (tier 1;
     /// `exec` remains as the boundary-peel and fallback tier).
     fused: Option<FusedKernel>,
+    /// Guarded (reduction) store: destination indices clamp to the buffer
+    /// extents exactly like [`Buffer::set`], and the value may read the
+    /// buffer being written — so the per-op tier must execute it with the
+    /// read-modify-write ordering the enclosing loop nest dictates.
+    clamp: bool,
+    /// The fused accumulation kernel, when the guarded store is a
+    /// loop-invariant integer accumulator (`F[c] = casts(F[c] + g(r))`) whose
+    /// `g` fuses on an integer lane family: chunks of `g` are evaluated in
+    /// lanes and folded with a wrapping tree-reduce.
+    reduce: Option<ReduceKernel>,
 }
 
 // ---------------------------------------------------------------------------
@@ -551,6 +603,65 @@ struct FusedKernel {
     out_ty: ScalarType,
     /// Per-dimension output index bases (lane variable excluded).
     out_dims: Vec<DepthAffine>,
+}
+
+/// A guarded reduction store compiled into a fused accumulation kernel.
+///
+/// Applies to updates of the shape `F[lhs] = C(F[lhs] + g(...))` where the
+/// LHS is invariant in the innermost (rdom) loop variable, `C` is a chain of
+/// integer casts, the self-read is exactly the LHS point, and `g` — which
+/// must not read `F` — compiles onto an integer lane family. Per entry of the
+/// innermost loop the runner reads the accumulator once, folds chunk after
+/// chunk of `g` lanes with a wrapping in-lane tree-reduce, replays `C`, and
+/// stores once.
+///
+/// **Exactness.** The reference applies `v ← read(write(C(v + gᵢ)))` per
+/// element. Every integer cast (and the buffer store/load round trip) is a
+/// function of its operand's low `k` bits that is congruent to the identity
+/// mod `2^k`, where `k` is the narrowest width in the chain — so the whole
+/// step function depends only on `(v + gᵢ) mod 2^k` and addition commutes
+/// and reassociates freely mod `2^k`. Chunked accumulation therefore yields
+/// bit-identical bytes. For the `[i32; W]` family the lanes carry `g` mod
+/// `2^32`, which covers every `k ≤ 32`; family selection restricts it to
+/// stores of ≤ 32-bit types, and `[i64; W/2]` lanes are exact outright.
+#[derive(Debug, Clone, PartialEq)]
+struct ReduceKernel {
+    /// The lane program computing `g` (integer families only).
+    prog: LaneProgram,
+    /// Taps of `g` over the innermost loop variable.
+    taps: Vec<TapAccess>,
+    /// Accumulator buffer slot.
+    out_slot: usize,
+    /// Accumulator element type.
+    out_ty: ScalarType,
+    /// Per-dimension LHS index bases (invariant in the lane variable;
+    /// clamped to the buffer extents at run time, like [`Buffer::set`]).
+    out_dims: Vec<DepthAffine>,
+    /// The peeled integer-cast chain `C`, outermost first, replayed onto the
+    /// accumulated value before the final store.
+    casts: Vec<ScalarType>,
+}
+
+impl ReduceKernel {
+    /// The lane family the kernel accumulates on.
+    fn family(&self) -> LaneFamily {
+        match self.prog {
+            LaneProgram::I32(_) => LaneFamily::I32,
+            LaneProgram::I64(_) => LaneFamily::I64,
+            LaneProgram::F32(_) => unreachable!("reduce kernels are integer-only"),
+        }
+    }
+
+    /// Chunk width: reductions always accumulate at the widest chunk
+    /// ([`MAX_CHUNK`] lanes for i32, half for i64) — there is no scheduled
+    /// lane loop to inherit a width from.
+    fn chunk_width(&self) -> usize {
+        match self.family() {
+            LaneFamily::I32 => MAX_CHUNK,
+            LaneFamily::I64 => MAX_CHUNK / 2,
+            LaneFamily::F32 => unreachable!("reduce kernels are integer-only"),
+        }
+    }
 }
 
 impl FusedKernel {
@@ -915,6 +1026,68 @@ impl FusedBuilder<'_> {
             out_slot: self.out_slot,
             out_ty,
             out_dims,
+        })
+    }
+
+    /// Compile a guarded reduction store into a [`ReduceKernel`] when its
+    /// shape admits one (see the kernel's docs for the pattern and proof).
+    /// `None` keeps the per-op tier, which is always correct.
+    fn build_reduce(&self, indices: &[Expr], value: &Expr) -> Option<ReduceKernel> {
+        // Peel the integer-cast chain wrapping the accumulation.
+        let mut casts = Vec::new();
+        let mut v = value;
+        while let Expr::Cast(ty, inner) = v {
+            if ty.is_float() {
+                return None;
+            }
+            casts.push(*ty);
+            v = inner;
+        }
+        let Expr::Binary(BinOp::Add, a, b) = v else {
+            return None;
+        };
+        // One side must be the bare self-read of exactly the LHS point.
+        let is_self = |e: &Expr| {
+            matches!(e, Expr::FuncRef(name, args)
+                if self.slot_ids.get(name) == Some(&self.out_slot) && args.as_slice() == indices)
+        };
+        let g = match (is_self(a), is_self(b)) {
+            (true, false) => b,
+            (false, true) => a,
+            _ => return None,
+        };
+        // The LHS must be affine and invariant in the lane (innermost rdom)
+        // variable: the accumulator cell is fixed for the whole inner loop.
+        let (out_dims, lane) = self.access_dims(indices)?;
+        if lane != Some(TapLane::Broadcast) {
+            return None;
+        }
+        let out_ty = self.decls[self.out_slot].ty;
+        // Family selection mirrors pure stores: ≤ 32-bit accumulators may
+        // ride i32 lanes (sums mod 2^32 cover every k ≤ 32), UInt64 needs
+        // exact i64 lanes, floats never fuse (f32 addition is not
+        // associative, so a tree-reduce would not be bit-exact).
+        let built = match out_ty {
+            ScalarType::UInt8 | ScalarType::UInt16 | ScalarType::UInt32 | ScalarType::Int32 => {
+                self.build_i32(g).or_else(|| self.build_i64(g))
+            }
+            ScalarType::UInt64 => self.build_i64(g),
+            ScalarType::Float32 | ScalarType::Float64 => None,
+        };
+        let (prog, taps) = built?;
+        // `g` must not read the accumulator: its chunks are evaluated before
+        // the (single) store, so a read of `F` would observe a stale value
+        // the reference path refreshes per element.
+        if taps.iter().any(|t| t.slot == self.out_slot) {
+            return None;
+        }
+        Some(ReduceKernel {
+            prog,
+            taps,
+            out_slot: self.out_slot,
+            out_ty,
+            out_dims,
+            casts,
         })
     }
 
@@ -1781,96 +1954,124 @@ impl PrepareCtx<'_> {
                 buffer,
                 indices,
                 value,
-            } => {
-                let slot = self
-                    .slot_ids
-                    .get(buffer)
-                    .copied()
-                    .ok_or_else(|| RealizeError::UndefinedFunc(buffer.clone()))?;
-                debug_assert!(
-                    self.decls[slot].writable,
-                    "store to read-only buffer {buffer}"
-                );
-                let lane_depth = self.depth.saturating_sub(1);
-                let compiler = Compiler {
-                    var_depths: &self.var_depths,
-                    slot_ids: &self.slot_ids,
-                    decls: &self.decls,
-                    params: self.params,
-                };
-                let compiled = (|| -> Result<StoreExec, CompileFail> {
-                    let mut index_progs = Vec::with_capacity(indices.len());
-                    for idx in indices {
-                        index_progs.push(compiler.compile_program(idx, true)?);
+            } => self.compile_store(*id, buffer, indices, value, false),
+            Stmt::ReduceStore {
+                id,
+                buffer,
+                indices,
+                value,
+            } => self.compile_store(*id, buffer, indices, value, true),
+        }
+    }
+
+    /// Compile one store (pure or guarded) into its [`CompiledStore`]:
+    /// typed/fallback programs, stack/arity accounting, and the tier-1
+    /// kernel attempt — a [`FusedKernel`] for pure stores (`clamp = false`),
+    /// a [`ReduceKernel`] for guarded reduction stores (`clamp = true`,
+    /// which never take the pure fused tier: their value reads the buffer
+    /// being written and the LHS may be data-dependent). Kernel compilation
+    /// is best-effort — any failure keeps the typed/fallback tiers.
+    fn compile_store(
+        &mut self,
+        id: usize,
+        buffer: &str,
+        indices: &[Expr],
+        value: &Expr,
+        clamp: bool,
+    ) -> Result<(), RealizeError> {
+        let slot = self
+            .slot_ids
+            .get(buffer)
+            .copied()
+            .ok_or_else(|| RealizeError::UndefinedFunc(buffer.to_string()))?;
+        debug_assert!(
+            self.decls[slot].writable,
+            "store to read-only buffer {buffer}"
+        );
+        let lane_depth = self.depth.saturating_sub(1);
+        let compiler = Compiler {
+            var_depths: &self.var_depths,
+            slot_ids: &self.slot_ids,
+            decls: &self.decls,
+            params: self.params,
+        };
+        let compiled = (|| -> Result<StoreExec, CompileFail> {
+            let mut index_progs = Vec::with_capacity(indices.len());
+            for idx in indices {
+                index_progs.push(compiler.compile_program(idx, true)?);
+            }
+            let value_prog = compiler.compile_program(value, false)?;
+            Ok(StoreExec::Typed(TypedStore {
+                slot,
+                index_progs,
+                value_prog,
+            }))
+        })();
+        let exec = match compiled {
+            Ok(t) => t,
+            Err(CompileFail::Hard(e)) => return Err(e),
+            Err(CompileFail::Soft) => StoreExec::Fallback(Box::new(FallbackStore {
+                slot,
+                indices: indices.to_vec(),
+                value: value.clone(),
+                var_depths: self.var_depths.clone(),
+                slots: self.slot_ids.clone(),
+            })),
+        };
+        if let StoreExec::Typed(t) = &exec {
+            for p in t.index_progs.iter().chain(std::iter::once(&t.value_prog)) {
+                self.max_stack = self.max_stack.max(p.max_stack);
+                for op in &p.ops {
+                    if let TOp::Load { arity, .. } = op {
+                        self.max_arity = self.max_arity.max(*arity);
                     }
-                    let value_prog = compiler.compile_program(value, false)?;
-                    Ok(StoreExec::Typed(TypedStore {
-                        slot,
-                        index_progs,
-                        value_prog,
-                    }))
-                })();
-                let exec = match compiled {
-                    Ok(t) => t,
-                    Err(CompileFail::Hard(e)) => return Err(e),
-                    Err(CompileFail::Soft) => StoreExec::Fallback(Box::new(FallbackStore {
-                        slot,
-                        indices: indices.clone(),
-                        value: value.clone(),
-                        var_depths: self.var_depths.clone(),
-                        slots: self.slot_ids.clone(),
-                    })),
-                };
-                if let StoreExec::Typed(t) = &exec {
-                    for p in t.index_progs.iter().chain(std::iter::once(&t.value_prog)) {
-                        self.max_stack = self.max_stack.max(p.max_stack);
-                        for op in &p.ops {
-                            if let TOp::Load { arity, .. } = op {
-                                self.max_arity = self.max_arity.max(*arity);
-                            }
+                }
+            }
+            self.max_arity = self.max_arity.max(t.index_progs.len());
+        }
+        let (fused, reduce) = match &exec {
+            StoreExec::Typed(_) if self.depth > 0 => {
+                let lane_var = self
+                    .var_depths
+                    .iter()
+                    .find(|(_, d)| **d == lane_depth)
+                    .map(|(v, _)| v.clone());
+                match lane_var {
+                    Some(lane_var) => {
+                        let builder = FusedBuilder {
+                            var_depths: &self.var_depths,
+                            var_bounds: &self.var_bounds,
+                            slot_ids: &self.slot_ids,
+                            decls: &self.decls,
+                            params: self.params,
+                            lane_var: &lane_var,
+                            out_slot: slot,
+                        };
+                        if clamp {
+                            (None, builder.build_reduce(indices, value))
+                        } else {
+                            // A store that reads its own buffer never fuses
+                            // (chunked evaluation would observe its writes).
+                            let self_alias = value_reads_buffer(value, buffer);
+                            (builder.build(indices, value, self_alias), None)
                         }
                     }
-                    self.max_arity = self.max_arity.max(t.index_progs.len());
+                    None => (None, None),
                 }
-                // Tier-1 compilation: a fused SIMD kernel on the best lane
-                // family, when the store is under a loop and its shape admits
-                // one. Best-effort — any failure keeps the typed/fallback
-                // tiers. A store that reads its own buffer never fuses
-                // (chunked evaluation would observe its own writes).
-                let fused = match &exec {
-                    StoreExec::Typed(_) if self.depth > 0 => {
-                        let self_alias = value_reads_buffer(value, buffer);
-                        let lane_var = self
-                            .var_depths
-                            .iter()
-                            .find(|(_, d)| **d == lane_depth)
-                            .map(|(v, _)| v.clone());
-                        lane_var.and_then(|lane_var| {
-                            FusedBuilder {
-                                var_depths: &self.var_depths,
-                                var_bounds: &self.var_bounds,
-                                slot_ids: &self.slot_ids,
-                                decls: &self.decls,
-                                params: self.params,
-                                lane_var: &lane_var,
-                                out_slot: slot,
-                            }
-                            .build(indices, value, self_alias)
-                        })
-                    }
-                    _ => None,
-                };
-                if self.stores.len() <= *id {
-                    self.stores.resize_with(*id + 1, || None);
-                }
-                self.stores[*id] = Some(CompiledStore {
-                    exec,
-                    lane_depth,
-                    fused,
-                });
-                Ok(())
             }
+            _ => (None, None),
+        };
+        if self.stores.len() <= id {
+            self.stores.resize_with(id + 1, || None);
         }
+        self.stores[id] = Some(CompiledStore {
+            exec,
+            lane_depth,
+            fused,
+            clamp,
+            reduce,
+        });
+        Ok(())
     }
 }
 
@@ -1910,6 +2111,49 @@ struct Runner<'a> {
     prepared: &'a Prepared,
     params: &'a BTreeMap<String, Value>,
     mode: SimdMode,
+}
+
+/// Derive the in-range interior `[lo, hi]` (inclusive) of one innermost-loop
+/// entry over `[min, end)`: the sub-range of the loop variable where every
+/// tap access is provably within its buffer, filling `tap_bases` with each
+/// tap's per-row base offset. Shared by the fused-kernel and fused-reduction
+/// runners — the pre/post peels cover `[min, lo)` and `(hi, end)` with the
+/// clamped per-op tier. `lo > hi` means no interior exists (e.g. a
+/// lane-invariant index out of range, which the reference semantics clamp).
+fn tap_interior(
+    taps: &[TapAccess],
+    binds: &BindTable,
+    vars: &[i64],
+    min: i64,
+    end: i64,
+    tap_bases: &mut Vec<i64>,
+) -> (i64, i64) {
+    let mut lo = min;
+    let mut hi = end - 1;
+    tap_bases.clear();
+    for tap in taps {
+        let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+        let mut base = 0i64;
+        for (d, aff) in tap.dims.iter().enumerate() {
+            let b = aff.eval(vars);
+            let ext = bind.extents[d] as i64;
+            if d == 0 && tap.lane == TapLane::Contiguous {
+                // 0 <= b + x <= ext - 1, and dimension 0 has stride 1.
+                lo = lo.max(b.saturating_neg());
+                hi = hi.min((ext - 1).saturating_sub(b));
+                base = base.wrapping_add(b);
+            } else {
+                if b < 0 || b >= ext {
+                    // A lane-invariant index out of range: the reference
+                    // semantics clamp it, so no interior exists.
+                    hi = lo - 1;
+                }
+                base = base.wrapping_add(b.wrapping_mul(bind.strides[d] as i64));
+            }
+        }
+        tap_bases.push(base);
+    }
+    (lo, hi)
 }
 
 /// Evaluate a loop-bound expression to a scalar with the current environment.
@@ -2100,10 +2344,11 @@ impl Runner<'_> {
                     ),
                 }
             }
-            Stmt::Store { id, .. } => {
+            Stmt::Store { id, .. } | Stmt::ReduceStore { id, .. } => {
                 // A store not directly owned by a loop (e.g. beside an
-                // Allocate in a Block): execute a single element at the
-                // current environment.
+                // Allocate in a Block, or an update over an empty reduction
+                // domain): execute a single element at the current
+                // environment.
                 self.exec_store(*id, 1, binds, vars, scratch)
             }
         }
@@ -2126,7 +2371,7 @@ impl Runner<'_> {
         let depth = env.len();
         env.push((var.to_string(), 0));
         let result = (|| {
-            if let Stmt::Store { id, .. } = body {
+            if let Stmt::Store { id, .. } | Stmt::ReduceStore { id, .. } = body {
                 // Innermost loop over a single store: tier selection.
                 let store = self.prepared.stores[*id].as_ref().expect("store compiled");
                 let use_fused = match self.mode {
@@ -2143,7 +2388,22 @@ impl Runner<'_> {
                         );
                     }
                 }
+                // Fused accumulation kernels have no scheduled lane loop to
+                // gate on (rdom loops are serial by construction), so Auto
+                // uses them whenever one compiled; only ForceScalar pins the
+                // per-op tier.
+                if self.mode != SimdMode::ForceScalar {
+                    if let Some(reduce) = &store.reduce {
+                        debug_assert_eq!(store.lane_depth, depth, "lane depth mismatch");
+                        return self.run_reduce_loop(
+                            reduce, *id, depth, min, extent, binds, vars, scratch,
+                        );
+                    }
+                }
                 // Per-op tier: run in lane batches of the scheduled width.
+                // Guarded stores only ever see batch > 1 when the lowering
+                // pass vectorized their lane loop (privatized accumulation:
+                // per-lane writes are provably disjoint).
                 let mut i = min;
                 let end = min + extent;
                 while i < end {
@@ -2189,35 +2449,11 @@ impl Runner<'_> {
         if extent <= 0 {
             return Ok(());
         }
-        // Per-row bases of every tap, and the interior [lo, hi] (inclusive)
-        // of the loop variable where every tap access is in range.
-        let mut lo = min;
-        let mut hi = end - 1;
-        scratch.tap_bases.clear();
-        for tap in &fused.taps {
-            let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
-            let mut base = 0i64;
-            for (d, aff) in tap.dims.iter().enumerate() {
-                let b = aff.eval(vars);
-                let ext = bind.extents[d] as i64;
-                if d == 0 && tap.lane == TapLane::Contiguous {
-                    // 0 <= b + x <= ext - 1, and dimension 0 has stride 1.
-                    lo = lo.max(b.saturating_neg());
-                    hi = hi.min((ext - 1).saturating_sub(b));
-                    base = base.wrapping_add(b);
-                } else {
-                    if b < 0 || b >= ext {
-                        // A lane-invariant index out of range: the reference
-                        // semantics clamp it, so no interior exists.
-                        hi = lo - 1;
-                    }
-                    base = base.wrapping_add(b.wrapping_mul(bind.strides[d] as i64));
-                }
-            }
-            scratch.tap_bases.push(base);
-        }
+        let (lo, hi) = tap_interior(&fused.taps, binds, vars, min, end, &mut scratch.tap_bases);
         if lo > hi {
-            return self.general_range(store_id, lane_depth, min, end, binds, vars, scratch);
+            return self.general_range(
+                store_id, lane_depth, min, end, MAX_LANES, binds, vars, scratch,
+            );
         }
         // Output base offset (store indices are in range by construction).
         let out_bind = binds.0[fused.out_slot]
@@ -2232,7 +2468,9 @@ impl Runner<'_> {
         let w = fused.chunk_width(width);
         // Pre-peel (clamped border), full-width interior chunks, the fused
         // tail chunk, then the post-peel.
-        self.general_range(store_id, lane_depth, min, lo, binds, vars, scratch)?;
+        self.general_range(
+            store_id, lane_depth, min, lo, MAX_LANES, binds, vars, scratch,
+        )?;
         let mut x = lo;
         while x + w as i64 <= hi + 1 {
             dispatch_fused_chunk(
@@ -2288,7 +2526,9 @@ impl Runner<'_> {
             x = hi + 1;
             FUSED_TAILS.fetch_add(1, Ordering::Relaxed);
         }
-        self.general_range(store_id, lane_depth, x, end, binds, vars, scratch)?;
+        self.general_range(
+            store_id, lane_depth, x, end, MAX_LANES, binds, vars, scratch,
+        )?;
         if x > lo {
             FUSED_ROWS.fetch_add(1, Ordering::Relaxed);
         }
@@ -2296,7 +2536,10 @@ impl Runner<'_> {
     }
 
     /// Run `[from, to)` of an innermost store loop through the per-op tier
-    /// (the peel path of fused stores), in `MAX_LANES` batches.
+    /// (the peel path of fused stores), in batches of at most `batch` lanes.
+    /// Reduction peels pass `batch = 1`: a guarded store may read-modify-write
+    /// one cell across consecutive iterations, which lane batching would
+    /// reorder.
     #[allow(clippy::too_many_arguments)]
     fn general_range(
         &self,
@@ -2304,18 +2547,90 @@ impl Runner<'_> {
         lane_depth: usize,
         from: i64,
         to: i64,
+        batch: usize,
         binds: &BindTable,
         vars: &mut [i64],
         scratch: &mut Scratch,
     ) -> Result<(), RealizeError> {
         let mut i = from;
         while i < to {
-            let n = MAX_LANES.min((to - i) as usize);
+            let n = batch.max(1).min((to - i) as usize);
             vars[lane_depth] = i;
             self.exec_store(store_id, n, binds, vars, scratch)?;
             i += n as i64;
         }
         Ok(())
+    }
+
+    /// Execute one full innermost loop of a guarded store through its fused
+    /// accumulation kernel: derive the in-range interior of `g`'s taps, read
+    /// the accumulator once, fold tree-reduced chunks of `g` lanes into it,
+    /// replay the update's cast chain, store once — and run everything the
+    /// interior does not cover per element through the per-op tier (exact
+    /// under any split because every step commutes mod the chain's width;
+    /// see [`ReduceKernel`]).
+    #[allow(clippy::too_many_arguments)]
+    fn run_reduce_loop(
+        &self,
+        rk: &ReduceKernel,
+        store_id: usize,
+        lane_depth: usize,
+        min: i64,
+        extent: i64,
+        binds: &BindTable,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let end = min + extent;
+        if extent <= 0 {
+            return Ok(());
+        }
+        let (lo, hi) = tap_interior(&rk.taps, binds, vars, min, end, &mut scratch.tap_bases);
+        let w = rk.chunk_width();
+        if lo > hi || hi + 1 - lo < w as i64 {
+            // No interior worth a chunk: the whole loop runs per element.
+            return self.general_range(store_id, lane_depth, min, end, 1, binds, vars, scratch);
+        }
+        // The accumulator cell, clamped per dimension like `Buffer::set`.
+        let out_bind = binds.0[rk.out_slot].as_ref().expect("store target bound");
+        let mut out_off = 0usize;
+        for (d, aff) in rk.out_dims.iter().enumerate() {
+            let i = aff.eval(vars).clamp(0, out_bind.extents[d] as i64 - 1) as usize;
+            out_off += i * out_bind.strides[d];
+        }
+        // Pre-peel, then accumulate the interior on lanes.
+        self.general_range(store_id, lane_depth, min, lo, 1, binds, vars, scratch)?;
+        let eb = rk.out_ty.bytes();
+        let byte_off = out_off * eb;
+        let mut acc =
+            crate::buffer::read_scalar(rk.out_ty, &out_bind.data()[byte_off..byte_off + eb])
+                .as_i64();
+        let mut x = lo;
+        while x <= hi {
+            let n = (w as i64).min(hi + 1 - x) as usize;
+            acc = acc.wrapping_add(dispatch_reduce_chunk(
+                rk,
+                x,
+                n,
+                &scratch.tap_bases,
+                lane_depth,
+                binds,
+                vars,
+            ));
+            x += n as i64;
+            REDUCE_CHUNKS.fetch_add(1, Ordering::Relaxed);
+        }
+        // Replay the update's cast chain (innermost first) and store through
+        // the buffer type, exactly as the per-element path would.
+        let mut val = Value::Int(acc);
+        for ty in rk.casts.iter().rev() {
+            val = val.cast(*ty);
+        }
+        let mut tmp = [0u8; 8];
+        crate::buffer::write_scalar(rk.out_ty, val, &mut tmp[..eb]);
+        out_bind.write(byte_off, &tmp[..eb]);
+        // Post-peel continues from the updated accumulator.
+        self.general_range(store_id, lane_depth, hi + 1, end, 1, binds, vars, scratch)
     }
 
     /// Dispatch `n` lanes of a store starting at the current lane variable.
@@ -2340,7 +2655,7 @@ impl Runner<'_> {
                 vars[lane_depth] = base + done as i64;
                 match &store.exec {
                     StoreExec::Typed(t) => {
-                        self.exec_typed(t, lane_depth, m, binds, vars, scratch);
+                        self.exec_typed(t, store.clamp, lane_depth, m, binds, vars, scratch);
                     }
                     StoreExec::Fallback(f) => {
                         self.exec_fallback(f, lane_depth, m, binds, vars)?;
@@ -2354,9 +2669,11 @@ impl Runner<'_> {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_typed(
         &self,
         t: &TypedStore,
+        clamp: bool,
         lane_depth: usize,
         n: usize,
         binds: &BindTable,
@@ -2374,16 +2691,23 @@ impl Runner<'_> {
         run_program(&t.value_prog, lane_depth, n, binds, vars, scratch);
 
         let bind = binds.0[t.slot].as_ref().expect("store target bound");
-        // Destination offsets (stores are in-range by loop construction).
+        // Destination offsets. Pure stores are in-range by loop construction;
+        // guarded (reduction) stores clamp per dimension like `Buffer::set` —
+        // histogram LHS indices are data and may land anywhere.
         for l in 0..n {
             let mut off = 0usize;
             for d in 0..arity {
                 let i = scratch.idx[d * MAX_LANES + l];
-                debug_assert!(
-                    i >= 0 && (i as usize) < bind.extents[d],
-                    "store index {i} out of range 0..{} (dim {d})",
-                    bind.extents[d]
-                );
+                let i = if clamp {
+                    i.clamp(0, bind.extents[d] as i64 - 1)
+                } else {
+                    debug_assert!(
+                        i >= 0 && (i as usize) < bind.extents[d],
+                        "store index {i} out of range 0..{} (dim {d})",
+                        bind.extents[d]
+                    );
+                    i
+                };
                 off += (i as usize) * bind.strides[d];
             }
             scratch.offs[l] = off;
@@ -3201,23 +3525,25 @@ fn dispatch_fused_chunk(
     }
 }
 
-/// Generate the chunk runner of one integer lane family: a stack machine
-/// over `[$lane; W]` chunks with constant trip counts LLVM auto-vectorizes.
-/// `n` lanes are loaded and stored (`n == W` except for masked tails).
-macro_rules! int_chunk_runner {
-    ($name:ident, $lane:ty, $ulane:ty, $load:ident, $store:ident) => {
+/// Generate the chunk *evaluator* of one integer lane family: a stack
+/// machine over `[$lane; W]` chunks with constant trip counts LLVM
+/// auto-vectorizes, returning the final chunk. `n` lanes are loaded
+/// (`n == W` except for masked tails; lanes beyond `n` are unspecified and
+/// must be masked by the consumer — the fused store writes only `n` lanes,
+/// the reduction epilogue zeroes them before summing).
+macro_rules! int_chunk_eval {
+    ($name:ident, $lane:ty, $ulane:ty, $load:ident) => {
         #[allow(clippy::too_many_arguments)]
         fn $name<const W: usize>(
             ops: &[VOp<$lane>],
-            fused: &FusedKernel,
+            taps: &[TapAccess],
             x: i64,
             n: usize,
             tap_bases: &[i64],
-            out_base: i64,
             lane_depth: usize,
             binds: &BindTable,
             vars: &[i64],
-        ) {
+        ) -> [$lane; W] {
             let mut st = [[0 as $lane; W]; V_STACK];
             let mut sp = 0usize;
             for op in ops {
@@ -3238,11 +3564,11 @@ macro_rules! int_chunk_runner {
                         sp += 1;
                     }
                     VOp::Load(t) => {
-                        st[sp] = $load::<W>(&fused.taps[*t], tap_bases[*t], x, n, binds);
+                        st[sp] = $load::<W>(&taps[*t], tap_bases[*t], x, n, binds);
                         sp += 1;
                     }
                     VOp::Axpy { tap, coeff } => {
-                        let v = $load::<W>(&fused.taps[*tap], tap_bases[*tap], x, n, binds);
+                        let v = $load::<W>(&taps[*tap], tap_bases[*tap], x, n, binds);
                         let dst = &mut st[sp - 1];
                         for l in 0..W {
                             dst[l] = dst[l].wrapping_add(coeff.wrapping_mul(v[l]));
@@ -3394,13 +3720,99 @@ macro_rules! int_chunk_runner {
                 }
             }
             debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
-            $store::<W>(fused, out_base, x, n, &st[0], binds);
+            st[0]
         }
     };
 }
 
-int_chunk_runner!(run_chunk_i32, i32, u32, load_tap_i32, store_chunk_i32);
-int_chunk_runner!(run_chunk_i64, i64, u64, load_tap_i64, store_chunk_i64);
+int_chunk_eval!(eval_chunk_i32, i32, u32, load_tap_i32);
+int_chunk_eval!(eval_chunk_i64, i64, u64, load_tap_i64);
+
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_i32<const W: usize>(
+    ops: &[VOp<i32>],
+    fused: &FusedKernel,
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    out_base: i64,
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) {
+    let lanes = eval_chunk_i32::<W>(ops, &fused.taps, x, n, tap_bases, lane_depth, binds, vars);
+    store_chunk_i32::<W>(fused, out_base, x, n, &lanes, binds);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_i64<const W: usize>(
+    ops: &[VOp<i64>],
+    fused: &FusedKernel,
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    out_base: i64,
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) {
+    let lanes = eval_chunk_i64::<W>(ops, &fused.taps, x, n, tap_bases, lane_depth, binds, vars);
+    store_chunk_i64::<W>(fused, out_base, x, n, &lanes, binds);
+}
+
+/// Wrapping in-lane tree reduce of the first `n` lanes of a chunk. Exact for
+/// any summation order because wrapping integer addition is commutative and
+/// associative; the halving tree is the shape LLVM turns into vector
+/// reductions.
+macro_rules! tree_sum {
+    ($name:ident, $lane:ty) => {
+        fn $name<const W: usize>(mut lanes: [$lane; W], n: usize) -> $lane {
+            for lane in lanes.iter_mut().skip(n) {
+                *lane = 0;
+            }
+            let mut width = W;
+            while width > 1 {
+                width /= 2;
+                for l in 0..width {
+                    lanes[l] = lanes[l].wrapping_add(lanes[l + width]);
+                }
+            }
+            lanes[0]
+        }
+    };
+}
+
+tree_sum!(tree_sum_i32, i32);
+tree_sum!(tree_sum_i64, i64);
+
+/// Evaluate one chunk of a reduction kernel's `g` and tree-reduce its first
+/// `n` lanes, returning the partial sum as an `i64` (for the i32 family the
+/// value is the sum mod `2^32`, which is all its ≤ 32-bit accumulator needs).
+fn dispatch_reduce_chunk(
+    rk: &ReduceKernel,
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) -> i64 {
+    match &rk.prog {
+        LaneProgram::I32(ops) => {
+            let lanes = eval_chunk_i32::<MAX_CHUNK>(
+                ops, &rk.taps, x, n, tap_bases, lane_depth, binds, vars,
+            );
+            tree_sum_i32(lanes, n) as i64
+        }
+        LaneProgram::I64(ops) => {
+            let lanes = eval_chunk_i64::<{ MAX_CHUNK / 2 }>(
+                ops, &rk.taps, x, n, tap_bases, lane_depth, binds, vars,
+            );
+            tree_sum_i64(lanes, n)
+        }
+        LaneProgram::F32(_) => unreachable!("reduce kernels are integer-only"),
+    }
+}
 
 /// Run one `[f32; W]` fused kernel chunk. Arithmetic ops round once in f32
 /// (emitted only at reference rounding points); min/max evaluate through f64
@@ -3648,6 +4060,31 @@ impl ExecPlan {
     /// Number of compiled stores in the plan.
     pub fn store_count(&self) -> usize {
         self.prepared.stores.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of guarded (reduction) stores in the plan — the lowered update
+    /// definitions executing through the compiled engine.
+    pub fn guarded_store_count(&self) -> usize {
+        self.prepared
+            .stores
+            .iter()
+            .flatten()
+            .filter(|s| s.clamp)
+            .count()
+    }
+
+    /// Number of guarded stores that compiled a fused accumulation kernel
+    /// (the lane tree-reduce path), by lane family.
+    pub fn reduce_store_counts(&self) -> FusedStoreCounts {
+        let mut counts = FusedStoreCounts::default();
+        for store in self.prepared.stores.iter().flatten() {
+            match store.reduce.as_ref().map(|r| r.family()) {
+                Some(LaneFamily::I32) => counts.lanes_i32 += 1,
+                Some(LaneFamily::I64) => counts.lanes_i64 += 1,
+                Some(LaneFamily::F32) | None => {}
+            }
+        }
+        counts
     }
 }
 
@@ -4436,5 +4873,169 @@ mod tests {
             0,
             "self-aliasing store must stay on the per-op tier"
         );
+    }
+
+    /// `for r: reduce out[0] = out(0) + in(r)` — the canonical accumulator
+    /// nest a lowered update produces.
+    fn reduce_nest(extent: i64, value: Expr) -> Stmt {
+        Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(extent),
+                kind: LoopKind::Serial,
+                body: Box::new(Stmt::ReduceStore {
+                    id: 0,
+                    buffer: "out".into(),
+                    indices: vec![Expr::int(0)],
+                    value,
+                }),
+            }),
+        }
+    }
+
+    fn accum_value(g: Expr) -> Expr {
+        Expr::cast(
+            ScalarType::UInt64,
+            Expr::add(Expr::FuncRef("out".into(), vec![Expr::int(0)]), g),
+        )
+    }
+
+    #[test]
+    fn reduce_kernel_compiles_and_matches_per_op_tier() {
+        let g = Expr::cast(
+            ScalarType::UInt64,
+            Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into()), Expr::int(0)]),
+        );
+        for extent in [1i64, 7, 15, 16, 17, 100, 257] {
+            let plan = plan_for(
+                reduce_nest(extent, accum_value(g.clone())),
+                ScalarType::UInt64,
+            );
+            assert_eq!(plan.guarded_store_count(), 1);
+            assert_eq!(
+                plan.reduce_store_counts().lanes_i64,
+                1,
+                "u64 accumulator rides exact i64 lanes"
+            );
+            let img = input(300, 1, 99);
+            let images: BTreeMap<String, &Buffer> =
+                [("in".to_string(), &img)].into_iter().collect();
+            let expect: u64 = (0..extent as usize)
+                .map(|i| img.get(&[i as i64, 0]).as_i64() as u64)
+                .fold(0, u64::wrapping_add);
+            for mode in [SimdMode::ForceScalar, SimdMode::Auto, SimdMode::ForceSimd] {
+                let mut out = Buffer::new(ScalarType::UInt64, &[1]);
+                run_with_mode(
+                    &plan,
+                    &mut out,
+                    &images,
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                    mode,
+                )
+                .expect("run");
+                assert_eq!(
+                    out.get(&[0]).as_i64() as u64,
+                    expect,
+                    "extent {extent} mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_kernel_rejects_unsupported_shapes() {
+        // g reading the accumulator buffer itself: must not chunk.
+        let self_g = Expr::cast(
+            ScalarType::UInt64,
+            Expr::FuncRef("out".into(), vec![Expr::RVar("r_0.x".into())]),
+        );
+        let plan = plan_for(reduce_nest(16, accum_value(self_g)), ScalarType::UInt64);
+        assert_eq!(plan.reduce_store_counts().total(), 0);
+        // A data-dependent LHS (histogram) is not loop-invariant: no kernel,
+        // but the guarded store still compiles onto the per-op tier.
+        let lhs = Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into()), Expr::int(0)]);
+        let hist = Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(32),
+                kind: LoopKind::Serial,
+                body: Box::new(Stmt::ReduceStore {
+                    id: 0,
+                    buffer: "out".into(),
+                    indices: vec![lhs.clone()],
+                    value: Expr::cast(
+                        ScalarType::UInt64,
+                        Expr::add(Expr::FuncRef("out".into(), vec![lhs]), Expr::int(1)),
+                    ),
+                }),
+            }),
+        };
+        let plan = plan_for(hist, ScalarType::UInt64);
+        assert_eq!(plan.guarded_store_count(), 1);
+        assert_eq!(plan.reduce_store_counts().total(), 0);
+        // Float accumulators never fuse (f32/f64 addition is not associative).
+        let fplan = prepare(
+            reduce_nest(
+                16,
+                Expr::add(
+                    Expr::FuncRef("out".into(), vec![Expr::int(0)]),
+                    Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into()), Expr::int(0)]),
+                ),
+            ),
+            "out",
+            ScalarType::Float64,
+            &[("in".to_string(), ScalarType::UInt8)],
+            &[],
+            &BTreeMap::new(),
+        )
+        .expect("prepare");
+        assert_eq!(fplan.reduce_store_counts().total(), 0);
+    }
+
+    #[test]
+    fn guarded_store_clamps_destination_indices() {
+        // reduce out[r - 2] = out(r - 2) + 1 over r in [0, 8): indices -2..5
+        // clamp to [0, 3] exactly like Buffer::set.
+        let idx = Expr::add(Expr::RVar("r_0.x".into()), Expr::int(-2));
+        let nest = Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(8),
+                kind: LoopKind::Serial,
+                body: Box::new(Stmt::ReduceStore {
+                    id: 0,
+                    buffer: "out".into(),
+                    indices: vec![idx.clone()],
+                    value: Expr::cast(
+                        ScalarType::UInt32,
+                        Expr::add(Expr::FuncRef("out".into(), vec![idx]), Expr::int(1)),
+                    ),
+                }),
+            }),
+        };
+        let plan =
+            prepare(nest, "out", ScalarType::UInt32, &[], &[], &BTreeMap::new()).expect("prepare");
+        let mut out = Buffer::new(ScalarType::UInt32, &[4]);
+        run(
+            &plan,
+            &mut out,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+        )
+        .expect("run");
+        // Indices -2, -1, 0 clamp onto element 0 (three hits); 3, 4, 5 clamp
+        // onto element 3 (three hits, reads clamping identically).
+        assert_eq!(out.get(&[0]).as_i64(), 3);
+        assert_eq!(out.get(&[1]).as_i64(), 1);
+        assert_eq!(out.get(&[2]).as_i64(), 1);
+        assert_eq!(out.get(&[3]).as_i64(), 3);
     }
 }

@@ -23,7 +23,11 @@
 //!   rounding-disciplined — with interior/boundary loop splitting and
 //!   masked/overlapping tail chunks, per-op typed lane dispatch, and a
 //!   shared-evaluator per-element fallback) with scoped-thread parallelism —
-//!   see the [`exec`] module docs;
+//!   see the [`exec`] module docs. Update (reduction) definitions lower too:
+//!   guarded [`stmt::Stmt::ReduceStore`] nests with a privatized-vs-sequential
+//!   accumulation strategy and a fused integer tree-reduce for
+//!   loop-invariant accumulators, so histograms, scans and residual norms
+//!   execute end-to-end compiled;
 //! * [`compile`], [`cache`] — the compile-once/run-many API:
 //!   [`func::Pipeline::compile`] produces a [`CompiledPipeline`] whose `run`
 //!   does only per-call work, backed by a keyed LRU [`ProgramCache`] with
@@ -118,11 +122,11 @@ pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
 pub use buffer::Buffer;
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use codegen::{generate_halide_source, CodegenOptions};
-pub use compile::{CompileOptions, CompiledPipeline};
+pub use compile::{CompileOptions, CompiledPipeline, UpdateCounts};
 pub use eval::{eval_expr, EvalSources};
 pub use exec::{
-    fused_rows_executed, fused_tail_chunks_executed, set_simd_mode, simd_mode, FusedStoreCounts,
-    LaneFamily, SimdMode,
+    fused_rows_executed, fused_tail_chunks_executed, reduce_chunks_executed, set_simd_mode,
+    simd_mode, FusedStoreCounts, LaneFamily, SimdMode,
 };
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
@@ -138,7 +142,7 @@ pub mod prelude {
     pub use crate::buffer::Buffer;
     pub use crate::cache::CacheStats;
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
-    pub use crate::compile::{CompileOptions, CompiledPipeline};
+    pub use crate::compile::{CompileOptions, CompiledPipeline, UpdateCounts};
     pub use crate::exec::{FusedStoreCounts, LaneFamily, SimdMode};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};

@@ -26,14 +26,33 @@
 //! 4. **Simplification** — all synthesized index/bound expressions are
 //!    constant-folded through [`crate::simplify`].
 //!
+//! **Update (reduction) definitions** lower too, via [`lower_update`]: each
+//! update becomes a nest of serial reduction-domain loops plus loops over the
+//! update's free pure variables, around a guarded
+//! [`crate::stmt::Stmt::ReduceStore`]. The nest order follows an accumulation
+//! strategy chosen by [`update_strategy`] from the RDom/pure-dim dependence:
+//!
+//! * [`UpdateStrategy::Sequential`] replicates the reduction interpreter's
+//!   order verbatim — free pure dims outermost, rdom dims inner (first rdom
+//!   dimension innermost), one element at a time — and is always sound
+//!   (scans, data-dependent histogram LHS).
+//! * [`UpdateStrategy::Privatized`] applies when every free pure variable is
+//!   its own LHS dimension and self-reads hit exactly the written point:
+//!   pure iterations then own disjoint elements, so the pure loops move
+//!   *inside* the rdom loops and the innermost one vectorizes.
+//!
+//! Reduction-domain bounds resolve through [`resolve_rdom_dims`], the same
+//! helper the interpreter uses, so both paths iterate the identical domain.
+//!
 //! Bit-exactness: lowering only reorders the iteration space and rebases
 //! producer storage; every value is computed by the same expression over the
 //! same inputs as the interpreter, so both backends produce identical buffers
-//! (enforced by the differential property suite in `tests/prop_halide.rs`).
+//! (enforced by the differential property suites in `tests/prop_halide.rs`
+//! and `tests/prop_reduce.rs`).
 
-use crate::bounds::affine_decompose;
+use crate::bounds::{affine_decompose, expr_interval};
 use crate::expr::{BinOp, Expr};
-use crate::func::{Func, Pipeline};
+use crate::func::{Func, Pipeline, UpdateDef};
 use crate::realize::RealizeError;
 use crate::schedule::Schedule;
 use crate::simplify::simplify;
@@ -712,6 +731,237 @@ pub fn lower_pure(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Update (reduction) lowering
+// ---------------------------------------------------------------------------
+
+/// Resolve a reduction domain's dimensions to concrete `(var, min, extent)`
+/// triples against the bound scalar parameters (image-extent params like
+/// `input_1.extent.0` included).
+///
+/// This is the *only* bounds resolution both the reduction interpreter
+/// ([`run_update`]'s oracle path in `crate::compile`) and the lowered update
+/// nests use, so the two cannot disagree about the iteration space.
+///
+/// [`run_update`]: crate::compile
+pub fn resolve_rdom_dims(
+    rdom: &crate::func::RDom,
+    params: &BTreeMap<String, Value>,
+) -> Vec<(String, i64, i64)> {
+    let empty = BTreeMap::new();
+    rdom.dims
+        .iter()
+        .map(|(var, min_e, extent_e)| {
+            let min = expr_interval(min_e, &empty, params).min;
+            let extent = expr_interval(extent_e, &empty, params).min;
+            (var.clone(), min, extent)
+        })
+        .collect()
+}
+
+/// The accumulation strategy chosen for one lowered update definition.
+///
+/// Both strategies iterate the reduction domain in the interpreter's order
+/// (first rdom dimension innermost among the rdom loops) and are bit-identical
+/// to [`run_update`]; they differ in where the free pure dimensions sit and
+/// whether the innermost one may run in lanes.
+///
+/// [`run_update`]: crate::compile
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateStrategy {
+    /// *Privatized*: every free pure variable `v` is its own LHS dimension
+    /// (`lhs[dim(v)] == v`) and every self-reference reads exactly the LHS
+    /// point, so distinct pure iterations touch provably disjoint elements.
+    /// The pure loops move *inside* the rdom loops and the innermost one
+    /// (`lane_var`) is marked vectorized: lanes of the guarded store write
+    /// disjoint cells and read only their own, so batching them is exact.
+    Privatized {
+        /// The pure loop variable executed in lanes.
+        lane_var: String,
+    },
+    /// *Sequential*: the update's writes may collide or chain (data-dependent
+    /// histogram LHS, scans reading `f(r-1)`), so the nest replicates the
+    /// interpreter's order exactly — free pure dims outermost, rdom dims
+    /// inner, every loop serial, one element at a time.
+    Sequential,
+}
+
+/// Free pure variables of an update over an ordered var list: the vars
+/// referenced (as [`Expr::Var`]) by the LHS or value, paired with their
+/// dimension index, in dimension order.
+///
+/// This definition is load-bearing for the ordering contract between the
+/// lowered nests and the reduction interpreter: both `lower_update` and
+/// `run_update` (in `crate::compile`) derive their pure loops from this one
+/// function, so they cannot disagree about which dims iterate.
+pub(crate) fn free_pure_vars_in(vars: &[String], update: &UpdateDef) -> Vec<(usize, String)> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for e in update.lhs.iter().chain(std::iter::once(&update.value)) {
+        e.visit(&mut |node| {
+            if let Expr::Var(n) = node {
+                seen.insert(n.clone());
+            }
+        });
+    }
+    vars.iter()
+        .enumerate()
+        .filter(|(_, v)| seen.contains(*v))
+        .map(|(d, v)| (d, v.clone()))
+        .collect()
+}
+
+/// [`free_pure_vars_in`] over a func's own vars.
+fn free_pure_vars(func: &Func, update: &UpdateDef) -> Vec<(usize, String)> {
+    free_pure_vars_in(&func.vars, update)
+}
+
+/// Choose the accumulation strategy for `update` (see [`UpdateStrategy`]).
+pub fn update_strategy(func: &Func, update: &UpdateDef) -> UpdateStrategy {
+    strategy_for(func, update, &free_pure_vars(func, update))
+}
+
+/// [`update_strategy`] against a precomputed free-pure-var list, so callers
+/// that already hold one ([`lower_update`]) do not walk the expressions
+/// twice — and there is exactly one free-var definition both decisions use.
+fn strategy_for(func: &Func, update: &UpdateDef, free: &[(usize, String)]) -> UpdateStrategy {
+    if free.is_empty() || update.lhs.len() != func.vars.len() {
+        return UpdateStrategy::Sequential;
+    }
+    // Every free pure var must be its own LHS dimension, verbatim.
+    for (d, v) in free {
+        if update.lhs[*d] != Expr::var(v) {
+            return UpdateStrategy::Sequential;
+        }
+    }
+    // Every self-reference — in the value *or* inside an LHS index
+    // expression — must read exactly the point being written. An LHS index
+    // reading the func can never satisfy that (it is a sub-expression of the
+    // point, not the point), so it forces the sequential order.
+    let mut self_reads_ok = true;
+    for e in update.lhs.iter().chain(std::iter::once(&update.value)) {
+        e.visit(&mut |node| {
+            if let Expr::FuncRef(name, args) = node {
+                if *name == func.name && args.as_slice() != update.lhs.as_slice() {
+                    self_reads_ok = false;
+                }
+            }
+        });
+    }
+    if !self_reads_ok {
+        return UpdateStrategy::Sequential;
+    }
+    let lane_var = free[0].1.clone();
+    UpdateStrategy::Privatized { lane_var }
+}
+
+/// Lower one update definition of `func` into a loop nest over its reduction
+/// domain (and free pure dimensions), producing a [`Stmt::ReduceStore`] per
+/// element. Returns `None` when the update's shape is not lowerable (an LHS
+/// arity mismatch, or variables that are neither rdom vars nor pure vars of
+/// the func) — the caller keeps the reduction interpreter for it.
+///
+/// Ordering contract (the bit-exactness obligation against [`run_update`]):
+///
+/// * **Sequential** nests replicate the oracle exactly: free pure dims
+///   outermost (highest dimension outermost), rdom dims inner (first rdom
+///   dimension innermost), all serial.
+/// * **Privatized** nests hoist the rdom loops outside the pure loops and
+///   vectorize the innermost pure loop. This is exact because privatization
+///   proved each pure iteration owns its output element: per element, the
+///   rdom updates still apply in the oracle's rdom order.
+///
+/// [`run_update`]: crate::compile
+pub fn lower_update(
+    func: &Func,
+    update: &UpdateDef,
+    output_extents: &[usize],
+    schedule: &Schedule,
+    params: &BTreeMap<String, Value>,
+    next_store_id: &mut usize,
+) -> Option<Stmt> {
+    if update.lhs.len() != func.dims() || output_extents.len() != func.dims() {
+        return None;
+    }
+    // Every variable must resolve to an rdom dim or a pure var of the func.
+    let rdom_dims = resolve_rdom_dims(&update.rdom, params);
+    let rdom_names: BTreeSet<&str> = rdom_dims.iter().map(|(v, _, _)| v.as_str()).collect();
+    let mut unknown = false;
+    for e in update.lhs.iter().chain(std::iter::once(&update.value)) {
+        e.visit(&mut |node| match node {
+            Expr::Var(n) if !func.vars.contains(n) => unknown = true,
+            Expr::RVar(n) if !rdom_names.contains(n.as_str()) => unknown = true,
+            _ => {}
+        });
+    }
+    if unknown {
+        return None;
+    }
+    let free = free_pure_vars(func, update);
+    let strategy = strategy_for(func, update, &free);
+
+    let store = Stmt::ReduceStore {
+        id: {
+            let id = *next_store_id;
+            *next_store_id += 1;
+            id
+        },
+        buffer: func.name.clone(),
+        indices: update.lhs.clone(),
+        value: update.value.clone(),
+    };
+
+    // Wrap loops innermost-first. Pure loops iterate the full output extent
+    // of their dimension; rdom loops iterate the resolved domain.
+    let pure_loop = |d: usize, var: &str, kind: LoopKind, body: Stmt| Stmt::For {
+        var: var.to_string(),
+        min: Expr::int(0),
+        extent: Expr::int(output_extents[d] as i64),
+        kind,
+        body: Box::new(body),
+    };
+    let rdom_loop = |(var, min, extent): &(String, i64, i64), body: Stmt| Stmt::For {
+        var: var.clone(),
+        min: Expr::int(*min),
+        extent: Expr::int(*extent),
+        kind: LoopKind::Serial,
+        body: Box::new(body),
+    };
+
+    let mut body = store;
+    match &strategy {
+        UpdateStrategy::Privatized { lane_var } => {
+            // Pure dims inside (dim 0 innermost, the lane loop vectorized),
+            // rdom dims outside (dim 0 innermost among them).
+            for (d, var) in &free {
+                let kind = if var == lane_var && schedule.vector_width > 1 {
+                    LoopKind::Vectorized {
+                        width: schedule.vector_width,
+                    }
+                } else {
+                    LoopKind::Serial
+                };
+                body = pure_loop(*d, var, kind, body);
+            }
+            for dim in &rdom_dims {
+                body = rdom_loop(dim, body);
+            }
+        }
+        UpdateStrategy::Sequential => {
+            // The interpreter's order verbatim: rdom inner, pure dims outer.
+            for dim in &rdom_dims {
+                body = rdom_loop(dim, body);
+            }
+            for (d, var) in &free {
+                body = pure_loop(*d, var, LoopKind::Serial, body);
+            }
+        }
+    }
+    Some(Stmt::Produce {
+        func: func.name.clone(),
+        body: Box::new(body),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +1118,220 @@ mod tests {
                 assert_eq!(out, baseline, "{backend:?} under [{schedule}] diverged");
             }
         }
+    }
+
+    #[test]
+    fn update_strategy_classifies_privatized_and_sequential() {
+        use crate::func::{RDom, UpdateDef};
+        let mk = |lhs: Vec<Expr>, value: Expr| UpdateDef {
+            lhs,
+            value,
+            rdom: RDom::with_constant_bounds("r_0", &[(0, 4)]),
+        };
+        let f = Func::pure("f", &["x_0"], ScalarType::UInt32, Expr::int(0));
+        // f(x) = f(x) + r: every free pure var owns its LHS dim, self-read at
+        // the LHS point — privatized.
+        let jacobi = mk(
+            vec![Expr::var("x_0")],
+            Expr::add(
+                Expr::FuncRef("f".into(), vec![Expr::var("x_0")]),
+                Expr::RVar("r_0.x".into()),
+            ),
+        );
+        assert_eq!(
+            update_strategy(&f, &jacobi),
+            UpdateStrategy::Privatized {
+                lane_var: "x_0".into()
+            }
+        );
+        // A scan reads f(r-1) ≠ LHS: sequential.
+        let scan = mk(
+            vec![Expr::RVar("r_0.x".into())],
+            Expr::add(
+                Expr::FuncRef(
+                    "f".into(),
+                    vec![Expr::add(Expr::RVar("r_0.x".into()), Expr::int(-1))],
+                ),
+                Expr::int(1),
+            ),
+        );
+        assert_eq!(update_strategy(&f, &scan), UpdateStrategy::Sequential);
+        // Data-dependent LHS (histogram): no free pure vars — sequential.
+        let hist = mk(
+            vec![Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into())])],
+            Expr::add(
+                Expr::FuncRef(
+                    "f".into(),
+                    vec![Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into())])],
+                ),
+                Expr::int(1),
+            ),
+        );
+        assert_eq!(update_strategy(&f, &hist), UpdateStrategy::Sequential);
+        // Free pure var that is NOT its own LHS dim (f(x*0) = ... x ...):
+        // writes collide across pure iterations — sequential.
+        let collide = mk(
+            vec![Expr::mul(Expr::var("x_0"), Expr::int(0))],
+            Expr::var("x_0"),
+        );
+        assert_eq!(update_strategy(&f, &collide), UpdateStrategy::Sequential);
+    }
+
+    /// A self-read hiding inside an *LHS index expression* (the func's own
+    /// value used as a destination index) must force the sequential order:
+    /// under the privatized (rdom-hoisted, vectorized) nest, a lane could
+    /// read a cell another pure iteration already mutated, diverging from
+    /// the interpreter's pure-outer order.
+    #[test]
+    fn lhs_self_read_forces_sequential_and_matches_oracle() {
+        use crate::func::{RDom, UpdateDef};
+        let x = Expr::var("x_0");
+        let update = UpdateDef {
+            lhs: vec![
+                x.clone(),
+                Expr::FuncRef(
+                    "f".into(),
+                    vec![Expr::add(x.clone(), Expr::int(1)), Expr::int(0)],
+                ),
+            ],
+            value: Expr::cast(ScalarType::UInt32, Expr::add(Expr::RVar("r_0.x".into()), x)),
+            rdom: RDom::with_constant_bounds("r_0", &[(0, 3)]),
+        };
+        let f = Func::pure(
+            "f",
+            &["x_0", "x_1"],
+            ScalarType::UInt32,
+            Expr::cast(ScalarType::UInt32, Expr::int(0)),
+        )
+        .with_update(update.clone());
+        assert_eq!(
+            update_strategy(&f, &update),
+            UpdateStrategy::Sequential,
+            "an LHS self-read must not privatize"
+        );
+        let p = Pipeline::new(f, Vec::new());
+        let inputs = RealizeInputs::new();
+        let oracle = Realizer::new(Schedule::stencil_default())
+            .with_backend(ExecBackend::Interpret)
+            .realize(&p, &[6, 6], &inputs)
+            .unwrap();
+        let compiled = Realizer::new(Schedule::stencil_default())
+            .realize(&p, &[6, 6], &inputs)
+            .unwrap();
+        assert_eq!(compiled, oracle);
+    }
+
+    #[test]
+    fn lower_update_emits_guarded_nests_in_strategy_order() {
+        use crate::func::{RDom, UpdateDef};
+        let img = ImageParam::new("in", ScalarType::UInt8, 2);
+        let f = Func::pure("f", &["x_0"], ScalarType::UInt32, Expr::int(0));
+        let params: BTreeMap<String, Value> = [
+            ("in.extent.0".to_string(), Value::Int(12)),
+            ("in.extent.1".to_string(), Value::Int(5)),
+        ]
+        .into_iter()
+        .collect();
+        // Privatized: f(x) += in(x, r.y) over the image rows — rdom loops
+        // outside, vectorized pure lane loop inside.
+        let jacobi = UpdateDef {
+            lhs: vec![Expr::var("x_0")],
+            value: Expr::cast(
+                ScalarType::UInt32,
+                Expr::add(
+                    Expr::FuncRef("f".into(), vec![Expr::var("x_0")]),
+                    Expr::Image(
+                        "in".into(),
+                        vec![Expr::var("x_0"), Expr::RVar("r_0.y".into())],
+                    ),
+                ),
+            ),
+            rdom: RDom::over_image("r_0", &img),
+        };
+        let mut next_id = 1usize;
+        let stmt = lower_update(
+            &f,
+            &jacobi,
+            &[32],
+            &Schedule::naive().with_vector_width(8),
+            &params,
+            &mut next_id,
+        )
+        .expect("lowerable");
+        assert_eq!(next_id, 2);
+        assert_eq!(stmt.reduce_store_count(), 1);
+        let text = stmt.to_string();
+        // rdom extents resolved from the image-extent params; the pure lane
+        // loop is innermost and vectorized.
+        assert!(text.contains("for r_0.y in [0, 0 + 5):"), "{text}");
+        assert!(text.contains("for r_0.x in [0, 0 + 12):"), "{text}");
+        assert!(
+            text.contains("for[vectorized(8)] x_0 in [0, 0 + 32):"),
+            "{text}"
+        );
+        assert!(text.contains("reduce f[x_0]"), "{text}");
+        let rdom_pos = text.find("for r_0.y").expect("rdom loop");
+        let lane_pos = text.find("for[vectorized(8)] x_0").expect("lane loop");
+        assert!(
+            rdom_pos < lane_pos,
+            "privatized nests hoist rdom loops:\n{text}"
+        );
+
+        // Sequential (scan): pure dims outer, rdom inner, all serial.
+        let scan = UpdateDef {
+            lhs: vec![Expr::RVar("r_0.x".into())],
+            value: Expr::add(
+                Expr::FuncRef(
+                    "f".into(),
+                    vec![Expr::add(Expr::RVar("r_0.x".into()), Expr::int(-1))],
+                ),
+                Expr::int(1),
+            ),
+            rdom: RDom::with_constant_bounds("r_0", &[(0, 7)]),
+        };
+        let mut next_id = 0usize;
+        let stmt = lower_update(
+            &f,
+            &scan,
+            &[32],
+            &Schedule::naive().with_vector_width(8),
+            &params,
+            &mut next_id,
+        )
+        .expect("lowerable");
+        let text = stmt.to_string();
+        assert!(text.contains("for r_0.x in [0, 0 + 7):"), "{text}");
+        assert!(!text.contains("vectorized"), "scans stay serial:\n{text}");
+
+        // Unknown variables refuse lowering (the interpreter keeps them).
+        let bogus = UpdateDef {
+            lhs: vec![Expr::var("nope")],
+            value: Expr::int(0),
+            rdom: RDom::with_constant_bounds("r_0", &[(0, 2)]),
+        };
+        assert!(lower_update(&f, &bogus, &[32], &Schedule::naive(), &params, &mut 0).is_none());
+    }
+
+    #[test]
+    fn resolve_rdom_dims_matches_interpreter_bounds() {
+        use crate::func::RDom;
+        let img = ImageParam::new("in", ScalarType::UInt8, 2);
+        let r = RDom::over_image("r_0", &img);
+        let params: BTreeMap<String, Value> = [
+            ("in.extent.0".to_string(), Value::Int(9)),
+            ("in.extent.1".to_string(), Value::Int(4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            resolve_rdom_dims(&r, &params),
+            vec![("r_0.x".to_string(), 0, 9), ("r_0.y".to_string(), 0, 4)]
+        );
+        let c = RDom::with_constant_bounds("r_1", &[(-2, 6)]);
+        assert_eq!(
+            resolve_rdom_dims(&c, &BTreeMap::new()),
+            vec![("r_1.x".to_string(), -2, 6)]
+        );
     }
 
     #[test]

@@ -235,6 +235,26 @@ pub enum Stmt {
         /// Value expression.
         value: Expr,
     },
+    /// A *guarded* store of a lowered update (reduction) definition:
+    /// `buffer[indices] = value` where — unlike [`Stmt::Store`], whose
+    /// indices are in range by loop construction — each index is clamped to
+    /// the buffer's extent exactly like [`crate::buffer::Buffer::set`]
+    /// (histogram left-hand sides index by *data*, which can land anywhere),
+    /// and `value` may read the buffer being written (the self-reference of
+    /// an accumulator). The executor therefore never vectorizes a guarded
+    /// store beyond what the enclosing loop's [`LoopKind`] explicitly allows
+    /// (the lowering pass marks a lane loop vectorized only when the
+    /// privatized-accumulation analysis proves per-lane writes disjoint).
+    ReduceStore {
+        /// Unique id in the same number space as [`Stmt::Store`] ids.
+        id: usize,
+        /// Destination buffer (the func being updated).
+        buffer: String,
+        /// Index expressions (the update's LHS), innermost dimension first.
+        indices: Vec<Expr>,
+        /// Value expression (may reference `buffer` itself).
+        value: Expr,
+    },
 }
 
 impl Stmt {
@@ -266,7 +286,7 @@ impl Stmt {
             Stmt::Allocate { body, .. } | Stmt::Produce { body, .. } | Stmt::For { body, .. } => {
                 body.visit(f);
             }
-            Stmt::Store { .. } => {}
+            Stmt::Store { .. } | Stmt::ReduceStore { .. } => {}
         }
     }
 
@@ -281,11 +301,23 @@ impl Stmt {
         n
     }
 
-    /// Number of `Store` statements in the tree.
+    /// Number of store statements in the tree (`Store` and `ReduceStore`
+    /// share one id number space, so this also bounds the next free id).
     pub fn store_count(&self) -> usize {
         let mut n = 0;
         self.visit(&mut |s| {
-            if matches!(s, Stmt::Store { .. }) {
+            if matches!(s, Stmt::Store { .. } | Stmt::ReduceStore { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of `ReduceStore` (guarded update) statements in the tree.
+    pub fn reduce_store_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if matches!(s, Stmt::ReduceStore { .. }) {
                 n += 1;
             }
         });
@@ -348,6 +380,15 @@ impl Stmt {
             } => {
                 let idx: Vec<String> = indices.iter().map(|e| e.to_string()).collect();
                 writeln!(f, "{pad}{buffer}[{}] = {value}", idx.join(", "))
+            }
+            Stmt::ReduceStore {
+                buffer,
+                indices,
+                value,
+                ..
+            } => {
+                let idx: Vec<String> = indices.iter().map(|e| e.to_string()).collect();
+                writeln!(f, "{pad}reduce {buffer}[{}] = {value}", idx.join(", "))
             }
         }
     }
@@ -471,6 +512,35 @@ mod tests {
         // A pure stencil over a distinct source does not self-alias.
         let clean = Expr::Image("in".into(), vec![Expr::var("x")]);
         assert!(!value_reads_buffer(&clean, "out"));
+    }
+
+    #[test]
+    fn reduce_stores_count_and_print() {
+        let nest = Stmt::Produce {
+            func: "hist".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(16),
+                kind: LoopKind::Serial,
+                body: Box::new(Stmt::ReduceStore {
+                    id: 1,
+                    buffer: "hist".into(),
+                    indices: vec![Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into())])],
+                    value: Expr::add(
+                        Expr::FuncRef(
+                            "hist".into(),
+                            vec![Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into())])],
+                        ),
+                        Expr::int(1),
+                    ),
+                }),
+            }),
+        };
+        assert_eq!(nest.store_count(), 1, "guarded stores share the id space");
+        assert_eq!(nest.reduce_store_count(), 1);
+        let text = nest.to_string();
+        assert!(text.contains("reduce hist[in("), "{text}");
     }
 
     #[test]
