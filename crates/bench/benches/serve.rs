@@ -1,0 +1,280 @@
+//! Serving-stack benchmark: request throughput and tail latency through
+//! `helium-serve`, plus the parallel-reduction accumulation split.
+//!
+//! Writes a machine-readable summary to `BENCH_serve.json` in the workspace
+//! root with four gated columns:
+//!
+//! * `serve_throughput_rps` — completed requests per second for a mixed
+//!   warm workload (a pure i64-lane stencil and the RDom histogram over
+//!   varying extents) pushed through a [`Server`] and collected via tickets;
+//! * `p50_ns` / `p99_ns` — submit→complete latency quantiles from the
+//!   server's HDR-style histogram;
+//! * `parallel_reduce_speedup` — warm-run time of the hist64_rdom pipeline
+//!   under `parallel = false` over the time under the default parallel
+//!   schedule, whose integer accumulator nest runs the privatize-then-merge
+//!   deferred-accumulation path. Both runs are asserted bit-identical to the
+//!   interpreter oracle (and the deferred path asserted active) before any
+//!   timing counts.
+//!
+//! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
+//! report from a reduced configuration — the CI `serve` job uses this and
+//! gates the four columns via `.github/scripts/bench_gate.py`.
+
+use criterion::{criterion_group, Criterion};
+use helium_bench::{hist64_pipeline, hist64_rdom_pipeline};
+use helium_halide::{
+    Buffer, CompileOptions, CompiledPipeline, CounterSnapshot, ExecBackend, RealizeInputs, Schedule,
+};
+use helium_serve::{ServeConfig, ServeRequest, Server, Ticket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn smoke_mode() -> bool {
+    std::env::var("HELIUM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Steady-state best-of-`reps` timing of warm runs of a compiled pipeline.
+fn time_compiled_runs(
+    compiled: &CompiledPipeline,
+    inputs: &RealizeInputs<'_>,
+    extents: &[usize],
+    reps: usize,
+) -> Duration {
+    let _ = compiled.run(inputs, extents).expect("warm-up run");
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let _ = compiled.run(inputs, extents).expect("run");
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Serial-vs-parallel split for the RDom histogram's accumulator nest:
+/// assert both schedules bit-identical to the interpreter oracle and the
+/// deferred privatize-then-merge path active, then time warm runs of both.
+/// Returns `(serial, parallel, speedup)`.
+fn parallel_reduce_split(rw: usize, rh: usize, reps: usize) -> (Duration, Duration, f64) {
+    let (pipeline, input) = hist64_rdom_pipeline(rw, rh, 0xB16B);
+    let inputs = RealizeInputs::new().with_image("in", &input);
+    let opts = CompileOptions::default();
+    let serial = pipeline
+        .compile(&Schedule::stencil_default().with_parallel(false), &opts)
+        .expect("compile serial");
+    let parallel = pipeline
+        .compile(&Schedule::stencil_default(), &opts)
+        .expect("compile parallel");
+    let oracle = pipeline
+        .compile(
+            &Schedule::stencil_default(),
+            &CompileOptions {
+                backend: ExecBackend::Interpret,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile oracle")
+        .run(&inputs, &[256])
+        .expect("oracle run");
+    assert_eq!(
+        serial.run(&inputs, &[256]).expect("serial run"),
+        oracle,
+        "serial schedule diverged from the oracle"
+    );
+    let counters = CounterSnapshot::take();
+    assert_eq!(
+        parallel.run(&inputs, &[256]).expect("parallel run"),
+        oracle,
+        "parallel schedule diverged from the oracle"
+    );
+    assert!(
+        counters.delta().parallel_reduce_merges >= 1,
+        "the deferred privatize-then-merge path must be active"
+    );
+    let serial_t = time_compiled_runs(&serial, &inputs, &[256], reps);
+    let parallel_t = time_compiled_runs(&parallel, &inputs, &[256], reps);
+    let speedup = serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-12);
+    println!(
+        "serve: hist64_rdom [{rw}, {rh}] serial={serial_t:?} parallel={parallel_t:?} \
+         parallel_reduce_speedup={speedup:.2}x"
+    );
+    (serial_t, parallel_t, speedup)
+}
+
+struct Workload {
+    compiled: Arc<CompiledPipeline>,
+    input: Arc<Buffer>,
+    input_name: &'static str,
+    extents: Vec<Vec<usize>>,
+}
+
+/// The mixed request set: the pure i64-lane histogram stencil and the RDom
+/// histogram reduction, each over several extents (distinct cache keys).
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let opts = CompileOptions::default();
+    let (pw, ph) = if smoke { (62, 46) } else { (126, 94) };
+    let (pure, pure_in) = hist64_pipeline(pw, ph, 0xA11CE);
+    let (rw, rh) = if smoke { (96, 64) } else { (192, 160) };
+    let (rdom, rdom_in) = hist64_rdom_pipeline(rw, rh, 0xB16B);
+    vec![
+        Workload {
+            compiled: Arc::new(
+                pure.compile(&Schedule::stencil_default(), &opts)
+                    .expect("compile pure"),
+            ),
+            input: Arc::new(pure_in),
+            input_name: "in",
+            extents: vec![vec![pw, ph], vec![pw / 2, ph / 2]],
+        },
+        Workload {
+            compiled: Arc::new(
+                rdom.compile(&Schedule::stencil_default(), &opts)
+                    .expect("compile rdom"),
+            ),
+            input: Arc::new(rdom_in),
+            input_name: "in",
+            extents: vec![vec![256], vec![128]],
+        },
+    ]
+}
+
+fn request_for(w: &Workload, i: usize) -> ServeRequest {
+    ServeRequest::new(Arc::clone(&w.compiled), &w.extents[i % w.extents.len()])
+        .with_image(w.input_name, Arc::clone(&w.input))
+}
+
+/// Push `requests` mixed requests through a server and collect every
+/// ticket; returns `(throughput_rps, latency digest)`. The caches are
+/// warmed by a preliminary round so the timed burst measures steady-state
+/// serving, not first-touch compilation.
+fn serve_throughput(
+    workers: usize,
+    queue_depth: usize,
+    requests: usize,
+) -> (f64, helium_serve::LatencySummary) {
+    let workloads = workloads(smoke_mode());
+    // Warm every (pipeline, extents) key once, directly.
+    for w in &workloads {
+        for e in &w.extents {
+            let inputs = RealizeInputs::new().with_image(w.input_name, &w.input);
+            let _ = w.compiled.run(&inputs, e).expect("warm-up");
+        }
+    }
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_queue_depth(queue_depth),
+    );
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let w = &workloads[i % workloads.len()];
+        tickets.push(
+            server
+                .submit(request_for(w, i / workloads.len()))
+                .expect("submit"),
+        );
+    }
+    for t in tickets {
+        let _ = t.wait().expect("served run");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-12);
+    let stats = server.stats();
+    assert_eq!(stats.completed, requests as u64);
+    assert_eq!(stats.failed, 0);
+    let rps = requests as f64 / elapsed;
+    println!(
+        "serve: {requests} requests on {} workers in {:.3}s -> {rps:.0} rps \
+         (p50={}ns p99={}ns max={}ns)",
+        server.worker_count(),
+        elapsed,
+        stats.latency.p50_ns,
+        stats.latency.p99_ns,
+        stats.latency.max_ns
+    );
+    let latency = stats.latency;
+    server.shutdown();
+    // Cache reconciliation on the served pipelines (sanity, not timing):
+    // sharded stats must sum to the aggregate and every miss must be a
+    // build or a coalesced wait.
+    for w in &workloads {
+        let stats = w.compiled.cache_stats();
+        let shards = w.compiled.cache_shard_stats();
+        assert_eq!(stats.hits, shards.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(stats.misses, shards.iter().map(|s| s.misses).sum::<u64>());
+        assert_eq!(
+            stats.misses,
+            w.compiled.compiles() + w.compiled.coalesced_compiles()
+        );
+    }
+    (rps, latency)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let workloads = workloads(false);
+    let server = Server::start(ServeConfig::default().with_workers(2));
+    for (name, w) in [
+        ("hist64_pure", &workloads[0]),
+        ("hist64_rdom", &workloads[1]),
+    ] {
+        // Warm the key so the group times steady-state round trips.
+        let _ = server
+            .submit(request_for(w, 0))
+            .expect("submit")
+            .wait()
+            .expect("warm");
+        group.bench_function(format!("{name}_round_trip"), |b| {
+            b.iter(|| {
+                server
+                    .submit(request_for(w, 0))
+                    .expect("submit")
+                    .wait()
+                    .expect("served run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn write_report(reps: usize, requests: usize) {
+    let smoke = smoke_mode();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let (rps, latency) = serve_throughput(workers, requests.max(16), requests);
+    let (rw, rh) = if smoke { (96, 64) } else { (256, 192) };
+    let (serial, parallel, speedup) = parallel_reduce_split(rw, rh, reps);
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"smoke\": {smoke},\n  \"workers\": {workers},\n  \
+         \"requests\": {requests},\n  \"serve_throughput_rps\": {rps:.3},\n  \
+         \"p50_ns\": {},\n  \"p99_ns\": {},\n  \"max_ns\": {},\n  \
+         \"parallel_reduce\": {{\"pipeline\": \"hist64_rdom\", \"extents\": [{rw}, {rh}], \
+         \"bins\": 256, \"serial_ns\": {}, \"parallel_ns\": {}}},\n  \
+         \"parallel_reduce_speedup\": {speedup:.3}\n}}\n",
+        latency.p50_ns,
+        latency.p99_ns,
+        latency.max_ns,
+        serial.as_nanos(),
+        parallel.as_nanos(),
+    );
+    // Anchor at the workspace root regardless of the bench's working dir.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("serve: wrote {}", path.display()),
+        Err(e) => eprintln!("serve: could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    if smoke_mode() {
+        println!("serve: HELIUM_BENCH_SMOKE set, running reduced report only");
+        write_report(8, 64);
+    } else {
+        benches();
+        write_report(24, 256);
+    }
+}

@@ -1,0 +1,99 @@
+//! Standalone driver for the serving stack: throughput and tail latency of
+//! `helium-serve` over a mixed warm workload, plus the parallel-reduction
+//! split, printed human-readably. The gated machine-readable report is
+//! written by `cargo bench --bench serve` (see `benches/serve.rs`); this
+//! binary is the quick interactive equivalent.
+
+use helium_bench::{hist64_pipeline, hist64_rdom_pipeline};
+use helium_halide::{CompileOptions, RealizeInputs, Schedule};
+use helium_serve::{ServeConfig, ServeRequest, Server, Ticket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn time<F: FnMut()>(mut f: F, reps: usize) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let requests = 256usize;
+
+    let opts = CompileOptions::default();
+    let (pure, pure_in) = hist64_pipeline(126, 94, 0xA11CE);
+    let pure = Arc::new(
+        pure.compile(&Schedule::stencil_default(), &opts)
+            .expect("compile"),
+    );
+    let pure_in = Arc::new(pure_in);
+    let (rdom, rdom_in) = hist64_rdom_pipeline(192, 160, 0xB16B);
+    let rdom = Arc::new(
+        rdom.compile(&Schedule::stencil_default(), &opts)
+            .expect("compile"),
+    );
+    let rdom_in = Arc::new(rdom_in);
+
+    println!("helium-serve: {workers} workers, {requests} mixed requests");
+    let server = Server::start(ServeConfig::default().with_workers(workers));
+    let start = Instant::now();
+    let tickets: Vec<Ticket> = (0..requests)
+        .map(|i| {
+            let request = if i % 2 == 0 {
+                ServeRequest::new(Arc::clone(&pure), &[126, 94])
+                    .with_image("in", Arc::clone(&pure_in))
+            } else {
+                ServeRequest::new(Arc::clone(&rdom), &[256]).with_image("in", Arc::clone(&rdom_in))
+            };
+            server.submit(request).expect("submit")
+        })
+        .collect();
+    for t in tickets {
+        let _ = t.wait().expect("served run");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    println!(
+        "  throughput: {:.0} rps ({requests} requests in {elapsed:.3}s)",
+        requests as f64 / elapsed
+    );
+    println!(
+        "  latency: p50={}ns p99={}ns max={}ns over {} samples",
+        stats.latency.p50_ns, stats.latency.p99_ns, stats.latency.max_ns, stats.latency.count
+    );
+    println!(
+        "  rdom cache: {:?} compiles={} coalesced={}",
+        rdom.cache_stats(),
+        rdom.compiles(),
+        rdom.coalesced_compiles()
+    );
+    server.shutdown();
+
+    // Parallel-reduce split on the histogram accumulator nest.
+    let (pipeline, input) = hist64_rdom_pipeline(256, 192, 0xB16B);
+    let inputs = RealizeInputs::new().with_image("in", &input);
+    let serial = pipeline
+        .compile(&Schedule::stencil_default().with_parallel(false), &opts)
+        .expect("compile serial");
+    let parallel = pipeline
+        .compile(&Schedule::stencil_default(), &opts)
+        .expect("compile parallel");
+    assert_eq!(
+        serial.run(&inputs, &[256]).expect("serial"),
+        parallel.run(&inputs, &[256]).expect("parallel"),
+        "schedules must agree bit-for-bit"
+    );
+    let ts = time(|| drop(serial.run(&inputs, &[256]).expect("run")), 24);
+    let tp = time(|| drop(parallel.run(&inputs, &[256]).expect("run")), 24);
+    println!(
+        "  parallel reduce: serial={ts:?} parallel={tp:?} speedup={:.2}x",
+        ts.as_secs_f64() / tp.as_secs_f64().max(1e-12)
+    );
+}

@@ -686,7 +686,7 @@ mod tests {
         let (pipeline, grid) = minigmg_residual_norm(19, 11, 5, 0x6116);
         let inputs = RealizeInputs::new().with_image("grid", &grid);
         let schedule = Schedule::stencil_default();
-        let before = helium_halide::reduce_chunks_executed();
+        let counters = helium_halide::CounterSnapshot::take();
         let compiled = pipeline
             .compile(
                 &schedule,
@@ -703,7 +703,7 @@ mod tests {
             "the norm update must not run through run_update: {counts:?}"
         );
         assert!(
-            helium_halide::reduce_chunks_executed() > before,
+            counters.delta().reduce_chunks > 0,
             "the norm must ride the fused tree-reduce"
         );
         let oracle = Realizer::new(schedule)

@@ -27,7 +27,7 @@
 use crate::bounds::{accumulate_func_bounds, Interval};
 use crate::buffer::{write_scalar, Buffer};
 use crate::cache::{binding_signature, fingerprint_pipeline, fingerprint_schedule};
-use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_CAPACITY};
 use crate::eval::{eval_expr, validate_bindings, EvalSources};
 use crate::exec::{self, ExecPlan, FusedStoreCounts};
 use crate::expr::Expr;
@@ -91,8 +91,17 @@ pub struct CompiledPipeline {
     simd: Option<exec::SimdMode>,
     pipeline_fp: u64,
     schedule_fp: u64,
-    cache: Mutex<ProgramCache<Arc<PreparedProgram>>>,
+    cache: ShardedCache<Arc<PreparedProgram>>,
 }
+
+// The serving layer shares one `CompiledPipeline` (and the plans inside it)
+// across worker threads; assert the whole stack is thread-shareable by
+// construction so a non-Sync field can never sneak in unnoticed.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledPipeline>();
+    assert_send_sync::<PreparedProgram>();
+};
 
 impl Pipeline {
     /// Compile this pipeline under `schedule` for repeated realization.
@@ -118,7 +127,7 @@ impl Pipeline {
             schedule: schedule.clone(),
             backend: options.backend,
             simd: options.simd,
-            cache: Mutex::new(ProgramCache::new(options.cache_capacity)),
+            cache: ShardedCache::new(options.cache_capacity),
         })
     }
 }
@@ -238,15 +247,35 @@ impl CompiledPipeline {
         )
     }
 
-    /// Hit/miss/eviction counters of the internal program cache. A warm run
-    /// shows up as a hit — the proof that it did no planning or lowering.
+    /// Hit/miss/eviction counters of the internal program cache, aggregated
+    /// across its shards. A warm run shows up as a hit — the proof that it
+    /// did no planning or lowering.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("program cache mutex").stats()
+        self.cache.stats()
+    }
+
+    /// The per-shard counter view behind [`Self::cache_stats`].
+    pub fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Programs actually compiled by cache misses. With
+    /// [`Self::coalesced_compiles`] this reconciles against the aggregated
+    /// miss counter: `misses == compiles + coalesced_compiles`.
+    pub fn compiles(&self) -> u64 {
+        self.cache.builds()
+    }
+
+    /// Cache misses that joined a concurrent identical compilation (same
+    /// pipeline fingerprint × extents × binding signature) instead of
+    /// compiling again — the request-coalescing counter.
+    pub fn coalesced_compiles(&self) -> u64 {
+        self.cache.coalesced_waits()
     }
 
     /// Number of cached prepared programs.
     pub fn cached_programs(&self) -> usize {
-        self.cache.lock().expect("program cache mutex").len()
+        self.cache.len()
     }
 }
 
@@ -262,7 +291,7 @@ pub(crate) fn realize_with_cache(
     output_extents: &[usize],
     inputs: &RealizeInputs<'_>,
     key: CacheKey,
-    cache: &Mutex<ProgramCache<Arc<PreparedProgram>>>,
+    cache: &ShardedCache<Arc<PreparedProgram>>,
 ) -> Result<Buffer, RealizeError> {
     let program = program_for(
         pipeline,
@@ -286,7 +315,7 @@ fn program_for(
     output_extents: &[usize],
     inputs: &RealizeInputs<'_>,
     key: CacheKey,
-    cache: &Mutex<ProgramCache<Arc<PreparedProgram>>>,
+    cache: &ShardedCache<Arc<PreparedProgram>>,
 ) -> Result<Arc<PreparedProgram>, RealizeError> {
     // Dimension mismatches are cheap to detect and must not poison the cache.
     let output = pipeline.output_func();
@@ -296,25 +325,17 @@ fn program_for(
             got: output_extents.len(),
         });
     }
-    let cached = cache.lock().expect("program cache mutex").get(&key);
-    Ok(match cached {
-        Some(p) => p,
-        None => {
-            // Build outside the lock: compilation is the expensive part and
-            // must not serialize concurrent realizes of *other* programs.
-            let built = Arc::new(PreparedProgram::build(
-                pipeline,
-                schedule,
-                backend,
-                output_extents,
-                inputs,
-            )?);
-            cache
-                .lock()
-                .expect("program cache mutex")
-                .insert(key, Arc::clone(&built));
-            built
-        }
+    // The build runs with no shard lock held, so compilation never serializes
+    // concurrent realizes of *other* programs; concurrent misses on this same
+    // key coalesce into one build and share the Arc.
+    cache.get_or_build(&key, || {
+        Ok(Arc::new(PreparedProgram::build(
+            pipeline,
+            schedule,
+            backend,
+            output_extents,
+            inputs,
+        )?))
     })
 }
 
@@ -1480,7 +1501,7 @@ mod tests {
             expect = expect.wrapping_add(v * v);
         }
         let inputs = RealizeInputs::new().with_image("in", &input);
-        let before = exec::reduce_chunks_executed();
+        let counters = exec::CounterSnapshot::take();
         // Pin the fused tier so an inherited HELIUM_FORCE_SCALAR cannot
         // silently skip the kernel this test asserts on.
         let compiled = p
@@ -1502,7 +1523,7 @@ mod tests {
             }
         );
         assert!(
-            exec::reduce_chunks_executed() > before,
+            counters.delta().reduce_chunks > 0,
             "the accumulator must run the fused tree-reduce epilogue"
         );
         // ForceScalar pins the per-op path; results stay bit-identical.

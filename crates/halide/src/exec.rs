@@ -147,6 +147,11 @@ pub const MAX_CHUNK: usize = 32;
 /// accumulation is peephole-fused) use the per-op tier.
 const V_STACK: usize = 8;
 
+/// Cap on `workers × Σ merged-buffer cells` for parallel-reduce deferred
+/// accumulation: beyond this the private side buffers would cost more than
+/// the reduction saves, so the nest degrades to the serial reference path.
+const MERGE_MAX_CELLS: usize = 4 << 20;
+
 // ---------------------------------------------------------------------------
 // Execution-tier selection
 // ---------------------------------------------------------------------------
@@ -182,6 +187,11 @@ static FUSED_TAILS: AtomicU64 = AtomicU64::new(0);
 /// Chunks accumulated by fused reduction kernels (the in-lane tree-reduce
 /// epilogue of lowered update definitions), for observability and tests.
 static REDUCE_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// Private accumulator buffers merged into an output by the parallel
+/// reduction accumulation path (one per merged buffer per
+/// [`LoopKind::ParallelReduce`] nest execution), for observability and tests.
+static PARALLEL_REDUCE_MERGES: AtomicU64 = AtomicU64::new(0);
 
 fn env_simd_mode() -> SimdMode {
     static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
@@ -241,6 +251,62 @@ pub fn fused_tail_chunks_executed() -> u64 {
 /// (monotonic; for tests and observability).
 pub fn reduce_chunks_executed() -> u64 {
     REDUCE_CHUNKS.load(Ordering::Relaxed)
+}
+
+/// Number of private accumulator buffers merged into outputs by the parallel
+/// reduction accumulation path since process start (monotonic; for tests and
+/// observability).
+pub fn parallel_reduce_merges_executed() -> u64 {
+    PARALLEL_REDUCE_MERGES.load(Ordering::Relaxed)
+}
+
+/// A scoped snapshot of the global execution counters, for tests that assert
+/// exact deltas.
+///
+/// The counters are process-wide and monotonic, so a read-then-reset pattern
+/// races against concurrently executing pipelines (another thread's
+/// increments land between the read and the reset and are misattributed).
+/// Snapshot/diff never resets: [`CounterSnapshot::take`] captures the
+/// monotonic values, [`CounterSnapshot::delta`] subtracts a later snapshot —
+/// concurrent activity can only *add* to a delta, never corrupt another
+/// thread's baseline. Tests asserting exact counts should still serialize
+/// their own executions (the counters cannot attribute increments to
+/// pipelines), but unrelated parallel tests no longer flake each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// [`fused_rows_executed`] at snapshot time.
+    pub fused_rows: u64,
+    /// [`fused_tail_chunks_executed`] at snapshot time.
+    pub fused_tails: u64,
+    /// [`reduce_chunks_executed`] at snapshot time.
+    pub reduce_chunks: u64,
+    /// [`parallel_reduce_merges_executed`] at snapshot time.
+    pub parallel_reduce_merges: u64,
+}
+
+impl CounterSnapshot {
+    /// Capture the current values of every execution counter.
+    pub fn take() -> CounterSnapshot {
+        CounterSnapshot {
+            fused_rows: fused_rows_executed(),
+            fused_tails: fused_tail_chunks_executed(),
+            reduce_chunks: reduce_chunks_executed(),
+            parallel_reduce_merges: parallel_reduce_merges_executed(),
+        }
+    }
+
+    /// The per-counter increments since this snapshot was taken.
+    pub fn delta(&self) -> CounterSnapshot {
+        let now = CounterSnapshot::take();
+        CounterSnapshot {
+            fused_rows: now.fused_rows.saturating_sub(self.fused_rows),
+            fused_tails: now.fused_tails.saturating_sub(self.fused_tails),
+            reduce_chunks: now.reduce_chunks.saturating_sub(self.reduce_chunks),
+            parallel_reduce_merges: now
+                .parallel_reduce_merges
+                .saturating_sub(self.parallel_reduce_merges),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -404,6 +470,43 @@ struct CompiledStore {
     /// `g` fuses on an integer lane family: chunks of `g` are evaluated in
     /// lanes and folded with a wrapping tree-reduce.
     reduce: Option<ReduceKernel>,
+    /// The deferred-accumulation plan, when the guarded store admits
+    /// privatize-then-merge parallel reduction (see [`MergeAcc`]).
+    merge: Option<MergeAcc>,
+}
+
+/// A guarded store admissible for *deferred accumulation*: the engine of
+/// [`LoopKind::ParallelReduce`]. Applies to updates of the shape
+/// `F[lhs] = C(F[lhs] + g(...))` where `C` is a chain of integer casts each
+/// at least as wide as `F`'s element type, the self-read is exactly the LHS
+/// point, and neither `g` nor the LHS index expressions read `F`.
+///
+/// Instead of the per-element read-modify-write, each worker evaluates the
+/// LHS indices and `g` in lane batches over its slice of the reduction
+/// domain and adds raw `i64` sums into a private per-thread buffer; the
+/// buffers are then merged into `F` with one wrapping add and one truncating
+/// store per touched cell.
+///
+/// **Exactness.** The reference applies `v ← read(write(C(v + gᵢ)))` per
+/// element. Since every cast in `C` has width ≥ `F`'s element width
+/// `w_out`, each step — cast chain, truncating store, extending load — is
+/// congruent to the identity mod `2^w_out`, so the stored bytes after any
+/// prefix of updates equal `(v₀ + Σ gᵢ) mod 2^w_out`. Addition commutes and
+/// reassociates freely mod `2^w_out`, so accumulating the `gᵢ` in any order
+/// and merging once is bit-identical — including cells never touched, whose
+/// merge is skipped (a zero total would round-trip their bytes unchanged
+/// anyway). Index and value loads clamp identically on every path
+/// ([`TOp::Load`] is clamped), so batching needs no interior/boundary
+/// splitting.
+#[derive(Debug, Clone)]
+struct MergeAcc {
+    /// The lane-batched program computing `g` (integer result).
+    g_prog: Program,
+    /// Every slot read by the LHS index programs or `g`. If any of them is
+    /// also written by a store merged in the same nest, the runner degrades
+    /// to the serial reference path (privatization would reorder those
+    /// reads relative to the writes).
+    read_slots: Vec<usize>,
 }
 
 // ---------------------------------------------------------------------------
@@ -2061,6 +2164,11 @@ impl PrepareCtx<'_> {
             }
             _ => (None, None),
         };
+        let merge = if clamp {
+            self.build_merge(slot, buffer, indices, value, &exec)
+        } else {
+            None
+        };
         if self.stores.len() <= id {
             self.stores.resize_with(id + 1, || None);
         }
@@ -2070,8 +2178,80 @@ impl PrepareCtx<'_> {
             fused,
             clamp,
             reduce,
+            merge,
         });
         Ok(())
+    }
+
+    /// Attempt the deferred-accumulation plan for a guarded store: peel the
+    /// integer cast chain, split off the exact self-read, compile `g`, and
+    /// record the slots the store reads (see [`MergeAcc`] for the
+    /// admissibility conditions and the exactness argument). Best-effort —
+    /// any failure keeps `merge = None` and the nest runs serially.
+    fn build_merge(
+        &mut self,
+        slot: usize,
+        buffer: &str,
+        indices: &[Expr],
+        value: &Expr,
+        exec: &StoreExec,
+    ) -> Option<MergeAcc> {
+        let StoreExec::Typed(t) = exec else {
+            return None;
+        };
+        let out_ty = self.decls[slot].ty;
+        if matches!(out_ty, ScalarType::Float32 | ScalarType::Float64) {
+            return None;
+        }
+        // Peel the cast chain: every cast must be integer and at least as
+        // wide as the output element, so the chain is the identity on the
+        // stored bytes and the merge needs no cast replay.
+        let mut inner = value;
+        while let Expr::Cast(ty, e) = inner {
+            if matches!(ty, ScalarType::Float32 | ScalarType::Float64)
+                || ty.bytes() < out_ty.bytes()
+            {
+                return None;
+            }
+            inner = e;
+        }
+        let Expr::Binary(BinOp::Add, a, b) = inner else {
+            return None;
+        };
+        let is_self_read = |e: &Expr| {
+            matches!(e, Expr::FuncRef(name, args)
+                if name == buffer && args.as_slice() == indices)
+        };
+        let g = match (is_self_read(a), is_self_read(b)) {
+            (true, false) => b.as_ref(),
+            (false, true) => a.as_ref(),
+            _ => return None,
+        };
+        if value_reads_buffer(g, buffer) || indices.iter().any(|i| value_reads_buffer(i, buffer)) {
+            return None;
+        }
+        let compiler = Compiler {
+            var_depths: &self.var_depths,
+            slot_ids: &self.slot_ids,
+            decls: &self.decls,
+            params: self.params,
+        };
+        let g_prog = match compiler.compile_program(g, false) {
+            Ok(p) if !p.float_result => p,
+            _ => return None,
+        };
+        let mut read_slots: Vec<usize> = Vec::new();
+        for p in t.index_progs.iter().chain(std::iter::once(&g_prog)) {
+            for op in &p.ops {
+                if let TOp::Load { slot, .. } = op {
+                    if !read_slots.contains(slot) {
+                        read_slots.push(*slot);
+                    }
+                }
+            }
+        }
+        self.max_stack = self.max_stack.max(g_prog.max_stack);
+        Some(MergeAcc { g_prog, read_slots })
     }
 }
 
@@ -2329,6 +2509,13 @@ impl Runner<'_> {
                             Some(e) => Err(e),
                             None => Ok(()),
                         }
+                    }
+                    LoopKind::ParallelReduce { threads }
+                        if !in_parallel && extent > 1 && self.mode != SimdMode::ForceScalar =>
+                    {
+                        self.run_parallel_reduce(
+                            var, min, extent, *threads, body, binds, env, vars, scratch,
+                        )
                     }
                     _ => self.run_serial_loop(
                         var,
@@ -2631,6 +2818,436 @@ impl Runner<'_> {
         out_bind.write(byte_off, &tmp[..eb]);
         // Post-peel continues from the updated accumulator.
         self.general_range(store_id, lane_depth, hi + 1, end, 1, binds, vars, scratch)
+    }
+
+    /// Whether every statement under a [`LoopKind::ParallelReduce`] loop is
+    /// admissible for deferred accumulation, collecting the merged store ids:
+    /// only blocks, serial/vectorized loops, and guarded stores that compiled
+    /// a [`MergeAcc`] plan. Anything else — nested parallel loops, scoped
+    /// allocations, pure stores, fallback stores — degrades the nest to the
+    /// serial reference path.
+    fn collect_merge_stores(&self, stmt: &Stmt, ids: &mut Vec<usize>) -> bool {
+        match stmt {
+            Stmt::Block(stmts) => stmts.iter().all(|s| self.collect_merge_stores(s, ids)),
+            Stmt::For { kind, body, .. } => {
+                matches!(kind, LoopKind::Serial | LoopKind::Vectorized { .. })
+                    && self.collect_merge_stores(body, ids)
+            }
+            Stmt::ReduceStore { id, .. } => {
+                let store = self.prepared.stores[*id].as_ref().expect("store compiled");
+                if store.clamp && store.merge.is_some() {
+                    ids.push(*id);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Execute a [`LoopKind::ParallelReduce`] loop by privatize-then-merge
+    /// deferred accumulation (see [`MergeAcc`] for the exactness argument):
+    /// split the reduction domain across workers, each accumulating raw
+    /// `i64` sums of `g` into private per-buffer side arrays, then merge
+    /// them into the outputs with one wrapping add and one truncating store
+    /// per touched cell.
+    ///
+    /// Even a single worker takes the deferred path: per element it skips
+    /// the accumulator self-read, the second evaluation of the LHS indices
+    /// inside the value program, and the per-step cast replay — and batches
+    /// the index and `g` programs [`MAX_LANES`] lanes at a time, where the
+    /// serial guarded path is pinned to one lane per dispatch.
+    ///
+    /// Degrades to [`Runner::run_serial_loop`] (bit-identical by the
+    /// exactness argument, and the reference order when it matters) whenever
+    /// the body is not admissible, a merged store reads a merged output, or
+    /// the private buffers would exceed [`MERGE_MAX_CELLS`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel_reduce(
+        &self,
+        var: &str,
+        min: i64,
+        extent: i64,
+        threads: usize,
+        body: &Stmt,
+        binds: &mut BindTable,
+        env: &mut Vec<(String, i64)>,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let mut ids = Vec::new();
+        let admissible = self.collect_merge_stores(body, &mut ids) && !ids.is_empty();
+        let store_slot = |id: usize| match &self.prepared.stores[id]
+            .as_ref()
+            .expect("store compiled")
+            .exec
+        {
+            StoreExec::Typed(t) => t.slot,
+            StoreExec::Fallback(_) => unreachable!("merge stores are typed"),
+        };
+        // Merged output slots, deduped (stores sharing a buffer share its
+        // side array, preserving their relative accumulation).
+        let mut slots: Vec<usize> = Vec::new();
+        if admissible {
+            for &id in &ids {
+                let slot = store_slot(id);
+                if !slots.contains(&slot) {
+                    slots.push(slot);
+                }
+            }
+        }
+        // A merged store whose indices or `g` read a merged output would
+        // observe privatized (deferred) writes out of order — run serially.
+        let coherent = admissible
+            && ids.iter().all(|&id| {
+                let store = self.prepared.stores[id].as_ref().expect("store compiled");
+                let merge = store.merge.as_ref().expect("admissible store has a plan");
+                !merge.read_slots.iter().any(|r| slots.contains(r))
+            });
+        let cells: Vec<usize> = slots
+            .iter()
+            .map(|&slot| {
+                let bind = binds.0[slot].as_ref().expect("store target bound");
+                bind.byte_len / self.prepared.decls[slot].ty.bytes()
+            })
+            .collect();
+        let avail = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let workers = avail.min(extent as usize).max(1);
+        let total_cells: usize = cells.iter().sum();
+        if !coherent || workers.saturating_mul(total_cells) > MERGE_MAX_CELLS {
+            return self
+                .run_serial_loop(var, min, extent, 1, body, binds, env, vars, scratch, false);
+        }
+        let mut worker_bufs: Vec<Vec<Vec<i64>>> = (0..workers)
+            .map(|_| cells.iter().map(|&c| vec![0i64; c]).collect())
+            .collect();
+        if workers == 1 {
+            self.accumulate_outer(
+                var,
+                min,
+                min + extent,
+                body,
+                &slots,
+                &mut worker_bufs[0],
+                binds,
+                env,
+                vars,
+                scratch,
+            )?;
+        } else {
+            let chunk = (extent as usize).div_ceil(workers);
+            let errors = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for (w, bufs) in worker_bufs.iter_mut().enumerate() {
+                    let start = min + (w * chunk) as i64;
+                    let end = (min + extent).min(start + chunk as i64);
+                    if start >= end {
+                        continue;
+                    }
+                    let binds = binds.clone();
+                    let mut env = env.clone();
+                    let mut vars = vars.to_vec();
+                    let errors = &errors;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::new(self.prepared);
+                        if let Err(e) = self.accumulate_outer(
+                            var,
+                            start,
+                            end,
+                            body,
+                            slots,
+                            bufs,
+                            &binds,
+                            &mut env,
+                            &mut vars,
+                            &mut scratch,
+                        ) {
+                            errors.lock().expect("error mutex").push(e);
+                        }
+                    });
+                }
+            });
+            let mut errs = errors.into_inner().expect("error mutex");
+            if let Some(e) = errs.pop() {
+                // Nothing was merged: the outputs are untouched.
+                return Err(e);
+            }
+        }
+        // Merge: per buffer, fold the workers' sums cell-wise and apply each
+        // nonzero total with one wrapping add and one truncating store — a
+        // zero total (untouched, or touched summing to zero) round-trips the
+        // stored bytes unchanged, so skipping it is exact.
+        for (bi, &slot) in slots.iter().enumerate() {
+            let bind = binds.0[slot].as_ref().expect("store target bound");
+            let ty = self.prepared.decls[slot].ty;
+            let eb = ty.bytes();
+            let mut tmp = [0u8; 8];
+            for off in 0..cells[bi] {
+                let mut total = 0i64;
+                for bufs in &worker_bufs {
+                    total = total.wrapping_add(bufs[bi][off]);
+                }
+                if total == 0 {
+                    continue;
+                }
+                let byte = off * eb;
+                let raw = crate::buffer::read_scalar(ty, &bind.data()[byte..byte + eb]).as_i64();
+                crate::buffer::write_scalar(
+                    ty,
+                    Value::Int(raw.wrapping_add(total)),
+                    &mut tmp[..eb],
+                );
+                bind.write(byte, &tmp[..eb]);
+            }
+            PARALLEL_REDUCE_MERGES.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// One worker's slice `[start, end)` of a parallel-reduce loop: push the
+    /// loop variable and accumulate the body per iteration — or, when the
+    /// tagged loop is itself the innermost store loop (a 1-D reduction
+    /// domain), hand the whole slice to the lane-batched store path.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_outer(
+        &self,
+        var: &str,
+        start: i64,
+        end: i64,
+        body: &Stmt,
+        slots: &[usize],
+        side: &mut [Vec<i64>],
+        binds: &BindTable,
+        env: &mut Vec<(String, i64)>,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        let depth = env.len();
+        env.push((var.to_string(), start));
+        let result = (|| {
+            if let Stmt::ReduceStore { id, .. } = body {
+                vars[depth] = start;
+                return self.accumulate_store_loop(
+                    *id,
+                    depth,
+                    start,
+                    end - start,
+                    slots,
+                    side,
+                    binds,
+                    vars,
+                    scratch,
+                );
+            }
+            for i in start..end {
+                env[depth].1 = i;
+                vars[depth] = i;
+                self.accumulate(body, slots, side, binds, env, vars, scratch)?;
+            }
+            Ok(())
+        })();
+        env.pop();
+        result
+    }
+
+    /// The deferred-accumulation walker over an admissible parallel-reduce
+    /// body (mirrors [`Runner::run`]'s serial structure for the statement
+    /// kinds the admissibility walk admits).
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate(
+        &self,
+        stmt: &Stmt,
+        slots: &[usize],
+        side: &mut [Vec<i64>],
+        binds: &BindTable,
+        env: &mut Vec<(String, i64)>,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.accumulate(s, slots, side, binds, env, vars, scratch)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                min,
+                extent,
+                body,
+                ..
+            } => {
+                let min = eval_scalar(min, env)?;
+                let extent = eval_scalar(extent, env)?.max(0);
+                self.accumulate_outer(
+                    var,
+                    min,
+                    min + extent,
+                    body,
+                    slots,
+                    side,
+                    binds,
+                    env,
+                    vars,
+                    scratch,
+                )
+            }
+            Stmt::ReduceStore { id, .. } => {
+                // A bare store at the current environment: one element.
+                let lane_depth = self.prepared.stores[*id]
+                    .as_ref()
+                    .expect("store compiled")
+                    .lane_depth;
+                let at = vars[lane_depth];
+                self.accumulate_store_loop(
+                    *id, lane_depth, at, 1, slots, side, binds, vars, scratch,
+                )
+            }
+            _ => unreachable!("admissibility walk rejected this statement"),
+        }
+    }
+
+    /// Accumulate one innermost store loop `[min, min+extent)` into the
+    /// store's side buffer. Loop-invariant accumulators keep riding the
+    /// existing fused tree-reduce chunks ([`ReduceKernel`]) — the partial
+    /// sums land in the side-buffer cell instead of the output — so that
+    /// family loses nothing to deferral; everything else (and the chunk
+    /// peels) runs the lane-batched element path.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_store_loop(
+        &self,
+        id: usize,
+        lane_depth: usize,
+        min: i64,
+        extent: i64,
+        slots: &[usize],
+        side: &mut [Vec<i64>],
+        binds: &BindTable,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) -> Result<(), RealizeError> {
+        if extent <= 0 {
+            return Ok(());
+        }
+        let store = self.prepared.stores[id].as_ref().expect("store compiled");
+        let StoreExec::Typed(t) = &store.exec else {
+            unreachable!("merge stores are typed");
+        };
+        let merge = store.merge.as_ref().expect("admissible store has a plan");
+        let buf_idx = slots
+            .iter()
+            .position(|&s| s == t.slot)
+            .expect("merged slot");
+        let end = min + extent;
+        debug_assert_eq!(store.lane_depth, lane_depth, "lane depth mismatch");
+        if let Some(rk) = &store.reduce {
+            let (lo, hi) = tap_interior(&rk.taps, binds, vars, min, end, &mut scratch.tap_bases);
+            let w = rk.chunk_width();
+            if lo <= hi && hi + 1 - lo >= w as i64 {
+                let out_bind = binds.0[t.slot].as_ref().expect("store target bound");
+                let mut out_off = 0usize;
+                for (d, aff) in rk.out_dims.iter().enumerate() {
+                    let i = aff.eval(vars).clamp(0, out_bind.extents[d] as i64 - 1) as usize;
+                    out_off += i * out_bind.strides[d];
+                }
+                self.accumulate_elements(
+                    t, merge, lane_depth, min, lo, buf_idx, side, binds, vars, scratch,
+                );
+                let mut acc = 0i64;
+                let mut x = lo;
+                while x <= hi {
+                    let n = (w as i64).min(hi + 1 - x) as usize;
+                    acc = acc.wrapping_add(dispatch_reduce_chunk(
+                        rk,
+                        x,
+                        n,
+                        &scratch.tap_bases,
+                        lane_depth,
+                        binds,
+                        vars,
+                    ));
+                    x += n as i64;
+                    REDUCE_CHUNKS.fetch_add(1, Ordering::Relaxed);
+                }
+                side[buf_idx][out_off] = side[buf_idx][out_off].wrapping_add(acc);
+                self.accumulate_elements(
+                    t,
+                    merge,
+                    lane_depth,
+                    hi + 1,
+                    end,
+                    buf_idx,
+                    side,
+                    binds,
+                    vars,
+                    scratch,
+                );
+                return Ok(());
+            }
+        }
+        self.accumulate_elements(
+            t, merge, lane_depth, min, end, buf_idx, side, binds, vars, scratch,
+        );
+        Ok(())
+    }
+
+    /// The lane-batched deferred element path over `[from, to)`: evaluate
+    /// the LHS index programs and `g` [`MAX_LANES`] lanes at a time, clamp
+    /// each destination like `Buffer::set`, and add the raw `g` values into
+    /// the side buffer. No interior/boundary split is needed — every load in
+    /// the programs clamps exactly like the reference semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_elements(
+        &self,
+        t: &TypedStore,
+        merge: &MergeAcc,
+        lane_depth: usize,
+        from: i64,
+        to: i64,
+        buf_idx: usize,
+        side: &mut [Vec<i64>],
+        binds: &BindTable,
+        vars: &mut [i64],
+        scratch: &mut Scratch,
+    ) {
+        if from >= to {
+            return;
+        }
+        let bind = binds.0[t.slot].as_ref().expect("store target bound");
+        let arity = t.index_progs.len();
+        let base = vars[lane_depth];
+        let buf = &mut side[buf_idx];
+        let mut i = from;
+        while i < to {
+            let n = MAX_LANES.min((to - i) as usize);
+            vars[lane_depth] = i;
+            for (d, prog) in t.index_progs.iter().enumerate() {
+                run_program(prog, lane_depth, n, binds, vars, scratch);
+                for l in 0..n {
+                    scratch.idx[d * MAX_LANES + l] = scratch.ints[l];
+                }
+            }
+            run_program(&merge.g_prog, lane_depth, n, binds, vars, scratch);
+            for l in 0..n {
+                let mut off = 0usize;
+                for d in 0..arity {
+                    let idx = scratch.idx[d * MAX_LANES + l].clamp(0, bind.extents[d] as i64 - 1);
+                    off += (idx as usize) * bind.strides[d];
+                }
+                buf[off] = buf[off].wrapping_add(scratch.ints[l]);
+            }
+            i += n as i64;
+        }
+        vars[lane_depth] = base;
     }
 
     /// Dispatch `n` lanes of a store starting at the current lane variable.
@@ -5037,5 +5654,207 @@ mod tests {
         assert_eq!(out.get(&[1]).as_i64(), 1);
         assert_eq!(out.get(&[2]).as_i64(), 1);
         assert_eq!(out.get(&[3]).as_i64(), 3);
+    }
+
+    /// 2-D histogram nest with a [`LoopKind::ParallelReduce`] outer loop, the
+    /// shape `lower_update` tags for `reduce hist[in(r.x, r.y)] += 1`.
+    fn parallel_hist_nest(w: i64, h: i64, threads: usize) -> Stmt {
+        let lhs = Expr::Image(
+            "in".into(),
+            vec![Expr::RVar("r_0.x".into()), Expr::RVar("r_0.y".into())],
+        );
+        Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.y".into(),
+                min: Expr::int(0),
+                extent: Expr::int(h),
+                kind: LoopKind::ParallelReduce { threads },
+                body: Box::new(Stmt::For {
+                    var: "r_0.x".into(),
+                    min: Expr::int(0),
+                    extent: Expr::int(w),
+                    kind: LoopKind::Serial,
+                    body: Box::new(Stmt::ReduceStore {
+                        id: 0,
+                        buffer: "out".into(),
+                        indices: vec![lhs.clone()],
+                        value: Expr::cast(
+                            ScalarType::UInt64,
+                            Expr::add(Expr::FuncRef("out".into(), vec![lhs]), Expr::int(1)),
+                        ),
+                    }),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_histogram_matches_serial_reference() {
+        for threads in [1usize, 4] {
+            let plan = plan_for(parallel_hist_nest(23, 9, threads), ScalarType::UInt64);
+            let img = input(23, 9, 0xB16B);
+            let images: BTreeMap<String, &Buffer> =
+                [("in".to_string(), &img)].into_iter().collect();
+            // ForceScalar degrades the tagged loop to the serial reference
+            // path — the oracle for the deferred run.
+            let mut reference = Buffer::new(ScalarType::UInt64, &[64]);
+            run_with_mode(
+                &plan,
+                &mut reference,
+                &images,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+                SimdMode::ForceScalar,
+            )
+            .expect("scalar run");
+            let before = CounterSnapshot::take();
+            let mut deferred = Buffer::new(ScalarType::UInt64, &[64]);
+            run_with_mode(
+                &plan,
+                &mut deferred,
+                &images,
+                &BTreeMap::new(),
+                &BTreeMap::new(),
+                SimdMode::Auto,
+            )
+            .expect("deferred run");
+            assert_eq!(reference, deferred, "threads {threads}");
+            assert!(
+                before.delta().parallel_reduce_merges >= 1,
+                "deferred path must have merged (threads {threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_accumulator_rides_fused_chunks() {
+        // A loop-invariant accumulator under a ParallelReduce loop: the
+        // deferred path routes the interior through the existing fused
+        // tree-reduce chunks, accumulating into the side-buffer cell.
+        let g = Expr::cast(
+            ScalarType::UInt64,
+            Expr::Image("in".into(), vec![Expr::RVar("r_0.x".into()), Expr::int(0)]),
+        );
+        let extent = 257i64;
+        let nest = Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(extent),
+                kind: LoopKind::ParallelReduce { threads: 2 },
+                body: Box::new(Stmt::ReduceStore {
+                    id: 0,
+                    buffer: "out".into(),
+                    indices: vec![Expr::int(0)],
+                    value: accum_value(g),
+                }),
+            }),
+        };
+        let plan = plan_for(nest, ScalarType::UInt64);
+        assert_eq!(
+            plan.reduce_store_counts().lanes_i64,
+            1,
+            "the reduce kernel must still compile under ParallelReduce"
+        );
+        let img = input(300, 1, 99);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let expect: u64 = (0..extent as usize)
+            .map(|i| img.get(&[i as i64, 0]).as_i64() as u64)
+            .fold(0, u64::wrapping_add);
+        let before = CounterSnapshot::take();
+        let mut out = Buffer::new(ScalarType::UInt64, &[1]);
+        run_with_mode(
+            &plan,
+            &mut out,
+            &images,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            SimdMode::Auto,
+        )
+        .expect("run");
+        assert_eq!(out.get(&[0]).as_i64() as u64, expect);
+        let delta = before.delta();
+        assert!(delta.parallel_reduce_merges >= 1, "merge must have run");
+        assert!(delta.reduce_chunks >= 1, "interior must ride fused chunks");
+    }
+
+    #[test]
+    fn parallel_reduce_degrades_to_serial_when_merge_inadmissible() {
+        // g reads the accumulator buffer, so no deferred plan compiles and
+        // the tagged nest must fall back to the serial reference order
+        // (which this order-dependent recurrence detects exactly).
+        let lhs = Expr::RVar("r_0.x".into());
+        let nest = Stmt::Produce {
+            func: "out".into(),
+            body: Box::new(Stmt::For {
+                var: "r_0.x".into(),
+                min: Expr::int(0),
+                extent: Expr::int(8),
+                kind: LoopKind::ParallelReduce { threads: 4 },
+                body: Box::new(Stmt::ReduceStore {
+                    id: 0,
+                    buffer: "out".into(),
+                    indices: vec![lhs.clone()],
+                    value: Expr::cast(
+                        ScalarType::UInt64,
+                        Expr::add(
+                            Expr::FuncRef("out".into(), vec![lhs]),
+                            Expr::add(
+                                Expr::FuncRef("out".into(), vec![Expr::int(0)]),
+                                Expr::int(1),
+                            ),
+                        ),
+                    ),
+                }),
+            }),
+        };
+        let plan =
+            prepare(nest, "out", ScalarType::UInt64, &[], &[], &BTreeMap::new()).expect("prepare");
+        let mut out = Buffer::new(ScalarType::UInt64, &[8]);
+        run_with_mode(
+            &plan,
+            &mut out,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            SimdMode::Auto,
+        )
+        .expect("run");
+        // Serial order: out[0] = 0 + (0 + 1) = 1, then every later element
+        // reads the updated out[0]: out[r] = 0 + (1 + 1) = 2.
+        assert_eq!(out.get(&[0]).as_i64(), 1);
+        for r in 1..8 {
+            assert_eq!(out.get(&[r]).as_i64(), 2, "element {r}");
+        }
+    }
+
+    #[test]
+    fn counter_snapshot_delta_is_scoped() {
+        // Deltas are computed against the live counters, so concurrent work
+        // only ever grows them — a snapshot scope sees at least its own
+        // activity and never a negative (saturating) difference.
+        let before = CounterSnapshot::take();
+        let plan = plan_for(parallel_hist_nest(16, 4, 1), ScalarType::UInt64);
+        let img = input(16, 4, 7);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let mut out = Buffer::new(ScalarType::UInt64, &[32]);
+        run_with_mode(
+            &plan,
+            &mut out,
+            &images,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            SimdMode::Auto,
+        )
+        .expect("run");
+        let mid = before.delta();
+        assert!(mid.parallel_reduce_merges >= 1);
+        let later = before.delta();
+        assert!(later.parallel_reduce_merges >= mid.parallel_reduce_merges);
+        assert!(later.fused_rows >= mid.fused_rows);
+        assert!(later.fused_tails >= mid.fused_tails);
+        assert!(later.reduce_chunks >= mid.reduce_chunks);
     }
 }

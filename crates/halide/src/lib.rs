@@ -27,11 +27,16 @@
 //!   guarded [`stmt::Stmt::ReduceStore`] nests with a privatized-vs-sequential
 //!   accumulation strategy and a fused integer tree-reduce for
 //!   loop-invariant accumulators, so histograms, scans and residual norms
-//!   execute end-to-end compiled;
+//!   execute end-to-end compiled. Parallel-scheduled integer accumulator
+//!   nests additionally run privatize-then-merge across worker threads
+//!   ([`stmt::LoopKind::ParallelReduce`]): each worker accumulates raw sums
+//!   into private side buffers, merged by wrapping adds — bit-identical to
+//!   the serial order because integer addition commutes modulo 2^w;
 //! * [`compile`], [`cache`] — the compile-once/run-many API:
 //!   [`func::Pipeline::compile`] produces a [`CompiledPipeline`] whose `run`
-//!   does only per-call work, backed by a keyed LRU [`ProgramCache`] with
-//!   hit/miss counters;
+//!   does only per-call work, backed by a [`ShardedCache`] (key-hash-sharded
+//!   LRU with per-shard stats, aggregated counters, and same-key build
+//!   coalescing for concurrent callers);
 //! * [`eval`] — the single shared [`Value`] evaluator all backends route
 //!   expression semantics through (reductions, the interpreter backend, and
 //!   the compiled backend's per-element fallback);
@@ -89,7 +94,7 @@
 //!
 //! [`Realizer`] remains for one-shot and exploratory use: it takes the
 //! pipeline per call, so it fits differential tests and code that realizes
-//! many different pipelines ad hoc. It shares a [`ProgramCache`] across calls
+//! many different pipelines ad hoc. It shares a [`ShardedCache`] across calls
 //! (and clones), so even repeated `realize` calls amortize compilation — but
 //! it must fingerprint the pipeline on every call to find the cached program.
 //! [`CompiledPipeline`] binds the pipeline and schedule once, skips the
@@ -120,13 +125,14 @@ pub mod types;
 
 pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
 pub use buffer::Buffer;
-pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use cache::{CacheKey, CacheStats, ProgramCache, ShardedCache};
 pub use codegen::{generate_halide_source, CodegenOptions};
 pub use compile::{CompileOptions, CompiledPipeline, UpdateCounts};
 pub use eval::{eval_expr, EvalSources};
 pub use exec::{
-    fused_rows_executed, fused_tail_chunks_executed, reduce_chunks_executed, set_simd_mode,
-    simd_mode, FusedStoreCounts, LaneFamily, SimdMode,
+    fused_rows_executed, fused_tail_chunks_executed, parallel_reduce_merges_executed,
+    reduce_chunks_executed, set_simd_mode, simd_mode, CounterSnapshot, FusedStoreCounts,
+    LaneFamily, SimdMode,
 };
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
@@ -143,7 +149,7 @@ pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
     pub use crate::compile::{CompileOptions, CompiledPipeline, UpdateCounts};
-    pub use crate::exec::{FusedStoreCounts, LaneFamily, SimdMode};
+    pub use crate::exec::{CounterSnapshot, FusedStoreCounts, LaneFamily, SimdMode};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
     pub use crate::realize::{ExecBackend, RealizeInputs, Realizer};

@@ -956,6 +956,24 @@ pub fn lower_update(
             }
         }
     }
+    // Parallel reduction accumulation: when the schedule asks for parallelism
+    // and the nest's *outermost* loop is a reduction-domain loop (always true
+    // for Privatized nests, and for Sequential nests with no free pure vars —
+    // the histogram shape), tag it ParallelReduce. The executor splits that
+    // domain across workers with private accumulator buffers merged by
+    // wrapping adds, and degrades to serial whenever the stores are not
+    // merge-admissible — so the tag never changes values. Sequential nests
+    // with pure loops outermost are left untouched: splitting a pure loop
+    // would privatize per output row, not per reduction chunk.
+    if schedule.parallel {
+        if let Stmt::For { var, kind, .. } = &mut body {
+            if rdom_names.contains(var.as_str()) {
+                *kind = LoopKind::ParallelReduce {
+                    threads: schedule.threads,
+                };
+            }
+        }
+    }
     Some(Stmt::Produce {
         func: func.name.clone(),
         body: Box::new(body),

@@ -5,7 +5,7 @@
 //! [`crate::compile`]: each call builds a [`crate::cache::CacheKey`] from the
 //! pipeline/schedule fingerprints, the output extents and the input-binding
 //! signature, and looks the compiled program up in a shared
-//! [`crate::cache::ProgramCache`] (cloned realizers share one cache). Warm
+//! [`crate::cache::ShardedCache`] (cloned realizers share one cache). Warm
 //! calls therefore perform no validation, `compute_at` planning, lowering or
 //! lane-program construction — only per-call execution. Callers that want the
 //! compiled artifact as an explicit value (and their own cache) should use
@@ -13,7 +13,7 @@
 //! [`crate::compile::CompiledPipeline::run`] directly.
 
 use crate::buffer::Buffer;
-use crate::cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_CAPACITY};
 use crate::compile::{realize_with_cache, PreparedProgram};
 use crate::expr::Expr;
 use crate::func::{Func, Pipeline};
@@ -21,7 +21,7 @@ use crate::schedule::Schedule;
 use crate::types::Value;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Errors raised during compilation or realization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,7 +120,7 @@ pub enum ExecBackend {
 /// Realizes pipelines under a schedule, caching compiled programs between
 /// calls.
 ///
-/// The realizer owns a [`ProgramCache`] shared by all of its clones, so any
+/// The realizer owns a [`ShardedCache`] shared by all of its clones, so any
 /// repeated `realize` (same pipeline, extents and binding signature) runs the
 /// cached program without re-planning or re-lowering. For an explicit
 /// compiled artifact, see [`Pipeline::compile`].
@@ -128,7 +128,7 @@ pub enum ExecBackend {
 pub struct Realizer {
     schedule: Schedule,
     backend: ExecBackend,
-    cache: Arc<Mutex<ProgramCache<Arc<PreparedProgram>>>>,
+    cache: Arc<ShardedCache<Arc<PreparedProgram>>>,
 }
 
 impl Default for Realizer {
@@ -149,7 +149,7 @@ impl Realizer {
         Realizer {
             schedule,
             backend: ExecBackend::default(),
-            cache: Arc::new(Mutex::new(ProgramCache::new(DEFAULT_CACHE_CAPACITY))),
+            cache: Arc::new(ShardedCache::new(DEFAULT_CACHE_CAPACITY)),
         }
     }
 
@@ -170,9 +170,16 @@ impl Realizer {
         self.backend
     }
 
-    /// Hit/miss/eviction counters of the shared program cache.
+    /// Hit/miss/eviction counters of the shared program cache, aggregated
+    /// across its shards (clones share the cache, so their counters land in
+    /// the same totals).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("program cache mutex").stats()
+        self.cache.stats()
+    }
+
+    /// The per-shard counter view behind [`Self::cache_stats`].
+    pub fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
     }
 
     /// Realize the pipeline's output func over `output_extents`.

@@ -8,7 +8,9 @@
 //!   inference) for a producer scheduled `compute_at`;
 //! * [`Stmt::Produce`] — a marker delimiting the computation of one func;
 //! * [`Stmt::For`] — a loop over one dimension, tagged [`LoopKind::Serial`],
-//!   [`LoopKind::Parallel`] (iterations distributed across worker threads) or
+//!   [`LoopKind::Parallel`] (iterations distributed across worker threads),
+//!   [`LoopKind::ParallelReduce`] (a reduction domain whose accumulator
+//!   stores run privatize-then-merge across workers) or
 //!   [`LoopKind::Vectorized`] (iterations evaluated in lanes by the compiled
 //!   executor);
 //! * [`Stmt::Store`] — one element store, with index and value expressions
@@ -42,6 +44,16 @@ pub enum LoopKind {
     /// Iterations split into contiguous chunks across worker threads
     /// (0 = use all available cores).
     Parallel {
+        /// Worker thread cap (0 = all available cores).
+        threads: usize,
+    },
+    /// A reduction-domain loop whose accumulator stores run privatize-then-
+    /// merge: workers accumulate disjoint chunks of the domain into private
+    /// per-thread buffers which are merged (wrapping adds) into the output
+    /// afterwards. The executor verifies the nest is merge-admissible at run
+    /// time and degrades to [`LoopKind::Serial`] otherwise, so tagging is
+    /// always value-preserving.
+    ParallelReduce {
         /// Worker thread cap (0 = all available cores).
         threads: usize,
     },
@@ -367,6 +379,7 @@ impl Stmt {
                 let kind_str = match kind {
                     LoopKind::Serial => String::new(),
                     LoopKind::Parallel { .. } => "[parallel]".to_string(),
+                    LoopKind::ParallelReduce { .. } => "[parallel_reduce]".to_string(),
                     LoopKind::Vectorized { width } => format!("[vectorized({width})]"),
                 };
                 writeln!(f, "{pad}for{kind_str} {var} in [{min}, {min} + {extent}):")?;

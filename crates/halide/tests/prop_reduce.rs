@@ -23,7 +23,6 @@
 //!   as the `reductions` matrix leg).
 
 use helium_halide::prelude::*;
-use helium_halide::reduce_chunks_executed;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -368,7 +367,7 @@ fn reduction_suite_is_not_vacuous() {
     let p = Pipeline::new(norm, vec![img]);
     let input = image(131, 7, 0xACC);
     let inputs = RealizeInputs::new().with_image("in", &input);
-    let before = reduce_chunks_executed();
+    let counters = CounterSnapshot::take();
     let compiled = p
         .compile(
             &Schedule::stencil_default(),
@@ -388,7 +387,7 @@ fn reduction_suite_is_not_vacuous() {
         "the suite must exercise compiled reductions, not the interpreter"
     );
     assert!(
-        reduce_chunks_executed() > before,
+        counters.delta().reduce_chunks > 0,
         "the fused tree-reduce must have executed"
     );
     let oracle = Realizer::new(Schedule::stencil_default())

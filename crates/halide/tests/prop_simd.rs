@@ -447,7 +447,7 @@ fn lifted_filter_idioms_run_fused_and_agree() {
         let inputs = RealizeInputs::new().with_image("in", &input);
         let schedule = Schedule::stencil_default();
 
-        let before = helium_halide::fused_rows_executed();
+        let counters = CounterSnapshot::take();
         let compiled = p
             .compile(
                 &schedule,
@@ -460,7 +460,7 @@ fn lifted_filter_idioms_run_fused_and_agree() {
             .expect("compile");
         let fused = compiled.run(&inputs, &[37, 19]).expect("fused run");
         assert!(
-            helium_halide::fused_rows_executed() > before,
+            counters.delta().fused_rows > 0,
             "{name}: the fused tier must actually execute"
         );
 
@@ -509,10 +509,10 @@ fn f32_smooth_idiom_runs_fused_and_agrees() {
             },
         )
         .expect("compile");
-    let before = helium_halide::fused_rows_executed();
+    let counters = CounterSnapshot::take();
     let fused = compiled.run(&inputs, &[37, 19]).expect("fused run");
     assert!(
-        helium_halide::fused_rows_executed() > before,
+        counters.delta().fused_rows > 0,
         "the f32 fused tier must actually execute"
     );
     let counts = compiled
@@ -555,12 +555,12 @@ fn i64_histogram_idiom_runs_fused_and_agrees() {
             },
         )
         .expect("compile");
-    let before = helium_halide::fused_tail_chunks_executed();
+    let counters = CounterSnapshot::take();
     let fused = compiled.run(&inputs, &[37, 19]).expect("fused run");
     // 37 does not divide any chunk width: the sub-width interior tail must
     // have run as a fused (masked or overlapping) chunk, not a scalar peel.
     assert!(
-        helium_halide::fused_tail_chunks_executed() > before,
+        counters.delta().fused_tails > 0,
         "sub-width tails must stay on tier 1"
     );
     let counts = compiled

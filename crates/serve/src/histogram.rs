@@ -1,0 +1,164 @@
+//! An HDR-style bucketed latency histogram with an allocation-free hot path.
+//!
+//! Values (nanoseconds) land in logarithmic octaves subdivided into
+//! `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error to
+//! `2^-SUB_BITS` (12.5%) while keeping the table a fixed array of atomic
+//! counters. [`LatencyHistogram::record`] is three relaxed atomic ops — no
+//! locks, no allocation — so worker threads can record on the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket resolution bits per octave.
+const SUB_BITS: usize = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: indices `0..SUB` are exact,
+/// then `(64 - SUB_BITS)` octaves of `SUB` sub-buckets each.
+const BUCKETS: usize = (64 - SUB_BITS + 1) * SUB;
+
+/// Bucket index for a value: exact below [`SUB`], then the octave of the
+/// leading bit with the next [`SUB_BITS`] bits as linear position.
+fn bucket(v: u64) -> usize {
+    let v = v.max(1);
+    let msb = 63 - v.leading_zeros() as usize;
+    if msb < SUB_BITS {
+        v as usize
+    } else {
+        let oct = msb - SUB_BITS;
+        ((oct + 1) << SUB_BITS) | ((v >> oct) as usize & (SUB - 1))
+    }
+}
+
+/// Smallest value landing in `idx` — the bound reported for quantiles.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let oct = (idx >> SUB_BITS) - 1;
+        ((SUB | (idx & (SUB - 1))) as u64) << oct
+    }
+}
+
+/// A fixed-size concurrent latency histogram (see module docs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time digest of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency lower bound, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency lower bound, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest recorded latency, exact, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. The bucket table is allocated once here; nothing
+    /// on the record path allocates.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample in nanoseconds (lock-free, allocation-free).
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact), or 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`), or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_low(idx);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Count, p50, p99 and max in one digest.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50_ns: self.quantile(0.50),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            for nudge in [0u64, 1, 3] {
+                let v = (1u64 << shift) | nudge.min((1u64 << shift) - 1);
+                let idx = bucket(v);
+                assert!(idx >= last, "bucket index regressed at {v}");
+                assert!(bucket_low(idx) <= v, "lower bound above value at {v}");
+                last = idx;
+            }
+        }
+        assert!(bucket(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let hist = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            hist.record(v);
+        }
+        let s = hist.summary();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max_ns, 10_000);
+        // Bucket lower bounds sit within one sub-bucket of the true value.
+        assert!(s.p50_ns <= 5_000 && s.p50_ns as f64 >= 5_000.0 * (1.0 - 1.0 / SUB as f64));
+        assert!(s.p99_ns <= 9_900 && s.p99_ns as f64 >= 9_900.0 * (1.0 - 1.0 / SUB as f64));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.summary(), LatencySummary::default());
+    }
+}

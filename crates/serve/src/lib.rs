@@ -1,0 +1,483 @@
+//! # helium-serve
+//!
+//! A concurrent realize service over compiled Helium pipelines — the
+//! lift-once/run-forever half of the paper's story. Helium lifts a stencil
+//! kernel from a stripped binary once; after that the compiled pipeline is
+//! realized at request rate, from many callers, over varying extents and
+//! parameter bindings. This crate packages that serving loop:
+//!
+//! ```text
+//!   submit()/try_submit()          Server worker threads
+//!  ┌───────────────────┐   pop   ┌─────────┐
+//!  │ BoundedQueue<Job> │ ──────▶ │ worker 0 │──▶ CompiledPipeline::run
+//!  │  (backpressure)   │ ──────▶ │ worker 1 │──▶   │
+//!  └───────────────────┘         │   ...    │      ▼
+//!        ▲      Ticket◀──────────┴─────────┘  ShardedCache (per pipeline)
+//!        │       (result)                      shard 0 │ shard 1 │ ...
+//!   ServeRequest                               LRU+stats│LRU+stats│
+//! ```
+//!
+//! * **Backpressure** — submissions land in a bounded MPMC queue
+//!   ([`queue::BoundedQueue`]); [`Server::try_submit`] fails fast with
+//!   [`SubmitError::QueueFull`] when the service is saturated, while
+//!   [`Server::submit`] blocks for space.
+//! * **Coalescing** — workers realize through each request's
+//!   [`CompiledPipeline`], whose sharded program cache coalesces same-key
+//!   work: when several in-flight requests need the same
+//!   (pipeline, extents, binding signature) program that is not yet cached,
+//!   exactly one worker builds it and the rest block on the in-flight slot
+//!   and share the prepared program (`misses == compiles + coalesced`).
+//!   Distinct keys proceed independently on separate cache shards.
+//! * **Latency accounting** — each request's submit→complete time is
+//!   recorded into a fixed HDR-style bucketed histogram
+//!   ([`histogram::LatencyHistogram`]) with an allocation-free hot path;
+//!   [`Server::stats`] digests it to p50/p99/max.
+//!
+//! Results are delivered through a [`Ticket`] — a one-shot slot the worker
+//! fills and the submitter waits on — so callers can pipeline many requests
+//! before collecting any.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod queue;
+
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use queue::{BoundedQueue, PushError};
+
+use helium_halide::buffer::Buffer;
+use helium_halide::compile::CompiledPipeline;
+use helium_halide::realize::{RealizeError, RealizeInputs};
+use helium_halide::types::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads realizing requests. `0` means one per available core.
+    pub workers: usize,
+    /// Bounded submission-queue depth (backpressure point).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the worker-thread count (`0` = one per available core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the bounded submission-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One realize request: which compiled pipeline to run, over which output
+/// extents, with which image and scalar-parameter bindings.
+///
+/// Images and the pipeline ride in [`Arc`]s so a request is cheap to build
+/// from shared inputs and owns everything it needs across threads (the
+/// borrowed [`RealizeInputs`] view is constructed inside the worker).
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The compiled pipeline to realize.
+    pub pipeline: Arc<CompiledPipeline>,
+    /// Output extents, innermost dimension first.
+    pub extents: Vec<usize>,
+    /// Input images by image-parameter name.
+    pub images: BTreeMap<String, Arc<Buffer>>,
+    /// Scalar parameter bindings by name.
+    pub params: BTreeMap<String, Value>,
+}
+
+impl ServeRequest {
+    /// A request over `pipeline` with the given output extents and no
+    /// bindings yet.
+    pub fn new(pipeline: Arc<CompiledPipeline>, extents: &[usize]) -> Self {
+        ServeRequest {
+            pipeline,
+            extents: extents.to_vec(),
+            images: BTreeMap::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Bind an input image.
+    pub fn with_image(mut self, name: &str, image: Arc<Buffer>) -> Self {
+        self.images.insert(name.to_string(), image);
+        self
+    }
+
+    /// Bind a scalar parameter.
+    pub fn with_param(mut self, name: &str, value: Value) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// Why a submission was rejected; the request is handed back.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full ([`Server::try_submit`] only) — back off
+    /// or block with [`Server::submit`].
+    QueueFull(ServeRequest),
+    /// The server is shutting down and accepts no further work.
+    ShuttingDown(ServeRequest),
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    slot: Mutex<Option<Result<Buffer, RealizeError>>>,
+    done: Condvar,
+}
+
+/// A one-shot handle to a submitted request's result.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    fn new() -> (Ticket, Arc<TicketInner>) {
+        let inner = Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        (
+            Ticket {
+                inner: Arc::clone(&inner),
+            },
+            inner,
+        )
+    }
+
+    /// Block until the request completes and take its result.
+    pub fn wait(self) -> Result<Buffer, RealizeError> {
+        let mut slot = self.inner.slot.lock().expect("ticket mutex");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.inner.done.wait(slot).expect("ticket mutex");
+        }
+    }
+
+    /// Whether the result has arrived (without consuming it).
+    pub fn is_done(&self) -> bool {
+        self.inner.slot.lock().expect("ticket mutex").is_some()
+    }
+}
+
+struct Job {
+    request: ServeRequest,
+    ticket: Arc<TicketInner>,
+    submitted: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    latency: LatencyHistogram,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A point-in-time view of server activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed (successfully or with an error).
+    pub completed: u64,
+    /// Completed requests that returned a [`RealizeError`].
+    pub failed: u64,
+    /// Requests currently waiting in the queue.
+    pub queued: usize,
+    /// Submit→complete latency digest.
+    pub latency: LatencySummary,
+}
+
+/// A running realize service: N worker threads draining the bounded queue.
+///
+/// Dropping the server shuts it down: the queue closes, workers drain the
+/// backlog (every accepted request still gets its [`Ticket`] result) and
+/// are joined.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn run_job(job: Job, shared: &Shared) {
+    let mut inputs = RealizeInputs::new();
+    for (name, image) in &job.request.images {
+        inputs = inputs.with_image(name, image);
+    }
+    for (name, value) in &job.request.params {
+        inputs = inputs.with_param(name, *value);
+    }
+    let result = job.request.pipeline.run(&inputs, &job.request.extents);
+    shared
+        .latency
+        .record(job.submitted.elapsed().as_nanos() as u64);
+    if result.is_err() {
+        shared.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    *job.ticket.slot.lock().expect("ticket mutex") = Some(result);
+    job.ticket.done.notify_all();
+}
+
+impl Server {
+    /// Start the service with `config` worker threads and queue depth.
+    pub fn start(config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            latency: LatencyHistogram::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let workers = (0..config.effective_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("helium-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.queue.pop() {
+                            run_job(job, &shared);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submit without blocking; fails fast when the queue is full.
+    pub fn try_submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let (ticket, inner) = Ticket::new();
+        let job = Job {
+            request,
+            ticket: inner,
+            submitted: Instant::now(),
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(PushError::Full(job)) => Err(SubmitError::QueueFull(job.request)),
+            Err(PushError::Closed(job)) => Err(SubmitError::ShuttingDown(job.request)),
+        }
+    }
+
+    /// Submit, blocking while the queue is full.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let (ticket, inner) = Ticket::new();
+        let job = Job {
+            request,
+            ticket: inner,
+            submitted: Instant::now(),
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                Err(SubmitError::ShuttingDown(job.request))
+            }
+        }
+    }
+
+    /// Current counters and latency digest.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            queued: self.shared.queue.len(),
+            latency: self.shared.latency.summary(),
+        }
+    }
+
+    /// Worker threads serving this instance.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop accepting work, drain the backlog and join the workers. Every
+    /// request accepted before shutdown still completes its [`Ticket`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_halide::prelude::*;
+
+    fn invert_pipeline() -> (Arc<CompiledPipeline>, Arc<Buffer>) {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Sub,
+                Expr::int(255),
+                Expr::Image("in".into(), vec![x, y]),
+            ),
+        );
+        let func = Func::pure("out", &["x_0", "x_1"], ScalarType::UInt8, value);
+        let pipeline = Pipeline::new(func, vec![ImageParam::new("in", ScalarType::UInt8, 2)]);
+        let compiled = pipeline
+            .compile(&Schedule::stencil_default(), &CompileOptions::default())
+            .expect("compile");
+        let mut input = Buffer::new(ScalarType::UInt8, &[16, 16]);
+        let mut s = 7u64;
+        for c in input.coords().collect::<Vec<_>>() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            input.set(&c, Value::Int(((s >> 33) % 256) as i64));
+        }
+        (Arc::new(compiled), Arc::new(input))
+    }
+
+    #[test]
+    fn serve_round_trip_matches_direct_run() {
+        let (compiled, input) = invert_pipeline();
+        let direct = {
+            let inputs = RealizeInputs::new().with_image("in", &input);
+            compiled.run(&inputs, &[16, 16]).expect("direct")
+        };
+        let server = Server::start(ServeConfig::default().with_workers(2));
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| {
+                server
+                    .submit(
+                        ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                            .with_image("in", Arc::clone(&input)),
+                    )
+                    .expect("submit")
+            })
+            .collect();
+        for ticket in tickets {
+            assert_eq!(ticket.wait().expect("serve"), direct);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.latency.count, 8);
+        assert!(stats.latency.max_ns > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_flow_back_through_tickets() {
+        let (compiled, _input) = invert_pipeline();
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        // Missing image binding: the realize fails, the ticket reports it.
+        let ticket = server
+            .submit(ServeRequest::new(Arc::clone(&compiled), &[8, 8]))
+            .expect("submit");
+        assert!(matches!(ticket.wait(), Err(RealizeError::MissingInput(_))));
+        assert_eq!(server.stats().failed, 1);
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure() {
+        let (compiled, input) = invert_pipeline();
+        // Workers blocked behind a deep pipeline of work on one thread with a
+        // tiny queue: try_submit must eventually report QueueFull.
+        let server = Server::start(ServeConfig::default().with_workers(1).with_queue_depth(1));
+        let mut tickets = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..256 {
+            // Larger extents than the submit loop can keep up with.
+            let request = ServeRequest::new(Arc::clone(&compiled), &[128, 128])
+                .with_image("in", Arc::clone(&input));
+            match server.try_submit(request) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull(_)) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(SubmitError::ShuttingDown(_)) => panic!("not shutting down"),
+            }
+        }
+        for t in tickets {
+            t.wait().expect("serve");
+        }
+        assert!(saw_full, "a depth-1 queue must reject a fast burst");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let (compiled, input) = invert_pipeline();
+        let server = Server::start(ServeConfig::default().with_workers(2));
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| {
+                server
+                    .submit(
+                        ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                            .with_image("in", Arc::clone(&input)),
+                    )
+                    .expect("submit")
+            })
+            .collect();
+        server.shutdown();
+        for ticket in tickets {
+            ticket.wait().expect("accepted work completes");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! A bounded multi-producer/multi-consumer queue on std primitives.
+//!
+//! The submission side of the serve loop: producers block (or fail fast with
+//! [`PushError::Full`]) when the queue is at capacity, consumers block until
+//! an item arrives or the queue is closed and drained. Closing wakes every
+//! waiter; producers then fail with [`PushError::Closed`] and consumers
+//! drain the backlog before seeing `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue. The rejected item is handed back so callers
+/// can retry, reroute, or surface it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (only from [`BoundedQueue::try_push`]).
+    Full(T),
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: `Mutex<VecDeque>` plus two condition variables
+/// (`not_empty` for consumers, `not_full` for producers).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` queued items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue without blocking; fails fast when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue mutex");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the queue is full. Fails only when closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue mutex");
+        while !state.closed && state.items.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue mutex");
+        }
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty. Returns `None` only once
+    /// the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex");
+        }
+    }
+
+    /// Close the queue: reject future pushes and wake every waiter.
+    pub fn close(&self) {
+        self.state.lock().expect("queue mutex").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_fails_fast_when_full() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is blocked on the full queue until this pop.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().expect("producer"));
+        assert_eq!(q.pop(), Some(1));
+    }
+}

@@ -1,0 +1,272 @@
+//! Concurrency differential stress tests for the serving stack: many
+//! threads hammering a shared set of [`CompiledPipeline`]s — directly and
+//! through a [`Server`] — with mixed extents, bit-compared against the
+//! per-element interpreter oracle. The CI `serve` job runs this suite under
+//! both `HELIUM_FORCE_SCALAR=1` and `HELIUM_FORCE_SIMD=1`, so every
+//! execution tier (including the parallel-reduce deferred-accumulation
+//! path) is differentially covered under contention.
+//!
+//! The suite also reconciles the sharded program-cache counters: per-shard
+//! stats must sum to the aggregate, and every miss must be accounted for by
+//! either a build or a coalesced wait.
+
+use helium::halide::prelude::*;
+use helium::halide::realize::ExecBackend;
+use helium_bench::{hist64_pipeline, hist64_rdom_pipeline, minigmg_smooth_f32};
+use helium_serve::{ServeConfig, ServeRequest, Server};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const ITERS_PER_THREAD: usize = 24;
+
+/// One shared pipeline under test: its compiled form, the interpreter
+/// oracle's outputs per extent, and the input buffer both bind.
+struct Subject {
+    name: &'static str,
+    compiled: Arc<CompiledPipeline>,
+    input: Arc<Buffer>,
+    input_name: &'static str,
+    /// Mixed realize extents, each with the oracle's output.
+    cases: Vec<(Vec<usize>, Buffer)>,
+}
+
+fn subject(
+    name: &'static str,
+    pipeline: &Pipeline,
+    input_name: &'static str,
+    input: Buffer,
+    extents: &[&[usize]],
+) -> Subject {
+    let schedule = Schedule::stencil_default();
+    let compiled = pipeline
+        .compile(&schedule, &CompileOptions::default())
+        .expect("compile lowered");
+    let oracle = pipeline
+        .compile(
+            &schedule,
+            &CompileOptions {
+                backend: ExecBackend::Interpret,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile oracle");
+    let inputs = RealizeInputs::new().with_image(input_name, &input);
+    let cases = extents
+        .iter()
+        .map(|e| (e.to_vec(), oracle.run(&inputs, e).expect("oracle run")))
+        .collect();
+    Subject {
+        name,
+        compiled: Arc::new(compiled),
+        input: Arc::new(input),
+        input_name,
+        cases,
+    }
+}
+
+/// The shared pipeline set: an i64-lane pure stencil, an f32-lane 3-D
+/// smoother, and the histogram reduction (guarded stores + the
+/// parallel-reduce deferred path), each over three extents.
+fn subjects() -> Vec<Subject> {
+    let (hist_pure, hist_pure_in) = hist64_pipeline(46, 38, 0xA11CE);
+    let (smooth, grid) = minigmg_smooth_f32(18, 10, 6, 0x6116);
+    let (hist_rdom, hist_rdom_in) = hist64_rdom_pipeline(96, 64, 0xB16B);
+    vec![
+        subject(
+            "hist64_pure",
+            &hist_pure,
+            "in",
+            hist_pure_in,
+            &[&[46, 38], &[32, 24], &[16, 8]],
+        ),
+        subject(
+            "minigmg_smooth_f32",
+            &smooth,
+            "grid",
+            grid,
+            &[&[18, 10, 6], &[16, 8, 6], &[8, 10, 4]],
+        ),
+        subject(
+            "hist64_rdom",
+            &hist_rdom,
+            "in",
+            hist_rdom_in,
+            &[&[256], &[128], &[64]],
+        ),
+    ]
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Reconcile a compiled pipeline's sharded cache counters after `runs`
+/// total realizes of `distinct` distinct keys (no evictions expected at
+/// these counts).
+fn reconcile(subject: &Subject, runs: u64, distinct: usize) {
+    let stats = subject.compiled.cache_stats();
+    let shards = subject.compiled.cache_shard_stats();
+    assert_eq!(
+        stats.hits,
+        shards.iter().map(|s| s.hits).sum::<u64>(),
+        "{}: aggregate hits != shard sum",
+        subject.name
+    );
+    assert_eq!(
+        stats.misses,
+        shards.iter().map(|s| s.misses).sum::<u64>(),
+        "{}: aggregate misses != shard sum",
+        subject.name
+    );
+    assert_eq!(
+        stats.evictions,
+        shards.iter().map(|s| s.evictions).sum::<u64>(),
+        "{}: aggregate evictions != shard sum",
+        subject.name
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        runs,
+        "{}: every realize is a lookup",
+        subject.name
+    );
+    assert_eq!(
+        stats.misses,
+        subject.compiled.compiles() + subject.compiled.coalesced_compiles(),
+        "{}: every miss either built or joined an in-flight build",
+        subject.name
+    );
+    assert_eq!(
+        stats.evictions, 0,
+        "{}: no evictions expected",
+        subject.name
+    );
+    assert_eq!(
+        subject.compiled.compiles(),
+        distinct as u64,
+        "{}: one build per distinct key",
+        subject.name
+    );
+    assert_eq!(
+        subject.compiled.cached_programs(),
+        distinct,
+        "{}: all programs retained",
+        subject.name
+    );
+}
+
+#[test]
+fn concurrent_direct_runs_match_interpreter_oracle() {
+    let subjects = subjects();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let subjects = &subjects;
+            scope.spawn(move || {
+                let mut state = 0x5EED ^ (t as u64) << 17;
+                for _ in 0..ITERS_PER_THREAD {
+                    let s = &subjects[(lcg(&mut state) % subjects.len() as u64) as usize];
+                    let (extents, expected) =
+                        &s.cases[(lcg(&mut state) % s.cases.len() as u64) as usize];
+                    let inputs = RealizeInputs::new().with_image(s.input_name, &s.input);
+                    let got = s.compiled.run(&inputs, extents).expect("compiled run");
+                    assert_eq!(
+                        &got, expected,
+                        "{} diverged from the oracle at {extents:?}",
+                        s.name
+                    );
+                }
+            });
+        }
+    });
+    let total: u64 = (THREADS * ITERS_PER_THREAD) as u64;
+    let per_subject: u64 = subjects
+        .iter()
+        .map(|s| {
+            let stats = s.compiled.cache_stats();
+            stats.hits + stats.misses
+        })
+        .sum();
+    assert_eq!(per_subject, total, "every run hit exactly one cache");
+    for s in &subjects {
+        let runs = {
+            let stats = s.compiled.cache_stats();
+            stats.hits + stats.misses
+        };
+        reconcile(s, runs, s.cases.len());
+    }
+}
+
+#[test]
+fn served_requests_match_interpreter_oracle() {
+    let subjects = subjects();
+    let server = Server::start(ServeConfig::default().with_workers(THREADS));
+    let mut state = 0xCAFE_F00Du64;
+    let mut pending = Vec::new();
+    for _ in 0..THREADS * ITERS_PER_THREAD {
+        let si = (lcg(&mut state) % subjects.len() as u64) as usize;
+        let s = &subjects[si];
+        let ci = (lcg(&mut state) % s.cases.len() as u64) as usize;
+        let request = ServeRequest::new(Arc::clone(&s.compiled), &s.cases[ci].0)
+            .with_image(s.input_name, Arc::clone(&s.input));
+        pending.push((si, ci, server.submit(request).expect("submit")));
+    }
+    for (si, ci, ticket) in pending {
+        let s = &subjects[si];
+        let got = ticket.wait().expect("served run");
+        assert_eq!(
+            got, s.cases[ci].1,
+            "{} diverged from the oracle at {:?} when served",
+            s.name, s.cases[ci].0
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, (THREADS * ITERS_PER_THREAD) as u64);
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.latency.count, stats.completed);
+    server.shutdown();
+    for s in &subjects {
+        let runs = {
+            let cache = s.compiled.cache_stats();
+            cache.hits + cache.misses
+        };
+        reconcile(s, runs, s.cases.len());
+    }
+}
+
+#[test]
+fn cold_cache_same_key_storm_coalesces() {
+    // Every worker needs the same cold (pipeline, extents, bindings) key at
+    // once: exactly one build must happen, everyone else shares it.
+    let (pipeline, input) = hist64_rdom_pipeline(96, 64, 0x0C0A);
+    let compiled = Arc::new(
+        pipeline
+            .compile(&Schedule::stencil_default(), &CompileOptions::default())
+            .expect("compile"),
+    );
+    let input = Arc::new(input);
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let compiled = &compiled;
+            let input = &input;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let inputs = RealizeInputs::new().with_image("in", input);
+                compiled.run(&inputs, &[256]).expect("run");
+            });
+        }
+    });
+    let stats = compiled.cache_stats();
+    assert_eq!(stats.hits + stats.misses, THREADS as u64);
+    assert_eq!(compiled.compiles(), 1, "one build for one key");
+    assert_eq!(
+        stats.misses,
+        compiled.compiles() + compiled.coalesced_compiles(),
+        "misses reconcile with builds + coalesced waits"
+    );
+}
