@@ -147,6 +147,11 @@ impl LiftedRealizeSetup {
         }
     }
 
+    /// The lifted kernel's pipeline snapshot — what schedule searches tune.
+    pub fn pipeline(&self) -> &helium_halide::Pipeline {
+        &self.pipeline
+    }
+
     /// The realize inputs, borrowing the materialized buffers.
     pub fn inputs(&self) -> RealizeInputs<'_> {
         let mut inputs = RealizeInputs::new();

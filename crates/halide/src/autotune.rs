@@ -1,16 +1,25 @@
-//! A small random-search schedule autotuner.
+//! The *baseline* random-search schedule autotuner.
 //!
 //! The paper tunes each lifted kernel's Halide schedule with an
 //! OpenTuner-based search for six hours per filter; this module performs the
 //! same role at laptop scale: it samples candidate [`Schedule`]s, times each
 //! on a representative input, and returns the fastest.
+//!
+//! This sampler is deliberately blind — it knows nothing about which tier a
+//! candidate's stores compile to. It remains as the comparison baseline for
+//! `helium-tune`, the cost-model-guided search (see the `helium-tune` crate),
+//! which ranks candidates from a [`crate::compile::CompiledPipeline::dry_run`]
+//! profile before spending any timing budget and beats this sampler on
+//! trials-to-within-5%-of-best (gated in `BENCH_autotune.json`).
 
 use crate::buffer::Buffer;
+use crate::cache::fingerprint_schedule;
 use crate::compile::CompileOptions;
 use crate::func::Pipeline;
 use crate::realize::{RealizeError, RealizeInputs};
 use crate::schedule::Schedule;
 use rand::prelude::*;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Configuration of an autotuning session.
@@ -145,11 +154,27 @@ pub fn autotune(
     trials.push((default, default_time));
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    while trials.len() < config.max_candidates + 2 && started.elapsed() < config.budget {
+    // Dedupe by schedule fingerprint so the timing budget is never spent
+    // re-measuring an identical schedule, and bail out once consecutive draws
+    // stop producing new ones — small pipelines have fewer distinct schedules
+    // than `max_candidates`, and without the bail-out the loop would spin
+    // redrawing duplicates until the wall-clock budget expired.
+    let mut seen: BTreeSet<u64> = trials
+        .iter()
+        .map(|(s, _)| fingerprint_schedule(s))
+        .collect();
+    let mut stale_draws = 0usize;
+    const MAX_STALE_DRAWS: usize = 32;
+    while trials.len() < config.max_candidates + 2
+        && started.elapsed() < config.budget
+        && stale_draws < MAX_STALE_DRAWS
+    {
         let s = sample_schedule(&mut rng, pipeline);
-        if trials.iter().any(|(t, _)| *t == s) {
+        if !seen.insert(fingerprint_schedule(&s)) {
+            stale_draws += 1;
             continue;
         }
+        stale_draws = 0;
         let t = time_schedule(&s, pipeline, extents, inputs, config.repetitions)?;
         trials.push((s, t));
     }
@@ -306,6 +331,42 @@ mod tests {
             .realize(&p, &[38, 38], &inputs)
             .unwrap();
         assert_eq!(naive, tuned);
+    }
+
+    #[test]
+    fn autotune_never_retimes_identical_schedules_and_survives_exhaustion() {
+        let (p, input) = simple_pipeline();
+        let inputs = single_image_inputs("input_1", &input);
+        // More candidates than the single-func sample space has distinct
+        // schedules (5 tiles × 5 widths × 2 parallel = 50): the search must
+        // terminate via the stale-draw bail-out well before the wall-clock
+        // budget, and every timed trial must be a distinct schedule.
+        let config = TuneConfig {
+            max_candidates: 64,
+            budget: Duration::from_secs(120),
+            repetitions: 1,
+            seed: 3,
+        };
+        let started = Instant::now();
+        let report = autotune(&p, &[32, 32], &inputs, &config).unwrap();
+        let fps: BTreeSet<u64> = report
+            .trials
+            .iter()
+            .map(|(s, _)| crate::cache::fingerprint_schedule(s))
+            .collect();
+        assert_eq!(
+            fps.len(),
+            report.trials.len(),
+            "duplicate schedules were timed"
+        );
+        assert!(
+            report.trials.len() <= 52,
+            "more trials than distinct schedules exist"
+        );
+        assert!(
+            started.elapsed() < config.budget,
+            "exhausted sample space must bail out before the budget expires"
+        );
     }
 
     #[test]

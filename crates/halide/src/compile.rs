@@ -29,7 +29,7 @@ use crate::buffer::{write_scalar, Buffer};
 use crate::cache::{binding_signature, fingerprint_pipeline, fingerprint_schedule};
 use crate::cache::{CacheKey, CacheStats, ShardedCache, DEFAULT_CACHE_CAPACITY};
 use crate::eval::{eval_expr, validate_bindings, EvalSources};
-use crate::exec::{self, ExecPlan, FusedStoreCounts};
+use crate::exec::{self, ExecPlan, FusedStoreCounts, StoreProfile};
 use crate::expr::Expr;
 use crate::func::{Func, Pipeline, UpdateDef};
 use crate::lower::{inline_except, lower_update, plan_compute_at, ComputeAtOutcome};
@@ -75,6 +75,89 @@ pub struct UpdateCounts {
     pub compiled: usize,
     /// Update definitions executed by the reduction interpreter.
     pub interpreted: usize,
+}
+
+/// Compile-time profile of one materialized stage of a prepared program: its
+/// buffer geometry plus the per-store profiles of its lowered plan. See
+/// [`PipelineProfile`].
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// The stage's func name.
+    pub name: String,
+    /// The extents the stage materializes over (the output stage's are the
+    /// realize extents; producers are sized by bounds inference).
+    pub extents: Vec<usize>,
+    /// Whether the stage compiled onto the lowered backend (loop-nest IR with
+    /// lane programs); interpreted stages evaluate per element through the
+    /// shared evaluator and have no store profiles.
+    pub lowered: bool,
+    /// Per-store profiles of the lowered plan (empty when interpreted).
+    pub stores: Vec<StoreProfile>,
+    /// Update definitions this stage runs through the reduction interpreter
+    /// instead of lowered guarded nests.
+    pub interpreted_updates: usize,
+}
+
+impl StageProfile {
+    /// Number of output cells the stage computes (product of its extents).
+    pub fn cells(&self) -> u64 {
+        self.extents
+            .iter()
+            .map(|&e| e as u64)
+            .product::<u64>()
+            .max(1)
+    }
+}
+
+/// Everything a cost model can learn about a prepared program without running
+/// it: the materialized stages (producers in dependency order, output last),
+/// each with its sized extents and per-store execution-tier profiles.
+///
+/// Obtained from [`CompiledPipeline::dry_run`]. The profile reflects
+/// compile-time kernel *selection*; whether a fused kernel actually executes
+/// is gated per run by the effective [`exec::SimdMode`].
+#[derive(Debug, Clone)]
+pub struct PipelineProfile {
+    /// Materialized stages in execution order; the last entry is always the
+    /// output stage.
+    pub stages: Vec<StageProfile>,
+    /// How the program executes its update definitions.
+    pub updates: UpdateCounts,
+}
+
+impl PipelineProfile {
+    /// The output stage's profile.
+    pub fn output(&self) -> &StageProfile {
+        self.stages.last().expect("the output stage always exists")
+    }
+
+    /// Cells of the output buffer.
+    pub fn output_cells(&self) -> u64 {
+        self.output().cells()
+    }
+
+    /// Total cells materialized into producer buffers beyond the output —
+    /// the working set the schedule trades against locality.
+    pub fn producer_cells(&self) -> u64 {
+        self.stages[..self.stages.len() - 1]
+            .iter()
+            .map(StageProfile::cells)
+            .sum()
+    }
+
+    /// Per-lane-family fused-kernel counts summed over every stage.
+    pub fn fused_store_counts(&self) -> FusedStoreCounts {
+        let mut counts = FusedStoreCounts::default();
+        for p in self.stages.iter().flat_map(|s| s.stores.iter()) {
+            match p.fused {
+                Some(exec::LaneFamily::I32) => counts.lanes_i32 += 1,
+                Some(exec::LaneFamily::I64) => counts.lanes_i64 += 1,
+                Some(exec::LaneFamily::F32) => counts.lanes_f32 += 1,
+                None => {}
+            }
+        }
+        counts
+    }
 }
 
 /// A pipeline compiled against a fixed schedule and backend.
@@ -219,6 +302,25 @@ impl CompiledPipeline {
         output_extents: &[usize],
     ) -> Result<UpdateCounts, RealizeError> {
         Ok(self.program(inputs, output_extents)?.update_counts())
+    }
+
+    /// Build (or fetch) the prepared program for `output_extents` × `inputs`
+    /// and return its compile-time profile — everything the schedule search's
+    /// cost model scores, with *no execution*: per-stage buffer geometry and
+    /// per-store tier selection, tap counts, halo radii and reduction
+    /// admissibility (see [`PipelineProfile`]). The program lands in the same
+    /// keyed cache a subsequent [`CompiledPipeline::run`] uses, so a dry-run
+    /// followed by a run compiles exactly once.
+    ///
+    /// # Errors
+    /// Returns an error if inputs or parameters are missing or the extents
+    /// do not match the output dimensionality.
+    pub fn dry_run(
+        &self,
+        inputs: &RealizeInputs<'_>,
+        output_extents: &[usize],
+    ) -> Result<PipelineProfile, RealizeError> {
+        Ok(self.program(inputs, output_extents)?.profile())
     }
 
     /// Fetch (or build and cache) the prepared program for one (extents,
@@ -655,6 +757,38 @@ impl PreparedProgram {
             }
         }
         counts
+    }
+
+    /// The compile-time profile behind [`CompiledPipeline::dry_run`]: one
+    /// [`StageProfile`] per materialized stage (output last), built from the
+    /// already-compiled plans — profiling does no additional compilation.
+    pub(crate) fn profile(&self) -> PipelineProfile {
+        let stage_profile = |stage: &Stage| -> StageProfile {
+            let (lowered, stores) = match &stage.pure_exec {
+                Some(PureExec::Lowered(plan)) => (true, plan.store_profiles()),
+                Some(PureExec::Interpreted { .. }) | None => (false, Vec::new()),
+            };
+            StageProfile {
+                name: stage.name.clone(),
+                extents: stage.extents.clone(),
+                lowered,
+                stores,
+                interpreted_updates: if stage.updates_compiled {
+                    0
+                } else {
+                    stage.updates.len()
+                },
+            }
+        };
+        PipelineProfile {
+            stages: self
+                .stages
+                .iter()
+                .chain(std::iter::once(&self.output))
+                .map(stage_profile)
+                .collect(),
+            updates: self.update_counts(),
+        }
     }
 
     /// Execute the prepared program: materialize producer stages in order,

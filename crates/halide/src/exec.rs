@@ -676,6 +676,31 @@ pub enum LaneFamily {
     F32,
 }
 
+/// Compile-time profile of one compiled store, for the cost model behind
+/// `helium-tune`: which execution tier the store selected and the shape facts
+/// that predict its per-element cost — all known without running the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreProfile {
+    /// The fused SIMD lane family the store compiled for tier 1, if any
+    /// (`None` means the store runs the per-op tier every time).
+    pub fused: Option<LaneFamily>,
+    /// Number of taps (source loads) of the fused kernel; 0 when unfused.
+    pub taps: usize,
+    /// Largest absolute constant offset across the fused taps' per-dimension
+    /// affine bases — the stencil halo radius, which predicts how many
+    /// boundary columns peel off the fused interior onto the per-op tier.
+    pub max_tap_offset: i64,
+    /// Guarded (reduction) store: clamped destination, read-modify-write
+    /// ordering on the per-op tier.
+    pub guarded: bool,
+    /// The fused accumulation (lane tree-reduce) family, when the guarded
+    /// store compiled one.
+    pub reduce: Option<LaneFamily>,
+    /// Whether the store admits privatize-then-merge deferred accumulation
+    /// under a [`crate::stmt::LoopKind::ParallelReduce`] nest.
+    pub parallel_reduce: bool,
+}
+
 /// Per-lane-family fused-kernel counts of an [`ExecPlan`], for observability,
 /// autotuner reporting and benchmark columns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -4702,6 +4727,41 @@ impl ExecPlan {
             }
         }
         counts
+    }
+
+    /// Per-store compile-time profiles (see [`StoreProfile`]): the tier each
+    /// store selected plus the shape facts — tap count, stencil halo radius,
+    /// guarded/reduce/merge admissibility — that a cost model needs to
+    /// predict the plan's run time without executing it. Kernel selection is
+    /// part of the plan, so cached plans report the same profiles.
+    pub fn store_profiles(&self) -> Vec<StoreProfile> {
+        self.prepared
+            .stores
+            .iter()
+            .flatten()
+            .map(|store| {
+                let (taps, max_tap_offset) = match &store.fused {
+                    Some(f) => (
+                        f.taps.len(),
+                        f.taps
+                            .iter()
+                            .flat_map(|t| t.dims.iter())
+                            .map(|d| d.konst.abs())
+                            .max()
+                            .unwrap_or(0),
+                    ),
+                    None => (0, 0),
+                };
+                StoreProfile {
+                    fused: store.fused.as_ref().map(|f| f.family()),
+                    taps,
+                    max_tap_offset,
+                    guarded: store.clamp,
+                    reduce: store.reduce.as_ref().map(|r| r.family()),
+                    parallel_reduce: store.merge.is_some(),
+                }
+            })
+            .collect()
     }
 }
 

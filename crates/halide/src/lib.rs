@@ -127,12 +127,12 @@ pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
 pub use buffer::Buffer;
 pub use cache::{CacheKey, CacheStats, ProgramCache, ShardedCache};
 pub use codegen::{generate_halide_source, CodegenOptions};
-pub use compile::{CompileOptions, CompiledPipeline, UpdateCounts};
+pub use compile::{CompileOptions, CompiledPipeline, PipelineProfile, StageProfile, UpdateCounts};
 pub use eval::{eval_expr, EvalSources};
 pub use exec::{
     fused_rows_executed, fused_tail_chunks_executed, parallel_reduce_merges_executed,
     reduce_chunks_executed, set_simd_mode, simd_mode, CounterSnapshot, FusedStoreCounts,
-    LaneFamily, SimdMode,
+    LaneFamily, SimdMode, StoreProfile,
 };
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};

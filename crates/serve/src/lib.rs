@@ -41,9 +41,11 @@
 
 pub mod histogram;
 pub mod queue;
+pub mod warm;
 
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use queue::{BoundedQueue, PushError};
+pub use warm::{warm, warm_from_env, WarmReport};
 
 use helium_halide::buffer::Buffer;
 use helium_halide::compile::CompiledPipeline;

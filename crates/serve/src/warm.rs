@@ -1,0 +1,177 @@
+//! Warm-up hook: consult the persistent [`ScheduleCache`] before first
+//! compile, so a serving process that has been tuned before performs **zero
+//! timed trials** — it compiles the cached winner, primes the program cache
+//! with one untimed run, and is ready to serve.
+//!
+//! The flow a production process runs at startup, before accepting requests:
+//!
+//! ```text
+//!   ScheduleCache::load_env()            (HELIUM_SCHEDULE_CACHE)
+//!        │
+//!   warm(pipeline, extents, inputs, &mut cache, &config)
+//!        │ hit:  compile cached schedule, 1 warm run, 0 timed trials
+//!        │ miss: guided search (model-ranked, bandit-refined),
+//!        │       insert winner, compile, 1 warm run
+//!   cache.save_env()                     (persist for the next process)
+//! ```
+
+use helium_halide::{CompileOptions, CompiledPipeline, Pipeline, RealizeError, RealizeInputs};
+use helium_tune::{guided_search_cached, ScheduleCache, SearchConfig};
+use std::sync::Arc;
+
+/// What a warm-up did, and the compiled pipeline ready to serve.
+#[derive(Debug)]
+pub struct WarmReport {
+    /// The pipeline compiled under the winning schedule, program cache
+    /// primed for the warmed extents — hand this to [`crate::ServeRequest`]s.
+    pub compiled: Arc<CompiledPipeline>,
+    /// The schedule the pipeline was compiled under.
+    pub schedule: helium_halide::Schedule,
+    /// Whether the schedule came from the cache without any search.
+    pub cache_hit: bool,
+    /// Timed trials spent (0 on a cache hit — the warm-start contract).
+    pub timed_trials: usize,
+}
+
+/// Warm one pipeline for serving over `extents`: resolve the schedule
+/// through `cache` (guided search on a miss, inserting the winner), compile
+/// it, and prime the program cache with one untimed run.
+///
+/// # Errors
+/// Returns an error if the pipeline cannot be realized (missing inputs,
+/// undefined funcs, ...).
+pub fn warm(
+    pipeline: &Pipeline,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    cache: &mut ScheduleCache,
+    config: &SearchConfig,
+) -> Result<WarmReport, RealizeError> {
+    let report = guided_search_cached(pipeline, extents, inputs, config, cache)?;
+    let compiled = Arc::new(pipeline.compile(&report.best, &CompileOptions::default())?);
+    let _ = compiled.run(inputs, extents)?;
+    Ok(WarmReport {
+        compiled,
+        schedule: report.best,
+        cache_hit: report.from_cache,
+        timed_trials: report.timed_trials,
+    })
+}
+
+/// [`warm`] against the process-wide cache file named by
+/// `HELIUM_SCHEDULE_CACHE`: load it leniently, warm, and persist the
+/// (possibly grown) cache back if the variable is set. The save is
+/// best-effort — an unwritable cache path degrades to re-tuning next start,
+/// never to a failed warm-up.
+///
+/// # Errors
+/// See [`warm`].
+pub fn warm_from_env(
+    pipeline: &Pipeline,
+    extents: &[usize],
+    inputs: &RealizeInputs<'_>,
+    config: &SearchConfig,
+) -> Result<WarmReport, RealizeError> {
+    let mut cache = ScheduleCache::load_env();
+    let report = warm(pipeline, extents, inputs, &mut cache, config)?;
+    let _ = cache.save_env();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helium_halide::{
+        BinOp, Buffer, Expr, Func, ImageParam, Realizer, ScalarType, Schedule, Value,
+    };
+    use std::time::Duration;
+
+    fn invert_pipeline() -> (Pipeline, Buffer) {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Xor,
+                Expr::Image("in".into(), vec![x, y]),
+                Expr::int(255),
+            ),
+        );
+        let p = Pipeline::new(
+            Func::pure("out", &["x_0", "x_1"], ScalarType::UInt8, value),
+            vec![ImageParam::new("in", ScalarType::UInt8, 2)],
+        );
+        let mut input = Buffer::new(ScalarType::UInt8, &[48, 40]);
+        for c in input.coords().collect::<Vec<_>>() {
+            input.set(&c, Value::Int((c[0] * 3 + c[1]) % 256));
+        }
+        (p, input)
+    }
+
+    fn quick_config() -> SearchConfig {
+        SearchConfig {
+            top_k: 2,
+            repetitions: 1,
+            max_candidates: 12,
+            budget: Duration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn warm_miss_searches_then_hit_performs_zero_timed_trials() {
+        let (p, input) = invert_pipeline();
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let mut cache = ScheduleCache::new();
+
+        let cold = warm(&p, &[48, 40], &inputs, &mut cache, &quick_config()).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.timed_trials >= 1, "a miss must search");
+        assert_eq!(cache.len(), 1, "the winner is inserted");
+
+        let hot = warm(&p, &[48, 40], &inputs, &mut cache, &quick_config()).unwrap();
+        assert!(hot.cache_hit);
+        assert_eq!(hot.timed_trials, 0, "a warmed process never times trials");
+        assert_eq!(hot.schedule, cold.schedule);
+        // The warm run primed the program cache: serving is all hits.
+        let stats = hot.compiled.cache_stats();
+        assert_eq!(stats.misses, 1, "exactly the priming compile");
+        let _ = hot.compiled.run(&inputs, &[48, 40]).unwrap();
+        assert!(hot.compiled.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn warmed_pipeline_serves_correct_results() {
+        let (p, input) = invert_pipeline();
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let mut cache = ScheduleCache::new();
+        let report = warm(&p, &[48, 40], &inputs, &mut cache, &quick_config()).unwrap();
+        let served = report.compiled.run(&inputs, &[48, 40]).unwrap();
+        let oracle = Realizer::new(Schedule::naive())
+            .realize(&p, &[48, 40], &inputs)
+            .unwrap();
+        assert_eq!(served, oracle, "warmed schedule must preserve values");
+    }
+
+    #[test]
+    fn persisted_cache_warms_a_fresh_process_state_with_zero_search() {
+        let (p, input) = invert_pipeline();
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let dir = std::env::temp_dir().join(format!("helium_warm_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schedules.txt");
+
+        // Process 1: tune, persist.
+        let mut cache = ScheduleCache::new();
+        let cold = warm(&p, &[48, 40], &inputs, &mut cache, &quick_config()).unwrap();
+        assert!(cold.timed_trials >= 1);
+        cache.save(&path).unwrap();
+
+        // Process 2 (fresh state, only the file survives): zero timed trials.
+        let mut fresh = ScheduleCache::load(&path).unwrap();
+        let hot = warm(&p, &[48, 40], &inputs, &mut fresh, &quick_config()).unwrap();
+        assert!(hot.cache_hit, "the persisted winner must be found");
+        assert_eq!(hot.timed_trials, 0, "warm start performs no timed trials");
+        assert_eq!(hot.schedule, cold.schedule);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
