@@ -28,6 +28,8 @@ REPORT_FLOORS = {
         "f32_simd_speedup": 10.0,   # [f32; W] lane family (miniGMG smooth)
         "i64_simd_speedup": 3.0,    # [i64; W/2] lane family (hist64 binning)
         "reduction_speedup": 1.5,   # compiled update nests vs run_update
+        "window_speedup": 1.2,      # sliding-window compute_at vs recompute
+        "multi_output_speedup": 1.2,  # fused multi-output nest vs per-stage nests
     },
     "BENCH_serve.json": {
         "serve_throughput_rps": 1.0,     # the service must actually serve

@@ -22,6 +22,14 @@
 //! (`reduction_speedup`, gated ≥ 1.5× in CI), after asserting the updates
 //! really execute through the compiled engine and match the oracle.
 //!
+//! A `locality` section times the locality tier: sliding-window `compute_at`
+//! against plain recompute on a two-stage vertical blur (`window_speedup`,
+//! gated ≥ 1.2× in CI, after asserting `window_rows_reused` really fired)
+//! and a multi-output fused nest against per-stage `compute_root` nests on a
+//! pointwise `compose_after` chain (`multi_output_speedup`, gated ≥ 1.2×,
+//! after asserting the chain collapsed into exactly one shared nest) — both
+//! bit-identical to the interpreter oracle before any timing counts.
+//!
 //! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
 //! report from a reduced configuration — CI uses this to exercise the cached
 //! realize path on every PR without burning minutes.
@@ -30,11 +38,12 @@ use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
 use helium_bench::{
     hist64_pipeline, hist64_rdom_pipeline, lift_photoflow, minigmg_residual_norm,
-    minigmg_smooth_f32, time_lifted_on, LiftedRealizeSetup,
+    minigmg_smooth_f32, pointwise_chain_pipeline, time_lifted_on, two_stage_blur_pipeline,
+    LiftedRealizeSetup,
 };
 use helium_halide::{
-    set_simd_mode, Buffer, CompileOptions, ExecBackend, Pipeline, RealizeInputs, Realizer,
-    Schedule, SimdMode,
+    set_simd_mode, Buffer, CompileOptions, CounterSnapshot, ExecBackend, Pipeline, RealizeInputs,
+    Realizer, Schedule, SimdMode,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -234,6 +243,133 @@ fn lane_family_split(
     (scalar, simd, best_width, speedup)
 }
 
+/// Sliding-window `compute_at` vs plain `compute_at` on the two-stage
+/// vertical blur: oracle-gate both variants, assert the window really
+/// compiles and re-uses rows at run time (non-vacuity), then time warm runs
+/// of each. Returns `(plain, sliding, speedup)`.
+fn window_split(
+    name: &str,
+    pipeline: &Pipeline,
+    input: &Buffer,
+    extents: &[usize],
+    reps: usize,
+) -> (Duration, Duration, f64) {
+    let inputs = RealizeInputs::new().with_image("in", input);
+    // Serial attach loop: every iteration after the first is warm, so the
+    // measured delta is pure recompute-vs-reuse (parallel chunks would
+    // restart the window cold per chunk).
+    let base = Schedule::naive()
+        .with_vector_width(8)
+        .with_compute_at("blur_x", "x_1");
+    let slid = base.clone().with_store_sliding("blur_x");
+    let opts = CompileOptions {
+        backend: ExecBackend::Lowered,
+        ..CompileOptions::default()
+    };
+    let plain_c = pipeline.compile(&base, &opts).expect("compile plain");
+    let slid_c = pipeline.compile(&slid, &opts).expect("compile sliding");
+    // Correctness gate before timing: both variants bit-identical to the
+    // interpreter oracle.
+    let oracle = Realizer::new(base.clone())
+        .with_backend(ExecBackend::Interpret)
+        .realize(pipeline, extents, &inputs)
+        .expect("oracle");
+    let plain_out = plain_c.run(&inputs, extents).expect("plain run");
+    assert_eq!(plain_out, oracle, "{name}: plain compute_at diverged");
+    assert_eq!(
+        plain_c.sliding_windows(&inputs, extents).expect("windows"),
+        0,
+        "{name}: plain schedule must not slide"
+    );
+    // Non-vacuity gate: the sliding schedule compiles exactly one window and
+    // actually re-uses rows across attach iterations.
+    let before = CounterSnapshot::take();
+    let slid_out = slid_c.run(&inputs, extents).expect("sliding run");
+    let reused = before.delta().window_rows_reused;
+    assert_eq!(slid_out, oracle, "{name}: sliding window diverged");
+    assert_eq!(
+        slid_c.sliding_windows(&inputs, extents).expect("windows"),
+        1,
+        "{name}: the sliding schedule must compile one window"
+    );
+    assert!(
+        reused > 0,
+        "{name}: no rows re-used — the window is vacuous"
+    );
+
+    let plain = time_compiled_runs(&plain_c, &inputs, extents, reps);
+    let sliding = time_compiled_runs(&slid_c, &inputs, extents, reps);
+    let speedup = plain.as_secs_f64() / sliding.as_secs_f64().max(1e-12);
+    println!(
+        "lowering: {name:<18} plain={plain:?} sliding={sliding:?} \
+         window_speedup={speedup:.2}x rows_reused={reused}"
+    );
+    (plain, sliding, speedup)
+}
+
+/// Multi-output fusion vs per-stage nests on the pointwise `compose_after`
+/// chain: `compute_root` every upstream stage in both variants, oracle-gate
+/// both, assert the fused variant really collapses into one shared nest
+/// (non-vacuity), then time warm runs of each. Returns
+/// `(unfused, fused, speedup)`.
+fn multi_output_split(
+    name: &str,
+    pipeline: &Pipeline,
+    input: &Buffer,
+    extents: &[usize],
+    reps: usize,
+) -> (Duration, Duration, f64) {
+    let inputs = RealizeInputs::new().with_image("in", input);
+    // Parallel outer loop: the unfused chain spawns one worker set per
+    // stage nest, the fused nest spawns once — exactly the re-walk the
+    // locality tier removes.
+    let mut base = Schedule::naive().with_vector_width(32).with_parallel(true);
+    for func in pipeline.funcs.keys().filter(|n| **n != pipeline.output) {
+        base = base.with_compute_root(func);
+    }
+    let fused_s = base.clone().with_fuse_outputs(true);
+    let opts = CompileOptions {
+        backend: ExecBackend::Lowered,
+        ..CompileOptions::default()
+    };
+    let unfused_c = pipeline.compile(&base, &opts).expect("compile unfused");
+    let fused_c = pipeline.compile(&fused_s, &opts).expect("compile fused");
+    let oracle = Realizer::new(base.clone())
+        .with_backend(ExecBackend::Interpret)
+        .realize(pipeline, extents, &inputs)
+        .expect("oracle");
+    let unfused_out = unfused_c.run(&inputs, extents).expect("unfused run");
+    assert_eq!(unfused_out, oracle, "{name}: unfused chain diverged");
+    assert_eq!(
+        unfused_c
+            .multi_output_nests(&inputs, extents)
+            .expect("nests"),
+        0,
+        "{name}: the unfused schedule must not fuse"
+    );
+    // Non-vacuity gate: the fused program holds one shared nest and every
+    // run executes it as a multi-output dispatch.
+    let before = CounterSnapshot::take();
+    let fused_out = fused_c.run(&inputs, extents).expect("fused run");
+    let nests = before.delta().multi_output_nests;
+    assert_eq!(fused_out, oracle, "{name}: fused nest diverged");
+    assert_eq!(
+        fused_c.multi_output_nests(&inputs, extents).expect("nests"),
+        1,
+        "{name}: the chain must collapse into one shared nest"
+    );
+    assert!(nests >= 1, "{name}: the fused nest never executed");
+
+    let unfused = time_compiled_runs(&unfused_c, &inputs, extents, reps);
+    let fused = time_compiled_runs(&fused_c, &inputs, extents, reps);
+    let speedup = unfused.as_secs_f64() / fused.as_secs_f64().max(1e-12);
+    println!(
+        "lowering: {name:<18} unfused={unfused:?} fused={fused:?} \
+         multi_output_speedup={speedup:.2}x nests_per_run={nests}"
+    );
+    (unfused, fused, speedup)
+}
+
 fn write_report(reps: usize, width: usize, height: usize) {
     let mut entries = String::new();
     for (i, filter) in FILTERS.iter().enumerate() {
@@ -344,6 +480,35 @@ fn write_report(reps: usize, width: usize, height: usize) {
         reps,
     );
     let reduction_speedup = hist_speedup.min(norm_speedup);
+
+    // The locality tier: sliding-window compute_at reuse and multi-output
+    // fused nests, each oracle-gated and non-vacuity-checked before timing.
+    let (ww, wh) = if smoke { (256, 160) } else { (768, 512) };
+    let (window_p, window_in) = two_stage_blur_pipeline(ww, wh, 0x51DE);
+    let (w_plain, w_sliding, window_speedup) =
+        window_split("blur_window", &window_p, &window_in, &[ww, wh], reps.max(3));
+    // Request-rate-sized realizes: per-nest worker spawning is the overhead
+    // fusion removes, so the split runs where that overhead is visible and
+    // takes best-of-many to keep the µs-scale measurement stable.
+    let (cw, ch, stages) = if smoke { (96, 64, 8) } else { (128, 96, 8) };
+    let (chain_p, chain_in) = pointwise_chain_pipeline(cw, ch, stages, 0xC4A1);
+    let (m_unfused, m_fused, multi_output_speedup) = multi_output_split(
+        "pointwise_chain",
+        &chain_p,
+        &chain_in,
+        &[cw, ch],
+        reps.max(12),
+    );
+    let locality = format!(
+        "    {{\"pipeline\": \"two_stage_blur\", \"extents\": [{ww}, {wh}], \
+         \"plain_ns\": {}, \"sliding_ns\": {}, \"window_speedup\": {window_speedup:.3}}},\n    \
+         {{\"pipeline\": \"pointwise_chain\", \"extents\": [{cw}, {ch}], \"stages\": {stages}, \
+         \"unfused_ns\": {}, \"fused_ns\": {}, \"multi_output_speedup\": {multi_output_speedup:.3}}}",
+        w_plain.as_nanos(),
+        w_sliding.as_nanos(),
+        m_unfused.as_nanos(),
+        m_fused.as_nanos(),
+    );
     let reductions = format!(
         "    {{\"pipeline\": \"hist64_rdom\", \"extents\": [{rw}, {rh}], \"bins\": 256, \
          \"interpret_ns\": {}, \"compiled_ns\": {}, \"reduction_speedup\": {hist_speedup:.3}}},\n    \
@@ -366,7 +531,7 @@ fn write_report(reps: usize, width: usize, height: usize) {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"reductions\": [\n{reductions}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3},\n  \"reduction_speedup\": {reduction_speedup:.3}\n}}\n"
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"reductions\": [\n{reductions}\n  ],\n  \"locality\": [\n{locality}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3},\n  \"reduction_speedup\": {reduction_speedup:.3},\n  \"window_speedup\": {window_speedup:.3},\n  \"multi_output_speedup\": {multi_output_speedup:.3}\n}}\n"
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");

@@ -77,6 +77,23 @@
 //! rest) and stores only that prefix. Either way small tiles stay on tier 1
 //! — [`fused_tail_chunks_executed`] counts these tail chunks.
 //!
+//! **The locality tier.** Two lowering constructs cut redundant memory
+//! traffic without touching per-element values:
+//!
+//! * [`Stmt::SlideWindow`] manages a `compute_at` allocation as a rolling
+//!   window: at each attach iteration it compares the region minimum against
+//!   the previous iteration's (tracked per-thread in [`Scratch`], so parallel
+//!   chunks just start cold), shifts the surviving rows down in place with
+//!   one `memmove`, and binds the warm-row count to a pseudo-variable the
+//!   producer nest's sliding loop starts at — only newly exposed rows are
+//!   recomputed. Exactness: region inference proved the window's content is a
+//!   pure function of the sliding minimum, so a shifted row is bit-identical
+//!   to a recomputed one. [`window_rows_reused`] counts the rows saved.
+//! * Multi-output fused nests ([`prepare_multi`] / [`run_multi_with_mode`])
+//!   carry several `Produce` blocks under one shared outer loop, writing
+//!   several output buffers per walk; each member store still selects its
+//!   own execution tier. [`multi_output_nests_executed`] counts the runs.
+//!
 //! **Bit-exactness.** Every tier replicates [`Value`] semantics exactly:
 //! integer arithmetic wraps, division by zero yields zero, right shifts are
 //! logical on `i64`, casts truncate like C casts, and out-of-range loads
@@ -193,6 +210,16 @@ static REDUCE_CHUNKS: AtomicU64 = AtomicU64::new(0);
 /// [`LoopKind::ParallelReduce`] nest execution), for observability and tests.
 static PARALLEL_REDUCE_MERGES: AtomicU64 = AtomicU64::new(0);
 
+/// Rows of sliding-window `compute_at` allocations reused (shifted in place
+/// instead of recomputed) by [`Stmt::SlideWindow`] executions, for
+/// observability and tests — the proof that the locality tier fires.
+static WINDOW_ROWS_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Multi-output fused loop nests executed (plans run through
+/// [`run_multi_with_mode`] with more than one output buffer), for
+/// observability and tests.
+static MULTI_OUTPUT_NESTS: AtomicU64 = AtomicU64::new(0);
+
 fn env_simd_mode() -> SimdMode {
     static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
     *ENV_MODE.get_or_init(|| {
@@ -260,6 +287,19 @@ pub fn parallel_reduce_merges_executed() -> u64 {
     PARALLEL_REDUCE_MERGES.load(Ordering::Relaxed)
 }
 
+/// Number of sliding-window rows reused (shifted in place instead of
+/// recomputed) since process start (monotonic; for tests and observability).
+pub fn window_rows_reused() -> u64 {
+    WINDOW_ROWS_REUSED.load(Ordering::Relaxed)
+}
+
+/// Number of multi-output fused nest executions (runs with more than one
+/// output buffer) since process start (monotonic; for tests and
+/// observability).
+pub fn multi_output_nests_executed() -> u64 {
+    MULTI_OUTPUT_NESTS.load(Ordering::Relaxed)
+}
+
 /// A scoped snapshot of the global execution counters, for tests that assert
 /// exact deltas.
 ///
@@ -282,6 +322,10 @@ pub struct CounterSnapshot {
     pub reduce_chunks: u64,
     /// [`parallel_reduce_merges_executed`] at snapshot time.
     pub parallel_reduce_merges: u64,
+    /// [`window_rows_reused`] at snapshot time.
+    pub window_rows_reused: u64,
+    /// [`multi_output_nests_executed`] at snapshot time.
+    pub multi_output_nests: u64,
 }
 
 impl CounterSnapshot {
@@ -292,6 +336,8 @@ impl CounterSnapshot {
             fused_tails: fused_tail_chunks_executed(),
             reduce_chunks: reduce_chunks_executed(),
             parallel_reduce_merges: parallel_reduce_merges_executed(),
+            window_rows_reused: window_rows_reused(),
+            multi_output_nests: multi_output_nests_executed(),
         }
     }
 
@@ -305,6 +351,12 @@ impl CounterSnapshot {
             parallel_reduce_merges: now
                 .parallel_reduce_merges
                 .saturating_sub(self.parallel_reduce_merges),
+            window_rows_reused: now
+                .window_rows_reused
+                .saturating_sub(self.window_rows_reused),
+            multi_output_nests: now
+                .multi_output_nests
+                .saturating_sub(self.multi_output_nests),
         }
     }
 }
@@ -2077,6 +2129,42 @@ impl PrepareCtx<'_> {
                 }
                 Ok(())
             }
+            Stmt::SlideWindow {
+                extent,
+                warm_var,
+                body,
+                ..
+            } => {
+                // The warm-row count behaves like a loop variable bound once
+                // per attach iteration: it occupies a depth slot (so the
+                // producer nest's sliding loop can reference it through the
+                // environment) with the sound interval [0, extent].
+                let prev = self.var_depths.insert(warm_var.clone(), self.depth);
+                let prev_bounds = self
+                    .var_bounds
+                    .insert(warm_var.clone(), Interval::new(0, *extent as i64));
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+                self.walk(body)?;
+                self.depth -= 1;
+                match prev {
+                    Some(p) => {
+                        self.var_depths.insert(warm_var.clone(), p);
+                    }
+                    None => {
+                        self.var_depths.remove(warm_var);
+                    }
+                }
+                match prev_bounds {
+                    Some(p) => {
+                        self.var_bounds.insert(warm_var.clone(), p);
+                    }
+                    None => {
+                        self.var_bounds.remove(warm_var);
+                    }
+                }
+                Ok(())
+            }
             Stmt::Store {
                 id,
                 buffer,
@@ -2296,6 +2384,12 @@ struct Scratch {
     /// Per-row tap base offsets of the active fused kernel.
     tap_bases: Vec<i64>,
     allocs: BTreeMap<usize, Vec<u8>>,
+    /// Last sliding-dimension region minimum seen per window allocation slot
+    /// (keyed like `allocs`), consumed by [`Stmt::SlideWindow`] to decide how
+    /// many rows of the previous iteration's content survive. Thread-local
+    /// like the backing storage, so parallel attach loops simply start cold
+    /// per worker chunk.
+    windows: BTreeMap<usize, i64>,
 }
 
 impl Scratch {
@@ -2308,6 +2402,7 @@ impl Scratch {
             offs: vec![0; MAX_LANES],
             tap_bases: Vec::new(),
             allocs: BTreeMap::new(),
+            windows: BTreeMap::new(),
         }
     }
 }
@@ -2450,6 +2545,56 @@ impl Runner<'_> {
                 });
                 let result = self.run(body, binds, env, vars, scratch, in_parallel);
                 binds.0[slot] = None;
+                result
+            }
+            Stmt::SlideWindow {
+                name,
+                dim,
+                extent,
+                min,
+                warm_var,
+                body,
+            } => {
+                let slot = self.prepared.alloc_slots[name];
+                let cur = eval_scalar(min, env)?;
+                let ext = *extent as i64;
+                // Warm rows: how much of the previous iteration's window
+                // content is still in range after the region minimum advanced
+                // from `prev` to `cur`. Content is a pure function of the
+                // minimum (region inference proved every other dimension
+                // stationary), so local row `p` must hold producer row
+                // `p + cur`; the old buffer holds `p + prev` at row `p`, i.e.
+                // the surviving rows sit `shift = cur - prev` higher — shift
+                // them down in place and recompute only `[warm, extent)`.
+                let warm = match scratch.windows.get(&slot) {
+                    Some(&prev) if cur >= prev && cur - prev < ext => {
+                        let shift = (cur - prev) as usize;
+                        let warm = *extent - shift;
+                        if shift > 0 {
+                            let bind = binds.0[slot].as_ref().expect("window allocation bound");
+                            debug_assert_eq!(bind.extents[*dim], *extent);
+                            let total: usize = bind.extents.iter().product();
+                            let elem = bind.byte_len / total.max(1);
+                            let row = bind.strides[*dim] * elem;
+                            // memmove within this thread's scratch backing:
+                            // dst < src, ranges may overlap.
+                            unsafe {
+                                std::ptr::copy(bind.ptr.add(shift * row), bind.ptr, warm * row);
+                            }
+                        }
+                        WINDOW_ROWS_REUSED.fetch_add(warm as u64, Ordering::Relaxed);
+                        warm as i64
+                    }
+                    // Cold (first iteration, or the minimum moved backwards /
+                    // jumped past the window): recompute every row.
+                    _ => 0,
+                };
+                scratch.windows.insert(slot, cur);
+                let depth = env.len();
+                env.push((warm_var.clone(), warm));
+                vars[depth] = warm;
+                let result = self.run(body, binds, env, vars, scratch, in_parallel);
+                env.pop();
                 result
             }
             Stmt::For {
@@ -4670,7 +4815,10 @@ fn cmp_lanes<T: PartialOrd>(op: CmpOp, x: T, y: T) -> i32 {
 pub struct ExecPlan {
     stmt: Stmt,
     prepared: Prepared,
-    output_ty: ScalarType,
+    /// Element type of each output buffer, in slot order (slot `i` is output
+    /// `i`). Single-output plans have exactly one entry; multi-output fused
+    /// nests ([`prepare_multi`]) have one per produced stage.
+    output_tys: Vec<ScalarType>,
     image_names: Vec<String>,
     root_names: Vec<String>,
 }
@@ -4702,6 +4850,25 @@ impl ExecPlan {
     /// Number of compiled stores in the plan.
     pub fn store_count(&self) -> usize {
         self.prepared.stores.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of output buffers the plan produces (1 for ordinary plans,
+    /// more for multi-output fused nests built via [`prepare_multi`]).
+    pub fn output_count(&self) -> usize {
+        self.output_tys.len()
+    }
+
+    /// Number of [`Stmt::SlideWindow`] nodes in the plan's loop nest — the
+    /// sliding-window `compute_at` allocations the locality tier manages.
+    pub fn sliding_window_count(&self) -> usize {
+        self.stmt.sliding_window_count()
+    }
+
+    /// Window extents (rows of the slid dimension) of every
+    /// [`Stmt::SlideWindow`] node in the plan, in visit order. A window of
+    /// extent `E` re-uses `E - 1` rows per warm attach iteration.
+    pub fn sliding_window_extents(&self) -> Vec<usize> {
+        self.stmt.sliding_window_extents()
     }
 
     /// Number of guarded (reduction) stores in the plan — the lowered update
@@ -4784,6 +4951,30 @@ pub fn prepare(
     roots: &[(String, ScalarType)],
     params: &BTreeMap<String, Value>,
 ) -> Result<ExecPlan, RealizeError> {
+    prepare_multi(
+        stmt,
+        &[(output_name.to_string(), output_ty)],
+        images,
+        roots,
+        params,
+    )
+}
+
+/// Compile a lowered statement producing several output buffers (a
+/// multi-output fused nest) into an [`ExecPlan`]. The outputs occupy slots
+/// `0..outputs.len()` writable, in order, followed by the images and roots —
+/// [`run_multi_with_mode`] binds output buffers in the same order. With a
+/// single output this is exactly [`prepare`].
+///
+/// # Errors
+/// Returns an error if a referenced buffer or parameter is missing.
+pub fn prepare_multi(
+    stmt: Stmt,
+    outputs: &[(String, ScalarType)],
+    images: &[(String, ScalarType)],
+    roots: &[(String, ScalarType)],
+    params: &BTreeMap<String, Value>,
+) -> Result<ExecPlan, RealizeError> {
     let mut ctx = PrepareCtx {
         params,
         decls: Vec::new(),
@@ -4797,7 +4988,9 @@ pub fn prepare(
         max_stack: 1,
         max_arity: 1,
     };
-    ctx.add_slot(output_name, output_ty, true);
+    for (name, ty) in outputs {
+        ctx.add_slot(name, *ty, true);
+    }
     for (name, ty) in images {
         ctx.add_slot(name, *ty, false);
     }
@@ -4815,7 +5008,7 @@ pub fn prepare(
             max_stack: ctx.max_stack,
             max_arity: ctx.max_arity,
         },
-        output_ty,
+        output_tys: outputs.iter().map(|(_, ty)| *ty).collect(),
         image_names: images.iter().map(|(n, _)| n.clone()).collect(),
         root_names: roots.iter().map(|(n, _)| n.clone()).collect(),
     })
@@ -4852,10 +5045,28 @@ pub fn run_with_mode(
     params: &BTreeMap<String, Value>,
     mode: SimdMode,
 ) -> Result<(), RealizeError> {
+    run_multi_with_mode(plan, &mut [output], images, roots, params, mode)
+}
+
+/// Execute a prepared multi-output plan: binds `outputs` writable to slots
+/// `0..outputs.len()` in the order [`prepare_multi`] declared them, then runs
+/// like [`run_with_mode`]. Increments the [`multi_output_nests_executed`]
+/// counter when more than one output is produced.
+///
+/// # Errors
+/// Returns an error if a declared image or root buffer is not provided.
+pub fn run_multi_with_mode(
+    plan: &ExecPlan,
+    outputs: &mut [&mut Buffer],
+    images: &BTreeMap<String, &Buffer>,
+    roots: &BTreeMap<String, Buffer>,
+    params: &BTreeMap<String, Value>,
+    mode: SimdMode,
+) -> Result<(), RealizeError> {
     debug_assert_eq!(
-        output.scalar_type(),
-        plan.output_ty,
-        "output buffer type must match the prepared plan"
+        outputs.len(),
+        plan.output_tys.len(),
+        "output buffer count must match the prepared plan"
     );
     let bind_of = |b: &Buffer| SlotBind {
         ptr: b.bytes().as_ptr() as *mut u8,
@@ -4864,12 +5075,22 @@ pub fn run_with_mode(
         strides: b.strides().to_vec(),
     };
     let mut binds: Vec<Option<SlotBind>> = Vec::with_capacity(plan.prepared.decls.len());
-    binds.push(Some(SlotBind {
-        ptr: output.bytes_mut().as_mut_ptr(),
-        byte_len: output.bytes().len(),
-        extents: output.extents().to_vec(),
-        strides: output.strides().to_vec(),
-    }));
+    for (output, ty) in outputs.iter_mut().zip(&plan.output_tys) {
+        debug_assert_eq!(
+            output.scalar_type(),
+            *ty,
+            "output buffer type must match the prepared plan"
+        );
+        binds.push(Some(SlotBind {
+            ptr: output.bytes_mut().as_mut_ptr(),
+            byte_len: output.bytes().len(),
+            extents: output.extents().to_vec(),
+            strides: output.strides().to_vec(),
+        }));
+    }
+    if outputs.len() > 1 {
+        MULTI_OUTPUT_NESTS.fetch_add(1, Ordering::Relaxed);
+    }
     for name in &plan.image_names {
         let buf = images
             .get(name)
@@ -5007,8 +5228,8 @@ mod tests {
     /// (the per-op tier is the established oracle).
     fn assert_modes_agree(plan: &ExecPlan, extents: &[usize], img: &Buffer) {
         let images: BTreeMap<String, &Buffer> = [("in".to_string(), img)].into_iter().collect();
-        let mut scalar = Buffer::new(plan.output_ty, extents);
-        let mut simd = Buffer::new(plan.output_ty, extents);
+        let mut scalar = Buffer::new(plan.output_tys[0], extents);
+        let mut simd = Buffer::new(plan.output_tys[0], extents);
         let params = BTreeMap::new();
         run_with_mode(
             plan,

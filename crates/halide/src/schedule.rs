@@ -44,6 +44,23 @@ pub struct Schedule {
     /// `compute_root`, which is value-identical. The interpreter backend
     /// always treats `compute_at` as `compute_root`.
     pub compute_at: BTreeMap<String, String>,
+    /// `compute_at` producers opted into sliding-window reuse: when the
+    /// attach loop translates the producer's region by one row per iteration
+    /// (coefficient 1 on the attach loop, extent > 1), the lowered backend
+    /// keeps the scoped allocation as a rolling window across attach
+    /// iterations and recomputes only the newly exposed rows. Producers whose
+    /// inferred region does not slide (other coefficients, strided
+    /// translation, extent 1) silently keep the recompute-everything
+    /// placement, which is value-identical.
+    pub store_sliding: BTreeSet<String>,
+    /// Let one loop nest produce several outputs: consecutive materialized
+    /// stages with compatible loop structure (identical outer extent,
+    /// pure, untiled, cross-stage reads that never look ahead in the shared
+    /// loop) compile into a single shared nest carrying one `Produce` block
+    /// per stage, so `compose_after` chains stop re-walking the image per
+    /// stage. Stages that do not qualify keep their own nests — the grouping
+    /// is always value-identical.
+    pub fuse_outputs: bool,
 }
 
 impl Default for Schedule {
@@ -55,6 +72,8 @@ impl Default for Schedule {
             vector_width: 1,
             compute_root: BTreeSet::new(),
             compute_at: BTreeMap::new(),
+            store_sliding: BTreeSet::new(),
+            fuse_outputs: false,
         }
     }
 }
@@ -114,6 +133,22 @@ impl Schedule {
         self
     }
 
+    /// Keep `func`'s `compute_at` allocation as a sliding window across
+    /// attach-loop iterations, recomputing only newly exposed rows. No-op
+    /// unless `func` is also scheduled `compute_at` with a region that
+    /// translates by the attach loop.
+    pub fn with_store_sliding(mut self, func: &str) -> Schedule {
+        self.store_sliding.insert(func.to_string());
+        self
+    }
+
+    /// Fuse consecutive compatible materialized stages into one shared loop
+    /// nest producing several outputs.
+    pub fn with_fuse_outputs(mut self, fuse: bool) -> Schedule {
+        self.fuse_outputs = fuse;
+        self
+    }
+
     /// Effective number of worker threads.
     pub fn effective_threads(&self) -> usize {
         if !self.parallel {
@@ -133,13 +168,15 @@ impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parallel={} threads={} tile={:?} vector={} roots={:?} at={:?}",
+            "parallel={} threads={} tile={:?} vector={} roots={:?} at={:?} sliding={:?} fuse={}",
             self.parallel,
             self.threads,
             self.tile,
             self.vector_width,
             self.compute_root,
-            self.compute_at
+            self.compute_at,
+            self.store_sliding,
+            self.fuse_outputs
         )
     }
 }
@@ -168,6 +205,21 @@ mod tests {
     fn sequential_schedules_use_one_thread() {
         assert_eq!(Schedule::naive().effective_threads(), 1);
         assert!(Schedule::stencil_default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn locality_knobs_are_fingerprint_visible() {
+        let s = Schedule::naive()
+            .with_compute_at("blur_x", "x_1")
+            .with_store_sliding("blur_x")
+            .with_fuse_outputs(true);
+        assert!(s.store_sliding.contains("blur_x"));
+        assert!(s.fuse_outputs);
+        // The fingerprint hashes the Display output, so the locality knobs
+        // must appear there or cached programs would alias across them.
+        let text = s.to_string();
+        assert!(text.contains("sliding={\"blur_x\"}"), "{text}");
+        assert!(text.contains("fuse=true"), "{text}");
     }
 
     #[test]

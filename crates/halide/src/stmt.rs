@@ -222,6 +222,33 @@ pub enum Stmt {
         /// The loops computing it.
         body: Box<Stmt>,
     },
+    /// Sliding-window reuse for the enclosing [`Stmt::Allocate`] buffer
+    /// `name`: the buffer's dimension `dim` (its outermost-stored dimension)
+    /// covers region rows `[min, min + extent)` where `min` translates with
+    /// the attach loop. At each execution the runner compares `min` against
+    /// the previous iteration's value; when the window slid forward by
+    /// `0 <= shift < extent` rows it moves the still-valid rows to the front
+    /// of the buffer and binds `warm_var` to the count of reused rows
+    /// (`extent - shift`), so the produce nest in `body` — whose slide-dim
+    /// loop starts at `warm_var` — recomputes only the newly exposed rows.
+    /// Any other movement (window reset, first iteration) binds `warm_var`
+    /// to zero and the full region is recomputed, which is always sound.
+    SlideWindow {
+        /// The enclosing allocation this window manages.
+        name: String,
+        /// The sliding dimension (always the buffer's last dimension, so
+        /// reused rows are contiguous in memory).
+        dim: usize,
+        /// Constant extent of the sliding dimension.
+        extent: usize,
+        /// Runtime region minimum of the sliding dimension, an expression
+        /// over the enclosing loop variables.
+        min: Expr,
+        /// Pseudo-variable bound to the first row index to recompute.
+        warm_var: String,
+        /// The producer nest filling rows `[warm_var, extent)`.
+        body: Box<Stmt>,
+    },
     /// A loop `for var in [min, min+extent)`.
     For {
         /// Loop variable name, visible to `body`'s expressions.
@@ -295,7 +322,10 @@ impl Stmt {
                     s.visit(f);
                 }
             }
-            Stmt::Allocate { body, .. } | Stmt::Produce { body, .. } | Stmt::For { body, .. } => {
+            Stmt::Allocate { body, .. }
+            | Stmt::Produce { body, .. }
+            | Stmt::For { body, .. }
+            | Stmt::SlideWindow { body, .. } => {
                 body.visit(f);
             }
             Stmt::Store { .. } | Stmt::ReduceStore { .. } => {}
@@ -336,6 +366,30 @@ impl Stmt {
         n
     }
 
+    /// Number of `SlideWindow` (rolling `compute_at` allocation) nodes in
+    /// the tree.
+    pub fn sliding_window_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if matches!(s, Stmt::SlideWindow { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Window extents (in rows of the slid dimension) of every
+    /// `SlideWindow` node in the tree, in visit order.
+    pub fn sliding_window_extents(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if let Stmt::SlideWindow { extent, .. } = s {
+                out.push(*extent);
+            }
+        });
+        out
+    }
+
     /// Names of all buffers allocated by `Allocate` nodes.
     pub fn allocated_buffers(&self) -> Vec<String> {
         let mut out = Vec::new();
@@ -367,6 +421,20 @@ impl Stmt {
             }
             Stmt::Produce { func, body } => {
                 writeln!(f, "{pad}produce {func}:")?;
+                body.fmt_indented(f, indent + 1)
+            }
+            Stmt::SlideWindow {
+                name,
+                dim,
+                extent,
+                min,
+                warm_var,
+                body,
+            } => {
+                writeln!(
+                    f,
+                    "{pad}slide_window {name} dim={dim} extent={extent} min={min} warm={warm_var}"
+                )?;
                 body.fmt_indented(f, indent + 1)
             }
             Stmt::For {

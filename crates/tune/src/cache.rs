@@ -321,7 +321,11 @@ fn unescape(name: &str) -> Result<String, String> {
 }
 
 /// Encode a schedule as one token:
-/// `parallel=<b>;threads=<n>;tile=<w>x<h>|-;vector=<n>;roots=<a,b>;at=<f@v,...>`.
+/// `parallel=<b>;threads=<n>;tile=<w>x<h>|-;vector=<n>;roots=<a,b>;at=<f@v,...>;sliding=<a,b>;fuse=<b>`.
+///
+/// The locality keys (`sliding`, `fuse`) were appended in a later revision;
+/// the decoder treats missing keys as their `Schedule::naive()` defaults, so
+/// files written before the keys existed still load.
 fn encode_schedule(s: &Schedule) -> String {
     let tile = match s.tile {
         Some((w, h)) => format!("{w}x{h}"),
@@ -339,9 +343,15 @@ fn encode_schedule(s: &Schedule) -> String {
         .map(|(f, v)| format!("{}@{}", escape(f), escape(v)))
         .collect::<Vec<_>>()
         .join(",");
+    let sliding = s
+        .store_sliding
+        .iter()
+        .map(|n| escape(n))
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "parallel={};threads={};tile={};vector={};roots={};at={}",
-        s.parallel, s.threads, tile, s.vector_width, roots, at
+        "parallel={};threads={};tile={};vector={};roots={};at={};sliding={};fuse={}",
+        s.parallel, s.threads, tile, s.vector_width, roots, at, sliding, s.fuse_outputs
     )
 }
 
@@ -387,6 +397,14 @@ fn decode_schedule(text: &str) -> Result<Schedule, String> {
                     s.compute_at.insert(unescape(f)?, unescape(v)?);
                 }
             }
+            "sliding" => {
+                for name in value.split(',').filter(|n| !n.is_empty()) {
+                    s.store_sliding.insert(unescape(name)?);
+                }
+            }
+            "fuse" => {
+                s.fuse_outputs = value.parse().map_err(|_| "bad fuse".to_string())?;
+            }
             _ => return Err(format!("unknown schedule field `{key}`")),
         }
     }
@@ -407,7 +425,9 @@ mod tests {
             CachedSchedule {
                 schedule: Schedule::stencil_default()
                     .with_compute_root("blur x")
-                    .with_compute_at("lut;table", "x_1"),
+                    .with_compute_at("lut;table", "x_1")
+                    .with_store_sliding("lut;table")
+                    .with_fuse_outputs(true),
                 best_ns: 123_456,
                 model_score: 987.5,
                 timed_trials: 5,
@@ -436,6 +456,24 @@ mod tests {
         let parsed = ScheduleCache::from_text(&cache.to_text()).unwrap();
         assert_eq!(parsed, cache);
         assert_eq!(parsed.get(&key), Some(&entry));
+    }
+
+    #[test]
+    fn legacy_schedule_encoding_without_locality_keys_decodes() {
+        // Files written before the `sliding`/`fuse` keys existed must keep
+        // loading, with the locality knobs at their naive defaults.
+        let legacy = "parallel=true;threads=4;tile=64x64;vector=16;roots=a;at=b@x_1";
+        let s = decode_schedule(legacy).unwrap();
+        assert!(s.store_sliding.is_empty());
+        assert!(!s.fuse_outputs);
+        assert_eq!(s.vector_width, 16);
+        assert_eq!(s.tile, Some((64, 64)));
+        // And the current encoding round-trips the knobs exactly.
+        let knobs = Schedule::naive()
+            .with_store_sliding("blur x")
+            .with_fuse_outputs(true);
+        let decoded = decode_schedule(&encode_schedule(&knobs)).unwrap();
+        assert_eq!(decoded, knobs);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::cache::{CachedSchedule, ScheduleCache, ScheduleKey};
 use crate::model::{score, ScheduleFeatures};
+use crate::trials::{TrialLog, TrialRecord};
 use helium_halide::cache::fingerprint_schedule;
 use helium_halide::{CompileOptions, ExecBackend, Pipeline, RealizeError, RealizeInputs, Schedule};
 use std::collections::BTreeSet;
@@ -81,8 +82,12 @@ pub struct TuneReport {
 /// crossed with tilings, parallelism and per-producer placements (inline /
 /// `compute_root` / `compute_at` the outermost output loop), deduplicated by
 /// schedule fingerprint and seeded with the naive and stencil-default
-/// schedules. Spaces larger than `limit` are thinned by stride sampling so
-/// every region of the space stays represented.
+/// schedules. Candidates with `compute_at` placements additionally spawn a
+/// sliding-window variant (`with_store_sliding` on every attached producer),
+/// and untiled candidates with `compute_root` placements spawn a
+/// `with_fuse_outputs` variant, so the locality tier is part of the searched
+/// space. Spaces larger than `limit` are thinned by stride sampling so every
+/// region of the space stays represented.
 pub fn enumerate_candidates(pipeline: &Pipeline, limit: usize) -> Vec<Schedule> {
     let widths = [1usize, 8, 16, 32];
     let tiles = [None, Some((64usize, 64usize)), Some((128, 128))];
@@ -124,16 +129,36 @@ pub fn enumerate_candidates(pipeline: &Pipeline, limit: usize) -> Vec<Schedule> 
                         .with_parallel(parallel)
                         .with_tile(tile)
                         .with_vector_width(width);
+                    let mut attached: Vec<&str> = Vec::new();
+                    let mut rooted = false;
                     for (producer, code) in producers.iter().zip(placements) {
                         match code {
-                            1 => s = s.with_compute_root(producer),
+                            1 => {
+                                s = s.with_compute_root(producer);
+                                rooted = true;
+                            }
                             2 => {
                                 if let Some(var) = &attach_var {
                                     s = s.with_compute_at(producer, var);
+                                    attached.push(producer.as_str());
                                 }
                             }
                             _ => {}
                         }
+                    }
+                    // Locality-tier variants: roll each attached producer as
+                    // a sliding window, and (untiled only — fusion requires
+                    // it) collapse the compute_root chain into one shared
+                    // multi-output nest.
+                    if !attached.is_empty() {
+                        let mut slid = s.clone();
+                        for producer in &attached {
+                            slid = slid.with_store_sliding(producer);
+                        }
+                        all.push(slid);
+                    }
+                    if rooted && tile.is_none() {
+                        all.push(s.clone().with_fuse_outputs(true));
                     }
                     all.push(s);
                 }
@@ -284,7 +309,11 @@ pub fn guided_search(
 /// [`guided_search`] with a persistent [`ScheduleCache`] in front: a hit
 /// returns the cached winner with **zero timed trials** (the warm-start
 /// contract a serving process relies on); a miss searches and inserts the
-/// winner under `fingerprint_pipeline × extents × backend`.
+/// winner under `fingerprint_pipeline × extents × backend`. When a schedule
+/// cache path is configured ([`crate::SCHEDULE_CACHE_ENV`]), every timed
+/// trial the miss spends is also appended to the sibling [`TrialLog`] —
+/// measured evidence for a future refit of the cost model. Log-write
+/// failures are swallowed: losing refit evidence must never fail a search.
 ///
 /// # Errors
 /// See [`guided_search`].
@@ -306,6 +335,27 @@ pub fn guided_search_cached(
         });
     }
     let report = guided_search(pipeline, extents, inputs, config)?;
+    let records: Vec<TrialRecord> = report
+        .trials
+        .iter()
+        .filter(|t| t.timed_reps > 0)
+        .map(|t| TrialRecord {
+            pipeline: key.pipeline,
+            backend: key.backend,
+            extents: key.extents.clone(),
+            schedule: t.fingerprint,
+            measured_ns: t.measured.map_or(0, |m| m.as_nanos() as u64),
+            timed_reps: t.timed_reps,
+            model_score: t.model_score,
+            features: t
+                .features
+                .columns()
+                .into_iter()
+                .map(|(name, value)| (name.to_string(), value))
+                .collect(),
+        })
+        .collect();
+    let _ = TrialLog::append_env(&records);
     let best_fp = fingerprint_schedule(&report.best);
     cache.insert(
         key,
@@ -392,6 +442,26 @@ mod tests {
     }
 
     #[test]
+    fn enumeration_covers_locality_knobs() {
+        let (p, _) = blur_pipeline();
+        let all = enumerate_candidates(&p, 256);
+        assert!(
+            all.iter()
+                .any(|s| s.store_sliding.contains("blur_x") && s.compute_at.contains_key("blur_x")),
+            "a sliding-window variant of every compute_at placement is enumerated"
+        );
+        assert!(
+            all.iter()
+                .any(|s| s.fuse_outputs && s.compute_root.contains("blur_x")),
+            "a fuse_outputs variant of every compute_root placement is enumerated"
+        );
+        assert!(
+            all.iter().all(|s| !(s.fuse_outputs && s.tile.is_some())),
+            "fusion variants are only spawned untiled (fusion requires it)"
+        );
+    }
+
+    #[test]
     fn ranking_produces_features_and_sorted_scores() {
         let (p, input) = blur_pipeline();
         let inputs = RealizeInputs::new().with_image("in", &input);
@@ -459,5 +529,51 @@ mod tests {
         let third = guided_search_cached(&p, &[40, 30], &inputs, &config, &mut cache).unwrap();
         assert!(!third.from_cache);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_miss_appends_timed_trials_to_the_sibling_log() {
+        use crate::cache::SCHEDULE_CACHE_ENV;
+        use crate::trials::TrialLog;
+        let dir =
+            std::env::temp_dir().join(format!("helium_tune_trial_env_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_path = dir.join("schedules.txt");
+        std::env::set_var(SCHEDULE_CACHE_ENV, &cache_path);
+        let (p, input) = blur_pipeline();
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let config = SearchConfig {
+            top_k: 2,
+            repetitions: 1,
+            max_candidates: 12,
+            budget: Duration::from_secs(30),
+        };
+        let mut cache = ScheduleCache::new();
+        let report = guided_search_cached(&p, &[33, 21], &inputs, &config, &mut cache).unwrap();
+        std::env::remove_var(SCHEDULE_CACHE_ENV);
+        let key = ScheduleKey::for_pipeline(&p, ExecBackend::Lowered, &[33, 21]);
+        let log = TrialLog::load(&cache_path.with_file_name("schedules.txt.trials")).unwrap();
+        let mine: Vec<_> = log
+            .records()
+            .iter()
+            .filter(|r| r.pipeline == key.pipeline && r.extents == [33, 21])
+            .collect();
+        assert_eq!(
+            mine.len(),
+            report.timed_trials,
+            "one log row per timed trial"
+        );
+        for r in &mine {
+            assert!(r.measured_ns > 0);
+            assert!(r
+                .features
+                .iter()
+                .any(|(name, _)| name == "window_reuse_fraction"));
+            assert!(r
+                .features
+                .iter()
+                .any(|(name, _)| name == "fused_output_count"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,412 @@
+//! The persistent trial log: every *timed* trial a guided search spends,
+//! recorded as a feature vector plus its measured steady-state nanoseconds.
+//!
+//! The [`ScheduleCache`](crate::ScheduleCache) keeps only winners; this log
+//! keeps the evidence. Each row pairs a [`ScheduleFeatures`] column vector
+//! with a real measurement, which is exactly the design matrix a future
+//! least-squares refit of the analytical cost model needs (see ROADMAP).
+//!
+//! Like the schedule cache, persistence is a hand-rolled versioned text
+//! format (the workspace `serde` is a no-op shim): one header line, then one
+//! row per timed trial. Rows are append-only — [`TrialLog::append`] adds to
+//! an existing file without rewriting it, so concurrent searches interleave
+//! whole rows rather than clobbering each other's history. Loading is strict
+//! via [`TrialLog::from_text`] with the usual lenient wrapper
+//! ([`TrialLog::load_or_default`]) for paths where a corrupt log must mean
+//! "no history", never "crash".
+
+use crate::cache::ScheduleCache;
+use helium_halide::ExecBackend;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Header line of the on-disk format; bumped on layout changes so stale
+/// logs fail parsing instead of feeding a refit wrong columns.
+const HEADER: &str = "helium-trial-log v1";
+
+/// Suffix appended to the schedule-cache path to name its sibling trial log.
+const TRIAL_LOG_SUFFIX: &str = ".trials";
+
+/// One timed trial: where it ran (pipeline × backend × extents), which
+/// schedule it was, what the model saw, and what the clock said.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Pipeline fingerprint the trial ran against.
+    pub pipeline: u64,
+    /// Execution backend the trial ran on.
+    pub backend: ExecBackend,
+    /// Output extents the trial realized.
+    pub extents: Vec<usize>,
+    /// Schedule fingerprint of the timed candidate.
+    pub schedule: u64,
+    /// Best observed steady-state time, in nanoseconds.
+    pub measured_ns: u64,
+    /// Timing repetitions spent across bandit rounds.
+    pub timed_reps: usize,
+    /// The model's predicted relative cost for this candidate.
+    pub model_score: f64,
+    /// The feature vector the model scored, as named columns
+    /// ([`ScheduleFeatures::columns`](crate::ScheduleFeatures::columns)).
+    pub features: Vec<(String, f64)>,
+}
+
+/// Parse failure of the on-disk format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialLogError {
+    /// 1-based line the failure was detected on.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for TrialLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trial log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TrialLogError {}
+
+/// The persistent trial log. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialLog {
+    records: Vec<TrialRecord>,
+}
+
+impl TrialLog {
+    /// An empty log.
+    pub fn new() -> TrialLog {
+        TrialLog::default()
+    }
+
+    /// The recorded trials, in file (append) order.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Number of recorded trials.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append a record in memory.
+    pub fn push(&mut self, record: TrialRecord) {
+        self.records.push(record);
+    }
+
+    /// Serialize to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for record in &self.records {
+            out.push_str(&encode_record(record));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the versioned text format (strict: any malformed line fails).
+    ///
+    /// # Errors
+    /// Returns a [`TrialLogError`] naming the offending line.
+    pub fn from_text(text: &str) -> Result<TrialLog, TrialLogError> {
+        let err = |line: usize, message: &str| TrialLogError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == HEADER => {}
+            _ => return Err(err(1, "missing or unsupported header")),
+        }
+        let mut log = TrialLog::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            log.push(decode_record(line).map_err(|message| err(lineno, &message))?);
+        }
+        Ok(log)
+    }
+
+    /// Write the whole log to `path` (temp file then rename, like the
+    /// schedule cache).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read and strictly parse the log at `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; parse failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> std::io::Result<TrialLog> {
+        let text = std::fs::read_to_string(path)?;
+        TrialLog::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Lenient load: a missing or corrupt log is an empty log, never a
+    /// crash.
+    pub fn load_or_default(path: &Path) -> TrialLog {
+        TrialLog::load(path).unwrap_or_default()
+    }
+
+    /// Append `records` to the log at `path` without rewriting existing
+    /// rows; a missing or empty file gets the header first.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn append(path: &Path, records: &[TrialRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let needs_header = std::fs::metadata(path)
+            .map(|m| m.len() == 0)
+            .unwrap_or(true);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut chunk = String::new();
+        if needs_header {
+            chunk.push_str(HEADER);
+            chunk.push('\n');
+        }
+        for record in records {
+            chunk.push_str(&encode_record(record));
+            chunk.push('\n');
+        }
+        file.write_all(chunk.as_bytes())
+    }
+
+    /// The trial-log path derived from the configured schedule-cache path
+    /// ([`crate::SCHEDULE_CACHE_ENV`] + `.trials`), if the variable is set.
+    /// The log lives beside the cache so a deployment that persists winners
+    /// automatically accumulates the refit evidence too.
+    pub fn env_path() -> Option<PathBuf> {
+        ScheduleCache::env_path().map(|p| sibling_path(&p))
+    }
+
+    /// Append `records` to the log beside the env-configured schedule cache;
+    /// returns whether a path was configured.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn append_env(records: &[TrialRecord]) -> std::io::Result<bool> {
+        match Self::env_path() {
+            Some(p) => Self::append(&p, records).map(|()| true),
+            None => Ok(false),
+        }
+    }
+}
+
+/// The trial log living beside a schedule cache at `cache_path`.
+fn sibling_path(cache_path: &Path) -> PathBuf {
+    let mut name = cache_path.file_name().unwrap_or_default().to_os_string();
+    name.push(TRIAL_LOG_SUFFIX);
+    cache_path.with_file_name(name)
+}
+
+fn backend_tag(backend: ExecBackend) -> &'static str {
+    match backend {
+        ExecBackend::Interpret => "interpret",
+        ExecBackend::Lowered => "lowered",
+    }
+}
+
+fn parse_backend(tag: &str) -> Option<ExecBackend> {
+    match tag {
+        "interpret" => Some(ExecBackend::Interpret),
+        "lowered" => Some(ExecBackend::Lowered),
+        _ => None,
+    }
+}
+
+/// Encode one record as one line:
+/// `<pipeline:016x> <backend> <extents|-> <schedule:016x> <measured_ns>
+/// <timed_reps> <model_score:e> <name=val;...|->`.
+fn encode_record(r: &TrialRecord) -> String {
+    let extents = if r.extents.is_empty() {
+        "-".to_string()
+    } else {
+        r.extents
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    };
+    let features = if r.features.is_empty() {
+        "-".to_string()
+    } else {
+        r.features
+            .iter()
+            .map(|(name, value)| format!("{name}={value:e}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    format!(
+        "{:016x} {} {} {:016x} {} {} {:e} {}",
+        r.pipeline,
+        backend_tag(r.backend),
+        extents,
+        r.schedule,
+        r.measured_ns,
+        r.timed_reps,
+        r.model_score,
+        features,
+    )
+}
+
+fn decode_record(line: &str) -> Result<TrialRecord, String> {
+    let fields: Vec<&str> = line.splitn(8, ' ').collect();
+    if fields.len() != 8 {
+        return Err("expected 8 space-separated fields".to_string());
+    }
+    let pipeline =
+        u64::from_str_radix(fields[0], 16).map_err(|_| "bad pipeline fingerprint".to_string())?;
+    let backend = parse_backend(fields[1]).ok_or_else(|| "bad backend".to_string())?;
+    let extents: Vec<usize> = if fields[2] == "-" {
+        Vec::new()
+    } else {
+        fields[2]
+            .split('x')
+            .map(|e| e.parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| "bad extents".to_string())?
+    };
+    let schedule =
+        u64::from_str_radix(fields[3], 16).map_err(|_| "bad schedule fingerprint".to_string())?;
+    let measured_ns = fields[4]
+        .parse::<u64>()
+        .map_err(|_| "bad measured_ns".to_string())?;
+    let timed_reps = fields[5]
+        .parse::<usize>()
+        .map_err(|_| "bad timed_reps".to_string())?;
+    let model_score = fields[6]
+        .parse::<f64>()
+        .map_err(|_| "bad model score".to_string())?;
+    let features = if fields[7] == "-" {
+        Vec::new()
+    } else {
+        fields[7]
+            .split(';')
+            .map(|pair| {
+                let (name, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad feature column `{pair}`"))?;
+                let value = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad feature value in `{pair}`"))?;
+                Ok((name.to_string(), value))
+            })
+            .collect::<Result<Vec<_>, String>>()?
+    };
+    Ok(TrialRecord {
+        pipeline,
+        backend,
+        extents,
+        schedule,
+        measured_ns,
+        timed_reps,
+        model_score,
+        features,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> TrialRecord {
+        TrialRecord {
+            pipeline: 0xFEED_u64,
+            backend: ExecBackend::Lowered,
+            extents: vec![640, 480],
+            schedule: 0xBEEF_u64,
+            measured_ns: 123_456,
+            timed_reps: 6,
+            model_score: 987.5,
+            features: vec![
+                ("vector_width".to_string(), 16.0),
+                ("window_reuse_fraction".to_string(), 2.0 / 3.0),
+                ("fused_output_count".to_string(), 0.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_records_exactly() {
+        let mut log = TrialLog::new();
+        log.push(sample_record());
+        log.push(TrialRecord {
+            features: Vec::new(),
+            extents: Vec::new(),
+            ..sample_record()
+        });
+        let parsed = TrialLog::from_text(&log.to_text()).unwrap();
+        assert_eq!(parsed, log);
+        // Feature values survive with full f64 precision (the `{:e}` form).
+        assert_eq!(parsed.records()[0].features[1].1, 2.0 / 3.0);
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected_with_line_numbers() {
+        assert!(TrialLog::from_text("").is_err());
+        assert!(TrialLog::from_text("not a header\n").is_err());
+        let bad = format!("{HEADER}\nzzzz lowered 4x4 0 1 1 0.0 -\n");
+        let err = TrialLog::from_text(&bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        let bad_features =
+            format!("{HEADER}\n00000000000000ff lowered 4x4 00000000000000aa 1 1 0.0 taps\n");
+        assert!(TrialLog::from_text(&bad_features).is_err());
+    }
+
+    #[test]
+    fn append_creates_header_once_and_interleaves_rows() {
+        let dir =
+            std::env::temp_dir().join(format!("helium_tune_trials_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schedules.txt.trials");
+        TrialLog::append(&path, &[sample_record()]).unwrap();
+        let second = TrialRecord {
+            measured_ns: 777,
+            ..sample_record()
+        };
+        TrialLog::append(&path, std::slice::from_ref(&second)).unwrap();
+        let loaded = TrialLog::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.records()[1], second);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.lines().filter(|l| l.trim() == HEADER).count(),
+            1,
+            "append must write the header exactly once"
+        );
+        // Lenient load tolerates both absence and corruption.
+        assert!(TrialLog::load_or_default(&dir.join("missing.txt")).is_empty());
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(TrialLog::load_or_default(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trial_log_lives_beside_the_cache_path() {
+        assert_eq!(
+            sibling_path(Path::new("/tmp/caches/schedules.txt")),
+            Path::new("/tmp/caches/schedules.txt.trials")
+        );
+    }
+}
