@@ -34,6 +34,8 @@ REPORT_FLOORS = {
     "BENCH_serve.json": {
         "serve_throughput_rps": 1.0,     # the service must actually serve
         "parallel_reduce_speedup": 1.3,  # privatize-then-merge vs serial nest
+        "shed_p99_improvement": 1.0,     # shedding never worsens the tail
+        "expired_completed_fraction": 1.0,  # every expired ticket resolves
     },
     "BENCH_autotune.json": {
         "guided_vs_random_speedup": 1.2,  # model-ranked trials-to-5% vs random

@@ -1,8 +1,10 @@
 //! Serving-stack benchmark: request throughput and tail latency through
-//! `helium-serve`, plus the parallel-reduction accumulation split.
+//! `helium-serve`, plus the parallel-reduction accumulation split and an
+//! overload scenario exercising deadlines, admission quotas, and p99-driven
+//! load shedding.
 //!
 //! Writes a machine-readable summary to `BENCH_serve.json` in the workspace
-//! root with four gated columns:
+//! root with the gated columns:
 //!
 //! * `serve_throughput_rps` — completed requests per second for a mixed
 //!   warm workload (a pure i64-lane stencil and the RDom histogram over
@@ -14,18 +16,29 @@
 //!   schedule, whose integer accumulator nest runs the privatize-then-merge
 //!   deferred-accumulation path. Both runs are asserted bit-identical to the
 //!   interpreter oracle (and the deferred path asserted active) before any
-//!   timing counts.
+//!   timing counts;
+//! * `shed_p99_improvement` — a sustained burst paced past worker
+//!   saturation (4×, escalating under scheduler noise) is pushed through
+//!   two identical servers, one with a p99 shedding target and one without;
+//!   the column is `baseline p99 / shed p99` and must stay ≥ 1.0 (shedding
+//!   never makes the tail worse, and every accepted ticket still
+//!   completes);
+//! * `expired_completed_fraction` — already-expired requests queued behind
+//!   busy workers must all resolve with `DeadlineExceeded` (never hang,
+//!   never burn a realize); the column is `resolved expired / expired
+//!   counter` and must equal 1.0.
 //!
 //! Setting `HELIUM_BENCH_SMOKE=1` skips the criterion group and writes the
 //! report from a reduced configuration — the CI `serve` job uses this and
-//! gates the four columns via `.github/scripts/bench_gate.py`.
+//! gates the columns via `.github/scripts/bench_gate.py`.
 
 use criterion::{criterion_group, Criterion};
 use helium_bench::{hist64_pipeline, hist64_rdom_pipeline};
 use helium_halide::{
-    Buffer, CompileOptions, CompiledPipeline, CounterSnapshot, ExecBackend, RealizeInputs, Schedule,
+    Buffer, CompileOptions, CompiledPipeline, CounterSnapshot, ExecBackend, RealizeError,
+    RealizeInputs, Schedule,
 };
-use helium_serve::{ServeConfig, ServeRequest, Server, Ticket};
+use helium_serve::{ServeConfig, ServeRequest, Server, SubmitError, Ticket};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -209,6 +222,254 @@ fn serve_throughput(
     (rps, latency)
 }
 
+/// What the overload scenario measured; feeds the `overload` JSON section
+/// and the two gated columns derived from it.
+struct OverloadReport {
+    workers: usize,
+    paced_requests: usize,
+    service_ns: u64,
+    /// Arrival rate over drain rate for the paced burst that separated.
+    saturation_factor: u32,
+    baseline_p99_ns: u64,
+    baseline_completed: u64,
+    shed_p99_ns: u64,
+    shed_completed: u64,
+    shed_count: u64,
+    shed_target_ns: u64,
+    expired: u64,
+    resolved_expired: u64,
+    quota: usize,
+    quota_rejected: u64,
+    /// `baseline_p99 / shed_p99` — gated ≥ 1.0.
+    shed_p99_improvement: f64,
+    /// `resolved_expired / expired` — gated == 1.0.
+    expired_completed_fraction: f64,
+}
+
+/// Submissions between pacing sleeps. Sleeping (rather than spin-waiting)
+/// is what makes the burst meaningful on a single core: it yields the CPU
+/// to the workers, so deliveries — and the live-p99 signal shedding reads —
+/// interleave with submissions regardless of core count.
+const BURST_BATCH: usize = 8;
+
+/// One paced burst at `interval` per request through a fresh server.
+/// Returns `(p99_ns, completed, shed)`. Every accepted ticket must
+/// complete — the overload contract is "reject at the door, never strand
+/// past it".
+fn paced_burst(
+    w: &Workload,
+    workers: usize,
+    interval: Duration,
+    requests: usize,
+    p99_target: Option<Duration>,
+) -> (u64, u64, u64) {
+    let mut config = ServeConfig::default()
+        .with_workers(workers)
+        .with_queue_depth(requests + 16);
+    if let Some(target) = p99_target {
+        config = config.with_p99_target(target);
+    }
+    let server = Server::start(config);
+    // Prime the latency histogram past the shedding minimum with unloaded
+    // round trips (identical for both legs, so the comparison is fair).
+    for _ in 0..32 {
+        let _ = server
+            .submit(request_for(w, 0))
+            .expect("priming submit")
+            .wait()
+            .expect("priming ticket");
+    }
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(requests);
+    let mut shed = 0u64;
+    for i in 0..requests {
+        if i % BURST_BATCH == 0 && i > 0 {
+            std::thread::sleep(interval * BURST_BATCH as u32);
+        }
+        match server.try_submit(request_for(w, 0)) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Shed(_)) => shed += 1,
+            Err(e) => panic!("unexpected rejection during paced burst: {e:?}"),
+        }
+    }
+    for t in tickets {
+        let _ = t.wait().expect("every accepted overload ticket completes");
+    }
+    let stats = server.stats();
+    server.shutdown();
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "accepted work all drained"
+    );
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(
+        stats.shed, shed,
+        "shed counter reconciles with observations"
+    );
+    (stats.latency.p99_ns, stats.completed, shed)
+}
+
+/// The overload scenario: a 2×-saturation paced burst with and without a
+/// p99 shedding target, a deadline leg (already-expired requests behind a
+/// busy worker), and a quota leg (admission control at the door).
+fn overload_legs(requests: usize) -> OverloadReport {
+    let workloads = workloads(smoke_mode());
+    let w = &workloads[0];
+    let inputs = RealizeInputs::new().with_image(w.input_name, &w.input);
+    // Pure service time (no serve-layer overhead) sets the pacing: arrival
+    // interval t/(F·workers) is F× what the workers can drain. Start at 4×
+    // saturation and escalate if scheduler noise (sleep overshoot, a busy
+    // runner) dilutes the pressure below the point where shedding engages
+    // and separates the tails.
+    let service = time_compiled_runs(&w.compiled, &inputs, &w.extents[0], 16);
+    let service_ns = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX).max(1);
+    let workers = 2usize;
+    let shed_target = service * 4;
+    let mut factor = 4u32;
+    let (baseline_p99_ns, baseline_completed, shed_p99_ns, shed_completed, shed_count) = loop {
+        let interval = service / (factor * workers as u32);
+        let (baseline_p99_ns, baseline_completed, baseline_shed) =
+            paced_burst(w, workers, interval, requests, None);
+        assert_eq!(baseline_shed, 0, "no target, no shedding");
+        let (shed_p99_ns, shed_completed, shed_count) =
+            paced_burst(w, workers, interval, requests, Some(shed_target));
+        if shed_count > 0 && shed_p99_ns <= baseline_p99_ns {
+            break (
+                baseline_p99_ns,
+                baseline_completed,
+                shed_p99_ns,
+                shed_completed,
+                shed_count,
+            );
+        }
+        assert!(
+            factor < 32,
+            "a {factor}x-saturation burst against a {shed_target:?} p99 target must shed \
+             and improve the tail (shed={shed_count}, shed_p99={shed_p99_ns}ns, \
+             baseline_p99={baseline_p99_ns}ns)"
+        );
+        println!(
+            "serve: overload at {factor}x did not separate (shed={shed_count}, \
+             shed_p99={shed_p99_ns}ns vs baseline={baseline_p99_ns}ns); escalating"
+        );
+        factor *= 2;
+    };
+    let shed_p99_improvement = baseline_p99_ns as f64 / (shed_p99_ns as f64).max(1.0);
+    println!(
+        "serve: overload {factor}x-saturation x{requests} (service={service:?}): \
+         baseline p99={baseline_p99_ns}ns, shed p99={shed_p99_ns}ns \
+         ({shed_count} shed) -> improvement {shed_p99_improvement:.2}x"
+    );
+
+    // Deadline leg: occupy the lone worker, then queue already-expired
+    // requests behind it. Each must resolve `DeadlineExceeded` without
+    // burning a realize, never hang.
+    let expired_n = 24usize;
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(expired_n + 16),
+    );
+    let lookups_before = {
+        let s = w.compiled.cache_stats();
+        s.hits + s.misses
+    };
+    let busy: Vec<Ticket> = (0..8)
+        .map(|_| server.submit(request_for(w, 0)).expect("busy submit"))
+        .collect();
+    let doomed: Vec<Ticket> = (0..expired_n)
+        .map(|_| {
+            server
+                .submit(request_for(w, 0).with_deadline(Instant::now()))
+                .expect("doomed submit")
+        })
+        .collect();
+    let mut resolved_expired = 0u64;
+    for t in doomed {
+        match t.wait() {
+            Err(RealizeError::DeadlineExceeded) => resolved_expired += 1,
+            Ok(_) => panic!("an already-expired request must not realize"),
+            Err(e) => panic!("unexpected error on expired ticket: {e}"),
+        }
+    }
+    for t in busy {
+        let _ = t.wait().expect("busy ticket");
+    }
+    let stats = server.stats();
+    server.shutdown();
+    assert_eq!(stats.expired, expired_n as u64);
+    assert_eq!(stats.completed, stats.submitted, "expiries still complete");
+    assert_eq!(stats.failed, 0, "expiries are not failures");
+    let lookups_after = {
+        let s = w.compiled.cache_stats();
+        s.hits + s.misses
+    };
+    assert_eq!(
+        lookups_after - lookups_before,
+        8,
+        "expired requests never reach the program cache"
+    );
+    let expired_completed_fraction = resolved_expired as f64 / (stats.expired as f64).max(1.0);
+    println!(
+        "serve: deadline leg: {}/{} expired tickets resolved (fraction {:.3})",
+        resolved_expired, stats.expired, expired_completed_fraction
+    );
+
+    // Quota leg: fill a per-pipeline quota with blocking submits on a lone
+    // worker, then burst try_submits — admission control must reject at the
+    // door while accepted work drains normally.
+    let quota = 2usize;
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(64)
+            .with_pipeline_quota(quota),
+    );
+    let held: Vec<Ticket> = (0..quota)
+        .map(|_| server.submit(request_for(w, 0)).expect("fill quota"))
+        .collect();
+    let mut quota_rejected = 0u64;
+    let mut burst_accepted: Vec<Ticket> = Vec::new();
+    for _ in 0..16 {
+        match server.try_submit(request_for(w, 0)) {
+            Ok(t) => burst_accepted.push(t),
+            Err(SubmitError::QuotaExceeded(_)) => quota_rejected += 1,
+            Err(e) => panic!("unexpected rejection during quota burst: {e:?}"),
+        }
+    }
+    for t in held.into_iter().chain(burst_accepted) {
+        let _ = t.wait().expect("quota-admitted ticket");
+    }
+    let stats = server.stats();
+    server.shutdown();
+    assert!(quota_rejected >= 1, "the burst must trip the quota");
+    assert_eq!(stats.quota_rejected, quota_rejected, "counter reconciles");
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "admitted work all drained"
+    );
+    println!("serve: quota leg: {quota_rejected}/16 burst submits quota-rejected");
+
+    OverloadReport {
+        workers,
+        paced_requests: requests,
+        service_ns,
+        saturation_factor: factor,
+        baseline_p99_ns,
+        baseline_completed,
+        shed_p99_ns,
+        shed_completed,
+        shed_count,
+        shed_target_ns: u64::try_from(shed_target.as_nanos()).unwrap_or(u64::MAX),
+        expired: expired_n as u64,
+        resolved_expired,
+        quota,
+        quota_rejected,
+        shed_p99_improvement,
+        expired_completed_fraction,
+    }
+}
+
 fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
     group.sample_size(10);
@@ -246,18 +507,43 @@ fn write_report(reps: usize, requests: usize) {
     let (rps, latency) = serve_throughput(workers, requests.max(16), requests);
     let (rw, rh) = if smoke { (96, 64) } else { (256, 192) };
     let (serial, parallel, speedup) = parallel_reduce_split(rw, rh, reps);
+    let ov = overload_legs(if smoke { 256 } else { 512 });
     let json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"smoke\": {smoke},\n  \"workers\": {workers},\n  \
          \"requests\": {requests},\n  \"serve_throughput_rps\": {rps:.3},\n  \
          \"p50_ns\": {},\n  \"p99_ns\": {},\n  \"max_ns\": {},\n  \
          \"parallel_reduce\": {{\"pipeline\": \"hist64_rdom\", \"extents\": [{rw}, {rh}], \
          \"bins\": 256, \"serial_ns\": {}, \"parallel_ns\": {}}},\n  \
-         \"parallel_reduce_speedup\": {speedup:.3}\n}}\n",
+         \"parallel_reduce_speedup\": {speedup:.3},\n  \
+         \"overload\": {{\n    \"workers\": {}, \"paced_requests\": {}, \"service_ns\": {}, \
+         \"saturation_factor\": {},\n    \
+         \"baseline\": {{\"p99_ns\": {}, \"completed\": {}}},\n    \
+         \"shed\": {{\"p99_ns\": {}, \"completed\": {}, \"shed\": {}, \"p99_target_ns\": {}}},\n    \
+         \"deadline\": {{\"expired\": {}, \"resolved_expired\": {}}},\n    \
+         \"quota\": {{\"quota\": {}, \"rejected\": {}}}\n  }},\n  \
+         \"shed_p99_improvement\": {:.3},\n  \
+         \"expired_completed_fraction\": {:.3}\n}}\n",
         latency.p50_ns,
         latency.p99_ns,
         latency.max_ns,
         serial.as_nanos(),
         parallel.as_nanos(),
+        ov.workers,
+        ov.paced_requests,
+        ov.service_ns,
+        ov.saturation_factor,
+        ov.baseline_p99_ns,
+        ov.baseline_completed,
+        ov.shed_p99_ns,
+        ov.shed_completed,
+        ov.shed_count,
+        ov.shed_target_ns,
+        ov.expired,
+        ov.resolved_expired,
+        ov.quota,
+        ov.quota_rejected,
+        ov.shed_p99_improvement,
+        ov.expired_completed_fraction,
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");

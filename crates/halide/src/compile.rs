@@ -426,6 +426,13 @@ impl CompiledPipeline {
     pub fn cached_programs(&self) -> usize {
         self.cache.len()
     }
+
+    /// Structural fingerprint of the compiled pipeline
+    /// ([`crate::cache::fingerprint_pipeline`]). Stable across processes;
+    /// the serving layer keys per-pipeline admission quotas on it.
+    pub fn pipeline_fingerprint(&self) -> u64 {
+        self.pipeline_fp
+    }
 }
 
 /// Shared realize path of [`CompiledPipeline::run`] and the

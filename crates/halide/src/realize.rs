@@ -39,6 +39,13 @@ pub enum RealizeError {
         /// Number of extents supplied to `realize`.
         got: usize,
     },
+    /// The request's deadline passed before a worker could start it, so the
+    /// realize was skipped (serving layer; see `helium-serve`).
+    DeadlineExceeded,
+    /// The realize panicked mid-execution; the payload is the panic message.
+    /// Raised by recovery layers (e.g. a serving worker's unwind guard) —
+    /// never by a well-formed pipeline itself.
+    Panicked(String),
 }
 
 impl fmt::Display for RealizeError {
@@ -53,6 +60,10 @@ impl fmt::Display for RealizeError {
                     "output extents have {got} dimensions, func has {expected}"
                 )
             }
+            RealizeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before the realize started")
+            }
+            RealizeError::Panicked(msg) => write!(f, "realize panicked: {msg}"),
         }
     }
 }

@@ -3,8 +3,18 @@
 //! Values (nanoseconds) land in logarithmic octaves subdivided into
 //! `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error to
 //! `2^-SUB_BITS` (12.5%) while keeping the table a fixed array of atomic
-//! counters. [`LatencyHistogram::record`] is three relaxed atomic ops — no
-//! locks, no allocation — so worker threads can record on the request path.
+//! counters. [`LatencyHistogram::record`] is a handful of relaxed atomic ops
+//! — no locks, no allocation — so worker threads can record on the request
+//! path.
+//!
+//! Besides the cumulative table the histogram keeps a **live window**: two
+//! epoch bucket arrays rotated every [`LIVE_WINDOW`] samples, so
+//! [`LatencyHistogram::live_p99`] reflects only the most recent
+//! `LIVE_WINDOW..2*LIVE_WINDOW` samples. The serving layer's load shedding
+//! reads this live p99 — a cumulative quantile would never come back down
+//! after an overload burst, so shedding would never stop. Epoch rotation is
+//! racy by design (a clear concurrent with recorders can drop a handful of
+//! samples from the live view); the cumulative table never loses a sample.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,6 +25,9 @@ const SUB: usize = 1 << SUB_BITS;
 /// Bucket count covering the full `u64` range: indices `0..SUB` are exact,
 /// then `(64 - SUB_BITS)` octaves of `SUB` sub-buckets each.
 const BUCKETS: usize = (64 - SUB_BITS + 1) * SUB;
+/// Samples per live-window epoch; [`LatencyHistogram::live_p99`] covers the
+/// current epoch plus the previous one.
+pub const LIVE_WINDOW: u64 = 512;
 
 /// Bucket index for a value: exact below [`SUB`], then the octave of the
 /// leading bit with the next [`SUB_BITS`] bits as linear position.
@@ -27,6 +40,25 @@ fn bucket(v: u64) -> usize {
         let oct = msb - SUB_BITS;
         ((oct + 1) << SUB_BITS) | ((v >> oct) as usize & (SUB - 1))
     }
+}
+
+/// Rank into a bucket table: lower bound of the bucket holding the
+/// `q`-quantile of `total` samples read through `count_at`. `Some(0)` when
+/// empty, `None` when the scan ran past the table (counts raced downward —
+/// callers fall back to the recorded max).
+fn quantile_over(count_at: impl Fn(usize) -> u64, total: u64, q: f64) -> Option<u64> {
+    if total == 0 {
+        return Some(0);
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for idx in 0..BUCKETS {
+        seen += count_at(idx);
+        if seen >= rank {
+            return Some(bucket_low(idx));
+        }
+    }
+    None
 }
 
 /// Smallest value landing in `idx` — the bound reported for quantiles.
@@ -45,6 +77,11 @@ pub struct LatencyHistogram {
     counts: Vec<AtomicU64>,
     total: AtomicU64,
     max: AtomicU64,
+    /// Live-window epoch arrays; `epoch & 1` selects the current one.
+    live: [Vec<AtomicU64>; 2],
+    /// Samples recorded into the current epoch.
+    live_filled: AtomicU64,
+    epoch: AtomicU64,
 }
 
 /// A point-in-time digest of a [`LatencyHistogram`].
@@ -68,14 +105,38 @@ impl LatencyHistogram {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            live: [
+                (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            ],
+            live_filled: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// Record one sample in nanoseconds (lock-free, allocation-free).
     pub fn record(&self, ns: u64) {
-        self.counts[bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        let b = bucket(ns);
+        self.counts[b].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(ns, Ordering::Relaxed);
+        let e = self.epoch.load(Ordering::Relaxed);
+        self.live[(e & 1) as usize][b].fetch_add(1, Ordering::Relaxed);
+        if self.live_filled.fetch_add(1, Ordering::Relaxed) + 1 >= LIVE_WINDOW
+            && self
+                .epoch
+                .compare_exchange(e, e.wrapping_add(1), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // The rotation winner resets the fill counter and clears the
+            // array that just became current. Recorders racing with the
+            // clear can lose a few live samples; the cumulative table is
+            // untouched.
+            self.live_filled.store(0, Ordering::Relaxed);
+            for c in &self.live[((e & 1) ^ 1) as usize] {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Samples recorded so far.
@@ -92,18 +153,21 @@ impl LatencyHistogram {
     /// (`0.0 < q <= 1.0`), or 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (idx, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                return bucket_low(idx);
-            }
-        }
-        self.max_ns()
+        quantile_over(|i| self.counts[i].load(Ordering::Relaxed), total, q)
+            .unwrap_or_else(|| self.max_ns())
+    }
+
+    /// `(samples, p99 lower bound)` over the live window — the most recent
+    /// `LIVE_WINDOW..2*LIVE_WINDOW` samples (current + previous epoch).
+    /// Overload control reads this instead of the cumulative [`Self::quantile`]
+    /// so the signal decays once the burst that inflated it has aged out.
+    pub fn live_p99(&self) -> (u64, u64) {
+        let load = |i: usize| {
+            self.live[0][i].load(Ordering::Relaxed) + self.live[1][i].load(Ordering::Relaxed)
+        };
+        let total: u64 = (0..BUCKETS).map(load).sum();
+        let p99 = quantile_over(load, total, 0.99).unwrap_or_else(|| self.max_ns());
+        (total, p99)
     }
 
     /// Count, p50, p99 and max in one digest.
@@ -160,5 +224,30 @@ mod tests {
     fn empty_histogram_reports_zeroes() {
         let hist = LatencyHistogram::new();
         assert_eq!(hist.summary(), LatencySummary::default());
+        assert_eq!(hist.live_p99(), (0, 0));
+    }
+
+    #[test]
+    fn live_p99_tracks_recent_samples_and_forgets_old_ones() {
+        let hist = LatencyHistogram::new();
+        // An old burst of slow samples, then enough fast samples to rotate
+        // the slow epoch entirely out of the live window.
+        for _ in 0..LIVE_WINDOW {
+            hist.record(1_000_000);
+        }
+        let (n, p99) = hist.live_p99();
+        assert!(n >= 1, "live window holds the burst");
+        assert!(p99 >= 800_000, "live p99 sees the slow burst, got {p99}");
+        for _ in 0..3 * LIVE_WINDOW {
+            hist.record(100);
+        }
+        let (_, p99) = hist.live_p99();
+        assert!(
+            p99 < 1_000,
+            "live p99 must decay after the burst, got {p99}"
+        );
+        // The cumulative view never forgets.
+        assert!(hist.quantile(0.999) >= 800_000);
+        assert_eq!(hist.count(), 4 * LIVE_WINDOW);
     }
 }

@@ -33,6 +33,34 @@
 //!   ([`histogram::LatencyHistogram`]) with an allocation-free hot path;
 //!   [`Server::stats`] digests it to p50/p99/max.
 //!
+//! ## Overload behavior
+//!
+//! Overload degrades predictably instead of queue-deep, through three
+//! independently-configurable mechanisms, each with a dedicated
+//! [`ServeStats`] counter:
+//!
+//! * **Deadlines** ([`ServeRequest::with_deadline`]) — a worker checks the
+//!   deadline when it dequeues a job; an expired job completes its ticket
+//!   immediately with [`RealizeError::DeadlineExceeded`] instead of burning
+//!   a realize on a result nobody is waiting for (`stats().expired`).
+//! * **Admission control** ([`ServeConfig::with_pipeline_quota`]) — each
+//!   pipeline (keyed by its structural fingerprint) may have at most N
+//!   requests in flight (queued + running). Over-quota submissions fail
+//!   fast with [`SubmitError::QuotaExceeded`], handing the request back
+//!   (`stats().quota_rejected`).
+//! * **Load shedding** ([`ServeConfig::with_p99_target`]) — when the
+//!   latency histogram's *live* p99 (a sliding window, so the signal decays
+//!   after a burst) exceeds the target, [`Server::try_submit`] sheds
+//!   incoming work probabilistically, proportional to the overshoot, so the
+//!   queue never sits at depth during sustained overload
+//!   ([`SubmitError::Shed`], `stats().shed`). The blocking [`Server::submit`]
+//!   path never sheds — callers that block have opted into waiting.
+//!
+//! Every accepted request resolves its [`Ticket`] exactly once — including
+//! expired ones, and including jobs whose realize panics (an unwind guard
+//! completes the ticket with [`RealizeError::Panicked`] and the worker
+//! thread survives to serve the next request).
+//!
 //! Results are delivered through a [`Ticket`] — a one-shot slot the worker
 //! fills and the submitter waits on — so callers can pipeline many requests
 //! before collecting any.
@@ -51,19 +79,33 @@ use helium_halide::buffer::Buffer;
 use helium_halide::compile::CompiledPipeline;
 use helium_halide::realize::{RealizeError, RealizeInputs};
 use helium_halide::types::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Sizing knobs for a [`Server`].
+/// Minimum live-window samples before shedding may trigger — below this the
+/// p99 estimate is noise, not signal.
+const MIN_SHED_SAMPLES: u64 = 16;
+/// Shed probability ceiling. Capped below 1.0 so a trickle of admissions
+/// keeps refreshing the live p99 — shedding everything would freeze the
+/// signal at its overload value and never recover.
+const MAX_SHED_PROB: f64 = 0.9;
+
+/// Sizing and overload knobs for a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads realizing requests. `0` means one per available core.
     pub workers: usize,
     /// Bounded submission-queue depth (backpressure point).
     pub queue_depth: usize,
+    /// Per-pipeline in-flight quota (queued + running, keyed by pipeline
+    /// fingerprint); `None` = unlimited.
+    pub pipeline_quota: Option<usize>,
+    /// Live-p99 latency target; when exceeded, [`Server::try_submit`] sheds
+    /// incoming work probabilistically. `None` disables shedding.
+    pub p99_target: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +113,8 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             queue_depth: 256,
+            pipeline_quota: None,
+            p99_target: None,
         }
     }
 }
@@ -85,6 +129,20 @@ impl ServeConfig {
     /// Set the bounded submission-queue depth.
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Cap in-flight requests per pipeline fingerprint; over-quota
+    /// submissions fail fast with [`SubmitError::QuotaExceeded`].
+    pub fn with_pipeline_quota(mut self, quota: usize) -> Self {
+        self.pipeline_quota = Some(quota.max(1));
+        self
+    }
+
+    /// Shed [`Server::try_submit`] traffic when the live p99 exceeds
+    /// `target`, with probability proportional to the overshoot.
+    pub fn with_p99_target(mut self, target: Duration) -> Self {
+        self.p99_target = Some(target);
         self
     }
 
@@ -115,6 +173,10 @@ pub struct ServeRequest {
     pub images: BTreeMap<String, Arc<Buffer>>,
     /// Scalar parameter bindings by name.
     pub params: BTreeMap<String, Value>,
+    /// Latest useful completion time: a worker that dequeues this request
+    /// after the deadline completes it with
+    /// [`RealizeError::DeadlineExceeded`] instead of realizing it.
+    pub deadline: Option<Instant>,
 }
 
 impl ServeRequest {
@@ -126,6 +188,7 @@ impl ServeRequest {
             extents: extents.to_vec(),
             images: BTreeMap::new(),
             params: BTreeMap::new(),
+            deadline: None,
         }
     }
 
@@ -140,6 +203,18 @@ impl ServeRequest {
         self.params.insert(name.to_string(), value);
         self
     }
+
+    /// Set the deadline: past it, the result is useless to the caller, so a
+    /// worker dequeuing the job expires it instead of realizing it.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`Self::with_deadline`] relative to now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
 }
 
 /// Why a submission was rejected; the request is handed back.
@@ -150,6 +225,25 @@ pub enum SubmitError {
     QueueFull(ServeRequest),
     /// The server is shutting down and accepts no further work.
     ShuttingDown(ServeRequest),
+    /// The pipeline's in-flight quota is spent
+    /// ([`ServeConfig::with_pipeline_quota`]) — retry after some of its
+    /// tickets resolve.
+    QuotaExceeded(ServeRequest),
+    /// Shed by overload control: the live p99 is over the configured target
+    /// ([`Server::try_submit`] only) — back off and retry later.
+    Shed(ServeRequest),
+}
+
+impl SubmitError {
+    /// Recover the rejected request regardless of the rejection reason.
+    pub fn into_request(self) -> ServeRequest {
+        match self {
+            SubmitError::QueueFull(r)
+            | SubmitError::ShuttingDown(r)
+            | SubmitError::QuotaExceeded(r)
+            | SubmitError::Shed(r) => r,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -199,6 +293,8 @@ struct Job {
     request: ServeRequest,
     ticket: Arc<TicketInner>,
     submitted: Instant,
+    /// Pipeline fingerprint, cached at submit for quota release.
+    fp: u64,
 }
 
 struct Shared {
@@ -207,6 +303,73 @@ struct Shared {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
+    quota_rejected: AtomicU64,
+    shed: AtomicU64,
+    /// In-flight (queued + running) requests per pipeline fingerprint.
+    /// Only maintained when a quota is configured.
+    inflight: Mutex<HashMap<u64, usize>>,
+    pipeline_quota: Option<usize>,
+    p99_target_ns: Option<u64>,
+    /// Shedding-decision RNG state (splitmix64 over a Weyl sequence).
+    rng: AtomicU64,
+}
+
+impl Shared {
+    /// Reserve an in-flight slot for `fp`, or fail when the quota is spent.
+    fn try_reserve_inflight(&self, fp: u64) -> bool {
+        let Some(quota) = self.pipeline_quota else {
+            return true;
+        };
+        let mut inflight = self.inflight.lock().expect("inflight mutex");
+        let n = inflight.entry(fp).or_insert(0);
+        if *n >= quota {
+            false
+        } else {
+            *n += 1;
+            true
+        }
+    }
+
+    /// Release an in-flight slot (request delivered or never enqueued).
+    fn release_inflight(&self, fp: u64) {
+        if self.pipeline_quota.is_none() {
+            return;
+        }
+        let mut inflight = self.inflight.lock().expect("inflight mutex");
+        if let Some(n) = inflight.get_mut(&fp) {
+            *n -= 1;
+            if *n == 0 {
+                inflight.remove(&fp);
+            }
+        }
+    }
+
+    /// Lock-free uniform sample in `[0, 1)` for shedding decisions.
+    fn next_unit(&self) -> f64 {
+        let mut z = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Shed decision for one incoming non-blocking submission: when the
+    /// live p99 overshoots the target, shed with probability proportional
+    /// to the overshoot (capped at [`MAX_SHED_PROB`]).
+    fn should_shed(&self) -> bool {
+        let Some(target) = self.p99_target_ns else {
+            return false;
+        };
+        let (samples, live_p99) = self.latency.live_p99();
+        if samples < MIN_SHED_SAMPLES || live_p99 <= target {
+            return false;
+        }
+        let overshoot = (live_p99 - target) as f64 / target.max(1) as f64;
+        self.next_unit() < overshoot.min(MAX_SHED_PROB)
+    }
 }
 
 /// A point-in-time view of server activity.
@@ -214,13 +377,25 @@ struct Shared {
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
-    /// Requests completed (successfully or with an error).
+    /// Tickets delivered (success, realize error, panic, or expiry).
     pub completed: u64,
-    /// Completed requests that returned a [`RealizeError`].
+    /// Completed requests that returned a [`RealizeError`] from the realize
+    /// itself (including [`RealizeError::Panicked`]; deadline expiries are
+    /// counted in [`Self::expired`] instead).
     pub failed: u64,
+    /// Requests whose deadline passed before a worker could start them;
+    /// their tickets resolve with [`RealizeError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Submissions rejected at admission because their pipeline's in-flight
+    /// quota was spent (never enqueued, not counted in [`Self::submitted`]).
+    pub quota_rejected: u64,
+    /// Submissions shed by overload control (never enqueued, not counted in
+    /// [`Self::submitted`]).
+    pub shed: u64,
     /// Requests currently waiting in the queue.
     pub queued: usize,
-    /// Submit→complete latency digest.
+    /// Submit→complete latency digest (all delivered tickets, expiries
+    /// included — queue delay is part of the overload signal).
     pub latency: LatencySummary,
 }
 
@@ -243,24 +418,107 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Completion guard for a dequeued job: guarantees the ticket resolves
+/// exactly once, even if the worker unwinds mid-realize. Dropping the guard
+/// without [`CompletionGuard::complete`] (a panic escaping the realize's
+/// catch, or any future code path that forgets) delivers
+/// [`RealizeError::Panicked`] — a lost worker must never strand a waiter.
+struct CompletionGuard<'a> {
+    shared: &'a Shared,
+    ticket: Arc<TicketInner>,
+    submitted: Instant,
+    fp: u64,
+    delivered: bool,
+}
+
+impl CompletionGuard<'_> {
+    /// Deliver `result` and update the counters. Counter updates happen
+    /// while the ticket's slot lock is held: a waiter can only observe the
+    /// result after they land, so `stats().completed` never exceeds the
+    /// number of resolvable tickets and post-`wait()` stats are exact.
+    fn complete(mut self, result: Result<Buffer, RealizeError>) {
+        self.deliver(result);
+    }
+
+    fn deliver(&mut self, result: Result<Buffer, RealizeError>) {
+        self.delivered = true;
+        let elapsed_ns = self.submitted.elapsed().as_nanos() as u64;
+        let expired = matches!(result, Err(RealizeError::DeadlineExceeded));
+        let failed = result.is_err() && !expired;
+        let mut slot = self.ticket.slot.lock().expect("ticket mutex");
+        *slot = Some(result);
+        self.shared.latency.record(elapsed_ns);
+        if expired {
+            self.shared.expired.fetch_add(1, Ordering::Relaxed);
+        }
+        if failed {
+            self.shared.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.release_inflight(self.fp);
+        self.shared.completed.fetch_add(1, Ordering::Relaxed);
+        drop(slot);
+        self.ticket.done.notify_all();
+    }
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        if !self.delivered {
+            self.deliver(Err(RealizeError::Panicked(
+                "worker unwound before delivering the result".into(),
+            )));
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload for [`RealizeError::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn run_job(job: Job, shared: &Shared) {
-    let mut inputs = RealizeInputs::new();
-    for (name, image) in &job.request.images {
-        inputs = inputs.with_image(name, image);
+    let Job {
+        request,
+        ticket,
+        submitted,
+        fp,
+    } = job;
+    let guard = CompletionGuard {
+        shared,
+        ticket,
+        submitted,
+        fp,
+        delivered: false,
+    };
+    // Deadline check at dequeue: an expired job completes immediately
+    // instead of burning a realize on a result nobody is waiting for.
+    if request.deadline.is_some_and(|d| Instant::now() >= d) {
+        guard.complete(Err(RealizeError::DeadlineExceeded));
+        return;
     }
-    for (name, value) in &job.request.params {
-        inputs = inputs.with_param(name, *value);
+    // Catch unwinds from the realize so the worker thread survives and the
+    // panic message reaches the ticket; the guard's `Drop` is the backstop
+    // for unwinds outside this catch.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut inputs = RealizeInputs::new();
+        for (name, image) in &request.images {
+            inputs = inputs.with_image(name, image);
+        }
+        for (name, value) in &request.params {
+            inputs = inputs.with_param(name, *value);
+        }
+        request.pipeline.run(&inputs, &request.extents)
+    }));
+    match outcome {
+        Ok(result) => guard.complete(result),
+        Err(payload) => guard.complete(Err(RealizeError::Panicked(panic_message(payload)))),
     }
-    let result = job.request.pipeline.run(&inputs, &job.request.extents);
-    shared
-        .latency
-        .record(job.submitted.elapsed().as_nanos() as u64);
-    if result.is_err() {
-        shared.failed.fetch_add(1, Ordering::Relaxed);
-    }
-    shared.completed.fetch_add(1, Ordering::Relaxed);
-    *job.ticket.slot.lock().expect("ticket mutex") = Some(result);
-    job.ticket.done.notify_all();
 }
 
 impl Server {
@@ -272,6 +530,15 @@ impl Server {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            pipeline_quota: config.pipeline_quota,
+            p99_target_ns: config
+                .p99_target
+                .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+            rng: AtomicU64::new(0x5EED_1E55_C0FF_EE00),
         });
         let workers = (0..config.effective_workers())
             .map(|i| {
@@ -289,38 +556,63 @@ impl Server {
         Server { shared, workers }
     }
 
-    /// Submit without blocking; fails fast when the queue is full.
-    pub fn try_submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+    /// Reserve the pipeline's quota slot and build the job, or reject.
+    fn admit(&self, request: ServeRequest) -> Result<(Job, Ticket), SubmitError> {
+        let fp = request.pipeline.pipeline_fingerprint();
+        if !self.shared.try_reserve_inflight(fp) {
+            self.shared.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QuotaExceeded(request));
+        }
         let (ticket, inner) = Ticket::new();
         let job = Job {
             request,
             ticket: inner,
             submitted: Instant::now(),
+            fp,
         };
+        Ok((job, ticket))
+    }
+
+    /// Submit without blocking; fails fast when the queue is full, the
+    /// pipeline's quota is spent, or overload control sheds the request.
+    pub fn try_submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        if self.shared.should_shed() {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shed(request));
+        }
+        let (job, ticket) = self.admit(request)?;
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(PushError::Full(job)) => Err(SubmitError::QueueFull(job.request)),
-            Err(PushError::Closed(job)) => Err(SubmitError::ShuttingDown(job.request)),
+            Err(PushError::Full(job)) => {
+                self.shared.release_inflight(job.fp);
+                Err(SubmitError::QueueFull(job.request))
+            }
+            Err(PushError::Closed(job)) => {
+                self.shared.release_inflight(job.fp);
+                Err(SubmitError::ShuttingDown(job.request))
+            }
         }
     }
 
-    /// Submit, blocking while the queue is full.
+    /// Submit, blocking while the queue is full. Still fails fast on a
+    /// spent pipeline quota (blocking a caller on another caller's backlog
+    /// would defeat per-pipeline isolation); never sheds.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
-        let (ticket, inner) = Ticket::new();
-        let job = Job {
-            request,
-            ticket: inner,
-            submitted: Instant::now(),
-        };
+        let (job, ticket) = self.admit(request)?;
         match self.shared.queue.push(job) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+            // A blocking push waits out a full queue; `BoundedQueue::push`
+            // can only fail `Closed`. Keep the arm explicit so a queue
+            // regression panics here instead of masquerading as a shutdown.
+            Err(PushError::Full(_)) => unreachable!("BoundedQueue::push never fails Full"),
+            Err(PushError::Closed(job)) => {
+                self.shared.release_inflight(job.fp);
                 Err(SubmitError::ShuttingDown(job.request))
             }
         }
@@ -332,14 +624,32 @@ impl Server {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
+            quota_rejected: self.shared.quota_rejected.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
             queued: self.shared.queue.len(),
             latency: self.shared.latency.summary(),
         }
     }
 
+    /// `(samples, p99 lower bound)` over the latency histogram's live
+    /// window — the signal overload shedding reads.
+    pub fn live_p99(&self) -> (u64, u64) {
+        self.shared.latency.live_p99()
+    }
+
     /// Worker threads serving this instance.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Stop accepting new work without waiting for the drain (idempotent).
+    /// In-queue requests still complete their tickets; workers are joined
+    /// by [`Self::shutdown`] or drop. Callable by shared reference so a
+    /// coordinator can begin shutdown while submitters still hold the
+    /// server.
+    pub fn close(&self) {
+        self.shared.queue.close();
     }
 
     /// Stop accepting work, drain the backlog and join the workers. Every
@@ -454,13 +764,253 @@ mod tests {
                     saw_full = true;
                     break;
                 }
-                Err(SubmitError::ShuttingDown(_)) => panic!("not shutting down"),
+                Err(e) => panic!("only QueueFull is expected here: {e:?}"),
             }
         }
         for t in tickets {
             t.wait().expect("serve");
         }
         assert!(saw_full, "a depth-1 queue must reject a fast burst");
+    }
+
+    /// A structurally valid pipeline whose realize panics: the image access
+    /// carries more indices than the bound buffer has dimensions, which
+    /// trips the executor's index-arity invariant at run time — compile
+    /// cannot see it because arity is only checkable against the binding.
+    fn panicking_pipeline() -> Arc<CompiledPipeline> {
+        let x = Expr::var("x_0");
+        let y = Expr::var("x_1");
+        let value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::Image("in".into(), vec![x, y, Expr::int(0)]),
+        );
+        let func = Func::pure("out", &["x_0", "x_1"], ScalarType::UInt8, value);
+        let pipeline = Pipeline::new(func, vec![ImageParam::new("in", ScalarType::UInt8, 3)]);
+        Arc::new(
+            pipeline
+                .compile(&Schedule::stencil_default(), &CompileOptions::default())
+                .expect("compile"),
+        )
+    }
+
+    #[test]
+    fn deadline_expired_request_completes_without_realize() {
+        let (compiled, input) = invert_pipeline();
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        // Occupy the single worker so the expired request waits in queue.
+        let busy = server
+            .submit(
+                ServeRequest::new(Arc::clone(&compiled), &[128, 128])
+                    .with_image("in", Arc::clone(&input)),
+            )
+            .expect("submit");
+        // Already expired at submit: the worker must complete it at dequeue
+        // without burning a realize on it.
+        let expired = server
+            .submit(
+                ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                    .with_image("in", Arc::clone(&input))
+                    .with_deadline(Instant::now()),
+            )
+            .expect("submit");
+        assert!(matches!(
+            expired.wait(),
+            Err(RealizeError::DeadlineExceeded)
+        ));
+        busy.wait().expect("busy request");
+        let stats = server.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 2, "expired tickets still complete");
+        assert_eq!(stats.failed, 0, "an expiry is not a realize failure");
+        // The expired request never reached the program cache: only the
+        // busy request's key was ever looked up.
+        let cache = compiled.cache_stats();
+        assert_eq!(cache.hits + cache.misses, 1, "no realize was burned");
+    }
+
+    #[test]
+    fn quota_rejects_over_inflight_and_releases_on_completion() {
+        let (compiled, input) = invert_pipeline();
+        let server = Server::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_pipeline_quota(1),
+        );
+        let first = server
+            .submit(
+                ServeRequest::new(Arc::clone(&compiled), &[64, 64])
+                    .with_image("in", Arc::clone(&input)),
+            )
+            .expect("first submit fits the quota");
+        // While the first request is in flight, the pipeline's quota is
+        // spent — both submit paths must hand the request back.
+        let second = ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+            .with_image("in", Arc::clone(&input));
+        let rejected = match server.try_submit(second) {
+            Err(SubmitError::QuotaExceeded(r)) => r,
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        };
+        assert!(matches!(
+            server.submit(rejected),
+            Err(SubmitError::QuotaExceeded(_))
+        ));
+        assert_eq!(server.stats().quota_rejected, 2);
+        first.wait().expect("first request");
+        // Delivery released the slot (counter updates land before `wait`
+        // returns), so the pipeline is admissible again.
+        let third = server
+            .submit(
+                ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                    .with_image("in", Arc::clone(&input)),
+            )
+            .expect("quota released after completion");
+        third.wait().expect("third request");
+        assert_eq!(server.stats().quota_rejected, 2);
+    }
+
+    #[test]
+    fn shedding_activates_when_live_p99_exceeds_target() {
+        let (compiled, input) = invert_pipeline();
+        // A 1ns target is unreachably low: once the live window has enough
+        // samples, every real completion keeps p99 far above it.
+        let server = Server::start(
+            ServeConfig::default()
+                .with_workers(2)
+                .with_p99_target(std::time::Duration::from_nanos(1)),
+        );
+        let request = || {
+            ServeRequest::new(Arc::clone(&compiled), &[16, 16]).with_image("in", Arc::clone(&input))
+        };
+        // Blocking submits never shed; they prime the live histogram.
+        for _ in 0..32 {
+            server
+                .submit(request())
+                .expect("submit")
+                .wait()
+                .expect("serve");
+        }
+        let mut outcomes = (0usize, 0usize); // (admitted, shed)
+        for _ in 0..64 {
+            match server.try_submit(request()) {
+                Ok(t) => {
+                    outcomes.0 += 1;
+                    t.wait().expect("serve");
+                }
+                Err(SubmitError::Shed(_)) => outcomes.1 += 1,
+                Err(e) => panic!("unexpected rejection: {e:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert!(
+            outcomes.1 > 0,
+            "a 1ns target under real latencies must shed (admitted {}, shed {})",
+            outcomes.0,
+            outcomes.1
+        );
+        assert_eq!(stats.shed, outcomes.1 as u64);
+        assert_eq!(stats.submitted, 32 + outcomes.0 as u64);
+        assert_eq!(
+            stats.completed, stats.submitted,
+            "every admitted ticket resolved"
+        );
+    }
+
+    #[test]
+    fn full_queue_blocking_submit_never_reports_shutdown() {
+        let (compiled, input) = invert_pipeline();
+        // Depth-1 queue behind one worker: keep it saturated and push a
+        // burst of *blocking* submits through. Every one must be accepted —
+        // a full queue blocks, it does not masquerade as ShuttingDown.
+        let server = Server::start(ServeConfig::default().with_workers(1).with_queue_depth(1));
+        let server = Arc::new(server);
+        let tickets: Vec<Ticket> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let server = Arc::clone(&server);
+                    let compiled = Arc::clone(&compiled);
+                    let input = Arc::clone(&input);
+                    scope.spawn(move || {
+                        (0..8)
+                            .map(|_| {
+                                server
+                                    .submit(
+                                        ServeRequest::new(Arc::clone(&compiled), &[64, 64])
+                                            .with_image("in", Arc::clone(&input)),
+                                    )
+                                    .expect("a live server's blocking submit cannot fail")
+                            })
+                            .collect::<Vec<Ticket>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter"))
+                .collect()
+        });
+        for t in tickets {
+            t.wait().expect("serve");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.completed, 32);
+    }
+
+    #[test]
+    fn panicking_realize_resolves_ticket_and_worker_survives() {
+        let (compiled, input) = invert_pipeline();
+        let bad = panicking_pipeline();
+        let bad_input = Arc::new(Buffer::new(ScalarType::UInt8, &[8, 8]));
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        // Quiet the default panic hook for the deliberate panic below.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ticket = server
+            .submit(
+                ServeRequest::new(Arc::clone(&bad), &[8, 8])
+                    .with_image("in", Arc::clone(&bad_input)),
+            )
+            .expect("submit");
+        // The ticket resolves with the panic instead of hanging forever.
+        assert!(matches!(ticket.wait(), Err(RealizeError::Panicked(_))));
+        std::panic::set_hook(prev_hook);
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1, "a panicked realize counts as failed");
+        assert_eq!(stats.completed, 1);
+        // The sole worker survived the unwind and still serves.
+        let ok = server
+            .submit(
+                ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                    .with_image("in", Arc::clone(&input)),
+            )
+            .expect("submit");
+        ok.wait().expect("the worker must still be alive");
+        assert_eq!(server.stats().completed, 2);
+    }
+
+    #[test]
+    fn completed_counter_trails_ticket_delivery() {
+        let (compiled, input) = invert_pipeline();
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        for round in 0..16u64 {
+            let ticket = server
+                .submit(
+                    ServeRequest::new(Arc::clone(&compiled), &[16, 16])
+                        .with_image("in", Arc::clone(&input)),
+                )
+                .expect("submit");
+            // `completed` is bumped after the result is in the slot, so the
+            // moment the counter reaches round+1 the ticket must be done —
+            // a coordinator can trust `completed` as a delivery watermark.
+            while server.stats().completed < round + 1 {
+                std::hint::spin_loop();
+            }
+            assert!(
+                ticket.is_done(),
+                "completed advanced past an undelivered ticket"
+            );
+            ticket.wait().expect("serve");
+        }
     }
 
     #[test]

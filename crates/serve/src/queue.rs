@@ -64,7 +64,9 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
-    /// Enqueue, blocking while the queue is full. Fails only when closed.
+    /// Enqueue, blocking while the queue is full. Fails only when closed —
+    /// a blocking push never returns [`PushError::Full`]; callers may treat
+    /// that arm as unreachable.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue mutex");
         while !state.closed && state.items.len() >= self.capacity {
@@ -144,6 +146,28 @@ mod tests {
         assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_push_fails_closed_never_full() {
+        // A push blocked on a full queue that then closes must report
+        // `Closed` — the queue is still full, but `Full` is a try_push-only
+        // outcome and the serving layer relies on that distinction.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        // Let the producer reach the wait; closing must wake and fail it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(matches!(
+            producer.join().expect("producer"),
+            Err(PushError::Closed(1))
+        ));
+        assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), None);
     }
 

@@ -31,6 +31,11 @@ pub struct WarmReport {
     pub cache_hit: bool,
     /// Timed trials spent (0 on a cache hit — the warm-start contract).
     pub timed_trials: usize,
+    /// The pipeline's structural fingerprint — the key
+    /// [`crate::ServeConfig::with_pipeline_quota`] admission accounting
+    /// uses, so a warmed process can map quota/in-flight observations back
+    /// to the pipeline it warmed.
+    pub fingerprint: u64,
 }
 
 /// Warm one pipeline for serving over `extents`: resolve the schedule
@@ -51,6 +56,7 @@ pub fn warm(
     let compiled = Arc::new(pipeline.compile(&report.best, &CompileOptions::default())?);
     let _ = compiled.run(inputs, extents)?;
     Ok(WarmReport {
+        fingerprint: compiled.pipeline_fingerprint(),
         compiled,
         schedule: report.best,
         cache_hit: report.from_cache,
@@ -132,6 +138,12 @@ mod tests {
         assert!(hot.cache_hit);
         assert_eq!(hot.timed_trials, 0, "a warmed process never times trials");
         assert_eq!(hot.schedule, cold.schedule);
+        assert_eq!(
+            hot.fingerprint,
+            hot.compiled.pipeline_fingerprint(),
+            "the report's fingerprint is the admission-quota key"
+        );
+        assert_eq!(hot.fingerprint, cold.fingerprint);
         // The warm run primed the program cache: serving is all hits.
         let stats = hot.compiled.cache_stats();
         assert_eq!(stats.misses, 1, "exactly the priming compile");
