@@ -38,12 +38,12 @@ use criterion::{criterion_group, Criterion};
 use helium_apps::photoflow::PhotoFilter;
 use helium_bench::{
     hist64_pipeline, hist64_rdom_pipeline, lift_photoflow, minigmg_residual_norm,
-    minigmg_smooth_f32, pointwise_chain_pipeline, time_lifted_on, two_stage_blur_pipeline,
-    LiftedRealizeSetup,
+    minigmg_smooth_f32, minigmg_smooth_f64, pointwise_chain_pipeline, time_lifted_on,
+    two_stage_blur_pipeline, LiftedRealizeSetup,
 };
 use helium_halide::{
-    set_simd_mode, Buffer, CompileOptions, CounterSnapshot, ExecBackend, Pipeline, RealizeInputs,
-    Realizer, Schedule, SimdMode,
+    arch_rows_executed, set_target_override, Buffer, CompileOptions, CounterSnapshot, ExecBackend,
+    Feature, Pipeline, RealizeInputs, Realizer, Schedule, Target, Tier,
 };
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -87,19 +87,19 @@ fn bench_lowering(c: &mut Criterion) {
     group.finish();
 }
 
-/// Compile a pipeline for the lowered backend with its execution tier pinned
-/// per [`CompileOptions::simd`].
+/// Compile a pipeline for the lowered backend with its execution target
+/// pinned per [`CompileOptions::target`] (resolved once at compile time).
 fn compile_pinned(
     pipeline: &Pipeline,
     schedule: &Schedule,
-    mode: SimdMode,
+    target: Target,
 ) -> helium_halide::CompiledPipeline {
     pipeline
         .compile(
             schedule,
             &CompileOptions {
                 backend: ExecBackend::Lowered,
-                simd: Some(mode),
+                target: Some(target),
                 ..CompileOptions::default()
             },
         )
@@ -198,13 +198,14 @@ fn lane_family_split(
     let schedule = Schedule::stencil_default();
     // Correctness gate before timing: the fused tier must be active on the
     // expected lane family and bit-identical to the interpreter.
-    let compiled = compile_pinned(pipeline, &schedule, SimdMode::ForceSimd);
+    let compiled = compile_pinned(pipeline, &schedule, Target::detect().with_tier(Tier::Simd));
     let fused = compiled.run(&inputs, extents).expect("fused run");
     let counts = compiled
         .fused_store_counts(&inputs, extents)
         .expect("counts");
     let family_count = match expect_family {
         "f32" => counts.lanes_f32,
+        "f64" => counts.lanes_f64,
         "i64" => counts.lanes_i64,
         _ => counts.lanes_i32,
     };
@@ -218,7 +219,11 @@ fn lane_family_split(
         .expect("oracle");
     assert_eq!(fused, oracle, "{name}: fused output diverged from oracle");
 
-    let scalar_compiled = compile_pinned(pipeline, &schedule, SimdMode::ForceScalar);
+    let scalar_compiled = compile_pinned(
+        pipeline,
+        &schedule,
+        Target::detect().with_tier(Tier::Scalar),
+    );
     let scalar = time_compiled_runs(&scalar_compiled, &inputs, extents, reps);
     let (mut best_width, mut simd) = (0usize, Duration::MAX);
     for width in [8usize, 16, 32] {
@@ -226,7 +231,7 @@ fn lane_family_split(
         // key), so every one is pinned to the fused tier and oracle-gated
         // before its timing counts (on the same compiled pipeline).
         let s = schedule.clone().with_vector_width(width);
-        let swept = compile_pinned(pipeline, &s, SimdMode::ForceSimd);
+        let swept = compile_pinned(pipeline, &s, Target::detect().with_tier(Tier::Simd));
         let out = swept.run(&inputs, extents).expect("swept run");
         assert_eq!(out, oracle, "{name}: width {width} diverged from oracle");
         let t = time_compiled_runs(&swept, &inputs, extents, reps);
@@ -241,6 +246,58 @@ fn lane_family_split(
          {expect_family}_simd_speedup={speedup:.2}x best_width={best_width}"
     );
     (scalar, simd, best_width, speedup)
+}
+
+/// Portable lane loops vs the hand-written AVX2 `core::arch` kernels on one
+/// compiled shape: assert the arch path really executes (run-time counter —
+/// equality alone would be vacuous under silent fallback) and is
+/// bit-identical to the portable lanes, then time warm runs of both. Returns
+/// `(portable, arch, speedup)`, or `None` on hosts without AVX2.
+fn arch_split(
+    name: &str,
+    pipeline: &Pipeline,
+    input_name: &str,
+    input: &Buffer,
+    extents: &[usize],
+    reps: usize,
+) -> Option<(Duration, Duration, f64)> {
+    if !Target::detect().has(Feature::Avx2) {
+        println!("lowering: {name}: host does not report AVX2, skipping arch split");
+        return None;
+    }
+    let inputs = RealizeInputs::new().with_image(input_name, input);
+    // Serial, widest chunks: the split measures the kernel bodies, and
+    // thread-pool coordination noise on a small grid would otherwise swamp
+    // the per-chunk delta between the two ISAs.
+    let schedule = Schedule::stencil_default()
+        .with_parallel(false)
+        .with_vector_width(32);
+    let portable_c = compile_pinned(
+        pipeline,
+        &schedule,
+        Target::portable().with_tier(Tier::Simd),
+    );
+    let arch_c = compile_pinned(
+        pipeline,
+        &schedule,
+        Target::with_features(&[Feature::Avx2]).with_tier(Tier::Simd),
+    );
+    let portable_out = portable_c.run(&inputs, extents).expect("portable run");
+    let before = arch_rows_executed();
+    let arch_out = arch_c.run(&inputs, extents).expect("arch run");
+    assert!(
+        arch_rows_executed() > before,
+        "{name}: the AVX2 kernels must actually execute"
+    );
+    assert_eq!(
+        arch_out, portable_out,
+        "{name}: arch kernels diverged from the portable lanes"
+    );
+    let portable = time_compiled_runs(&portable_c, &inputs, extents, reps);
+    let arch = time_compiled_runs(&arch_c, &inputs, extents, reps);
+    let speedup = portable.as_secs_f64() / arch.as_secs_f64().max(1e-12);
+    println!("lowering: {name:<18} portable={portable:?} arch={arch:?} arch_speedup={speedup:.2}x");
+    Some((portable, arch, speedup))
 }
 
 /// Sliding-window `compute_at` vs plain `compute_at` on the two-stage
@@ -395,12 +452,13 @@ fn write_report(reps: usize, width: usize, height: usize) {
         // Execution-tier split at full extents, steady state: the per-op
         // tier (fused kernels disabled) against the fused SIMD tier, with a
         // vector-width sweep — widths now generate different fused kernels.
-        // Pin each measurement's tier explicitly so an inherited
-        // HELIUM_FORCE_* environment variable cannot silently make both
-        // columns measure the same tier.
-        set_simd_mode(Some(SimdMode::ForceScalar));
+        // Targets resolve once at compile time, and `time_compiled` compiles
+        // inside the pinned region, so the process-wide override pins each
+        // measurement's tier — an inherited HELIUM_FORCE_* environment
+        // variable cannot silently make both columns measure the same tier.
+        set_target_override(Some(Target::detect().with_tier(Tier::Scalar)));
         let scalar = setup.time_compiled(&schedule, ExecBackend::Lowered, reps, false, None);
-        set_simd_mode(Some(SimdMode::Auto));
+        set_target_override(Some(Target::detect()));
         let (mut best_width, mut simd) = (0usize, std::time::Duration::MAX);
         for width in [8usize, 16, 32] {
             let s = schedule.clone().with_vector_width(width);
@@ -410,7 +468,7 @@ fn write_report(reps: usize, width: usize, height: usize) {
                 best_width = width;
             }
         }
-        set_simd_mode(None);
+        set_target_override(None);
         let speedup = interpret.as_secs_f64() / lowered.as_secs_f64().max(1e-12);
         let cache_speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
         let simd_speedup = scalar.as_secs_f64() / simd.as_secs_f64().max(1e-12);
@@ -462,6 +520,65 @@ fn write_report(reps: usize, width: usize, height: usize) {
     let (hist, hist_in) = hist64_pipeline(hw, hh, 0xB16B);
     let (h_scalar, h_simd, h_width, i64_speedup) =
         lane_family_split("hist64", &hist, "in", &hist_in, &[hw, hh], "i64", reps);
+    // Double precision rides the [f64; W/2] family — no rounding casts, f64
+    // lanes are the reference representation.
+    let (dsmooth, dgrid) = minigmg_smooth_f64(nx, ny, nz, 0x6116);
+    let (d_scalar, d_simd, d_width, f64_speedup) = lane_family_split(
+        "minigmg_smooth_f64",
+        &dsmooth,
+        "grid",
+        &dgrid,
+        &[nx, ny, nz],
+        "f64",
+        reps,
+    );
+    // The explicit AVX2 core::arch kernels vs the portable lane loops, on
+    // the same fused shapes (oracle-verified + counter-guarded inside the
+    // split). `arch_speedup` is the best demonstrated arch win; 0.0 with
+    // `avx2_detected: 0` means the host has no AVX2 and the column is moot.
+    let avx2_detected = Target::detect().has(Feature::Avx2);
+    // Dedicated grid for the arch splits, even in smoke mode: the smoke grid
+    // is small enough that fixed per-run overhead hides the kernel delta the
+    // split exists to measure (still well under a second per column).
+    let (anx, any, anz) = (64, 64, 16);
+    let arch_f32 = {
+        let (p, g) = minigmg_smooth_f32(anx, any, anz, 0x6116);
+        arch_split(
+            "smooth_f32_arch",
+            &p,
+            "grid",
+            &g,
+            &[anx, any, anz],
+            reps.max(30),
+        )
+    };
+    let arch_f64 = {
+        let (p, g) = minigmg_smooth_f64(anx, any, anz, 0x6116);
+        arch_split(
+            "smooth_f64_arch",
+            &p,
+            "grid",
+            &g,
+            &[anx, any, anz],
+            reps.max(30),
+        )
+    };
+    let arch_i32 = {
+        let (chain_p, chain_in) = pointwise_chain_pipeline(hw, hh, 4, 0xC4A1);
+        arch_split(
+            "chain_i32_arch",
+            &chain_p,
+            "in",
+            &chain_in,
+            &[hw, hh],
+            reps.max(30),
+        )
+    };
+    let arch_speedup = [arch_f32, arch_f64, arch_i32]
+        .iter()
+        .flatten()
+        .map(|(_, _, sp)| *sp)
+        .fold(0.0f64, f64::max);
 
     // Lowered reductions: pipelines whose hot path is an update definition,
     // run end-to-end compiled (no `run_update`) against the interpreter.
@@ -523,15 +640,37 @@ fn write_report(reps: usize, width: usize, height: usize) {
         "    {{\"pipeline\": \"minigmg_smooth_f32\", \"family\": \"f32\", \"extents\": [{nx}, {ny}, {nz}], \
          \"scalar_ns\": {}, \"simd_ns\": {}, \"f32_simd_speedup\": {f32_speedup:.3}, \"best_width\": {s_width}}},\n    \
          {{\"pipeline\": \"hist64\", \"family\": \"i64\", \"extents\": [{hw}, {hh}], \
-         \"scalar_ns\": {}, \"simd_ns\": {}, \"i64_simd_speedup\": {i64_speedup:.3}, \"best_width\": {h_width}}}",
+         \"scalar_ns\": {}, \"simd_ns\": {}, \"i64_simd_speedup\": {i64_speedup:.3}, \"best_width\": {h_width}}},\n    \
+         {{\"pipeline\": \"minigmg_smooth_f64\", \"family\": \"f64\", \"extents\": [{nx}, {ny}, {nz}], \
+         \"scalar_ns\": {}, \"simd_ns\": {}, \"f64_simd_speedup\": {f64_speedup:.3}, \"best_width\": {d_width}}}",
         s_scalar.as_nanos(),
         s_simd.as_nanos(),
         h_scalar.as_nanos(),
         h_simd.as_nanos(),
+        d_scalar.as_nanos(),
+        d_simd.as_nanos(),
     );
+    let arch_entries = [
+        ("smooth_f32_arch", arch_f32),
+        ("smooth_f64_arch", arch_f64),
+        ("chain_i32_arch", arch_i32),
+    ]
+    .iter()
+    .filter_map(|(n, v)| {
+        v.map(|(p, a, _)| {
+            format!(
+                "    {{\"pipeline\": \"{n}\", \"portable_ns\": {}, \"arch_ns\": {}}}",
+                p.as_nanos(),
+                a.as_nanos()
+            )
+        })
+    })
+    .collect::<Vec<_>>()
+    .join(",\n");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"reductions\": [\n{reductions}\n  ],\n  \"locality\": [\n{locality}\n  ],\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3},\n  \"reduction_speedup\": {reduction_speedup:.3},\n  \"window_speedup\": {window_speedup:.3},\n  \"multi_output_speedup\": {multi_output_speedup:.3}\n}}\n"
+        "{{\n  \"benchmark\": \"fig7_interpret_vs_lowered\",\n  \"schedule\": \"stencil_default\",\n  \"image\": [{width}, {height}],\n  \"reps\": {reps},\n  \"results\": [\n{entries}\n  ],\n  \"lane_families\": [\n{lane_families}\n  ],\n  \"reductions\": [\n{reductions}\n  ],\n  \"locality\": [\n{locality}\n  ],\n  \"arch\": [\n{arch_entries}\n  ],\n  \"avx2_detected\": {},\n  \"f32_simd_speedup\": {f32_speedup:.3},\n  \"i64_simd_speedup\": {i64_speedup:.3},\n  \"f64_simd_speedup\": {f64_speedup:.3},\n  \"arch_speedup\": {arch_speedup:.3},\n  \"reduction_speedup\": {reduction_speedup:.3},\n  \"window_speedup\": {window_speedup:.3},\n  \"multi_output_speedup\": {multi_output_speedup:.3}\n}}\n",
+        u8::from(avx2_detected),
     );
     // Anchor at the workspace root regardless of the bench's working dir.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_lowering.json");

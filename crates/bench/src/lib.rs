@@ -383,6 +383,52 @@ pub fn minigmg_smooth_f32(nx: usize, ny: usize, nz: usize, seed: u64) -> (Pipeli
     (pipeline, grid)
 }
 
+/// The miniGMG smooth stencil in double precision: the same weighted 7-point
+/// Jacobi smoother as [`minigmg_smooth_f32`], but `Float64` end to end and
+/// with *no* rounding casts — f64 lanes are the executor's reference
+/// representation, so raw adds and multiplies are exact by construction and
+/// the pipeline rides the `[f64; W/2]` fused lane family. Returns the
+/// pipeline plus a deterministic ghosted input grid of extents
+/// `(nx+2) × (ny+2) × (nz+2)`; realize the output over `[nx, ny, nz]`.
+pub fn minigmg_smooth_f64(nx: usize, ny: usize, nz: usize, seed: u64) -> (Pipeline, Buffer) {
+    use helium_halide::{Expr, Func, ImageParam};
+    let tap = |dx: i64, dy: i64, dz: i64| {
+        Expr::Image(
+            "grid".into(),
+            vec![
+                Expr::add(Expr::var("x_0"), Expr::int(1 + dx)),
+                Expr::add(Expr::var("x_1"), Expr::int(1 + dy)),
+                Expr::add(Expr::var("x_2"), Expr::int(1 + dz)),
+            ],
+        )
+    };
+    let nsum = Expr::add(
+        Expr::add(
+            Expr::add(
+                Expr::add(Expr::add(tap(-1, 0, 0), tap(1, 0, 0)), tap(0, -1, 0)),
+                tap(0, 1, 0),
+            ),
+            tap(0, 0, -1),
+        ),
+        tap(0, 0, 1),
+    );
+    let wn = Expr::ConstFloat(1.0 / 12.0, ScalarType::Float64);
+    let wc = Expr::ConstFloat(0.5, ScalarType::Float64);
+    let value = Expr::add(Expr::mul(nsum, wn), Expr::mul(tap(0, 0, 0), wc));
+    let out = Func::pure("smooth", &["x_0", "x_1", "x_2"], ScalarType::Float64, value);
+    let pipeline = Pipeline::new(out, vec![ImageParam::new("grid", ScalarType::Float64, 3)]);
+
+    let mut grid = Buffer::new(ScalarType::Float64, &[nx + 2, ny + 2, nz + 2]);
+    let mut s = seed | 1;
+    for c in grid.coords().collect::<Vec<_>>() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        grid.set(&c, Value::Float(((s >> 33) % 4096) as f64 / 16.0 - 128.0));
+    }
+    (pipeline, grid)
+}
+
 /// A histogram-style 64-bit binning pipeline: weighted accumulation of
 /// narrow taps into `UInt64` bins, where the i32 family's wrap proofs are
 /// vacuous and the `[i64; W/2]` fused lane family applies. Returns the
@@ -720,7 +766,7 @@ pub fn run_legacy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use helium_halide::{CompileOptions, ExecBackend, SimdMode};
+    use helium_halide::{CompileOptions, ExecBackend, Target, Tier};
 
     #[test]
     fn helpers_produce_consistent_timings() {
@@ -747,7 +793,7 @@ mod tests {
                 &schedule,
                 &CompileOptions {
                     backend: ExecBackend::Lowered,
-                    simd: Some(SimdMode::ForceSimd),
+                    target: Some(Target::detect().with_tier(Tier::Simd)),
                     ..CompileOptions::default()
                 },
             )
@@ -765,6 +811,44 @@ mod tests {
             .realize(&pipeline, &extents, &inputs)
             .expect("oracle");
         assert_eq!(fused, oracle, "smooth fused output diverged from oracle");
+    }
+
+    /// The acceptance gate of the double-precision lane family: miniGMG
+    /// smooth (`Float64`, unrounded) runs on the `[f64; W/2]` fused family
+    /// and its output is bit-identical to the interpreter oracle.
+    #[test]
+    fn minigmg_smooth_f64_runs_fused_and_matches_oracle() {
+        let (nx, ny, nz) = (21, 13, 5);
+        let (pipeline, grid) = minigmg_smooth_f64(nx, ny, nz, 0x6116);
+        let inputs = RealizeInputs::new().with_image("grid", &grid);
+        let extents = [nx, ny, nz];
+        let schedule = Schedule::stencil_default();
+        let compiled = pipeline
+            .compile(
+                &schedule,
+                &CompileOptions {
+                    backend: ExecBackend::Lowered,
+                    target: Some(Target::detect().with_tier(Tier::Simd)),
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compile");
+        let fused = compiled.run(&inputs, &extents).expect("fused run");
+        let counts = compiled
+            .fused_store_counts(&inputs, &extents)
+            .expect("counts");
+        assert!(
+            counts.lanes_f64 > 0,
+            "smooth must run the [f64; W/2] fused lane family, got {counts:?}"
+        );
+        let oracle = Realizer::new(schedule)
+            .with_backend(ExecBackend::Interpret)
+            .realize(&pipeline, &extents, &inputs)
+            .expect("oracle");
+        assert_eq!(
+            fused, oracle,
+            "f64 smooth fused output diverged from oracle"
+        );
     }
 
     /// The acceptance gate of lowered reductions: the RDom histogram's
@@ -804,7 +888,7 @@ mod tests {
             .compile(
                 &schedule,
                 &CompileOptions {
-                    simd: Some(SimdMode::ForceSimd),
+                    target: Some(Target::detect().with_tier(Tier::Simd)),
                     ..CompileOptions::default()
                 },
             )
@@ -839,7 +923,7 @@ mod tests {
                 &schedule,
                 &CompileOptions {
                     backend: ExecBackend::Lowered,
-                    simd: Some(SimdMode::ForceSimd),
+                    target: Some(Target::detect().with_tier(Tier::Simd)),
                     ..CompileOptions::default()
                 },
             )

@@ -101,6 +101,20 @@ impl Interval {
         }
     }
 
+    /// Integers exactly representable in `f64`: `[-2^53, 2^53]`. Inside this
+    /// range `i64 → f64` promotion is exact, injective and order-preserving,
+    /// so the `[f64; W/2]` fused lane family may carry an integer leaf as an
+    /// `f64` lane: mixed int/float arithmetic sees exactly the reference
+    /// promotion, and integer comparisons on the lanes agree with the
+    /// reference's `i64` comparison. Same conservative direction as
+    /// [`Interval::f32_exact_int_range`].
+    pub fn f64_exact_int_range() -> Interval {
+        Interval {
+            min: -(1 << 53),
+            max: 1 << 53,
+        }
+    }
+
     /// Whether every value of this interval lies within `other`.
     pub fn within(self, other: Interval) -> bool {
         other.min <= self.min && self.max <= other.max
@@ -662,6 +676,26 @@ mod tests {
         }
         // Just outside the range sits the first integer f32 cannot hold.
         assert_ne!(((r.max + 1) as f64) as f32 as f64, (r.max + 1) as f64);
+    }
+
+    #[test]
+    fn f64_exact_int_range_round_trips_at_its_corners() {
+        // Every integer within ±2^53 promotes to f64 and back without loss —
+        // the admissibility bound the [f64; W/2] lane family uses to carry
+        // integer leaves as f64 lanes.
+        let r = Interval::f64_exact_int_range();
+        assert_eq!(r.min, -(1 << 53));
+        assert_eq!(r.max, 1 << 53);
+        for v in [r.min, r.max, 0, -1, 12345, (1 << 52) + 1] {
+            assert!(r.contains(v));
+            assert_eq!((v as f64) as i64, v);
+        }
+        // Just outside, f64's 53-bit mantissa rounds to even: 2^53 + 1 is
+        // the first integer f64 cannot hold.
+        assert_eq!(((r.max + 1) as f64) as i64, r.max);
+        // And the range is strictly wider than the f32 one it mirrors.
+        let f32r = Interval::f32_exact_int_range();
+        assert!(r.min < f32r.min && f32r.max < r.max);
     }
 
     #[test]

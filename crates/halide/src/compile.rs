@@ -38,6 +38,7 @@ use crate::lower::{
 use crate::realize::{ExecBackend, RealizeError, RealizeInputs};
 use crate::schedule::Schedule;
 use crate::stmt::Stmt;
+use crate::target::Target;
 use crate::types::{ScalarType, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
@@ -50,12 +51,15 @@ pub struct CompileOptions {
     /// Capacity of the compiled pipeline's internal [`ProgramCache`]
     /// (one entry per output-extents × binding-signature combination).
     pub cache_capacity: usize,
-    /// Pin this pipeline's lowered-backend execution tiers
-    /// ([`crate::exec::SimdMode`]): `None` follows the process-wide
-    /// [`crate::exec::simd_mode`] at each run. Every mode produces
-    /// bit-identical buffers — differential tests use this to exercise the
-    /// fused-SIMD and per-op tiers without touching global state.
-    pub simd: Option<exec::SimdMode>,
+    /// The backend-selection [`Target`] this pipeline executes under —
+    /// execution tier pin plus the ISA features its fused kernels may use.
+    /// `None` resolves [`Target::current`] (process-wide override, else the
+    /// environment pins via [`Target::from_env`]) **once at compile time**;
+    /// the resolved value is stored on the [`CompiledPipeline`] and every
+    /// dispatch site reads it. Every target produces bit-identical buffers —
+    /// differential tests use this to pin tiers and ISAs per pipeline
+    /// without touching global state.
+    pub target: Option<Target>,
 }
 
 impl Default for CompileOptions {
@@ -63,7 +67,7 @@ impl Default for CompileOptions {
         CompileOptions {
             backend: ExecBackend::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
-            simd: None,
+            target: None,
         }
     }
 }
@@ -117,7 +121,9 @@ impl StageProfile {
 ///
 /// Obtained from [`CompiledPipeline::dry_run`]. The profile reflects
 /// compile-time kernel *selection*; whether a fused kernel actually executes
-/// is gated per run by the effective [`exec::SimdMode`].
+/// is gated by the compiled [`Target`]'s tier, and the lane ISA each fused
+/// store will run on is reported per store
+/// ([`StoreProfile::selected_isa`]).
 #[derive(Debug, Clone)]
 pub struct PipelineProfile {
     /// Materialized stages in execution order; the last entry is always the
@@ -165,6 +171,7 @@ impl PipelineProfile {
                 Some(exec::LaneFamily::I32) => counts.lanes_i32 += 1,
                 Some(exec::LaneFamily::I64) => counts.lanes_i64 += 1,
                 Some(exec::LaneFamily::F32) => counts.lanes_f32 += 1,
+                Some(exec::LaneFamily::F64) => counts.lanes_f64 += 1,
                 None => {}
             }
         }
@@ -183,7 +190,7 @@ pub struct CompiledPipeline {
     pipeline: Pipeline,
     schedule: Schedule,
     backend: ExecBackend,
-    simd: Option<exec::SimdMode>,
+    target: Target,
     pipeline_fp: u64,
     schedule_fp: u64,
     cache: ShardedCache<Arc<PreparedProgram>>,
@@ -221,7 +228,7 @@ impl Pipeline {
             pipeline: self.clone(),
             schedule: schedule.clone(),
             backend: options.backend,
-            simd: options.simd,
+            target: options.target.unwrap_or_else(Target::current),
             cache: ShardedCache::new(options.cache_capacity),
         })
     }
@@ -253,7 +260,7 @@ impl CompiledPipeline {
             &self.pipeline,
             &self.schedule,
             self.backend,
-            self.simd,
+            self.target,
             output_extents,
             inputs,
             key,
@@ -271,6 +278,13 @@ impl CompiledPipeline {
         self.backend
     }
 
+    /// The resolved backend-selection [`Target`] this pipeline executes
+    /// under — [`CompileOptions::target`], or the [`Target::current`]
+    /// snapshot taken at compile time.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
     /// The compiled pipeline (the snapshot taken at compile time).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
@@ -284,9 +298,8 @@ impl CompiledPipeline {
     /// part of the cached plan, so a subsequent [`CompiledPipeline::run`]
     /// executes the same plan. Note the counts reflect compile-time kernel
     /// *selection*: whether a counted kernel actually executes is gated per
-    /// run by the effective [`crate::exec::SimdMode`] (a
-    /// `ForceScalar`-pinned pipeline reports its kernels but runs the per-op
-    /// tier).
+    /// run by the compiled [`Target`]'s tier (a `Tier::Scalar`-pinned
+    /// pipeline reports its kernels but runs the per-op tier).
     ///
     /// # Errors
     /// Returns an error if inputs or parameters are missing or the extents
@@ -367,7 +380,7 @@ impl CompiledPipeline {
         inputs: &RealizeInputs<'_>,
         output_extents: &[usize],
     ) -> Result<PipelineProfile, RealizeError> {
-        Ok(self.program(inputs, output_extents)?.profile())
+        Ok(self.program(inputs, output_extents)?.profile(self.target))
     }
 
     /// Fetch (or build and cache) the prepared program for one (extents,
@@ -443,7 +456,7 @@ pub(crate) fn realize_with_cache(
     pipeline: &Pipeline,
     schedule: &Schedule,
     backend: ExecBackend,
-    simd: Option<exec::SimdMode>,
+    target: Target,
     output_extents: &[usize],
     inputs: &RealizeInputs<'_>,
     key: CacheKey,
@@ -458,7 +471,7 @@ pub(crate) fn realize_with_cache(
         key,
         cache,
     )?;
-    program.execute(inputs, simd)
+    program.execute(inputs, target)
 }
 
 /// Fetch (or build and cache) the prepared program for one cache key: the
@@ -956,6 +969,7 @@ impl PreparedProgram {
             counts.lanes_i32 += c.lanes_i32;
             counts.lanes_i64 += c.lanes_i64;
             counts.lanes_f32 += c.lanes_f32;
+            counts.lanes_f64 += c.lanes_f64;
         };
         for unit in &self.units {
             match unit {
@@ -973,10 +987,10 @@ impl PreparedProgram {
     /// The compile-time profile behind [`CompiledPipeline::dry_run`]: one
     /// [`StageProfile`] per materialized stage (output last), built from the
     /// already-compiled plans — profiling does no additional compilation.
-    pub(crate) fn profile(&self) -> PipelineProfile {
+    pub(crate) fn profile(&self, target: Target) -> PipelineProfile {
         let stage_profile = |stage: &Stage| -> StageProfile {
             let (lowered, stores) = match &stage.pure_exec {
-                Some(PureExec::Lowered(plan)) => (true, plan.store_profiles()),
+                Some(PureExec::Lowered(plan)) => (true, plan.store_profiles(target)),
                 Some(PureExec::Interpreted { .. }) | None => (false, Vec::new()),
             };
             StageProfile {
@@ -1007,7 +1021,7 @@ impl PreparedProgram {
                     sliding_window_extents.extend(f.plan.sliding_window_extents());
                     // Store ids are sequential in nest (member) order, so
                     // profile k belongs to member k.
-                    let stores = f.plan.store_profiles();
+                    let stores = f.plan.store_profiles(target);
                     for (k, m) in f.members.iter().enumerate() {
                         stages.push(StageProfile {
                             name: m.name.clone(),
@@ -1034,18 +1048,15 @@ impl PreparedProgram {
     pub(crate) fn execute(
         &self,
         inputs: &RealizeInputs<'_>,
-        simd: Option<exec::SimdMode>,
+        target: Target,
     ) -> Result<Buffer, RealizeError> {
-        // A pinned mode sticks for the program's lifetime; otherwise each
-        // call follows the process-wide mode (env override or setter).
-        let mode = simd.unwrap_or_else(exec::simd_mode);
         let mut roots: BTreeMap<String, Buffer> = BTreeMap::new();
         let mut result = None;
         for (ui, unit) in self.units.iter().enumerate() {
             let last_unit = ui + 1 == self.units.len();
             match unit {
                 Unit::Single(stage) => {
-                    let buf = stage.run(inputs, &self.params, &roots, mode)?;
+                    let buf = stage.run(inputs, &self.params, &roots, target)?;
                     if last_unit {
                         result = Some(buf);
                     } else {
@@ -1060,13 +1071,13 @@ impl PreparedProgram {
                         .collect();
                     {
                         let mut refs: Vec<&mut Buffer> = bufs.iter_mut().collect();
-                        exec::run_multi_with_mode(
+                        exec::run_multi_with_target(
                             &f.plan,
                             &mut refs,
                             &inputs.images,
                             &roots,
                             &self.params,
-                            mode,
+                            target,
                         )?;
                     }
                     let n = bufs.len();
@@ -1149,13 +1160,13 @@ impl Stage {
         inputs: &RealizeInputs<'_>,
         params: &BTreeMap<String, Value>,
         roots: &BTreeMap<String, Buffer>,
-        mode: exec::SimdMode,
+        target: Target,
     ) -> Result<Buffer, RealizeError> {
         let mut buffer = Buffer::new(self.ty, &self.extents);
         match &self.pure_exec {
             None => {}
             Some(PureExec::Lowered(plan)) => {
-                exec::run_with_mode(plan, &mut buffer, &inputs.images, roots, params, mode)?;
+                exec::run_with_target(plan, &mut buffer, &inputs.images, roots, params, target)?;
             }
             Some(PureExec::Interpreted {
                 expr,
@@ -1916,7 +1927,7 @@ mod tests {
             .compile(
                 &Schedule::stencil_default(),
                 &CompileOptions {
-                    simd: Some(exec::SimdMode::ForceSimd),
+                    target: Some(Target::detect().with_tier(crate::target::Tier::Simd)),
                     ..CompileOptions::default()
                 },
             )
@@ -1939,7 +1950,7 @@ mod tests {
             .compile(
                 &Schedule::stencil_default(),
                 &CompileOptions {
-                    simd: Some(exec::SimdMode::ForceScalar),
+                    target: Some(Target::detect().with_tier(crate::target::Tier::Scalar)),
                     ..CompileOptions::default()
                 },
             )

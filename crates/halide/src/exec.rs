@@ -89,7 +89,7 @@
 //!   recomputed. Exactness: region inference proved the window's content is a
 //!   pure function of the sliding minimum, so a shifted row is bit-identical
 //!   to a recomputed one. [`window_rows_reused`] counts the rows saved.
-//! * Multi-output fused nests ([`prepare_multi`] / [`run_multi_with_mode`])
+//! * Multi-output fused nests ([`prepare_multi`] / [`run_multi_with_target`])
 //!   carry several `Produce` blocks under one shared outer loop, writing
 //!   several output buffers per walk; each member store still selects its
 //!   own execution tier. [`multi_output_nests_executed`] counts the runs.
@@ -111,10 +111,22 @@
 //! against the interpreter across all tiers, element types (including NaN,
 //! ±Inf and subnormal float inputs) and extents.
 //!
-//! The [`SimdMode`] knob (the `HELIUM_FORCE_SCALAR` / `HELIUM_FORCE_SIMD`
-//! environment variables, [`set_simd_mode`], or
-//! [`crate::compile::CompileOptions::simd`]) pins execution to a tier for
-//! differential testing and benchmarking.
+//! Backend selection is a [`Target`]: an execution [`Tier`] (pin the fused
+//! tier on or off, or let the runner choose) plus the ISA [`Feature`]s the
+//! fused kernels may exploit. The `arch` module hand-writes AVX2
+//! `core::arch` chunk evaluators for the hottest shapes — Axpy tap
+//! accumulation, shift/mul-by-constant, clamp/min/max, and the tree-reduce —
+//! dispatched when the resolved target carries [`Feature::Avx2`] *and*
+//! `is_x86_feature_detected!("avx2")` confirms it at run time
+//! ([`Target::effective_isa`]); the portable constant-trip lane loops remain
+//! both the fallback and the bit-exactness oracle. Integer arch kernels are
+//! exact by construction (wrapping semantics); float arch kernels cover only
+//! IEEE-exact single-rounding ops (`Add`/`Sub`/`Mul`/`Div`/`Sqrt`), leaving
+//! `Min`/`Max`/`Cmp` on the scalar reference path because `_mm256_min_ps`
+//! NaN/±0 semantics differ from Rust's. A target is resolved once at
+//! compile time ([`crate::compile::CompileOptions::target`], defaulting to
+//! [`Target::current`] — env pins live in [`Target::from_env`]) and every
+//! dispatch site reads that one value.
 //!
 //! Since the compile/run split, store compilation happens once in [`prepare`]
 //! (producing an [`ExecPlan`] that the program cache retains — including the
@@ -144,10 +156,10 @@ use crate::realize::RealizeError;
 use crate::stmt::{
     access_contiguous_in, access_invariant_in, value_reads_buffer, AffineIndex, LoopKind, Stmt,
 };
+use crate::target::{set_target_override, Isa, Target, Tier};
 use crate::types::{ScalarType, Value};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of lanes evaluated per dispatch of the per-op typed tier, and the
 /// sub-batch size wider vectorized widths are split into: a schedule asking
@@ -173,14 +185,14 @@ const MERGE_MAX_CELLS: usize = 4 << 20;
 // Execution-tier selection
 // ---------------------------------------------------------------------------
 
-/// Which execution tiers the runner may use for stores that have a fused
-/// SIMD kernel. All modes produce bit-identical buffers; the knob exists for
-/// differential testing and benchmarking of the tiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Legacy tier knob, superseded by [`Target`] / [`Tier`]. Retained as a shim
+/// so existing callers keep compiling; [`set_simd_mode`] maps it onto a
+/// process-wide [`Target`] override.
+#[deprecated(note = "use `Target` / `Tier` (see `helium_halide::target`)")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimdMode {
     /// Fused kernels run under vectorized loops; everything else uses the
     /// per-op tier.
-    #[default]
     Auto,
     /// Never use fused kernels (the per-op lane tier handles every store).
     ForceScalar,
@@ -188,10 +200,6 @@ pub enum SimdMode {
     /// innermost loops (which then run [`MAX_LANES`]-wide chunks).
     ForceSimd,
 }
-
-/// Process-wide override set by [`set_simd_mode`]: 0 = unset (follow the
-/// environment), else `SimdMode as u8 + 1`.
-static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 /// Rows (innermost-loop executions) that ran the fused-kernel interior path,
 /// for observability and tests.
@@ -216,48 +224,44 @@ static PARALLEL_REDUCE_MERGES: AtomicU64 = AtomicU64::new(0);
 static WINDOW_ROWS_REUSED: AtomicU64 = AtomicU64::new(0);
 
 /// Multi-output fused loop nests executed (plans run through
-/// [`run_multi_with_mode`] with more than one output buffer), for
+/// [`run_multi_with_target`] with more than one output buffer), for
 /// observability and tests.
 static MULTI_OUTPUT_NESTS: AtomicU64 = AtomicU64::new(0);
 
-fn env_simd_mode() -> SimdMode {
-    static ENV_MODE: OnceLock<SimdMode> = OnceLock::new();
-    *ENV_MODE.get_or_init(|| {
-        let truthy = |name: &str| std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0");
-        if truthy("HELIUM_FORCE_SCALAR") {
-            SimdMode::ForceScalar
-        } else if truthy("HELIUM_FORCE_SIMD") {
-            SimdMode::ForceSimd
-        } else {
-            SimdMode::Auto
-        }
-    })
-}
+/// Fused interior rows and reduce loops whose chunks executed on a
+/// hand-written `core::arch` ISA path (currently AVX2) instead of the
+/// portable lane loops, for observability and tests — the proof that
+/// [`Target::effective_isa`] dispatch actually fires. Counted per
+/// loop/row, not per chunk, to keep the atomic off the chunk hot path.
+static ARCH_ROWS: AtomicU64 = AtomicU64::new(0);
 
-/// The active execution-tier mode: the [`set_simd_mode`] override if set,
-/// else `HELIUM_FORCE_SCALAR=1` / `HELIUM_FORCE_SIMD=1` from the
-/// environment, else [`SimdMode::Auto`].
+/// The execution tier of the current process-wide [`Target`]
+/// ([`Target::current`]), expressed as the legacy [`SimdMode`].
+#[deprecated(note = "use `Target::current().tier()`")]
+#[allow(deprecated)]
 pub fn simd_mode() -> SimdMode {
-    match SIMD_OVERRIDE.load(Ordering::Relaxed) {
-        1 => SimdMode::Auto,
-        2 => SimdMode::ForceScalar,
-        3 => SimdMode::ForceSimd,
-        _ => env_simd_mode(),
+    match Target::current().tier() {
+        Tier::Auto => SimdMode::Auto,
+        Tier::Scalar => SimdMode::ForceScalar,
+        Tier::Simd => SimdMode::ForceSimd,
     }
 }
 
-/// Override (or with `None`, un-override) the process-wide [`SimdMode`].
-/// Benchmarks use this to time the scalar and SIMD tiers from one process;
-/// per-pipeline control is available via
-/// [`crate::compile::CompileOptions::simd`].
+/// Override (or with `None`, un-override) the process-wide execution tier.
+/// Shimmed onto [`crate::target::set_target_override`]: the override target
+/// keeps the environment-resolved ISA features and pins only the tier.
+/// Per-pipeline control is available via
+/// [`crate::compile::CompileOptions::target`].
+#[deprecated(note = "use `target::set_target_override`")]
+#[allow(deprecated)]
 pub fn set_simd_mode(mode: Option<SimdMode>) {
-    let v = match mode {
-        None => 0,
-        Some(SimdMode::Auto) => 1,
-        Some(SimdMode::ForceScalar) => 2,
-        Some(SimdMode::ForceSimd) => 3,
-    };
-    SIMD_OVERRIDE.store(v, Ordering::Relaxed);
+    set_target_override(mode.map(|m| {
+        Target::from_env().with_tier(match m {
+            SimdMode::Auto => Tier::Auto,
+            SimdMode::ForceScalar => Tier::Scalar,
+            SimdMode::ForceSimd => Tier::Simd,
+        })
+    }));
 }
 
 /// Number of innermost-loop rows executed through the fused-kernel interior
@@ -300,6 +304,13 @@ pub fn multi_output_nests_executed() -> u64 {
     MULTI_OUTPUT_NESTS.load(Ordering::Relaxed)
 }
 
+/// Number of fused rows / reduce loops whose chunks ran on a hand-written
+/// `core::arch` ISA path since process start (monotonic; for tests and
+/// observability).
+pub fn arch_rows_executed() -> u64 {
+    ARCH_ROWS.load(Ordering::Relaxed)
+}
+
 /// A scoped snapshot of the global execution counters, for tests that assert
 /// exact deltas.
 ///
@@ -326,6 +337,8 @@ pub struct CounterSnapshot {
     pub window_rows_reused: u64,
     /// [`multi_output_nests_executed`] at snapshot time.
     pub multi_output_nests: u64,
+    /// [`arch_rows_executed`] at snapshot time.
+    pub arch_rows: u64,
 }
 
 impl CounterSnapshot {
@@ -338,6 +351,7 @@ impl CounterSnapshot {
             parallel_reduce_merges: parallel_reduce_merges_executed(),
             window_rows_reused: window_rows_reused(),
             multi_output_nests: multi_output_nests_executed(),
+            arch_rows: arch_rows_executed(),
         }
     }
 
@@ -357,6 +371,7 @@ impl CounterSnapshot {
             multi_output_nests: now
                 .multi_output_nests
                 .saturating_sub(self.multi_output_nests),
+            arch_rows: now.arch_rows.saturating_sub(self.arch_rows),
         }
     }
 }
@@ -670,16 +685,22 @@ enum VOp<C = i32> {
     },
 }
 
-/// One op of an `[f32; W]` fused kernel. Compilation maintains the invariant
+/// One op of a float fused kernel, generic over the lane carrier `C`.
+///
+/// For `C = f32` (`[f32; W]` lanes) compilation maintains the invariant
 /// that every lane holds a value bit-exactly representable in `f32` that
 /// equals the reference `f64` value (rounded at the reference's own rounding
 /// points): arithmetic ops are only emitted where the reference rounds —
 /// under a `cast<float>` or at the `Float32` store — where one `f32`
 /// rounding of exact operands equals compute-in-`f64`-then-round.
+///
+/// For `C = f64` (`[f64; W/2]` lanes) no discipline is needed: the reference
+/// evaluator carries floats as `f64`, so the lanes ARE the reference values
+/// and every op is exact by construction.
 #[derive(Debug, Clone, PartialEq)]
-enum FOp {
-    /// Push a broadcast constant (proven f32-exact at compile time).
-    Const(f32),
+enum FOp<C> {
+    /// Push a broadcast constant (proven lane-exact at compile time).
+    Const(C),
     /// Push the loop variable at `depth` as f32 lanes (a lane ramp at the
     /// lane depth; the variable's interval is proven f32-exact).
     Var(usize),
@@ -705,6 +726,123 @@ enum FOp {
     Sel,
 }
 
+/// One op of a float fused kernel's **arch plan**: the [`FOp`] stream with
+/// adjacent const/load/arithmetic patterns pre-fused at kernel-build time,
+/// consumed only by the hand-written AVX2 evaluators (the `arch` module).
+/// The portable evaluators never read it — they stay the oracle.
+///
+/// Why it exists: the integer families fuse their multiply-accumulate spine
+/// into [`VOp::Axpy`], but float programs carry each `Const`/`Load`/`Mul`/
+/// `Add` as a separate full-chunk pass through the stack arrays. A 7-tap
+/// stencil pays ~13 such passes per chunk. The fused plan ops below let the
+/// AVX2 path touch each tap exactly once, in registers, streaming full-width
+/// contiguous taps straight from the bound buffer.
+///
+/// **Exactness.** Every fused op performs the same roundings in the same
+/// operand order as the ops it replaces (`PushCMulLoad` = one `c * tap`
+/// rounding, `AccAddCMulLoad` = that plus one `acc + _` rounding, etc.), so
+/// the plan is bit-identical to the `FOp` stream by construction — including
+/// NaN payload propagation, which on x86 follows operand order. Net stack
+/// effect of each rewrite is preserved, so passthrough ops ([`AOp::Op`])
+/// observe exactly the stack the portable evaluator would.
+#[derive(Debug, Clone, PartialEq)]
+enum AOp<C> {
+    /// Passthrough: the original op, executed by the generic arch body.
+    Op(FOp<C>),
+    /// Push `c * tap` (from `Const(c), Load(t), Mul`).
+    PushCMulLoad {
+        tap: usize,
+        c: C,
+    },
+    /// Push `tap * c` (from `Load(t), Const(c), Mul`).
+    PushLoadMulC {
+        tap: usize,
+        c: C,
+    },
+    /// `top = top + c * tap` (from `PushCMulLoad, Add`).
+    AccAddCMulLoad {
+        tap: usize,
+        c: C,
+    },
+    /// `top = top + tap * c` (from `PushLoadMulC, Add`).
+    AccAddLoadMulC {
+        tap: usize,
+        c: C,
+    },
+    /// `top = top OP tap` (from `Load(t), Add/Sub/Mul/Div`).
+    AccAddLoad(usize),
+    AccSubLoad(usize),
+    AccMulLoad(usize),
+    AccDivLoad(usize),
+    /// `top = top OP c` (from `Const(c), Add/Sub/Mul/Div`).
+    AccAddC(C),
+    AccSubC(C),
+    AccMulC(C),
+    AccDivC(C),
+}
+
+/// Pre-fuse a float op stream into its arch plan (see [`AOp`]). Each rewrite
+/// consumes only ops whose operands are adjacent on the virtual stack, so
+/// adjacency in the emitted plan proves the operands — no symbolic stack
+/// simulation is needed.
+fn build_arch_plan<C: Copy>(ops: &[FOp<C>]) -> Vec<AOp<C>> {
+    let mut plan: Vec<AOp<C>> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let fused = match op {
+            FOp::Mul => match &plan[..] {
+                [.., AOp::Op(FOp::Const(c)), AOp::Op(FOp::Load(t))] => {
+                    Some((2, AOp::PushCMulLoad { tap: *t, c: *c }))
+                }
+                [.., AOp::Op(FOp::Load(t)), AOp::Op(FOp::Const(c))] => {
+                    Some((2, AOp::PushLoadMulC { tap: *t, c: *c }))
+                }
+                [.., AOp::Op(FOp::Const(c))] => Some((1, AOp::AccMulC(*c))),
+                [.., AOp::Op(FOp::Load(t))] => Some((1, AOp::AccMulLoad(*t))),
+                _ => None,
+            },
+            FOp::Add => match &plan[..] {
+                [.., AOp::PushCMulLoad { tap, c }] => {
+                    Some((1, AOp::AccAddCMulLoad { tap: *tap, c: *c }))
+                }
+                [.., AOp::PushLoadMulC { tap, c }] => {
+                    Some((1, AOp::AccAddLoadMulC { tap: *tap, c: *c }))
+                }
+                [.., AOp::Op(FOp::Const(c))] => Some((1, AOp::AccAddC(*c))),
+                [.., AOp::Op(FOp::Load(t))] => Some((1, AOp::AccAddLoad(*t))),
+                _ => None,
+            },
+            FOp::Sub => match &plan[..] {
+                [.., AOp::Op(FOp::Const(c))] => Some((1, AOp::AccSubC(*c))),
+                [.., AOp::Op(FOp::Load(t))] => Some((1, AOp::AccSubLoad(*t))),
+                _ => None,
+            },
+            FOp::Div => match &plan[..] {
+                [.., AOp::Op(FOp::Const(c))] => Some((1, AOp::AccDivC(*c))),
+                [.., AOp::Op(FOp::Load(t))] => Some((1, AOp::AccDivLoad(*t))),
+                _ => None,
+            },
+            _ => None,
+        };
+        match fused {
+            Some((consumed, aop)) => {
+                plan.truncate(plan.len() - consumed);
+                plan.push(aop);
+            }
+            None => plan.push(AOp::Op(op.clone())),
+        }
+    }
+    plan
+}
+
+/// The pre-built arch plan of a [`FusedKernel`], by lane family. Integer
+/// programs carry none — their hot spine is already fused as [`VOp::Axpy`].
+#[derive(Debug, Clone, PartialEq)]
+enum ArchPlan {
+    Int,
+    F32(Vec<AOp<f32>>),
+    F64(Vec<AOp<f64>>),
+}
+
 /// The lane program of a fused kernel, tagging which lane family it runs on.
 #[derive(Debug, Clone, PartialEq)]
 enum LaneProgram {
@@ -713,7 +851,9 @@ enum LaneProgram {
     /// `[i64; W/2]` lanes carrying exact reference values.
     I64(Vec<VOp<i64>>),
     /// `[f32; W]` lanes with rounding-point discipline.
-    F32(Vec<FOp>),
+    F32(Vec<FOp<f32>>),
+    /// `[f64; W/2]` lanes carrying exact reference float values.
+    F64(Vec<FOp<f64>>),
 }
 
 /// The lane family a fused kernel was compiled for. See the module docs for
@@ -726,6 +866,8 @@ pub enum LaneFamily {
     I64,
     /// `[f32; W]` lanes (Float32 outputs, rounding-point discipline).
     F32,
+    /// `[f64; W/2]` lanes (Float64 outputs; lanes are the reference values).
+    F64,
 }
 
 /// Compile-time profile of one compiled store, for the cost model behind
@@ -751,6 +893,10 @@ pub struct StoreProfile {
     /// Whether the store admits privatize-then-merge deferred accumulation
     /// under a [`crate::stmt::LoopKind::ParallelReduce`] nest.
     pub parallel_reduce: bool,
+    /// The instruction-set family the store's fused/reduce chunks will
+    /// execute on under the profiled [`Target`] ([`Isa::Portable`] for
+    /// unfused stores — the per-op and fallback tiers have no arch paths).
+    pub selected_isa: Isa,
 }
 
 /// Per-lane-family fused-kernel counts of an [`ExecPlan`], for observability,
@@ -763,12 +909,14 @@ pub struct FusedStoreCounts {
     pub lanes_i64: usize,
     /// Stores fused on `[f32; W]` lanes.
     pub lanes_f32: usize,
+    /// Stores fused on `[f64; W/2]` lanes.
+    pub lanes_f64: usize,
 }
 
 impl FusedStoreCounts {
     /// Total fused stores across all lane families.
     pub fn total(&self) -> usize {
-        self.lanes_i32 + self.lanes_i64 + self.lanes_f32
+        self.lanes_i32 + self.lanes_i64 + self.lanes_f32 + self.lanes_f64
     }
 }
 
@@ -777,6 +925,9 @@ impl FusedStoreCounts {
 #[derive(Debug, Clone, PartialEq)]
 struct FusedKernel {
     prog: LaneProgram,
+    /// Pre-fused float op stream for the AVX2 evaluators (see [`AOp`]);
+    /// [`ArchPlan::Int`] for the integer families.
+    arch_plan: ArchPlan,
     taps: Vec<TapAccess>,
     /// Output slot (dimension 0 is contiguous in the lane variable).
     out_slot: usize,
@@ -828,7 +979,9 @@ impl ReduceKernel {
         match self.prog {
             LaneProgram::I32(_) => LaneFamily::I32,
             LaneProgram::I64(_) => LaneFamily::I64,
-            LaneProgram::F32(_) => unreachable!("reduce kernels are integer-only"),
+            LaneProgram::F32(_) | LaneProgram::F64(_) => {
+                unreachable!("reduce kernels are integer-only")
+            }
         }
     }
 
@@ -839,7 +992,9 @@ impl ReduceKernel {
         match self.family() {
             LaneFamily::I32 => MAX_CHUNK,
             LaneFamily::I64 => MAX_CHUNK / 2,
-            LaneFamily::F32 => unreachable!("reduce kernels are integer-only"),
+            LaneFamily::F32 | LaneFamily::F64 => {
+                unreachable!("reduce kernels are integer-only")
+            }
         }
     }
 }
@@ -851,12 +1006,13 @@ impl FusedKernel {
             LaneProgram::I32(_) => LaneFamily::I32,
             LaneProgram::I64(_) => LaneFamily::I64,
             LaneProgram::F32(_) => LaneFamily::F32,
+            LaneProgram::F64(_) => LaneFamily::F64,
         }
     }
 
     /// The chunk width used for a scheduled vector width: {8, 16, 32} lanes
-    /// for the i32/f32 families, half that ({4, 8, 16}) for i64 lanes so one
-    /// chunk covers the same number of vector registers.
+    /// for the i32/f32 families, half that ({4, 8, 16}) for the 64-bit-wide
+    /// i64/f64 lanes so one chunk covers the same number of vector registers.
     fn chunk_width(&self, width: usize) -> usize {
         let w = if width >= 32 {
             32
@@ -867,7 +1023,7 @@ impl FusedKernel {
         };
         match self.family() {
             LaneFamily::I32 | LaneFamily::F32 => w,
-            LaneFamily::I64 => w / 2,
+            LaneFamily::I64 | LaneFamily::F64 => w / 2,
         }
     }
 }
@@ -1190,9 +1346,10 @@ impl FusedBuilder<'_> {
             }
             ScalarType::UInt64 => self.build_i64(value),
             ScalarType::Float32 => self.build_f32(value),
-            // Float64 values are the reference representation itself; a lane
-            // family for them is a follow-on (no invariant shortcut exists).
-            ScalarType::Float64 => None,
+            // Float64 values are the reference representation itself, so the
+            // `[f64; W/2]` family is exact by construction (no rounding
+            // discipline needed — every FOp mirrors the reference op).
+            ScalarType::Float64 => self.build_f64(value),
         };
         let (prog, taps) = built?;
         // A tap aliasing the output would read lanes the kernel just wrote
@@ -1200,8 +1357,14 @@ impl FusedBuilder<'_> {
         if taps.iter().any(|t| t.slot == self.out_slot) {
             return None;
         }
+        let arch_plan = match &prog {
+            LaneProgram::F32(ops) => ArchPlan::F32(build_arch_plan(ops)),
+            LaneProgram::F64(ops) => ArchPlan::F64(build_arch_plan(ops)),
+            _ => ArchPlan::Int,
+        };
         Some(FusedKernel {
             prog,
+            arch_plan,
             taps,
             out_slot: self.out_slot,
             out_ty,
@@ -1300,6 +1463,15 @@ impl FusedBuilder<'_> {
             return None;
         }
         Some((LaneProgram::F32(emit.ops), emit.taps))
+    }
+
+    fn build_f64(&self, value: &Expr) -> Option<(LaneProgram, Vec<TapAccess>)> {
+        let mut emit = VEmit::new();
+        self.fuse_f64(value, &mut emit)?;
+        if emit.max > V_STACK {
+            return None;
+        }
+        Some((LaneProgram::F64(emit.ops), emit.taps))
     }
 
     /// Decompose an access's index expressions into per-dimension affine
@@ -1741,7 +1913,7 @@ impl FusedBuilder<'_> {
     /// (integer leaves stay `Kind::Int` — carried as exact f32 lanes — which
     /// [`Self::fuse_f32_rounding`] uses to reject all-integer arithmetic the
     /// reference would evaluate on i64).
-    fn fuse_f32(&self, e: &Expr, out: &mut VEmit<FOp>) -> Option<Kind> {
+    fn fuse_f32(&self, e: &Expr, out: &mut VEmit<FOp<f32>>) -> Option<Kind> {
         match e {
             Expr::ConstFloat(v, _) => {
                 if !f64_is_f32_exact(*v) {
@@ -1886,7 +2058,7 @@ impl FusedBuilder<'_> {
     /// cast for +, −, ×, ÷ and sqrt (f64's 53 significant bits ≥ 2·24 + 2,
     /// so the double rounding is innocuous). Anything already exact passes
     /// through [`Self::fuse_f32`]; the rounding is then the identity.
-    fn fuse_f32_rounding(&self, e: &Expr, out: &mut VEmit<FOp>) -> Option<Kind> {
+    fn fuse_f32_rounding(&self, e: &Expr, out: &mut VEmit<FOp<f32>>) -> Option<Kind> {
         match e {
             Expr::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div), a, b) => {
                 let ka = self.fuse_f32(a, out)?;
@@ -1915,6 +2087,152 @@ impl FusedBuilder<'_> {
                 Some(Kind::Float)
             }
             _ => self.fuse_f32(e, out),
+        }
+    }
+
+    // -- The `[f64; W/2]` family: lanes are the reference values ------------
+
+    /// Compile `e` onto f64 lanes. The reference evaluator carries floats as
+    /// `f64`, so no rounding discipline exists: every emitted op mirrors the
+    /// reference op bit-for-bit and the lanes hold the reference values by
+    /// construction. Only integer *leaves* need a proof — within
+    /// [`Interval::f64_exact_int_range`] their `i64 → f64` promotion is the
+    /// exact, order-preserving map the reference itself applies in mixed
+    /// arithmetic and comparisons. All-integer arithmetic is still rejected
+    /// (the reference would wrap on `i64`), exactly like the f32 family.
+    fn fuse_f64(&self, e: &Expr, out: &mut VEmit<FOp<f64>>) -> Option<Kind> {
+        match e {
+            Expr::ConstFloat(v, _) => {
+                out.push(FOp::Const(*v), 1);
+                Some(Kind::Float)
+            }
+            // `v as f64` is exactly the promotion the reference performs on
+            // a float-typed integer constant, whatever its magnitude.
+            Expr::ConstInt(v, ty) if ty.is_float() => {
+                out.push(FOp::Const(*v as f64), 1);
+                Some(Kind::Float)
+            }
+            Expr::ConstInt(v, _) => {
+                if !Interval::f64_exact_int_range().contains(*v) {
+                    return None;
+                }
+                out.push(FOp::Const(*v as f64), 1);
+                Some(Kind::Int)
+            }
+            Expr::Param(name, _) => match self.params.get(name)? {
+                Value::Int(v) => {
+                    if !Interval::f64_exact_int_range().contains(*v) {
+                        return None;
+                    }
+                    out.push(FOp::Const(*v as f64), 1);
+                    Some(Kind::Int)
+                }
+                Value::Float(f) => {
+                    out.push(FOp::Const(*f), 1);
+                    Some(Kind::Float)
+                }
+            },
+            Expr::Var(name) | Expr::RVar(name) => {
+                let depth = *self.var_depths.get(name)?;
+                let iv = *self.var_bounds.get(name)?;
+                if !iv.within(Interval::f64_exact_int_range()) {
+                    return None;
+                }
+                out.push(FOp::Var(depth), 1);
+                Some(Kind::Int)
+            }
+            // Widening to the reference representation is the identity on
+            // the carried lanes (an int operand promotes exactly, a float
+            // operand already is the f64 value).
+            Expr::Cast(ScalarType::Float64, inner) => {
+                self.fuse_f64(inner, out)?;
+                Some(Kind::Float)
+            }
+            // A `cast<float>` inserts an f32 rounding the f64 lanes cannot
+            // replay; those shapes belong to the `[f32; W]` family. Integer
+            // casts leave the exact domain entirely.
+            Expr::Cast(..) => None,
+            Expr::Binary(
+                op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max),
+                a,
+                b,
+            ) => {
+                let ka = self.fuse_f64(a, out)?;
+                let kb = self.fuse_f64(b, out)?;
+                if ka == Kind::Int && kb == Kind::Int {
+                    // The reference would wrap (or min/max) on i64; leave
+                    // all-integer shapes to the integer families.
+                    return None;
+                }
+                out.push(
+                    match op {
+                        BinOp::Add => FOp::Add,
+                        BinOp::Sub => FOp::Sub,
+                        BinOp::Mul => FOp::Mul,
+                        BinOp::Div => FOp::Div,
+                        BinOp::Min => FOp::Min,
+                        BinOp::Max => FOp::Max,
+                        _ => unreachable!("matched above"),
+                    },
+                    -1,
+                );
+                Some(Kind::Float)
+            }
+            // Mod (and any op the reference defines on integers only).
+            Expr::Binary(..) => None,
+            Expr::Cmp(op, a, b) => {
+                // Exact-range operands compare identically as f64 (the int
+                // promotion is injective and order-preserving; NaN is
+                // unordered in both representations).
+                self.fuse_f64(a, out)?;
+                self.fuse_f64(b, out)?;
+                out.push(FOp::Cmp(*op), -1);
+                Some(Kind::Int)
+            }
+            Expr::Select(c, t, f) => {
+                self.fuse_f64(c, out)?;
+                let kt = self.fuse_f64(t, out)?;
+                let kf = self.fuse_f64(f, out)?;
+                if kt != kf {
+                    return None;
+                }
+                out.push(FOp::Sel, -2);
+                Some(kt)
+            }
+            // The reference computes sqrt in f64 — mirrored exactly. Other
+            // extern calls stay on the per-op tier.
+            Expr::Call(ExternCall::Sqrt, args) if args.len() == 1 => {
+                self.fuse_f64(&args[0], out)?;
+                out.push(FOp::Sqrt, 0);
+                Some(Kind::Float)
+            }
+            Expr::Call(..) => None,
+            Expr::Image(name, args) | Expr::FuncRef(name, args) => {
+                let slot = *self.slot_ids.get(name)?;
+                let ty = self.decls[slot].ty;
+                // f64 loads ARE the reference values; f32 loads widen
+                // exactly; integer loads are exact within ±2^53 (UInt64's
+                // range exceeds it and is rejected by `of_type`).
+                let kind = match ty {
+                    ScalarType::Float64 | ScalarType::Float32 => Kind::Float,
+                    _ => {
+                        let iv = Interval::of_type(ty)?;
+                        if !iv.within(Interval::f64_exact_int_range()) {
+                            return None;
+                        }
+                        Kind::Int
+                    }
+                };
+                let (dims, lane) = self.tap_dims(args)?;
+                let idx = out.tap(TapAccess {
+                    slot,
+                    ty,
+                    dims,
+                    lane,
+                });
+                out.push(FOp::Load(idx), 1);
+                Some(kind)
+            }
         }
     }
 }
@@ -2410,7 +2728,12 @@ impl Scratch {
 struct Runner<'a> {
     prepared: &'a Prepared,
     params: &'a BTreeMap<String, Value>,
-    mode: SimdMode,
+    /// The execution tier of the resolved [`Target`].
+    tier: Tier,
+    /// The chunk ISA resolved once per run via [`Target::effective_isa`]:
+    /// [`Isa::Avx2`] only when the target carries the feature *and* the
+    /// running CPU reports it, which is what makes the `arch` dispatch sound.
+    isa: Isa,
 }
 
 /// Derive the in-range interior `[lo, hi]` (inclusive) of one innermost-loop
@@ -2681,7 +3004,7 @@ impl Runner<'_> {
                         }
                     }
                     LoopKind::ParallelReduce { threads }
-                        if !in_parallel && extent > 1 && self.mode != SimdMode::ForceScalar =>
+                        if !in_parallel && extent > 1 && self.tier != Tier::Scalar =>
                     {
                         self.run_parallel_reduce(
                             var, min, extent, *threads, body, binds, env, vars, scratch,
@@ -2731,10 +3054,10 @@ impl Runner<'_> {
             if let Stmt::Store { id, .. } | Stmt::ReduceStore { id, .. } = body {
                 // Innermost loop over a single store: tier selection.
                 let store = self.prepared.stores[*id].as_ref().expect("store compiled");
-                let use_fused = match self.mode {
-                    SimdMode::ForceScalar => false,
-                    SimdMode::Auto => batch > 1,
-                    SimdMode::ForceSimd => true,
+                let use_fused = match self.tier {
+                    Tier::Scalar => false,
+                    Tier::Auto => batch > 1,
+                    Tier::Simd => true,
                 };
                 if use_fused {
                     if let Some(fused) = &store.fused {
@@ -2747,9 +3070,9 @@ impl Runner<'_> {
                 }
                 // Fused accumulation kernels have no scheduled lane loop to
                 // gate on (rdom loops are serial by construction), so Auto
-                // uses them whenever one compiled; only ForceScalar pins the
-                // per-op tier.
-                if self.mode != SimdMode::ForceScalar {
+                // uses them whenever one compiled; only the Scalar tier pins
+                // the per-op tier.
+                if self.tier != Tier::Scalar {
                     if let Some(reduce) = &store.reduce {
                         debug_assert_eq!(store.lane_depth, depth, "lane depth mismatch");
                         return self.run_reduce_loop(
@@ -2840,6 +3163,7 @@ impl Runner<'_> {
                 lane_depth,
                 binds,
                 vars,
+                self.isa,
             );
             x += w as i64;
         }
@@ -2862,6 +3186,7 @@ impl Runner<'_> {
                     lane_depth,
                     binds,
                     vars,
+                    self.isa,
                 );
             } else {
                 // Masked final chunk: load and store only the `rem` provably
@@ -2878,6 +3203,7 @@ impl Runner<'_> {
                     lane_depth,
                     binds,
                     vars,
+                    self.isa,
                 );
             }
             x = hi + 1;
@@ -2888,6 +3214,9 @@ impl Runner<'_> {
         )?;
         if x > lo {
             FUSED_ROWS.fetch_add(1, Ordering::Relaxed);
+            if self.isa == Isa::Avx2 {
+                ARCH_ROWS.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(())
     }
@@ -2973,9 +3302,13 @@ impl Runner<'_> {
                 lane_depth,
                 binds,
                 vars,
+                self.isa,
             ));
             x += n as i64;
             REDUCE_CHUNKS.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.isa == Isa::Avx2 {
+            ARCH_ROWS.fetch_add(1, Ordering::Relaxed);
         }
         // Replay the update's cast chain (innermost first) and store through
         // the buffer type, exactly as the per-element path would.
@@ -3344,9 +3677,13 @@ impl Runner<'_> {
                         lane_depth,
                         binds,
                         vars,
+                        self.isa,
                     ));
                     x += n as i64;
                     REDUCE_CHUNKS.fetch_add(1, Ordering::Relaxed);
+                }
+                if self.isa == Isa::Avx2 {
+                    ARCH_ROWS.fetch_add(1, Ordering::Relaxed);
                 }
                 side[buf_idx][out_off] = side[buf_idx][out_off].wrapping_add(acc);
                 self.accumulate_elements(
@@ -4266,9 +4603,78 @@ fn load_tap_f32<const W: usize>(
     out
 }
 
+/// Load one `[f64; W/2]` tap's lanes: `Float64` loads are the reference
+/// values themselves, `Float32` loads widen exactly, and integer loads
+/// (proven within ±2^53 at compile time) promote exactly. Masked tails
+/// (`n < W`) read only the in-range prefix.
+#[inline]
+fn load_tap_f64<const W: usize>(
+    tap: &TapAccess,
+    base: i64,
+    x: i64,
+    n: usize,
+    binds: &BindTable,
+) -> [f64; W] {
+    let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+    let data = bind.data();
+    let read = |off: usize| -> f64 {
+        match tap.ty {
+            ScalarType::Float64 => {
+                f64::from_le_bytes(data[off * 8..off * 8 + 8].try_into().expect("8 bytes"))
+            }
+            ScalarType::Float32 => {
+                f32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes")) as f64
+            }
+            ScalarType::UInt8 => data[off] as f64,
+            ScalarType::UInt16 => u16::from_le_bytes([data[off * 2], data[off * 2 + 1]]) as f64,
+            ScalarType::UInt32 => {
+                u32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes")) as f64
+            }
+            ScalarType::Int32 => {
+                i32::from_le_bytes(data[off * 4..off * 4 + 4].try_into().expect("4 bytes")) as f64
+            }
+            _ => unreachable!("f64 fused taps exclude UInt64"),
+        }
+    };
+    let mut out = [0.0f64; W];
+    match tap.lane {
+        TapLane::Contiguous => {
+            let off = (base + x) as usize;
+            if n >= W {
+                match tap.ty {
+                    ScalarType::Float64 => {
+                        let src = &data[off * 8..off * 8 + W * 8];
+                        for l in 0..W {
+                            out[l] = f64::from_le_bytes(
+                                src[8 * l..8 * l + 8].try_into().expect("8 bytes"),
+                            );
+                        }
+                    }
+                    _ => {
+                        for (l, lane) in out.iter_mut().enumerate() {
+                            *lane = read(off + l);
+                        }
+                    }
+                }
+            } else {
+                for (l, lane) in out.iter_mut().enumerate().take(n) {
+                    *lane = read(off + l);
+                }
+            }
+        }
+        TapLane::Broadcast => {
+            out = [read(base as usize); W];
+        }
+    }
+    out
+}
+
 /// Route one chunk to the monomorphized runner of the kernel's lane family
 /// and chunk width. `w` is the chunk width (`fused.chunk_width`); `n ≤ w` is
 /// the number of lanes to load and store (`n < w` only for masked tails).
+/// `isa` selects the chunk evaluator body: [`Isa::Avx2`] routes the op
+/// shapes with hand-written `core::arch` paths through the `arch` module
+/// (bit-identical to the portable evaluators; see the module docs).
 #[allow(clippy::too_many_arguments)]
 fn dispatch_fused_chunk(
     fused: &FusedKernel,
@@ -4280,7 +4686,20 @@ fn dispatch_fused_chunk(
     lane_depth: usize,
     binds: &BindTable,
     vars: &[i64],
+    isa: Isa,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: `Isa::Avx2` is only produced by `Target::effective_isa`
+        // after `is_x86_feature_detected!("avx2")` succeeded on this CPU.
+        unsafe {
+            return arch::dispatch_fused_chunk_avx2(
+                fused, x, w, n, tap_bases, out_base, lane_depth, binds, vars,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     match (&fused.prog, w) {
         (LaneProgram::I32(ops), 32) => run_chunk_i32::<32>(
             ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
@@ -4307,6 +4726,15 @@ fn dispatch_fused_chunk(
             ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
         ),
         (LaneProgram::F32(ops), _) => run_chunk_f32::<8>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F64(ops), 16) => run_chunk_f64::<16>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F64(ops), 8) => run_chunk_f64::<8>(
+            ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
+        ),
+        (LaneProgram::F64(ops), _) => run_chunk_f64::<4>(
             ops, fused, x, n, tap_bases, out_base, lane_depth, binds, vars,
         ),
     }
@@ -4575,6 +5003,7 @@ tree_sum!(tree_sum_i64, i64);
 /// Evaluate one chunk of a reduction kernel's `g` and tree-reduce its first
 /// `n` lanes, returning the partial sum as an `i64` (for the i32 family the
 /// value is the sum mod `2^32`, which is all its ≤ 32-bit accumulator needs).
+#[allow(clippy::too_many_arguments)]
 fn dispatch_reduce_chunk(
     rk: &ReduceKernel,
     x: i64,
@@ -4583,7 +5012,18 @@ fn dispatch_reduce_chunk(
     lane_depth: usize,
     binds: &BindTable,
     vars: &[i64],
+    isa: Isa,
 ) -> i64 {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: `Isa::Avx2` is only produced by `Target::effective_isa`
+        // after `is_x86_feature_detected!("avx2")` succeeded on this CPU.
+        unsafe {
+            return arch::dispatch_reduce_chunk_avx2(rk, x, n, tap_bases, lane_depth, binds, vars);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     match &rk.prog {
         LaneProgram::I32(ops) => {
             let lanes = eval_chunk_i32::<MAX_CHUNK>(
@@ -4597,7 +5037,9 @@ fn dispatch_reduce_chunk(
             );
             tree_sum_i64(lanes, n)
         }
-        LaneProgram::F32(_) => unreachable!("reduce kernels are integer-only"),
+        LaneProgram::F32(_) | LaneProgram::F64(_) => {
+            unreachable!("reduce kernels are integer-only")
+        }
     }
 }
 
@@ -4606,7 +5048,7 @@ fn dispatch_reduce_chunk(
 /// per lane to replicate [`eval_binop`]'s float branch bit-for-bit.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk_f32<const W: usize>(
-    ops: &[FOp],
+    ops: &[FOp<f32>],
     fused: &FusedKernel,
     x: i64,
     n: usize,
@@ -4787,6 +5229,149 @@ fn store_chunk_f32<const W: usize>(
     bind.write(off * 4, &tmp[..n * 4]);
 }
 
+/// Run one `[f64; W/2]` fused kernel chunk. Every op mirrors the reference
+/// evaluator's f64 op directly — the lanes hold the reference values, so no
+/// rounding-point bookkeeping exists on this family.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_f64<const W: usize>(
+    ops: &[FOp<f64>],
+    fused: &FusedKernel,
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    out_base: i64,
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) {
+    let lanes = eval_chunk_f64::<W>(ops, &fused.taps, x, n, tap_bases, lane_depth, binds, vars);
+    store_chunk_f64::<W>(fused, out_base, x, n, &lanes, binds);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_chunk_f64<const W: usize>(
+    ops: &[FOp<f64>],
+    taps: &[TapAccess],
+    x: i64,
+    n: usize,
+    tap_bases: &[i64],
+    lane_depth: usize,
+    binds: &BindTable,
+    vars: &[i64],
+) -> [f64; W] {
+    let mut st = [[0.0f64; W]; V_STACK];
+    let mut sp = 0usize;
+    for op in ops {
+        match op {
+            FOp::Const(v) => {
+                st[sp] = [*v; W];
+                sp += 1;
+            }
+            FOp::Var(depth) => {
+                if *depth == lane_depth {
+                    for (l, lane) in st[sp].iter_mut().enumerate() {
+                        // Exact: the variable's interval was proven within
+                        // the f64-exact integer range.
+                        *lane = (x + l as i64) as f64;
+                    }
+                } else {
+                    st[sp] = [vars[*depth] as f64; W];
+                }
+                sp += 1;
+            }
+            FOp::Load(t) => {
+                st[sp] = load_tap_f64::<W>(&taps[*t], tap_bases[*t], x, n, binds);
+                sp += 1;
+            }
+            FOp::Sqrt => {
+                for l in &mut st[sp - 1] {
+                    *l = l.sqrt();
+                }
+            }
+            FOp::Add | FOp::Sub | FOp::Mul | FOp::Div | FOp::Min | FOp::Max | FOp::Cmp(_) => {
+                let (head, tail) = st.split_at_mut(sp - 1);
+                let a = &mut head[sp - 2];
+                let b = &tail[0];
+                match op {
+                    FOp::Add => {
+                        for l in 0..W {
+                            a[l] += b[l];
+                        }
+                    }
+                    FOp::Sub => {
+                        for l in 0..W {
+                            a[l] -= b[l];
+                        }
+                    }
+                    FOp::Mul => {
+                        for l in 0..W {
+                            a[l] *= b[l];
+                        }
+                    }
+                    FOp::Div => {
+                        for l in 0..W {
+                            a[l] /= b[l];
+                        }
+                    }
+                    FOp::Min => {
+                        // f64::min IS eval_binop's float branch here.
+                        for l in 0..W {
+                            a[l] = a[l].min(b[l]);
+                        }
+                    }
+                    FOp::Max => {
+                        for l in 0..W {
+                            a[l] = a[l].max(b[l]);
+                        }
+                    }
+                    FOp::Cmp(cmp) => {
+                        for l in 0..W {
+                            let (x, y) = (a[l], b[l]);
+                            a[l] = cmp_lanes(*cmp, x, y) as f64;
+                        }
+                    }
+                    _ => unreachable!("binary group"),
+                }
+                sp -= 1;
+            }
+            FOp::Sel => {
+                let (head, tail) = st.split_at_mut(sp - 2);
+                let c = &mut head[sp - 3];
+                let (t, f) = (&tail[0], &tail[1]);
+                for l in 0..W {
+                    c[l] = if c[l] != 0.0 { t[l] } else { f[l] };
+                }
+                sp -= 2;
+            }
+        }
+    }
+    debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+    st[0]
+}
+
+/// Contiguous `[f64; W/2]` chunk store: write the first `n` lanes bit-exactly.
+#[inline]
+fn store_chunk_f64<const W: usize>(
+    fused: &FusedKernel,
+    out_base: i64,
+    x: i64,
+    n: usize,
+    vals: &[f64; W],
+    binds: &BindTable,
+) {
+    debug_assert_eq!(fused.out_ty, ScalarType::Float64);
+    let bind = binds.0[fused.out_slot]
+        .as_ref()
+        .expect("store target bound");
+    let off = (out_base + x) as usize;
+    let n = n.min(W);
+    let mut tmp = [0u8; MAX_CHUNK * 8];
+    for l in 0..n {
+        tmp[8 * l..8 * l + 8].copy_from_slice(&vals[l].to_le_bytes());
+    }
+    bind.write(off * 8, &tmp[..n * 8]);
+}
+
 #[inline]
 fn cmp_lanes<T: PartialOrd>(op: CmpOp, x: T, y: T) -> i32 {
     (match op {
@@ -4797,6 +5382,1366 @@ fn cmp_lanes<T: PartialOrd>(op: CmpOp, x: T, y: T) -> i32 {
         CmpOp::Gt => x > y,
         CmpOp::Ge => x >= y,
     }) as i32
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written AVX2 chunk evaluators (`core::arch::x86_64`)
+// ---------------------------------------------------------------------------
+
+/// Explicit AVX2 implementations of the fused chunk evaluators, dispatched
+/// by [`dispatch_fused_chunk`] / [`dispatch_reduce_chunk`] when the resolved
+/// [`Target`] carries [`crate::target::Feature::Avx2`] and the running CPU
+/// confirms it (see [`Target::effective_isa`]). The portable constant-trip
+/// lane loops above remain the oracle; everything here must be — and per
+/// `tests/prop_simd.rs` is — **bit-identical** to them:
+///
+/// - Integer ops are wrapping two's-complement on both paths, so every
+///   `VOp` has an exact vector form: `Axpy`/`MulC`/`Mul` via
+///   `_mm256_mullo_epi32` (i32) or the `mul_epu32` cross-term emulation
+///   (i64 — AVX2 has no 64-bit mullo), shifts via `_mm256_srl/sll` with the
+///   count register, clamp via `min/max_epi32`/`min/max_epu32` (i32) or
+///   `cmpgt_epi64` + `blendv` (i64). Ops with no profitable AVX2 form
+///   (comparisons-to-0/1, selects, the rare i64 unsigned min/max and
+///   `Sext32`) run the same scalar lane loops as the portable evaluator —
+///   trivially identical, and still compiled with AVX2 enabled.
+/// - Float arch coverage is exactly the IEEE-exact single-rounding ops
+///   (`Add`/`Sub`/`Mul`/`Div`/`Sqrt` — one rounding per op on both paths,
+///   so `_mm256_*_ps/pd` are bit-identical by IEEE 754). `Min`/`Max`/`Cmp`
+///   keep the portable scalar bodies: `_mm256_min_ps` resolves NaN and ±0
+///   operands differently from the reference's `f64::min`, and the
+///   differential matrix includes NaN inputs.
+/// - The tree-reduce epilogue halves with `_mm256_add_epi32/epi64` — the
+///   same reduction shape, wrapping addition, any order exact.
+///
+/// Tap loading and chunk stores reuse the portable helpers (`load_tap_*`,
+/// `store_chunk_*`): they fill stack arrays, which keeps masked tails from
+/// ever issuing an out-of-bounds vector load, and the vector ops read the
+/// arrays with unaligned loads.
+///
+/// SAFETY: every `#[target_feature(enable = "avx2")]` fn below must only be
+/// reached via [`Isa::Avx2`], which `Target::effective_isa` returns only
+/// after `is_x86_feature_detected!("avx2")` succeeded in this process.
+#[cfg(target_arch = "x86_64")]
+mod arch {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    // -- 256-bit block helpers over `[T; W]` stack arrays -------------------
+    // W is a multiple of 8 for i32/f32 chunks and of 4 for i64/f64 chunks,
+    // so the block loops cover the arrays exactly.
+
+    /// `a[l] = a[l] OP b[l]` for a two-operand `si256` op.
+    macro_rules! avx2_bin_i32 {
+        ($name:ident, $intr:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [i32; W], b: &[i32; W]) {
+                let mut i = 0;
+                while i + 8 <= W {
+                    let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                    _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, $intr(va, vb));
+                    i += 8;
+                }
+            }
+        };
+    }
+
+    avx2_bin_i32!(add_i32, _mm256_add_epi32);
+    avx2_bin_i32!(sub_i32, _mm256_sub_epi32);
+    avx2_bin_i32!(mul_i32, _mm256_mullo_epi32);
+    avx2_bin_i32!(and_i32, _mm256_and_si256);
+    avx2_bin_i32!(or_i32, _mm256_or_si256);
+    avx2_bin_i32!(xor_i32, _mm256_xor_si256);
+    avx2_bin_i32!(mins_i32, _mm256_min_epi32);
+    avx2_bin_i32!(maxs_i32, _mm256_max_epi32);
+    avx2_bin_i32!(minu_i32, _mm256_min_epu32);
+    avx2_bin_i32!(maxu_i32, _mm256_max_epu32);
+
+    /// `a[l] = a[l] OP c` for a broadcast constant.
+    macro_rules! avx2_binc_i32 {
+        ($name:ident, $intr:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [i32; W], c: i32) {
+                let vc = _mm256_set1_epi32(c);
+                let mut i = 0;
+                while i + 8 <= W {
+                    let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, $intr(va, vc));
+                    i += 8;
+                }
+            }
+        };
+    }
+
+    avx2_binc_i32!(addc_i32, _mm256_add_epi32);
+    avx2_binc_i32!(mulc_i32, _mm256_mullo_epi32);
+    avx2_binc_i32!(andc_i32, _mm256_and_si256);
+    avx2_binc_i32!(orc_i32, _mm256_or_si256);
+    avx2_binc_i32!(xorc_i32, _mm256_xor_si256);
+
+    /// `a[l] += coeff * v[l]` (wrapping) — the Axpy tap-accumulation spine
+    /// of stencil kernels.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_i32<const W: usize>(a: &mut [i32; W], v: &[i32; W], coeff: i32) {
+        let vc = _mm256_set1_epi32(coeff);
+        let mut i = 0;
+        while i + 8 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vv = _mm256_loadu_si256(v.as_ptr().add(i) as *const __m256i);
+            let prod = _mm256_mullo_epi32(vv, vc);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_add_epi32(va, prod),
+            );
+            i += 8;
+        }
+    }
+
+    /// Logical shift right; counts ≥ 32 yield 0, matching the portable
+    /// `(l as u32) >> s` domain (compile guarantees `s < 32`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn shru_i32<const W: usize>(a: &mut [i32; W], s: u32) {
+        let count = _mm_cvtsi32_si128(s as i32);
+        let mut i = 0;
+        while i + 8 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_srl_epi32(va, count),
+            );
+            i += 8;
+        }
+    }
+
+    /// Wrapping shift left: the count is masked mod 32 exactly like
+    /// `i32::wrapping_shl`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shl_i32<const W: usize>(a: &mut [i32; W], s: u32) {
+        let count = _mm_cvtsi32_si128((s & 31) as i32);
+        let mut i = 0;
+        while i + 8 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_sll_epi32(va, count),
+            );
+            i += 8;
+        }
+    }
+
+    macro_rules! avx2_bin_i64 {
+        ($name:ident, $intr:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [i64; W], b: &[i64; W]) {
+                let mut i = 0;
+                while i + 4 <= W {
+                    let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                    _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, $intr(va, vb));
+                    i += 4;
+                }
+            }
+        };
+    }
+
+    avx2_bin_i64!(add_i64, _mm256_add_epi64);
+    avx2_bin_i64!(sub_i64, _mm256_sub_epi64);
+    avx2_bin_i64!(and_i64, _mm256_and_si256);
+    avx2_bin_i64!(or_i64, _mm256_or_si256);
+    avx2_bin_i64!(xor_i64, _mm256_xor_si256);
+
+    /// 64-bit wrapping mullo — AVX2 has no `_mm256_mullo_epi64`, so build it
+    /// from 32×32→64 partial products: `lo(a)·lo(b) + ((hi(a)·lo(b) +
+    /// lo(a)·hi(b)) << 32)`, which is exactly `a·b mod 2^64`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lo = _mm256_mul_epu32(a, b);
+        let cross1 = _mm256_mul_epu32(a_hi, b);
+        let cross2 = _mm256_mul_epu32(a, b_hi);
+        let cross = _mm256_slli_epi64(_mm256_add_epi64(cross1, cross2), 32);
+        _mm256_add_epi64(lo, cross)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_i64<const W: usize>(a: &mut [i64; W], b: &[i64; W]) {
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, mullo64(va, vb));
+            i += 4;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_i64<const W: usize>(a: &mut [i64; W], v: &[i64; W], coeff: i64) {
+        let vc = _mm256_set1_epi64x(coeff);
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vv = _mm256_loadu_si256(v.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_add_epi64(va, mullo64(vv, vc)),
+            );
+            i += 4;
+        }
+    }
+
+    /// `a[l] = a[l] OP set1(c)` on i64 lanes, routed through `$apply`.
+    macro_rules! avx2_binc_i64 {
+        ($name:ident, $apply:expr) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [i64; W], c: i64) {
+                let vc = _mm256_set1_epi64x(c);
+                let mut i = 0;
+                while i + 4 <= W {
+                    let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    #[allow(clippy::redundant_closure_call)]
+                    let r = $apply(va, vc);
+                    _mm256_storeu_si256(a.as_mut_ptr().add(i) as *mut __m256i, r);
+                    i += 4;
+                }
+            }
+        };
+    }
+
+    avx2_binc_i64!(addc_i64, |a, c| _mm256_add_epi64(a, c));
+    avx2_binc_i64!(mulc_i64, |a, c| mullo64(a, c));
+    avx2_binc_i64!(andc_i64, |a, c| _mm256_and_si256(a, c));
+    avx2_binc_i64!(orc_i64, |a, c| _mm256_or_si256(a, c));
+    avx2_binc_i64!(xorc_i64, |a, c| _mm256_xor_si256(a, c));
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn shru_i64<const W: usize>(a: &mut [i64; W], s: u32) {
+        let count = _mm_cvtsi32_si128(s as i32);
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_srl_epi64(va, count),
+            );
+            i += 4;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn shl_i64<const W: usize>(a: &mut [i64; W], s: u32) {
+        let count = _mm_cvtsi32_si128((s & 63) as i32);
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_sll_epi64(va, count),
+            );
+            i += 4;
+        }
+    }
+
+    /// Signed 64-bit min/max via `cmpgt` + byte blend (AVX2 has no
+    /// `min/max_epi64`): `blendv(b, a, a OP b)` keeps `a` where the mask is
+    /// set. Ties (equal lanes) pick either operand — identical values.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mins_i64<const W: usize>(a: &mut [i64; W], b: &[i64; W]) {
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let b_gt_a = _mm256_cmpgt_epi64(vb, va);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_blendv_epi8(vb, va, b_gt_a),
+            );
+            i += 4;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn maxs_i64<const W: usize>(a: &mut [i64; W], b: &[i64; W]) {
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let a_gt_b = _mm256_cmpgt_epi64(va, vb);
+            _mm256_storeu_si256(
+                a.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_blendv_epi8(vb, va, a_gt_b),
+            );
+            i += 4;
+        }
+    }
+
+    /// `a[l] = a[l] OP b[l]` on float lanes: IEEE-exact single-rounding ops
+    /// only (each vector op rounds once, exactly like the portable scalar).
+    macro_rules! avx2_bin_f32 {
+        ($name:ident, $intr:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [f32; W], b: &[f32; W]) {
+                let mut i = 0;
+                while i + 8 <= W {
+                    let va = _mm256_loadu_ps(a.as_ptr().add(i));
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+                    _mm256_storeu_ps(a.as_mut_ptr().add(i), $intr(va, vb));
+                    i += 8;
+                }
+            }
+        };
+    }
+
+    avx2_bin_f32!(add_f32, _mm256_add_ps);
+    avx2_bin_f32!(sub_f32, _mm256_sub_ps);
+    avx2_bin_f32!(mul_f32, _mm256_mul_ps);
+    avx2_bin_f32!(div_f32, _mm256_div_ps);
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sqrt_f32<const W: usize>(a: &mut [f32; W]) {
+        let mut i = 0;
+        while i + 8 <= W {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            _mm256_storeu_ps(a.as_mut_ptr().add(i), _mm256_sqrt_ps(va));
+            i += 8;
+        }
+    }
+
+    macro_rules! avx2_bin_f64 {
+        ($name:ident, $intr:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name<const W: usize>(a: &mut [f64; W], b: &[f64; W]) {
+                let mut i = 0;
+                while i + 4 <= W {
+                    let va = _mm256_loadu_pd(a.as_ptr().add(i));
+                    let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+                    _mm256_storeu_pd(a.as_mut_ptr().add(i), $intr(va, vb));
+                    i += 4;
+                }
+            }
+        };
+    }
+
+    avx2_bin_f64!(add_f64, _mm256_add_pd);
+    avx2_bin_f64!(sub_f64, _mm256_sub_pd);
+    avx2_bin_f64!(mul_f64, _mm256_mul_pd);
+    avx2_bin_f64!(div_f64, _mm256_div_pd);
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sqrt_f64<const W: usize>(a: &mut [f64; W]) {
+        let mut i = 0;
+        while i + 4 <= W {
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            _mm256_storeu_pd(a.as_mut_ptr().add(i), _mm256_sqrt_pd(va));
+            i += 4;
+        }
+    }
+
+    // -- Chunk evaluators ---------------------------------------------------
+
+    /// AVX2 `[i32; W]` chunk evaluator: the portable stack machine with the
+    /// hot op bodies replaced by the block helpers above. Comparisons and
+    /// selects keep the scalar lane loops (no profitable 0/1-mask form).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn eval_chunk_i32_avx2<const W: usize>(
+        ops: &[VOp<i32>],
+        taps: &[TapAccess],
+        x: i64,
+        n: usize,
+        tap_bases: &[i64],
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> [i32; W] {
+        let mut st = [[0i32; W]; V_STACK];
+        let mut sp = 0usize;
+        for op in ops {
+            match op {
+                VOp::Const(v) => {
+                    st[sp] = [*v; W];
+                    sp += 1;
+                }
+                VOp::Var(depth) => {
+                    if *depth == lane_depth {
+                        let base = x as i32;
+                        for (l, lane) in st[sp].iter_mut().enumerate() {
+                            *lane = base + l as i32;
+                        }
+                    } else {
+                        st[sp] = [vars[*depth] as i32; W];
+                    }
+                    sp += 1;
+                }
+                VOp::Load(t) => {
+                    st[sp] = load_tap_i32::<W>(&taps[*t], tap_bases[*t], x, n, binds);
+                    sp += 1;
+                }
+                VOp::Axpy { tap, coeff } => {
+                    let v = load_tap_i32::<W>(&taps[*tap], tap_bases[*tap], x, n, binds);
+                    axpy_i32(&mut st[sp - 1], &v, *coeff);
+                }
+                VOp::AddC(c) => addc_i32(&mut st[sp - 1], *c),
+                VOp::MulC(c) => mulc_i32(&mut st[sp - 1], *c),
+                VOp::AndC(c) => andc_i32(&mut st[sp - 1], *c),
+                VOp::OrC(c) => orc_i32(&mut st[sp - 1], *c),
+                VOp::XorC(c) => xorc_i32(&mut st[sp - 1], *c),
+                VOp::Mask(m) => andc_i32(&mut st[sp - 1], *m),
+                VOp::ShrU(s) => shru_i32(&mut st[sp - 1], *s),
+                VOp::Shl(s) => shl_i32(&mut st[sp - 1], *s),
+                VOp::Sext32 => {
+                    // Identity on i32 lanes (never emitted here; kept total).
+                }
+                VOp::Add
+                | VOp::Sub
+                | VOp::Mul
+                | VOp::And
+                | VOp::Or
+                | VOp::Xor
+                | VOp::MinS
+                | VOp::MaxS
+                | VOp::MinU
+                | VOp::MaxU => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        VOp::Add => add_i32(a, b),
+                        VOp::Sub => sub_i32(a, b),
+                        VOp::Mul => mul_i32(a, b),
+                        VOp::And => and_i32(a, b),
+                        VOp::Or => or_i32(a, b),
+                        VOp::Xor => xor_i32(a, b),
+                        VOp::MinS => mins_i32(a, b),
+                        VOp::MaxS => maxs_i32(a, b),
+                        VOp::MinU => minu_i32(a, b),
+                        VOp::MaxU => maxu_i32(a, b),
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                VOp::CmpS(cmp) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    for l in 0..W {
+                        let (x, y) = (a[l], b[l]);
+                        a[l] = cmp_lanes(*cmp, x, y);
+                    }
+                    sp -= 1;
+                }
+                VOp::CmpU(cmp) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    for l in 0..W {
+                        let (x, y) = (a[l] as u32, b[l] as u32);
+                        a[l] = cmp_lanes(*cmp, x, y);
+                    }
+                    sp -= 1;
+                }
+                VOp::Sel => {
+                    let (head, tail) = st.split_at_mut(sp - 2);
+                    let c = &mut head[sp - 3];
+                    let (t, f) = (&tail[0], &tail[1]);
+                    for l in 0..W {
+                        c[l] = if c[l] != 0 { t[l] } else { f[l] };
+                    }
+                    sp -= 2;
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+        st[0]
+    }
+
+    /// AVX2 `[i64; W/2]` chunk evaluator. Multiplies use the `mullo64`
+    /// emulation; `MinU`/`MaxU`, comparisons, selects and `Sext32` keep the
+    /// scalar lane loops.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn eval_chunk_i64_avx2<const W: usize>(
+        ops: &[VOp<i64>],
+        taps: &[TapAccess],
+        x: i64,
+        n: usize,
+        tap_bases: &[i64],
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> [i64; W] {
+        let mut st = [[0i64; W]; V_STACK];
+        let mut sp = 0usize;
+        for op in ops {
+            match op {
+                VOp::Const(v) => {
+                    st[sp] = [*v; W];
+                    sp += 1;
+                }
+                VOp::Var(depth) => {
+                    if *depth == lane_depth {
+                        for (l, lane) in st[sp].iter_mut().enumerate() {
+                            *lane = x + l as i64;
+                        }
+                    } else {
+                        st[sp] = [vars[*depth]; W];
+                    }
+                    sp += 1;
+                }
+                VOp::Load(t) => {
+                    st[sp] = load_tap_i64::<W>(&taps[*t], tap_bases[*t], x, n, binds);
+                    sp += 1;
+                }
+                VOp::Axpy { tap, coeff } => {
+                    let v = load_tap_i64::<W>(&taps[*tap], tap_bases[*tap], x, n, binds);
+                    axpy_i64(&mut st[sp - 1], &v, *coeff);
+                }
+                VOp::AddC(c) => addc_i64(&mut st[sp - 1], *c),
+                VOp::MulC(c) => mulc_i64(&mut st[sp - 1], *c),
+                VOp::AndC(c) => andc_i64(&mut st[sp - 1], *c),
+                VOp::OrC(c) => orc_i64(&mut st[sp - 1], *c),
+                VOp::XorC(c) => xorc_i64(&mut st[sp - 1], *c),
+                VOp::Mask(m) => andc_i64(&mut st[sp - 1], *m),
+                VOp::ShrU(s) => shru_i64(&mut st[sp - 1], *s),
+                VOp::Shl(s) => shl_i64(&mut st[sp - 1], *s),
+                VOp::Sext32 => {
+                    for l in &mut st[sp - 1] {
+                        *l = (*l as i32) as i64;
+                    }
+                }
+                VOp::Add
+                | VOp::Sub
+                | VOp::Mul
+                | VOp::And
+                | VOp::Or
+                | VOp::Xor
+                | VOp::MinS
+                | VOp::MaxS => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        VOp::Add => add_i64(a, b),
+                        VOp::Sub => sub_i64(a, b),
+                        VOp::Mul => mul_i64(a, b),
+                        VOp::And => and_i64(a, b),
+                        VOp::Or => or_i64(a, b),
+                        VOp::Xor => xor_i64(a, b),
+                        VOp::MinS => mins_i64(a, b),
+                        VOp::MaxS => maxs_i64(a, b),
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                VOp::MinU | VOp::MaxU => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    for l in 0..W {
+                        let (x, y) = (a[l] as u64, b[l] as u64);
+                        a[l] = if matches!(op, VOp::MinU) {
+                            x.min(y)
+                        } else {
+                            x.max(y)
+                        } as i64;
+                    }
+                    sp -= 1;
+                }
+                VOp::CmpS(cmp) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    for l in 0..W {
+                        let (x, y) = (a[l], b[l]);
+                        a[l] = cmp_lanes(*cmp, x, y) as i64;
+                    }
+                    sp -= 1;
+                }
+                VOp::CmpU(cmp) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    for l in 0..W {
+                        let (x, y) = (a[l] as u64, b[l] as u64);
+                        a[l] = cmp_lanes(*cmp, x, y) as i64;
+                    }
+                    sp -= 1;
+                }
+                VOp::Sel => {
+                    let (head, tail) = st.split_at_mut(sp - 2);
+                    let c = &mut head[sp - 3];
+                    let (t, f) = (&tail[0], &tail[1]);
+                    for l in 0..W {
+                        c[l] = if c[l] != 0 { t[l] } else { f[l] };
+                    }
+                    sp -= 2;
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+        st[0]
+    }
+
+    /// AVX2 `[f32; W]` chunk evaluator: vector bodies for the IEEE-exact
+    /// single-rounding ops only; `Min`/`Max`/`Cmp`/`Sel` keep the portable
+    /// scalar bodies (NaN/±0 semantics; see the module docs).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn eval_chunk_f32_avx2<const W: usize>(
+        ops: &[FOp<f32>],
+        taps: &[TapAccess],
+        x: i64,
+        n: usize,
+        tap_bases: &[i64],
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> [f32; W] {
+        let mut st = [[0.0f32; W]; V_STACK];
+        let mut sp = 0usize;
+        for op in ops {
+            match op {
+                FOp::Const(v) => {
+                    st[sp] = [*v; W];
+                    sp += 1;
+                }
+                FOp::Var(depth) => {
+                    if *depth == lane_depth {
+                        for (l, lane) in st[sp].iter_mut().enumerate() {
+                            *lane = (x + l as i64) as f32;
+                        }
+                    } else {
+                        st[sp] = [vars[*depth] as f32; W];
+                    }
+                    sp += 1;
+                }
+                FOp::Load(t) => {
+                    st[sp] = load_tap_f32::<W>(&taps[*t], tap_bases[*t], x, n, binds);
+                    sp += 1;
+                }
+                FOp::Sqrt => sqrt_f32(&mut st[sp - 1]),
+                FOp::Add | FOp::Sub | FOp::Mul | FOp::Div => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        FOp::Add => add_f32(a, b),
+                        FOp::Sub => sub_f32(a, b),
+                        FOp::Mul => mul_f32(a, b),
+                        FOp::Div => div_f32(a, b),
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                FOp::Min | FOp::Max | FOp::Cmp(_) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        FOp::Min => {
+                            for l in 0..W {
+                                a[l] = (a[l] as f64).min(b[l] as f64) as f32;
+                            }
+                        }
+                        FOp::Max => {
+                            for l in 0..W {
+                                a[l] = (a[l] as f64).max(b[l] as f64) as f32;
+                            }
+                        }
+                        FOp::Cmp(cmp) => {
+                            for l in 0..W {
+                                let (x, y) = (a[l], b[l]);
+                                a[l] = cmp_lanes(*cmp, x, y) as f32;
+                            }
+                        }
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                FOp::Sel => {
+                    let (head, tail) = st.split_at_mut(sp - 2);
+                    let c = &mut head[sp - 3];
+                    let (t, f) = (&tail[0], &tail[1]);
+                    for l in 0..W {
+                        c[l] = if c[l] != 0.0 { t[l] } else { f[l] };
+                    }
+                    sp -= 2;
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+        st[0]
+    }
+
+    /// AVX2 `[f64; W/2]` chunk evaluator (same coverage split as f32).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn eval_chunk_f64_avx2<const W: usize>(
+        ops: &[FOp<f64>],
+        taps: &[TapAccess],
+        x: i64,
+        n: usize,
+        tap_bases: &[i64],
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> [f64; W] {
+        let mut st = [[0.0f64; W]; V_STACK];
+        let mut sp = 0usize;
+        for op in ops {
+            match op {
+                FOp::Const(v) => {
+                    st[sp] = [*v; W];
+                    sp += 1;
+                }
+                FOp::Var(depth) => {
+                    if *depth == lane_depth {
+                        for (l, lane) in st[sp].iter_mut().enumerate() {
+                            *lane = (x + l as i64) as f64;
+                        }
+                    } else {
+                        st[sp] = [vars[*depth] as f64; W];
+                    }
+                    sp += 1;
+                }
+                FOp::Load(t) => {
+                    st[sp] = load_tap_f64::<W>(&taps[*t], tap_bases[*t], x, n, binds);
+                    sp += 1;
+                }
+                FOp::Sqrt => sqrt_f64(&mut st[sp - 1]),
+                FOp::Add | FOp::Sub | FOp::Mul | FOp::Div => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        FOp::Add => add_f64(a, b),
+                        FOp::Sub => sub_f64(a, b),
+                        FOp::Mul => mul_f64(a, b),
+                        FOp::Div => div_f64(a, b),
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                FOp::Min | FOp::Max | FOp::Cmp(_) => {
+                    let (head, tail) = st.split_at_mut(sp - 1);
+                    let a = &mut head[sp - 2];
+                    let b = &tail[0];
+                    match op {
+                        FOp::Min => {
+                            for l in 0..W {
+                                a[l] = a[l].min(b[l]);
+                            }
+                        }
+                        FOp::Max => {
+                            for l in 0..W {
+                                a[l] = a[l].max(b[l]);
+                            }
+                        }
+                        FOp::Cmp(cmp) => {
+                            for l in 0..W {
+                                let (x, y) = (a[l], b[l]);
+                                a[l] = cmp_lanes(*cmp, x, y) as f64;
+                            }
+                        }
+                        _ => unreachable!("binary group"),
+                    }
+                    sp -= 1;
+                }
+                FOp::Sel => {
+                    let (head, tail) = st.split_at_mut(sp - 2);
+                    let c = &mut head[sp - 3];
+                    let (t, f) = (&tail[0], &tail[1]);
+                    for l in 0..W {
+                        c[l] = if c[l] != 0.0 { t[l] } else { f[l] };
+                    }
+                    sp -= 2;
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+        st[0]
+    }
+
+    /// Maximum tap count the plan evaluators stage per chunk. Kernels with
+    /// more taps fall back to the full-chunk stack evaluators above (still
+    /// AVX2, just without the register-resident plan).
+    pub(super) const A_TAPS: usize = 16;
+
+    /// One register-width tap load for the plan evaluators: streamed straight
+    /// from the buffer when the chunk staging proved the direct pointer, else
+    /// from the materialized array (written by the staging loop exactly when
+    /// the pointer is null — the `MaybeUninit` is initialized on that path).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tap_vec_f32<const W: usize>(
+        ptrs: &[*const f32; A_TAPS],
+        arrs: &[core::mem::MaybeUninit<[f32; W]>; A_TAPS],
+        t: usize,
+        o: usize,
+    ) -> __m256 {
+        if ptrs[t].is_null() {
+            _mm256_loadu_ps(arrs[t].assume_init_ref().as_ptr().add(o))
+        } else {
+            _mm256_loadu_ps(ptrs[t].add(o))
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tap_vec_f64<const W: usize>(
+        ptrs: &[*const f64; A_TAPS],
+        arrs: &[core::mem::MaybeUninit<[f64; W]>; A_TAPS],
+        t: usize,
+        o: usize,
+    ) -> __m256d {
+        if ptrs[t].is_null() {
+            _mm256_loadu_pd(arrs[t].assume_init_ref().as_ptr().add(o))
+        } else {
+            _mm256_loadu_pd(ptrs[t].add(o))
+        }
+    }
+
+    /// Generate one plan evaluator (see [`AOp`]): the float fused kernel as
+    /// a register-resident stack machine. Taps are staged once per chunk —
+    /// full-width contiguous taps of the native element type stream straight
+    /// from the bound buffer, everything else materializes through the shared
+    /// tap loader — then each register-width block runs the whole pre-fused
+    /// plan in `__m256` registers, touching memory only for tap loads and the
+    /// final store. This is where the arch tier earns its keep over the
+    /// portable lane programs: a k-tap stencil does k loads and ~2k register
+    /// ops per block instead of ~2k full-chunk passes through stack arrays.
+    ///
+    /// Exactness: every body performs the identical roundings in the
+    /// identical operand order as the portable evaluator (`AOp`'s contract);
+    /// `Min`/`Max`/`Cmp`/`Sel` spill to lanes and reuse the scalar bodies.
+    macro_rules! plan_eval {
+        ($name:ident, $elem:ty, $vec:ty, $vw:literal, $set1:ident, $loadu:ident,
+         $storeu:ident, $zero:ident, $add:ident, $sub:ident, $mul:ident,
+         $div:ident, $sqrt:ident, $direct_ty:pat, $esize:literal,
+         $minmax:expr, $load_tap:ident, $tap_vec:ident) => {
+            #[target_feature(enable = "avx2")]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn $name<const W: usize>(
+                plan: &[AOp<$elem>],
+                taps: &[TapAccess],
+                x: i64,
+                n: usize,
+                tap_bases: &[i64],
+                lane_depth: usize,
+                binds: &BindTable,
+                vars: &[i64],
+            ) -> [$elem; W] {
+                // Stage every tap once. A null pointer means "use the
+                // materialized array"; a non-null one streams loads directly
+                // from the bound buffer bytes (valid: the `get` proved
+                // `W * size` bytes in range, and x86 loads are little-endian
+                // like the portable byte decoder). The arrays stay
+                // uninitialized unless their tap actually materializes —
+                // zero-filling A_TAPS chunk-wide arrays per chunk would cost
+                // more than the kernel itself.
+                let mut ptrs = [core::ptr::null::<$elem>(); A_TAPS];
+                let mut arrs = [const { core::mem::MaybeUninit::<[$elem; W]>::uninit() }; A_TAPS];
+                for (t, tap) in taps.iter().enumerate() {
+                    let mut direct = None;
+                    if matches!(tap.lane, TapLane::Contiguous)
+                        && matches!(tap.ty, $direct_ty)
+                        && n >= W
+                    {
+                        let bind = binds.0[tap.slot].as_ref().expect("tap source bound");
+                        let data = bind.data();
+                        direct = usize::try_from(tap_bases[t] + x)
+                            .ok()
+                            .and_then(|o| o.checked_mul($esize))
+                            .and_then(|b| Some((b, b.checked_add(W * $esize)?)))
+                            .and_then(|(b, e)| data.get(b..e))
+                            .map(|s| s.as_ptr() as *const $elem);
+                    }
+                    match direct {
+                        Some(p) => ptrs[t] = p,
+                        None => {
+                            arrs[t].write($load_tap::<W>(tap, tap_bases[t], x, n, binds));
+                        }
+                    }
+                }
+                // Accumulator-shaped plans — one push, then only in-place
+                // accumulate/unary ops, i.e. every sum-of-products stencil —
+                // skip the block stack machine entirely: the running value
+                // lives in one register per block, the plan is walked once,
+                // and each op applies to every block, so op dispatch
+                // amortizes over the whole chunk and the accumulate chain
+                // gains cross-block ILP.
+                let acc_shaped = matches!(
+                    plan.first(),
+                    Some(
+                        AOp::Op(FOp::Const(_) | FOp::Var(_) | FOp::Load(_))
+                            | AOp::PushCMulLoad { .. }
+                            | AOp::PushLoadMulC { .. }
+                    )
+                ) && plan[1..].iter().all(|op| {
+                    matches!(
+                        op,
+                        AOp::Op(FOp::Sqrt)
+                            | AOp::AccAddLoad(_)
+                            | AOp::AccSubLoad(_)
+                            | AOp::AccMulLoad(_)
+                            | AOp::AccDivLoad(_)
+                            | AOp::AccAddC(_)
+                            | AOp::AccSubC(_)
+                            | AOp::AccMulC(_)
+                            | AOp::AccDivC(_)
+                            | AOp::AccAddCMulLoad { .. }
+                            | AOp::AccAddLoadMulC { .. }
+                    )
+                });
+                if acc_shaped {
+                    let blk = W / $vw;
+                    let mut acc = [$zero(); MAX_CHUNK / $vw];
+                    match &plan[0] {
+                        AOp::Op(FOp::Const(v)) => {
+                            let s = $set1(*v);
+                            for a in acc.iter_mut().take(blk) {
+                                *a = s;
+                            }
+                        }
+                        AOp::Op(FOp::Var(depth)) => {
+                            if *depth == lane_depth {
+                                let mut tmp = [0.0 as $elem; MAX_CHUNK];
+                                for (l, lane) in tmp.iter_mut().enumerate().take(W) {
+                                    *lane = (x + l as i64) as $elem;
+                                }
+                                for b in 0..blk {
+                                    acc[b] = $loadu(tmp.as_ptr().add(b * $vw));
+                                }
+                            } else {
+                                let s = $set1(vars[*depth] as $elem);
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = s;
+                                }
+                            }
+                        }
+                        AOp::Op(FOp::Load(t)) => {
+                            for b in 0..blk {
+                                acc[b] = $tap_vec(&ptrs, &arrs, *t, b * $vw);
+                            }
+                        }
+                        AOp::PushCMulLoad { tap, c } => {
+                            let s = $set1(*c);
+                            for b in 0..blk {
+                                acc[b] = $mul(s, $tap_vec(&ptrs, &arrs, *tap, b * $vw));
+                            }
+                        }
+                        AOp::PushLoadMulC { tap, c } => {
+                            let s = $set1(*c);
+                            for b in 0..blk {
+                                acc[b] = $mul($tap_vec(&ptrs, &arrs, *tap, b * $vw), s);
+                            }
+                        }
+                        _ => unreachable!("acc-shaped plan starts with a push"),
+                    }
+                    for op in &plan[1..] {
+                        match op {
+                            AOp::Op(FOp::Sqrt) => {
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = $sqrt(*a);
+                                }
+                            }
+                            AOp::AccAddLoad(t) => {
+                                for b in 0..blk {
+                                    acc[b] = $add(acc[b], $tap_vec(&ptrs, &arrs, *t, b * $vw));
+                                }
+                            }
+                            AOp::AccSubLoad(t) => {
+                                for b in 0..blk {
+                                    acc[b] = $sub(acc[b], $tap_vec(&ptrs, &arrs, *t, b * $vw));
+                                }
+                            }
+                            AOp::AccMulLoad(t) => {
+                                for b in 0..blk {
+                                    acc[b] = $mul(acc[b], $tap_vec(&ptrs, &arrs, *t, b * $vw));
+                                }
+                            }
+                            AOp::AccDivLoad(t) => {
+                                for b in 0..blk {
+                                    acc[b] = $div(acc[b], $tap_vec(&ptrs, &arrs, *t, b * $vw));
+                                }
+                            }
+                            AOp::AccAddC(c) => {
+                                let s = $set1(*c);
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = $add(*a, s);
+                                }
+                            }
+                            AOp::AccSubC(c) => {
+                                let s = $set1(*c);
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = $sub(*a, s);
+                                }
+                            }
+                            AOp::AccMulC(c) => {
+                                let s = $set1(*c);
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = $mul(*a, s);
+                                }
+                            }
+                            AOp::AccDivC(c) => {
+                                let s = $set1(*c);
+                                for a in acc.iter_mut().take(blk) {
+                                    *a = $div(*a, s);
+                                }
+                            }
+                            AOp::AccAddCMulLoad { tap, c } => {
+                                let s = $set1(*c);
+                                for b in 0..blk {
+                                    let v = $mul(s, $tap_vec(&ptrs, &arrs, *tap, b * $vw));
+                                    acc[b] = $add(acc[b], v);
+                                }
+                            }
+                            AOp::AccAddLoadMulC { tap, c } => {
+                                let s = $set1(*c);
+                                for b in 0..blk {
+                                    let v = $mul($tap_vec(&ptrs, &arrs, *tap, b * $vw), s);
+                                    acc[b] = $add(acc[b], v);
+                                }
+                            }
+                            _ => unreachable!("acc-shaped plan body"),
+                        }
+                    }
+                    let mut out = [0.0 as $elem; W];
+                    for b in 0..blk {
+                        $storeu(out.as_mut_ptr().add(b * $vw), acc[b]);
+                    }
+                    return out;
+                }
+                let mut out = [0.0 as $elem; W];
+                let mut o = 0usize;
+                while o < W {
+                    let mut st = [$zero(); V_STACK];
+                    let mut sp = 0usize;
+                    for op in plan {
+                        match op {
+                            AOp::Op(FOp::Const(v)) => {
+                                st[sp] = $set1(*v);
+                                sp += 1;
+                            }
+                            AOp::Op(FOp::Var(depth)) => {
+                                if *depth == lane_depth {
+                                    let mut tmp = [0.0 as $elem; $vw];
+                                    for (l, lane) in tmp.iter_mut().enumerate() {
+                                        *lane = (x + (o + l) as i64) as $elem;
+                                    }
+                                    st[sp] = $loadu(tmp.as_ptr());
+                                } else {
+                                    st[sp] = $set1(vars[*depth] as $elem);
+                                }
+                                sp += 1;
+                            }
+                            AOp::Op(FOp::Load(t)) => {
+                                st[sp] = $tap_vec(&ptrs, &arrs, *t, o);
+                                sp += 1;
+                            }
+                            AOp::Op(FOp::Sqrt) => st[sp - 1] = $sqrt(st[sp - 1]),
+                            AOp::Op(FOp::Add) => {
+                                st[sp - 2] = $add(st[sp - 2], st[sp - 1]);
+                                sp -= 1;
+                            }
+                            AOp::Op(FOp::Sub) => {
+                                st[sp - 2] = $sub(st[sp - 2], st[sp - 1]);
+                                sp -= 1;
+                            }
+                            AOp::Op(FOp::Mul) => {
+                                st[sp - 2] = $mul(st[sp - 2], st[sp - 1]);
+                                sp -= 1;
+                            }
+                            AOp::Op(FOp::Div) => {
+                                st[sp - 2] = $div(st[sp - 2], st[sp - 1]);
+                                sp -= 1;
+                            }
+                            AOp::Op(op @ (FOp::Min | FOp::Max | FOp::Cmp(_))) => {
+                                let mut a = [0.0 as $elem; $vw];
+                                let mut b = [0.0 as $elem; $vw];
+                                $storeu(a.as_mut_ptr(), st[sp - 2]);
+                                $storeu(b.as_mut_ptr(), st[sp - 1]);
+                                match op {
+                                    FOp::Min | FOp::Max => {
+                                        #[allow(clippy::redundant_closure_call)]
+                                        ($minmax)(&mut a, &b, matches!(op, FOp::Min));
+                                    }
+                                    FOp::Cmp(cmp) => {
+                                        for l in 0..$vw {
+                                            let (x, y) = (a[l], b[l]);
+                                            a[l] = cmp_lanes(*cmp, x, y) as $elem;
+                                        }
+                                    }
+                                    _ => unreachable!("scalar-body group"),
+                                }
+                                st[sp - 2] = $loadu(a.as_ptr());
+                                sp -= 1;
+                            }
+                            AOp::Op(FOp::Sel) => {
+                                let mut c = [0.0 as $elem; $vw];
+                                let mut t = [0.0 as $elem; $vw];
+                                let mut f = [0.0 as $elem; $vw];
+                                $storeu(c.as_mut_ptr(), st[sp - 3]);
+                                $storeu(t.as_mut_ptr(), st[sp - 2]);
+                                $storeu(f.as_mut_ptr(), st[sp - 1]);
+                                for l in 0..$vw {
+                                    c[l] = if c[l] != 0.0 { t[l] } else { f[l] };
+                                }
+                                st[sp - 3] = $loadu(c.as_ptr());
+                                sp -= 2;
+                            }
+                            AOp::PushCMulLoad { tap, c } => {
+                                st[sp] = $mul($set1(*c), $tap_vec(&ptrs, &arrs, *tap, o));
+                                sp += 1;
+                            }
+                            AOp::PushLoadMulC { tap, c } => {
+                                st[sp] = $mul($tap_vec(&ptrs, &arrs, *tap, o), $set1(*c));
+                                sp += 1;
+                            }
+                            AOp::AccAddCMulLoad { tap, c } => {
+                                let v = $mul($set1(*c), $tap_vec(&ptrs, &arrs, *tap, o));
+                                st[sp - 1] = $add(st[sp - 1], v);
+                            }
+                            AOp::AccAddLoadMulC { tap, c } => {
+                                let v = $mul($tap_vec(&ptrs, &arrs, *tap, o), $set1(*c));
+                                st[sp - 1] = $add(st[sp - 1], v);
+                            }
+                            AOp::AccAddLoad(t) => {
+                                st[sp - 1] = $add(st[sp - 1], $tap_vec(&ptrs, &arrs, *t, o));
+                            }
+                            AOp::AccSubLoad(t) => {
+                                st[sp - 1] = $sub(st[sp - 1], $tap_vec(&ptrs, &arrs, *t, o));
+                            }
+                            AOp::AccMulLoad(t) => {
+                                st[sp - 1] = $mul(st[sp - 1], $tap_vec(&ptrs, &arrs, *t, o));
+                            }
+                            AOp::AccDivLoad(t) => {
+                                st[sp - 1] = $div(st[sp - 1], $tap_vec(&ptrs, &arrs, *t, o));
+                            }
+                            AOp::AccAddC(c) => st[sp - 1] = $add(st[sp - 1], $set1(*c)),
+                            AOp::AccSubC(c) => st[sp - 1] = $sub(st[sp - 1], $set1(*c)),
+                            AOp::AccMulC(c) => st[sp - 1] = $mul(st[sp - 1], $set1(*c)),
+                            AOp::AccDivC(c) => st[sp - 1] = $div(st[sp - 1], $set1(*c)),
+                        }
+                    }
+                    debug_assert_eq!(sp, 1, "fused kernel must leave exactly one chunk");
+                    $storeu(out.as_mut_ptr().add(o), st[0]);
+                    o += $vw;
+                }
+                out
+            }
+        };
+    }
+
+    plan_eval!(
+        eval_plan_f32_avx2,
+        f32,
+        __m256,
+        8,
+        _mm256_set1_ps,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_setzero_ps,
+        _mm256_add_ps,
+        _mm256_sub_ps,
+        _mm256_mul_ps,
+        _mm256_div_ps,
+        _mm256_sqrt_ps,
+        ScalarType::Float32,
+        4,
+        // Portable f32 Min/Max evaluates in f64 per lane (see FOp::Min).
+        |a: &mut [f32; 8], b: &[f32; 8], is_min: bool| {
+            for l in 0..8 {
+                a[l] = if is_min {
+                    (a[l] as f64).min(b[l] as f64) as f32
+                } else {
+                    (a[l] as f64).max(b[l] as f64) as f32
+                };
+            }
+        },
+        load_tap_f32,
+        tap_vec_f32
+    );
+
+    plan_eval!(
+        eval_plan_f64_avx2,
+        f64,
+        __m256d,
+        4,
+        _mm256_set1_pd,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        _mm256_setzero_pd,
+        _mm256_add_pd,
+        _mm256_sub_pd,
+        _mm256_mul_pd,
+        _mm256_div_pd,
+        _mm256_sqrt_pd,
+        ScalarType::Float64,
+        8,
+        |a: &mut [f64; 4], b: &[f64; 4], is_min: bool| {
+            for l in 0..4 {
+                a[l] = if is_min {
+                    a[l].min(b[l])
+                } else {
+                    a[l].max(b[l])
+                };
+            }
+        },
+        load_tap_f64,
+        tap_vec_f64
+    );
+
+    /// AVX2 wrapping tree-sum of the first `n` i32 lanes: vector halving
+    /// adds down to one 256-bit register, then a scalar finish. Any order
+    /// is exact for wrapping addition.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tree_sum_i32_avx2<const W: usize>(mut lanes: [i32; W], n: usize) -> i32 {
+        for lane in lanes.iter_mut().skip(n) {
+            *lane = 0;
+        }
+        let mut width = W;
+        while width > 8 {
+            width /= 2;
+            let mut i = 0;
+            while i + 8 <= width {
+                let lo = _mm256_loadu_si256(lanes.as_ptr().add(i) as *const __m256i);
+                let hi = _mm256_loadu_si256(lanes.as_ptr().add(i + width) as *const __m256i);
+                _mm256_storeu_si256(
+                    lanes.as_mut_ptr().add(i) as *mut __m256i,
+                    _mm256_add_epi32(lo, hi),
+                );
+                i += 8;
+            }
+        }
+        while width > 1 {
+            width /= 2;
+            for l in 0..width {
+                lanes[l] = lanes[l].wrapping_add(lanes[l + width]);
+            }
+        }
+        lanes[0]
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn tree_sum_i64_avx2<const W: usize>(mut lanes: [i64; W], n: usize) -> i64 {
+        for lane in lanes.iter_mut().skip(n) {
+            *lane = 0;
+        }
+        let mut width = W;
+        while width > 4 {
+            width /= 2;
+            let mut i = 0;
+            while i + 4 <= width {
+                let lo = _mm256_loadu_si256(lanes.as_ptr().add(i) as *const __m256i);
+                let hi = _mm256_loadu_si256(lanes.as_ptr().add(i + width) as *const __m256i);
+                _mm256_storeu_si256(
+                    lanes.as_mut_ptr().add(i) as *mut __m256i,
+                    _mm256_add_epi64(lo, hi),
+                );
+                i += 4;
+            }
+        }
+        while width > 1 {
+            width /= 2;
+            for l in 0..width {
+                lanes[l] = lanes[l].wrapping_add(lanes[l + width]);
+            }
+        }
+        lanes[0]
+    }
+
+    // -- Dispatch (the `arch` twins of the portable dispatchers) ------------
+
+    /// SAFETY: caller must have verified AVX2 support (the `Isa::Avx2` gate).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn dispatch_fused_chunk_avx2(
+        fused: &FusedKernel,
+        x: i64,
+        w: usize,
+        n: usize,
+        tap_bases: &[i64],
+        out_base: i64,
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) {
+        macro_rules! run {
+            ($eval:ident, $store:ident, $ops:expr, $w:literal) => {{
+                let lanes =
+                    $eval::<$w>($ops, &fused.taps, x, n, tap_bases, lane_depth, binds, vars);
+                $store::<$w>(fused, out_base, x, n, &lanes, binds);
+            }};
+        }
+        match (&fused.prog, w) {
+            (LaneProgram::I32(ops), 32) => run!(eval_chunk_i32_avx2, store_chunk_i32, ops, 32),
+            (LaneProgram::I32(ops), 16) => run!(eval_chunk_i32_avx2, store_chunk_i32, ops, 16),
+            (LaneProgram::I32(ops), _) => run!(eval_chunk_i32_avx2, store_chunk_i32, ops, 8),
+            (LaneProgram::I64(ops), 16) => run!(eval_chunk_i64_avx2, store_chunk_i64, ops, 16),
+            (LaneProgram::I64(ops), 8) => run!(eval_chunk_i64_avx2, store_chunk_i64, ops, 8),
+            (LaneProgram::I64(ops), _) => run!(eval_chunk_i64_avx2, store_chunk_i64, ops, 4),
+            // Float kernels prefer the register-resident plan evaluators
+            // (bit-identical; see `AOp`); kernels staging more taps than the
+            // plan path supports keep the full-chunk stack evaluators.
+            (LaneProgram::F32(ops), _) => match (&fused.arch_plan, w) {
+                (ArchPlan::F32(plan), 32) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f32_avx2, store_chunk_f32, plan, 32)
+                }
+                (ArchPlan::F32(plan), 16) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f32_avx2, store_chunk_f32, plan, 16)
+                }
+                (ArchPlan::F32(plan), 8) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f32_avx2, store_chunk_f32, plan, 8)
+                }
+                (_, 32) => run!(eval_chunk_f32_avx2, store_chunk_f32, ops, 32),
+                (_, 16) => run!(eval_chunk_f32_avx2, store_chunk_f32, ops, 16),
+                _ => run!(eval_chunk_f32_avx2, store_chunk_f32, ops, 8),
+            },
+            (LaneProgram::F64(ops), _) => match (&fused.arch_plan, w) {
+                (ArchPlan::F64(plan), 16) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f64_avx2, store_chunk_f64, plan, 16)
+                }
+                (ArchPlan::F64(plan), 8) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f64_avx2, store_chunk_f64, plan, 8)
+                }
+                (ArchPlan::F64(plan), 4) if fused.taps.len() <= A_TAPS => {
+                    run!(eval_plan_f64_avx2, store_chunk_f64, plan, 4)
+                }
+                (_, 16) => run!(eval_chunk_f64_avx2, store_chunk_f64, ops, 16),
+                (_, 8) => run!(eval_chunk_f64_avx2, store_chunk_f64, ops, 8),
+                _ => run!(eval_chunk_f64_avx2, store_chunk_f64, ops, 4),
+            },
+        }
+    }
+
+    /// SAFETY: caller must have verified AVX2 support (the `Isa::Avx2` gate).
+    pub(super) unsafe fn dispatch_reduce_chunk_avx2(
+        rk: &ReduceKernel,
+        x: i64,
+        n: usize,
+        tap_bases: &[i64],
+        lane_depth: usize,
+        binds: &BindTable,
+        vars: &[i64],
+    ) -> i64 {
+        match &rk.prog {
+            LaneProgram::I32(ops) => {
+                let lanes = eval_chunk_i32_avx2::<MAX_CHUNK>(
+                    ops, &rk.taps, x, n, tap_bases, lane_depth, binds, vars,
+                );
+                tree_sum_i32_avx2(lanes, n) as i64
+            }
+            LaneProgram::I64(ops) => {
+                let lanes = eval_chunk_i64_avx2::<{ MAX_CHUNK / 2 }>(
+                    ops, &rk.taps, x, n, tap_bases, lane_depth, binds, vars,
+                );
+                tree_sum_i64_avx2(lanes, n)
+            }
+            LaneProgram::F32(_) | LaneProgram::F64(_) => {
+                unreachable!("reduce kernels are integer-only")
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -4832,8 +6777,8 @@ impl ExecPlan {
     }
 
     /// Per-lane-family fused-kernel counts (see [`FusedStoreCounts`]): which
-    /// of the plan's stores run `[i32; W]`, `[i64; W/2]` or `[f32; W]`
-    /// chunks on tier 1.
+    /// of the plan's stores run `[i32; W]`, `[i64; W/2]`, `[f32; W]` or
+    /// `[f64; W/2]` chunks on tier 1.
     pub fn fused_store_counts(&self) -> FusedStoreCounts {
         let mut counts = FusedStoreCounts::default();
         for store in self.prepared.stores.iter().flatten() {
@@ -4841,6 +6786,7 @@ impl ExecPlan {
                 Some(LaneFamily::I32) => counts.lanes_i32 += 1,
                 Some(LaneFamily::I64) => counts.lanes_i64 += 1,
                 Some(LaneFamily::F32) => counts.lanes_f32 += 1,
+                Some(LaneFamily::F64) => counts.lanes_f64 += 1,
                 None => {}
             }
         }
@@ -4890,7 +6836,7 @@ impl ExecPlan {
             match store.reduce.as_ref().map(|r| r.family()) {
                 Some(LaneFamily::I32) => counts.lanes_i32 += 1,
                 Some(LaneFamily::I64) => counts.lanes_i64 += 1,
-                Some(LaneFamily::F32) | None => {}
+                Some(LaneFamily::F32) | Some(LaneFamily::F64) | None => {}
             }
         }
         counts
@@ -4901,7 +6847,13 @@ impl ExecPlan {
     /// guarded/reduce/merge admissibility — that a cost model needs to
     /// predict the plan's run time without executing it. Kernel selection is
     /// part of the plan, so cached plans report the same profiles.
-    pub fn store_profiles(&self) -> Vec<StoreProfile> {
+    ///
+    /// `target` is the resolved [`Target`] the plan will execute under; each
+    /// store with a fused or reduce kernel reports the lane ISA
+    /// ([`StoreProfile::selected_isa`]) that target resolves to on this host,
+    /// so a dry run predicts exactly what the executing path will count.
+    pub fn store_profiles(&self, target: Target) -> Vec<StoreProfile> {
+        let isa = target.effective_isa();
         self.prepared
             .stores
             .iter()
@@ -4919,6 +6871,7 @@ impl ExecPlan {
                     ),
                     None => (0, 0),
                 };
+                let has_lanes = store.fused.is_some() || store.reduce.is_some();
                 StoreProfile {
                     fused: store.fused.as_ref().map(|f| f.family()),
                     taps,
@@ -4926,6 +6879,7 @@ impl ExecPlan {
                     guarded: store.clamp,
                     reduce: store.reduce.as_ref().map(|r| r.family()),
                     parallel_reduce: store.merge.is_some(),
+                    selected_isa: if has_lanes { isa } else { Isa::Portable },
                 }
             })
             .collect()
@@ -4963,7 +6917,7 @@ pub fn prepare(
 /// Compile a lowered statement producing several output buffers (a
 /// multi-output fused nest) into an [`ExecPlan`]. The outputs occupy slots
 /// `0..outputs.len()` writable, in order, followed by the images and roots —
-/// [`run_multi_with_mode`] binds output buffers in the same order. With a
+/// [`run_multi_with_target`] binds output buffers in the same order. With a
 /// single output this is exactly [`prepare`].
 ///
 /// # Errors
@@ -5015,7 +6969,7 @@ pub fn prepare_multi(
 }
 
 /// Execute a prepared plan against the given buffers with the process-wide
-/// [`simd_mode`]. See [`run_with_mode`].
+/// [`Target::current`]. See [`run_with_target`].
 ///
 /// # Errors
 /// Returns an error if a declared image or root buffer is not provided.
@@ -5026,42 +6980,44 @@ pub fn run(
     roots: &BTreeMap<String, Buffer>,
     params: &BTreeMap<String, Value>,
 ) -> Result<(), RealizeError> {
-    run_with_mode(plan, output, images, roots, params, simd_mode())
+    run_with_target(plan, output, images, roots, params, Target::current())
 }
 
 /// Execute a prepared plan against the given buffers: the per-call half of
 /// the compile/run split. Binds the output writable plus the declared images
 /// and roots read-only (`Allocate` nodes bind their scratch buffers during
-/// execution), then walks the loop nest. `mode` selects which execution
-/// tiers fused stores may use; every mode produces bit-identical buffers.
+/// execution), then walks the loop nest. `target` selects which execution
+/// tiers fused stores may use and which lane ISA the fused chunks execute on
+/// (its features resolve through [`Target::effective_isa`] once per run);
+/// every target produces bit-identical buffers.
 ///
 /// # Errors
 /// Returns an error if a declared image or root buffer is not provided.
-pub fn run_with_mode(
+pub fn run_with_target(
     plan: &ExecPlan,
     output: &mut Buffer,
     images: &BTreeMap<String, &Buffer>,
     roots: &BTreeMap<String, Buffer>,
     params: &BTreeMap<String, Value>,
-    mode: SimdMode,
+    target: Target,
 ) -> Result<(), RealizeError> {
-    run_multi_with_mode(plan, &mut [output], images, roots, params, mode)
+    run_multi_with_target(plan, &mut [output], images, roots, params, target)
 }
 
 /// Execute a prepared multi-output plan: binds `outputs` writable to slots
 /// `0..outputs.len()` in the order [`prepare_multi`] declared them, then runs
-/// like [`run_with_mode`]. Increments the [`multi_output_nests_executed`]
+/// like [`run_with_target`]. Increments the [`multi_output_nests_executed`]
 /// counter when more than one output is produced.
 ///
 /// # Errors
 /// Returns an error if a declared image or root buffer is not provided.
-pub fn run_multi_with_mode(
+pub fn run_multi_with_target(
     plan: &ExecPlan,
     outputs: &mut [&mut Buffer],
     images: &BTreeMap<String, &Buffer>,
     roots: &BTreeMap<String, Buffer>,
     params: &BTreeMap<String, Value>,
-    mode: SimdMode,
+    target: Target,
 ) -> Result<(), RealizeError> {
     debug_assert_eq!(
         outputs.len(),
@@ -5109,7 +7065,8 @@ pub fn run_multi_with_mode(
     let runner = Runner {
         prepared: &plan.prepared,
         params,
-        mode,
+        tier: target.tier(),
+        isa: target.effective_isa(),
     };
     let mut binds = BindTable(binds);
     let mut env: Vec<(String, i64)> = Vec::new();
@@ -5231,22 +7188,22 @@ mod tests {
         let mut scalar = Buffer::new(plan.output_tys[0], extents);
         let mut simd = Buffer::new(plan.output_tys[0], extents);
         let params = BTreeMap::new();
-        run_with_mode(
+        run_with_target(
             plan,
             &mut scalar,
             &images,
             &BTreeMap::new(),
             &params,
-            SimdMode::ForceScalar,
+            Target::detect().with_tier(Tier::Scalar),
         )
         .expect("scalar run");
-        run_with_mode(
+        run_with_target(
             plan,
             &mut simd,
             &images,
             &BTreeMap::new(),
             &params,
-            SimdMode::ForceSimd,
+            Target::detect().with_tier(Tier::Simd),
         )
         .expect("simd run");
         assert_eq!(scalar, simd, "tiers diverged");
@@ -5366,18 +7323,22 @@ mod tests {
         let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
         let params = BTreeMap::new();
         let mut baseline = Buffer::new(ScalarType::UInt8, &[45, 3]);
-        run_with_mode(
+        run_with_target(
             &baseline_plan,
             &mut baseline,
             &images,
             &BTreeMap::new(),
             &params,
-            SimdMode::ForceScalar,
+            Target::detect().with_tier(Tier::Scalar),
         )
         .expect("baseline");
-        for mode in [SimdMode::ForceScalar, SimdMode::Auto, SimdMode::ForceSimd] {
+        for mode in [
+            Target::detect().with_tier(Tier::Scalar),
+            Target::detect(),
+            Target::detect().with_tier(Tier::Simd),
+        ] {
             let mut out = Buffer::new(ScalarType::UInt8, &[45, 3]);
-            run_with_mode(
+            run_with_target(
                 &wide_plan,
                 &mut out,
                 &images,
@@ -5428,13 +7389,13 @@ mod tests {
         let params = BTreeMap::new();
         let mut out = Buffer::new(ScalarType::UInt8, &[64, 16]);
         let before = fused_rows_executed();
-        run_with_mode(
+        run_with_target(
             &plan,
             &mut out,
             &images,
             &BTreeMap::new(),
             &params,
-            SimdMode::ForceSimd,
+            Target::detect().with_tier(Tier::Simd),
         )
         .expect("run");
         assert!(
@@ -5715,6 +7676,245 @@ mod tests {
         assert_modes_agree(&plan, &[19, 5], &input(21, 7, 11));
     }
 
+    // -- The `[f64; W/2]` lane family and the arch (AVX2) dispatch ----------
+
+    /// A Float64 input with NaN, infinities, ±0 and irrationals sprinkled
+    /// among ordinary data — f64 lanes carry the reference values, so even
+    /// the specials must survive every path bit-for-bit.
+    fn dinput(w: usize, h: usize, seed: u64) -> Buffer {
+        let mut b = Buffer::new(ScalarType::Float64, &[w, h]);
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+        ];
+        let mut s = seed | 1;
+        for (i, c) in b.coords().collect::<Vec<_>>().into_iter().enumerate() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = if i % 5 == 3 {
+                specials[(s >> 33) as usize % specials.len()]
+            } else {
+                ((s >> 29) as i64 % 4096) as f64 / 8.0 - 128.0
+            };
+            b.set(&c, Value::Float(v));
+        }
+        b
+    }
+
+    fn dconst(v: f64) -> Expr {
+        Expr::ConstFloat(v, ScalarType::Float64)
+    }
+
+    /// The f64 family needs no rounding discipline: unrounded smooth-style
+    /// arithmetic (the exact shape the f32 family must reject) fuses directly
+    /// because the lanes are the reference representation. This is the
+    /// original double-precision miniGMG smooth shape.
+    #[test]
+    fn f64_lane_family_fuses_and_agrees() {
+        let value = Expr::add(
+            Expr::mul(Expr::add(ftap(-1, 0), ftap(1, 0)), dconst(1.0 / 12.0)),
+            Expr::mul(ftap(0, 0), dconst(0.5)),
+        );
+        for width in [8usize, 16, 32] {
+            for (w, h) in [(13i64, 7i64), (31, 5), (8, 8), (5, 3)] {
+                let plan = plan_with_input(
+                    nest(w, h, width, value.clone()),
+                    ScalarType::Float64,
+                    ScalarType::Float64,
+                );
+                assert_eq!(plan.fused_store_counts().lanes_f64, 1, "must fuse on f64");
+                for seed in [1u64, 77] {
+                    assert_modes_agree(
+                        &plan,
+                        &[w as usize, h as usize],
+                        &dinput(w as usize + 2, h as usize + 2, seed),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Min/max, compares, selects, division and sqrt on f64 lanes are the
+    /// reference ops verbatim and agree bit-for-bit (NaN propagation and
+    /// ±0.0 selection included).
+    #[test]
+    fn f64_value_sensitive_shapes_fuse_and_agree() {
+        let value = Expr::select(
+            Expr::cmp(CmpOp::Lt, ftap(0, 0), dconst(0.0)),
+            Expr::Call(ExternCall::Sqrt, vec![ftap(1, 1)]),
+            Expr::bin(
+                BinOp::Min,
+                Expr::bin(BinOp::Div, ftap(1, 0), ftap(0, 1)),
+                Expr::bin(BinOp::Max, ftap(0, 0), dconst(-2.5)),
+            ),
+        );
+        let plan = plan_with_input(
+            nest(23, 9, 8, value),
+            ScalarType::Float64,
+            ScalarType::Float64,
+        );
+        assert_eq!(plan.fused_store_counts().lanes_f64, 1);
+        assert_modes_agree(&plan, &[23, 9], &dinput(25, 11, 9));
+    }
+
+    /// Integer taps and the loop variable mix into f64 arithmetic: within
+    /// ±2^53 their promotion is exact, so narrow integer inputs ride the f64
+    /// family. All-integer arithmetic must still reject (the reference wraps
+    /// on i64), as must UInt64 taps (outside the exact range).
+    #[test]
+    fn f64_family_admits_exact_int_leaves_only() {
+        // Raw u8 tap × f64 weight + the lane variable: mixed, fuses. (A
+        // `cast<u32>`-wrapped tap would not — integer casts leave the exact
+        // domain, so only raw integer loads are admissible leaves.)
+        let mixed = Expr::add(
+            Expr::mul(ftap(0, 0), dconst(0.25)),
+            Expr::mul(Expr::var("x"), dconst(1.5)),
+        );
+        let plan = plan_with_input(
+            nest(19, 5, 8, mixed),
+            ScalarType::Float64,
+            ScalarType::UInt8,
+        );
+        assert_eq!(plan.fused_store_counts().lanes_f64, 1, "mixed must fuse");
+        assert_modes_agree(&plan, &[19, 5], &input(21, 7, 5));
+
+        // All-integer arithmetic under a Float64 output: must not fuse on
+        // f64 lanes (reference wraps on i64 before the final promotion).
+        let all_int = Expr::add(ftap(0, 0), ftap(1, 1));
+        let plan = plan_with_input(
+            nest(8, 4, 8, all_int),
+            ScalarType::Float64,
+            ScalarType::UInt8,
+        );
+        assert_eq!(
+            plan.fused_store_counts().lanes_f64,
+            0,
+            "all-int arithmetic must not ride f64 lanes"
+        );
+
+        // UInt64 taps exceed ±2^53: reject.
+        let u64_tap = Expr::mul(ftap(0, 0), dconst(0.5));
+        let plan = plan_with_input(
+            nest(8, 4, 8, u64_tap),
+            ScalarType::Float64,
+            ScalarType::UInt64,
+        );
+        assert_eq!(
+            plan.fused_store_counts().lanes_f64,
+            0,
+            "u64 taps must not ride f64 lanes"
+        );
+    }
+
+    /// The arch (AVX2) dispatch is bit-identical to the portable lanes and
+    /// observable via the [`arch_rows_executed`] counter; a portable target
+    /// never touches it. Skipped with a notice on hosts without AVX2.
+    #[test]
+    fn arch_dispatch_agrees_with_portable_and_counts_rows() {
+        use crate::target::Feature;
+        if !Target::detect().has(Feature::Avx2) {
+            eprintln!("skipping arch_dispatch test: host has no AVX2");
+            return;
+        }
+        // One integer and one float shape, covering fused rows and the
+        // reduce-free fused path under both ISAs.
+        let int_value = Expr::cast(
+            ScalarType::UInt8,
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(
+                    Expr::add(Expr::int(2), Expr::mul(Expr::int(2), tap(1, 1))),
+                    Expr::add(tap(0, 1), tap(2, 1)),
+                ),
+                Expr::uint(2),
+            ),
+        );
+        let f64_value = Expr::add(
+            Expr::mul(Expr::add(ftap(-1, 0), ftap(1, 0)), dconst(1.0 / 12.0)),
+            Expr::mul(ftap(0, 0), dconst(0.5)),
+        );
+        let arch = Target::with_features(&[Feature::Avx2]).with_tier(Tier::Simd);
+        let portable = Target::portable().with_tier(Tier::Simd);
+        let params = BTreeMap::new();
+
+        let int_plan = plan_for(nest(37, 9, 16, int_value), ScalarType::UInt8);
+        assert_eq!(int_plan.fused_store_count(), 1);
+        let img = input(39, 11, 3);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let mut a = Buffer::new(ScalarType::UInt8, &[37, 9]);
+        let mut p = Buffer::new(ScalarType::UInt8, &[37, 9]);
+        let before = arch_rows_executed();
+        run_with_target(&int_plan, &mut a, &images, &BTreeMap::new(), &params, arch)
+            .expect("arch run");
+        assert!(
+            arch_rows_executed() > before,
+            "AVX2 target must execute arch rows"
+        );
+        let before = arch_rows_executed();
+        run_with_target(
+            &int_plan,
+            &mut p,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            portable,
+        )
+        .expect("portable run");
+        assert_eq!(
+            arch_rows_executed(),
+            before,
+            "portable target must not touch the arch path"
+        );
+        assert_eq!(a, p, "i32 arch lanes diverged from portable");
+
+        let f64_plan = plan_with_input(
+            nest(37, 9, 16, f64_value),
+            ScalarType::Float64,
+            ScalarType::Float64,
+        );
+        assert_eq!(f64_plan.fused_store_counts().lanes_f64, 1);
+        let img = dinput(39, 11, 7);
+        let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
+        let mut a = Buffer::new(ScalarType::Float64, &[37, 9]);
+        let mut p = Buffer::new(ScalarType::Float64, &[37, 9]);
+        run_with_target(&f64_plan, &mut a, &images, &BTreeMap::new(), &params, arch)
+            .expect("arch run");
+        run_with_target(
+            &f64_plan,
+            &mut p,
+            &images,
+            &BTreeMap::new(),
+            &params,
+            portable,
+        )
+        .expect("portable run");
+        assert_eq!(a, p, "f64 arch lanes diverged from portable");
+    }
+
+    /// [`ExecPlan::store_profiles`] reports the lane ISA the given target
+    /// resolves to on this host — portable targets always report portable,
+    /// and stores without lane kernels report portable regardless.
+    #[test]
+    fn store_profiles_report_selected_isa() {
+        use crate::target::Feature;
+        let plan = plan_for(nest(16, 4, 8, tap(0, 0)), ScalarType::UInt8);
+        assert_eq!(plan.fused_store_count(), 1);
+        for p in plan.store_profiles(Target::portable()) {
+            assert_eq!(p.selected_isa, Isa::Portable);
+        }
+        let avx2 = Target::with_features(&[Feature::Avx2]);
+        let expect = avx2.effective_isa(); // Avx2 on AVX2 hosts, else Portable
+        for p in plan.store_profiles(avx2) {
+            assert_eq!(p.selected_isa, expect, "fused store must report the ISA");
+        }
+    }
+
     /// Sub-width interior tails run as fused chunks (masked below one chunk,
     /// overlapping above) instead of peeling onto the per-op tier: extents
     /// below, at and around the chunk width all stay bit-exact and the tail
@@ -5823,9 +8023,13 @@ mod tests {
             let expect: u64 = (0..extent as usize)
                 .map(|i| img.get(&[i as i64, 0]).as_i64() as u64)
                 .fold(0, u64::wrapping_add);
-            for mode in [SimdMode::ForceScalar, SimdMode::Auto, SimdMode::ForceSimd] {
+            for mode in [
+                Target::detect().with_tier(Tier::Scalar),
+                Target::detect(),
+                Target::detect().with_tier(Tier::Simd),
+            ] {
                 let mut out = Buffer::new(ScalarType::UInt64, &[1]);
-                run_with_mode(
+                run_with_target(
                     &plan,
                     &mut out,
                     &images,
@@ -5980,24 +8184,24 @@ mod tests {
             // ForceScalar degrades the tagged loop to the serial reference
             // path — the oracle for the deferred run.
             let mut reference = Buffer::new(ScalarType::UInt64, &[64]);
-            run_with_mode(
+            run_with_target(
                 &plan,
                 &mut reference,
                 &images,
                 &BTreeMap::new(),
                 &BTreeMap::new(),
-                SimdMode::ForceScalar,
+                Target::detect().with_tier(Tier::Scalar),
             )
             .expect("scalar run");
             let before = CounterSnapshot::take();
             let mut deferred = Buffer::new(ScalarType::UInt64, &[64]);
-            run_with_mode(
+            run_with_target(
                 &plan,
                 &mut deferred,
                 &images,
                 &BTreeMap::new(),
                 &BTreeMap::new(),
-                SimdMode::Auto,
+                Target::detect(),
             )
             .expect("deferred run");
             assert_eq!(reference, deferred, "threads {threads}");
@@ -6046,13 +8250,13 @@ mod tests {
             .fold(0, u64::wrapping_add);
         let before = CounterSnapshot::take();
         let mut out = Buffer::new(ScalarType::UInt64, &[1]);
-        run_with_mode(
+        run_with_target(
             &plan,
             &mut out,
             &images,
             &BTreeMap::new(),
             &BTreeMap::new(),
-            SimdMode::Auto,
+            Target::detect(),
         )
         .expect("run");
         assert_eq!(out.get(&[0]).as_i64() as u64, expect);
@@ -6094,13 +8298,13 @@ mod tests {
         let plan =
             prepare(nest, "out", ScalarType::UInt64, &[], &[], &BTreeMap::new()).expect("prepare");
         let mut out = Buffer::new(ScalarType::UInt64, &[8]);
-        run_with_mode(
+        run_with_target(
             &plan,
             &mut out,
             &BTreeMap::new(),
             &BTreeMap::new(),
             &BTreeMap::new(),
-            SimdMode::Auto,
+            Target::detect(),
         )
         .expect("run");
         // Serial order: out[0] = 0 + (0 + 1) = 1, then every later element
@@ -6121,13 +8325,13 @@ mod tests {
         let img = input(16, 4, 7);
         let images: BTreeMap<String, &Buffer> = [("in".to_string(), &img)].into_iter().collect();
         let mut out = Buffer::new(ScalarType::UInt64, &[32]);
-        run_with_mode(
+        run_with_target(
             &plan,
             &mut out,
             &images,
             &BTreeMap::new(),
             &BTreeMap::new(),
-            SimdMode::Auto,
+            Target::detect(),
         )
         .expect("run");
         let mid = before.delta();

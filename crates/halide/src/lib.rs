@@ -18,12 +18,16 @@
 //! * [`stmt`], [`lower`], [`exec`] — the compilation pipeline: schedules are
 //!   *lowered* into an explicit loop-nest IR ([`stmt::Stmt`]) with
 //!   bounds-inference-sized intermediate allocations, then executed by a
-//!   three-tier compiled engine (fused SIMD lane kernels in three lane
-//!   families — `[i32; W]` wrapping, `[i64; W/2]` exact-value and `[f32; W]`
-//!   rounding-disciplined — with interior/boundary loop splitting and
-//!   masked/overlapping tail chunks, per-op typed lane dispatch, and a
-//!   shared-evaluator per-element fallback) with scoped-thread parallelism —
-//!   see the [`exec`] module docs. Update (reduction) definitions lower too:
+//!   three-tier compiled engine (fused SIMD lane kernels in four lane
+//!   families — `[i32; W]` wrapping, `[i64; W/2]` exact-value, `[f32; W]`
+//!   rounding-disciplined and `[f64; W/2]` reference-precision — with
+//!   interior/boundary loop splitting and masked/overlapping tail chunks,
+//!   per-op typed lane dispatch, and a shared-evaluator per-element
+//!   fallback) with scoped-thread parallelism — see the [`exec`] module
+//!   docs. On AVX2 hosts the fused chunks additionally dispatch to
+//!   hand-written `core::arch` evaluators (bit-identical to the portable
+//!   lanes) when the resolved [`target::Target`] carries
+//!   [`target::Feature::Avx2`]; Update (reduction) definitions lower too:
 //!   guarded [`stmt::Stmt::ReduceStore`] nests with a privatized-vs-sequential
 //!   accumulation strategy and a fused integer tree-reduce for
 //!   loop-invariant accumulators, so histograms, scans and residual norms
@@ -121,6 +125,7 @@ pub mod realize;
 pub mod schedule;
 pub mod simplify;
 pub mod stmt;
+pub mod target;
 pub mod types;
 
 pub use autotune::{autotune, autotune_best, TuneConfig, TuneReport};
@@ -130,16 +135,19 @@ pub use codegen::{generate_halide_source, CodegenOptions};
 pub use compile::{CompileOptions, CompiledPipeline, PipelineProfile, StageProfile, UpdateCounts};
 pub use eval::{eval_expr, EvalSources};
 pub use exec::{
-    fused_rows_executed, fused_tail_chunks_executed, parallel_reduce_merges_executed,
-    reduce_chunks_executed, set_simd_mode, simd_mode, CounterSnapshot, FusedStoreCounts,
-    LaneFamily, SimdMode, StoreProfile,
+    arch_rows_executed, fused_rows_executed, fused_tail_chunks_executed,
+    parallel_reduce_merges_executed, reduce_chunks_executed, CounterSnapshot, FusedStoreCounts,
+    LaneFamily, StoreProfile,
 };
+#[allow(deprecated)]
+pub use exec::{set_simd_mode, simd_mode, SimdMode};
 pub use expr::{BinOp, CmpOp, Expr, ExternCall};
 pub use func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
 pub use realize::{ExecBackend, RealizeError, RealizeInputs, Realizer};
 pub use schedule::Schedule;
 pub use simplify::{simplify, simplify_func, simplify_pipeline};
 pub use stmt::{LoopKind, Stmt};
+pub use target::{set_target_override, Feature, Isa, Target, Tier};
 pub use types::{ScalarType, Value};
 
 /// Convenient glob-import of the commonly used types.
@@ -149,11 +157,12 @@ pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::codegen::{generate_halide_source, CodegenOptions};
     pub use crate::compile::{CompileOptions, CompiledPipeline, UpdateCounts};
-    pub use crate::exec::{CounterSnapshot, FusedStoreCounts, LaneFamily, SimdMode};
+    pub use crate::exec::{CounterSnapshot, FusedStoreCounts, LaneFamily};
     pub use crate::expr::{BinOp, CmpOp, Expr, ExternCall};
     pub use crate::func::{Func, ImageParam, Pipeline, RDom, UpdateDef};
     pub use crate::realize::{ExecBackend, RealizeInputs, Realizer};
     pub use crate::schedule::Schedule;
     pub use crate::simplify::{simplify, simplify_pipeline};
+    pub use crate::target::{Feature, Isa, Target, Tier};
     pub use crate::types::{ScalarType, Value};
 }

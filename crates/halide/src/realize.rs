@@ -219,7 +219,7 @@ impl Realizer {
             pipeline,
             &self.schedule,
             self.backend,
-            None,
+            crate::target::Target::current(),
             output_extents,
             inputs,
             key,

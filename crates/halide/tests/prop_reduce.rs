@@ -65,17 +65,22 @@ fn assert_update_tiers_match_oracle(
         .with_backend(ExecBackend::Interpret)
         .realize(p, extents, inputs)
         .expect("interpreter realize");
-    // Explicit pins cover both tiers in any environment; the unpinned (Auto)
-    // compile follows the process-wide mode, so the CI legs running this
-    // suite under HELIUM_FORCE_SCALAR=1 / HELIUM_FORCE_SIMD=1 each exercise
-    // a genuinely different Auto path.
-    for mode in [None, Some(SimdMode::ForceScalar), Some(SimdMode::ForceSimd)] {
+    // Explicit pins cover both tiers in any environment; the unpinned
+    // (`None`) compile follows the process-wide target, so the CI legs
+    // running this suite under HELIUM_FORCE_SCALAR=1 / HELIUM_FORCE_SIMD=1 /
+    // HELIUM_PORTABLE=1 each exercise a genuinely different default path.
+    for mode in [
+        None,
+        Some(Target::detect().with_tier(Tier::Scalar)),
+        Some(Target::detect().with_tier(Tier::Simd)),
+        Some(Target::portable().with_tier(Tier::Simd)),
+    ] {
         let compiled = p
             .compile(
                 schedule,
                 &CompileOptions {
                     backend: ExecBackend::Lowered,
-                    simd: mode,
+                    target: mode,
                     ..CompileOptions::default()
                 },
             )
@@ -372,7 +377,7 @@ fn reduction_suite_is_not_vacuous() {
         .compile(
             &Schedule::stencil_default(),
             &CompileOptions {
-                simd: Some(SimdMode::ForceSimd),
+                target: Some(Target::detect().with_tier(Tier::Simd)),
                 ..CompileOptions::default()
             },
         )

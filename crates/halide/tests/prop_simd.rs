@@ -1,28 +1,38 @@
-//! Cross-tier differential matrix for the fused SIMD execution tier.
+//! Cross-target differential matrix for the fused SIMD execution tier.
 //!
-//! The compiled executor has three tiers (fused SIMD lane kernels in three
-//! lane families — `[i32; W]`, `[i64; W/2]`, `[f32; W]` — per-op typed lane
-//! dispatch, per-element fallback — see `exec`'s module docs). This suite
-//! pins the lowered backend to each tier via [`CompileOptions::simd`] — no
-//! global state, so cases can run in parallel — and asserts the outputs are
-//! bit-identical to the interpreter oracle:
+//! The compiled executor has three tiers (fused SIMD lane kernels in four
+//! lane families — `[i32; W]`, `[i64; W/2]`, `[f32; W]`, `[f64; W/2]` —
+//! per-op typed lane dispatch, per-element fallback — see `exec`'s module
+//! docs). This suite pins the lowered backend to a matrix of [`Target`]s via
+//! [`CompileOptions::target`] — no global state, so cases can run in
+//! parallel — and asserts the outputs are bit-identical to the interpreter
+//! oracle:
 //!
 //! * across every [`ScalarType`] as both input and output element type
 //!   (`UInt64` outputs ride the `[i64; W/2]` family, `Float32` outputs the
-//!   `[f32; W]` family);
+//!   `[f32; W]` family, `Float64` outputs the `[f64; W/2]` family);
+//! * across ISAs: the pinned-scalar tier, the portable lane kernels, and —
+//!   on hosts whose detected target carries AVX2 — the hand-written
+//!   `core::arch` evaluators, which must be bit-identical to the portable
+//!   lanes (on non-AVX2 hosts the arch column degrades to portable and the
+//!   dedicated differential test below prints a skip notice);
 //! * on odd/prime extents, so interior chunks always leave sub-width tails
 //!   (executed as masked or overlapping fused chunks) and border peels;
 //! * on border-clamping stencils (negative and past-the-end tap offsets);
 //! * on the u32 wrap-around idioms lifted binaries use (`4294967295 * x`
 //!   negative taps, `255 ^ x` inversion, logical shifts of wrapped sums);
-//! * for the float family: on NaN, ±Inf, subnormal and rounding-sensitive
+//! * for the f32 family: on NaN, ±Inf, subnormal and rounding-sensitive
 //!   inputs, with rounding-disciplined expressions (every op under a
-//!   `cast<float>`, the shape lifted single-precision SSE code takes).
+//!   `cast<float>`, the shape lifted single-precision SSE code takes);
+//! * for the f64 family: the same special values with *unrounded*
+//!   expressions — f64 lanes are the reference representation, so exactness
+//!   comes free.
 //!
-//! The `HELIUM_FORCE_SCALAR=1` / `HELIUM_FORCE_SIMD=1` environment variables
-//! apply the same pinning process-wide; CI runs the whole test suite under
-//! each as separate matrix legs, plus float- and 64-bit-filtered legs that
-//! concentrate on the new lane families.
+//! The `HELIUM_FORCE_SCALAR=1` / `HELIUM_FORCE_SIMD=1` / `HELIUM_PORTABLE=1`
+//! environment variables apply the same pinning process-wide (read once by
+//! [`Target::from_env`]); CI runs the whole test suite under each as
+//! separate matrix legs, plus float- and 64-bit-filtered legs that
+//! concentrate on the newer lane families.
 
 use helium_halide::prelude::*;
 use proptest::prelude::*;
@@ -196,8 +206,63 @@ fn f32_value_strategy() -> impl Strategy<Value = Expr> {
     })
 }
 
-/// Compare the interpreter oracle with the lowered backend pinned to the
-/// per-op tier and to the fused tier, for the given schedule.
+/// The pinned-target matrix every differential case runs under: the scalar
+/// tier, the portable lane kernels, and the detected target's lane kernels
+/// (the hand-written AVX2 evaluators on hosts that have them; identical to
+/// the portable column elsewhere).
+fn target_matrix() -> [(&'static str, Target); 3] {
+    [
+        ("scalar", Target::portable().with_tier(Tier::Scalar)),
+        ("portable-simd", Target::portable().with_tier(Tier::Simd)),
+        ("arch-simd", Target::detect().with_tier(Tier::Simd)),
+    ]
+}
+
+/// Unrounded float stencils for the `[f64; W/2]` lane family: f64 lanes are
+/// the reference representation, so no rounding discipline is needed — raw
+/// adds, multiplies, divides, square roots, compares and selects over
+/// Float64 taps and constants are exact by construction.
+fn f64_value_strategy() -> impl Strategy<Value = Expr> {
+    let off = -2i64..3;
+    let consts = [
+        0.5f64,
+        1.0 / 12.0,
+        3.25,
+        -2.5,
+        1.0,
+        -0.0,
+        255.0,
+        0.1,
+        1.0 / 3.0,
+    ];
+    let leaf = prop_oneof![
+        (off.clone(), off.clone()).prop_map(|(dx, dy)| ftap(dx, dy)),
+        prop::sample::select(consts.to_vec())
+            .prop_map(|v| Expr::ConstFloat(v, ScalarType::Float64)),
+        Just(Expr::var("x_0")),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Div, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Call(ExternCall::Sqrt, vec![a])),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::select(
+                Expr::cmp(CmpOp::Lt, c, Expr::ConstFloat(0.0, ScalarType::Float64)),
+                t,
+                f
+            )),
+        ]
+    })
+}
+
+/// Compare the interpreter oracle with the lowered backend pinned to every
+/// target in the matrix, for the given schedule.
 fn assert_tiers_match_oracle(
     p: &Pipeline,
     schedule: &Schedule,
@@ -208,13 +273,13 @@ fn assert_tiers_match_oracle(
         .with_backend(ExecBackend::Interpret)
         .realize(p, extents, inputs)
         .expect("interpreter realize");
-    for mode in [SimdMode::ForceScalar, SimdMode::ForceSimd] {
+    for (name, target) in target_matrix() {
         let compiled = p
             .compile(
                 schedule,
                 &CompileOptions {
                     backend: ExecBackend::Lowered,
-                    simd: Some(mode),
+                    target: Some(target),
                     ..CompileOptions::default()
                 },
             )
@@ -223,8 +288,8 @@ fn assert_tiers_match_oracle(
         prop_assert_eq!(
             &out,
             &oracle,
-            "{:?} tier diverged from the interpreter under [{}] over {:?}",
-            mode,
+            "{} target diverged from the interpreter under [{}] over {:?}",
+            name,
             schedule,
             extents
         );
@@ -382,6 +447,36 @@ proptest! {
             .with_vector_width(width);
         assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
     }
+
+    /// The `[f64; W/2]` lane family's acceptance property: random unrounded
+    /// double-precision stencils over Float64 (and integer-widened) inputs
+    /// seeded with NaN/±Inf/signed-zero values are bit-identical to the
+    /// interpreter across the whole target matrix, on prime extents, across
+    /// widths and under parallelism.
+    #[test]
+    fn f64_family_matches_interpreter(
+        in_ty in prop::sample::select(vec![
+            ScalarType::Float64,
+            ScalarType::UInt8,
+            ScalarType::UInt16,
+        ]),
+        value in f64_value_strategy(),
+        wi in 0usize..EXTENTS.len(),
+        hi in 0usize..EXTENTS.len(),
+        width in prop::sample::select(vec![1usize, 8, 16, 32]),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (w, h) = (EXTENTS[wi], EXTENTS[hi]);
+        let out = Func::pure("out", &["x_0", "x_1"], ScalarType::Float64, value);
+        let p = Pipeline::new(out, vec![ImageParam::new("in", in_ty, 2)]);
+        let input = image(in_ty, w + 2, h + 2, seed);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        let schedule = Schedule::naive()
+            .with_parallel(parallel)
+            .with_vector_width(width);
+        assert_tiers_match_oracle(&p, &schedule, &[w, h], &inputs)?;
+    }
 }
 
 /// The exact lifted filter idioms (invert's xor, blur's shifted sum,
@@ -453,7 +548,7 @@ fn lifted_filter_idioms_run_fused_and_agree() {
                 &schedule,
                 &CompileOptions {
                     backend: ExecBackend::Lowered,
-                    simd: Some(SimdMode::ForceSimd),
+                    target: Some(Target::detect().with_tier(Tier::Simd)),
                     ..CompileOptions::default()
                 },
             )
@@ -504,7 +599,7 @@ fn f32_smooth_idiom_runs_fused_and_agrees() {
             &schedule,
             &CompileOptions {
                 backend: ExecBackend::Lowered,
-                simd: Some(SimdMode::ForceSimd),
+                target: Some(Target::detect().with_tier(Tier::Simd)),
                 ..CompileOptions::default()
             },
         )
@@ -550,7 +645,7 @@ fn i64_histogram_idiom_runs_fused_and_agrees() {
             &schedule,
             &CompileOptions {
                 backend: ExecBackend::Lowered,
-                simd: Some(SimdMode::ForceSimd),
+                target: Some(Target::detect().with_tier(Tier::Simd)),
                 ..CompileOptions::default()
             },
         )
@@ -576,4 +671,118 @@ fn i64_histogram_idiom_runs_fused_and_agrees() {
         .realize(&p, &[37, 19], &inputs)
         .expect("oracle");
     assert_eq!(fused, oracle, "i64 histogram diverged from oracle");
+}
+
+/// The dedicated arch differential: on AVX2 hosts, pipelines compiled with
+/// an explicit [`Feature::Avx2`] target must execute the hand-written
+/// `core::arch` kernels (run-time counter guard — equality alone would be
+/// vacuous if dispatch silently fell back) and produce bytes identical to
+/// the portable lane kernels, across all four lane families on prime
+/// extents. On hosts without AVX2 the test prints a skip notice and passes.
+#[test]
+fn arch_kernels_match_portable_lanes_bit_for_bit() {
+    if !Target::detect().has(Feature::Avx2) {
+        eprintln!("skipping arch differential: host does not report AVX2");
+        return;
+    }
+    let u32c = |e: Expr| Expr::cast(ScalarType::UInt32, e);
+    let neg = |e: Expr| u32c(Expr::mul(Expr::int(4294967295), e));
+    let shapes: Vec<(&str, ScalarType, ScalarType, Expr)> = vec![
+        (
+            "i32-sharpen",
+            ScalarType::UInt8,
+            ScalarType::UInt8,
+            Expr::cast(
+                ScalarType::UInt8,
+                u32c(Expr::bin(
+                    BinOp::Shr,
+                    u32c(Expr::add(
+                        u32c(Expr::add(
+                            u32c(Expr::add(
+                                Expr::int(2),
+                                u32c(Expr::mul(Expr::int(8), tap(1, 1))),
+                            )),
+                            neg(tap(0, 1)),
+                        )),
+                        neg(tap(2, 1)),
+                    )),
+                    Expr::uint(2),
+                )),
+            ),
+        ),
+        (
+            "i64-binning",
+            ScalarType::UInt8,
+            ScalarType::UInt64,
+            Expr::cast(
+                ScalarType::UInt64,
+                Expr::add(
+                    Expr::mul(tap(0, 0), Expr::int(0x1_0000_0001)),
+                    Expr::bin(
+                        BinOp::Shl,
+                        Expr::cast(ScalarType::UInt64, tap(1, 1)),
+                        Expr::int(33),
+                    ),
+                ),
+            ),
+        ),
+        ("f32-smooth", ScalarType::Float32, ScalarType::Float32, {
+            let f32c = |e: Expr| Expr::cast(ScalarType::Float32, e);
+            let wn = Expr::ConstFloat((1.0f32 / 12.0) as f64, ScalarType::Float32);
+            f32c(Expr::add(
+                f32c(Expr::mul(
+                    f32c(Expr::add(
+                        f32c(Expr::add(ftap(-1, 0), ftap(1, 0))),
+                        ftap(0, -1),
+                    )),
+                    wn,
+                )),
+                ftap(0, 0),
+            ))
+        }),
+        (
+            "f64-smooth",
+            ScalarType::Float64,
+            ScalarType::Float64,
+            Expr::add(
+                Expr::mul(
+                    Expr::add(Expr::add(ftap(-1, 0), ftap(1, 0)), ftap(0, -1)),
+                    Expr::ConstFloat(1.0 / 12.0, ScalarType::Float64),
+                ),
+                Expr::mul(ftap(0, 0), Expr::ConstFloat(0.5, ScalarType::Float64)),
+            ),
+        ),
+    ];
+    for (name, in_ty, out_ty, value) in shapes {
+        let out = Func::pure("out", &["x_0", "x_1"], out_ty, value);
+        let p = Pipeline::new(out, vec![ImageParam::new("in", in_ty, 2)]);
+        let input = image(in_ty, 41, 23, 0xA5A5);
+        let inputs = RealizeInputs::new().with_image("in", &input);
+        for (w, h) in [(37usize, 19usize), (31, 13), (8, 8)] {
+            let run = |target: Target| {
+                let compiled = p
+                    .compile(
+                        &Schedule::stencil_default(),
+                        &CompileOptions {
+                            backend: ExecBackend::Lowered,
+                            target: Some(target),
+                            ..CompileOptions::default()
+                        },
+                    )
+                    .expect("compile");
+                compiled.run(&inputs, &[w, h]).expect("run")
+            };
+            let portable = run(Target::portable().with_tier(Tier::Simd));
+            let before = helium_halide::arch_rows_executed();
+            let arch = run(Target::with_features(&[Feature::Avx2]).with_tier(Tier::Simd));
+            assert!(
+                helium_halide::arch_rows_executed() > before,
+                "{name} ({w}x{h}): the AVX2 kernels must actually execute"
+            );
+            assert_eq!(
+                arch, portable,
+                "{name} ({w}x{h}): arch kernels diverged from portable lanes"
+            );
+        }
+    }
 }

@@ -6,10 +6,11 @@
 //! the bytes of the recompute-everything `compute_at` schedule and of the
 //! interpreter oracle, and a `fuse_outputs` schedule must produce exactly
 //! the bytes of its unfused counterpart — across prime extents,
-//! border-clamping taps, vector widths and parallelism, in both forced
-//! execution modes ([`SimdMode::ForceScalar`] / [`SimdMode::ForceSimd`]; CI
-//! additionally runs the whole suite under `HELIUM_FORCE_SCALAR=1` and
-//! `HELIUM_FORCE_SIMD=1` legs).
+//! border-clamping taps, vector widths and parallelism, under both pinned
+//! execution tiers ([`Tier::Scalar`] / [`Tier::Simd`] via the [`Target`]
+//! carried on [`CompileOptions`]; CI additionally runs the whole suite under
+//! `HELIUM_FORCE_SCALAR=1`, `HELIUM_FORCE_SIMD=1` and `HELIUM_PORTABLE=1`
+//! legs).
 //!
 //! Equality alone can be vacuous — a schedule that silently degrades to the
 //! non-locality path also matches — so the deterministic tests guard with
@@ -112,12 +113,12 @@ fn oracle(
         .expect("interpreter oracle")
 }
 
-/// Compile `p` under `schedule` on the lowered backend pinned to `mode` and
-/// run it once.
+/// Compile `p` under `schedule` on the lowered backend pinned to `target`
+/// (resolved once at compile time) and run it once.
 fn run_lowered(
     p: &Pipeline,
     schedule: &Schedule,
-    mode: SimdMode,
+    target: Target,
     extents: &[usize],
     inputs: &RealizeInputs<'_>,
 ) -> (CompiledPipeline, Buffer) {
@@ -126,7 +127,7 @@ fn run_lowered(
             schedule,
             &CompileOptions {
                 backend: ExecBackend::Lowered,
-                simd: Some(mode),
+                target: Some(target),
                 ..CompileOptions::default()
             },
         )
@@ -163,7 +164,10 @@ proptest! {
             .with_compute_at("blur_x", "x_1");
         let sliding = base.clone().with_store_sliding("blur_x");
         let expect = oracle(&p, &base, &[w, h], &inputs);
-        for mode in [SimdMode::ForceScalar, SimdMode::ForceSimd] {
+        for mode in [
+        Target::detect().with_tier(Tier::Scalar),
+        Target::detect().with_tier(Tier::Simd),
+    ] {
             let (_, plain) = run_lowered(&p, &base, mode, &[w, h], &inputs);
             let (_, slid) = run_lowered(&p, &sliding, mode, &[w, h], &inputs);
             prop_assert_eq!(&plain, &expect, "compute_at diverged ({:?})", mode);
@@ -235,7 +239,10 @@ proptest! {
             .with_compute_root("s2");
         let fused = unfused.clone().with_fuse_outputs(true);
         let expect = oracle(&p, &unfused, &[w, h], &inputs);
-        for mode in [SimdMode::ForceScalar, SimdMode::ForceSimd] {
+        for mode in [
+        Target::detect().with_tier(Tier::Scalar),
+        Target::detect().with_tier(Tier::Simd),
+    ] {
             let (_, plain) = run_lowered(&p, &unfused, mode, &[w, h], &inputs);
             let (_, shared) = run_lowered(&p, &fused, mode, &[w, h], &inputs);
             prop_assert_eq!(&plain, &expect, "unfused diverged ({:?})", mode);
@@ -259,7 +266,10 @@ fn fig7_blur_sliding_window_reuses_rows() {
         .with_compute_at("blur_x", "x_1");
     let sliding = base.clone().with_store_sliding("blur_x");
     let expect = oracle(&p, &base, &[w, h], &inputs);
-    for mode in [SimdMode::ForceScalar, SimdMode::ForceSimd] {
+    for mode in [
+        Target::detect().with_tier(Tier::Scalar),
+        Target::detect().with_tier(Tier::Simd),
+    ] {
         let counters = CounterSnapshot::take();
         let (compiled, out) = run_lowered(&p, &sliding, mode, &[w, h], &inputs);
         assert_eq!(
@@ -301,7 +311,13 @@ fn parallel_sliding_window_stays_exact_and_reuses_within_chunks() {
     let sliding = base.clone().with_store_sliding("blur_x");
     let expect = oracle(&p, &base, &[w, h], &inputs);
     let counters = CounterSnapshot::take();
-    let (_, out) = run_lowered(&p, &sliding, SimdMode::ForceSimd, &[w, h], &inputs);
+    let (_, out) = run_lowered(
+        &p,
+        &sliding,
+        Target::detect().with_tier(Tier::Simd),
+        &[w, h],
+        &inputs,
+    );
     assert_eq!(out, expect, "parallel sliding window diverged from oracle");
     // 4 workers × ~24 rows: all but the first iteration of each chunk reuse.
     assert!(
@@ -345,7 +361,10 @@ fn compose_after_chain_compiles_into_one_shared_nest() {
     let fused = unfused.clone().with_fuse_outputs(true);
     let expect = oracle(&chain, &unfused, &[w, h], &inputs);
 
-    for mode in [SimdMode::ForceScalar, SimdMode::ForceSimd] {
+    for mode in [
+        Target::detect().with_tier(Tier::Scalar),
+        Target::detect().with_tier(Tier::Simd),
+    ] {
         let counters = CounterSnapshot::take();
         let (compiled, out) = run_lowered(&chain, &fused, mode, &[w, h], &inputs);
         assert_eq!(out, expect, "fused chain diverged from oracle ({mode:?})");

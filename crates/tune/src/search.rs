@@ -342,6 +342,7 @@ pub fn guided_search_cached(
         .map(|t| TrialRecord {
             pipeline: key.pipeline,
             backend: key.backend,
+            target_features: key.features.clone(),
             extents: key.extents.clone(),
             schedule: t.fingerprint,
             measured_ns: t.measured.map_or(0, |m| m.as_nanos() as u64),

@@ -36,6 +36,9 @@ pub struct TrialRecord {
     pub pipeline: u64,
     /// Execution backend the trial ran on.
     pub backend: ExecBackend,
+    /// `+`-joined ISA feature tag of the resolved target the trial ran
+    /// under (`Target::feature_tag`; empty = portable lanes).
+    pub target_features: String,
     /// Output extents the trial realized.
     pub extents: Vec<usize>,
     /// Schedule fingerprint of the timed candidate.
@@ -220,19 +223,32 @@ fn sibling_path(cache_path: &Path) -> PathBuf {
     cache_path.with_file_name(name)
 }
 
-fn backend_tag(backend: ExecBackend) -> &'static str {
-    match backend {
+/// The backend field of the v1 text encoding, extended with the resolved
+/// target's ISA feature tag: `lowered`, `lowered+avx2`. Legacy files carry
+/// the bare backend, which decodes as the empty (portable) feature set.
+fn encode_backend(backend: ExecBackend, features: &str) -> String {
+    let tag = match backend {
         ExecBackend::Interpret => "interpret",
         ExecBackend::Lowered => "lowered",
+    };
+    if features.is_empty() {
+        tag.to_string()
+    } else {
+        format!("{tag}+{features}")
     }
 }
 
-fn parse_backend(tag: &str) -> Option<ExecBackend> {
-    match tag {
-        "interpret" => Some(ExecBackend::Interpret),
-        "lowered" => Some(ExecBackend::Lowered),
-        _ => None,
-    }
+fn decode_backend(tag: &str) -> Option<(ExecBackend, String)> {
+    let (backend, features) = match tag.split_once('+') {
+        Some((b, f)) => (b, f),
+        None => (tag, ""),
+    };
+    let backend = match backend {
+        "interpret" => ExecBackend::Interpret,
+        "lowered" => ExecBackend::Lowered,
+        _ => return None,
+    };
+    Some((backend, features.to_string()))
 }
 
 /// Encode one record as one line:
@@ -260,7 +276,7 @@ fn encode_record(r: &TrialRecord) -> String {
     format!(
         "{:016x} {} {} {:016x} {} {} {:e} {}",
         r.pipeline,
-        backend_tag(r.backend),
+        encode_backend(r.backend, &r.target_features),
         extents,
         r.schedule,
         r.measured_ns,
@@ -277,7 +293,8 @@ fn decode_record(line: &str) -> Result<TrialRecord, String> {
     }
     let pipeline =
         u64::from_str_radix(fields[0], 16).map_err(|_| "bad pipeline fingerprint".to_string())?;
-    let backend = parse_backend(fields[1]).ok_or_else(|| "bad backend".to_string())?;
+    let (backend, target_features) =
+        decode_backend(fields[1]).ok_or_else(|| "bad backend".to_string())?;
     let extents: Vec<usize> = if fields[2] == "-" {
         Vec::new()
     } else {
@@ -317,6 +334,7 @@ fn decode_record(line: &str) -> Result<TrialRecord, String> {
     Ok(TrialRecord {
         pipeline,
         backend,
+        target_features,
         extents,
         schedule,
         measured_ns,
@@ -334,6 +352,7 @@ mod tests {
         TrialRecord {
             pipeline: 0xFEED_u64,
             backend: ExecBackend::Lowered,
+            target_features: "avx2".to_string(),
             extents: vec![640, 480],
             schedule: 0xBEEF_u64,
             measured_ns: 123_456,
@@ -360,6 +379,19 @@ mod tests {
         assert_eq!(parsed, log);
         // Feature values survive with full f64 precision (the `{:e}` form).
         assert_eq!(parsed.records()[0].features[1].1, 2.0 / 3.0);
+    }
+
+    #[test]
+    fn legacy_backend_tags_without_features_decode_as_portable() {
+        let legacy = format!("{HEADER}\n00000000000000ff lowered 4x4 00000000000000aa 1 1 0e0 -\n");
+        let log = TrialLog::from_text(&legacy).unwrap();
+        assert_eq!(log.records()[0].target_features, "");
+        // The extended tag round-trips exactly.
+        let mut tagged = TrialLog::new();
+        tagged.push(sample_record());
+        let text = tagged.to_text();
+        assert!(text.contains(" lowered+avx2 "), "got: {text}");
+        assert_eq!(TrialLog::from_text(&text).unwrap(), tagged);
     }
 
     #[test]
